@@ -1,0 +1,250 @@
+//! The agent control loop.
+
+use crate::{Policy, Result, RuntimeHandle, ThreadCommand};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One applied command, for post-hoc inspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Tick index at which the command was issued.
+    pub tick: u64,
+    /// Managed runtime's name.
+    pub runtime: String,
+    /// The command.
+    pub command: ThreadCommand,
+}
+
+/// The record of everything an agent did.
+#[derive(Debug, Clone, Default)]
+pub struct AgentLog {
+    /// Commands in issue order.
+    pub decisions: Vec<Decision>,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Errors encountered (command rejections, disconnects) — the agent
+    /// keeps going, the paper's agent must not take the node down.
+    pub errors: Vec<String>,
+}
+
+/// The periodic arbitration loop of Figure 1.
+///
+/// ```
+/// use coop_agent::{Agent, policies::FairShare};
+/// use coop_runtime::{Runtime, RuntimeConfig};
+/// use numa_topology::presets::tiny;
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let a = Arc::new(Runtime::start(RuntimeConfig::new("a", tiny())).unwrap());
+/// let b = Arc::new(Runtime::start(RuntimeConfig::new("b", tiny())).unwrap());
+/// let mut agent = Agent::new(Box::new(FairShare::new(tiny())));
+/// agent.manage(Box::new(Arc::clone(&a)));
+/// agent.manage(Box::new(Arc::clone(&b)));
+/// let log = agent.run_for(Duration::from_millis(30), Duration::from_millis(5));
+/// assert!(log.ticks >= 1);
+/// // Fair share on 2x2-core nodes: each app got 1 thread per node.
+/// assert!(a.control().wait_converged(Duration::from_secs(5), |run, _| run == 2));
+/// a.shutdown();
+/// b.shutdown();
+/// ```
+pub struct Agent {
+    handles: Vec<Box<dyn RuntimeHandle>>,
+    policy: Box<dyn Policy>,
+    log: AgentLog,
+}
+
+impl Agent {
+    /// Creates an agent with the given policy and no managed runtimes.
+    pub fn new(policy: Box<dyn Policy>) -> Self {
+        Agent {
+            handles: Vec::new(),
+            policy,
+            log: AgentLog::default(),
+        }
+    }
+
+    /// Registers a runtime. Registry order defines the indices policies
+    /// see.
+    pub fn manage(&mut self, handle: Box<dyn RuntimeHandle>) {
+        self.handles.push(handle);
+    }
+
+    /// Number of managed runtimes.
+    pub fn managed(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Executes a single tick: poll stats, ask the policy, apply commands.
+    pub fn tick(&mut self) -> Result<()> {
+        let tick = self.log.ticks;
+        self.log.ticks += 1;
+
+        let mut stats = Vec::with_capacity(self.handles.len());
+        for h in &self.handles {
+            match h.stats() {
+                Ok(s) => stats.push(s),
+                Err(e) => {
+                    self.log.errors.push(e.to_string());
+                    return Err(e);
+                }
+            }
+        }
+        let commands = self.policy.tick(&stats, tick);
+        for (i, cmd) in commands.into_iter().enumerate() {
+            let Some(cmd) = cmd else { continue };
+            let Some(handle) = self.handles.get(i) else {
+                continue;
+            };
+            match handle.command(cmd.clone()) {
+                Ok(()) => self.log.decisions.push(Decision {
+                    tick,
+                    runtime: handle.name(),
+                    command: cmd,
+                }),
+                Err(e) => self.log.errors.push(e.to_string()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the loop inline for `duration`, ticking every `interval`.
+    /// Returns the accumulated log.
+    pub fn run_for(mut self, duration: Duration, interval: Duration) -> AgentLog {
+        let deadline = Instant::now() + duration;
+        loop {
+            let _ = self.tick();
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(interval);
+        }
+        self.log
+    }
+
+    /// Runs the loop on a background thread until the returned handle is
+    /// stopped. Use this to arbitrate while the main thread drives work
+    /// (e.g. a pipeline).
+    pub fn spawn(mut self, interval: Duration) -> AgentThread {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let log = Arc::new(Mutex::new(None));
+        let log2 = Arc::clone(&log);
+        let thread = std::thread::Builder::new()
+            .name("coop-agent".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    let _ = self.tick();
+                    std::thread::sleep(interval);
+                }
+                *log2.lock() = Some(self.log);
+            })
+            .expect("spawning agent thread");
+        AgentThread {
+            stop,
+            thread: Some(thread),
+            log,
+        }
+    }
+}
+
+/// Handle to a background agent; stop it to retrieve the log.
+pub struct AgentThread {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    log: Arc<Mutex<Option<AgentLog>>>,
+}
+
+impl AgentThread {
+    /// Stops the agent and returns its log.
+    pub fn stop(mut self) -> AgentLog {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.log.lock().take().unwrap_or_default()
+    }
+}
+
+impl Drop for AgentThread {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuntimeStats;
+    use coop_runtime::{Runtime, RuntimeConfig};
+    use numa_topology::presets::tiny;
+
+    /// A policy that counts ticks and issues one command on tick 2.
+    struct Scripted {
+        issued: bool,
+    }
+
+    impl Policy for Scripted {
+        fn tick(&mut self, stats: &[RuntimeStats], tick: u64) -> Vec<Option<ThreadCommand>> {
+            let mut out = vec![None; stats.len()];
+            if tick == 2 && !self.issued {
+                self.issued = true;
+                out[0] = Some(ThreadCommand::TotalThreads(1));
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn agent_applies_policy_commands() {
+        let rt = Arc::new(Runtime::start(RuntimeConfig::new("x", tiny())).unwrap());
+        let mut agent = Agent::new(Box::new(Scripted { issued: false }));
+        agent.manage(Box::new(Arc::clone(&rt)));
+        for _ in 0..4 {
+            agent.tick().unwrap();
+        }
+        assert!(rt
+            .control()
+            .wait_converged(Duration::from_secs(5), |run, _| run == 1));
+        assert_eq!(agent.log.decisions.len(), 1);
+        assert_eq!(agent.log.decisions[0].tick, 2);
+        assert_eq!(agent.log.decisions[0].runtime, "x");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn agent_records_command_errors_and_continues() {
+        struct BadCommand;
+        impl Policy for BadCommand {
+            fn tick(&mut self, stats: &[RuntimeStats], _t: u64) -> Vec<Option<ThreadCommand>> {
+                vec![Some(ThreadCommand::PerNode(vec![9])); stats.len()]
+            }
+        }
+        let rt = Arc::new(Runtime::start(RuntimeConfig::new("bad", tiny())).unwrap());
+        let mut agent = Agent::new(Box::new(BadCommand));
+        agent.manage(Box::new(Arc::clone(&rt)));
+        agent.tick().unwrap();
+        agent.tick().unwrap();
+        assert_eq!(agent.log.errors.len(), 2);
+        assert!(agent.log.decisions.is_empty());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn background_agent_stops_cleanly() {
+        let rt = Arc::new(Runtime::start(RuntimeConfig::new("bg", tiny())).unwrap());
+        let mut agent = Agent::new(Box::new(Scripted { issued: false }));
+        agent.manage(Box::new(Arc::clone(&rt)));
+        let handle = agent.spawn(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(30));
+        let log = handle.stop();
+        assert!(log.ticks >= 3);
+        assert_eq!(log.decisions.len(), 1);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,116 @@
+//! # coop-agent
+//!
+//! The resource-arbitration agent of the paper's Figure 1: a component that
+//! "communicates with the runtime in both applications. It receives
+//! information about the execution from the runtimes (number of tasks
+//! executed, number of running threads, etc.) and it issues commands
+//! instructing the runtimes to use a specified number of threads."
+//!
+//! * [`RuntimeHandle`] — the agent-side view of one managed runtime:
+//!   poll stats, issue [`ThreadCommand`]s. Implemented for
+//!   `Arc<coop_runtime::Runtime>` (in-process) and by the channel-based
+//!   [`proto`] endpoints that mimic the paper's separate-process setup.
+//! * [`Policy`] — a decision rule mapping the latest stats snapshots to
+//!   commands. Provided policies: [`policies::FairShare`],
+//!   [`policies::ProducerConsumerThrottle`] (the SBAC-PAD'18 experiment),
+//!   [`policies::ModelGuided`] (uses the roofline model and the search
+//!   machinery to choose per-NUMA-node allocations — the paper's "better
+//!   decisions" future work), and [`policies::LibraryBurst`] (the §II
+//!   tight-integration scenario: shift cores to a "library" application
+//!   while it has work, return them when it goes idle).
+//! * [`Agent`] — the periodic control loop, runnable inline
+//!   ([`Agent::run_for`]) or on a background thread ([`Agent::spawn`]).
+//!
+//! The agent deliberately does cheap work per tick (the paper's §IV:
+//! an agent that is "only required to occasionally perform quick
+//! decisions" will not disturb the computation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+pub mod consensus;
+pub mod policies;
+pub mod proto;
+
+pub use agent::{Agent, AgentLog, Decision};
+pub use coop_runtime::{RuntimeStats, ThreadCommand};
+
+use std::sync::Arc;
+
+/// Errors produced by the agent layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentError {
+    /// A command could not be delivered or was rejected by the runtime.
+    Command {
+        /// Managed runtime's name.
+        runtime: String,
+        /// Underlying reason.
+        reason: String,
+    },
+    /// A policy was configured inconsistently with the managed set.
+    Policy {
+        /// Explanation.
+        reason: String,
+    },
+    /// The remote endpoint disconnected (channel closed).
+    Disconnected {
+        /// Managed runtime's name.
+        runtime: String,
+    },
+}
+
+impl std::fmt::Display for AgentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgentError::Command { runtime, reason } => {
+                write!(f, "command to runtime '{runtime}' failed: {reason}")
+            }
+            AgentError::Policy { reason } => write!(f, "policy error: {reason}"),
+            AgentError::Disconnected { runtime } => {
+                write!(f, "runtime '{runtime}' disconnected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, AgentError>;
+
+/// The agent-side view of one managed runtime.
+pub trait RuntimeHandle: Send {
+    /// The runtime's (application) name.
+    fn name(&self) -> String;
+    /// Polls a statistics snapshot.
+    fn stats(&self) -> Result<RuntimeStats>;
+    /// Issues a thread-control command.
+    fn command(&self, cmd: ThreadCommand) -> Result<()>;
+}
+
+impl RuntimeHandle for Arc<coop_runtime::Runtime> {
+    fn name(&self) -> String {
+        coop_runtime::Runtime::name(self).to_string()
+    }
+
+    fn stats(&self) -> Result<RuntimeStats> {
+        Ok(coop_runtime::Runtime::stats(self))
+    }
+
+    fn command(&self, cmd: ThreadCommand) -> Result<()> {
+        self.control().apply(cmd).map_err(|e| AgentError::Command {
+            runtime: coop_runtime::Runtime::name(self).to_string(),
+            reason: e.to_string(),
+        })
+    }
+}
+
+/// A decision rule: maps the latest stats to per-runtime commands.
+///
+/// `tick` returns one optional command per managed runtime (same order as
+/// the agent's registry); `None` means "no change for this runtime".
+pub trait Policy: Send {
+    /// Called once per agent tick.
+    fn tick(&mut self, stats: &[RuntimeStats], tick_index: u64) -> Vec<Option<ThreadCommand>>;
+}

@@ -1,0 +1,473 @@
+//! Built-in agent policies.
+
+use crate::{Policy, RuntimeStats, ThreadCommand};
+use coop_alloc::{search::GreedySearch, Objective};
+use numa_topology::Machine;
+use roofline_numa::{AppSpec, ThreadAssignment};
+
+/// Converts one application's row of a [`ThreadAssignment`] into the
+/// per-node command the paper's blocking option 3 expects.
+fn per_node_command(assignment: &ThreadAssignment, app: usize, machine: &Machine) -> ThreadCommand {
+    ThreadCommand::PerNode(
+        machine
+            .node_ids()
+            .map(|n| assignment.get(app, n))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Gives every managed runtime an equal per-node share of the cores, once
+/// (the paper's "simple core allocation strategy": total worker threads
+/// across all applications equals the machine's core count).
+pub struct FairShare {
+    machine: Machine,
+    applied: bool,
+}
+
+impl FairShare {
+    /// Creates the policy for the given machine.
+    pub fn new(machine: Machine) -> Self {
+        FairShare {
+            machine,
+            applied: false,
+        }
+    }
+}
+
+impl Policy for FairShare {
+    fn tick(&mut self, stats: &[RuntimeStats], _tick: u64) -> Vec<Option<ThreadCommand>> {
+        if self.applied {
+            return vec![None; stats.len()];
+        }
+        self.applied = true;
+        match coop_alloc::strategies::fair_share(&self.machine, stats.len()) {
+            Ok(assignment) => (0..stats.len())
+                .map(|app| Some(per_node_command(&assignment, app, &self.machine)))
+                .collect(),
+            Err(_) => vec![None; stats.len()],
+        }
+    }
+}
+
+/// The SBAC-PAD'18 producer-consumer alignment policy: watch the
+/// `produced` / `consumed` user counters and adjust the *producer's* total
+/// thread count so the producer stays only a small number of iterations
+/// ahead of the consumer.
+pub struct ProducerConsumerThrottle {
+    /// Index of the producer in the agent's registry.
+    pub producer: usize,
+    /// Index of the consumer in the agent's registry.
+    pub consumer: usize,
+    /// Shrink the producer when the lead exceeds this.
+    pub high_watermark: u64,
+    /// Grow the producer when the lead falls below this.
+    pub low_watermark: u64,
+    /// Thread-count bounds for the producer.
+    pub min_threads: usize,
+    /// Upper bound (normally the machine's core count).
+    pub max_threads: usize,
+    current: usize,
+}
+
+impl ProducerConsumerThrottle {
+    /// Creates the policy; the producer starts at `max_threads`.
+    pub fn new(
+        producer: usize,
+        consumer: usize,
+        low_watermark: u64,
+        high_watermark: u64,
+        min_threads: usize,
+        max_threads: usize,
+    ) -> Self {
+        ProducerConsumerThrottle {
+            producer,
+            consumer,
+            high_watermark,
+            low_watermark,
+            min_threads,
+            max_threads,
+            current: max_threads,
+        }
+    }
+
+    /// The producer thread target the policy currently holds.
+    pub fn current_target(&self) -> usize {
+        self.current
+    }
+}
+
+impl Policy for ProducerConsumerThrottle {
+    fn tick(&mut self, stats: &[RuntimeStats], _tick: u64) -> Vec<Option<ThreadCommand>> {
+        let mut out = vec![None; stats.len()];
+        let (Some(p), Some(c)) = (stats.get(self.producer), stats.get(self.consumer)) else {
+            return out;
+        };
+        let produced = p.user_counter("produced");
+        let consumed = c.user_counter("consumed");
+        let lead = produced.saturating_sub(consumed);
+
+        let next = if lead > self.high_watermark {
+            self.current.saturating_sub(1).max(self.min_threads)
+        } else if lead < self.low_watermark {
+            (self.current + 1).min(self.max_threads)
+        } else {
+            self.current
+        };
+        if next != self.current {
+            self.current = next;
+            out[self.producer] = Some(ThreadCommand::TotalThreads(next));
+        }
+        out
+    }
+}
+
+/// Model-guided repartitioning: knows each runtime's [`AppSpec`] (AI and
+/// data placement), runs a greedy model search periodically, and pushes
+/// the resulting per-node allocations to every runtime.
+///
+/// This is the paper's NUMA-aware endgame: allocations expressed as
+/// "threads per NUMA node" (option 3), chosen with a model that
+/// understands both bandwidth sharing and data placement.
+pub struct ModelGuided {
+    machine: Machine,
+    apps: Vec<AppSpec>,
+    /// Re-run the search every this many ticks (1 = every tick).
+    pub period: u64,
+    /// Require every application to keep at least this many threads
+    /// machine-wide (0 allows starving an application entirely).
+    pub min_threads_per_app: usize,
+    last: Option<ThreadAssignment>,
+}
+
+impl ModelGuided {
+    /// Creates the policy. `apps[i]` must describe the runtime at registry
+    /// index `i`.
+    pub fn new(machine: Machine, apps: Vec<AppSpec>) -> Self {
+        ModelGuided {
+            machine,
+            apps,
+            period: 10,
+            min_threads_per_app: 1,
+            last: None,
+        }
+    }
+
+    /// The most recent assignment the policy computed.
+    pub fn last_assignment(&self) -> Option<&ThreadAssignment> {
+        self.last.as_ref()
+    }
+
+    fn search(&self) -> Option<ThreadAssignment> {
+        let machine = &self.machine;
+        let apps = &self.apps;
+        let min = self.min_threads_per_app;
+        // Infeasible assignments (an application below its thread floor)
+        // score as a large graded penalty, so the greedy constructor is
+        // steered toward satisfying every application first and only then
+        // optimizes GFLOPS.
+        let mut oracle = |a: &ThreadAssignment| -> coop_alloc::Result<f64> {
+            let starved = (0..apps.len())
+                .filter(|&i| a.app_total(i) < min)
+                .count();
+            if starved > 0 {
+                return Ok(-(starved as f64) * 1e12);
+            }
+            coop_alloc::score(machine, apps, a, Objective::TotalGflops)
+        };
+        GreedySearch::new()
+            .run_with_oracle(machine, apps.len(), &mut oracle)
+            .ok()
+            .map(|r| r.assignment)
+    }
+}
+
+impl Policy for ModelGuided {
+    fn tick(&mut self, stats: &[RuntimeStats], tick: u64) -> Vec<Option<ThreadCommand>> {
+        if stats.len() != self.apps.len() {
+            return vec![None; stats.len()];
+        }
+        if !tick.is_multiple_of(self.period) && self.last.is_some() {
+            return vec![None; stats.len()];
+        }
+        let Some(assignment) = self.search() else {
+            return vec![None; stats.len()];
+        };
+        let changed = self.last.as_ref() != Some(&assignment);
+        self.last = Some(assignment);
+        if !changed {
+            return vec![None; stats.len()];
+        }
+        let assignment = self.last.as_ref().expect("just set");
+        (0..stats.len())
+            .map(|app| Some(per_node_command(assignment, app, &self.machine)))
+            .collect()
+    }
+}
+
+/// The §II tight-integration scenario: a "main" application occasionally
+/// delegates work to a "library" application. While the library has work
+/// pending, shift it most of the cores; when it drains, hand them back —
+/// "when the 'library' finishes, we can quickly free up the CPU cores that
+/// were used to run it and move them back to the 'main' application".
+pub struct LibraryBurst {
+    /// Registry index of the main application.
+    pub main: usize,
+    /// Registry index of the library application.
+    pub library: usize,
+    /// Cores (machine-wide) the library gets while bursting.
+    pub burst_threads: usize,
+    /// Cores the library keeps while idle.
+    pub idle_threads: usize,
+    machine_cores: usize,
+    library_active: Option<bool>,
+}
+
+impl LibraryBurst {
+    /// Creates the policy for a machine with `machine_cores` total cores.
+    pub fn new(main: usize, library: usize, machine_cores: usize) -> Self {
+        LibraryBurst {
+            main,
+            library,
+            burst_threads: machine_cores.saturating_sub(1).max(1),
+            idle_threads: 0,
+            machine_cores,
+            library_active: None,
+        }
+    }
+}
+
+impl Policy for LibraryBurst {
+    fn tick(&mut self, stats: &[RuntimeStats], _tick: u64) -> Vec<Option<ThreadCommand>> {
+        let mut out = vec![None; stats.len()];
+        let Some(lib) = stats.get(self.library) else {
+            return out;
+        };
+        let active = lib.tasks_pending > 0;
+        if self.library_active == Some(active) {
+            return out; // no transition, no commands
+        }
+        self.library_active = Some(active);
+        if active {
+            out[self.library] = Some(ThreadCommand::TotalThreads(self.burst_threads));
+            out[self.main] = Some(ThreadCommand::TotalThreads(
+                self.machine_cores - self.burst_threads.min(self.machine_cores),
+            ));
+        } else {
+            out[self.library] = Some(ThreadCommand::TotalThreads(self.idle_threads));
+            out[self.main] = Some(ThreadCommand::TotalThreads(self.machine_cores));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topology::presets::paper_model_machine;
+    use std::collections::HashMap;
+
+    fn fake_stats(name: &str, counters: &[(&str, u64)], pending: u64) -> RuntimeStats {
+        RuntimeStats {
+            name: name.into(),
+            tasks_executed: 0,
+            tasks_panicked: 0,
+            tasks_spawned: pending,
+            tasks_ready: 0,
+            tasks_pending: pending,
+            running_workers: 0,
+            blocked_workers: 0,
+            external_threads: 0,
+            per_node: vec![],
+            user_counters: counters
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v))
+                .collect::<HashMap<_, _>>(),
+        }
+    }
+
+    #[test]
+    fn fair_share_issues_once() {
+        let m = paper_model_machine();
+        let mut p = FairShare::new(m);
+        let stats = vec![fake_stats("a", &[], 0), fake_stats("b", &[], 0)];
+        let cmds = p.tick(&stats, 0);
+        assert_eq!(cmds.len(), 2);
+        for c in &cmds {
+            match c {
+                Some(ThreadCommand::PerNode(t)) => assert_eq!(t, &vec![4, 4, 4, 4]),
+                other => panic!("expected PerNode, got {other:?}"),
+            }
+        }
+        // Second tick: silent.
+        assert!(p.tick(&stats, 1).iter().all(|c| c.is_none()));
+    }
+
+    #[test]
+    fn throttle_reacts_to_lead() {
+        let mut p = ProducerConsumerThrottle::new(0, 1, 2, 6, 1, 8);
+        // Lead 10 > high: shrink producer.
+        let stats = vec![
+            fake_stats("prod", &[("produced", 20)], 0),
+            fake_stats("cons", &[("consumed", 10)], 0),
+        ];
+        let cmds = p.tick(&stats, 0);
+        assert_eq!(cmds[0], Some(ThreadCommand::TotalThreads(7)));
+        assert!(cmds[1].is_none());
+        // Repeated high lead keeps shrinking to the floor.
+        for _ in 0..10 {
+            p.tick(&stats, 0);
+        }
+        assert_eq!(p.current_target(), 1);
+        // Lead 0 < low: grow back.
+        let stats = vec![
+            fake_stats("prod", &[("produced", 20)], 0),
+            fake_stats("cons", &[("consumed", 20)], 0),
+        ];
+        let cmds = p.tick(&stats, 0);
+        assert_eq!(cmds[0], Some(ThreadCommand::TotalThreads(2)));
+        // In-band lead: no command.
+        let stats = vec![
+            fake_stats("prod", &[("produced", 24)], 0),
+            fake_stats("cons", &[("consumed", 20)], 0),
+        ];
+        assert!(p.tick(&stats, 0)[0].is_none());
+    }
+
+    #[test]
+    fn model_guided_finds_table_1_partition() {
+        let m = paper_model_machine();
+        let apps = vec![
+            AppSpec::numa_local("mem1", 0.5),
+            AppSpec::numa_local("mem2", 0.5),
+            AppSpec::numa_local("mem3", 0.5),
+            AppSpec::numa_local("comp", 10.0),
+        ];
+        let mut p = ModelGuided::new(m.clone(), apps);
+        let stats: Vec<RuntimeStats> = (0..4).map(|i| fake_stats(&format!("r{i}"), &[], 0)).collect();
+        let cmds = p.tick(&stats, 0);
+        assert!(cmds.iter().all(|c| c.is_some()));
+        let assignment = p.last_assignment().unwrap();
+        // Every app keeps at least one thread; the compute app dominates.
+        for app in 0..4 {
+            assert!(assignment.app_total(app) >= 1);
+        }
+        assert!(assignment.app_total(3) > assignment.app_total(0));
+        // Non-period tick with unchanged search: silent.
+        let cmds2 = p.tick(&stats, 1);
+        assert!(cmds2.iter().all(|c| c.is_none()));
+    }
+
+    #[test]
+    fn library_burst_shifts_and_restores() {
+        let mut p = LibraryBurst::new(0, 1, 8);
+        // Library idle at first tick: explicit idle commands.
+        let idle = vec![fake_stats("main", &[], 0), fake_stats("lib", &[], 0)];
+        let cmds = p.tick(&idle, 0);
+        assert_eq!(cmds[1], Some(ThreadCommand::TotalThreads(0)));
+        assert_eq!(cmds[0], Some(ThreadCommand::TotalThreads(8)));
+        // Burst begins.
+        let busy = vec![fake_stats("main", &[], 0), fake_stats("lib", &[], 5)];
+        let cmds = p.tick(&busy, 1);
+        assert_eq!(cmds[1], Some(ThreadCommand::TotalThreads(7)));
+        assert_eq!(cmds[0], Some(ThreadCommand::TotalThreads(1)));
+        // Still busy: no repeated commands.
+        assert!(p.tick(&busy, 2).iter().all(|c| c.is_none()));
+        // Burst ends: cores return.
+        let cmds = p.tick(&idle, 3);
+        assert_eq!(cmds[0], Some(ThreadCommand::TotalThreads(8)));
+        assert_eq!(cmds[1], Some(ThreadCommand::TotalThreads(0)));
+    }
+}
+
+/// Chains several policies: each tick, every sub-policy sees the same
+/// stats; the *last* sub-policy to issue a command for a runtime wins that
+/// tick. Use to layer a slow model-guided repartitioner under a fast
+/// reactive throttle, mirroring the paper's suggestion that coarse
+/// partitioning and fine adjustment are separate concerns.
+pub struct Chain {
+    policies: Vec<Box<dyn crate::Policy>>,
+}
+
+impl Chain {
+    /// Creates a chain from sub-policies (earlier = lower precedence).
+    pub fn new(policies: Vec<Box<dyn crate::Policy>>) -> Self {
+        Chain { policies }
+    }
+}
+
+impl crate::Policy for Chain {
+    fn tick(&mut self, stats: &[RuntimeStats], tick: u64) -> Vec<Option<ThreadCommand>> {
+        let mut merged: Vec<Option<ThreadCommand>> = vec![None; stats.len()];
+        for p in self.policies.iter_mut() {
+            for (slot, cmd) in merged.iter_mut().zip(p.tick(stats, tick)) {
+                if cmd.is_some() {
+                    *slot = cmd;
+                }
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod chain_tests {
+    use super::*;
+    use crate::Policy;
+    use std::collections::HashMap;
+
+    struct Fixed(usize, Option<ThreadCommand>);
+    impl Policy for Fixed {
+        fn tick(&mut self, stats: &[RuntimeStats], _t: u64) -> Vec<Option<ThreadCommand>> {
+            let mut out = vec![None; stats.len()];
+            out[self.0] = self.1.clone();
+            out
+        }
+    }
+
+    fn stats(n: usize) -> Vec<RuntimeStats> {
+        (0..n)
+            .map(|i| RuntimeStats {
+                name: format!("r{i}"),
+                tasks_executed: 0,
+                tasks_panicked: 0,
+                tasks_spawned: 0,
+                tasks_ready: 0,
+                tasks_pending: 0,
+                running_workers: 0,
+                blocked_workers: 0,
+                external_threads: 0,
+                per_node: vec![],
+                user_counters: HashMap::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn later_policies_override_earlier_ones() {
+        let mut chain = Chain::new(vec![
+            Box::new(Fixed(0, Some(ThreadCommand::TotalThreads(8)))),
+            Box::new(Fixed(0, Some(ThreadCommand::TotalThreads(2)))),
+            Box::new(Fixed(1, Some(ThreadCommand::TotalThreads(4)))),
+        ]);
+        let cmds = chain.tick(&stats(2), 0);
+        assert_eq!(cmds[0], Some(ThreadCommand::TotalThreads(2)));
+        assert_eq!(cmds[1], Some(ThreadCommand::TotalThreads(4)));
+    }
+
+    #[test]
+    fn none_passes_through() {
+        let mut chain = Chain::new(vec![
+            Box::new(Fixed(0, Some(ThreadCommand::TotalThreads(8)))),
+            Box::new(Fixed(0, None)),
+        ]);
+        let cmds = chain.tick(&stats(1), 0);
+        // The second policy issued nothing, so the first still applies.
+        assert_eq!(cmds[0], Some(ThreadCommand::TotalThreads(8)));
+    }
+
+    #[test]
+    fn empty_chain_is_silent() {
+        let mut chain = Chain::new(vec![]);
+        assert!(chain.tick(&stats(3), 0).iter().all(|c| c.is_none()));
+    }
+}

@@ -1,0 +1,188 @@
+//! Channel-based agent/runtime protocol.
+//!
+//! The paper's agent is a *separate process* talking to the runtimes over
+//! IPC. In this reproduction the same message protocol runs over
+//! `crossbeam` channels (see the substitution notes in `DESIGN.md`):
+//! the agent owns an [`AgentSideEndpoint`] (a [`RuntimeHandle`]), the
+//! runtime side runs a [`RuntimeSideEndpoint`] pump on its own thread.
+//! Structurally this is Figure 1; only the transport differs.
+
+use crate::{AgentError, Result, RuntimeHandle};
+use coop_runtime::{Runtime, RuntimeStats, ThreadCommand};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Requests the agent sends to a runtime.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Ask for a statistics snapshot.
+    GetStats,
+    /// Apply a thread-control command.
+    Apply(ThreadCommand),
+    /// Stop the endpoint pump (the runtime itself is not affected).
+    Close,
+}
+
+/// Responses a runtime sends back.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A statistics snapshot.
+    Stats(RuntimeStats),
+    /// Command applied successfully.
+    Ok,
+    /// Command rejected.
+    Err(String),
+}
+
+/// Agent-side endpoint; implements [`RuntimeHandle`] over the channel.
+pub struct AgentSideEndpoint {
+    name: String,
+    req: Sender<Request>,
+    resp: Receiver<Response>,
+    timeout: Duration,
+}
+
+/// Runtime-side endpoint pump handle; joins on drop.
+pub struct RuntimeSideEndpoint {
+    req: Sender<Request>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Connects a runtime to a fresh channel pair and spawns the runtime-side
+/// pump thread. Returns the agent-side handle and the pump handle (keep
+/// the latter alive for the duration of the session).
+pub fn connect(runtime: Arc<Runtime>) -> (AgentSideEndpoint, RuntimeSideEndpoint) {
+    let (req_tx, req_rx) = bounded::<Request>(16);
+    let (resp_tx, resp_rx) = bounded::<Response>(16);
+    let name = runtime.name().to_string();
+
+    let pump_runtime = Arc::clone(&runtime);
+    let thread = std::thread::Builder::new()
+        .name(format!("{name}-endpoint"))
+        .spawn(move || {
+            while let Ok(req) = req_rx.recv() {
+                let resp = match req {
+                    Request::GetStats => {
+                        Response::Stats(coop_runtime::Runtime::stats(&pump_runtime))
+                    }
+                    Request::Apply(cmd) => match pump_runtime.control().apply(cmd) {
+                        Ok(()) => Response::Ok,
+                        Err(e) => Response::Err(e.to_string()),
+                    },
+                    Request::Close => break,
+                };
+                if resp_tx.send(resp).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawning endpoint pump");
+
+    (
+        AgentSideEndpoint {
+            name,
+            req: req_tx.clone(),
+            resp: resp_rx,
+            timeout: Duration::from_secs(5),
+        },
+        RuntimeSideEndpoint {
+            req: req_tx,
+            thread: Some(thread),
+        },
+    )
+}
+
+impl AgentSideEndpoint {
+    fn roundtrip(&self, req: Request) -> Result<Response> {
+        self.req.send(req).map_err(|_| AgentError::Disconnected {
+            runtime: self.name.clone(),
+        })?;
+        match self.resp.recv_timeout(self.timeout) {
+            Ok(resp) => Ok(resp),
+            Err(RecvTimeoutError::Timeout) => Err(AgentError::Command {
+                runtime: self.name.clone(),
+                reason: "endpoint timed out".into(),
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(AgentError::Disconnected {
+                runtime: self.name.clone(),
+            }),
+        }
+    }
+}
+
+impl RuntimeHandle for AgentSideEndpoint {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn stats(&self) -> Result<RuntimeStats> {
+        match self.roundtrip(Request::GetStats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(AgentError::Command {
+                runtime: self.name.clone(),
+                reason: format!("unexpected response {other:?}"),
+            }),
+        }
+    }
+
+    fn command(&self, cmd: ThreadCommand) -> Result<()> {
+        match self.roundtrip(Request::Apply(cmd))? {
+            Response::Ok => Ok(()),
+            Response::Err(e) => Err(AgentError::Command {
+                runtime: self.name.clone(),
+                reason: e,
+            }),
+            other => Err(AgentError::Command {
+                runtime: self.name.clone(),
+                reason: format!("unexpected response {other:?}"),
+            }),
+        }
+    }
+}
+
+impl Drop for RuntimeSideEndpoint {
+    fn drop(&mut self) {
+        let _ = self.req.send(Request::Close);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coop_runtime::RuntimeConfig;
+    use numa_topology::presets::tiny;
+
+    #[test]
+    fn endpoint_round_trips_stats_and_commands() {
+        let rt = Arc::new(Runtime::start(RuntimeConfig::new("ep", tiny())).unwrap());
+        let (agent_side, _pump) = connect(Arc::clone(&rt));
+
+        assert_eq!(RuntimeHandle::name(&agent_side), "ep");
+        let stats = agent_side.stats().unwrap();
+        assert_eq!(stats.name, "ep");
+        assert_eq!(stats.running_workers, 4);
+
+        agent_side.command(ThreadCommand::TotalThreads(2)).unwrap();
+        assert!(rt
+            .control()
+            .wait_converged(Duration::from_secs(5), |run, _| run <= 2));
+
+        // Invalid commands surface as errors, not panics.
+        let err = agent_side.command(ThreadCommand::PerNode(vec![1]));
+        assert!(matches!(err, Err(AgentError::Command { .. })));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn endpoint_survives_runtime_shutdown() {
+        let rt = Arc::new(Runtime::start(RuntimeConfig::new("gone", tiny())).unwrap());
+        let (agent_side, _pump) = connect(Arc::clone(&rt));
+        rt.shutdown();
+        // Stats still answer (the runtime object is alive, just stopped).
+        assert!(agent_side.stats().is_ok());
+    }
+}

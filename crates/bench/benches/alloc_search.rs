@@ -1,0 +1,61 @@
+//! A-search: the allocation-search ablation from DESIGN.md — exhaustive
+//! vs greedy vs hill-climbing on the paper's machine. Criterion measures
+//! the cost; the `quality` group prints the achieved objective as a
+//! sanity anchor (greedy should match the uniform-exhaustive optimum here
+//! at a fraction of the evaluations).
+
+use coop_alloc::{search, Objective};
+use coop_workloads::apps::model_mix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use numa_topology::presets::paper_model_machine;
+use std::hint::black_box;
+
+fn bench_searches(c: &mut Criterion) {
+    let machine = paper_model_machine();
+    let apps = model_mix();
+
+    let mut g = c.benchmark_group("alloc_search");
+    g.sample_size(20);
+    g.bench_function("exhaustive_uniform", |b| {
+        b.iter(|| {
+            search::ExhaustiveSearch::new()
+                .run(black_box(&machine), black_box(&apps), Objective::TotalGflops)
+                .unwrap()
+        })
+    });
+    g.bench_function("greedy", |b| {
+        b.iter(|| {
+            search::GreedySearch::new()
+                .run(black_box(&machine), black_box(&apps), Objective::TotalGflops)
+                .unwrap()
+        })
+    });
+    g.bench_function("hill_climb_1000", |b| {
+        b.iter(|| {
+            search::HillClimb::new()
+                .with_iterations(1000)
+                .run(black_box(&machine), black_box(&apps), Objective::TotalGflops)
+                .unwrap()
+        })
+    });
+    g.finish();
+
+    // Quality anchor, printed once.
+    let ex = search::ExhaustiveSearch::new()
+        .run(&machine, &apps, Objective::TotalGflops)
+        .unwrap();
+    let gr = search::GreedySearch::new()
+        .run(&machine, &apps, Objective::TotalGflops)
+        .unwrap();
+    let hc = search::HillClimb::new()
+        .with_iterations(1000)
+        .run(&machine, &apps, Objective::TotalGflops)
+        .unwrap();
+    println!(
+        "quality (GFLOPS / evaluations): exhaustive {:.1}/{}  greedy {:.1}/{}  hill-climb {:.1}/{}",
+        ex.score, ex.evaluations, gr.score, gr.evaluations, hc.score, hc.evaluations
+    );
+}
+
+criterion_group!(benches, bench_searches);
+criterion_main!(benches);

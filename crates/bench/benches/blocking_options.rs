@@ -1,0 +1,63 @@
+//! A-blocking: convergence latency of the paper's three thread-blocking
+//! options. The paper claims blocking happens at the next task boundary
+//! (or immediately when idle) and unblocking is "nearly immediate"; this
+//! bench measures the command-to-converged latency for each option on an
+//! idle runtime.
+
+use coop_runtime::{Runtime, RuntimeConfig, ThreadCommand};
+use criterion::{criterion_group, criterion_main, Criterion};
+use numa_topology::presets::paper_model_machine;
+use numa_topology::CpuSet;
+use std::time::Duration;
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocking_options");
+    g.sample_size(20);
+
+    // Option 1: total thread count. Measure shrink to half + restore.
+    g.bench_function("option1_total_threads", |b| {
+        let rt = Runtime::start(RuntimeConfig::new("opt1", paper_model_machine())).unwrap();
+        let ctl = rt.control();
+        b.iter(|| {
+            ctl.apply(ThreadCommand::TotalThreads(16)).unwrap();
+            assert!(ctl.wait_converged(Duration::from_secs(5), |run, _| run <= 16));
+            ctl.apply(ThreadCommand::Unrestricted).unwrap();
+            assert!(ctl.wait_converged(Duration::from_secs(5), |run, _| run == 32));
+        });
+        rt.shutdown();
+    });
+
+    // Option 2: individual cores.
+    g.bench_function("option2_individual_cores", |b| {
+        let rt = Runtime::start(RuntimeConfig::new("opt2", paper_model_machine())).unwrap();
+        let ctl = rt.control();
+        let half = CpuSet::from_range(0, 16);
+        b.iter(|| {
+            ctl.apply(ThreadCommand::BlockCores(half.clone())).unwrap();
+            assert!(ctl.wait_converged(Duration::from_secs(5), |run, _| run == 16));
+            ctl.apply(ThreadCommand::Unrestricted).unwrap();
+            assert!(ctl.wait_converged(Duration::from_secs(5), |run, _| run == 32));
+        });
+        rt.shutdown();
+    });
+
+    // Option 3: threads per NUMA node.
+    g.bench_function("option3_per_node", |b| {
+        let rt = Runtime::start(RuntimeConfig::new("opt3", paper_model_machine())).unwrap();
+        let ctl = rt.control();
+        b.iter(|| {
+            ctl.apply(ThreadCommand::PerNode(vec![4, 4, 4, 4])).unwrap();
+            assert!(ctl.wait_converged(Duration::from_secs(5), |_, per| {
+                per.iter().all(|&p| p <= 4)
+            }));
+            ctl.apply(ThreadCommand::Unrestricted).unwrap();
+            assert!(ctl.wait_converged(Duration::from_secs(5), |run, _| run == 32));
+        });
+        rt.shutdown();
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

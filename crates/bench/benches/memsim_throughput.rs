@@ -1,0 +1,49 @@
+//! A-sim: simulator throughput — simulated seconds per wall second for the
+//! Table III machine, and the cost of the effect model vs the ideal path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use memsim::{EffectModel, SimConfig, Simulation};
+use coop_workloads::apps::{sim_apps, skylake_bad_mix, skylake_mix};
+use numa_topology::presets::paper_skylake_machine;
+use numa_topology::NodeId;
+use roofline_numa::ThreadAssignment;
+use std::hint::black_box;
+
+const SIM_SECONDS: f64 = 0.05;
+
+fn bench_sim(c: &mut Criterion) {
+    let machine = paper_skylake_machine();
+    let even = ThreadAssignment::uniform_per_node(&machine, &[5, 5, 5, 5]);
+    let local = sim_apps(&skylake_mix());
+    let bad = sim_apps(&skylake_bad_mix(NodeId(0)));
+
+    let mut g = c.benchmark_group("memsim");
+    g.throughput(Throughput::Elements((SIM_SECONDS / 1e-3) as u64)); // quanta
+    g.sample_size(20);
+
+    g.bench_function("ideal_local", |b| {
+        let sim = Simulation::new(
+            SimConfig::new(machine.clone()).with_effects(EffectModel::ideal()),
+        );
+        b.iter(|| black_box(sim.run(&local, &even, SIM_SECONDS).unwrap()))
+    });
+
+    g.bench_function("skylake_effects_local", |b| {
+        let sim = Simulation::new(
+            SimConfig::new(machine.clone()).with_effects(EffectModel::skylake_like()),
+        );
+        b.iter(|| black_box(sim.run(&local, &even, SIM_SECONDS).unwrap()))
+    });
+
+    g.bench_function("skylake_effects_crossnode", |b| {
+        let sim = Simulation::new(
+            SimConfig::new(machine.clone()).with_effects(EffectModel::skylake_like()),
+        );
+        b.iter(|| black_box(sim.run(&bad, &even, SIM_SECONDS).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benchmarks of the decision-support tooling built on the model: sweeps,
+//! consensus resolution, the stability planner, and simulated annealing.
+
+use coop_agent::consensus::{resolve, DemandProfile};
+use coop_alloc::{search::SimulatedAnnealing, Objective, ReallocPlanner};
+use coop_alloc::strategies;
+use coop_workloads::apps::model_mix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use numa_topology::presets::{paper_model_machine, paper_skylake_machine};
+use roofline_numa::{sweep, AppSpec};
+use std::hint::black_box;
+
+fn bench_tools(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_tools");
+    g.sample_size(20);
+
+    let machine = paper_model_machine();
+    let apps = model_mix();
+
+    g.bench_function("thread_sweep_full_node", |b| {
+        let mem = vec![AppSpec::numa_local("mem", 0.5)];
+        b.iter(|| black_box(sweep::thread_sweep(&machine, &mem, 0, &[0]).unwrap()))
+    });
+
+    g.bench_function("consensus_resolve_4_apps", |b| {
+        let profiles: Vec<DemandProfile> = apps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| DemandProfile::new(s.clone(), 1.0 + i as f64 * 0.5))
+            .collect();
+        b.iter(|| black_box(resolve(&machine, &profiles)))
+    });
+
+    g.bench_function("realloc_plan_fair_to_best", |b| {
+        let current = strategies::fair_share(&machine, apps.len()).unwrap();
+        let planner = ReallocPlanner::new(Objective::TotalGflops, 1.0);
+        b.iter(|| black_box(planner.plan(&machine, &apps, &current).unwrap()))
+    });
+
+    g.bench_function("annealing_1000_iters_skylake", |b| {
+        let m = paper_skylake_machine();
+        let mix = coop_workloads::apps::skylake_mix();
+        b.iter(|| {
+            black_box(
+                SimulatedAnnealing::new()
+                    .with_iterations(1000)
+                    .run(&m, &mix, Objective::TotalGflops)
+                    .unwrap(),
+            )
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tools);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Microbenchmarks of the paper-scenario computations themselves: how long
+//! each table/figure regeneration takes. These double as regression
+//! anchors — every iteration re-asserts the paper's headline numbers, so a
+//! solver change that breaks the reproduction fails the bench loudly.
+
+use coop_bench::experiments::{fig3, table12};
+use criterion::{criterion_group, criterion_main, Criterion};
+use coop_workloads::apps::{skylake_bad_mix, skylake_mix};
+use numa_topology::presets::paper_skylake_machine;
+use numa_topology::NodeId;
+use roofline_numa::{solve, ThreadAssignment};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_tables");
+
+    g.bench_function("table1_trace", |b| {
+        b.iter(|| {
+            let t = table12::table1();
+            assert!((t.total_gflops - 254.0).abs() < 1e-9);
+            black_box(t)
+        })
+    });
+
+    g.bench_function("table2_trace", |b| {
+        b.iter(|| {
+            let t = table12::table2();
+            assert!((t.total_gflops - 140.0).abs() < 1e-9);
+            black_box(t)
+        })
+    });
+
+    g.bench_function("figure2_all_scenarios", |b| {
+        b.iter(|| {
+            let t = table12::figure2();
+            assert!(t.max_deviation() < 1e-9);
+            black_box(t)
+        })
+    });
+
+    g.bench_function("figure3_crossnode", |b| {
+        b.iter(|| {
+            let t = fig3::figure3();
+            assert!(t.max_deviation() < 0.01);
+            black_box(t)
+        })
+    });
+
+    // Table III model column only (the simulation side is covered by the
+    // memsim_throughput bench).
+    g.bench_function("table3_model_column", |b| {
+        let machine = paper_skylake_machine();
+        let local = skylake_mix();
+        let bad = skylake_bad_mix(NodeId(0));
+        let uneven = ThreadAssignment::uniform_per_node(&machine, &[1, 1, 1, 17]);
+        let even = ThreadAssignment::uniform_per_node(&machine, &[5, 5, 5, 5]);
+        let per_node = ThreadAssignment::node_per_app(&machine, 4).unwrap();
+        b.iter(|| {
+            let r1 = solve(&machine, &local, &uneven).unwrap().total_gflops();
+            let r2 = solve(&machine, &local, &even).unwrap().total_gflops();
+            let r3 = solve(&machine, &local, &per_node).unwrap().total_gflops();
+            let r4 = solve(&machine, &bad, &even).unwrap().total_gflops();
+            assert!((r1 - 23.20).abs() < 5e-3);
+            assert!((r2 - 18.12).abs() < 5e-3);
+            assert!((r3 - 15.18).abs() < 5e-3);
+            assert!((r4 - 13.98).abs() < 5e-3);
+            black_box((r1, r2, r3, r4))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

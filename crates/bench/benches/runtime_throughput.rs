@@ -1,0 +1,85 @@
+//! A-runtime: task-runtime overheads — spawn/execute throughput for
+//! independent tasks, dependency-chained tasks, and fan-out/fan-in
+//! diamonds, on a small virtual machine.
+
+use coop_runtime::{Runtime, RuntimeConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use numa_topology::presets::tiny;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const TASKS: u64 = 500;
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    g.throughput(Throughput::Elements(TASKS));
+    g.sample_size(20);
+
+    g.bench_function("independent_tasks", |b| {
+        b.iter_with_setup(
+            || Runtime::start(RuntimeConfig::new("bench", tiny())).unwrap(),
+            |rt| {
+                let count = Arc::new(AtomicU64::new(0));
+                for i in 0..TASKS {
+                    let count = count.clone();
+                    rt.task(&format!("t{i}"))
+                        .body(move |_| {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        })
+                        .spawn()
+                        .unwrap();
+                }
+                rt.wait_quiescent().unwrap();
+                assert_eq!(count.load(Ordering::Relaxed), TASKS);
+                rt.shutdown();
+            },
+        )
+    });
+
+    g.bench_function("dependency_chain", |b| {
+        b.iter_with_setup(
+            || Runtime::start(RuntimeConfig::new("bench", tiny())).unwrap(),
+            |rt| {
+                let mut prev: Option<coop_runtime::Event> = None;
+                for i in 0..TASKS {
+                    let mut builder = rt.task(&format!("t{i}"));
+                    if let Some(ev) = &prev {
+                        builder = builder.depends_on(ev);
+                    }
+                    let (_, finish) = builder.body(|_| {}).spawn_with_finish().unwrap();
+                    prev = Some(finish);
+                }
+                rt.wait_quiescent().unwrap();
+                rt.shutdown();
+            },
+        )
+    });
+
+    g.bench_function("fanout_fanin_diamonds", |b| {
+        b.iter_with_setup(
+            || Runtime::start(RuntimeConfig::new("bench", tiny())).unwrap(),
+            |rt| {
+                let width = 10u64;
+                let rounds = TASKS / width;
+                for _ in 0..rounds {
+                    let latch = rt.new_latch_event(width);
+                    rt.task("join").depends_on(&latch).body(|_| {}).spawn().unwrap();
+                    for i in 0..width {
+                        let latch = latch.clone();
+                        rt.task(&format!("leg{i}"))
+                            .body(move |ctx| ctx.satisfy(&latch))
+                            .spawn()
+                            .unwrap();
+                    }
+                }
+                rt.wait_quiescent().unwrap();
+                rt.shutdown();
+            },
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

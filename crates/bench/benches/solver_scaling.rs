@@ -1,0 +1,61 @@
+//! A-solver: how the analytic solver's cost scales with machine size and
+//! application count. The solver sits on the agent's hot path (the
+//! model-guided policy may call it thousands of times per repartition), so
+//! its absolute cost matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numa_topology::MachineBuilder;
+use roofline_numa::{solve, AppSpec, ThreadAssignment};
+use std::hint::black_box;
+
+fn machine(nodes: usize, cores: usize) -> numa_topology::Machine {
+    MachineBuilder::new()
+        .symmetric_nodes(nodes, cores)
+        .core_peak_gflops(10.0)
+        .node_bandwidth_gbs(64.0)
+        .uniform_link_gbs(12.0)
+        .build()
+        .unwrap()
+}
+
+fn mixed_apps(n: usize, nodes: usize) -> Vec<AppSpec> {
+    (0..n)
+        .map(|i| {
+            if i % 3 == 2 {
+                AppSpec::numa_bad(&format!("bad{i}"), 1.0 / (i + 1) as f64, numa_topology::NodeId(i % nodes))
+            } else {
+                AppSpec::numa_local(&format!("app{i}"), 0.25 * (i + 1) as f64)
+            }
+        })
+        .collect()
+}
+
+fn bench_nodes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver/nodes");
+    for nodes in [2usize, 4, 8, 16] {
+        let m = machine(nodes, 16);
+        let apps = mixed_apps(4, nodes);
+        let a = ThreadAssignment::uniform_per_node(&m, &[4, 4, 4, 4]);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| solve(black_box(&m), black_box(&apps), black_box(&a)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver/apps");
+    let m = machine(4, 32);
+    for napps in [2usize, 4, 8, 16] {
+        let apps = mixed_apps(napps, 4);
+        let counts = vec![32 / napps; napps];
+        let a = ThreadAssignment::uniform_per_node(&m, &counts);
+        g.bench_with_input(BenchmarkId::from_parameter(napps), &napps, |b, _| {
+            b.iter(|| solve(black_box(&m), black_box(&apps), black_box(&a)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nodes, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! E-dist: translating on-node speedup to overall distributed speedup (§V).
+fn main() {
+    println!("{}", coop_bench::experiments::dist::run(16, 6400, 42));
+    println!("paper (§V): tight synchronization limits the benefit; loose");
+    println!("synchronization translates most of the local speedup.");
+}

@@ -1,0 +1,8 @@
+//! E-e2e: composed experiment — on-node model-guided allocation gains
+//! (memsim) translated to cluster-level speedup (distsim).
+fn main() {
+    println!("{}", coop_bench::experiments::e2e::run(12, 0.1));
+    println!("Per-node gains come from real allocation searches measured in the");
+    println!("effectful simulator; the distributed layer then shows how much of the");
+    println!("mean survives each synchronization/distribution regime (SV).");
+}

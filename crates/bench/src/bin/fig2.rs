@@ -1,0 +1,5 @@
+//! Regenerates Figure 2: the three allocation scenarios of the worked
+//! model example (uneven / even / node-per-application).
+fn main() {
+    println!("{}", coop_bench::experiments::table12::figure2());
+}

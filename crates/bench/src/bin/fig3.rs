@@ -1,0 +1,7 @@
+//! Regenerates Figure 3: the NUMA-bad application case where whole-node
+//! allocation beats the even split (reversing the Figure 2 ranking).
+fn main() {
+    println!("{}", coop_bench::experiments::fig3::figure3());
+    println!("note: machine bandwidths are the documented fit (DESIGN.md §2);");
+    println!("the paper reports 138 and 150 GFLOPS for the first two rows.");
+}

@@ -1,0 +1,33 @@
+//! Runs every reproduction experiment in order (Tables I-III, Figures 1-3,
+//! and the extension experiments from DESIGN.md).
+use coop_bench::experiments::*;
+use numa_topology::presets::{dual_socket, paper_model_machine, tiny};
+
+fn main() {
+    println!("================ Table I ================\n{}", table12::table1());
+    println!("================ Table II ===============\n{}", table12::table2());
+    println!("================ Figure 2 ===============\n{}", table12::figure2());
+    println!("================ Figure 3 ===============\n{}", fig3::figure3());
+    let t3 = table3::run(0.2);
+    println!("================ Table III ==============\n{t3}");
+    println!("{}", t3.model_table());
+    println!("{}", t3.real_table());
+    println!("=============== Figure 1 ================");
+    println!("{}", fig1::run(&fig1::Fig1Config::new(tiny())));
+    println!("=============== E-osched ================");
+    let m = paper_model_machine();
+    println!("{}", oversub::run(&m, 2, 10.0, 0.1));
+    println!("=============== E-sublin ================");
+    let r = sublinear::run(&dual_socket(), 0.25, 0.05);
+    println!("{}", r.table);
+    println!(
+        "searched: sublinear {} threads, linear {} threads\n",
+        r.sublinear_threads, r.linear_threads
+    );
+    println!("=============== E-library ===============");
+    println!("{}", library::run(&dual_socket(), 1.0));
+    println!("=============== E-dist ==================");
+    println!("{}", dist::run(16, 6400, 42));
+    println!("=============== E-e2e ===================");
+    println!("{}", e2e::run(12, 0.1));
+}

@@ -1,0 +1,14 @@
+//! E-sublin: shifting cores away from a sub-linearly scaling application
+//! (§II claim).
+use numa_topology::presets::dual_socket;
+
+fn main() {
+    for alpha in [0.0, 0.1, 0.25, 0.5] {
+        let r = coop_bench::experiments::sublinear::run(&dual_socket(), alpha, 0.05);
+        println!("{}", r.table);
+        println!(
+            "searched allocation: sublinear app {} threads, linear app {} threads\n",
+            r.sublinear_threads, r.linear_threads
+        );
+    }
+}

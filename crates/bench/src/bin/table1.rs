@@ -1,0 +1,9 @@
+//! Regenerates Table I of the paper: the uneven (1,1,1,5) allocation,
+//! every intermediate row.
+fn main() {
+    println!("Table I — uneven thread allocation (1,1,1,5)");
+    println!("machine: 4 NUMA nodes x 8 cores, 10 GFLOPS/core, 32 GB/s/node\n");
+    let trace = coop_bench::experiments::table12::table1();
+    println!("{trace}");
+    println!("paper bottom line: 63.5 GFLOPS/node, 254 GFLOPS total");
+}

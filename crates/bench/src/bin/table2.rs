@@ -1,0 +1,9 @@
+//! Regenerates Table II of the paper: the even (2,2,2,2) allocation,
+//! every intermediate row.
+fn main() {
+    println!("Table II — even thread allocation (2,2,2,2)");
+    println!("machine: 4 NUMA nodes x 8 cores, 10 GFLOPS/core, 32 GB/s/node\n");
+    let trace = coop_bench::experiments::table12::table2();
+    println!("{trace}");
+    println!("paper bottom line: 35 GFLOPS/node, 140 GFLOPS total");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table III: the full §III.B procedure — simulate the
+//! benchmark on 'real' hardware (memsim), calibrate the model from the
+//! even scenario, predict all five scenarios, compare.
+fn main() {
+    let t = coop_bench::experiments::table3::run(0.2);
+    println!("Table III — model vs (simulated) real hardware\n");
+    println!("{t}");
+    println!("\n{}", t.model_table());
+    println!("{}", t.real_table());
+}

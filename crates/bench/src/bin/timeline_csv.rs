@@ -1,0 +1,44 @@
+//! Dumps per-application GFLOPS time series as CSV for external plotting —
+//! e.g. the library-burst scenario's resource shifts over time.
+//!
+//! Usage: `cargo run -p coop-bench --bin timeline_csv > series.csv`
+
+use memsim::{ActivityPattern, EffectModel, SimApp, SimConfig, Simulation};
+use numa_topology::presets::dual_socket;
+use roofline_numa::ThreadAssignment;
+
+fn main() {
+    let machine = dual_socket();
+    let sim = Simulation::new(
+        SimConfig::new(machine.clone())
+            .with_effects(EffectModel::ideal())
+            .with_quantum(1e-3),
+    );
+    let apps = vec![
+        SimApp::numa_local("main", 8.0),
+        SimApp::numa_local("library", 8.0).with_activity(ActivityPattern::Bursts {
+            period_s: 0.2,
+            duty: 0.3,
+            phase_s: 0.0,
+        }),
+    ];
+    // Burst-shifting schedule, like the library_burst experiment.
+    let burst = ThreadAssignment::from_matrix(vec![vec![1, 1], vec![15, 15]]);
+    let idle = ThreadAssignment::from_matrix(vec![vec![16, 16], vec![0, 0]]);
+    let mut schedule = Vec::new();
+    let mut t = 0.0;
+    while t < 1.0 {
+        schedule.push((t, burst.clone()));
+        schedule.push((t + 0.06, idle.clone()));
+        t += 0.2;
+    }
+    let r = sim.run_dynamic(&apps, &schedule, 1.0).unwrap();
+
+    println!("time_s,main_gflops,library_gflops");
+    for i in 0..r.apps[0].times_s.len() {
+        println!(
+            "{:.4},{:.2},{:.2}",
+            r.apps[0].times_s[i], r.apps[0].gflops_series[i], r.apps[1].gflops_series[i]
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! E-osched: the §II over-subscription claim.
+//!
+//! "Normally, each application would create and use as many worker threads
+//! as there are cores, leading to significant over-subscription. ... Our
+//! earlier experiments have shown that in most cases, the Linux operating
+//! system can do a very good job when scheduling the threads of such
+//! applications, so the benefits of the thread allocation techniques may
+//! not be as good as one would imagine — only marginal (a few percent)
+//! improvement in performance."
+//!
+//! This experiment quantifies that: `n` identical applications each run
+//! either a full machine's worth of threads (the default, over-subscribed
+//! n-fold) or a fair share (coordinated, no over-subscription), on the
+//! `memsim` OS scheduler.
+
+use crate::report::{Row, Table};
+use coop_alloc::strategies;
+use memsim::{EffectModel, SimApp, SimConfig, Simulation};
+use numa_topology::Machine;
+use roofline_numa::ThreadAssignment;
+
+/// Runs the over-subscription comparison for `num_apps` identical
+/// applications with the given AI on `machine`.
+pub fn run(machine: &Machine, num_apps: usize, ai: f64, duration_s: f64) -> Table {
+    let sim = Simulation::new(
+        SimConfig::new(machine.clone()).with_effects(EffectModel::skylake_like()),
+    );
+    let apps: Vec<SimApp> = (0..num_apps)
+        .map(|i| SimApp::numa_local(&format!("app{i}"), ai))
+        .collect();
+
+    // Over-subscribed: every app runs cores-per-node threads on each node.
+    let full: Vec<usize> = machine.nodes().map(|n| n.num_cores()).collect();
+    let oversub = ThreadAssignment::from_matrix(vec![full; num_apps]);
+    // Fair share: total threads equal the core count.
+    let fair = strategies::fair_share(machine, num_apps).expect("fair share is valid");
+
+    let r_over = sim.run(&apps, &oversub, duration_s).expect("runs");
+    let r_fair = sim.run(&apps, &fair, duration_s).expect("runs");
+
+    // Ablation: the same over-subscription under the discrete round-robin
+    // scheduler instead of continuous fair shares.
+    let mut discrete = EffectModel::skylake_like();
+    discrete.discrete_timeslice = true;
+    let sim_discrete = Simulation::new(SimConfig::new(machine.clone()).with_effects(discrete));
+    let r_over_discrete = sim_discrete.run(&apps, &oversub, duration_s).expect("runs");
+
+    let mut t = Table::new(
+        &format!("Over-subscription: {num_apps} apps x full machine vs fair share (AI={ai})"),
+        "GFLOPS",
+    );
+    t.push(Row::new(
+        &format!("{num_apps}x over-subscribed"),
+        r_over.total_gflops(),
+    ));
+    t.push(Row::new(
+        &format!("{num_apps}x over-subscribed (discrete RR)"),
+        r_over_discrete.total_gflops(),
+    ));
+    t.push(Row::new("fair share (coordinated)", r_fair.total_gflops()));
+    t.push(Row::new(
+        "improvement %",
+        (r_fair.total_gflops() / r_over.total_gflops() - 1.0) * 100.0,
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topology::presets::paper_model_machine;
+
+    #[test]
+    fn fair_share_wins_by_only_a_few_percent() {
+        // Compute-bound apps: over-subscription costs switching overhead
+        // only. The paper's claim: the win is marginal, not dramatic.
+        let t = run(&paper_model_machine(), 2, 10.0, 0.05);
+        let improvement = t.rows[3].measured;
+        assert!(
+            improvement > 0.0,
+            "coordination should help at least a little: {improvement}%"
+        );
+        assert!(
+            improvement < 10.0,
+            "the paper says a few percent, got {improvement}%"
+        );
+    }
+
+    #[test]
+    fn memory_bound_apps_see_even_less_benefit() {
+        // Bandwidth-bound apps are limited by the memory system either
+        // way; the scheduler overhead is hidden behind the bandwidth wall.
+        let t = run(&paper_model_machine(), 2, 0.1, 0.05);
+        let improvement = t.rows[3].measured;
+        assert!(
+            improvement.abs() < 5.0,
+            "bandwidth-bound: negligible difference, got {improvement}%"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Tables I & II and Figure 2: the worked model examples.
+
+use crate::report::{Row, Table};
+use coop_workloads::apps::model_mix;
+use numa_topology::presets::paper_model_machine;
+use roofline_numa::trace::{solve_traced, TableTrace};
+use roofline_numa::{solve, ThreadAssignment};
+
+/// Runs the Table I computation (uneven allocation 1,1,1,5) and returns
+/// the full row-by-row trace.
+pub fn table1() -> TableTrace {
+    let machine = paper_model_machine();
+    let (_, trace) =
+        solve_traced(&machine, &model_mix(), &[1, 1, 1, 5]).expect("paper scenario is valid");
+    trace
+}
+
+/// Runs the Table II computation (even allocation 2,2,2,2).
+pub fn table2() -> TableTrace {
+    let machine = paper_model_machine();
+    let (_, trace) =
+        solve_traced(&machine, &model_mix(), &[2, 2, 2, 2]).expect("paper scenario is valid");
+    trace
+}
+
+/// Runs all three Figure 2 scenarios and returns the comparison table.
+pub fn figure2() -> Table {
+    let machine = paper_model_machine();
+    let apps = model_mix();
+
+    let uneven = ThreadAssignment::uniform_per_node(&machine, &[1, 1, 1, 5]);
+    let even = ThreadAssignment::uniform_per_node(&machine, &[2, 2, 2, 2]);
+    let whole = ThreadAssignment::node_per_app(&machine, 4).expect("4 apps on 4 nodes");
+
+    let mut t = Table::new("Figure 2: three allocation scenarios", "GFLOPS");
+    for (label, paper, assignment) in [
+        ("a) uneven (1,1,1,5)", 254.0, &uneven),
+        ("b) even (2,2,2,2)", 140.0, &even),
+        ("c) node per app", 128.0, &whole),
+    ] {
+        let r = solve(&machine, &apps, assignment).expect("paper scenario is valid");
+        t.push(Row::with_paper(label, paper, r.total_gflops()));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_bottom_line() {
+        let t = table1();
+        assert!((t.gflops_per_node - 63.5).abs() < 1e-9);
+        assert!((t.total_gflops - 254.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_bottom_line() {
+        let t = table2();
+        assert!((t.gflops_per_node - 35.0).abs() < 1e-9);
+        assert!((t.total_gflops - 140.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure2_matches_paper_exactly() {
+        let t = figure2();
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.max_deviation() < 1e-9, "deviation {}", t.max_deviation());
+        // Ranking: uneven > even > whole-node (the paper's point).
+        assert!(t.rows[0].measured > t.rows[1].measured);
+        assert!(t.rows[1].measured > t.rows[2].measured);
+    }
+}

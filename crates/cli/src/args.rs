@@ -1,0 +1,384 @@
+//! Argument parsing (plain `std`, no external parser).
+
+use crate::{CliError, Result};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+    /// Emit JSON instead of text (`--json`).
+    pub json: bool,
+}
+
+/// Application placement, as written on the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementArg {
+    /// `local`
+    Local,
+    /// `nodeK`
+    Node(usize),
+    /// `spread`
+    Spread,
+}
+
+/// One `--app name:placement:ai` argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppArg {
+    /// Application name.
+    pub name: String,
+    /// Placement.
+    pub placement: PlacementArg,
+    /// Arithmetic intensity (FLOP/byte).
+    pub ai: f64,
+}
+
+/// Search method for `coop-cli search`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchMethod {
+    /// Greedy constructive (default).
+    #[default]
+    Greedy,
+    /// Exhaustive over uniform allocations.
+    Exhaustive,
+    /// Hill climbing.
+    Hill,
+    /// Simulated annealing.
+    Anneal,
+}
+
+/// Subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `detect` — show the host topology.
+    Detect,
+    /// `machines` — list preset machines.
+    Machines,
+    /// `show --machine M` — dump a machine as JSON.
+    Show {
+        /// Preset name or JSON path.
+        machine: String,
+    },
+    /// `solve --machine M --app .. --counts a,b,..` — score an allocation.
+    Solve {
+        /// Preset name or JSON path.
+        machine: String,
+        /// Applications.
+        apps: Vec<AppArg>,
+        /// Uniform per-node thread counts, one per app.
+        counts: Vec<usize>,
+        /// Append a bottleneck analysis (`--explain`).
+        explain: bool,
+    },
+    /// `search --machine M --app .. [--method m] [--keep-alive]`.
+    Search {
+        /// Preset name or JSON path.
+        machine: String,
+        /// Applications.
+        apps: Vec<AppArg>,
+        /// Optimizer.
+        method: SearchMethod,
+        /// Require every app to keep at least one thread.
+        keep_alive: bool,
+        /// Seed for stochastic methods.
+        seed: u64,
+    },
+    /// `sweep --machine M --app ..` — thread-scaling curve for one app.
+    Sweep {
+        /// Preset name or JSON path.
+        machine: String,
+        /// The application to sweep (exactly one).
+        app: AppArg,
+    },
+    /// `pareto --machine M --app ..` — throughput/fairness frontier.
+    Pareto {
+        /// Preset name or JSON path.
+        machine: String,
+        /// Applications.
+        apps: Vec<AppArg>,
+    },
+    /// `simulate --scenario FILE` — run a declarative memsim scenario.
+    Simulate {
+        /// Path to a scenario JSON file, or None with `--write-template`.
+        scenario: Option<String>,
+        /// Emit the template scenario JSON instead of running.
+        write_template: bool,
+    },
+    /// `help`.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+coop-cli — NUMA-aware core allocation toolkit
+
+USAGE:
+  coop-cli <COMMAND> [OPTIONS] [--json]
+
+COMMANDS:
+  detect                       show the host topology (Linux sysfs; falls back to 1 node)
+  machines                     list preset machines
+  show    --machine <M>        print a machine description as JSON
+  solve   --machine <M> --app <SPEC>... --counts <a,b,..> [--explain]
+                               score a uniform per-node allocation with the model
+  search  --machine <M> --app <SPEC>... [--method greedy|exhaustive|hill|anneal]
+                               [--keep-alive] [--seed N]
+                               find a good allocation
+  sweep   --machine <M> --app <SPEC>
+                               thread-scaling curve for one application
+  pareto  --machine <M> --app <SPEC>...
+                               throughput/fairness Pareto frontier
+  simulate --scenario <FILE> | --write-template
+                               run (or emit a template for) a declarative
+                               memsim scenario
+  help                         this text
+
+APP SPEC:   name:placement:ai      placement = local | node<K> | spread
+MACHINE:    preset name (paper-model, paper-crossnode, paper-skylake,
+            dual-socket, knl, tiny, host) or a path to machine JSON
+";
+
+fn parse_app(spec: &str) -> Result<AppArg> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 {
+        return Err(CliError::usage(format!(
+            "bad --app '{spec}': expected name:placement:ai"
+        )));
+    }
+    let placement = match parts[1] {
+        "local" => PlacementArg::Local,
+        "spread" => PlacementArg::Spread,
+        p if p.starts_with("node") => {
+            let idx: usize = p[4..]
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad placement '{p}' in --app '{spec}'")))?;
+            PlacementArg::Node(idx)
+        }
+        p => {
+            return Err(CliError::usage(format!(
+                "unknown placement '{p}' in --app '{spec}' (use local, nodeK, or spread)"
+            )))
+        }
+    };
+    let ai: f64 = parts[2]
+        .parse()
+        .map_err(|_| CliError::usage(format!("bad AI '{}' in --app '{spec}'", parts[2])))?;
+    Ok(AppArg {
+        name: parts[0].to_string(),
+        placement,
+        ai,
+    })
+}
+
+fn parse_counts(spec: &str) -> Result<Vec<usize>> {
+    spec.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|_| CliError::usage(format!("bad --counts entry '{t}'")))
+        })
+        .collect()
+}
+
+/// Parses argv (without the program name).
+pub fn parse_args(argv: &[String]) -> Result<Cli> {
+    let mut json = false;
+    let mut machine: Option<String> = None;
+    let mut apps: Vec<AppArg> = Vec::new();
+    let mut counts: Option<Vec<usize>> = None;
+    let mut method = SearchMethod::default();
+    let mut keep_alive = false;
+    let mut explain = false;
+    let mut write_template = false;
+    let mut scenario: Option<String> = None;
+    let mut seed = 0u64;
+
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = argv.iter().peekable();
+    let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                          flag: &str|
+     -> Result<String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| CliError::usage(format!("{flag} requires a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--machine" => machine = Some(next_value(&mut it, "--machine")?),
+            "--app" => apps.push(parse_app(&next_value(&mut it, "--app")?)?),
+            "--counts" => counts = Some(parse_counts(&next_value(&mut it, "--counts")?)?),
+            "--keep-alive" => keep_alive = true,
+            "--explain" => explain = true,
+            "--write-template" => write_template = true,
+            "--scenario" => scenario = Some(next_value(&mut it, "--scenario")?),
+            "--seed" => {
+                seed = next_value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --seed (expected u64)"))?
+            }
+            "--method" => {
+                method = match next_value(&mut it, "--method")?.as_str() {
+                    "greedy" => SearchMethod::Greedy,
+                    "exhaustive" => SearchMethod::Exhaustive,
+                    "hill" => SearchMethod::Hill,
+                    "anneal" => SearchMethod::Anneal,
+                    m => {
+                        return Err(CliError::usage(format!(
+                            "unknown --method '{m}' (greedy|exhaustive|hill|anneal)"
+                        )))
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::usage(format!("unknown flag '{flag}'")))
+            }
+            pos => positional.push(pos),
+        }
+    }
+
+    let need_machine =
+        || machine.clone().ok_or_else(|| CliError::usage("--machine is required"));
+    let need_apps = |apps: &[AppArg]| -> Result<Vec<AppArg>> {
+        if apps.is_empty() {
+            Err(CliError::usage("at least one --app is required"))
+        } else {
+            Ok(apps.to_vec())
+        }
+    };
+
+    let command = match positional.first().copied() {
+        None | Some("help") | Some("--help") | Some("-h") => Command::Help,
+        Some("detect") => Command::Detect,
+        Some("machines") => Command::Machines,
+        Some("show") => Command::Show {
+            machine: need_machine()?,
+        },
+        Some("solve") => {
+            let counts = counts.ok_or_else(|| CliError::usage("--counts is required"))?;
+            let apps = need_apps(&apps)?;
+            if counts.len() != apps.len() {
+                return Err(CliError::usage(format!(
+                    "--counts has {} entries for {} apps",
+                    counts.len(),
+                    apps.len()
+                )));
+            }
+            Command::Solve {
+                machine: need_machine()?,
+                apps,
+                counts,
+                explain,
+            }
+        }
+        Some("search") => Command::Search {
+            machine: need_machine()?,
+            apps: need_apps(&apps)?,
+            method,
+            keep_alive,
+            seed,
+        },
+        Some("pareto") => Command::Pareto {
+            machine: need_machine()?,
+            apps: need_apps(&apps)?,
+        },
+        Some("simulate") => {
+            if !write_template && scenario.is_none() {
+                return Err(CliError::usage(
+                    "simulate needs --scenario <file> or --write-template",
+                ));
+            }
+            Command::Simulate {
+                scenario,
+                write_template,
+            }
+        }
+        Some("sweep") => {
+            let apps = need_apps(&apps)?;
+            if apps.len() != 1 {
+                return Err(CliError::usage("sweep takes exactly one --app"));
+            }
+            Command::Sweep {
+                machine: need_machine()?,
+                app: apps.into_iter().next().expect("one app"),
+            }
+        }
+        Some(cmd) => return Err(CliError::usage(format!("unknown command '{cmd}'"))),
+    };
+
+    Ok(Cli { command, json })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_solve() {
+        let cli = parse_args(&argv(
+            "solve --machine paper-model --app mem:local:0.5 --app comp:local:10 --counts 2,2",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Solve { machine, apps, counts, .. } => {
+                assert_eq!(machine, "paper-model");
+                assert_eq!(apps.len(), 2);
+                assert_eq!(apps[0].name, "mem");
+                assert_eq!(apps[0].placement, PlacementArg::Local);
+                assert!((apps[1].ai - 10.0).abs() < 1e-12);
+                assert_eq!(counts, vec![2, 2]);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(!cli.json);
+    }
+
+    #[test]
+    fn parses_search_with_options() {
+        let cli = parse_args(&argv(
+            "search --machine tiny --app a:node1:0.25 --method anneal --keep-alive --seed 7 --json",
+        ))
+        .unwrap();
+        assert!(cli.json);
+        match cli.command {
+            Command::Search { apps, method, keep_alive, seed, .. } => {
+                assert_eq!(apps[0].placement, PlacementArg::Node(1));
+                assert_eq!(method, SearchMethod::Anneal);
+                assert!(keep_alive);
+                assert_eq!(seed, 7);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_args(&argv("solve --machine m --app bad --counts 1")).is_err());
+        assert!(parse_args(&argv("solve --machine m --app a:local:x --counts 1")).is_err());
+        assert!(parse_args(&argv("solve --machine m --app a:mars:1 --counts 1")).is_err());
+        assert!(parse_args(&argv("solve --app a:local:1 --counts 1")).is_err());
+        assert!(parse_args(&argv("solve --machine m --app a:local:1 --counts 1,2")).is_err());
+        assert!(parse_args(&argv("bogus")).is_err());
+        assert!(parse_args(&argv("search --machine m")).is_err());
+        assert!(parse_args(&argv("sweep --machine m --app a:local:1 --app b:local:1")).is_err());
+        assert!(parse_args(&argv("solve --machine m --app a:local:1 --counts 1 --method warp"))
+            .is_err());
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(parse_args(&[]).unwrap().command, Command::Help);
+        assert_eq!(parse_args(&argv("help")).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn node_placement_parses_index() {
+        let app = parse_app("x:node12:0.5").unwrap();
+        assert_eq!(app.placement, PlacementArg::Node(12));
+        assert!(parse_app("x:node:0.5").is_err());
+    }
+}

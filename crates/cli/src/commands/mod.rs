@@ -1,0 +1,566 @@
+//! Command execution.
+
+use crate::{AppArg, Cli, CliError, Command, PlacementArg, Result, SearchMethod};
+use coop_alloc::{search, Objective, ThreadAssignment};
+use numa_topology::{presets, Machine, NodeId};
+use roofline_numa::{solve, sweep, AppSpec, DataPlacement};
+
+/// Resolves a `--machine` argument: preset name, `host`, or a JSON path.
+pub fn resolve_machine(name: &str) -> Result<Machine> {
+    match name {
+        "paper-model" => Ok(presets::paper_model_machine()),
+        "paper-crossnode" => Ok(presets::paper_crossnode_machine()),
+        "paper-skylake" => Ok(presets::paper_skylake_machine()),
+        "dual-socket" => Ok(presets::dual_socket()),
+        "knl" => Ok(presets::knl_snc4()),
+        "tiny" => Ok(presets::tiny()),
+        "host" => Ok(numa_topology::host::detect_host()),
+        path => {
+            let json = std::fs::read_to_string(path).map_err(|e| {
+                CliError::usage(format!(
+                    "'{path}' is not a preset machine and could not be read as a file: {e}"
+                ))
+            })?;
+            Machine::from_json(&json)
+                .map_err(|e| CliError::failure(format!("invalid machine JSON in '{path}': {e}")))
+        }
+    }
+}
+
+/// Converts CLI app specs to model specs, validating against the machine.
+pub fn resolve_apps(machine: &Machine, args: &[AppArg]) -> Result<Vec<AppSpec>> {
+    args.iter()
+        .map(|a| {
+            let placement = match a.placement {
+                PlacementArg::Local => DataPlacement::Local,
+                PlacementArg::Node(n) => DataPlacement::SingleNode(NodeId(n)),
+                PlacementArg::Spread => DataPlacement::Spread(vec![
+                    1.0 / machine.num_nodes() as f64;
+                    machine.num_nodes()
+                ]),
+            };
+            let spec = AppSpec {
+                name: a.name.clone(),
+                ai: a.ai,
+                placement,
+            };
+            spec.validate(machine)
+                .map_err(|e| CliError::usage(format!("app '{}': {e}", a.name)))?;
+            Ok(spec)
+        })
+        .collect()
+}
+
+/// Executes a parsed command; returns stdout text.
+pub fn execute(cli: &Cli) -> Result<String> {
+    match &cli.command {
+        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Machines => Ok(machines_text()),
+        Command::Detect => detect(cli.json),
+        Command::Show { machine } => {
+            let m = resolve_machine(machine)?;
+            Ok(m.to_json() + "\n")
+        }
+        Command::Solve {
+            machine,
+            apps,
+            counts,
+            explain,
+        } => solve_cmd(machine, apps, counts, *explain, cli.json),
+        Command::Search {
+            machine,
+            apps,
+            method,
+            keep_alive,
+            seed,
+        } => search_cmd(machine, apps, *method, *keep_alive, *seed, cli.json),
+        Command::Sweep { machine, app } => sweep_cmd(machine, app, cli.json),
+        Command::Pareto { machine, apps } => pareto_cmd(machine, apps, cli.json),
+        Command::Simulate {
+            scenario,
+            write_template,
+        } => simulate_cmd(scenario.as_deref(), *write_template, cli.json),
+    }
+}
+
+fn simulate_cmd(scenario: Option<&str>, write_template: bool, json: bool) -> Result<String> {
+    if write_template {
+        return Ok(memsim::scenario::template().to_json() + "\n");
+    }
+    let path = scenario.expect("checked by the parser");
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::usage(format!("cannot read scenario '{path}': {e}")))?;
+    let scenario = memsim::Scenario::from_json(&text)
+        .map_err(|e| CliError::failure(format!("invalid scenario: {e}")))?;
+    let result = memsim::run_scenario(&scenario)
+        .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?;
+    if json {
+        return serde_json::to_string_pretty(&result)
+            .map(|s| s + "\n")
+            .map_err(|e| CliError::failure(e.to_string()));
+    }
+    Ok(result.to_string())
+}
+
+fn pareto_cmd(machine: &str, apps: &[AppArg], json: bool) -> Result<String> {
+    let m = resolve_machine(machine)?;
+    let specs = resolve_apps(&m, apps)?;
+    let frontier = coop_alloc::pareto_frontier(&m, &specs, 2_000_000)
+        .map_err(|e| CliError::failure(format!("pareto enumeration failed: {e}")))?;
+    if json {
+        #[derive(serde::Serialize)]
+        struct Point<'a> {
+            total_gflops: f64,
+            min_app_gflops: f64,
+            assignment: &'a [Vec<usize>],
+        }
+        let points: Vec<Point<'_>> = frontier
+            .iter()
+            .map(|p| Point {
+                total_gflops: p.total_gflops,
+                min_app_gflops: p.min_app_gflops,
+                assignment: p.assignment.matrix(),
+            })
+            .collect();
+        return serde_json::to_string_pretty(&points)
+            .map(|s| s + "\n")
+            .map_err(|e| CliError::failure(e.to_string()));
+    }
+    let mut out = format!(
+        "Pareto frontier (total vs min-app GFLOPS), {} points:\n{:>12} {:>12}  per-node counts per app\n",
+        frontier.len(),
+        "total",
+        "min-app"
+    );
+    for p in &frontier {
+        let counts: Vec<usize> = (0..specs.len())
+            .map(|i| p.assignment.get(i, NodeId(0)))
+            .collect();
+        out.push_str(&format!(
+            "{:>12.2} {:>12.2}  {:?}\n",
+            p.total_gflops, p.min_app_gflops, counts
+        ));
+    }
+    Ok(out)
+}
+
+fn machines_text() -> String {
+    let mut out = String::new();
+    for (name, m) in [
+        ("paper-model", presets::paper_model_machine()),
+        ("paper-crossnode", presets::paper_crossnode_machine()),
+        ("paper-skylake", presets::paper_skylake_machine()),
+        ("dual-socket", presets::dual_socket()),
+        ("knl", presets::knl_snc4()),
+        ("tiny", presets::tiny()),
+    ] {
+        out.push_str(&format!(
+            "{name:<16} {} nodes x {} cores, {:.2} GFLOPS/core, {:.0} GB/s/node\n",
+            m.num_nodes(),
+            m.node(NodeId(0)).num_cores(),
+            m.core_peak_gflops(),
+            m.node(NodeId(0)).bandwidth_gbs,
+        ));
+    }
+    out.push_str("host             (detected from /sys/devices/system/node)\n");
+    out
+}
+
+fn detect(json: bool) -> Result<String> {
+    let m = numa_topology::host::detect_host();
+    if json {
+        return Ok(m.to_json() + "\n");
+    }
+    let mut out = format!(
+        "host machine: {} NUMA node(s), {} cores total\n",
+        m.num_nodes(),
+        m.total_cores()
+    );
+    for node in m.nodes() {
+        out.push_str(&format!(
+            "  {:?}: cores {:?}, {:.1} GiB memory\n",
+            node.id,
+            node.cpuset(),
+            node.memory_gib
+        ));
+    }
+    out.push_str(
+        "note: GFLOPS/bandwidth are defaults — calibrate with measurements\n\
+         (see the host_calibration example and memsim::calibrate_even_scenario).\n",
+    );
+    Ok(out)
+}
+
+fn solve_cmd(
+    machine: &str,
+    apps: &[AppArg],
+    counts: &[usize],
+    explain: bool,
+    json: bool,
+) -> Result<String> {
+    let m = resolve_machine(machine)?;
+    let specs = resolve_apps(&m, apps)?;
+    let assignment = ThreadAssignment::uniform_per_node(&m, counts);
+    let report = solve(&m, &specs, &assignment)
+        .map_err(|e| CliError::failure(format!("solve failed: {e}")))?;
+    if json {
+        return serde_json::to_string_pretty(&report)
+            .map(|s| s + "\n")
+            .map_err(|e| CliError::failure(e.to_string()));
+    }
+    let mut out = format!(
+        "machine {} | total {:.2} GFLOPS, {:.2} GB/s\n",
+        m.name(),
+        report.total_gflops(),
+        report.total_bandwidth_gbs()
+    );
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>12} {:>12}\n",
+        "app", "threads", "GB/s", "GFLOPS"
+    ));
+    for a in &report.apps {
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>12.2} {:>12.2}\n",
+            a.name, a.threads, a.bandwidth_gbs, a.gflops
+        ));
+    }
+    if explain {
+        out.push('\n');
+        out.push_str(&roofline_numa::explain::explain(&m, &report).to_string());
+    }
+    Ok(out)
+}
+
+fn search_cmd(
+    machine: &str,
+    apps: &[AppArg],
+    method: SearchMethod,
+    keep_alive: bool,
+    seed: u64,
+    json: bool,
+) -> Result<String> {
+    let m = resolve_machine(machine)?;
+    let specs = resolve_apps(&m, apps)?;
+
+    let run_search = |oracle: &mut search::Oracle<'_>| -> Result<search::SearchResult> {
+        let r = match method {
+            SearchMethod::Greedy => {
+                search::GreedySearch::new().run_with_oracle(&m, specs.len(), oracle)
+            }
+            SearchMethod::Exhaustive => {
+                search::ExhaustiveSearch::new().run_with_oracle(&m, specs.len(), oracle)
+            }
+            SearchMethod::Hill => search::HillClimb::new()
+                .with_seed(seed)
+                .run_with_oracle(&m, specs.len(), oracle),
+            SearchMethod::Anneal => search::SimulatedAnnealing::new()
+                .with_seed(seed)
+                .run_with_oracle(&m, specs.len(), oracle),
+        };
+        r.map_err(|e| CliError::failure(format!("search failed: {e}")))
+    };
+
+    let result = if keep_alive {
+        let specs_ref = &specs;
+        let m_ref = &m;
+        let mut oracle = move |a: &ThreadAssignment| -> coop_alloc::Result<f64> {
+            let starved = (0..specs_ref.len())
+                .filter(|&i| a.app_total(i) == 0)
+                .count();
+            if starved > 0 {
+                return Ok(-(starved as f64) * 1e12);
+            }
+            coop_alloc::score(m_ref, specs_ref, a, Objective::TotalGflops)
+        };
+        run_search(&mut oracle)?
+    } else {
+        let specs_ref = &specs;
+        let m_ref = &m;
+        let mut oracle = move |a: &ThreadAssignment| {
+            coop_alloc::score(m_ref, specs_ref, a, Objective::TotalGflops)
+        };
+        run_search(&mut oracle)?
+    };
+
+    let report = solve(&m, &specs, &result.assignment)
+        .map_err(|e| CliError::failure(format!("re-solve failed: {e}")))?;
+    if json {
+        #[derive(serde::Serialize)]
+        struct Out<'a> {
+            score_gflops: f64,
+            evaluations: usize,
+            assignment: &'a [Vec<usize>],
+            report: &'a roofline_numa::SolveReport,
+        }
+        return serde_json::to_string_pretty(&Out {
+            score_gflops: report.total_gflops(),
+            evaluations: result.evaluations,
+            assignment: result.assignment.matrix(),
+            report: &report,
+        })
+        .map(|s| s + "\n")
+        .map_err(|e| CliError::failure(e.to_string()));
+    }
+
+    let mut out = format!(
+        "best allocation: {:.2} GFLOPS ({} model evaluations)\n",
+        report.total_gflops(),
+        result.evaluations
+    );
+    out.push_str(&format!("{:<12} {:>8}  threads per node\n", "app", "total"));
+    for (i, spec) in specs.iter().enumerate() {
+        let per: Vec<usize> = m.node_ids().map(|n| result.assignment.get(i, n)).collect();
+        out.push_str(&format!(
+            "{:<12} {:>8}  {:?}\n",
+            spec.name,
+            result.assignment.app_total(i),
+            per
+        ));
+    }
+    Ok(out)
+}
+
+fn sweep_cmd(machine: &str, app: &AppArg, json: bool) -> Result<String> {
+    let m = resolve_machine(machine)?;
+    let specs = resolve_apps(&m, std::slice::from_ref(app))?;
+    let curve = sweep::thread_sweep(&m, &specs, 0, &[0])
+        .map_err(|e| CliError::failure(format!("sweep failed: {e}")))?;
+    if json {
+        return serde_json::to_string_pretty(&curve)
+            .map(|s| s + "\n")
+            .map_err(|e| CliError::failure(e.to_string()));
+    }
+    let mut out = format!(
+        "thread-scaling curve for '{}' (AI={}) on {}\n{:>16} {:>12} {:>12}\n",
+        app.name,
+        app.ai,
+        m.name(),
+        "threads/node",
+        "GFLOPS",
+        "marginal"
+    );
+    for (i, p) in curve.iter().enumerate() {
+        let marginal = if i == 0 {
+            0.0
+        } else {
+            p.app_gflops - curve[i - 1].app_gflops
+        };
+        out.push_str(&format!(
+            "{:>16} {:>12.2} {:>12.2}\n",
+            p.x as usize, p.app_gflops, marginal
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_args;
+
+    fn run_str(s: &str) -> Result<String> {
+        let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+        crate::run(&argv)
+    }
+
+    #[test]
+    fn help_and_machines() {
+        assert!(run_str("help").unwrap().contains("USAGE"));
+        let m = run_str("machines").unwrap();
+        assert!(m.contains("paper-model"));
+        assert!(m.contains("paper-skylake"));
+    }
+
+    #[test]
+    fn solve_reproduces_table_2() {
+        let out = run_str(
+            "solve --machine paper-model --app mem1:local:0.5 --app mem2:local:0.5 \
+             --app mem3:local:0.5 --app comp:local:10 --counts 2,2,2,2",
+        )
+        .unwrap();
+        assert!(out.contains("140.00 GFLOPS"), "output:\n{out}");
+    }
+
+    #[test]
+    fn solve_json_is_valid_json() {
+        let out = run_str(
+            "solve --machine tiny --app a:local:1 --counts 1 --json",
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v.get("apps").is_some());
+    }
+
+    #[test]
+    fn search_greedy_finds_compute_optimum() {
+        let out = run_str(
+            "search --machine paper-model --app mem:local:0.5 --app comp:local:10",
+        )
+        .unwrap();
+        assert!(out.contains("320.00 GFLOPS"), "output:\n{out}");
+    }
+
+    #[test]
+    fn search_keep_alive_keeps_everyone() {
+        let out = run_str(
+            "search --machine paper-model --app mem:local:0.5 --app comp:local:10 --keep-alive --json",
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let assignment = v["assignment"].as_array().unwrap();
+        for row in assignment {
+            let total: u64 = row.as_array().unwrap().iter().map(|x| x.as_u64().unwrap()).sum();
+            assert!(total >= 1, "keep-alive must give every app a thread");
+        }
+    }
+
+    #[test]
+    fn sweep_prints_curve() {
+        let out = run_str("sweep --machine paper-model --app mem:local:0.5").unwrap();
+        assert!(out.contains("threads/node"));
+        // 0..=8 rows plus header lines.
+        assert!(out.lines().count() >= 10);
+    }
+
+    #[test]
+    fn show_round_trips_machine_json() {
+        let out = run_str("show --machine paper-skylake").unwrap();
+        let m = Machine::from_json(&out).unwrap();
+        assert_eq!(m.total_cores(), 80);
+    }
+
+    #[test]
+    fn machine_from_json_file() {
+        let dir = std::env::temp_dir().join(format!("coop-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("machine.json");
+        std::fs::write(&path, presets::tiny().to_json()).unwrap();
+        let m = resolve_machine(path.to_str().unwrap()).unwrap();
+        assert_eq!(m.total_cores(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn detect_runs() {
+        let out = run_str("detect").unwrap();
+        assert!(out.contains("host machine"));
+    }
+
+    #[test]
+    fn errors_are_usage_errors() {
+        let err = run_str("solve --machine nope-not-a-machine --app a:local:1 --counts 1")
+            .unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = run_str("solve --machine tiny --app a:node9:1 --counts 1").unwrap_err();
+        assert_eq!(err.code, 2, "placement beyond machine nodes: {err}");
+    }
+
+    #[test]
+    fn parse_and_execute_agree_on_flags() {
+        // --json anywhere applies to the command.
+        let cli = parse_args(
+            &"--json solve --machine tiny --app a:local:1 --counts 1"
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(cli.json);
+        let out = execute(&cli).unwrap();
+        assert!(serde_json::from_str::<serde_json::Value>(&out).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    #[test]
+    fn solve_explain_appends_analysis() {
+        let argv: Vec<String> =
+            "solve --machine paper-model --app mem:local:0.5 --app comp:local:10 --counts 1,5 --explain"
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+        let out = crate::run(&argv).unwrap();
+        assert!(out.contains("-- groups --"), "output:\n{out}");
+        assert!(out.contains("ComputeBound"), "output:\n{out}");
+    }
+}
+
+#[cfg(test)]
+mod pareto_tests {
+    #[test]
+    fn pareto_lists_both_extremes() {
+        let argv: Vec<String> =
+            "pareto --machine paper-model --app mem:local:0.5 --app comp:local:10"
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+        let out = crate::run(&argv).unwrap();
+        assert!(out.contains("320.00"), "max-total end present:\n{out}");
+        assert!(out.contains("Pareto frontier"));
+    }
+
+    #[test]
+    fn pareto_json_is_sorted() {
+        let argv: Vec<String> =
+            "pareto --machine tiny --app a:local:0.5 --app b:local:4 --json"
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+        let out = crate::run(&argv).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let totals: Vec<f64> = v
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|p| p["total_gflops"].as_f64().unwrap())
+            .collect();
+        assert!(totals.windows(2).all(|w| w[0] >= w[1]));
+    }
+}
+
+#[cfg(test)]
+mod simulate_tests {
+    #[test]
+    fn template_round_trip_through_the_cli() {
+        // Emit the template, write it to a file, run it.
+        let template = crate::run(&["simulate".into(), "--write-template".into()]).unwrap();
+        let dir = std::env::temp_dir().join(format!("coop-cli-sim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        std::fs::write(&path, &template).unwrap();
+
+        let out = crate::run(&[
+            "simulate".into(),
+            "--scenario".into(),
+            path.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("table3-local-scenarios"), "output:\n{out}");
+        assert!(out.contains("uneven (1,1,1,17)"));
+
+        let json_out = crate::run(&[
+            "simulate".into(),
+            "--scenario".into(),
+            path.to_str().unwrap().to_string(),
+            "--json".into(),
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json_out).unwrap();
+        assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_requires_input() {
+        let err = crate::run(&["simulate".into()]).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = crate::run(&[
+            "simulate".into(),
+            "--scenario".into(),
+            "/nonexistent.json".into(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+}

@@ -1,0 +1,15 @@
+//! `coop-cli` — command-line interface to the numa-coop toolkit.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match coop_cli::run(&argv) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            if e.code == 2 {
+                eprintln!("\n{}", coop_cli::args::USAGE);
+            }
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for allocation strategies and search.
+
+use roofline_numa::ModelError;
+use std::fmt;
+
+/// Errors produced by allocation strategies and searches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocError {
+    /// The underlying model rejected an input or assignment.
+    Model(ModelError),
+    /// A strategy needs at least one application.
+    NoApps,
+    /// A strategy's explicit parameter list has the wrong length.
+    ParameterShape {
+        /// What the parameters describe.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+    /// An enumeration or exhaustive search would exceed the caller's bound.
+    SearchSpaceTooLarge {
+        /// Number of candidate assignments.
+        candidates: u128,
+        /// The caller-supplied limit.
+        limit: u128,
+    },
+    /// A weighted objective needs one non-negative weight per application,
+    /// not all zero.
+    BadWeights,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Model(e) => write!(f, "model error: {e}"),
+            AllocError::NoApps => write!(f, "at least one application is required"),
+            AllocError::ParameterShape { what, expected, actual } => {
+                write!(f, "{what}: expected {expected} entries, got {actual}")
+            }
+            AllocError::SearchSpaceTooLarge { candidates, limit } => {
+                write!(f, "search space has {candidates} candidates, exceeding the limit of {limit}")
+            }
+            AllocError::BadWeights => {
+                write!(f, "objective weights must be non-negative, finite, and not all zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AllocError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for AllocError {
+    fn from(e: ModelError) -> Self {
+        AllocError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_model_error_preserves_source() {
+        let e: AllocError = ModelError::PlacementFractions.into();
+        assert!(matches!(e, AllocError::Model(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("model error"));
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = AllocError::SearchSpaceTooLarge { candidates: 1000, limit: 10 };
+        assert!(e.to_string().contains("1000"));
+        assert!(AllocError::NoApps.to_string().contains("application"));
+    }
+}

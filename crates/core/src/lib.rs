@@ -1,0 +1,66 @@
+//! # coop-alloc
+//!
+//! Core-allocation strategies and model-guided search for cooperating
+//! dynamic applications.
+//!
+//! The paper argues that when several task-based applications share a NUMA
+//! node, some entity (an agent process or a cooperative consensus among the
+//! runtimes) must decide *how many threads each application runs on each
+//! NUMA node*. This crate provides the decision-making layer:
+//!
+//! * [`strategies`] — the named allocations the paper discusses: fair
+//!   share, even per-node splits, one whole NUMA node per application, and
+//!   explicit uneven splits.
+//! * [`Objective`] — what "best" means: total machine GFLOPS, the minimum
+//!   application GFLOPS (egalitarian), or a weighted sum.
+//! * [`enumerate`] — exhaustive enumeration of assignments for small
+//!   configurations (with combinatorial counting so callers can bound the
+//!   work before starting).
+//! * [`search`] — optimizers that consult the `roofline-numa` model as an
+//!   oracle: exhaustive (uniform or full), greedy constructive, and
+//!   seeded hill-climbing. The paper leaves the "how to choose" question
+//!   open as future work; these searches make the machinery concrete and
+//!   are compared in the `alloc_search` ablation bench.
+//!
+//! ## Example: search beats the naive fair share
+//!
+//! ```
+//! use numa_topology::presets::paper_model_machine;
+//! use roofline_numa::AppSpec;
+//! use coop_alloc::{search::GreedySearch, Objective, strategies};
+//!
+//! let machine = paper_model_machine();
+//! let apps = vec![
+//!     AppSpec::numa_local("mem1", 0.5),
+//!     AppSpec::numa_local("mem2", 0.5),
+//!     AppSpec::numa_local("mem3", 0.5),
+//!     AppSpec::numa_local("comp", 10.0),
+//! ];
+//! let fair = strategies::fair_share(&machine, apps.len()).unwrap();
+//! let fair_score = coop_alloc::score(&machine, &apps, &fair, Objective::TotalGflops).unwrap();
+//! let found = GreedySearch::new().run(&machine, &apps, Objective::TotalGflops).unwrap();
+//! assert!(found.score >= fair_score);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enumerate;
+mod error;
+mod objective;
+pub mod pareto;
+pub mod search;
+pub mod stability;
+pub mod strategies;
+
+pub use error::AllocError;
+pub use objective::{score, Objective};
+pub use pareto::{pareto_frontier, ParetoPoint};
+pub use stability::{switching_cost, ReallocPlan, ReallocPlanner};
+
+// Re-export the assignment type: it is the lingua franca between this
+// crate, the model, the agent, and the simulator.
+pub use roofline_numa::ThreadAssignment;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, AllocError>;

@@ -1,0 +1,172 @@
+//! The throughput/fairness Pareto frontier.
+//!
+//! §II of the paper weighs two goods against each other: total machine
+//! efficiency (give cores to "another application, which can make better
+//! use of them") and keeping every cooperating application progressing
+//! (the producer-consumer alignment). These are the two objectives of
+//! [`Objective::TotalGflops`](crate::Objective) and
+//! [`Objective::MinAppGflops`](crate::Objective); an arbiter that must
+//! pick a trade-off wants the *frontier*, not a single point.
+//!
+//! [`pareto_frontier`] enumerates the uniform-assignment space (the same
+//! space as [`ExhaustiveSearch`](crate::search::ExhaustiveSearch)) and
+//! returns the non-dominated `(total, min-app)` points, sorted by total
+//! GFLOPS descending.
+
+use crate::{enumerate, AllocError, Result};
+use numa_topology::Machine;
+use roofline_numa::{solve, AppSpec, ThreadAssignment};
+
+/// One non-dominated allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// The assignment.
+    pub assignment: ThreadAssignment,
+    /// Machine-wide GFLOPS.
+    pub total_gflops: f64,
+    /// Minimum per-application GFLOPS.
+    pub min_app_gflops: f64,
+}
+
+/// Enumerates the uniform-assignment space and returns the Pareto frontier
+/// of (total GFLOPS, min-app GFLOPS), sorted by total descending. The
+/// `limit` bounds the candidate count like the exhaustive search.
+pub fn pareto_frontier(
+    machine: &Machine,
+    apps: &[AppSpec],
+    limit: u128,
+) -> Result<Vec<ParetoPoint>> {
+    if apps.is_empty() {
+        return Err(AllocError::NoApps);
+    }
+    let candidates = enumerate::count_uniform_assignments(machine, apps.len());
+    if candidates > limit {
+        return Err(AllocError::SearchSpaceTooLarge { candidates, limit });
+    }
+
+    let mut points: Vec<ParetoPoint> = Vec::new();
+    for assignment in enumerate::uniform_assignments(machine, apps.len()) {
+        let report = solve(machine, apps, &assignment)?;
+        let total = report.total_gflops();
+        let min_app = report
+            .apps
+            .iter()
+            .map(|a| a.gflops)
+            .fold(f64::INFINITY, f64::min);
+        points.push(ParetoPoint {
+            assignment,
+            total_gflops: total,
+            min_app_gflops: min_app,
+        });
+    }
+
+    // Keep only non-dominated points (maximize both coordinates).
+    let mut frontier: Vec<ParetoPoint> = Vec::new();
+    'outer: for p in &points {
+        for q in &points {
+            let dominates = q.total_gflops >= p.total_gflops + 1e-12
+                && q.min_app_gflops >= p.min_app_gflops - 1e-12
+                || q.total_gflops >= p.total_gflops - 1e-12
+                    && q.min_app_gflops >= p.min_app_gflops + 1e-12;
+            if dominates {
+                continue 'outer;
+            }
+        }
+        // Deduplicate identical objective pairs.
+        if frontier.iter().any(|f| {
+            (f.total_gflops - p.total_gflops).abs() < 1e-12
+                && (f.min_app_gflops - p.min_app_gflops).abs() < 1e-12
+        }) {
+            continue;
+        }
+        frontier.push(p.clone());
+    }
+    frontier.sort_by(|a, b| b.total_gflops.partial_cmp(&a.total_gflops).unwrap());
+    Ok(frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topology::presets::{paper_model_machine, tiny};
+
+    fn paper_apps() -> Vec<AppSpec> {
+        vec![
+            AppSpec::numa_local("mem1", 0.5),
+            AppSpec::numa_local("mem2", 0.5),
+            AppSpec::numa_local("mem3", 0.5),
+            AppSpec::numa_local("comp", 10.0),
+        ]
+    }
+
+    #[test]
+    fn frontier_is_mutually_non_dominated_and_sorted() {
+        let m = paper_model_machine();
+        let f = pareto_frontier(&m, &paper_apps(), 2_000_000).unwrap();
+        assert!(!f.is_empty());
+        for w in f.windows(2) {
+            assert!(w[0].total_gflops >= w[1].total_gflops);
+            // Along the frontier, giving up total must buy min-app.
+            assert!(
+                w[1].min_app_gflops > w[0].min_app_gflops - 1e-12,
+                "frontier not monotone: {:?} then {:?}",
+                (w[0].total_gflops, w[0].min_app_gflops),
+                (w[1].total_gflops, w[1].min_app_gflops)
+            );
+        }
+        for (i, p) in f.iter().enumerate() {
+            for (j, q) in f.iter().enumerate() {
+                if i != j {
+                    let dominated = q.total_gflops >= p.total_gflops
+                        && q.min_app_gflops >= p.min_app_gflops;
+                    assert!(!dominated, "{i} dominated by {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extremes_match_the_single_objective_optima() {
+        let m = paper_model_machine();
+        let apps = paper_apps();
+        let f = pareto_frontier(&m, &apps, 2_000_000).unwrap();
+        // Max-total end: 320 (all cores to comp; min-app 0).
+        assert!((f.first().unwrap().total_gflops - 320.0).abs() < 1e-9);
+        // Max-min end matches the exhaustive max-min search.
+        let best_min = crate::search::ExhaustiveSearch::new()
+            .run(&m, &apps, crate::Objective::MinAppGflops)
+            .unwrap();
+        let frontier_min = f.last().unwrap().min_app_gflops;
+        assert!(
+            (frontier_min - best_min.score).abs() < 1e-9,
+            "frontier min-end {frontier_min} vs search {}",
+            best_min.score
+        );
+    }
+
+    #[test]
+    fn paper_allocations_relate_to_the_frontier() {
+        // (1,1,1,5) = 254 total / 4.5 min must not be dominated by the
+        // even allocation 140 / 20; both can sit on (or under) the
+        // frontier, but the frontier must contain a point at least as good
+        // as each in its strong dimension.
+        let m = paper_model_machine();
+        let f = pareto_frontier(&m, &paper_apps(), 2_000_000).unwrap();
+        assert!(f.iter().any(|p| p.total_gflops >= 254.0 - 1e-9));
+        assert!(f.iter().any(|p| p.min_app_gflops >= 20.0 - 1e-9));
+    }
+
+    #[test]
+    fn respects_limit_and_empty_apps() {
+        let m = tiny();
+        assert!(matches!(
+            pareto_frontier(&m, &[], 1000),
+            Err(AllocError::NoApps)
+        ));
+        let apps = vec![AppSpec::numa_local("a", 1.0)];
+        assert!(matches!(
+            pareto_frontier(&m, &apps, 1),
+            Err(AllocError::SearchSpaceTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,816 @@
+//! Model-guided allocation search.
+//!
+//! The paper stops at "the runtime systems would agree on core allocation"
+//! and leaves the choosing to future work; these optimizers make the step
+//! concrete. All of them treat the `roofline-numa` model as a black-box
+//! oracle via [`crate::score`], so swapping in a measured oracle
+//! (e.g. `memsim` runs) only requires a different scoring closure at the
+//! call site of each search's `run_with_oracle`.
+//!
+//! * [`ExhaustiveSearch`] — optimal, over the uniform space or (bounded)
+//!   the full space.
+//! * [`GreedySearch`] — constructive: repeatedly adds the single thread
+//!   whose addition improves the objective most. `O(cores * apps * nodes)`
+//!   oracle calls.
+//! * [`HillClimb`] — seeded stochastic local search over move/swap
+//!   neighbourhoods, starting from a fair share (or any given start).
+//! * [`SimulatedAnnealing`] — like the hill climb, but accepts worsening
+//!   moves with a temperature-controlled probability, escaping the local
+//!   optima that trap greedy/hill-climb on placement-sensitive mixes.
+//!
+//! The `alloc_search` Criterion bench compares their cost and quality.
+
+use crate::{enumerate, score, strategies, AllocError, Objective, Result};
+use numa_topology::{Machine, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roofline_numa::{AppSpec, ThreadAssignment};
+
+/// Outcome of a search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The best assignment found.
+    pub assignment: ThreadAssignment,
+    /// Its objective value.
+    pub score: f64,
+    /// How many times the oracle (model solve) was consulted.
+    pub evaluations: usize,
+}
+
+/// An objective oracle: maps an assignment to a value (higher is better).
+pub type Oracle<'a> = dyn FnMut(&ThreadAssignment) -> Result<f64> + 'a;
+
+/// Exhaustive search over an enumerable space of assignments.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveSearch {
+    /// If `true` (default), only uniform per-node assignments are searched;
+    /// otherwise the full space (bounded by `limit`) is used.
+    pub uniform_only: bool,
+    /// Upper bound on candidates before the search refuses to run.
+    pub limit: u128,
+}
+
+impl Default for ExhaustiveSearch {
+    fn default() -> Self {
+        ExhaustiveSearch {
+            uniform_only: true,
+            limit: 2_000_000,
+        }
+    }
+}
+
+impl ExhaustiveSearch {
+    /// Default configuration: uniform space, 2e6 candidate limit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Searches the full (non-uniform) space instead.
+    pub fn full_space(mut self) -> Self {
+        self.uniform_only = false;
+        self
+    }
+
+    /// Overrides the candidate limit.
+    pub fn with_limit(mut self, limit: u128) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Runs the search with the analytic model as the oracle.
+    pub fn run(
+        &self,
+        machine: &Machine,
+        apps: &[AppSpec],
+        objective: Objective,
+    ) -> Result<SearchResult> {
+        let mut oracle = |a: &ThreadAssignment| score(machine, apps, a, objective.clone());
+        self.run_with_oracle(machine, apps.len(), &mut oracle)
+    }
+
+    /// Runs the search with a caller-supplied oracle.
+    pub fn run_with_oracle(
+        &self,
+        machine: &Machine,
+        num_apps: usize,
+        oracle: &mut Oracle<'_>,
+    ) -> Result<SearchResult> {
+        if num_apps == 0 {
+            return Err(AllocError::NoApps);
+        }
+        let candidates = if self.uniform_only {
+            enumerate::count_uniform_assignments(machine, num_apps)
+        } else {
+            enumerate::count_assignments(machine, num_apps)
+        };
+        if candidates > self.limit {
+            return Err(AllocError::SearchSpaceTooLarge {
+                candidates,
+                limit: self.limit,
+            });
+        }
+
+        let mut best: Option<SearchResult> = None;
+        let mut evals = 0usize;
+        let mut consider = |a: ThreadAssignment, s: f64, evals: usize| match &mut best {
+            Some(b) if s <= b.score => {}
+            _ => {
+                best = Some(SearchResult {
+                    assignment: a,
+                    score: s,
+                    evaluations: evals,
+                });
+            }
+        };
+        if self.uniform_only {
+            for a in enumerate::uniform_assignments(machine, num_apps) {
+                let s = oracle(&a)?;
+                evals += 1;
+                consider(a, s, evals);
+            }
+        } else {
+            for a in enumerate::assignments(machine, num_apps) {
+                let s = oracle(&a)?;
+                evals += 1;
+                consider(a, s, evals);
+            }
+        }
+        let mut result = best.expect("space contains at least the empty assignment");
+        result.evaluations = evals;
+        Ok(result)
+    }
+}
+
+/// Greedy constructive search: starting from the empty assignment, add one
+/// thread at a time to the `(app, node)` slot that raises the objective
+/// most, until no addition helps (or no capacity remains).
+#[derive(Debug, Clone, Default)]
+pub struct GreedySearch {
+    /// If `true`, keep adding threads even when the best addition does not
+    /// strictly improve the objective (useful to always fill the machine,
+    /// e.g. for max-min objectives that plateau).
+    pub fill_machine: bool,
+}
+
+impl GreedySearch {
+    /// Default configuration: stop at the first non-improving addition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keep adding threads until the machine is full.
+    pub fn filling(mut self) -> Self {
+        self.fill_machine = true;
+        self
+    }
+
+    /// Runs the search with the analytic model as the oracle.
+    pub fn run(
+        &self,
+        machine: &Machine,
+        apps: &[AppSpec],
+        objective: Objective,
+    ) -> Result<SearchResult> {
+        let mut oracle = |a: &ThreadAssignment| score(machine, apps, a, objective.clone());
+        self.run_with_oracle(machine, apps.len(), &mut oracle)
+    }
+
+    /// Runs the search with a caller-supplied oracle.
+    pub fn run_with_oracle(
+        &self,
+        machine: &Machine,
+        num_apps: usize,
+        oracle: &mut Oracle<'_>,
+    ) -> Result<SearchResult> {
+        if num_apps == 0 {
+            return Err(AllocError::NoApps);
+        }
+        let mut current = ThreadAssignment::zero(machine, num_apps);
+        let mut current_score = oracle(&current)?;
+        let mut evals = 1usize;
+
+        loop {
+            let mut best_move: Option<(usize, NodeId, f64)> = None;
+            for node in machine.node_ids() {
+                if current.node_total(node) >= machine.node(node).num_cores() {
+                    continue;
+                }
+                for app in 0..num_apps {
+                    let mut candidate = current.clone();
+                    candidate.set(app, node, candidate.get(app, node) + 1);
+                    let s = oracle(&candidate)?;
+                    evals += 1;
+                    if best_move.is_none_or(|(_, _, bs)| s > bs) {
+                        best_move = Some((app, node, s));
+                    }
+                }
+            }
+            match best_move {
+                Some((app, node, s)) if s > current_score || self.fill_machine => {
+                    current.set(app, node, current.get(app, node) + 1);
+                    current_score = s;
+                }
+                _ => break,
+            }
+        }
+        Ok(SearchResult {
+            assignment: current,
+            score: current_score,
+            evaluations: evals,
+        })
+    }
+}
+
+/// Seeded stochastic hill-climbing over move/add/remove neighbourhoods.
+///
+/// Starts from [`strategies::fair_share`] and, for `iterations` rounds,
+/// proposes a random mutation (move one thread of a random application to a
+/// different node, add a thread on a node with spare capacity, or remove
+/// one) and keeps it if the objective does not decrease.
+#[derive(Debug, Clone)]
+pub struct HillClimb {
+    /// Number of proposals.
+    pub iterations: usize,
+    /// RNG seed (searches are deterministic given the seed).
+    pub seed: u64,
+    /// Starting assignment; defaults to the fair share.
+    pub start: Option<ThreadAssignment>,
+}
+
+impl Default for HillClimb {
+    fn default() -> Self {
+        HillClimb {
+            iterations: 2000,
+            seed: 0x5eed,
+            start: None,
+        }
+    }
+}
+
+impl HillClimb {
+    /// Default configuration: 2000 iterations, fixed seed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the iteration count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Starts the climb from a given assignment instead of the fair share
+    /// (used by the stability planner to climb from the *current*
+    /// allocation).
+    pub fn with_start(mut self, start: ThreadAssignment) -> Self {
+        self.start = Some(start);
+        self
+    }
+
+    /// Runs the search with the analytic model as the oracle.
+    pub fn run(
+        &self,
+        machine: &Machine,
+        apps: &[AppSpec],
+        objective: Objective,
+    ) -> Result<SearchResult> {
+        let mut oracle = |a: &ThreadAssignment| score(machine, apps, a, objective.clone());
+        self.run_with_oracle(machine, apps.len(), &mut oracle)
+    }
+
+    /// Runs the search with a caller-supplied oracle.
+    pub fn run_with_oracle(
+        &self,
+        machine: &Machine,
+        num_apps: usize,
+        oracle: &mut Oracle<'_>,
+    ) -> Result<SearchResult> {
+        if num_apps == 0 {
+            return Err(AllocError::NoApps);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut current = match &self.start {
+            Some(s) => {
+                s.validate(machine)?;
+                s.clone()
+            }
+            None => strategies::fair_share(machine, num_apps)?,
+        };
+        let mut current_score = oracle(&current)?;
+        let mut evals = 1usize;
+        let nodes = machine.num_nodes();
+
+        for _ in 0..self.iterations {
+            let mut candidate = current.clone();
+            let app = rng.gen_range(0..num_apps);
+            match rng.gen_range(0..3u8) {
+                // Move a thread of `app` from one node to another.
+                0 => {
+                    let from = NodeId(rng.gen_range(0..nodes));
+                    let to = NodeId(rng.gen_range(0..nodes));
+                    if from == to
+                        || candidate.get(app, from) == 0
+                        || candidate.node_total(to) >= machine.node(to).num_cores()
+                    {
+                        continue;
+                    }
+                    candidate.set(app, from, candidate.get(app, from) - 1);
+                    candidate.set(app, to, candidate.get(app, to) + 1);
+                }
+                // Add a thread on a node with spare capacity.
+                1 => {
+                    let node = NodeId(rng.gen_range(0..nodes));
+                    if candidate.node_total(node) >= machine.node(node).num_cores() {
+                        continue;
+                    }
+                    candidate.set(app, node, candidate.get(app, node) + 1);
+                }
+                // Remove a thread.
+                _ => {
+                    let node = NodeId(rng.gen_range(0..nodes));
+                    if candidate.get(app, node) == 0 {
+                        continue;
+                    }
+                    candidate.set(app, node, candidate.get(app, node) - 1);
+                }
+            }
+            let s = oracle(&candidate)?;
+            evals += 1;
+            if s >= current_score {
+                current = candidate;
+                current_score = s;
+            }
+        }
+        Ok(SearchResult {
+            assignment: current,
+            score: current_score,
+            evaluations: evals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topology::presets::{paper_crossnode_machine, paper_model_machine, tiny};
+
+    fn paper_apps() -> Vec<AppSpec> {
+        vec![
+            AppSpec::numa_local("mem1", 0.5),
+            AppSpec::numa_local("mem2", 0.5),
+            AppSpec::numa_local("mem3", 0.5),
+            AppSpec::numa_local("comp", 10.0),
+        ]
+    }
+
+    /// The exhaustive uniform search on the paper's machine must find an
+    /// allocation at least as good as Table I's (1,1,1,5) = 254 GFLOPS.
+    #[test]
+    fn exhaustive_uniform_finds_table_1_or_better() {
+        let m = paper_model_machine();
+        let r = ExhaustiveSearch::new()
+            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .unwrap();
+        assert!(r.score >= 254.0 - 1e-9, "found {}", r.score);
+        // C(12,4) = 495 candidates.
+        assert_eq!(r.evaluations, 495);
+    }
+
+    /// The unconstrained optimum on the paper machine starves the
+    /// memory-bound apps entirely: (0,0,0,8) reaches the machine's compute
+    /// peak of 320 GFLOPS. The paper's 254 GFLOPS (1,1,1,5) is the optimum
+    /// once every cooperating application must keep at least one thread —
+    /// which is the regime the paper cares about.
+    #[test]
+    fn exhaustive_optimum_structure() {
+        let m = paper_model_machine();
+        let r = ExhaustiveSearch::new()
+            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .unwrap();
+        assert!((r.score - 320.0).abs() < 1e-9, "got {}", r.score);
+        for app in 0..3 {
+            assert_eq!(r.assignment.app_total(app), 0, "mem apps starved");
+        }
+        assert_eq!(r.assignment.app_total(3), 32);
+
+        // Constrain to "every app runs at least one thread per node" via a
+        // custom oracle: the paper's (1,1,1,5) is optimal there.
+        let apps = paper_apps();
+        let mut oracle = |a: &ThreadAssignment| -> crate::Result<f64> {
+            if (0..apps.len()).any(|i| m.node_ids().any(|n| a.get(i, n) == 0)) {
+                return Ok(f64::NEG_INFINITY);
+            }
+            score(&m, &apps, a, Objective::TotalGflops)
+        };
+        let r = ExhaustiveSearch::new()
+            .run_with_oracle(&m, apps.len(), &mut oracle)
+            .unwrap();
+        assert!((r.score - 254.0).abs() < 1e-9, "got {}", r.score);
+        let counts: Vec<usize> =
+            (0..4).map(|i| r.assignment.get(i, NodeId(0))).collect();
+        assert_eq!(counts, vec![1, 1, 1, 5], "Table I allocation is optimal");
+    }
+
+    #[test]
+    fn exhaustive_full_space_on_tiny_beats_uniform() {
+        let m = tiny();
+        let apps = vec![
+            AppSpec::numa_local("mem", 0.5),
+            AppSpec::numa_local("comp", 8.0),
+        ];
+        let uni = ExhaustiveSearch::new()
+            .run(&m, &apps, Objective::TotalGflops)
+            .unwrap();
+        let full = ExhaustiveSearch::new()
+            .full_space()
+            .run(&m, &apps, Objective::TotalGflops)
+            .unwrap();
+        assert!(full.score >= uni.score - 1e-12);
+        assert_eq!(full.evaluations, 36);
+    }
+
+    #[test]
+    fn exhaustive_respects_limit() {
+        let m = paper_model_machine();
+        let err = ExhaustiveSearch::new()
+            .full_space()
+            .with_limit(1000)
+            .run(&m, &paper_apps(), Objective::TotalGflops);
+        assert!(matches!(err, Err(AllocError::SearchSpaceTooLarge { .. })));
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_paper_machine() {
+        let m = paper_model_machine();
+        let g = GreedySearch::new()
+            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .unwrap();
+        // Greedy also discovers the unconstrained optimum (all cores to the
+        // compute-bound app): each compute thread adds a full 10 GFLOPS.
+        assert!((g.score - 320.0).abs() < 1e-9, "greedy found {}", g.score);
+        assert!(g.assignment.validate(&m).is_ok());
+    }
+
+    #[test]
+    fn greedy_filling_fills_machine() {
+        let m = tiny();
+        let apps = vec![AppSpec::numa_local("mem", 0.5)];
+        let g = GreedySearch::new()
+            .filling()
+            .run(&m, &apps, Objective::TotalGflops)
+            .unwrap();
+        assert_eq!(g.assignment.total(), m.total_cores());
+    }
+
+    #[test]
+    fn greedy_stops_when_additions_hurt() {
+        // A single memory-bound app on a bandwidth-starved machine: the
+        // first thread per node saturates the node; further threads do not
+        // improve the score (baseline split makes them neutral-to-harmless,
+        // so greedy without filling stops early).
+        let m = paper_model_machine();
+        let apps = vec![AppSpec::numa_local("mem", 0.1)];
+        let g = GreedySearch::new()
+            .run(&m, &apps, Objective::TotalGflops)
+            .unwrap();
+        assert!(g.assignment.total() < m.total_cores());
+        // Total bandwidth is the cap: 128 GB/s * 0.1 AI = 12.8 GFLOPS.
+        assert!((g.score - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hill_climb_reaches_table_1_quality() {
+        let m = paper_model_machine();
+        let h = HillClimb::new()
+            .with_iterations(3000)
+            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .unwrap();
+        assert!(h.score >= 250.0, "hill climb found {}", h.score);
+        assert!(h.assignment.validate(&m).is_ok());
+    }
+
+    #[test]
+    fn hill_climb_is_deterministic_per_seed() {
+        let m = paper_model_machine();
+        let a = HillClimb::new()
+            .with_iterations(500)
+            .with_seed(42)
+            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .unwrap();
+        let b = HillClimb::new()
+            .with_iterations(500)
+            .with_seed(42)
+            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.score, b.score);
+    }
+
+    /// The search layer must also get the NUMA-bad case right: on the
+    /// Figure 3 machine, a whole-node allocation with the bad app on its
+    /// data node beats the even split; the full-space exhaustive search on
+    /// the non-uniform space discovers an allocation at least that good.
+    #[test]
+    fn hill_climb_discovers_numa_bad_placement() {
+        let m = paper_crossnode_machine();
+        let apps = vec![
+            AppSpec::numa_local("perf1", 0.5),
+            AppSpec::numa_local("perf2", 0.5),
+            AppSpec::numa_local("perf3", 0.5),
+            AppSpec::numa_bad("bad", 1.0, numa_topology::NodeId(3)),
+        ];
+        let h = HillClimb::new()
+            .with_iterations(6000)
+            .with_seed(7)
+            .run(&m, &apps, Objective::TotalGflops)
+            .unwrap();
+        // Even allocation scores 138.75; the climb must at least beat it.
+        assert!(h.score > 138.75, "hill climb stuck at {}", h.score);
+    }
+
+    #[test]
+    fn min_objective_prefers_balance() {
+        let m = paper_model_machine();
+        let apps = vec![
+            AppSpec::numa_local("mem1", 0.5),
+            AppSpec::numa_local("mem2", 0.5),
+        ];
+        let r = ExhaustiveSearch::new()
+            .run(&m, &apps, Objective::MinAppGflops)
+            .unwrap();
+        // With identical apps, max-min is achieved by (at least) a balanced
+        // allocation; both apps end up with the same GFLOPS.
+        let report = roofline_numa::solve(&m, &apps, &r.assignment).unwrap();
+        assert!((report.app_gflops(0) - report.app_gflops(1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn searches_reject_zero_apps() {
+        let m = tiny();
+        assert!(matches!(
+            ExhaustiveSearch::new().run(&m, &[], Objective::TotalGflops),
+            Err(AllocError::NoApps)
+        ));
+        assert!(matches!(
+            GreedySearch::new().run(&m, &[], Objective::TotalGflops),
+            Err(AllocError::NoApps)
+        ));
+        assert!(matches!(
+            HillClimb::new().run(&m, &[], Objective::TotalGflops),
+            Err(AllocError::NoApps)
+        ));
+    }
+
+    #[test]
+    fn custom_oracle_is_respected() {
+        // An oracle that prefers fewer threads drives searches to empty.
+        let m = tiny();
+        let mut oracle =
+            |a: &ThreadAssignment| -> Result<f64> { Ok(-(a.total() as f64)) };
+        let g = GreedySearch::new()
+            .run_with_oracle(&m, 2, &mut oracle)
+            .unwrap();
+        assert_eq!(g.assignment.total(), 0);
+    }
+}
+
+/// Seeded simulated annealing over the same mutation neighbourhood as
+/// [`HillClimb`], accepting worsening moves with probability
+/// `exp(delta / temperature)` under a geometric cooling schedule.
+///
+/// Escapes the local optima that trap [`GreedySearch`] and [`HillClimb`]
+/// on placement-sensitive mixes (e.g. moving a NUMA-bad application's
+/// threads across nodes requires passing through worse intermediate
+/// states).
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    /// Number of proposals.
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Initial temperature, in objective units.
+    pub initial_temperature: f64,
+    /// Multiplicative cooling factor per iteration (0 < c < 1).
+    pub cooling: f64,
+    /// Starting assignment; defaults to the fair share.
+    pub start: Option<ThreadAssignment>,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            iterations: 4000,
+            seed: 0xa17ea1,
+            initial_temperature: 10.0,
+            cooling: 0.999,
+            start: None,
+        }
+    }
+}
+
+impl SimulatedAnnealing {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the iteration count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the temperature schedule.
+    pub fn with_schedule(mut self, initial_temperature: f64, cooling: f64) -> Self {
+        self.initial_temperature = initial_temperature;
+        self.cooling = cooling;
+        self
+    }
+
+    /// Runs the search with the analytic model as the oracle.
+    pub fn run(
+        &self,
+        machine: &Machine,
+        apps: &[AppSpec],
+        objective: Objective,
+    ) -> Result<SearchResult> {
+        let mut oracle = |a: &ThreadAssignment| score(machine, apps, a, objective.clone());
+        self.run_with_oracle(machine, apps.len(), &mut oracle)
+    }
+
+    /// Runs the search with a caller-supplied oracle.
+    pub fn run_with_oracle(
+        &self,
+        machine: &Machine,
+        num_apps: usize,
+        oracle: &mut Oracle<'_>,
+    ) -> Result<SearchResult> {
+        if num_apps == 0 {
+            return Err(AllocError::NoApps);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut current = match &self.start {
+            Some(s) => {
+                s.validate(machine)?;
+                s.clone()
+            }
+            None => strategies::fair_share(machine, num_apps)?,
+        };
+        let mut current_score = oracle(&current)?;
+        let mut best = current.clone();
+        let mut best_score = current_score;
+        let mut evals = 1usize;
+        let nodes = machine.num_nodes();
+        let mut temperature = self.initial_temperature;
+
+        for _ in 0..self.iterations {
+            temperature *= self.cooling;
+            let mut candidate = current.clone();
+            let app = rng.gen_range(0..num_apps);
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    let from = NodeId(rng.gen_range(0..nodes));
+                    let to = NodeId(rng.gen_range(0..nodes));
+                    if from == to
+                        || candidate.get(app, from) == 0
+                        || candidate.node_total(to) >= machine.node(to).num_cores()
+                    {
+                        continue;
+                    }
+                    candidate.set(app, from, candidate.get(app, from) - 1);
+                    candidate.set(app, to, candidate.get(app, to) + 1);
+                }
+                1 => {
+                    let node = NodeId(rng.gen_range(0..nodes));
+                    if candidate.node_total(node) >= machine.node(node).num_cores() {
+                        continue;
+                    }
+                    candidate.set(app, node, candidate.get(app, node) + 1);
+                }
+                _ => {
+                    let node = NodeId(rng.gen_range(0..nodes));
+                    if candidate.get(app, node) == 0 {
+                        continue;
+                    }
+                    candidate.set(app, node, candidate.get(app, node) - 1);
+                }
+            }
+            let s = oracle(&candidate)?;
+            evals += 1;
+            let delta = s - current_score;
+            let accept = delta >= 0.0
+                || (temperature > 1e-12 && rng.gen::<f64>() < (delta / temperature).exp());
+            if accept {
+                current = candidate;
+                current_score = s;
+                if s > best_score {
+                    best = current.clone();
+                    best_score = s;
+                }
+            }
+        }
+        Ok(SearchResult {
+            assignment: best,
+            score: best_score,
+            evaluations: evals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod annealing_tests {
+    use super::*;
+    use numa_topology::presets::{paper_crossnode_machine, paper_model_machine};
+
+    fn paper_apps() -> Vec<AppSpec> {
+        vec![
+            AppSpec::numa_local("mem1", 0.5),
+            AppSpec::numa_local("mem2", 0.5),
+            AppSpec::numa_local("mem3", 0.5),
+            AppSpec::numa_local("comp", 10.0),
+        ]
+    }
+
+    #[test]
+    fn annealing_reaches_good_solutions() {
+        let m = paper_model_machine();
+        let sa = SimulatedAnnealing::new()
+            .with_iterations(4000)
+            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .unwrap();
+        assert!(sa.score >= 254.0, "annealing found only {}", sa.score);
+        assert!(sa.assignment.validate(&m).is_ok());
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let m = paper_model_machine();
+        let a = SimulatedAnnealing::new()
+            .with_iterations(800)
+            .with_seed(3)
+            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .unwrap();
+        let b = SimulatedAnnealing::new()
+            .with_iterations(800)
+            .with_seed(3)
+            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.score, b.score);
+    }
+
+    #[test]
+    fn annealing_handles_numa_bad_placement() {
+        let m = paper_crossnode_machine();
+        let apps = vec![
+            AppSpec::numa_local("perf1", 0.5),
+            AppSpec::numa_local("perf2", 0.5),
+            AppSpec::numa_local("perf3", 0.5),
+            AppSpec::numa_bad("bad", 1.0, NodeId(3)),
+        ];
+        let sa = SimulatedAnnealing::new()
+            .with_iterations(6000)
+            .with_seed(11)
+            .run(&m, &apps, Objective::TotalGflops)
+            .unwrap();
+        // Must beat the even allocation (138.75), i.e. discover that the
+        // bad app's threads belong near its data.
+        assert!(sa.score > 138.75, "annealing stuck at {}", sa.score);
+    }
+
+    #[test]
+    fn zero_temperature_degenerates_to_hill_climb_behaviour() {
+        let m = paper_model_machine();
+        let sa = SimulatedAnnealing::new()
+            .with_iterations(1000)
+            .with_schedule(0.0, 0.5)
+            .with_seed(5)
+            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .unwrap();
+        // Monotone acceptance only: still valid and never below the start.
+        let start = strategies::fair_share(&m, 4).unwrap();
+        let s0 = score(&m, &paper_apps(), &start, Objective::TotalGflops).unwrap();
+        assert!(sa.score >= s0);
+    }
+
+    #[test]
+    fn annealing_rejects_zero_apps() {
+        let m = paper_model_machine();
+        assert!(matches!(
+            SimulatedAnnealing::new().run(&m, &[], Objective::TotalGflops),
+            Err(AllocError::NoApps)
+        ));
+    }
+}

@@ -1,0 +1,232 @@
+//! Stability-aware reallocation.
+//!
+//! §V of the paper: when the distributed layer assumes stable node
+//! performance, the on-node layer "should attempt to provide some speedup
+//! on all nodes, favoring stability over maximal performance". Moving
+//! threads is also not free on-node: a thread arriving at a new NUMA node
+//! starts with cold caches and possibly remote data.
+//!
+//! [`ReallocPlanner`] makes the trade-off explicit: it searches for a new
+//! assignment starting *from the current one*, scoring candidates as
+//! `objective - switch_penalty * moved_threads`, where
+//! [`switching_cost`] counts the threads that must start (or move to) a
+//! different `(application, node)` slot. With a zero penalty it reduces to
+//! ordinary hill-climbing; with a large penalty it stays put unless the
+//! gain is overwhelming.
+
+use crate::{score, search::HillClimb, AllocError, Objective, Result};
+use numa_topology::{Machine, NodeId};
+use roofline_numa::{AppSpec, ThreadAssignment};
+
+/// Number of threads that must be started or moved to turn `from` into
+/// `to`: the sum over all `(app, node)` slots of the thread-count
+/// increases. (Decreases are just blocking, which the paper treats as
+/// nearly free; arrivals are what cost cache warm-up.)
+pub fn switching_cost(from: &ThreadAssignment, to: &ThreadAssignment) -> usize {
+    let apps = from.num_apps().max(to.num_apps());
+    let nodes = from.num_nodes().max(to.num_nodes());
+    let get = |a: &ThreadAssignment, app: usize, node: usize| -> usize {
+        if app < a.num_apps() && node < a.num_nodes() {
+            a.get(app, NodeId(node))
+        } else {
+            0
+        }
+    };
+    let mut moved = 0usize;
+    for app in 0..apps {
+        for node in 0..nodes {
+            let f = get(from, app, node);
+            let t = get(to, app, node);
+            moved += t.saturating_sub(f);
+        }
+    }
+    moved
+}
+
+/// Outcome of a reallocation plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReallocPlan {
+    /// The proposed assignment.
+    pub assignment: ThreadAssignment,
+    /// Raw objective value of the proposal (no penalty).
+    pub objective_value: f64,
+    /// Raw objective value of the current assignment.
+    pub current_value: f64,
+    /// Threads that must start/move to enact the proposal.
+    pub moved_threads: usize,
+}
+
+impl ReallocPlan {
+    /// `true` if the plan actually changes anything.
+    pub fn is_change(&self) -> bool {
+        self.moved_threads > 0
+    }
+
+    /// Objective improvement of the proposal over the current assignment.
+    pub fn gain(&self) -> f64 {
+        self.objective_value - self.current_value
+    }
+}
+
+/// Plans reallocations under a switching-cost penalty.
+#[derive(Debug, Clone)]
+pub struct ReallocPlanner {
+    /// What to optimize.
+    pub objective: Objective,
+    /// Objective units charged per moved thread.
+    pub switch_penalty: f64,
+    /// Local-search effort.
+    pub iterations: usize,
+    /// Search seed.
+    pub seed: u64,
+}
+
+impl ReallocPlanner {
+    /// Creates a planner.
+    pub fn new(objective: Objective, switch_penalty: f64) -> Self {
+        ReallocPlanner {
+            objective,
+            switch_penalty,
+            iterations: 1500,
+            seed: 0x51ab1e,
+        }
+    }
+
+    /// Searches for a better assignment starting from `current`.
+    pub fn plan(
+        &self,
+        machine: &Machine,
+        apps: &[AppSpec],
+        current: &ThreadAssignment,
+    ) -> Result<ReallocPlan> {
+        if apps.is_empty() {
+            return Err(AllocError::NoApps);
+        }
+        current.validate(machine)?;
+        let current_value = score(machine, apps, current, self.objective.clone())?;
+
+        let penalty = self.switch_penalty;
+        let objective = self.objective.clone();
+        let mut oracle = |a: &ThreadAssignment| -> Result<f64> {
+            let raw = score(machine, apps, a, objective.clone())?;
+            Ok(raw - penalty * switching_cost(current, a) as f64)
+        };
+        // Hill-climb, seeded from fair share internally — but we want to
+        // start from `current`, so climb manually from it.
+        let mut best = current.clone();
+        let mut best_penalized = current_value; // switching_cost(current,current)=0
+        let hc = HillClimb::new()
+            .with_iterations(self.iterations)
+            .with_seed(self.seed)
+            .with_start(current.clone());
+        // The climb starts from `current`, so staying put is always a
+        // candidate; keep whichever penalized score is best.
+        if let Ok(r) = hc.run_with_oracle(machine, apps.len(), &mut oracle) {
+            if r.score > best_penalized {
+                best = r.assignment;
+                best_penalized = r.score;
+            }
+        }
+        let _ = best_penalized;
+
+        let objective_value = score(machine, apps, &best, self.objective.clone())?;
+        Ok(ReallocPlan {
+            moved_threads: switching_cost(current, &best),
+            assignment: best,
+            objective_value,
+            current_value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies;
+    use numa_topology::presets::paper_model_machine;
+
+    fn paper_apps() -> Vec<AppSpec> {
+        vec![
+            AppSpec::numa_local("mem1", 0.5),
+            AppSpec::numa_local("mem2", 0.5),
+            AppSpec::numa_local("mem3", 0.5),
+            AppSpec::numa_local("comp", 10.0),
+        ]
+    }
+
+    #[test]
+    fn switching_cost_counts_arrivals() {
+        let m = paper_model_machine();
+        let a = ThreadAssignment::uniform_per_node(&m, &[2, 2, 2, 2]);
+        let b = ThreadAssignment::uniform_per_node(&m, &[1, 1, 1, 5]);
+        // Per node: app 3 gains 3 threads; apps 0-2 lose one each.
+        assert_eq!(switching_cost(&a, &b), 3 * 4);
+        assert_eq!(switching_cost(&b, &a), 3 * 4);
+        assert_eq!(switching_cost(&a, &a), 0);
+    }
+
+    #[test]
+    fn switching_cost_handles_shape_mismatch() {
+        let m = paper_model_machine();
+        let a = ThreadAssignment::uniform_per_node(&m, &[2]);
+        let b = ThreadAssignment::uniform_per_node(&m, &[2, 3]);
+        assert_eq!(switching_cost(&a, &b), 12, "new app's threads all arrive");
+    }
+
+    #[test]
+    fn zero_penalty_finds_improvements() {
+        let m = paper_model_machine();
+        let apps = paper_apps();
+        let current = strategies::fair_share(&m, 4).unwrap(); // 140 GFLOPS
+        let plan = ReallocPlanner::new(Objective::TotalGflops, 0.0)
+            .plan(&m, &apps, &current)
+            .unwrap();
+        assert!(plan.gain() > 0.0, "fair share is improvable");
+        assert!(plan.is_change());
+        assert!(plan.assignment.validate(&m).is_ok());
+    }
+
+    #[test]
+    fn huge_penalty_stays_put() {
+        let m = paper_model_machine();
+        let apps = paper_apps();
+        let current = strategies::fair_share(&m, 4).unwrap();
+        let plan = ReallocPlanner::new(Objective::TotalGflops, 1e9)
+            .plan(&m, &apps, &current)
+            .unwrap();
+        assert!(!plan.is_change(), "no gain can justify 1e9 per move");
+        assert_eq!(plan.assignment, current);
+        assert_eq!(plan.gain(), 0.0);
+    }
+
+    #[test]
+    fn moderate_penalty_moves_only_when_worth_it() {
+        let m = paper_model_machine();
+        let apps = paper_apps();
+        let current = strategies::fair_share(&m, 4).unwrap();
+        // Each moved thread must pay for itself with > 2 GFLOPS of gain.
+        let plan = ReallocPlanner::new(Objective::TotalGflops, 2.0)
+            .plan(&m, &apps, &current)
+            .unwrap();
+        if plan.is_change() {
+            assert!(
+                plan.gain() > 2.0 * plan.moved_threads as f64 * 0.5,
+                "gain {} must roughly justify {} moves",
+                plan.gain(),
+                plan.moved_threads
+            );
+        }
+        // And never a regression in raw objective.
+        assert!(plan.objective_value >= plan.current_value - 1e-9);
+    }
+
+    #[test]
+    fn rejects_invalid_current() {
+        let m = paper_model_machine();
+        let apps = paper_apps();
+        let over = ThreadAssignment::uniform_per_node(&m, &[9, 0, 0, 0]);
+        assert!(ReallocPlanner::new(Objective::TotalGflops, 1.0)
+            .plan(&m, &apps, &over)
+            .is_err());
+    }
+}

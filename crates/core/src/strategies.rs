@@ -1,0 +1,278 @@
+//! Named allocation strategies from the paper.
+//!
+//! "A simple core allocation strategy would be to give each application a
+//! fair share of the cores, so that the total number of worker threads
+//! across all applications is equal to the total number of available CPU
+//! cores" (§II). §III adds per-node variants: even splits within every
+//! node, one whole NUMA node per application, and explicitly uneven
+//! per-node counts. Each strategy here produces a validated
+//! [`ThreadAssignment`].
+
+use crate::{AllocError, Result};
+use numa_topology::{Machine, NodeId};
+use roofline_numa::ThreadAssignment;
+
+/// Gives each application an equal share of every node's cores; any cores
+/// left over (when the core count is not divisible) are handed out one per
+/// application in index order, round-robin across nodes so no application is
+/// systematically favoured on every node.
+///
+/// On the paper's 4x8 machine with 4 applications this is the (2,2,2,2)
+/// allocation of Table II.
+pub fn fair_share(machine: &Machine, num_apps: usize) -> Result<ThreadAssignment> {
+    if num_apps == 0 {
+        return Err(AllocError::NoApps);
+    }
+    let mut a = ThreadAssignment::zero(machine, num_apps);
+    for node in machine.node_ids() {
+        let cores = machine.node(node).num_cores();
+        let base = cores / num_apps;
+        let extra = cores % num_apps;
+        for app in 0..num_apps {
+            // Rotate which apps get the remainder by node index.
+            let gets_extra = ((app + num_apps - node.0 % num_apps) % num_apps) < extra;
+            a.set(app, node, base + usize::from(gets_extra));
+        }
+    }
+    a.validate(machine)?;
+    Ok(a)
+}
+
+/// Every application runs `counts[app]` threads on *every* node (the
+/// paper's blocking-option-3 uniform allocations, e.g. `(1,1,1,5)` or
+/// `(2,2,2,2)`).
+pub fn uniform_per_node(machine: &Machine, counts: &[usize]) -> Result<ThreadAssignment> {
+    if counts.is_empty() {
+        return Err(AllocError::NoApps);
+    }
+    let a = ThreadAssignment::uniform_per_node(machine, counts);
+    a.validate(machine)?;
+    Ok(a)
+}
+
+/// Application `i` gets all cores of node `i` ("give all cores in one NUMA
+/// node to each application", Figure 2c). Requires `num_apps <= num_nodes`.
+pub fn node_per_app(machine: &Machine, num_apps: usize) -> Result<ThreadAssignment> {
+    if num_apps == 0 {
+        return Err(AllocError::NoApps);
+    }
+    Ok(ThreadAssignment::node_per_app(machine, num_apps)?)
+}
+
+/// Like [`node_per_app`] but with an explicit application-to-node mapping,
+/// so a NUMA-bad application can be put "on the right node" (§III.A):
+/// application `i` gets all cores of `nodes[i]`. Nodes must be distinct.
+pub fn node_per_app_mapped(machine: &Machine, nodes: &[NodeId]) -> Result<ThreadAssignment> {
+    if nodes.is_empty() {
+        return Err(AllocError::NoApps);
+    }
+    let mut seen = vec![false; machine.num_nodes()];
+    let mut a = ThreadAssignment::zero(machine, nodes.len());
+    for (app, &node) in nodes.iter().enumerate() {
+        let n = machine
+            .try_node(node)
+            .map_err(|_| roofline_numa::ModelError::UnknownPlacementNode { node: node.0 })?;
+        if std::mem::replace(&mut seen[node.0], true) {
+            return Err(AllocError::ParameterShape {
+                what: "node_per_app_mapped nodes (must be distinct)",
+                expected: nodes.len(),
+                actual: nodes.len(),
+            });
+        }
+        a.set(app, node, n.num_cores());
+    }
+    a.validate(machine)?;
+    Ok(a)
+}
+
+/// Splits every node's cores between applications proportionally to
+/// `weights`, largest-remainder rounding per node. Weights must be
+/// non-negative, finite, and not all zero.
+pub fn proportional(machine: &Machine, weights: &[f64]) -> Result<ThreadAssignment> {
+    if weights.is_empty() {
+        return Err(AllocError::NoApps);
+    }
+    if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) || weights.iter().all(|&w| w == 0.0) {
+        return Err(AllocError::BadWeights);
+    }
+    let total_w: f64 = weights.iter().sum();
+    let mut a = ThreadAssignment::zero(machine, weights.len());
+    for node in machine.node_ids() {
+        let cores = machine.node(node).num_cores();
+        // Largest-remainder (Hamilton) apportionment.
+        let quotas: Vec<f64> = weights.iter().map(|w| w / total_w * cores as f64).collect();
+        let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+        let mut assigned: usize = counts.iter().sum();
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by(|&i, &j| {
+            let ri = quotas[i] - counts[i] as f64;
+            let rj = quotas[j] - counts[j] as f64;
+            rj.partial_cmp(&ri).unwrap().then(i.cmp(&j))
+        });
+        let mut it = order.iter().cycle();
+        while assigned < cores {
+            let &i = it.next().expect("cycle is infinite");
+            counts[i] += 1;
+            assigned += 1;
+        }
+        for (app, &c) in counts.iter().enumerate() {
+            a.set(app, node, c);
+        }
+    }
+    a.validate(machine)?;
+    Ok(a)
+}
+
+/// The all-cores-to-one-application allocation: application `app` (of
+/// `num_apps`) gets every core of the machine; the rest get nothing. This
+/// is the end state of the paper's "library application" burst scenario.
+pub fn all_to_one(machine: &Machine, num_apps: usize, app: usize) -> Result<ThreadAssignment> {
+    if num_apps == 0 {
+        return Err(AllocError::NoApps);
+    }
+    if app >= num_apps {
+        return Err(AllocError::ParameterShape {
+            what: "all_to_one app index",
+            expected: num_apps,
+            actual: app,
+        });
+    }
+    let mut a = ThreadAssignment::zero(machine, num_apps);
+    for node in machine.node_ids() {
+        a.set(app, node, machine.node(node).num_cores());
+    }
+    a.validate(machine)?;
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topology::presets::{paper_model_machine, tiny};
+    use numa_topology::MachineBuilder;
+
+    #[test]
+    fn fair_share_divisible() {
+        let m = paper_model_machine(); // 8 cores/node
+        let a = fair_share(&m, 4).unwrap();
+        for node in m.node_ids() {
+            for app in 0..4 {
+                assert_eq!(a.get(app, node), 2);
+            }
+        }
+        assert_eq!(a.total(), 32);
+    }
+
+    #[test]
+    fn fair_share_with_remainder_uses_all_cores() {
+        let m = paper_model_machine();
+        let a = fair_share(&m, 3).unwrap(); // 8 = 3*2 + 2
+        for node in m.node_ids() {
+            assert_eq!(a.node_total(node), 8, "every core allocated");
+        }
+        // Each app gets at least the base share everywhere.
+        for app in 0..3 {
+            for node in m.node_ids() {
+                assert!(a.get(app, node) >= 2);
+            }
+        }
+        // The remainder rotates: machine-wide totals differ by at most
+        // one remainder round.
+        let totals: Vec<usize> = (0..3).map(|app| a.app_total(app)).collect();
+        let spread = totals.iter().max().unwrap() - totals.iter().min().unwrap();
+        assert!(spread <= 2, "rotation keeps totals close: {totals:?}");
+    }
+
+    #[test]
+    fn fair_share_more_apps_than_cores() {
+        let m = tiny(); // 2 nodes x 2 cores
+        let a = fair_share(&m, 3).unwrap();
+        for node in m.node_ids() {
+            assert!(a.node_total(node) <= 2);
+        }
+        // All cores still handed out.
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn uniform_rejects_oversubscription() {
+        let m = tiny();
+        assert!(uniform_per_node(&m, &[2, 1]).is_err());
+        assert!(uniform_per_node(&m, &[1, 1]).is_ok());
+        assert!(uniform_per_node(&m, &[]).is_err());
+    }
+
+    #[test]
+    fn node_per_app_mapped_places_bad_app() {
+        let m = paper_model_machine();
+        let a = node_per_app_mapped(&m, &[NodeId(1), NodeId(3), NodeId(0), NodeId(2)]).unwrap();
+        assert_eq!(a.get(0, NodeId(1)), 8);
+        assert_eq!(a.get(1, NodeId(3)), 8);
+        assert_eq!(a.get(0, NodeId(0)), 0);
+        // Duplicate nodes rejected.
+        assert!(node_per_app_mapped(&m, &[NodeId(0), NodeId(0)]).is_err());
+        // Unknown node rejected.
+        assert!(node_per_app_mapped(&m, &[NodeId(7)]).is_err());
+    }
+
+    #[test]
+    fn proportional_respects_weights() {
+        let m = paper_model_machine();
+        let a = proportional(&m, &[3.0, 1.0]).unwrap();
+        for node in m.node_ids() {
+            assert_eq!(a.get(0, node), 6);
+            assert_eq!(a.get(1, node), 2);
+        }
+    }
+
+    #[test]
+    fn proportional_largest_remainder() {
+        // 8 cores, weights 1:1:1 -> quotas 2.67 each -> 3,3,2 (ties by index).
+        let m = paper_model_machine();
+        let a = proportional(&m, &[1.0, 1.0, 1.0]).unwrap();
+        for node in m.node_ids() {
+            assert_eq!(a.node_total(node), 8);
+            let counts: Vec<usize> = (0..3).map(|app| a.get(app, node)).collect();
+            let max = counts.iter().max().unwrap();
+            let min = counts.iter().min().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn proportional_zero_weight_app_gets_nothing() {
+        let m = paper_model_machine();
+        let a = proportional(&m, &[1.0, 0.0]).unwrap();
+        assert_eq!(a.app_total(1), 0);
+        assert_eq!(a.app_total(0), 32);
+        assert!(proportional(&m, &[0.0, 0.0]).is_err());
+        assert!(proportional(&m, &[-1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn all_to_one_fills_machine() {
+        let m = paper_model_machine();
+        let a = all_to_one(&m, 3, 1).unwrap();
+        assert_eq!(a.app_total(1), 32);
+        assert_eq!(a.app_total(0), 0);
+        assert!(all_to_one(&m, 3, 3).is_err());
+    }
+
+    #[test]
+    fn strategies_work_on_asymmetric_machines() {
+        let m = MachineBuilder::new()
+            .add_node(6, 30.0, 16.0)
+            .add_node(10, 50.0, 16.0)
+            .core_peak_gflops(5.0)
+            .uniform_link_gbs(5.0)
+            .build()
+            .unwrap();
+        let a = fair_share(&m, 2).unwrap();
+        assert_eq!(a.node_total(NodeId(0)), 6);
+        assert_eq!(a.node_total(NodeId(1)), 10);
+        let p = proportional(&m, &[1.0, 4.0]).unwrap();
+        assert_eq!(p.node_total(NodeId(0)), 6);
+        assert_eq!(p.node_total(NodeId(1)), 10);
+        assert!(p.app_total(1) > p.app_total(0));
+    }
+}

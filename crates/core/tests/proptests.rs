@@ -1,0 +1,147 @@
+//! Property-based tests for allocation strategies and searches.
+
+use coop_alloc::{enumerate, score, search, strategies, Objective};
+use numa_topology::MachineBuilder;
+use proptest::prelude::*;
+use roofline_numa::AppSpec;
+
+fn machine(nodes: usize, cores: usize) -> numa_topology::Machine {
+    MachineBuilder::new()
+        .symmetric_nodes(nodes, cores)
+        .core_peak_gflops(10.0)
+        .node_bandwidth_gbs(32.0)
+        .uniform_link_gbs(10.0)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    /// Fair share always allocates every core of every node exactly once
+    /// when apps <= cores, and never over-subscribes.
+    #[test]
+    fn fair_share_uses_all_cores(nodes in 1usize..5, cores in 1usize..17, apps in 1usize..6) {
+        let m = machine(nodes, cores);
+        let a = strategies::fair_share(&m, apps).unwrap();
+        prop_assert!(a.validate(&m).is_ok());
+        for node in m.node_ids() {
+            prop_assert_eq!(a.node_total(node), cores);
+        }
+        // No app is more than one remainder-round ahead of another per node.
+        for node in m.node_ids() {
+            let counts: Vec<usize> = (0..apps).map(|x| a.get(x, node)).collect();
+            let spread = counts.iter().max().unwrap() - counts.iter().min().unwrap();
+            prop_assert!(spread <= 1);
+        }
+    }
+
+    /// Proportional apportionment hands out every core and respects
+    /// monotonicity in weights per node.
+    #[test]
+    fn proportional_is_complete_and_ordered(
+        nodes in 1usize..4,
+        cores in 1usize..17,
+        w in proptest::collection::vec(0.01f64..10.0, 2..5),
+    ) {
+        let m = machine(nodes, cores);
+        let a = strategies::proportional(&m, &w).unwrap();
+        prop_assert!(a.validate(&m).is_ok());
+        for node in m.node_ids() {
+            prop_assert_eq!(a.node_total(node), cores);
+        }
+        // If weight[i] >= weight[j], app i's machine-wide total is at least
+        // app j's minus the rounding slack (one core per node).
+        for i in 0..w.len() {
+            for j in 0..w.len() {
+                if w[i] >= w[j] {
+                    prop_assert!(
+                        a.app_total(i) + nodes >= a.app_total(j),
+                        "weights {:?} totals {:?}",
+                        &w,
+                        (0..w.len()).map(|x| a.app_total(x)).collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Greedy never produces an invalid assignment and never scores below
+    /// the empty assignment.
+    #[test]
+    fn greedy_is_sound(
+        nodes in 1usize..4,
+        cores in 1usize..7,
+        ais in proptest::collection::vec(0.05f64..32.0, 1..4),
+    ) {
+        let m = machine(nodes, cores);
+        let apps: Vec<AppSpec> = ais
+            .iter()
+            .enumerate()
+            .map(|(i, &ai)| AppSpec::numa_local(&format!("a{i}"), ai))
+            .collect();
+        let g = search::GreedySearch::new()
+            .run(&m, &apps, Objective::TotalGflops)
+            .unwrap();
+        prop_assert!(g.assignment.validate(&m).is_ok());
+        prop_assert!(g.score >= 0.0);
+    }
+
+    /// Exhaustive uniform search is at least as good as any named strategy
+    /// that produces a uniform allocation.
+    #[test]
+    fn exhaustive_uniform_dominates_named_uniform_strategies(
+        cores in 1usize..9,
+        ai1 in 0.05f64..32.0,
+        ai2 in 0.05f64..32.0,
+    ) {
+        let m = machine(2, cores);
+        let apps = vec![
+            AppSpec::numa_local("a", ai1),
+            AppSpec::numa_local("b", ai2),
+        ];
+        let best = search::ExhaustiveSearch::new()
+            .run(&m, &apps, Objective::TotalGflops)
+            .unwrap();
+        let k = cores / 2;
+        if k > 0 {
+            let even = strategies::uniform_per_node(&m, &[k, k]).unwrap();
+            let s = score(&m, &apps, &even, Objective::TotalGflops).unwrap();
+            prop_assert!(best.score >= s - 1e-9);
+        }
+    }
+
+    /// Hill climbing never returns something worse than its fair-share
+    /// starting point.
+    #[test]
+    fn hill_climb_never_regresses(
+        seed in 0u64..1000,
+        ai1 in 0.05f64..32.0,
+        ai2 in 0.05f64..32.0,
+    ) {
+        let m = machine(2, 4);
+        let apps = vec![
+            AppSpec::numa_local("a", ai1),
+            AppSpec::numa_local("b", ai2),
+        ];
+        let start = strategies::fair_share(&m, 2).unwrap();
+        let s0 = score(&m, &apps, &start, Objective::TotalGflops).unwrap();
+        let h = search::HillClimb::new()
+            .with_iterations(200)
+            .with_seed(seed)
+            .run(&m, &apps, Objective::TotalGflops)
+            .unwrap();
+        prop_assert!(h.score >= s0 - 1e-9);
+        prop_assert!(h.assignment.validate(&m).is_ok());
+    }
+
+    /// Enumeration counts match the actual number of yielded items.
+    #[test]
+    fn enumeration_counts_are_exact(cores in 1usize..5, apps in 1usize..4) {
+        let m = machine(2, cores);
+        let n_full = enumerate::count_assignments(&m, apps);
+        let actual = enumerate::assignments(&m, apps).count();
+        prop_assert_eq!(n_full, actual as u128);
+        let n_uni = enumerate::count_uniform_assignments(&m, apps);
+        let actual_uni = enumerate::uniform_assignments(&m, apps).count();
+        prop_assert_eq!(n_uni, actual_uni as u128);
+    }
+}

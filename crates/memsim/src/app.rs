@@ -1,0 +1,186 @@
+//! Simulated application descriptions.
+
+use numa_topology::NodeId;
+use roofline_numa::{AppSpec, DataPlacement};
+use serde::{Deserialize, Serialize};
+
+/// When an application is actively computing.
+///
+/// The paper's tighter-integration scenarios (§II) involve applications
+/// whose demand varies over time — a "library" application that only works
+/// when called, or a producer that stalls when it runs too far ahead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActivityPattern {
+    /// Computing for the whole simulation.
+    AlwaysOn,
+    /// Repeating cycle: active for `duty * period_s`, idle for the rest.
+    /// The burst begins at each period start (plus `phase_s`).
+    Bursts {
+        /// Cycle length in seconds.
+        period_s: f64,
+        /// Fraction of the period spent active (0..=1).
+        duty: f64,
+        /// Offset of the first burst, seconds.
+        phase_s: f64,
+    },
+    /// Active only inside `[start_s, end_s)`.
+    Window {
+        /// Activity start, seconds.
+        start_s: f64,
+        /// Activity end, seconds.
+        end_s: f64,
+    },
+}
+
+impl ActivityPattern {
+    /// `true` if the application computes during the quantum starting at
+    /// `t` seconds.
+    pub fn is_active(&self, t: f64) -> bool {
+        match *self {
+            ActivityPattern::AlwaysOn => true,
+            ActivityPattern::Bursts {
+                period_s,
+                duty,
+                phase_s,
+            } => {
+                let pos = (t - phase_s).rem_euclid(period_s);
+                pos < duty * period_s
+            }
+            ActivityPattern::Window { start_s, end_s } => t >= start_s && t < end_s,
+        }
+    }
+}
+
+/// An application as the simulator sees it: the model-level spec plus
+/// simulator-only behaviour (activity pattern, synchronization scaling).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimApp {
+    /// Arithmetic intensity and data placement (shared with the model).
+    pub spec: AppSpec,
+    /// When the application computes.
+    pub activity: ActivityPattern,
+    /// Synchronization-overhead coefficient `alpha`: with `n` threads
+    /// machine-wide, each thread's compute throughput is multiplied by
+    /// `1 / (1 + alpha * (n - 1))`. 0 = perfect scaling (the model's
+    /// assumption). Models the "scaling is less than linear" applications
+    /// of §II without making more threads outright harmful.
+    pub sync_overhead: f64,
+}
+
+impl SimApp {
+    /// A NUMA-perfect application (threads touch only local memory).
+    pub fn numa_local(name: &str, ai: f64) -> Self {
+        SimApp {
+            spec: AppSpec::numa_local(name, ai),
+            activity: ActivityPattern::AlwaysOn,
+            sync_overhead: 0.0,
+        }
+    }
+
+    /// A NUMA-bad application: all data on `node`.
+    pub fn numa_bad(name: &str, ai: f64, node: NodeId) -> Self {
+        SimApp {
+            spec: AppSpec::numa_bad(name, ai, node),
+            activity: ActivityPattern::AlwaysOn,
+            sync_overhead: 0.0,
+        }
+    }
+
+    /// An application with an explicit traffic distribution.
+    pub fn spread(name: &str, ai: f64, fractions: Vec<f64>) -> Self {
+        SimApp {
+            spec: AppSpec::spread(name, ai, fractions),
+            activity: ActivityPattern::AlwaysOn,
+            sync_overhead: 0.0,
+        }
+    }
+
+    /// Sets the activity pattern.
+    pub fn with_activity(mut self, activity: ActivityPattern) -> Self {
+        self.activity = activity;
+        self
+    }
+
+    /// Sets the synchronization-overhead coefficient.
+    pub fn with_sync_overhead(mut self, alpha: f64) -> Self {
+        self.sync_overhead = alpha;
+        self
+    }
+
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Data placement.
+    pub fn placement(&self) -> &DataPlacement {
+        &self.spec.placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on() {
+        assert!(ActivityPattern::AlwaysOn.is_active(0.0));
+        assert!(ActivityPattern::AlwaysOn.is_active(1e9));
+    }
+
+    #[test]
+    fn bursts_cycle() {
+        let p = ActivityPattern::Bursts {
+            period_s: 1.0,
+            duty: 0.25,
+            phase_s: 0.0,
+        };
+        assert!(p.is_active(0.0));
+        assert!(p.is_active(0.24));
+        assert!(!p.is_active(0.25));
+        assert!(!p.is_active(0.9));
+        assert!(p.is_active(1.1));
+        assert!(p.is_active(5.2));
+        assert!(!p.is_active(5.3));
+    }
+
+    #[test]
+    fn bursts_with_phase() {
+        let p = ActivityPattern::Bursts {
+            period_s: 2.0,
+            duty: 0.5,
+            phase_s: 0.5,
+        };
+        assert!(!p.is_active(0.0));
+        assert!(p.is_active(0.5));
+        assert!(p.is_active(1.4));
+        assert!(!p.is_active(1.6));
+    }
+
+    #[test]
+    fn window() {
+        let p = ActivityPattern::Window {
+            start_s: 1.0,
+            end_s: 2.0,
+        };
+        assert!(!p.is_active(0.99));
+        assert!(p.is_active(1.0));
+        assert!(p.is_active(1.99));
+        assert!(!p.is_active(2.0));
+    }
+
+    #[test]
+    fn sim_app_builders() {
+        let a = SimApp::numa_local("x", 0.5)
+            .with_sync_overhead(0.02)
+            .with_activity(ActivityPattern::Window {
+                start_s: 0.0,
+                end_s: 1.0,
+            });
+        assert_eq!(a.name(), "x");
+        assert_eq!(a.sync_overhead, 0.02);
+        assert_eq!(a.placement(), &DataPlacement::Local);
+        let b = SimApp::numa_bad("y", 1.0, NodeId(2));
+        assert_eq!(b.placement(), &DataPlacement::SingleNode(NodeId(2)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the §III.B calibration procedure: on an ideal
+//! (effect-free) machine, the fit recovers the true parameters exactly;
+//! with effects, it recovers the *effective* machine the measurements
+//! actually exhibit.
+
+use memsim::{calibrate_even_scenario, EffectModel, SimApp, SimConfig, Simulation};
+use numa_topology::MachineBuilder;
+use proptest::prelude::*;
+use roofline_numa::ThreadAssignment;
+
+fn run_even_scenario(
+    machine: &numa_topology::Machine,
+    effects: EffectModel,
+) -> (f64, f64) {
+    let sim = Simulation::new(SimConfig::new(machine.clone()).with_effects(effects));
+    let apps = vec![
+        SimApp::numa_local("m1", 1.0 / 32.0),
+        SimApp::numa_local("m2", 1.0 / 32.0),
+        SimApp::numa_local("m3", 1.0 / 32.0),
+        SimApp::numa_local("c", 1.0),
+    ];
+    let cores = machine.node(numa_topology::NodeId(0)).num_cores();
+    let per = cores / 4;
+    let assignment = ThreadAssignment::uniform_per_node(machine, &[per, per, per, per]);
+    let r = sim.run(&apps, &assignment, 0.02).unwrap();
+    let mem_total: f64 = (0..3).map(|a| r.app_gflops(a)).sum();
+    (mem_total, r.app_gflops(3))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ideal effects: the fit recovers the true peak exactly and the true
+    /// bandwidth whenever the memory-bound apps saturate the node.
+    #[test]
+    fn ideal_calibration_recovers_truth(
+        nodes in 2usize..5,
+        cores_q in 1usize..6, // cores = 4*q so the even split is exact
+        peak in 0.1f64..2.0,
+        bw in 20.0f64..200.0,
+    ) {
+        let cores = 4 * cores_q;
+        let machine = MachineBuilder::new()
+            .symmetric_nodes(nodes, cores)
+            .core_peak_gflops(peak)
+            .node_bandwidth_gbs(bw)
+            .uniform_link_gbs(10.0)
+            .build()
+            .unwrap();
+        // Preconditions of the paper's fit: the memory-bound apps must
+        // saturate the node (or the bandwidth fit is meaningless), and the
+        // compute-bound app must be fully satisfiable at the baseline (or
+        // the peak fit is polluted) — both hold by construction in the
+        // paper's scenario.
+        let mem_demand = (3 * cores / 4) as f64 * peak * 32.0;
+        let comp_demand = (cores / 4) as f64 * peak;
+        prop_assume!(mem_demand + comp_demand > bw * 1.05);
+        prop_assume!(peak < bw / cores as f64 * 0.99);
+
+        let (mem_total, comp) = run_even_scenario(&machine, EffectModel::ideal());
+        let comp_threads = nodes * cores / 4;
+        let cal = calibrate_even_scenario(&machine, mem_total, 1.0 / 32.0, comp, comp_threads)
+            .unwrap();
+        prop_assert!(
+            (cal.core_peak_gflops - peak).abs() < 1e-9,
+            "peak: fit {} vs true {peak}",
+            cal.core_peak_gflops
+        );
+        prop_assert!(
+            (cal.node_bandwidth_gbs - bw).abs() < 1e-6 * bw.max(1.0),
+            "bandwidth: fit {} vs true {bw}",
+            cal.node_bandwidth_gbs
+        );
+    }
+
+    /// With lossy effects (jitter off for determinism), the fitted
+    /// bandwidth is never above the true hardware value, and the fitted
+    /// peak never above the true per-core peak: calibration sees only
+    /// what the machine actually delivers.
+    #[test]
+    fn lossy_calibration_is_conservative(
+        peak in 0.2f64..1.0,
+        bw in 60.0f64..160.0,
+    ) {
+        let machine = MachineBuilder::new()
+            .symmetric_nodes(4, 20)
+            .core_peak_gflops(peak)
+            .node_bandwidth_gbs(bw)
+            .uniform_link_gbs(10.0)
+            .build()
+            .unwrap();
+        let mem_demand = 15.0 * peak * 32.0;
+        prop_assume!(mem_demand > bw * 1.1);
+
+        let mut effects = EffectModel::skylake_like();
+        effects.jitter = 0.0;
+        let (mem_total, comp) = run_even_scenario(&machine, effects);
+        let cal = calibrate_even_scenario(&machine, mem_total, 1.0 / 32.0, comp, 20).unwrap();
+        prop_assert!(cal.core_peak_gflops <= peak * (1.0 + 1e-9));
+        prop_assert!(cal.node_bandwidth_gbs <= bw * (1.0 + 1e-9));
+        // And not absurdly low either: the effects are mild.
+        prop_assert!(cal.node_bandwidth_gbs >= bw * 0.7);
+        prop_assert!(cal.core_peak_gflops >= peak * 0.9);
+    }
+}

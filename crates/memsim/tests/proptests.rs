@@ -1,0 +1,156 @@
+//! Property-based tests: the simulator agrees with the analytic model when
+//! effects are off, and effects only ever reduce throughput.
+
+use memsim::{EffectModel, SimApp, SimConfig, Simulation};
+use numa_topology::MachineBuilder;
+use proptest::prelude::*;
+use roofline_numa::{solve, AppSpec, ThreadAssignment};
+
+fn machine(nodes: usize, cores: usize, bw: f64, link: f64) -> numa_topology::Machine {
+    MachineBuilder::new()
+        .symmetric_nodes(nodes, cores)
+        .core_peak_gflops(10.0)
+        .node_bandwidth_gbs(bw)
+        .uniform_link_gbs(link)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Ideal simulator == analytic model, for random NUMA-local scenarios.
+    #[test]
+    fn ideal_sim_matches_model_local(
+        nodes in 2usize..4,
+        cores in 1usize..7,
+        ais in proptest::collection::vec(0.05f64..32.0, 1..4),
+        counts in proptest::collection::vec(0usize..3, 1..4),
+    ) {
+        let n_apps = ais.len().min(counts.len());
+        let m = machine(nodes, cores, 32.0, 8.0);
+        let sim_apps: Vec<SimApp> = ais[..n_apps]
+            .iter()
+            .enumerate()
+            .map(|(i, &ai)| SimApp::numa_local(&format!("a{i}"), ai))
+            .collect();
+        let model_apps: Vec<AppSpec> = sim_apps.iter().map(|a| a.spec.clone()).collect();
+        let mut per_app = counts[..n_apps].to_vec();
+        // Clamp to capacity.
+        while per_app.iter().sum::<usize>() > cores {
+            let i = per_app.iter().position(|&c| c > 0).unwrap();
+            per_app[i] -= 1;
+        }
+        let assignment = ThreadAssignment::uniform_per_node(&m, &per_app);
+        let sim = Simulation::new(
+            SimConfig::new(m.clone()).with_effects(EffectModel::ideal()),
+        );
+        let r = sim.run(&sim_apps, &assignment, 0.01).unwrap();
+        let model = solve(&m, &model_apps, &assignment).unwrap();
+        prop_assert!(
+            (r.total_gflops() - model.total_gflops()).abs() < 1e-6,
+            "sim {} vs model {}",
+            r.total_gflops(),
+            model.total_gflops()
+        );
+        for a in 0..n_apps {
+            prop_assert!((r.app_gflops(a) - model.app_gflops(a)).abs() < 1e-6);
+        }
+    }
+
+    /// Ideal simulator == analytic model with a NUMA-bad application in the
+    /// mix (exercises the remote path).
+    #[test]
+    fn ideal_sim_matches_model_cross_node(
+        cores in 1usize..7,
+        ai_local in 0.05f64..8.0,
+        ai_bad in 0.05f64..8.0,
+        bad_node in 0usize..3,
+        c1 in 0usize..3,
+        c2 in 0usize..3,
+    ) {
+        let m = machine(3, cores, 32.0, 6.0);
+        let sim_apps = vec![
+            SimApp::numa_local("loc", ai_local),
+            SimApp::numa_bad("bad", ai_bad, numa_topology::NodeId(bad_node)),
+        ];
+        let model_apps: Vec<AppSpec> = sim_apps.iter().map(|a| a.spec.clone()).collect();
+        let mut per_app = vec![c1, c2];
+        while per_app.iter().sum::<usize>() > cores {
+            let i = per_app.iter().position(|&c| c > 0).unwrap();
+            per_app[i] -= 1;
+        }
+        let assignment = ThreadAssignment::uniform_per_node(&m, &per_app);
+        let sim = Simulation::new(
+            SimConfig::new(m.clone()).with_effects(EffectModel::ideal()),
+        );
+        let r = sim.run(&sim_apps, &assignment, 0.01).unwrap();
+        let model = solve(&m, &model_apps, &assignment).unwrap();
+        prop_assert!(
+            (r.total_gflops() - model.total_gflops()).abs() < 1e-6,
+            "sim {} vs model {}",
+            r.total_gflops(),
+            model.total_gflops()
+        );
+    }
+
+    /// With effects enabled, throughput never exceeds the ideal run
+    /// (effects are pure losses, up to jitter which we disable here).
+    #[test]
+    fn effects_never_gain(
+        cores in 1usize..7,
+        ai in 0.05f64..8.0,
+        count in 1usize..4,
+    ) {
+        let count = count.min(cores);
+        let m = machine(2, cores, 32.0, 6.0);
+        let apps = vec![SimApp::numa_bad("b", ai, numa_topology::NodeId(0))];
+        let assignment = ThreadAssignment::uniform_per_node(&m, &[count]);
+        let ideal = Simulation::new(
+            SimConfig::new(m.clone()).with_effects(EffectModel::ideal()),
+        )
+        .run(&apps, &assignment, 0.01)
+        .unwrap();
+        let mut lossy_effects = EffectModel::skylake_like();
+        lossy_effects.jitter = 0.0; // keep the comparison deterministic
+        let lossy = Simulation::new(SimConfig::new(m.clone()).with_effects(lossy_effects))
+            .run(&apps, &assignment, 0.01)
+            .unwrap();
+        prop_assert!(
+            lossy.total_gflops() <= ideal.total_gflops() + 1e-9,
+            "lossy {} > ideal {}",
+            lossy.total_gflops(),
+            ideal.total_gflops()
+        );
+    }
+
+    /// Node bandwidth conservation holds in the simulator for any scenario:
+    /// average served GB/s never exceeds nominal capacity.
+    #[test]
+    fn served_bandwidth_conserved(
+        cores in 1usize..7,
+        ai in 0.02f64..8.0,
+        count in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let count = count.min(cores);
+        let m = machine(2, cores, 20.0, 5.0);
+        let apps = vec![
+            SimApp::numa_local("l", ai),
+            SimApp::numa_bad("b", ai, numa_topology::NodeId(1)),
+        ];
+        let per = count.min(cores / 2).max(if cores >= 2 { 1 } else { 0 });
+        if per == 0 || 2 * per > cores {
+            return Ok(());
+        }
+        let assignment = ThreadAssignment::uniform_per_node(&m, &[per, per]);
+        let r = Simulation::new(SimConfig::new(m.clone()).with_seed(seed))
+            .run(&apps, &assignment, 0.02)
+            .unwrap();
+        for (n, &gbs) in r.node_avg_gbs.iter().enumerate() {
+            let cap = m.node(numa_topology::NodeId(n)).bandwidth_gbs;
+            // Jitter can push instantaneous demand slightly over; allow 2%.
+            prop_assert!(gbs <= cap * 1.02, "node {n}: {gbs} > {cap}");
+        }
+    }
+}

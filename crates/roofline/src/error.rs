@@ -1,0 +1,109 @@
+//! Error type for the analytic model.
+
+use std::fmt;
+
+/// Errors produced while validating model inputs or solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Arithmetic intensity must be positive and finite.
+    InvalidAi {
+        /// Application name.
+        app: String,
+        /// The offending AI value.
+        ai: f64,
+    },
+    /// A data placement referenced a node the machine does not have.
+    UnknownPlacementNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// A `Spread` placement's fraction vector has the wrong length.
+    PlacementShape {
+        /// Expected length (number of nodes).
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+    /// `Spread` fractions must be non-negative, finite, and sum to 1.
+    PlacementFractions,
+    /// An assignment row does not span every node of the machine.
+    AssignmentShape {
+        /// Application index with the malformed row.
+        app: usize,
+        /// Expected row length.
+        expected: usize,
+        /// Actual row length.
+        actual: usize,
+    },
+    /// More threads assigned to a node than it has cores (the model assumes
+    /// no over-subscription; use `memsim`'s OS scheduler to study it).
+    OverSubscribed {
+        /// The over-subscribed node.
+        node: usize,
+        /// Threads assigned.
+        threads: usize,
+        /// Cores available.
+        cores: usize,
+    },
+    /// The assignment has a different number of applications than the spec
+    /// list.
+    AppCountMismatch {
+        /// Applications in the spec list.
+        specs: usize,
+        /// Applications in the assignment.
+        assignment: usize,
+    },
+    /// `node_per_app` requires at most as many applications as nodes.
+    TooManyAppsForNodes {
+        /// Applications requested.
+        apps: usize,
+        /// Nodes available.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidAi { app, ai } => {
+                write!(f, "application '{app}': arithmetic intensity must be positive and finite, got {ai}")
+            }
+            ModelError::UnknownPlacementNode { node } => {
+                write!(f, "data placement references unknown node {node}")
+            }
+            ModelError::PlacementShape { expected, actual } => {
+                write!(f, "placement distribution must have {expected} fractions, got {actual}")
+            }
+            ModelError::PlacementFractions => {
+                write!(f, "placement fractions must be non-negative, finite, and sum to 1")
+            }
+            ModelError::AssignmentShape { app, expected, actual } => {
+                write!(f, "assignment row for app {app} must span {expected} nodes, got {actual}")
+            }
+            ModelError::OverSubscribed { node, threads, cores } => {
+                write!(f, "node {node} over-subscribed: {threads} threads for {cores} cores")
+            }
+            ModelError::AppCountMismatch { specs, assignment } => {
+                write!(f, "{specs} application specs but assignment covers {assignment} applications")
+            }
+            ModelError::TooManyAppsForNodes { apps, nodes } => {
+                write!(f, "cannot give each of {apps} applications its own node on a {nodes}-node machine")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = ModelError::OverSubscribed { node: 1, threads: 9, cores: 8 };
+        let s = e.to_string();
+        assert!(s.contains("node 1") && s.contains('9') && s.contains('8'));
+        assert!(ModelError::PlacementFractions.to_string().contains("sum to 1"));
+    }
+}

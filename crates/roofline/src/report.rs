@@ -1,0 +1,152 @@
+//! Structured output of a model solve.
+
+use numa_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth grant and performance for one *thread group* — the threads of
+/// one application homed on one NUMA node, which are all identical under the
+/// model's assumptions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadGrant {
+    /// Index of the application in the spec list.
+    pub app: usize,
+    /// Node the threads run on.
+    pub home: NodeId,
+    /// Number of threads in this group.
+    pub count: usize,
+    /// Bandwidth one thread attempts, GB/s (peak GFLOPS / AI).
+    pub demand_gbs: f64,
+    /// Bandwidth one thread was granted, GB/s, summed over target nodes.
+    pub granted_gbs: f64,
+    /// Of the granted bandwidth, how much is served by each node's memory
+    /// (index = node id). `granted_by_target[home]` is the local share.
+    pub granted_by_target: Vec<f64>,
+    /// Achieved GFLOPS of one thread: `min(core peak, AI * granted)`.
+    pub gflops: f64,
+}
+
+impl ThreadGrant {
+    /// Total GFLOPS of the whole group (`count * gflops`).
+    pub fn group_gflops(&self) -> f64 {
+        self.count as f64 * self.gflops
+    }
+
+    /// Total bandwidth of the whole group, GB/s.
+    pub fn group_gbs(&self) -> f64 {
+        self.count as f64 * self.granted_gbs
+    }
+
+    /// `true` if the group received its full demand.
+    pub fn is_satisfied(&self) -> bool {
+        self.granted_gbs >= self.demand_gbs - 1e-9
+    }
+}
+
+/// Per-application rollup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppReport {
+    /// Application name from the spec.
+    pub name: String,
+    /// Arithmetic intensity from the spec.
+    pub ai: f64,
+    /// Total threads across all nodes.
+    pub threads: usize,
+    /// Achieved GFLOPS summed over all the application's threads.
+    pub gflops: f64,
+    /// Granted memory bandwidth summed over all threads, GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+/// Per-node rollup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// The node.
+    pub node: NodeId,
+    /// Peak local bandwidth, GB/s.
+    pub capacity_gbs: f64,
+    /// Bandwidth this node's memory spends serving threads homed on *other*
+    /// nodes (the cross-node extension's remote-first stage), GB/s.
+    pub served_remote_gbs: f64,
+    /// Bandwidth served to threads homed on this node, GB/s.
+    pub served_local_gbs: f64,
+    /// The per-core baseline used in the local arbitration stage, GB/s.
+    pub baseline_gbs: f64,
+    /// GFLOPS achieved by threads *running on* this node.
+    pub gflops: f64,
+}
+
+impl NodeReport {
+    /// Fraction of this node's memory bandwidth in use (0..=1).
+    pub fn utilization(&self) -> f64 {
+        (self.served_remote_gbs + self.served_local_gbs) / self.capacity_gbs
+    }
+}
+
+/// Complete result of a model solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveReport {
+    /// Name of the machine that was solved.
+    pub machine: String,
+    /// Per-application rollups, in spec order.
+    pub apps: Vec<AppReport>,
+    /// Per-node rollups, in node order.
+    pub nodes: Vec<NodeReport>,
+    /// Per-(app, home-node) thread groups with non-zero thread counts.
+    pub groups: Vec<ThreadGrant>,
+}
+
+impl SolveReport {
+    /// Machine-wide achieved GFLOPS.
+    pub fn total_gflops(&self) -> f64 {
+        self.apps.iter().map(|a| a.gflops).sum()
+    }
+
+    /// Machine-wide granted bandwidth, GB/s.
+    pub fn total_bandwidth_gbs(&self) -> f64 {
+        self.apps.iter().map(|a| a.bandwidth_gbs).sum()
+    }
+
+    /// GFLOPS of the application with the given spec index.
+    pub fn app_gflops(&self, app: usize) -> f64 {
+        self.apps[app].gflops
+    }
+
+    /// The thread group of `app` homed on `node`, if it has any threads.
+    pub fn group(&self, app: usize, node: NodeId) -> Option<&ThreadGrant> {
+        self.groups.iter().find(|g| g.app == app && g.home == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_grant_rollups() {
+        let g = ThreadGrant {
+            app: 0,
+            home: NodeId(1),
+            count: 4,
+            demand_gbs: 20.0,
+            granted_gbs: 9.0,
+            granted_by_target: vec![0.0, 9.0],
+            gflops: 4.5,
+        };
+        assert!((g.group_gflops() - 18.0).abs() < 1e-12);
+        assert!((g.group_gbs() - 36.0).abs() < 1e-12);
+        assert!(!g.is_satisfied());
+    }
+
+    #[test]
+    fn node_utilization() {
+        let n = NodeReport {
+            node: NodeId(0),
+            capacity_gbs: 32.0,
+            served_remote_gbs: 8.0,
+            served_local_gbs: 16.0,
+            baseline_gbs: 3.0,
+            gflops: 10.0,
+        };
+        assert!((n.utilization() - 0.75).abs() < 1e-12);
+    }
+}

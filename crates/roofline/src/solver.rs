@@ -1,0 +1,582 @@
+//! The bandwidth-arbitration solver.
+//!
+//! The solve proceeds in two phases per NUMA node, exactly following the
+//! paper's model (§III.A and its cross-node extension):
+//!
+//! 1. **Remote-first stage.** Each node's memory serves requests arriving
+//!    from threads homed on *other* nodes, up to the link bandwidth from
+//!    each remote node. If the sum of remote grants would exceed the node's
+//!    capacity, all remote grants are scaled down proportionally (the paper
+//!    never exercises this corner; we define it so the model is total).
+//! 2. **Local arbitration.** The remaining capacity `C'` is shared among
+//!    threads homed on the node: a per-core *baseline* `b = C' / cores` is
+//!    guaranteed to every thread (capped by its demand), and the remainder
+//!    is split proportionally to each thread's demand above the baseline,
+//!    capped at its demand.
+//!
+//! Because the proportional split assigns each unsatisfied thread
+//! `min(need, R * need / total_need)`, either the remainder covers all
+//! needs (everyone satisfied) or it is exhausted in a single proportional
+//! round — no iteration is required, and for equal demands the split is
+//! exactly the even division shown in the paper's Tables I and II.
+//!
+//! A thread's performance is `min(core peak GFLOPS, AI * granted GB/s)`,
+//! summed over the bandwidth granted by every target node.
+
+use crate::{AppSpec, ModelError, Result, SolveReport, ThreadAssignment};
+use crate::report::{AppReport, NodeReport, ThreadGrant};
+use numa_topology::{Machine, NodeId};
+
+/// Numerical slack used when comparing demands and grants.
+const EPS: f64 = 1e-12;
+
+/// How the guaranteed per-thread baseline is computed in the local stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BaselinePolicy {
+    /// `baseline = remaining capacity / number of cores` — the paper's rule
+    /// (idle cores "waste" their share, which is then re-distributed via the
+    /// proportional remainder). This matches Tables I–III.
+    #[default]
+    PerCore,
+    /// `baseline = remaining capacity / number of threads present` — a
+    /// variant for ablation studies; with it the baseline stage alone
+    /// saturates the node whenever demand is sufficient.
+    PerActiveThread,
+}
+
+/// Solver options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveOptions {
+    /// Baseline rule for the local arbitration stage.
+    pub baseline: BaselinePolicy,
+}
+
+/// Internal: one (app, home) thread group being solved.
+struct Group {
+    app: usize,
+    home: NodeId,
+    count: usize,
+    /// Demand one thread directs at each target node, GB/s.
+    demand_to: Vec<f64>,
+    /// Grant one thread receives from each target node, GB/s.
+    granted_to: Vec<f64>,
+}
+
+impl Group {
+    fn demand_total(&self) -> f64 {
+        self.demand_to.iter().sum()
+    }
+    fn granted_total(&self) -> f64 {
+        self.granted_to.iter().sum()
+    }
+}
+
+/// Runs the model with default options. See [`solve_with_options`].
+pub fn solve(
+    machine: &Machine,
+    apps: &[AppSpec],
+    assignment: &ThreadAssignment,
+) -> Result<SolveReport> {
+    solve_with_options(machine, apps, assignment, SolveOptions::default())
+}
+
+/// Runs the model: validates inputs, arbitrates bandwidth on every node,
+/// and rolls the grants up into a [`SolveReport`].
+pub fn solve_with_options(
+    machine: &Machine,
+    apps: &[AppSpec],
+    assignment: &ThreadAssignment,
+    options: SolveOptions,
+) -> Result<SolveReport> {
+    for app in apps {
+        app.validate(machine)?;
+    }
+    assignment.validate(machine)?;
+    if assignment.num_apps() != apps.len() {
+        return Err(ModelError::AppCountMismatch {
+            specs: apps.len(),
+            assignment: assignment.num_apps(),
+        });
+    }
+
+    let num_nodes = machine.num_nodes();
+    let peak = machine.core_peak_gflops();
+
+    // Materialize all non-empty thread groups with their per-target demands.
+    let mut groups: Vec<Group> = Vec::new();
+    for (a, app) in apps.iter().enumerate() {
+        let demand = app.demand_per_thread_gbs(peak);
+        for home in machine.node_ids() {
+            let count = assignment.get(a, home);
+            if count == 0 {
+                continue;
+            }
+            let demand_to: Vec<f64> = (0..num_nodes)
+                .map(|t| demand * app.placement.fraction(home, NodeId(t), num_nodes))
+                .collect();
+            groups.push(Group {
+                app: a,
+                home,
+                count,
+                demand_to,
+                granted_to: vec![0.0; num_nodes],
+            });
+        }
+    }
+
+    let mut node_reports: Vec<NodeReport> = machine
+        .nodes()
+        .map(|n| NodeReport {
+            node: n.id,
+            capacity_gbs: n.bandwidth_gbs,
+            served_remote_gbs: 0.0,
+            served_local_gbs: 0.0,
+            baseline_gbs: 0.0,
+            gflops: 0.0,
+        })
+        .collect();
+
+    // ---- Phase 1: remote-first service on every node -------------------
+    for target in machine.node_ids() {
+        let capacity = machine.node(target).bandwidth_gbs;
+
+        // Aggregate remote demand per source node, capped by the link.
+        // served[s] = min(sum of demand from node s, link(s, target)).
+        let mut demand_from = vec![0.0f64; num_nodes];
+        for g in &groups {
+            if g.home != target {
+                demand_from[g.home.0] += g.count as f64 * g.demand_to[target.0];
+            }
+        }
+        let mut served_from: Vec<f64> = (0..num_nodes)
+            .map(|s| {
+                if s == target.0 {
+                    0.0
+                } else {
+                    demand_from[s].min(machine.links().link(NodeId(s), target))
+                }
+            })
+            .collect();
+
+        // If remote service alone would exceed capacity, scale it down.
+        let total_remote: f64 = served_from.iter().sum();
+        if total_remote > capacity {
+            let scale = capacity / total_remote;
+            for s in served_from.iter_mut() {
+                *s *= scale;
+            }
+        }
+
+        // Distribute each source's served bandwidth over its groups,
+        // proportionally to their demand toward this target.
+        for g in groups.iter_mut() {
+            if g.home == target {
+                continue;
+            }
+            let d = g.count as f64 * g.demand_to[target.0];
+            if d > EPS && demand_from[g.home.0] > EPS {
+                let share = served_from[g.home.0] * d / demand_from[g.home.0];
+                g.granted_to[target.0] = share / g.count as f64;
+            }
+        }
+
+        node_reports[target.0].served_remote_gbs = served_from.iter().sum();
+    }
+
+    // ---- Phase 2: local arbitration on every node -----------------------
+    for target in machine.node_ids() {
+        let node = machine.node(target);
+        let remaining = (node.bandwidth_gbs - node_reports[target.0].served_remote_gbs).max(0.0);
+
+        // Collect indices of groups homed here with local demand.
+        let local: Vec<usize> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.home == target)
+            .map(|(i, _)| i)
+            .collect();
+
+        let thread_count: usize = local.iter().map(|&i| groups[i].count).sum();
+        let divisor = match options.baseline {
+            BaselinePolicy::PerCore => node.num_cores(),
+            BaselinePolicy::PerActiveThread => thread_count.max(1),
+        };
+        let baseline = remaining / divisor as f64;
+        node_reports[target.0].baseline_gbs = baseline;
+
+        // Stage 2a: everyone gets min(demand, baseline).
+        let mut used = 0.0f64;
+        for &i in &local {
+            let g = &mut groups[i];
+            let grant = g.demand_to[target.0].min(baseline);
+            g.granted_to[target.0] = grant;
+            used += g.count as f64 * grant;
+        }
+
+        // Stage 2b: split the remainder proportionally to unmet need.
+        let mut rest = (remaining - used).max(0.0);
+        let total_need: f64 = local
+            .iter()
+            .map(|&i| {
+                let g = &groups[i];
+                g.count as f64 * (g.demand_to[target.0] - g.granted_to[target.0]).max(0.0)
+            })
+            .sum();
+        if total_need > EPS && rest > EPS {
+            let ratio = (rest / total_need).min(1.0);
+            for &i in &local {
+                let g = &mut groups[i];
+                let need = (g.demand_to[target.0] - g.granted_to[target.0]).max(0.0);
+                let extra = ratio * need;
+                g.granted_to[target.0] += extra;
+                rest -= g.count as f64 * extra;
+            }
+        }
+
+        node_reports[target.0].served_local_gbs = local
+            .iter()
+            .map(|&i| groups[i].count as f64 * groups[i].granted_to[target.0])
+            .sum();
+    }
+
+    // ---- Roll up: per-thread GFLOPS, per-app and per-node totals --------
+    let mut app_reports: Vec<AppReport> = apps
+        .iter()
+        .enumerate()
+        .map(|(a, app)| AppReport {
+            name: app.name.clone(),
+            ai: app.ai,
+            threads: assignment.app_total(a),
+            gflops: 0.0,
+            bandwidth_gbs: 0.0,
+        })
+        .collect();
+
+    let mut grants = Vec::with_capacity(groups.len());
+    for g in &groups {
+        let granted = g.granted_total();
+        let gflops = (apps[g.app].ai * granted).min(peak);
+        app_reports[g.app].gflops += g.count as f64 * gflops;
+        app_reports[g.app].bandwidth_gbs += g.count as f64 * granted;
+        node_reports[g.home.0].gflops += g.count as f64 * gflops;
+        grants.push(ThreadGrant {
+            app: g.app,
+            home: g.home,
+            count: g.count,
+            demand_gbs: g.demand_total(),
+            granted_gbs: granted,
+            granted_by_target: g.granted_to.clone(),
+            gflops,
+        });
+    }
+
+    Ok(SolveReport {
+        machine: machine.name().to_string(),
+        apps: app_reports,
+        nodes: node_reports,
+        groups: grants,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AppSpec;
+    use numa_topology::presets::{
+        paper_crossnode_machine, paper_model_machine, paper_skylake_machine, tiny,
+    };
+
+    fn paper_apps() -> Vec<AppSpec> {
+        vec![
+            AppSpec::numa_local("mem1", 0.5),
+            AppSpec::numa_local("mem2", 0.5),
+            AppSpec::numa_local("mem3", 0.5),
+            AppSpec::numa_local("comp", 10.0),
+        ]
+    }
+
+    /// Table I: uneven allocation (1,1,1,5) -> 63.5 GFLOPS/node, 254 total.
+    #[test]
+    fn table_1_uneven_allocation() {
+        let m = paper_model_machine();
+        let a = ThreadAssignment::uniform_per_node(&m, &[1, 1, 1, 5]);
+        let r = solve(&m, &paper_apps(), &a).unwrap();
+
+        // Per-thread grants (Table I rows).
+        for app in 0..3 {
+            let g = r.group(app, NodeId(0)).unwrap();
+            assert!((g.demand_gbs - 20.0).abs() < 1e-9, "peak bw per mem thread");
+            assert!((g.granted_gbs - 9.0).abs() < 1e-9, "4 baseline + 5 remainder");
+            assert!((g.gflops - 4.5).abs() < 1e-9);
+        }
+        let comp = r.group(3, NodeId(0)).unwrap();
+        assert!((comp.demand_gbs - 1.0).abs() < 1e-9);
+        assert!((comp.granted_gbs - 1.0).abs() < 1e-9);
+        assert!((comp.gflops - 10.0).abs() < 1e-9);
+        assert!(comp.is_satisfied());
+
+        // Rollups.
+        assert!((r.nodes[0].gflops - 63.5).abs() < 1e-9, "total GFLOPS per node");
+        assert!((r.total_gflops() - 254.0).abs() < 1e-9, "total GFLOPS");
+        assert!((r.app_gflops(3) - 200.0).abs() < 1e-9, "compute app 4 nodes x 50");
+        assert!((r.app_gflops(0) - 18.0).abs() < 1e-9, "memory app 4 nodes x 4.5");
+        // Allocated node bandwidth: 17 (baseline stage) + 15 (remainder) = 32.
+        assert!((r.nodes[0].served_local_gbs - 32.0).abs() < 1e-9);
+        assert!((r.nodes[0].baseline_gbs - 4.0).abs() < 1e-9);
+        assert_eq!(r.nodes[0].served_remote_gbs, 0.0);
+    }
+
+    /// Table II: even allocation (2,2,2,2) -> 35 GFLOPS/node, 140 total.
+    #[test]
+    fn table_2_even_allocation() {
+        let m = paper_model_machine();
+        let a = ThreadAssignment::uniform_per_node(&m, &[2, 2, 2, 2]);
+        let r = solve(&m, &paper_apps(), &a).unwrap();
+
+        for app in 0..3 {
+            let g = r.group(app, NodeId(1)).unwrap();
+            assert!((g.granted_gbs - 5.0).abs() < 1e-9, "4 baseline + 1 remainder");
+            assert!((g.gflops - 2.5).abs() < 1e-9);
+        }
+        let comp = r.group(3, NodeId(1)).unwrap();
+        assert!((comp.granted_gbs - 1.0).abs() < 1e-9);
+        assert!((comp.gflops - 10.0).abs() < 1e-9);
+
+        assert!((r.nodes[2].gflops - 35.0).abs() < 1e-9);
+        assert!((r.total_gflops() - 140.0).abs() < 1e-9);
+    }
+
+    /// Figure 2c: one whole NUMA node per application -> 128 total.
+    #[test]
+    fn figure_2c_node_per_app() {
+        let m = paper_model_machine();
+        let a = ThreadAssignment::node_per_app(&m, 4).unwrap();
+        let r = solve(&m, &paper_apps(), &a).unwrap();
+
+        // Memory-bound nodes saturate at 32 GB/s -> 16 GFLOPS each.
+        for app in 0..3 {
+            assert!((r.app_gflops(app) - 16.0).abs() < 1e-9);
+        }
+        // Compute-bound node reaches peak 8 x 10 GFLOPS.
+        assert!((r.app_gflops(3) - 80.0).abs() < 1e-9);
+        assert!((r.total_gflops() - 128.0).abs() < 1e-9);
+    }
+
+    /// Figure 3: NUMA-bad application, even vs whole-node allocation.
+    /// Even -> 138.75 (paper rounds to 138); whole-node -> 150.
+    #[test]
+    fn figure_3_numa_bad_reverses_ranking() {
+        let m = paper_crossnode_machine();
+        let apps = vec![
+            AppSpec::numa_local("perf1", 0.5),
+            AppSpec::numa_local("perf2", 0.5),
+            AppSpec::numa_local("perf3", 0.5),
+            AppSpec::numa_bad("bad", 1.0, NodeId(3)),
+        ];
+
+        let even = ThreadAssignment::uniform_per_node(&m, &[2, 2, 2, 2]);
+        let r_even = solve(&m, &apps, &even).unwrap();
+        assert!(
+            (r_even.total_gflops() - 138.75).abs() < 1e-9,
+            "even allocation, got {}",
+            r_even.total_gflops()
+        );
+
+        // Whole-node allocation with the NUMA-bad app on its data node.
+        let mut whole = ThreadAssignment::zero(&m, 4);
+        for app in 0..3 {
+            whole.set(app, NodeId(app), 8);
+        }
+        whole.set(3, NodeId(3), 8);
+        let r_whole = solve(&m, &apps, &whole).unwrap();
+        assert!(
+            (r_whole.total_gflops() - 150.0).abs() < 1e-9,
+            "whole-node allocation, got {}",
+            r_whole.total_gflops()
+        );
+
+        // The point of the figure: the ranking reverses relative to Fig 2.
+        assert!(r_whole.total_gflops() > r_even.total_gflops());
+    }
+
+    fn skylake_apps_local() -> Vec<AppSpec> {
+        vec![
+            AppSpec::numa_local("mem1", 1.0 / 32.0),
+            AppSpec::numa_local("mem2", 1.0 / 32.0),
+            AppSpec::numa_local("mem3", 1.0 / 32.0),
+            AppSpec::numa_local("comp", 1.0),
+        ]
+    }
+
+    /// Table III row 1 (uneven 1,1,1,17): model 23.20 GFLOPS.
+    #[test]
+    fn table_3_row_1_uneven() {
+        let m = paper_skylake_machine();
+        let a = ThreadAssignment::uniform_per_node(&m, &[1, 1, 1, 17]);
+        let r = solve(&m, &skylake_apps_local(), &a).unwrap();
+        assert!((r.total_gflops() - 23.20).abs() < 5e-3, "got {}", r.total_gflops());
+        // Everyone reaches peak: 80 threads x 0.29.
+        assert!((r.total_gflops() - 80.0 * 0.29).abs() < 1e-9);
+    }
+
+    /// Table III row 2 (even 5,5,5,5): model 18.12 GFLOPS. This is the
+    /// scenario the paper calibrated against.
+    #[test]
+    fn table_3_row_2_even() {
+        let m = paper_skylake_machine();
+        let a = ThreadAssignment::uniform_per_node(&m, &[5, 5, 5, 5]);
+        let r = solve(&m, &skylake_apps_local(), &a).unwrap();
+        assert!((r.total_gflops() - 18.12).abs() < 5e-3, "got {}", r.total_gflops());
+    }
+
+    /// Table III row 3 (whole node per app): model 15.18 GFLOPS.
+    #[test]
+    fn table_3_row_3_per_node() {
+        let m = paper_skylake_machine();
+        let a = ThreadAssignment::node_per_app(&m, 4).unwrap();
+        let r = solve(&m, &skylake_apps_local(), &a).unwrap();
+        assert!((r.total_gflops() - 15.18).abs() < 5e-3, "got {}", r.total_gflops());
+    }
+
+    /// Table III row 4 (NUMA-bad, cross-node, even): model 13.98 GFLOPS.
+    #[test]
+    fn table_3_row_4_numa_bad_cross_node() {
+        let m = paper_skylake_machine();
+        let apps = vec![
+            AppSpec::numa_local("mem1", 1.0 / 32.0),
+            AppSpec::numa_local("mem2", 1.0 / 32.0),
+            AppSpec::numa_local("mem3", 1.0 / 32.0),
+            AppSpec::numa_bad("bad", 1.0 / 16.0, NodeId(0)),
+        ];
+        let a = ThreadAssignment::uniform_per_node(&m, &[5, 5, 5, 5]);
+        let r = solve(&m, &apps, &a).unwrap();
+        assert!((r.total_gflops() - 13.98).abs() < 5e-3, "got {}", r.total_gflops());
+    }
+
+    /// Table III row 5 (NUMA-bad on its own node, whole-node allocation):
+    /// model 15.18 GFLOPS — identical to row 3 because the on-node bad app
+    /// is not bandwidth-starved.
+    #[test]
+    fn table_3_row_5_numa_bad_on_node() {
+        let m = paper_skylake_machine();
+        let apps = vec![
+            AppSpec::numa_local("mem1", 1.0 / 32.0),
+            AppSpec::numa_local("mem2", 1.0 / 32.0),
+            AppSpec::numa_local("mem3", 1.0 / 32.0),
+            AppSpec::numa_bad("bad", 1.0 / 16.0, NodeId(3)),
+        ];
+        let a = ThreadAssignment::node_per_app(&m, 4).unwrap();
+        let r = solve(&m, &apps, &a).unwrap();
+        assert!((r.total_gflops() - 15.18).abs() < 5e-3, "got {}", r.total_gflops());
+    }
+
+    #[test]
+    fn conservation_per_node() {
+        let m = paper_skylake_machine();
+        let apps = vec![
+            AppSpec::numa_local("mem", 1.0 / 32.0),
+            AppSpec::numa_bad("bad", 1.0 / 16.0, NodeId(0)),
+        ];
+        let a = ThreadAssignment::uniform_per_node(&m, &[10, 10]);
+        let r = solve(&m, &apps, &a).unwrap();
+        for n in &r.nodes {
+            assert!(
+                n.served_remote_gbs + n.served_local_gbs <= n.capacity_gbs + 1e-9,
+                "node {:?} over capacity",
+                n.node
+            );
+        }
+        // Grants never exceed demands.
+        for g in &r.groups {
+            assert!(g.granted_gbs <= g.demand_gbs + 1e-9);
+        }
+    }
+
+    #[test]
+    fn app_count_mismatch_rejected() {
+        let m = tiny();
+        let apps = vec![AppSpec::numa_local("a", 1.0)];
+        let a = ThreadAssignment::uniform_per_node(&m, &[1, 1]);
+        assert!(matches!(
+            solve(&m, &apps, &a),
+            Err(ModelError::AppCountMismatch { specs: 1, assignment: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty_assignment_yields_zero() {
+        let m = tiny();
+        let apps = vec![AppSpec::numa_local("a", 1.0)];
+        let a = ThreadAssignment::zero(&m, 1);
+        let r = solve(&m, &apps, &a).unwrap();
+        assert_eq!(r.total_gflops(), 0.0);
+        assert!(r.groups.is_empty());
+    }
+
+    #[test]
+    fn per_active_thread_baseline_option() {
+        // With PerActiveThread, a lone memory-bound thread on a node gets
+        // the whole node bandwidth in the baseline stage already.
+        let m = paper_model_machine();
+        let apps = vec![AppSpec::numa_local("mem", 0.5)];
+        let a = ThreadAssignment::uniform_per_node(&m, &[1]);
+        let opts = SolveOptions { baseline: BaselinePolicy::PerActiveThread };
+        let r = solve_with_options(&m, &apps, &a, opts).unwrap();
+        // demand 20 GB/s < 32 GB/s baseline -> fully satisfied.
+        let g = r.group(0, NodeId(0)).unwrap();
+        assert!(g.is_satisfied());
+        assert!((g.gflops - 10.0).abs() < 1e-9);
+        // Default per-core baseline gives the same grant here via remainder.
+        let r2 = solve(&m, &apps, &a).unwrap();
+        assert!((r2.group(0, NodeId(0)).unwrap().granted_gbs - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_grants_capped_by_link() {
+        // One NUMA-bad app homed entirely on node 1, data on node 0.
+        let m = paper_crossnode_machine(); // link 10 GB/s
+        let apps = vec![AppSpec::numa_bad("bad", 1.0, NodeId(0))];
+        let mut a = ThreadAssignment::zero(&m, 1);
+        a.set(0, NodeId(1), 8); // 8 threads x 10 GB/s demand = 80 > link 10
+        let r = solve(&m, &apps, &a).unwrap();
+        let g = r.group(0, NodeId(1)).unwrap();
+        // The 10 GB/s link is shared by 8 threads.
+        assert!((g.granted_gbs - 10.0 / 8.0).abs() < 1e-9);
+        assert!((r.nodes[0].served_remote_gbs - 10.0).abs() < 1e-9);
+        assert_eq!(r.nodes[1].served_local_gbs, 0.0);
+    }
+
+    #[test]
+    fn remote_scaled_when_capacity_exceeded() {
+        // Three source nodes, each with link 10, targeting a node with only
+        // 24 GB/s capacity: remote service must be scaled 24/30.
+        let m = numa_topology::MachineBuilder::new()
+            .symmetric_nodes(4, 8)
+            .core_peak_gflops(10.0)
+            .node_bandwidth_gbs(24.0)
+            .uniform_link_gbs(10.0)
+            .build()
+            .unwrap();
+        let apps = vec![AppSpec::numa_bad("bad", 0.5, NodeId(0))];
+        let mut a = ThreadAssignment::zero(&m, 1);
+        for n in 1..4 {
+            a.set(0, NodeId(n), 8); // demand 8 x 20 = 160 per node >> link
+        }
+        let r = solve(&m, &apps, &a).unwrap();
+        assert!((r.nodes[0].served_remote_gbs - 24.0).abs() < 1e-9);
+        for n in 1..4 {
+            let g = r.group(0, NodeId(n)).unwrap();
+            assert!((g.group_gbs() - 8.0).abs() < 1e-9, "10 * 24/30 per source node");
+        }
+    }
+
+    #[test]
+    fn solver_is_deterministic() {
+        let m = paper_skylake_machine();
+        let apps = skylake_apps_local();
+        let a = ThreadAssignment::uniform_per_node(&m, &[5, 5, 5, 5]);
+        let r1 = solve(&m, &apps, &a).unwrap();
+        let r2 = solve(&m, &apps, &a).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,255 @@
+//! Property-based tests for the bandwidth-arbitration solver.
+
+use numa_topology::{MachineBuilder, NodeId};
+use proptest::prelude::*;
+use roofline_numa::{solve, AppSpec, DataPlacement, ThreadAssignment};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    nodes: usize,
+    cores: usize,
+    gflops: f64,
+    bw: f64,
+    link: f64,
+    apps: Vec<(f64, usize)>, // (ai, placement_code)
+    counts: Vec<Vec<usize>>, // [app][node]
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..5, 1usize..9, 1usize..5).prop_flat_map(|(nodes, cores, num_apps)| {
+        let apps = proptest::collection::vec(
+            (0.01f64..64.0, 0usize..3usize),
+            num_apps..=num_apps,
+        );
+        let counts = proptest::collection::vec(
+            proptest::collection::vec(0usize..=cores, nodes..=nodes),
+            num_apps..=num_apps,
+        );
+        (
+            Just(nodes),
+            Just(cores),
+            0.1f64..50.0,
+            1.0f64..200.0,
+            0.0f64..50.0,
+            apps,
+            counts,
+        )
+            .prop_map(
+                |(nodes, cores, gflops, bw, link, apps, counts)| Scenario {
+                    nodes,
+                    cores,
+                    gflops,
+                    bw,
+                    link,
+                    apps,
+                    counts,
+                },
+            )
+    })
+}
+
+fn build(s: &Scenario) -> Option<(numa_topology::Machine, Vec<AppSpec>, ThreadAssignment)> {
+    let machine = MachineBuilder::new()
+        .symmetric_nodes(s.nodes, s.cores)
+        .core_peak_gflops(s.gflops)
+        .node_bandwidth_gbs(s.bw)
+        .uniform_link_gbs(s.link)
+        .build()
+        .ok()?;
+    let apps: Vec<AppSpec> = s
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(i, &(ai, code))| {
+            let placement = match code {
+                0 => DataPlacement::Local,
+                1 => DataPlacement::SingleNode(NodeId(i % s.nodes)),
+                _ => {
+                    // An uneven but valid spread.
+                    let mut fr = vec![1.0 / s.nodes as f64; s.nodes];
+                    let shift = fr[0] / 2.0;
+                    fr[0] -= shift;
+                    fr[s.nodes - 1] += shift;
+                    DataPlacement::Spread(fr)
+                }
+            };
+            AppSpec {
+                name: format!("app{i}"),
+                ai,
+                placement,
+            }
+        })
+        .collect();
+
+    // Clamp the random counts so no node is over-subscribed.
+    let mut counts = s.counts.clone();
+    for node in 0..s.nodes {
+        loop {
+            let total: usize = counts.iter().map(|row| row[node]).sum();
+            if total <= s.cores {
+                break;
+            }
+            // Reduce the largest contributor.
+            let max_app = (0..counts.len())
+                .max_by_key(|&a| counts[a][node])
+                .unwrap();
+            counts[max_app][node] -= 1;
+        }
+    }
+    let assignment = ThreadAssignment::from_matrix(counts);
+    assignment.validate(&machine).ok()?;
+    Some((machine, apps, assignment))
+}
+
+proptest! {
+    /// No node's memory ever serves more bandwidth than its capacity, no
+    /// thread is granted more than it asked for, and every thread gets at
+    /// least `min(demand, baseline)`.
+    #[test]
+    fn conservation_and_baseline_guarantee(s in arb_scenario()) {
+        let Some((machine, apps, assignment)) = build(&s) else {
+            return Ok(());
+        };
+        let r = solve(&machine, &apps, &assignment).unwrap();
+
+        for n in &r.nodes {
+            prop_assert!(
+                n.served_remote_gbs + n.served_local_gbs <= n.capacity_gbs * (1.0 + 1e-9),
+                "node {:?}: {} + {} > {}",
+                n.node, n.served_remote_gbs, n.served_local_gbs, n.capacity_gbs
+            );
+            prop_assert!(n.served_remote_gbs >= -1e-12);
+            prop_assert!(n.served_local_gbs >= -1e-12);
+        }
+        for g in &r.groups {
+            prop_assert!(g.granted_gbs <= g.demand_gbs * (1.0 + 1e-9) + 1e-9);
+            prop_assert!(g.granted_gbs >= -1e-12);
+            prop_assert!(g.gflops <= machine.core_peak_gflops() * (1.0 + 1e-9));
+            // Baseline guarantee applies to the *local* component.
+            let local_demand = g.demand_gbs
+                * match &apps[g.app].placement {
+                    DataPlacement::Local => 1.0,
+                    DataPlacement::SingleNode(n) => if *n == g.home { 1.0 } else { 0.0 },
+                    DataPlacement::Spread(fr) => fr[g.home.0],
+                };
+            let baseline = r.nodes[g.home.0].baseline_gbs;
+            let guaranteed = local_demand.min(baseline);
+            prop_assert!(
+                g.granted_by_target[g.home.0] >= guaranteed - 1e-9,
+                "local grant {} below guarantee {}",
+                g.granted_by_target[g.home.0],
+                guaranteed
+            );
+        }
+    }
+
+    /// The sum of per-group grants equals the per-node served totals, and
+    /// the app rollups equal the group rollups (internal consistency).
+    #[test]
+    fn rollups_are_consistent(s in arb_scenario()) {
+        let Some((machine, apps, assignment)) = build(&s) else {
+            return Ok(());
+        };
+        let r = solve(&machine, &apps, &assignment).unwrap();
+
+        for node in machine.node_ids() {
+            let served: f64 = r
+                .groups
+                .iter()
+                .map(|g| g.count as f64 * g.granted_by_target[node.0])
+                .sum();
+            let reported = r.nodes[node.0].served_remote_gbs + r.nodes[node.0].served_local_gbs;
+            prop_assert!((served - reported).abs() < 1e-6,
+                "node {node:?}: groups sum {served} vs report {reported}");
+        }
+        for (a, app) in r.apps.iter().enumerate() {
+            let from_groups: f64 = r
+                .groups
+                .iter()
+                .filter(|g| g.app == a)
+                .map(|g| g.group_gflops())
+                .sum();
+            prop_assert!((from_groups - app.gflops).abs() < 1e-6);
+        }
+        let node_total: f64 = r.nodes.iter().map(|n| n.gflops).sum();
+        prop_assert!((node_total - r.total_gflops()).abs() < 1e-6);
+    }
+
+    /// Scaling the machine's bandwidths and the per-core peak by a common
+    /// factor scales every achieved GFLOPS by the same factor.
+    #[test]
+    fn scale_invariance(s in arb_scenario(), k in 0.5f64..4.0) {
+        let Some((machine, apps, assignment)) = build(&s) else {
+            return Ok(());
+        };
+        let r1 = solve(&machine, &apps, &assignment).unwrap();
+
+        let scaled = MachineBuilder::new()
+            .symmetric_nodes(s.nodes, s.cores)
+            .core_peak_gflops(s.gflops * k)
+            .node_bandwidth_gbs(machine.node(NodeId(0)).bandwidth_gbs * k)
+            .uniform_link_gbs(s.link * k)
+            .build()
+            .unwrap();
+        let r2 = solve(&scaled, &apps, &assignment).unwrap();
+        prop_assert!(
+            (r2.total_gflops() - k * r1.total_gflops()).abs()
+                <= 1e-6 * (1.0 + r1.total_gflops().abs() * k),
+            "{} vs {}", r2.total_gflops(), k * r1.total_gflops()
+        );
+    }
+
+    /// Raising a node's bandwidth never lowers total performance
+    /// (capacity monotonicity).
+    #[test]
+    fn capacity_monotonicity(s in arb_scenario(), extra in 1.0f64..100.0) {
+        let Some((machine, apps, assignment)) = build(&s) else {
+            return Ok(());
+        };
+        let r1 = solve(&machine, &apps, &assignment).unwrap();
+
+        let bigger = MachineBuilder::new()
+            .symmetric_nodes(s.nodes, s.cores)
+            .core_peak_gflops(s.gflops)
+            .node_bandwidth_gbs(machine.node(NodeId(0)).bandwidth_gbs + extra)
+            .uniform_link_gbs(s.link)
+            .build()
+            .unwrap();
+        let r2 = solve(&bigger, &apps, &assignment).unwrap();
+        prop_assert!(
+            r2.total_gflops() >= r1.total_gflops() - 1e-6,
+            "raising capacity lowered GFLOPS: {} -> {}",
+            r1.total_gflops(),
+            r2.total_gflops()
+        );
+    }
+
+    /// With purely NUMA-local applications, links are irrelevant.
+    #[test]
+    fn local_apps_ignore_links(
+        nodes in 2usize..5,
+        cores in 1usize..9,
+        ai in 0.01f64..64.0,
+        count in 1usize..4,
+        link_a in 0.0f64..50.0,
+        link_b in 0.0f64..50.0,
+    ) {
+        let count = count.min(cores);
+        let mk = |link: f64| {
+            MachineBuilder::new()
+                .symmetric_nodes(nodes, cores)
+                .core_peak_gflops(10.0)
+                .node_bandwidth_gbs(32.0)
+                .uniform_link_gbs(link)
+                .build()
+                .unwrap()
+        };
+        let apps = vec![AppSpec::numa_local("a", ai)];
+        let m1 = mk(link_a);
+        let a1 = ThreadAssignment::uniform_per_node(&m1, &[count]);
+        let r1 = solve(&m1, &apps, &a1).unwrap();
+        let m2 = mk(link_b);
+        let r2 = solve(&m2, &apps, &a1).unwrap();
+        prop_assert!((r1.total_gflops() - r2.total_gflops()).abs() < 1e-9);
+    }
+}

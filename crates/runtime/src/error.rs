@@ -1,0 +1,92 @@
+//! Error type for the task runtime.
+
+use std::fmt;
+
+/// Errors produced by the runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The runtime has been shut down; no further work is accepted.
+    ShutDown,
+    /// A task body panicked. The runtime contains the panic; the message is
+    /// preserved for diagnosis.
+    TaskPanicked {
+        /// Task name (from its builder).
+        task: String,
+        /// Panic payload rendered to a string, if it was a string.
+        message: String,
+    },
+    /// An event was satisfied more than once (once-events are single-shot).
+    EventAlreadySatisfied {
+        /// The offending event.
+        event: u64,
+    },
+    /// An operation referenced an event unknown to this runtime.
+    UnknownEvent {
+        /// The offending event id.
+        event: u64,
+    },
+    /// A thread-control command referenced a core/node the runtime's
+    /// machine does not have, or a mode the worker binding cannot express.
+    InvalidControl {
+        /// Explanation.
+        reason: String,
+    },
+    /// Waiting for quiescence timed out (tasks still pending — possibly
+    /// waiting on events nobody will satisfy, or all workers blocked).
+    QuiescenceTimeout {
+        /// Tasks still pending when the wait gave up.
+        pending: usize,
+    },
+    /// A task was built without a body.
+    MissingBody,
+    /// A data block operation failed.
+    DataBlock {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::ShutDown => write!(f, "runtime is shut down"),
+            RuntimeError::TaskPanicked { task, message } => {
+                write!(f, "task '{task}' panicked: {message}")
+            }
+            RuntimeError::EventAlreadySatisfied { event } => {
+                write!(f, "event {event} already satisfied")
+            }
+            RuntimeError::UnknownEvent { event } => write!(f, "unknown event {event}"),
+            RuntimeError::InvalidControl { reason } => {
+                write!(f, "invalid thread-control command: {reason}")
+            }
+            RuntimeError::QuiescenceTimeout { pending } => {
+                write!(f, "quiescence wait timed out with {pending} tasks pending")
+            }
+            RuntimeError::MissingBody => write!(f, "task built without a body"),
+            RuntimeError::DataBlock { reason } => write!(f, "data block error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(RuntimeError::ShutDown.to_string().contains("shut down"));
+        let e = RuntimeError::TaskPanicked {
+            task: "t".into(),
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
+        assert!(
+            RuntimeError::QuiescenceTimeout { pending: 3 }
+                .to_string()
+                .contains('3')
+        );
+    }
+}

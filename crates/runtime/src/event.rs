@@ -1,0 +1,179 @@
+//! Events — the synchronization objects tasks depend on.
+//!
+//! Modeled on OCR's event objects: a task lists the events it depends on
+//! and becomes ready when all of them are satisfied. Two kinds are
+//! provided: a single-shot *once* event and a counted *latch* event that
+//! becomes satisfied after `count` decrements (OCR's latch events, handy
+//! for fan-in joins).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of an event within one runtime instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// The raw id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event{}", self.0)
+    }
+}
+
+/// What kind of event an [`Event`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Satisfied by a single `satisfy` call; satisfying twice is an error.
+    Once,
+    /// Satisfied when its counter reaches zero; each `satisfy` decrements.
+    Latch {
+        /// Initial count.
+        count: u64,
+    },
+}
+
+/// A handle to an event. Cheap to clone; all clones refer to the same
+/// event.
+#[derive(Clone)]
+pub struct Event {
+    pub(crate) id: EventId,
+    pub(crate) kind: EventKind,
+    /// Remaining satisfactions needed: 1 for once-events, `count` for
+    /// latches. 0 = satisfied.
+    pub(crate) remaining: Arc<AtomicU64>,
+}
+
+impl Event {
+    pub(crate) fn new(id: EventId, kind: EventKind) -> Self {
+        let initial = match kind {
+            EventKind::Once => 1,
+            EventKind::Latch { count } => count,
+        };
+        Event {
+            id,
+            kind,
+            remaining: Arc::new(AtomicU64::new(initial)),
+        }
+    }
+
+    /// This event's id.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// This event's kind.
+    pub fn kind(&self) -> EventKind {
+        self.kind
+    }
+
+    /// `true` once the event has been satisfied.
+    pub fn is_satisfied(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Decrements the remaining count. Returns `Ok(true)` if this call
+    /// satisfied the event, `Ok(false)` if more decrements are needed, and
+    /// `Err(())` if the event was already satisfied.
+    pub(crate) fn decrement(&self) -> std::result::Result<bool, ()> {
+        loop {
+            let cur = self.remaining.load(Ordering::Acquire);
+            if cur == 0 {
+                return Err(());
+            }
+            if self
+                .remaining
+                .compare_exchange_weak(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Ok(cur == 1);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}({:?}, remaining={})",
+            self.id,
+            self.kind,
+            self.remaining.load(Ordering::Relaxed)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn once_event_satisfies_exactly_once() {
+        let e = Event::new(EventId(1), EventKind::Once);
+        assert!(!e.is_satisfied());
+        assert_eq!(e.decrement(), Ok(true));
+        assert!(e.is_satisfied());
+        assert_eq!(e.decrement(), Err(()));
+    }
+
+    #[test]
+    fn latch_counts_down() {
+        let e = Event::new(EventId(2), EventKind::Latch { count: 3 });
+        assert_eq!(e.decrement(), Ok(false));
+        assert_eq!(e.decrement(), Ok(false));
+        assert!(!e.is_satisfied());
+        assert_eq!(e.decrement(), Ok(true));
+        assert!(e.is_satisfied());
+        assert_eq!(e.decrement(), Err(()));
+    }
+
+    #[test]
+    fn zero_latch_is_born_satisfied() {
+        let e = Event::new(EventId(3), EventKind::Latch { count: 0 });
+        assert!(e.is_satisfied());
+        assert_eq!(e.decrement(), Err(()));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let e = Event::new(EventId(4), EventKind::Once);
+        let c = e.clone();
+        assert_eq!(e.decrement(), Ok(true));
+        assert!(c.is_satisfied());
+        assert_eq!(c.id(), EventId(4));
+    }
+
+    #[test]
+    fn concurrent_decrements_satisfy_once() {
+        let e = Event::new(EventId(5), EventKind::Latch { count: 64 });
+        let mut satisfied = 0;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let e = e.clone();
+                    s.spawn(move || {
+                        let mut wins = 0;
+                        for _ in 0..8 {
+                            if e.decrement() == Ok(true) {
+                                wins += 1;
+                            }
+                        }
+                        wins
+                    })
+                })
+                .collect();
+            for h in handles {
+                satisfied += h.join().unwrap();
+            }
+        });
+        assert_eq!(satisfied, 1, "exactly one decrement wins");
+        assert!(e.is_satisfied());
+    }
+}

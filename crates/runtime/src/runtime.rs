@@ -1,0 +1,598 @@
+//! The runtime: task graph management, scheduling queues, worker pool.
+
+use crate::control::ControlHandle;
+use crate::datablock::{DataBlock, DbId};
+use crate::event::{Event, EventId, EventKind};
+use crate::stats::{NodeOccupancy, RuntimeStats, StatsCollector};
+use crate::task::{Task, TaskBody, TaskBuilder, TaskId, TaskPriority};
+use crate::worker;
+use crate::{Result, RuntimeError};
+use crossbeam::deque::Injector;
+use numa_topology::{Binding, BindingKind, CoreId, Machine, NodeId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Application name (shows up in stats and agent messages).
+    pub name: String,
+    /// The (virtual) machine this runtime believes it runs on. One worker
+    /// thread is created per core, following the paper: "each application
+    /// starts with as many threads as there are CPU cores".
+    pub machine: Machine,
+    /// Binding granularity for workers. [`BindingKind::Core`] (default)
+    /// supports all three thread-control options; [`BindingKind::Node`]
+    /// supports options 1 and 3; [`BindingKind::Unbound`] only option 1
+    /// (workers still carry a logical home node for queue preference).
+    pub binding: BindingKind,
+}
+
+impl RuntimeConfig {
+    /// Creates a config with per-core binding.
+    pub fn new(name: &str, machine: Machine) -> Self {
+        RuntimeConfig {
+            name: name.to_string(),
+            machine,
+            binding: BindingKind::Core,
+        }
+    }
+
+    /// Overrides the worker binding granularity.
+    pub fn with_binding(mut self, binding: BindingKind) -> Self {
+        self.binding = binding;
+        self
+    }
+}
+
+/// Dependency-graph bookkeeping (single lock; satisfaction and spawning
+/// both go through it, so subscribe-vs-satisfy races are impossible).
+struct GraphState {
+    /// All events known to this runtime.
+    events: HashMap<u64, EventEntry>,
+    /// Tasks waiting on at least one event.
+    pending: HashMap<u64, PendingTask>,
+}
+
+struct EventEntry {
+    #[allow(dead_code)] // kept so externally-dropped events stay alive
+    event: Event,
+    /// Pending-task ids to notify when the event satisfies.
+    subscribers: Vec<u64>,
+}
+
+struct PendingTask {
+    task: Option<Task>,
+    remaining: usize,
+}
+
+/// All state shared between the [`Runtime`] facade, its workers, and
+/// task contexts.
+pub(crate) struct Shared {
+    pub name: String,
+    pub machine: Machine,
+    pub control: ControlHandle,
+    pub stats: StatsCollector,
+    /// Queue for tasks without a placement hint.
+    pub global: Injector<Task>,
+    /// One queue per NUMA node for tasks with an affinity hint.
+    pub node_queues: Vec<Injector<Task>>,
+    /// High-priority variants of the two queues above.
+    pub high_global: Injector<Task>,
+    pub high_node_queues: Vec<Injector<Task>>,
+    graph: Mutex<GraphState>,
+    /// Parked idle workers wait here for new work.
+    pub work_mutex: Mutex<()>,
+    pub work_cv: Condvar,
+    /// Quiescence waiters.
+    quiesce_mutex: Mutex<()>,
+    quiesce_cv: Condvar,
+    pub shutdown: AtomicBool,
+    next_event: AtomicU64,
+    next_task: AtomicU64,
+    next_db: AtomicU64,
+    /// Contained task panics (name, message).
+    pub panics: Mutex<Vec<(String, String)>>,
+    /// Registered non-worker threads (§IV).
+    pub external: crate::external::ExternalRegistry,
+    /// Execution tracer (off unless started).
+    pub tracer: Arc<crate::trace::Tracer>,
+}
+
+impl Shared {
+    /// Pushes a ready task onto the right queue and wakes one worker.
+    pub(crate) fn enqueue_ready(&self, task: Task) {
+        let (global, per_node) = match task.priority {
+            TaskPriority::High => (&self.high_global, &self.high_node_queues),
+            TaskPriority::Normal => (&self.global, &self.node_queues),
+        };
+        match task.affinity {
+            Some(node) if node.0 < per_node.len() => per_node[node.0].push(task),
+            _ => global.push(task),
+        }
+        self.work_cv.notify_one();
+    }
+
+    /// Called by workers after each finished (or panicked) task body.
+    pub(crate) fn task_finished(&self, finish: Option<&Event>) {
+        if let Some(finish) = finish {
+            // A finish event is satisfied exactly once, by us.
+            let _ = self.satisfy_event(finish);
+        }
+        self.quiesce_cv.notify_all();
+    }
+
+    /// Decrements `event`; on satisfaction, releases subscribed tasks.
+    pub(crate) fn satisfy_event(&self, event: &Event) -> Result<()> {
+        match event.decrement() {
+            Err(()) => Err(RuntimeError::EventAlreadySatisfied { event: event.id().0 }),
+            Ok(false) => Ok(()), // latch still counting down
+            Ok(true) => {
+                let mut ready = Vec::new();
+                {
+                    let mut g = self.graph.lock();
+                    let subscribers = g
+                        .events
+                        .get_mut(&event.id().0)
+                        .map(|e| std::mem::take(&mut e.subscribers))
+                        .unwrap_or_default();
+                    for tid in subscribers {
+                        if let Some(entry) = g.pending.get_mut(&tid) {
+                            entry.remaining -= 1;
+                            if entry.remaining == 0 {
+                                let task = entry.task.take().expect("task present until ready");
+                                g.pending.remove(&tid);
+                                ready.push(task);
+                            }
+                        }
+                    }
+                }
+                for t in ready {
+                    self.enqueue_ready(t);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    pub(crate) fn register_event(&self, kind: EventKind) -> Event {
+        let id = EventId(self.next_event.fetch_add(1, Ordering::Relaxed));
+        let event = Event::new(id, kind);
+        self.graph.lock().events.insert(
+            id.0,
+            EventEntry {
+                event: event.clone(),
+                subscribers: Vec::new(),
+            },
+        );
+        event
+    }
+
+    pub(crate) fn create_datablock(&self, size: usize, node: NodeId) -> DataBlock {
+        let id = DbId(self.next_db.fetch_add(1, Ordering::Relaxed));
+        DataBlock::new(id, size, node)
+    }
+
+    pub(crate) fn spawn_task(
+        &self,
+        name: String,
+        body: TaskBody,
+        deps: Vec<Event>,
+        affinity: Option<NodeId>,
+        priority: TaskPriority,
+        want_finish: bool,
+    ) -> Result<(TaskId, Option<Event>)> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(RuntimeError::ShutDown);
+        }
+        let id = TaskId(self.next_task.fetch_add(1, Ordering::Relaxed));
+        let finish = want_finish.then(|| self.register_event(EventKind::Once));
+        let task = Task {
+            id,
+            name,
+            body,
+            affinity,
+            priority,
+            finish: finish.clone(),
+        };
+        self.stats.record_spawned();
+
+        // Count unsatisfied dependencies and subscribe, all under the graph
+        // lock so a concurrent satisfy cannot be missed.
+        let ready = {
+            let mut g = self.graph.lock();
+            let mut remaining = 0usize;
+            for dep in &deps {
+                if !dep.is_satisfied() {
+                    // The event may belong to this runtime's registry or be
+                    // externally created; adopt it if unknown.
+                    let entry = g.events.entry(dep.id().0).or_insert_with(|| EventEntry {
+                        event: dep.clone(),
+                        subscribers: Vec::new(),
+                    });
+                    entry.subscribers.push(id.0);
+                    remaining += 1;
+                }
+            }
+            if remaining == 0 {
+                Some(task)
+            } else {
+                g.pending.insert(
+                    id.0,
+                    PendingTask {
+                        task: Some(task),
+                        remaining,
+                    },
+                );
+                None
+            }
+        };
+        if let Some(task) = ready {
+            self.enqueue_ready(task);
+        }
+        Ok((id, finish))
+    }
+
+    pub(crate) fn pending_tasks(&self) -> u64 {
+        self.stats
+            .tasks_spawned
+            .load(Ordering::Acquire)
+            .saturating_sub(self.stats.finished())
+    }
+}
+
+/// A task-based runtime instance (one "application" in the paper's
+/// architecture). See the crate docs for an overview and example.
+pub struct Runtime {
+    pub(crate) shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Runtime {
+    /// Starts the runtime: creates one worker thread per core of the
+    /// configured machine, bound per `config.binding`.
+    pub fn start(config: RuntimeConfig) -> Result<Runtime> {
+        let machine = config.machine;
+        let num_nodes = machine.num_nodes();
+
+        // One worker per core; binding per config.
+        let mut worker_node = Vec::with_capacity(machine.total_cores());
+        let mut worker_core = Vec::with_capacity(machine.total_cores());
+        let mut bindings: Vec<Binding> = Vec::with_capacity(machine.total_cores());
+        for node in machine.nodes() {
+            for core in node.cores() {
+                worker_node.push(node.id);
+                match config.binding {
+                    BindingKind::Core => {
+                        worker_core.push(Some(core));
+                        bindings.push(Binding::Core(core));
+                    }
+                    BindingKind::Node => {
+                        worker_core.push(None);
+                        bindings.push(Binding::Node(node.id));
+                    }
+                    BindingKind::Unbound => {
+                        worker_core.push(None);
+                        bindings.push(Binding::Unbound);
+                    }
+                }
+            }
+        }
+
+        let tracer = Arc::new(crate::trace::Tracer::new());
+        let control = ControlHandle::new(
+            worker_node.clone(),
+            worker_core.clone(),
+            num_nodes,
+            Arc::clone(&tracer),
+        );
+        let shared = Arc::new(Shared {
+            name: config.name,
+            control,
+            stats: StatsCollector::new(num_nodes),
+            global: Injector::new(),
+            node_queues: (0..num_nodes).map(|_| Injector::new()).collect(),
+            high_global: Injector::new(),
+            high_node_queues: (0..num_nodes).map(|_| Injector::new()).collect(),
+            graph: Mutex::new(GraphState {
+                events: HashMap::new(),
+                pending: HashMap::new(),
+            }),
+            work_mutex: Mutex::new(()),
+            work_cv: Condvar::new(),
+            quiesce_mutex: Mutex::new(()),
+            quiesce_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_event: AtomicU64::new(0),
+            next_task: AtomicU64::new(0),
+            next_db: AtomicU64::new(0),
+            panics: Mutex::new(Vec::new()),
+            external: crate::external::ExternalRegistry::new(),
+            tracer,
+            machine,
+        });
+
+        let mut handles = Vec::with_capacity(worker_node.len());
+        for (id, &node) in worker_node.iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let core = worker_core[id];
+            let _binding = bindings[id]; // bookkeeping only; see DESIGN.md
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-w{id}", shared.name))
+                    .spawn(move || worker::worker_loop(shared, id, node, core))
+                    .expect("spawning worker thread"),
+            );
+        }
+
+        Ok(Runtime {
+            shared,
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// The runtime's (application) name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// The machine this runtime was configured with.
+    pub fn machine(&self) -> &Machine {
+        &self.shared.machine
+    }
+
+    /// The thread-control handle (shareable with an agent).
+    pub fn control(&self) -> ControlHandle {
+        self.shared.control.clone()
+    }
+
+    /// Creates a single-shot event.
+    pub fn new_once_event(&self) -> Event {
+        self.shared.register_event(EventKind::Once)
+    }
+
+    /// Creates a latch event satisfied after `count` decrements.
+    pub fn new_latch_event(&self, count: u64) -> Event {
+        self.shared.register_event(EventKind::Latch { count })
+    }
+
+    /// Satisfies (or decrements, for latches) an event. Errors if the event
+    /// was already satisfied.
+    pub fn satisfy(&self, event: &Event) -> Result<()> {
+        self.shared.satisfy_event(event)
+    }
+
+    /// Starts building a task.
+    pub fn task(&self, name: &str) -> TaskBuilder<'_> {
+        TaskBuilder {
+            shared: &self.shared,
+            name: name.to_string(),
+            body: None,
+            deps: Vec::new(),
+            affinity: None,
+            priority: TaskPriority::Normal,
+            want_finish_event: false,
+        }
+    }
+
+    /// Allocates a data block of `size` bytes placed on `node`.
+    pub fn create_datablock(&self, size: usize, node: NodeId) -> DataBlock {
+        self.shared.create_datablock(size, node)
+    }
+
+    /// Increments a user counter visible in [`RuntimeStats`].
+    pub fn inc_counter(&self, name: &str, delta: u64) {
+        self.shared.stats.add_user(name, delta);
+    }
+
+    /// Starts execution tracing with an event-buffer capacity. Restarting
+    /// discards any previous recording.
+    pub fn trace_start(&self, capacity: usize) {
+        self.shared.tracer.start(capacity);
+    }
+
+    /// Stops tracing and returns the recording (empty if tracing was never
+    /// started).
+    pub fn trace_stop(&self) -> crate::trace::Trace {
+        self.shared.tracer.stop()
+    }
+
+    /// Blocks until all spawned tasks have finished. Returns the first
+    /// contained task panic as an error, if any occurred.
+    pub fn wait_quiescent(&self) -> Result<()> {
+        self.wait_quiescent_deadline(None)
+    }
+
+    /// Like [`wait_quiescent`](Runtime::wait_quiescent) but gives up after
+    /// `timeout` (useful when tasks may wait on events nobody satisfies, or
+    /// all workers are blocked by thread control).
+    pub fn wait_quiescent_timeout(&self, timeout: Duration) -> Result<()> {
+        self.wait_quiescent_deadline(Some(Instant::now() + timeout))
+    }
+
+    fn wait_quiescent_deadline(&self, deadline: Option<Instant>) -> Result<()> {
+        let mut guard = self.shared.quiesce_mutex.lock();
+        loop {
+            let pending = self.shared.pending_tasks();
+            if pending == 0 {
+                drop(guard);
+                return self.first_panic();
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(RuntimeError::QuiescenceTimeout {
+                            pending: pending as usize,
+                        });
+                    }
+                    // Cap the wait so a lost wakeup cannot stall us.
+                    let dur = (d - now).min(Duration::from_millis(20));
+                    self.shared.quiesce_cv.wait_for(&mut guard, dur);
+                }
+                None => {
+                    self.shared
+                        .quiesce_cv
+                        .wait_for(&mut guard, Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    fn first_panic(&self) -> Result<()> {
+        let panics = self.shared.panics.lock();
+        match panics.first() {
+            Some((task, message)) => Err(RuntimeError::TaskPanicked {
+                task: task.clone(),
+                message: message.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// A point-in-time statistics snapshot (what the agent polls).
+    pub fn stats(&self) -> RuntimeStats {
+        let (running, per_node_running, blocked) = self.shared.control.snapshot();
+        let tasks_ready = self.shared.global.len()
+            + self.shared.high_global.len()
+            + self
+                .shared
+                .node_queues
+                .iter()
+                .chain(self.shared.high_node_queues.iter())
+                .map(|q| q.len())
+                .sum::<usize>();
+        let per_node = per_node_running
+            .iter()
+            .enumerate()
+            .map(|(i, &running_workers)| NodeOccupancy {
+                node: NodeId(i),
+                running_workers,
+                tasks_executed: self.shared.stats.per_node_executed[i].load(Ordering::Relaxed),
+            })
+            .collect();
+        RuntimeStats {
+            name: self.shared.name.clone(),
+            tasks_executed: self.shared.stats.tasks_executed.load(Ordering::Relaxed),
+            tasks_panicked: self.shared.stats.tasks_panicked.load(Ordering::Relaxed),
+            tasks_spawned: self.shared.stats.tasks_spawned.load(Ordering::Relaxed),
+            tasks_ready,
+            tasks_pending: self.shared.pending_tasks(),
+            running_workers: running,
+            blocked_workers: blocked,
+            external_threads: self.shared.external.snapshot().len(),
+            per_node,
+            user_counters: self.shared.stats.user.lock().clone(),
+        }
+    }
+
+    /// Stops the runtime: releases blocked workers, wakes idle ones, and
+    /// joins all worker threads. Tasks already running finish; queued tasks
+    /// are dropped. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.control.begin_shutdown();
+        self.shared.work_cv.notify_all();
+        self.shared.quiesce_cv.notify_all();
+        let mut workers = self.workers.lock();
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("name", &self.shared.name)
+            .field("machine", &self.shared.machine.name())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Execution context handed to every task body.
+///
+/// Lets a task spawn follow-up tasks, satisfy events, create data blocks,
+/// and bump user counters — the OCR-style "everything goes through the
+/// runtime" discipline.
+pub struct TaskContext<'rt> {
+    pub(crate) shared: &'rt Shared,
+    pub(crate) worker_node: NodeId,
+    pub(crate) task_id: TaskId,
+    pub(crate) worker_core: Option<CoreId>,
+}
+
+impl TaskContext<'_> {
+    /// The NUMA node of the worker executing this task.
+    pub fn node(&self) -> NodeId {
+        self.worker_node
+    }
+
+    /// The core the executing worker is bound to, if per-core binding is in
+    /// use.
+    pub fn core(&self) -> Option<CoreId> {
+        self.worker_core
+    }
+
+    /// This task's id.
+    pub fn task_id(&self) -> TaskId {
+        self.task_id
+    }
+
+    /// Starts building a follow-up task.
+    pub fn task(&self, name: &str) -> TaskBuilder<'_> {
+        TaskBuilder {
+            shared: self.shared,
+            name: name.to_string(),
+            body: None,
+            deps: Vec::new(),
+            affinity: None,
+            priority: TaskPriority::Normal,
+            want_finish_event: false,
+        }
+    }
+
+    /// Satisfies an event, panicking on double satisfaction (a programming
+    /// error; the panic is contained by the runtime and reported through
+    /// [`Runtime::wait_quiescent`]). Use [`try_satisfy`](Self::try_satisfy)
+    /// to handle the error.
+    pub fn satisfy(&self, event: &Event) {
+        self.shared
+            .satisfy_event(event)
+            .expect("event satisfied more than once");
+    }
+
+    /// Fallible event satisfaction.
+    pub fn try_satisfy(&self, event: &Event) -> Result<()> {
+        self.shared.satisfy_event(event)
+    }
+
+    /// Creates a once event.
+    pub fn new_once_event(&self) -> Event {
+        self.shared.register_event(EventKind::Once)
+    }
+
+    /// Creates a latch event.
+    pub fn new_latch_event(&self, count: u64) -> Event {
+        self.shared.register_event(EventKind::Latch { count })
+    }
+
+    /// Allocates a data block.
+    pub fn create_datablock(&self, size: usize, node: NodeId) -> DataBlock {
+        self.shared.create_datablock(size, node)
+    }
+
+    /// Increments a user counter.
+    pub fn inc_counter(&self, name: &str, delta: u64) {
+        self.shared.stats.add_user(name, delta);
+    }
+}

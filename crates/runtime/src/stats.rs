@@ -1,0 +1,149 @@
+//! Runtime statistics — what the agent process consumes.
+//!
+//! Figure 1 of the paper: the agent "receives information about the
+//! execution from the runtimes (number of tasks executed, number of running
+//! threads, etc.)". [`RuntimeStats`] is that message. Counters are plain
+//! atomics updated by workers; a snapshot is consistent enough for control
+//! decisions (the paper's agent polls, it does not need a linearizable
+//! view).
+
+use numa_topology::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-node occupancy in a [`RuntimeStats`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeOccupancy {
+    /// The node.
+    pub node: NodeId,
+    /// Workers currently running (not blocked) on this node.
+    pub running_workers: usize,
+    /// Tasks executed by workers of this node so far.
+    pub tasks_executed: u64,
+}
+
+/// A point-in-time snapshot of a runtime's execution state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeStats {
+    /// Runtime (application) name.
+    pub name: String,
+    /// Tasks whose bodies have finished successfully.
+    pub tasks_executed: u64,
+    /// Tasks that panicked (contained; see `RuntimeError::TaskPanicked`).
+    pub tasks_panicked: u64,
+    /// Tasks spawned so far (executed + panicked + in flight + waiting).
+    pub tasks_spawned: u64,
+    /// Tasks currently ready to run but not yet picked up.
+    pub tasks_ready: usize,
+    /// Tasks not yet finished (spawned - executed - panicked).
+    pub tasks_pending: u64,
+    /// Workers currently running (not blocked).
+    pub running_workers: usize,
+    /// Workers currently blocked by thread control.
+    pub blocked_workers: usize,
+    /// Registered non-worker threads (§IV).
+    pub external_threads: usize,
+    /// Per-node occupancy.
+    pub per_node: Vec<NodeOccupancy>,
+    /// Application-defined counters (e.g. iterations produced/consumed).
+    pub user_counters: HashMap<String, u64>,
+}
+
+impl RuntimeStats {
+    /// Convenience: value of a user counter, or 0 if absent.
+    pub fn user_counter(&self, name: &str) -> u64 {
+        self.user_counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Internal counter block shared by workers.
+pub(crate) struct StatsCollector {
+    pub tasks_executed: AtomicU64,
+    pub tasks_panicked: AtomicU64,
+    pub tasks_spawned: AtomicU64,
+    pub per_node_executed: Vec<AtomicU64>,
+    pub user: Mutex<HashMap<String, u64>>,
+}
+
+impl StatsCollector {
+    pub fn new(num_nodes: usize) -> Self {
+        StatsCollector {
+            tasks_executed: AtomicU64::new(0),
+            tasks_panicked: AtomicU64::new(0),
+            tasks_spawned: AtomicU64::new(0),
+            per_node_executed: (0..num_nodes).map(|_| AtomicU64::new(0)).collect(),
+            user: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn record_executed(&self, node: NodeId) {
+        self.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        self.per_node_executed[node.0].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_panicked(&self) {
+        self.tasks_panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_spawned(&self) {
+        self.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_user(&self, name: &str, delta: u64) {
+        *self.user.lock().entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub fn finished(&self) -> u64 {
+        self.tasks_executed.load(Ordering::Relaxed) + self.tasks_panicked.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_counts() {
+        let c = StatsCollector::new(2);
+        c.record_spawned();
+        c.record_spawned();
+        c.record_executed(NodeId(1));
+        c.record_panicked();
+        assert_eq!(c.tasks_spawned.load(Ordering::Relaxed), 2);
+        assert_eq!(c.tasks_executed.load(Ordering::Relaxed), 1);
+        assert_eq!(c.per_node_executed[1].load(Ordering::Relaxed), 1);
+        assert_eq!(c.per_node_executed[0].load(Ordering::Relaxed), 0);
+        assert_eq!(c.finished(), 2);
+    }
+
+    #[test]
+    fn user_counters_accumulate() {
+        let c = StatsCollector::new(1);
+        c.add_user("produced", 3);
+        c.add_user("produced", 2);
+        c.add_user("consumed", 1);
+        let m = c.user.lock();
+        assert_eq!(m["produced"], 5);
+        assert_eq!(m["consumed"], 1);
+    }
+
+    #[test]
+    fn stats_user_counter_accessor() {
+        let s = RuntimeStats {
+            name: "x".into(),
+            tasks_executed: 0,
+            tasks_panicked: 0,
+            tasks_spawned: 0,
+            tasks_ready: 0,
+            tasks_pending: 0,
+            running_workers: 0,
+            blocked_workers: 0,
+            external_threads: 0,
+            per_node: vec![],
+            user_counters: HashMap::from([("a".to_string(), 7u64)]),
+        };
+        assert_eq!(s.user_counter("a"), 7);
+        assert_eq!(s.user_counter("missing"), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Task construction.
+//!
+//! A task is a one-shot closure plus the events it depends on, an optional
+//! NUMA placement hint, and an optional *finish event* satisfied when the
+//! body completes (OCR's output event, used for chaining graphs without
+//! shared state).
+
+use crate::event::Event;
+use crate::runtime::TaskContext;
+use numa_topology::NodeId;
+use std::fmt;
+
+/// Identifier of a task within one runtime instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u64);
+
+impl TaskId {
+    /// The raw id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+pub(crate) type TaskBody = Box<dyn FnOnce(&TaskContext<'_>) + Send + 'static>;
+
+/// Scheduling priority of a task. High-priority tasks are always picked
+/// before normal ones by every worker (within and across nodes); there is
+/// no preemption (OCR-style), so a running task always finishes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TaskPriority {
+    /// Default priority.
+    #[default]
+    Normal,
+    /// Picked before all normal-priority tasks.
+    High,
+}
+
+/// A fully-built task, owned by the runtime until it executes.
+pub(crate) struct Task {
+    pub id: TaskId,
+    pub name: String,
+    pub body: TaskBody,
+    /// NUMA node this task would like to run on (e.g. where its data
+    /// block lives). Purely advisory.
+    pub affinity: Option<NodeId>,
+    /// Scheduling priority.
+    pub priority: TaskPriority,
+    /// Event satisfied when the body finishes (even if it panics, so
+    /// downstream tasks are not stranded by a contained failure).
+    pub finish: Option<Event>,
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("affinity", &self.affinity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for tasks; obtained from [`Runtime::task`](crate::Runtime::task)
+/// or [`TaskContext::task`].
+///
+/// ```
+/// use coop_runtime::{Runtime, RuntimeConfig};
+/// use numa_topology::{presets::tiny, NodeId};
+///
+/// let rt = Runtime::start(RuntimeConfig::new("t", tiny())).unwrap();
+/// let done = rt.new_once_event();
+/// rt.task("stage1")
+///     .affinity(NodeId(1))
+///     .body({ let done = done.clone(); move |ctx| ctx.satisfy(&done) })
+///     .spawn()
+///     .unwrap();
+/// rt.wait_quiescent().unwrap();
+/// assert!(done.is_satisfied());
+/// rt.shutdown();
+/// ```
+pub struct TaskBuilder<'rt> {
+    pub(crate) shared: &'rt crate::runtime::Shared,
+    pub(crate) name: String,
+    pub(crate) body: Option<TaskBody>,
+    pub(crate) deps: Vec<Event>,
+    pub(crate) affinity: Option<NodeId>,
+    pub(crate) priority: TaskPriority,
+    pub(crate) want_finish_event: bool,
+}
+
+impl<'rt> TaskBuilder<'rt> {
+    /// Sets the task body.
+    pub fn body(mut self, f: impl FnOnce(&TaskContext<'_>) + Send + 'static) -> Self {
+        self.body = Some(Box::new(f));
+        self
+    }
+
+    /// Adds a dependency: the task only becomes ready once `event` is
+    /// satisfied. May be called multiple times.
+    pub fn depends_on(mut self, event: &Event) -> Self {
+        self.deps.push(event.clone());
+        self
+    }
+
+    /// Adds dependencies on all given events.
+    pub fn depends_on_all<'e>(mut self, events: impl IntoIterator<Item = &'e Event>) -> Self {
+        self.deps.extend(events.into_iter().cloned());
+        self
+    }
+
+    /// Hints that the task should run on `node` (e.g. because its data
+    /// block lives there).
+    pub fn affinity(mut self, node: NodeId) -> Self {
+        self.affinity = Some(node);
+        self
+    }
+
+    /// Marks the task high-priority: every worker picks it before any
+    /// normal-priority task (no preemption of running tasks). Useful for
+    /// the latency-sensitive coordination tasks of tightly-integrated
+    /// components (§II).
+    pub fn high_priority(mut self) -> Self {
+        self.priority = TaskPriority::High;
+        self
+    }
+
+    /// Requests a finish event; `spawn_with_finish` returns it.
+    pub fn with_finish_event(mut self) -> Self {
+        self.want_finish_event = true;
+        self
+    }
+
+    /// Spawns the task. Returns its id.
+    pub fn spawn(self) -> crate::Result<TaskId> {
+        let (id, _) = self.spawn_inner()?;
+        Ok(id)
+    }
+
+    /// Spawns the task and returns `(id, finish_event)`. Implies
+    /// [`with_finish_event`](TaskBuilder::with_finish_event).
+    pub fn spawn_with_finish(mut self) -> crate::Result<(TaskId, Event)> {
+        self.want_finish_event = true;
+        let (id, ev) = self.spawn_inner()?;
+        Ok((id, ev.expect("finish event requested")))
+    }
+
+    fn spawn_inner(self) -> crate::Result<(TaskId, Option<Event>)> {
+        let body = self.body.ok_or(crate::RuntimeError::MissingBody)?;
+        self.shared.spawn_task(
+            self.name,
+            body,
+            self.deps,
+            self.affinity,
+            self.priority,
+            self.want_finish_event,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Runtime, RuntimeConfig, RuntimeError};
+    use numa_topology::presets::tiny;
+
+    #[test]
+    fn builder_requires_body() {
+        let rt = Runtime::start(RuntimeConfig::new("t", tiny())).unwrap();
+        let err = rt.task("no-body").spawn();
+        assert!(matches!(err, Err(RuntimeError::MissingBody)));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn task_id_debug() {
+        assert_eq!(format!("{:?}", super::TaskId(5)), "task5");
+    }
+}

@@ -1,0 +1,313 @@
+//! Execution tracing: record task events, export Chrome trace JSON.
+//!
+//! Understanding whether an allocation decision helped requires seeing
+//! *where tasks actually ran* — which worker, which NUMA node, when, and
+//! how task placement reacted to thread-control commands. The tracer
+//! records one event per executed task (plus control-command markers) into
+//! a bounded in-memory buffer, and exports the Chrome/Perfetto trace-event
+//! format (`chrome://tracing`, <https://ui.perfetto.dev>), where workers
+//! appear as threads grouped per NUMA node.
+//!
+//! Tracing is off by default and costs one branch per task when off.
+//!
+//! ```
+//! use coop_runtime::{Runtime, RuntimeConfig};
+//! use numa_topology::presets::tiny;
+//!
+//! let rt = Runtime::start(RuntimeConfig::new("traced", tiny())).unwrap();
+//! rt.trace_start(1024);
+//! rt.task("hello").body(|_| {}).spawn().unwrap();
+//! rt.wait_quiescent().unwrap();
+//! let trace = rt.trace_stop();
+//! assert_eq!(trace.task_events().count(), 1);
+//! let json = trace.to_chrome_json();
+//! assert!(json.contains("\"hello\""));
+//! rt.shutdown();
+//! ```
+
+use numa_topology::NodeId;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A task body ran.
+    Task {
+        /// Task name.
+        name: String,
+        /// Worker index that executed it (`None` = helping external thread).
+        worker: Option<usize>,
+        /// NUMA node it ran on.
+        node: NodeId,
+        /// Start offset from trace start, microseconds.
+        start_us: u64,
+        /// Duration, microseconds.
+        duration_us: u64,
+        /// Whether the body panicked (contained).
+        panicked: bool,
+    },
+    /// A thread-control command was applied.
+    Control {
+        /// Debug rendering of the command.
+        command: String,
+        /// Offset from trace start, microseconds.
+        at_us: u64,
+    },
+}
+
+/// A finished trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events in record order (bounded; oldest events are dropped first).
+    pub events: Vec<TraceEvent>,
+    /// Number of events dropped because the buffer was full.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Iterates over task events only.
+    pub fn task_events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Task { .. }))
+    }
+
+    /// Tasks executed per NUMA node.
+    pub fn tasks_per_node(&self, num_nodes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_nodes];
+        for e in &self.events {
+            if let TraceEvent::Task { node, .. } = e {
+                if node.0 < num_nodes {
+                    counts[node.0] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Exports the Chrome trace-event JSON array format. Workers appear as
+    /// `tid`s; NUMA nodes as `pid`s, so the viewer groups lanes by node.
+    pub fn to_chrome_json(&self) -> String {
+        #[derive(Serialize)]
+        struct ChromeEvent<'a> {
+            name: &'a str,
+            cat: &'a str,
+            ph: &'a str,
+            ts: u64,
+            #[serde(skip_serializing_if = "Option::is_none")]
+            dur: Option<u64>,
+            pid: usize,
+            tid: usize,
+            #[serde(skip_serializing_if = "Option::is_none")]
+            args: Option<serde_json::Value>,
+        }
+        let mut out: Vec<ChromeEvent<'_>> = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            match e {
+                TraceEvent::Task {
+                    name,
+                    worker,
+                    node,
+                    start_us,
+                    duration_us,
+                    panicked,
+                } => out.push(ChromeEvent {
+                    name,
+                    cat: "task",
+                    ph: "X", // complete event
+                    ts: *start_us,
+                    dur: Some((*duration_us).max(1)),
+                    pid: node.0,
+                    tid: worker.map(|w| w + 1).unwrap_or(0), // 0 = helper
+                    args: panicked.then(|| serde_json::json!({"panicked": true})),
+                }),
+                TraceEvent::Control { command, at_us } => out.push(ChromeEvent {
+                    name: command,
+                    cat: "control",
+                    ph: "i", // instant event
+                    ts: *at_us,
+                    dur: None,
+                    pid: 0,
+                    tid: 0,
+                    args: None,
+                }),
+            }
+        }
+        serde_json::to_string(&out).expect("trace serialization cannot fail")
+    }
+}
+
+/// Internal recorder attached to a runtime.
+pub(crate) struct Tracer {
+    inner: Mutex<Option<Recording>>,
+}
+
+struct Recording {
+    started: Instant,
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Tracer {
+            inner: Mutex::new(None),
+        }
+    }
+
+    pub fn start(&self, capacity: usize) {
+        *self.inner.lock() = Some(Recording {
+            started: Instant::now(),
+            capacity: capacity.max(1),
+            events: Vec::new(),
+            dropped: 0,
+        });
+    }
+
+    pub fn stop(&self) -> Trace {
+        match self.inner.lock().take() {
+            Some(rec) => Trace {
+                events: rec.events,
+                dropped: rec.dropped,
+            },
+            None => Trace::default(),
+        }
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.inner.lock().is_some()
+    }
+
+    pub fn record_task(
+        &self,
+        name: &str,
+        worker: Option<usize>,
+        node: NodeId,
+        started_at: Instant,
+        panicked: bool,
+    ) {
+        let mut guard = self.inner.lock();
+        let Some(rec) = guard.as_mut() else { return };
+        if rec.events.len() >= rec.capacity {
+            rec.dropped += 1;
+            return;
+        }
+        let start_us = started_at
+            .saturating_duration_since(rec.started)
+            .as_micros() as u64;
+        let duration_us = started_at.elapsed().as_micros() as u64;
+        rec.events.push(TraceEvent::Task {
+            name: name.to_string(),
+            worker,
+            node,
+            start_us,
+            duration_us,
+            panicked,
+        });
+    }
+
+    pub fn record_control(&self, command: String) {
+        let mut guard = self.inner.lock();
+        let Some(rec) = guard.as_mut() else { return };
+        if rec.events.len() >= rec.capacity {
+            rec.dropped += 1;
+            return;
+        }
+        let at_us = rec.started.elapsed().as_micros() as u64;
+        rec.events.push(TraceEvent::Control { command, at_us });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Runtime, RuntimeConfig, ThreadCommand};
+    use numa_topology::presets::tiny;
+
+    #[test]
+    fn records_tasks_and_controls() {
+        let rt = Runtime::start(RuntimeConfig::new("tr", tiny())).unwrap();
+        rt.trace_start(100);
+        for i in 0..5 {
+            rt.task(&format!("t{i}")).body(|_| {}).spawn().unwrap();
+        }
+        rt.wait_quiescent().unwrap();
+        rt.control().apply(ThreadCommand::TotalThreads(2)).unwrap();
+        let trace = rt.trace_stop();
+        assert_eq!(trace.task_events().count(), 5);
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Control { command, .. } if command.contains("TotalThreads"))));
+        assert_eq!(trace.dropped, 0);
+        let per_node: usize = trace.tasks_per_node(2).iter().sum();
+        assert_eq!(per_node, 5);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn buffer_bound_drops_excess() {
+        let rt = Runtime::start(RuntimeConfig::new("bound", tiny())).unwrap();
+        rt.trace_start(3);
+        for i in 0..10 {
+            rt.task(&format!("t{i}")).body(|_| {}).spawn().unwrap();
+        }
+        rt.wait_quiescent().unwrap();
+        let trace = rt.trace_stop();
+        assert_eq!(trace.events.len(), 3);
+        assert_eq!(trace.dropped, 7);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_complete() {
+        let rt = Runtime::start(RuntimeConfig::new("json", tiny())).unwrap();
+        rt.trace_start(100);
+        rt.task("alpha").body(|_| {}).spawn().unwrap();
+        rt.task("beta").body(|_| panic!("boom")).spawn().unwrap();
+        let _ = rt.wait_quiescent_timeout(std::time::Duration::from_secs(10));
+        let trace = rt.trace_stop();
+        let json = trace.to_chrome_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        let panicking = arr
+            .iter()
+            .find(|e| e["name"] == "beta")
+            .expect("beta traced");
+        assert_eq!(panicking["args"]["panicked"], true);
+        assert_eq!(panicking["ph"], "X");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn tracing_off_records_nothing() {
+        let rt = Runtime::start(RuntimeConfig::new("off", tiny())).unwrap();
+        rt.task("t").body(|_| {}).spawn().unwrap();
+        rt.wait_quiescent().unwrap();
+        let trace = rt.trace_stop(); // never started
+        assert!(trace.events.is_empty());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn restarting_clears_previous_events() {
+        let rt = Runtime::start(RuntimeConfig::new("restart", tiny())).unwrap();
+        rt.trace_start(100);
+        rt.task("one").body(|_| {}).spawn().unwrap();
+        rt.wait_quiescent().unwrap();
+        rt.trace_start(100); // restart
+        rt.task("two").body(|_| {}).spawn().unwrap();
+        rt.wait_quiescent().unwrap();
+        let trace = rt.trace_stop();
+        assert_eq!(trace.task_events().count(), 1);
+        assert!(matches!(
+            &trace.events[0],
+            TraceEvent::Task { name, .. } if name == "two"
+        ));
+        rt.shutdown();
+    }
+}

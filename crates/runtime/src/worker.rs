@@ -1,0 +1,524 @@
+//! The worker-thread loop.
+//!
+//! Each worker: (1) passes the thread-control gate (possibly blocking there
+//! — the paper's cooperative suspension at task boundaries), (2) looks for
+//! a ready task, preferring its own NUMA node's queue, then the global
+//! queue, then *stealing* from other nodes' queues, and (3) executes it
+//! with panics contained. Idle workers park briefly on a condition
+//! variable so new work wakes them promptly.
+
+use crate::runtime::{Shared, TaskContext};
+use crate::task::Task;
+use crossbeam::deque::Steal;
+use numa_topology::{CoreId, NodeId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub(crate) fn worker_loop(shared: Arc<Shared>, id: usize, node: NodeId, core: Option<CoreId>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // The thread-control gate: blocks in here while suspended.
+        shared.control.checkpoint(id);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match find_task(&shared, node) {
+            Some(task) => execute(&shared, task, node, core, Some(id)),
+            None => {
+                // Nothing to do: park briefly; enqueue_ready will wake us.
+                let mut guard = shared.work_mutex.lock();
+                shared
+                    .work_cv
+                    .wait_for(&mut guard, Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Pops a ready task for a helping external thread (see
+/// `Runtime::help_until`).
+pub(crate) fn find_task_public(shared: &Shared, node: NodeId) -> Option<Task> {
+    find_task(shared, node)
+}
+
+/// Executes a task on a helping external thread.
+pub(crate) fn execute_public(shared: &Shared, task: Task, node: NodeId, core: Option<CoreId>) {
+    execute(shared, task, node, core, None)
+}
+
+/// Pops a ready task: own node first, then the global queue, then steal
+/// from other nodes (nearest-index order).
+fn find_task(shared: &Shared, node: NodeId) -> Option<Task> {
+    let n = shared.node_queues.len();
+    // High-priority tier first: local, global, then steal.
+    if let Some(t) = steal_from(&shared.high_node_queues[node.0]) {
+        return Some(t);
+    }
+    if let Some(t) = steal_from(&shared.high_global) {
+        return Some(t);
+    }
+    for off in 1..n {
+        let victim = (node.0 + off) % n;
+        if let Some(t) = steal_from(&shared.high_node_queues[victim]) {
+            return Some(t);
+        }
+    }
+    // Then the normal tier.
+    if let Some(t) = steal_from(&shared.node_queues[node.0]) {
+        return Some(t);
+    }
+    if let Some(t) = steal_from(&shared.global) {
+        return Some(t);
+    }
+    for off in 1..n {
+        let victim = (node.0 + off) % n;
+        if let Some(t) = steal_from(&shared.node_queues[victim]) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+fn steal_from(q: &crossbeam::deque::Injector<Task>) -> Option<Task> {
+    loop {
+        match q.steal() {
+            Steal::Success(t) => return Some(t),
+            Steal::Empty => return None,
+            Steal::Retry => continue,
+        }
+    }
+}
+
+fn execute(shared: &Shared, task: Task, node: NodeId, core: Option<CoreId>, worker: Option<usize>) {
+    let ctx = TaskContext {
+        shared,
+        worker_node: node,
+        task_id: task.id,
+        worker_core: core,
+    };
+    let tracing = shared.tracer.is_active();
+    let started_at = std::time::Instant::now();
+    let body = task.body;
+    let result = catch_unwind(AssertUnwindSafe(move || body(&ctx)));
+    if tracing {
+        shared
+            .tracer
+            .record_task(&task.name, worker, node, started_at, result.is_err());
+    }
+    match result {
+        Ok(()) => shared.stats.record_executed(node),
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            shared.panics.lock().push((task.name.clone(), message));
+            shared.stats.record_panicked();
+        }
+    }
+    shared.task_finished(task.finish.as_ref());
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Runtime, RuntimeConfig, RuntimeError, ThreadCommand};
+    use numa_topology::presets::{paper_model_machine, tiny};
+    use numa_topology::{BindingKind, CpuSet, NodeId};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn rt(name: &str) -> Runtime {
+        Runtime::start(RuntimeConfig::new(name, tiny())).unwrap()
+    }
+
+    #[test]
+    fn runs_a_single_task() {
+        let r = rt("single");
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h = hit.clone();
+        r.task("t").body(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        })
+        .spawn()
+        .unwrap();
+        r.wait_quiescent().unwrap();
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+        assert_eq!(r.stats().tasks_executed, 1);
+        r.shutdown();
+    }
+
+    #[test]
+    fn dependencies_order_execution() {
+        let r = rt("deps");
+        let order = Arc::new(parking_lot::Mutex::new(Vec::<u32>::new()));
+        let ev = r.new_once_event();
+
+        // Spawn the dependent first so ordering cannot be incidental.
+        let o2 = order.clone();
+        r.task("second")
+            .depends_on(&ev)
+            .body(move |_| o2.lock().push(2))
+            .spawn()
+            .unwrap();
+        let o1 = order.clone();
+        let ev2 = ev.clone();
+        r.task("first")
+            .body(move |ctx| {
+                o1.lock().push(1);
+                ctx.satisfy(&ev2);
+            })
+            .spawn()
+            .unwrap();
+
+        r.wait_quiescent().unwrap();
+        assert_eq!(*order.lock(), vec![1, 2]);
+        r.shutdown();
+    }
+
+    #[test]
+    fn latch_event_joins_fanin() {
+        let r = rt("latch");
+        let n = 8;
+        let latch = r.new_latch_event(n);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        r.task("join")
+            .depends_on(&latch)
+            .body(move |_| {
+                d.fetch_add(1, Ordering::SeqCst);
+            })
+            .spawn()
+            .unwrap();
+        for i in 0..n {
+            let latch = latch.clone();
+            r.task(&format!("leg{i}"))
+                .body(move |ctx| ctx.satisfy(&latch))
+                .spawn()
+                .unwrap();
+        }
+        r.wait_quiescent().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        assert_eq!(r.stats().tasks_executed, n + 1);
+        r.shutdown();
+    }
+
+    #[test]
+    fn tasks_spawn_subtasks() {
+        let r = rt("fanout");
+        let count = Arc::new(AtomicU64::new(0));
+        let c = count.clone();
+        r.task("root")
+            .body(move |ctx| {
+                for i in 0..10 {
+                    let c = c.clone();
+                    ctx.task(&format!("child{i}"))
+                        .body(move |_| {
+                            c.fetch_add(1, Ordering::SeqCst);
+                        })
+                        .spawn()
+                        .unwrap();
+                }
+            })
+            .spawn()
+            .unwrap();
+        r.wait_quiescent().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+        assert_eq!(r.stats().tasks_executed, 11);
+        r.shutdown();
+    }
+
+    #[test]
+    fn finish_event_chains_tasks() {
+        let r = rt("finish");
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (_, finish) = r
+            .task("producer")
+            .body(|_| {})
+            .spawn_with_finish()
+            .unwrap();
+        let f = flag.clone();
+        r.task("consumer")
+            .depends_on(&finish)
+            .body(move |_| {
+                f.store(7, Ordering::SeqCst);
+            })
+            .spawn()
+            .unwrap();
+        r.wait_quiescent().unwrap();
+        assert_eq!(flag.load(Ordering::SeqCst), 7);
+        r.shutdown();
+    }
+
+    #[test]
+    fn panics_are_contained_and_reported() {
+        let r = rt("panics");
+        r.task("bad").body(|_| panic!("boom")).spawn().unwrap();
+        r.task("good").body(|_| {}).spawn().unwrap();
+        let err = r.wait_quiescent();
+        match err {
+            Err(RuntimeError::TaskPanicked { task, message }) => {
+                assert_eq!(task, "bad");
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+        let stats = r.stats();
+        assert_eq!(stats.tasks_panicked, 1);
+        assert_eq!(stats.tasks_executed, 1);
+        // The runtime keeps working after a contained panic.
+        r.task("after").body(|_| {}).spawn().unwrap();
+        // wait_quiescent still reports the old panic; use stats to verify.
+        let _ = r.wait_quiescent_timeout(Duration::from_secs(5));
+        assert_eq!(r.stats().tasks_executed, 2);
+        r.shutdown();
+    }
+
+    #[test]
+    fn panicking_task_still_satisfies_finish_event() {
+        let r = rt("panic-finish");
+        let hit = Arc::new(AtomicUsize::new(0));
+        let (_, finish) = r
+            .task("bad")
+            .body(|_| panic!("contained"))
+            .spawn_with_finish()
+            .unwrap();
+        let h = hit.clone();
+        r.task("downstream")
+            .depends_on(&finish)
+            .body(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            })
+            .spawn()
+            .unwrap();
+        let _ = r.wait_quiescent_timeout(Duration::from_secs(5));
+        assert_eq!(hit.load(Ordering::SeqCst), 1, "downstream not stranded");
+        r.shutdown();
+    }
+
+    #[test]
+    fn affinity_hint_runs_on_requested_node() {
+        let r = Runtime::start(RuntimeConfig::new("aff", paper_model_machine())).unwrap();
+        // Freeze every node except node 2, so stealing cannot occur and
+        // the placement of hinted tasks is observable deterministically.
+        r.control()
+            .apply(ThreadCommand::PerNode(vec![0, 0, 8, 0]))
+            .unwrap();
+        assert!(r.control().wait_converged(Duration::from_secs(5), |_, per| {
+            per == [0, 0, 8, 0]
+        }));
+        let wrong = Arc::new(AtomicUsize::new(0));
+        for i in 0..50 {
+            let wrong = wrong.clone();
+            r.task(&format!("t{i}"))
+                .affinity(NodeId(2))
+                .body(move |ctx| {
+                    if ctx.node() != NodeId(2) {
+                        wrong.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+                .spawn()
+                .unwrap();
+        }
+        r.wait_quiescent().unwrap();
+        assert_eq!(wrong.load(Ordering::SeqCst), 0);
+        // Node 2 executed everything.
+        assert_eq!(r.stats().per_node[2].tasks_executed, 50);
+        r.shutdown();
+    }
+
+    #[test]
+    fn total_threads_converges_and_work_completes() {
+        let r = rt("opt1");
+        r.control()
+            .apply(ThreadCommand::TotalThreads(1))
+            .unwrap();
+        assert!(r
+            .control()
+            .wait_converged(Duration::from_secs(5), |run, _| run <= 1));
+        let count = Arc::new(AtomicU64::new(0));
+        for i in 0..20 {
+            let c = count.clone();
+            r.task(&format!("t{i}"))
+                .body(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+                .spawn()
+                .unwrap();
+        }
+        r.wait_quiescent().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 20);
+        assert!(r.stats().running_workers <= 1);
+        r.shutdown();
+    }
+
+    #[test]
+    fn per_node_control_shapes_occupancy() {
+        let r = rt("opt3"); // tiny: 2 nodes x 2 cores
+        r.control()
+            .apply(ThreadCommand::PerNode(vec![1, 2]))
+            .unwrap();
+        assert!(r
+            .control()
+            .wait_converged(Duration::from_secs(5), |_, per| per[0] <= 1 && per[1] <= 2));
+        let stats = r.stats();
+        assert!(stats.per_node[0].running_workers <= 1);
+        r.shutdown();
+    }
+
+    #[test]
+    fn block_cores_then_release() {
+        let r = rt("opt2");
+        let ctl = r.control();
+        ctl.apply(ThreadCommand::BlockCores(CpuSet::from_range(0, 2)))
+            .unwrap();
+        assert!(ctl.wait_converged(Duration::from_secs(5), |run, _| run == 2));
+        // Work still completes on the unblocked node-1 workers.
+        let count = Arc::new(AtomicU64::new(0));
+        for i in 0..10 {
+            let c = count.clone();
+            r.task(&format!("t{i}"))
+                .body(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+                .spawn()
+                .unwrap();
+        }
+        r.wait_quiescent().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+        ctl.apply(ThreadCommand::Unrestricted).unwrap();
+        assert!(ctl.wait_converged(Duration::from_secs(5), |run, _| run == 4));
+        r.shutdown();
+    }
+
+    #[test]
+    fn block_cores_requires_core_binding() {
+        let r = Runtime::start(
+            RuntimeConfig::new("nodebound", tiny()).with_binding(BindingKind::Node),
+        )
+        .unwrap();
+        let err = r
+            .control()
+            .apply(ThreadCommand::BlockCores(CpuSet::single(
+                numa_topology::CoreId(0),
+            )));
+        assert!(matches!(err, Err(RuntimeError::InvalidControl { .. })));
+        // Options 1 and 3 still work.
+        r.control().apply(ThreadCommand::TotalThreads(2)).unwrap();
+        r.control().apply(ThreadCommand::PerNode(vec![1, 1])).unwrap();
+        r.shutdown();
+    }
+
+    #[test]
+    fn quiescence_timeout_on_unsatisfied_event() {
+        let r = rt("timeout");
+        let never = r.new_once_event();
+        r.task("stuck").depends_on(&never).body(|_| {}).spawn().unwrap();
+        let err = r.wait_quiescent_timeout(Duration::from_millis(100));
+        assert!(matches!(
+            err,
+            Err(RuntimeError::QuiescenceTimeout { pending: 1 })
+        ));
+        // Satisfying the event releases the task.
+        r.satisfy(&never).unwrap();
+        r.wait_quiescent().unwrap();
+        r.shutdown();
+    }
+
+    #[test]
+    fn spawn_after_shutdown_fails() {
+        let r = rt("post-shutdown");
+        r.shutdown();
+        let err = r.task("late").body(|_| {}).spawn();
+        assert!(matches!(err, Err(RuntimeError::ShutDown)));
+    }
+
+    #[test]
+    fn user_counters_flow_to_stats() {
+        let r = rt("counters");
+        r.task("produce")
+            .body(|ctx| ctx.inc_counter("produced", 3))
+            .spawn()
+            .unwrap();
+        r.wait_quiescent().unwrap();
+        r.inc_counter("produced", 1);
+        assert_eq!(r.stats().user_counter("produced"), 4);
+        r.shutdown();
+    }
+
+    #[test]
+    fn double_satisfy_errors() {
+        let r = rt("double");
+        let ev = r.new_once_event();
+        r.satisfy(&ev).unwrap();
+        assert!(matches!(
+            r.satisfy(&ev),
+            Err(RuntimeError::EventAlreadySatisfied { .. })
+        ));
+        r.shutdown();
+    }
+
+    #[test]
+    fn stats_snapshot_consistency() {
+        let r = rt("stats");
+        for i in 0..5 {
+            r.task(&format!("t{i}")).body(|_| {}).spawn().unwrap();
+        }
+        r.wait_quiescent().unwrap();
+        let s = r.stats();
+        assert_eq!(s.tasks_spawned, 5);
+        assert_eq!(s.tasks_executed, 5);
+        assert_eq!(s.tasks_pending, 0);
+        assert_eq!(s.name, "stats");
+        let per_node_total: u64 = s.per_node.iter().map(|n| n.tasks_executed).sum();
+        assert_eq!(per_node_total, 5);
+        r.shutdown();
+    }
+
+    #[test]
+    fn heavy_fanout_diamond_graph() {
+        // root -> 64 middles -> join, repeated; exercises queues + latches.
+        let r = Runtime::start(RuntimeConfig::new("diamond", paper_model_machine())).unwrap();
+        let total = Arc::new(AtomicU64::new(0));
+        for _round in 0..4 {
+            let latch = r.new_latch_event(64);
+            let t = total.clone();
+            r.task("join")
+                .depends_on(&latch)
+                .body(move |_| {
+                    t.fetch_add(1, Ordering::SeqCst);
+                })
+                .spawn()
+                .unwrap();
+            for i in 0..64 {
+                let latch = latch.clone();
+                let t = total.clone();
+                r.task(&format!("mid{i}"))
+                    .body(move |ctx| {
+                        t.fetch_add(1, Ordering::SeqCst);
+                        ctx.satisfy(&latch);
+                    })
+                    .spawn()
+                    .unwrap();
+            }
+        }
+        r.wait_quiescent().unwrap();
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 65);
+        r.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let r = rt("drop");
+        r.task("t").body(|_| {}).spawn().unwrap();
+        r.wait_quiescent().unwrap();
+        drop(r); // must not hang or panic
+    }
+}

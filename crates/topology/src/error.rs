@@ -1,0 +1,110 @@
+//! Error type for machine construction and validation.
+
+use std::fmt;
+
+/// Errors produced while building or validating a [`Machine`](crate::Machine).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// The machine has no NUMA nodes.
+    NoNodes,
+    /// A node was declared with zero cores.
+    EmptyNode {
+        /// Index of the offending node.
+        node: usize,
+    },
+    /// A physical quantity (bandwidth, GFLOPS, capacity) must be positive.
+    NonPositiveQuantity {
+        /// Which quantity was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The link matrix does not match the number of nodes.
+    LinkMatrixShape {
+        /// Expected dimension (number of nodes).
+        expected: usize,
+        /// Actual dimension supplied.
+        actual: usize,
+    },
+    /// A link bandwidth was negative (zero is allowed and means "no link",
+    /// i.e. remote accesses over this pair are impossible).
+    NegativeLink {
+        /// Source node index.
+        from: usize,
+        /// Destination node index.
+        to: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A node id out of range for this machine.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the machine.
+        num_nodes: usize,
+    },
+    /// A core id out of range for this machine.
+    UnknownCore {
+        /// The offending core index.
+        core: usize,
+        /// Number of cores in the machine.
+        num_cores: usize,
+    },
+    /// JSON (de)serialization failed.
+    Serde(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NoNodes => write!(f, "machine must have at least one NUMA node"),
+            TopologyError::EmptyNode { node } => {
+                write!(f, "NUMA node {node} has zero cores")
+            }
+            TopologyError::NonPositiveQuantity { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            TopologyError::LinkMatrixShape { expected, actual } => write!(
+                f,
+                "link matrix must be {expected}x{expected}, got dimension {actual}"
+            ),
+            TopologyError::NegativeLink { from, to, value } => {
+                write!(f, "link bandwidth {from}->{to} is negative: {value}")
+            }
+            TopologyError::UnknownNode { node, num_nodes } => {
+                write!(f, "node {node} out of range (machine has {num_nodes} nodes)")
+            }
+            TopologyError::UnknownCore { core, num_cores } => {
+                write!(f, "core {core} out of range (machine has {num_cores} cores)")
+            }
+            TopologyError::Serde(msg) => write!(f, "machine (de)serialization failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TopologyError::EmptyNode { node: 2 };
+        assert!(e.to_string().contains("node 2"));
+        let e = TopologyError::NonPositiveQuantity {
+            what: "core peak GFLOPS",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("core peak GFLOPS"));
+        assert!(e.to_string().contains("-1"));
+        let e = TopologyError::LinkMatrixShape { expected: 4, actual: 3 };
+        assert!(e.to_string().contains("4x4"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(TopologyError::NoNodes);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,606 @@
+//! The validated machine description: nodes, cores, bandwidths, links.
+
+use crate::{CoreId, CpuSet, NodeId, Result, TopologyError};
+use serde::{Deserialize, Serialize};
+
+/// One NUMA node of a [`Machine`].
+///
+/// A node owns a contiguous range of global core ids and its local memory
+/// with a peak bandwidth. Core homogeneity is machine-wide (assumption 1 of
+/// the paper's model: "a single CPU core has the same peak GFLOPS for each
+/// application").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Global id of the first core belonging to this node.
+    pub first_core: CoreId,
+    /// Number of cores on this node.
+    pub num_cores: usize,
+    /// Peak local memory bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Local memory capacity in GiB. Only used to validate data placement;
+    /// the paper assumes capacity is never the binding constraint.
+    pub memory_gib: f64,
+}
+
+impl Node {
+    /// Number of cores on this node.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    /// The global core ids belonging to this node, as a [`CpuSet`].
+    pub fn cpuset(&self) -> CpuSet {
+        CpuSet::from_range(self.first_core.0, self.first_core.0 + self.num_cores)
+    }
+
+    /// Iterates over the global core ids of this node.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        (self.first_core.0..self.first_core.0 + self.num_cores).map(CoreId)
+    }
+
+    /// `true` if the given global core id belongs to this node.
+    pub fn owns(&self, core: CoreId) -> bool {
+        core.0 >= self.first_core.0 && core.0 < self.first_core.0 + self.num_cores
+    }
+}
+
+/// Peak bandwidth of the interconnect between each ordered pair of nodes,
+/// in GB/s.
+///
+/// `link(a, b)` is the bandwidth available to traffic *initiated on node `a`
+/// targeting memory on node `b`*. The diagonal is unused (local accesses go
+/// through the node's own memory controller and are limited by
+/// [`Node::bandwidth_gbs`]). A value of `0.0` means the pair cannot exchange
+/// traffic at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkMatrix {
+    dim: usize,
+    /// Row-major `dim x dim` bandwidths.
+    gbs: Vec<f64>,
+}
+
+impl LinkMatrix {
+    /// A matrix with the same bandwidth on every off-diagonal link — the
+    /// "fully connected, symmetric interconnect" the paper assumes for its
+    /// four-socket Skylake server.
+    pub fn uniform(dim: usize, gbs: f64) -> Self {
+        let mut m = LinkMatrix {
+            dim,
+            gbs: vec![gbs; dim * dim],
+        };
+        for i in 0..dim {
+            m.gbs[i * dim + i] = 0.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major `dim x dim` slice.
+    pub fn from_rows(dim: usize, rows: &[f64]) -> Result<Self> {
+        if rows.len() != dim * dim {
+            return Err(TopologyError::LinkMatrixShape {
+                expected: dim,
+                actual: rows.len(),
+            });
+        }
+        for (idx, &v) in rows.iter().enumerate() {
+            if v < 0.0 || !v.is_finite() {
+                return Err(TopologyError::NegativeLink {
+                    from: idx / dim,
+                    to: idx % dim,
+                    value: v,
+                });
+            }
+        }
+        Ok(LinkMatrix {
+            dim,
+            gbs: rows.to_vec(),
+        })
+    }
+
+    /// Dimension (number of nodes).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bandwidth of the directed link `from -> to` in GB/s. Zero on the
+    /// diagonal.
+    pub fn link(&self, from: NodeId, to: NodeId) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            self.gbs[from.0 * self.dim + to.0]
+        }
+    }
+
+    /// Sets the bandwidth of the directed link `from -> to`.
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, gbs: f64) {
+        if from != to {
+            self.gbs[from.0 * self.dim + to.0] = gbs;
+        }
+    }
+}
+
+/// An immutable, validated NUMA machine description.
+///
+/// Build one with [`MachineBuilder`] or deserialize with
+/// [`Machine::from_json`]. All quantities are validated on construction, so
+/// downstream code can rely on: at least one node, at least one core per
+/// node, positive bandwidths and GFLOPS, and a link matrix whose dimension
+/// matches the node count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    name: String,
+    nodes: Vec<Node>,
+    core_peak_gflops: f64,
+    links: LinkMatrix,
+    total_cores: usize,
+}
+
+impl Machine {
+    /// Human-readable machine name (e.g. `"paper-model-4x8"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of NUMA nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of cores across all nodes.
+    pub fn total_cores(&self) -> usize {
+        self.total_cores
+    }
+
+    /// Peak floating-point performance of one core, in GFLOPS.
+    pub fn core_peak_gflops(&self) -> f64 {
+        self.core_peak_gflops
+    }
+
+    /// Peak floating-point performance of the whole machine, in GFLOPS.
+    pub fn peak_machine_gflops(&self) -> f64 {
+        self.core_peak_gflops * self.total_cores as f64
+    }
+
+    /// Aggregate local memory bandwidth of the whole machine, in GB/s.
+    pub fn total_bandwidth_gbs(&self) -> f64 {
+        self.nodes.iter().map(|n| n.bandwidth_gbs).sum()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range; use [`Machine::try_node`] for a
+    /// fallible lookup.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Fallible node lookup.
+    pub fn try_node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id.0).ok_or(TopologyError::UnknownNode {
+            node: id.0,
+            num_nodes: self.nodes.len(),
+        })
+    }
+
+    /// Iterates over the nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// The node that owns the given global core id.
+    pub fn node_of_core(&self, core: CoreId) -> Result<NodeId> {
+        if core.0 >= self.total_cores {
+            return Err(TopologyError::UnknownCore {
+                core: core.0,
+                num_cores: self.total_cores,
+            });
+        }
+        // Nodes are contiguous and sorted by first_core, so a partition
+        // point lookup suffices.
+        let idx = self
+            .nodes
+            .partition_point(|n| n.first_core.0 + n.num_cores <= core.0);
+        debug_assert!(self.nodes[idx].owns(core));
+        Ok(NodeId(idx))
+    }
+
+    /// The interconnect link matrix.
+    pub fn links(&self) -> &LinkMatrix {
+        &self.links
+    }
+
+    /// A [`CpuSet`] containing every core of the machine.
+    pub fn all_cores(&self) -> CpuSet {
+        CpuSet::from_range(0, self.total_cores)
+    }
+
+    /// `true` if every node has the same number of cores.
+    pub fn is_symmetric(&self) -> bool {
+        self.nodes
+            .windows(2)
+            .all(|w| w[0].num_cores == w[1].num_cores)
+    }
+
+    /// Serializes the machine description to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("machine serialization cannot fail")
+    }
+
+    /// Deserializes and re-validates a machine description from JSON.
+    pub fn from_json(json: &str) -> Result<Machine> {
+        let m: Machine =
+            serde_json::from_str(json).map_err(|e| TopologyError::Serde(e.to_string()))?;
+        // Re-run the builder validation so hand-edited JSON cannot smuggle
+        // in inconsistent descriptions.
+        let mut b = MachineBuilder::new().name(&m.name).core_peak_gflops(m.core_peak_gflops);
+        for n in &m.nodes {
+            b = b.add_node(n.num_cores, n.bandwidth_gbs, n.memory_gib);
+        }
+        let rows: Vec<f64> = (0..m.nodes.len())
+            .flat_map(|i| (0..m.nodes.len()).map(move |j| (i, j)))
+            .map(|(i, j)| m.links.link(NodeId(i), NodeId(j)))
+            .collect();
+        b.link_matrix(LinkMatrix::from_rows(m.nodes.len(), &rows)?).build()
+    }
+}
+
+/// Builder for [`Machine`].
+///
+/// Two styles are supported: the symmetric shorthand
+/// ([`symmetric_nodes`](MachineBuilder::symmetric_nodes) +
+/// [`node_bandwidth_gbs`](MachineBuilder::node_bandwidth_gbs)) used by all of
+/// the paper's machines, and per-node [`add_node`](MachineBuilder::add_node)
+/// calls for asymmetric systems.
+#[derive(Debug, Clone, Default)]
+pub struct MachineBuilder {
+    name: Option<String>,
+    // (num_cores, bandwidth, memory_gib) per node
+    nodes: Vec<(usize, Option<f64>, f64)>,
+    symmetric: Option<(usize, usize)>,
+    core_peak_gflops: Option<f64>,
+    node_bandwidth_gbs: Option<f64>,
+    node_memory_gib: f64,
+    links: Option<LinkMatrix>,
+    uniform_link_gbs: Option<f64>,
+}
+
+/// Default per-node memory capacity if none is specified (GiB).
+const DEFAULT_NODE_MEMORY_GIB: f64 = 48.0;
+
+impl MachineBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        MachineBuilder {
+            node_memory_gib: DEFAULT_NODE_MEMORY_GIB,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the machine name.
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// Declares `num_nodes` identical nodes with `cores_per_node` cores each.
+    /// Mutually exclusive with [`add_node`](MachineBuilder::add_node).
+    pub fn symmetric_nodes(mut self, num_nodes: usize, cores_per_node: usize) -> Self {
+        self.symmetric = Some((num_nodes, cores_per_node));
+        self
+    }
+
+    /// Appends one node with an explicit core count, bandwidth and capacity.
+    pub fn add_node(mut self, num_cores: usize, bandwidth_gbs: f64, memory_gib: f64) -> Self {
+        self.nodes.push((num_cores, Some(bandwidth_gbs), memory_gib));
+        self
+    }
+
+    /// Sets the per-core peak performance in GFLOPS (required).
+    pub fn core_peak_gflops(mut self, gflops: f64) -> Self {
+        self.core_peak_gflops = Some(gflops);
+        self
+    }
+
+    /// Sets the local memory bandwidth used for every symmetric node, GB/s.
+    pub fn node_bandwidth_gbs(mut self, gbs: f64) -> Self {
+        self.node_bandwidth_gbs = Some(gbs);
+        self
+    }
+
+    /// Sets the memory capacity used for every symmetric node, GiB.
+    pub fn node_memory_gib(mut self, gib: f64) -> Self {
+        self.node_memory_gib = gib;
+        self
+    }
+
+    /// Uses the same bandwidth for every inter-node link.
+    pub fn uniform_link_gbs(mut self, gbs: f64) -> Self {
+        self.uniform_link_gbs = Some(gbs);
+        self
+    }
+
+    /// Supplies a full link matrix (overrides
+    /// [`uniform_link_gbs`](MachineBuilder::uniform_link_gbs)).
+    pub fn link_matrix(mut self, links: LinkMatrix) -> Self {
+        self.links = Some(links);
+        self
+    }
+
+    /// Validates and builds the [`Machine`].
+    pub fn build(self) -> Result<Machine> {
+        let core_peak_gflops = self.core_peak_gflops.unwrap_or(0.0);
+        if core_peak_gflops <= 0.0 || !core_peak_gflops.is_finite() {
+            return Err(TopologyError::NonPositiveQuantity {
+                what: "core peak GFLOPS",
+                value: core_peak_gflops,
+            });
+        }
+
+        // Materialize the per-node list.
+        let specs: Vec<(usize, f64, f64)> = if let Some((n, c)) = self.symmetric {
+            let bw = self.node_bandwidth_gbs.unwrap_or(0.0);
+            (0..n).map(|_| (c, bw, self.node_memory_gib)).collect()
+        } else {
+            self.nodes
+                .iter()
+                .map(|&(c, bw, mem)| (c, bw.unwrap_or(self.node_bandwidth_gbs.unwrap_or(0.0)), mem))
+                .collect()
+        };
+
+        if specs.is_empty() {
+            return Err(TopologyError::NoNodes);
+        }
+        let mut nodes = Vec::with_capacity(specs.len());
+        let mut next_core = 0usize;
+        for (i, &(cores, bw, mem)) in specs.iter().enumerate() {
+            if cores == 0 {
+                return Err(TopologyError::EmptyNode { node: i });
+            }
+            if bw <= 0.0 || !bw.is_finite() {
+                return Err(TopologyError::NonPositiveQuantity {
+                    what: "node memory bandwidth (GB/s)",
+                    value: bw,
+                });
+            }
+            if mem <= 0.0 || !mem.is_finite() {
+                return Err(TopologyError::NonPositiveQuantity {
+                    what: "node memory capacity (GiB)",
+                    value: mem,
+                });
+            }
+            nodes.push(Node {
+                id: NodeId(i),
+                first_core: CoreId(next_core),
+                num_cores: cores,
+                bandwidth_gbs: bw,
+                memory_gib: mem,
+            });
+            next_core += cores;
+        }
+
+        let dim = nodes.len();
+        let links = match self.links {
+            Some(l) => {
+                if l.dim() != dim {
+                    return Err(TopologyError::LinkMatrixShape {
+                        expected: dim,
+                        actual: l.dim(),
+                    });
+                }
+                l
+            }
+            None => LinkMatrix::uniform(dim, self.uniform_link_gbs.unwrap_or(0.0)),
+        };
+
+        Ok(Machine {
+            name: self.name.unwrap_or_else(|| format!("machine-{dim}n")),
+            nodes,
+            core_peak_gflops,
+            links,
+            total_cores: next_core,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_machine() -> Machine {
+        MachineBuilder::new()
+            .name("paper")
+            .symmetric_nodes(4, 8)
+            .core_peak_gflops(10.0)
+            .node_bandwidth_gbs(32.0)
+            .uniform_link_gbs(10.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn symmetric_build() {
+        let m = paper_machine();
+        assert_eq!(m.num_nodes(), 4);
+        assert_eq!(m.total_cores(), 32);
+        assert!(m.is_symmetric());
+        assert_eq!(m.name(), "paper");
+        assert!((m.peak_machine_gflops() - 320.0).abs() < 1e-12);
+        assert!((m.total_bandwidth_gbs() - 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_numbering_is_contiguous_per_node() {
+        let m = paper_machine();
+        assert_eq!(m.node(NodeId(0)).first_core, CoreId(0));
+        assert_eq!(m.node(NodeId(1)).first_core, CoreId(8));
+        assert_eq!(m.node(NodeId(3)).first_core, CoreId(24));
+        let cores: Vec<usize> = m.node(NodeId(2)).cores().map(|c| c.0).collect();
+        assert_eq!(cores, (16..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn node_of_core_lookup() {
+        let m = paper_machine();
+        assert_eq!(m.node_of_core(CoreId(0)).unwrap(), NodeId(0));
+        assert_eq!(m.node_of_core(CoreId(7)).unwrap(), NodeId(0));
+        assert_eq!(m.node_of_core(CoreId(8)).unwrap(), NodeId(1));
+        assert_eq!(m.node_of_core(CoreId(31)).unwrap(), NodeId(3));
+        assert!(m.node_of_core(CoreId(32)).is_err());
+    }
+
+    #[test]
+    fn asymmetric_build() {
+        let m = MachineBuilder::new()
+            .add_node(4, 20.0, 16.0)
+            .add_node(12, 60.0, 64.0)
+            .core_peak_gflops(5.0)
+            .uniform_link_gbs(8.0)
+            .build()
+            .unwrap();
+        assert_eq!(m.num_nodes(), 2);
+        assert_eq!(m.total_cores(), 16);
+        assert!(!m.is_symmetric());
+        assert_eq!(m.node(NodeId(1)).first_core, CoreId(4));
+        assert_eq!(m.node_of_core(CoreId(4)).unwrap(), NodeId(1));
+        assert!((m.node(NodeId(1)).bandwidth_gbs - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert!(matches!(
+            MachineBuilder::new().core_peak_gflops(10.0).build(),
+            Err(TopologyError::NoNodes)
+        ));
+        assert!(matches!(
+            MachineBuilder::new()
+                .symmetric_nodes(2, 4)
+                .node_bandwidth_gbs(10.0)
+                .build(),
+            Err(TopologyError::NonPositiveQuantity { what: "core peak GFLOPS", .. })
+        ));
+        assert!(matches!(
+            MachineBuilder::new()
+                .symmetric_nodes(2, 0)
+                .core_peak_gflops(1.0)
+                .node_bandwidth_gbs(10.0)
+                .build(),
+            Err(TopologyError::EmptyNode { node: 0 })
+        ));
+        assert!(matches!(
+            MachineBuilder::new()
+                .symmetric_nodes(2, 4)
+                .core_peak_gflops(1.0)
+                .build(),
+            Err(TopologyError::NonPositiveQuantity {
+                what: "node memory bandwidth (GB/s)",
+                ..
+            })
+        ));
+        assert!(matches!(
+            MachineBuilder::new()
+                .symmetric_nodes(2, 4)
+                .core_peak_gflops(f64::NAN)
+                .node_bandwidth_gbs(10.0)
+                .build(),
+            Err(TopologyError::NonPositiveQuantity { .. })
+        ));
+    }
+
+    #[test]
+    fn link_matrix_uniform_diagonal_zero() {
+        let l = LinkMatrix::uniform(3, 12.5);
+        for i in 0..3 {
+            assert_eq!(l.link(NodeId(i), NodeId(i)), 0.0);
+            for j in 0..3 {
+                if i != j {
+                    assert!((l.link(NodeId(i), NodeId(j)) - 12.5).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_matrix_from_rows_and_set() {
+        let rows = [0.0, 1.0, 2.0, 0.0];
+        let mut l = LinkMatrix::from_rows(2, &rows).unwrap();
+        assert!((l.link(NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
+        assert!((l.link(NodeId(1), NodeId(0)) - 2.0).abs() < 1e-12);
+        l.set_link(NodeId(0), NodeId(1), 5.0);
+        assert!((l.link(NodeId(0), NodeId(1)) - 5.0).abs() < 1e-12);
+        // Setting the diagonal is a no-op.
+        l.set_link(NodeId(0), NodeId(0), 99.0);
+        assert_eq!(l.link(NodeId(0), NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn link_matrix_shape_and_sign_validation() {
+        assert!(matches!(
+            LinkMatrix::from_rows(2, &[0.0; 3]),
+            Err(TopologyError::LinkMatrixShape { expected: 2, actual: 3 })
+        ));
+        assert!(matches!(
+            LinkMatrix::from_rows(2, &[0.0, -1.0, 0.0, 0.0]),
+            Err(TopologyError::NegativeLink { from: 0, to: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_link_matrix() {
+        let err = MachineBuilder::new()
+            .symmetric_nodes(4, 2)
+            .core_peak_gflops(1.0)
+            .node_bandwidth_gbs(1.0)
+            .link_matrix(LinkMatrix::uniform(3, 1.0))
+            .build();
+        assert!(matches!(
+            err,
+            Err(TopologyError::LinkMatrixShape { expected: 4, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn node_cpuset_and_all_cores() {
+        let m = paper_machine();
+        let n1 = m.node(NodeId(1)).cpuset();
+        assert_eq!(n1.count(), 8);
+        assert!(n1.contains(CoreId(8)) && n1.contains(CoreId(15)));
+        assert!(!n1.contains(CoreId(16)));
+        assert!(n1.is_subset(&m.all_cores()));
+        assert_eq!(m.all_cores().count(), 32);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = paper_machine();
+        let json = m.to_json();
+        let back = Machine::from_json(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn json_rejects_corrupt_machine() {
+        let m = paper_machine();
+        let json = m.to_json().replace("32.0", "-32.0");
+        assert!(Machine::from_json(&json).is_err());
+        assert!(Machine::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn try_node_bounds() {
+        let m = paper_machine();
+        assert!(m.try_node(NodeId(3)).is_ok());
+        assert!(matches!(
+            m.try_node(NodeId(4)),
+            Err(TopologyError::UnknownNode { node: 4, num_nodes: 4 })
+        ));
+    }
+}

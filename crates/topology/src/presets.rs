@@ -1,0 +1,161 @@
+//! Ready-made machine descriptions.
+//!
+//! The three `paper_*` machines encode the exact configurations needed to
+//! regenerate the paper's evaluation. Where the paper leaves a parameter
+//! unstated, the value used here is the (documented) fit that reproduces the
+//! paper's reported numbers; see `DESIGN.md` §2 in the repository root.
+
+use crate::{Machine, MachineBuilder};
+
+/// The machine of the worked model examples (Tables I and II, Figure 2):
+/// 4 NUMA nodes x 8 cores, 10 GFLOPS per core, 32 GB/s local bandwidth per
+/// node.
+///
+/// The table *captions* state 40 GB/s, but every computation in the table
+/// bodies and the surrounding text uses 32 GB/s (`baseline GB/s per thread =
+/// 32/8 = 4`); we follow the arithmetic. Inter-node links are set to
+/// 10 GB/s; they are irrelevant for these NUMA-perfect workloads.
+pub fn paper_model_machine() -> Machine {
+    MachineBuilder::new()
+        .name("paper-model-4x8")
+        .symmetric_nodes(4, 8)
+        .core_peak_gflops(10.0)
+        .node_bandwidth_gbs(32.0)
+        .uniform_link_gbs(10.0)
+        .build()
+        .expect("preset machine is valid")
+}
+
+/// The machine of the cross-node example (Figure 3): 4 NUMA nodes x 8
+/// cores, 10 GFLOPS per core, 60 GB/s local bandwidth, 10 GB/s per
+/// directed inter-node link.
+///
+/// The paper reports 138 GFLOPS (even allocation) and 150 GFLOPS
+/// (node-per-application) for this example but does not state the local or
+/// link bandwidths it used; 60/10 GB/s is the fit that reproduces
+/// 150 exactly and 138.75 ≈ 138 — and, importantly, the *reversal* of the
+/// allocation ranking relative to Figure 2, which is the point of the
+/// example.
+pub fn paper_crossnode_machine() -> Machine {
+    MachineBuilder::new()
+        .name("paper-crossnode-4x8")
+        .symmetric_nodes(4, 8)
+        .core_peak_gflops(10.0)
+        .node_bandwidth_gbs(60.0)
+        .uniform_link_gbs(10.0)
+        .build()
+        .expect("preset machine is valid")
+}
+
+/// The four-socket Intel Xeon Gold 6138 server of §III.B (Table III) as
+/// *calibrated* by the paper: 4 NUMA nodes x 20 cores, 0.29 GFLOPS per
+/// thread, 100 GB/s local bandwidth per node, 10 GB/s per link.
+///
+/// 0.29 GFLOPS/thread and 100 GB/s are the paper's own estimates fitted
+/// from the even-allocation scenario; the 10 GB/s link bandwidth is our fit
+/// that reproduces the paper's 13.98 GFLOPS model value for the cross-node
+/// NUMA-bad scenario exactly.
+pub fn paper_skylake_machine() -> Machine {
+    MachineBuilder::new()
+        .name("paper-skylake-4x20")
+        .symmetric_nodes(4, 20)
+        .core_peak_gflops(0.29)
+        .node_bandwidth_gbs(100.0)
+        .uniform_link_gbs(10.0)
+        .build()
+        .expect("preset machine is valid")
+}
+
+/// A typical dual-socket server: 2 nodes x 16 cores, 50 GFLOPS per core,
+/// 120 GB/s per node, 40 GB/s links. Useful for examples and tests that
+/// want a machine smaller than the paper's.
+pub fn dual_socket() -> Machine {
+    MachineBuilder::new()
+        .name("dual-socket-2x16")
+        .symmetric_nodes(2, 16)
+        .core_peak_gflops(50.0)
+        .node_bandwidth_gbs(120.0)
+        .uniform_link_gbs(40.0)
+        .build()
+        .expect("preset machine is valid")
+}
+
+/// An Intel Knights Landing style machine in SNC-4 (NUMA) mode: 4 nodes x
+/// 16 cores, modest per-core performance, high aggregate bandwidth. The
+/// paper's earlier OCR-Vx work (reference 11) ran on KNL; this preset lets
+/// exercise a higher node count per socket.
+pub fn knl_snc4() -> Machine {
+    MachineBuilder::new()
+        .name("knl-snc4-4x16")
+        .symmetric_nodes(4, 16)
+        .core_peak_gflops(44.8)
+        .node_bandwidth_gbs(102.0)
+        .uniform_link_gbs(25.0)
+        .build()
+        .expect("preset machine is valid")
+}
+
+/// A deliberately tiny machine (2 nodes x 2 cores) for fast unit tests.
+pub fn tiny() -> Machine {
+    MachineBuilder::new()
+        .name("tiny-2x2")
+        .symmetric_nodes(2, 2)
+        .core_peak_gflops(1.0)
+        .node_bandwidth_gbs(4.0)
+        .uniform_link_gbs(1.0)
+        .build()
+        .expect("preset machine is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn paper_model_machine_matches_table_parameters() {
+        let m = paper_model_machine();
+        assert_eq!(m.num_nodes(), 4);
+        assert_eq!(m.total_cores(), 32);
+        assert!((m.core_peak_gflops() - 10.0).abs() < 1e-12);
+        assert!((m.node(NodeId(0)).bandwidth_gbs - 32.0).abs() < 1e-12);
+        // Baseline GB/s per thread from the tables: 32/8 = 4.
+        let baseline = m.node(NodeId(0)).bandwidth_gbs / m.node(NodeId(0)).num_cores() as f64;
+        assert!((baseline - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_skylake_machine_matches_calibration() {
+        let m = paper_skylake_machine();
+        assert_eq!(m.num_nodes(), 4);
+        assert_eq!(m.total_cores(), 80);
+        assert!((m.core_peak_gflops() - 0.29).abs() < 1e-12);
+        assert!((m.node(NodeId(2)).bandwidth_gbs - 100.0).abs() < 1e-12);
+        assert!((m.links().link(NodeId(0), NodeId(3)) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_presets_valid_and_distinctly_named() {
+        use std::collections::HashSet;
+        let names: HashSet<String> = [
+            paper_model_machine(),
+            paper_crossnode_machine(),
+            paper_skylake_machine(),
+            dual_socket(),
+            knl_snc4(),
+            tiny(),
+        ]
+        .iter()
+        .map(|m| m.name().to_string())
+        .collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn presets_roundtrip_json() {
+        for m in [paper_model_machine(), dual_socket(), tiny()] {
+            let back = Machine::from_json(&m.to_json()).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+}

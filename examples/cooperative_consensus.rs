@@ -1,0 +1,91 @@
+//! Agent-less coordination: the runtimes themselves agree on a core
+//! allocation (§II: "it would also be possible to have the different
+//! runtime systems cooperatively come to an agreement").
+//!
+//! Three runtimes join a consensus group, publish their demand profiles
+//! (arithmetic intensity + data placement + weight), and each applies its
+//! own row of the deterministically-resolved allocation — no central
+//! agent process anywhere.
+//!
+//! Run with: `cargo run --example cooperative_consensus`
+
+use numa_coop::agent::consensus::{ConsensusGroup, DemandProfile};
+use numa_coop::prelude::*;
+use numa_coop::topology::presets::paper_model_machine;
+use std::time::Duration;
+
+fn main() {
+    let machine = paper_model_machine();
+    let names = ["streamer", "solver", "pinned"];
+    let runtimes: Vec<Runtime> = names
+        .iter()
+        .map(|n| Runtime::start(RuntimeConfig::new(n, machine.clone())).unwrap())
+        .collect();
+
+    let group = ConsensusGroup::new(machine.clone());
+    let participants = [
+        group.join(
+            "streamer",
+            DemandProfile::new(AppSpec::numa_local("streamer", 0.25), 1.0),
+            runtimes[0].control(),
+        ),
+        group.join(
+            "solver",
+            DemandProfile::new(AppSpec::numa_local("solver", 8.0), 2.0),
+            runtimes[1].control(),
+        ),
+        group.join(
+            "pinned",
+            // A NUMA-bad component whose data lives on node 1.
+            DemandProfile::new(AppSpec::numa_bad("pinned", 1.0, NodeId(1)), 1.0),
+            runtimes[2].control(),
+        ),
+    ];
+
+    // Every participant calls agree() on its own thread — the barrier
+    // closes the round, everyone computes the same allocation, everyone
+    // applies its own row.
+    let agreed = std::thread::scope(|s| {
+        let handles: Vec<_> = participants
+            .iter()
+            .map(|p| s.spawn(move || p.agree(Duration::from_secs(5)).unwrap()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+    assert!(agreed.windows(2).all(|w| w[0] == w[1]));
+    let allocation = &agreed[0];
+
+    println!("agreed allocation (threads per NUMA node):");
+    println!("{:<10} {:>6} {:>6} {:>6} {:>6} {:>8}", "runtime", "n0", "n1", "n2", "n3", "total");
+    for (i, name) in names.iter().enumerate() {
+        let per: Vec<usize> = machine.node_ids().map(|n| allocation.get(i, n)).collect();
+        println!(
+            "{:<10} {:>6} {:>6} {:>6} {:>6} {:>8}",
+            name,
+            per[0],
+            per[1],
+            per[2],
+            per[3],
+            allocation.app_total(i)
+        );
+    }
+
+    for (i, rt) in runtimes.iter().enumerate() {
+        rt.control().wait_converged(Duration::from_secs(5), |run, _| {
+            run == agreed[0].app_total(i)
+        });
+    }
+    let total: usize = runtimes.iter().map(|r| r.stats().running_workers).sum();
+    println!(
+        "\nrunning workers across all runtimes: {total} (machine has {} cores)",
+        machine.total_cores()
+    );
+    println!("note: the 'pinned' component got threads only on node 1, where its data is.");
+
+    for rt in &runtimes {
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,57 @@
+//! §V of the paper: how on-node speedups (from dynamic core allocation)
+//! translate to overall speedup of a distributed application, depending on
+//! synchronization tightness and work distribution.
+//!
+//! Run with: `cargo run --example distributed_translation`
+
+use numa_coop::dist::{simulate, Cluster, Distribution, Synchronization, Workload};
+
+fn main() {
+    // 16 compute nodes; the on-node coordination layer achieved different
+    // local speedups on different nodes (mixes differ per node).
+    let speedups: Vec<f64> = (0..16)
+        .map(|i| match i % 4 {
+            0 => 1.4,
+            1 => 1.2,
+            _ => 1.0,
+        })
+        .collect();
+    let cluster = Cluster::uniform(16, 1.0).with_speedups(&speedups);
+    println!(
+        "16-rank cluster, local speedups {:?}...\nmean local speedup: {:.3}\n",
+        &speedups[..4],
+        cluster.mean_speedup()
+    );
+
+    println!(
+        "{:<40} {:>16} {:>14}",
+        "configuration", "overall speedup", "translated"
+    );
+    for (sync, sl) in [
+        (Synchronization::Tight, "tight (barrier each iteration)"),
+        (Synchronization::Loose, "loose (independent task bag)"),
+    ] {
+        for (dist, dl) in [
+            (Distribution::Static, "static partition"),
+            (Distribution::Dynamic, "dynamic work pool"),
+        ] {
+            let w = Workload::new(6400, 1.0)
+                .iterations(20)
+                .sync(sync)
+                .distribution(dist)
+                .unit_variability(0.2);
+            let r = simulate(&cluster, &w, 42);
+            println!(
+                "{:<40} {:>16.3} {:>13.0}%",
+                format!("{sl} + {dl}"),
+                r.speedup_vs_uniform,
+                r.translation_efficiency * 100.0
+            );
+        }
+    }
+    println!(
+        "\nAs §V argues: a barrier per iteration wastes per-node gains (the slowest\n\
+         node dominates); loose synchronization with dynamic distribution translates\n\
+         most of the local speedup into end-to-end speedup."
+    );
+}

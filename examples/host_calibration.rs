@@ -1,0 +1,59 @@
+//! The paper's §III.B calibration workflow on *your* machine: run the
+//! synthetic kernels, measure achieved GFLOPS and bandwidth, and estimate
+//! roofline parameters for the host — the same "estimate the parameters of
+//! the machine from the measured performance" procedure the paper used on
+//! its Xeon server.
+//!
+//! Run with: `cargo run --release --example host_calibration`
+//! (a debug build will under-report the host by 10-100x)
+
+use numa_coop::workloads::kernels::{fma_kernel, mixed_kernel, pointer_chase, stream_triad};
+
+fn main() {
+    println!("host micro-kernel calibration (single thread)\n");
+
+    // Memory-bound: STREAM-style triad over a cache-busting working set.
+    let n = 1 << 24; // 16M doubles x 3 arrays = 384 MiB
+    let triad = stream_triad(n, 3);
+    println!(
+        "stream triad   : {:>8.2} GB/s   {:>7.3} GFLOPS   (AI = {:.4} FLOP/B)",
+        triad.gbs(),
+        triad.gflops(),
+        triad.ai()
+    );
+
+    // Compute-bound: register-resident FMA chain.
+    let fma = fma_kernel(1 << 27);
+    println!(
+        "fma kernel     : {:>8.2} GB/s   {:>7.3} GFLOPS   (compute-bound)",
+        fma.gbs(),
+        fma.gflops()
+    );
+
+    // Latency-bound: dependent loads.
+    let (chase, _) = pointer_chase(1 << 22, 1 << 22, 7);
+    let ns_per_load = chase.seconds / (1 << 22) as f64 * 1e9;
+    println!("pointer chase  : {ns_per_load:>8.1} ns per dependent load");
+
+    // Dial arithmetic intensity and watch the roofline knee.
+    println!("\nmixed kernel sweep (memory traffic fixed, extra FLOPs added):");
+    println!("{:>10} {:>10} {:>10}", "AI", "GB/s", "GFLOPS");
+    for extra in [0usize, 2, 4, 8, 16, 32, 64] {
+        let r = mixed_kernel(1 << 22, 2, extra);
+        println!("{:>10.3} {:>10.2} {:>10.3}", r.ai(), r.gbs(), r.gflops());
+    }
+
+    // Roofline estimates for this host (single-thread view).
+    let bw = triad.gbs();
+    let peak = fma.gflops();
+    println!(
+        "\nestimated single-thread roofline: peak {:.2} GFLOPS, memory {:.2} GB/s",
+        peak, bw
+    );
+    println!(
+        "roofline knee at AI = {:.3} FLOP/byte — codes below this are memory-bound\n\
+         on this host, exactly the regime where the paper's NUMA-aware allocation\n\
+         matters.",
+        peak / bw
+    );
+}

@@ -1,0 +1,116 @@
+//! The §II tight-integration scenario with live runtimes: a "main"
+//! application occasionally delegates a burst of work to a "library"
+//! application; the agent's LibraryBurst policy shifts cores to the
+//! library exactly while it has pending tasks.
+//!
+//! Run with: `cargo run --release --example library_delegation`
+
+use numa_coop::agent::policies::LibraryBurst;
+use numa_coop::agent::Agent;
+use numa_coop::prelude::*;
+use numa_coop::topology::presets::tiny;
+use numa_coop::workloads::kernels::spin_work;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BURSTS: usize = 5;
+const LIBRARY_TASKS_PER_BURST: usize = 12;
+const MAIN_TASK_WORK: usize = 40_000;
+const LIB_TASK_WORK: usize = 120_000;
+
+fn main() {
+    let machine = tiny();
+    let main_rt = Arc::new(Runtime::start(RuntimeConfig::new("main", machine.clone())).unwrap());
+    let library = Arc::new(Runtime::start(RuntimeConfig::new("library", machine.clone())).unwrap());
+
+    // The agent watches the library's pending-task count and shifts cores.
+    let mut agent = Agent::new(Box::new(LibraryBurst::new(0, 1, machine.total_cores())));
+    agent.manage(Box::new(Arc::clone(&main_rt)));
+    agent.manage(Box::new(Arc::clone(&library)));
+    let agent = agent.spawn(Duration::from_micros(300));
+
+    // Main application: a steady stream of small tasks.
+    let main_done = Arc::new(AtomicU64::new(0));
+    let stop_feeding = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let feeder = {
+        let main_rt = Arc::clone(&main_rt);
+        let main_done = Arc::clone(&main_done);
+        let stop = Arc::clone(&stop_feeding);
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let done = Arc::clone(&main_done);
+                if main_rt
+                    .task(&format!("main{i}"))
+                    .body(move |_| {
+                        spin_work(MAIN_TASK_WORK);
+                        done.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .spawn()
+                    .is_err()
+                {
+                    break;
+                }
+                i += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        })
+    };
+
+    // Main thread acts as the caller: periodically delegates a burst of
+    // heavy jobs to the library and waits for the results.
+    let start = Instant::now();
+    let mut burst_latencies = Vec::new();
+    for burst in 0..BURSTS {
+        std::thread::sleep(Duration::from_millis(15)); // main-only phase
+        let t0 = Instant::now();
+        let latch = library.new_latch_event(LIBRARY_TASKS_PER_BURST as u64);
+        for t in 0..LIBRARY_TASKS_PER_BURST {
+            let latch = latch.clone();
+            library
+                .task(&format!("lib{burst}-{t}"))
+                .body(move |ctx| {
+                    spin_work(LIB_TASK_WORK);
+                    ctx.satisfy(&latch);
+                })
+                .spawn()
+                .unwrap();
+        }
+        while !latch.is_satisfied() {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        burst_latencies.push(t0.elapsed());
+    }
+    stop_feeding.store(true, Ordering::Release);
+    feeder.join().unwrap();
+    let _ = main_rt.wait_quiescent_timeout(Duration::from_secs(10));
+    let elapsed = start.elapsed();
+    let log = agent.stop();
+
+    println!(
+        "ran {BURSTS} library bursts ({LIBRARY_TASKS_PER_BURST} heavy tasks each) in {:.0} ms",
+        elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "main application completed {} small tasks meanwhile",
+        main_done.load(Ordering::Relaxed)
+    );
+    println!(
+        "burst latencies: {:?}",
+        burst_latencies
+            .iter()
+            .map(|d| format!("{:.1}ms", d.as_secs_f64() * 1e3))
+            .collect::<Vec<_>>()
+    );
+    println!("agent shifted cores {} times:", log.decisions.len());
+    for d in log.decisions.iter().take(8) {
+        println!("  tick {:>3} -> {:<8} {:?}", d.tick, d.runtime, d.command);
+    }
+    if log.decisions.len() > 8 {
+        println!("  ... ({} more)", log.decisions.len() - 8);
+    }
+
+    main_rt.shutdown();
+    library.shutdown();
+}

@@ -1,0 +1,80 @@
+//! The paper's Figure 1 architecture, live: two task runtimes execute a
+//! producer-consumer pipeline while an agent polls their counters and
+//! throttles the producer so it stays only a few iterations ahead.
+//!
+//! Run with: `cargo run --release --example producer_consumer`
+
+use numa_coop::agent::policies::ProducerConsumerThrottle;
+use numa_coop::agent::Agent;
+use numa_coop::prelude::*;
+use numa_coop::topology::presets::dual_socket;
+use numa_coop::workloads::pipeline::{run_pipeline, PipelineConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run_variant(machine: &Machine, with_agent: bool) {
+    let producer = Arc::new(
+        Runtime::start(RuntimeConfig::new("producer", machine.clone())).unwrap(),
+    );
+    let consumer = Arc::new(
+        Runtime::start(RuntimeConfig::new("consumer", machine.clone())).unwrap(),
+    );
+
+    // The consumer's tasks are 3x heavier, so an unthrottled producer
+    // races ahead and intermediate items pile up.
+    let config = PipelineConfig {
+        iterations: 80,
+        tasks_per_iteration: 8,
+        work_per_task: 120_000,
+        item_bytes: 1 << 18, // 256 KiB per item
+        consumer_work_factor: 3.0,
+        sample_interval: Duration::from_micros(300),
+    };
+
+    let agent = with_agent.then(|| {
+        let mut agent = Agent::new(Box::new(ProducerConsumerThrottle::new(
+            0,
+            1,
+            1, // grow below this lead
+            2, // shrink above this lead
+            1,
+            machine.total_cores(),
+        )));
+        agent.manage(Box::new(Arc::clone(&producer)));
+        agent.manage(Box::new(Arc::clone(&consumer)));
+        agent.spawn(Duration::from_micros(500))
+    });
+
+    let report = run_pipeline(&producer, &consumer, &config);
+    let decisions = agent.map(|h| h.stop().decisions.len()).unwrap_or(0);
+
+    println!(
+        "{:<12}  {:>4} items  {:>7.1} items/s  max lead {:>3}  mean lead {:>6.2}  peak intermediate {:>6} KiB  ({} agent commands)",
+        if with_agent { "with agent" } else { "uncontrolled" },
+        report.consumed,
+        report.throughput,
+        report.max_lead,
+        report.mean_lead,
+        report.peak_intermediate_bytes / 1024,
+        decisions,
+    );
+
+    producer.shutdown();
+    consumer.shutdown();
+}
+
+fn main() {
+    let machine = dual_socket();
+    println!(
+        "producer-consumer pipeline on {} ({} virtual cores); consumer 3x slower per item\n",
+        machine.name(),
+        machine.total_cores()
+    );
+    run_variant(&machine, false);
+    run_variant(&machine, true);
+    println!(
+        "\nThe agent trades nothing in throughput but keeps the producer only a couple\n\
+         of iterations ahead — the paper's \"clear benefit on storage thanks to the\n\
+         reduced size of intermediate data\"."
+    );
+}

@@ -1,0 +1,60 @@
+//! Execution tracing end to end: run an iterative task graph under
+//! changing thread-control commands, export a Chrome/Perfetto trace, and
+//! explain the model's view of the same allocation.
+//!
+//! Run with: `cargo run --release --example traced_execution`
+//! Then open `target/trace.json` at <https://ui.perfetto.dev>.
+
+use numa_coop::model::explain::explain;
+use numa_coop::prelude::*;
+use numa_coop::topology::presets::paper_model_machine;
+use numa_coop::workloads::graphs::{GraphPlacement, IterativeGraph};
+
+fn main() {
+    let machine = paper_model_machine();
+    let rt = Runtime::start(RuntimeConfig::new("traced", machine.clone())).unwrap();
+    rt.trace_start(100_000);
+
+    // Phase 1: full machine, rotating placement.
+    IterativeGraph::new(8, 16, 40_000)
+        .with_placement(GraphPlacement::RoundRobin)
+        .run(&rt)
+        .unwrap();
+
+    // Phase 2: an agent-style command shrinks the runtime to node 0 only,
+    // and the same graph runs again — the trace shows the lanes collapse.
+    rt.control()
+        .apply(ThreadCommand::PerNode(vec![8, 0, 0, 0]))
+        .unwrap();
+    IterativeGraph::new(8, 16, 40_000).run(&rt).unwrap();
+
+    let trace = rt.trace_stop();
+    let per_node = trace.tasks_per_node(machine.num_nodes());
+    println!(
+        "traced {} task events ({} dropped); tasks per node: {:?}",
+        trace.task_events().count(),
+        trace.dropped,
+        per_node
+    );
+
+    let path = "target/trace.json";
+    std::fs::write(path, trace.to_chrome_json()).expect("write trace");
+    println!("wrote {path} — open it at https://ui.perfetto.dev");
+
+    // The model's view of the two phases.
+    let apps = vec![AppSpec::numa_local("graph", 8.0)];
+    for (label, counts) in [("full machine", vec![8usize]), ("node 0 only", vec![8])] {
+        let assignment = if label == "full machine" {
+            ThreadAssignment::uniform_per_node(&machine, &counts)
+        } else {
+            let mut a = ThreadAssignment::zero(&machine, 1);
+            a.set(0, NodeId(0), 8);
+            a
+        };
+        let report = solve(&machine, &apps, &assignment).unwrap();
+        println!("\n== model view: {label} ({:.0} GFLOPS) ==", report.total_gflops());
+        print!("{}", explain(&machine, &report));
+    }
+
+    rt.shutdown();
+}

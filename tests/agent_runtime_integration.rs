@@ -1,0 +1,153 @@
+//! Cross-crate integration: live runtimes + agent + pipeline + thread
+//! control, exercising the Figure 1 architecture end to end.
+
+use numa_coop::agent::policies::{FairShare, ModelGuided, ProducerConsumerThrottle};
+use numa_coop::agent::{proto, Agent, RuntimeHandle};
+use numa_coop::prelude::*;
+use numa_coop::topology::presets::{paper_model_machine, tiny};
+use numa_coop::workloads::pipeline::{run_pipeline, PipelineConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn fair_share_agent_coordinates_two_runtimes() {
+    let machine = tiny(); // 2 nodes x 2 cores
+    let a = Arc::new(Runtime::start(RuntimeConfig::new("a", machine.clone())).unwrap());
+    let b = Arc::new(Runtime::start(RuntimeConfig::new("b", machine.clone())).unwrap());
+
+    let mut agent = Agent::new(Box::new(FairShare::new(machine.clone())));
+    agent.manage(Box::new(Arc::clone(&a)));
+    agent.manage(Box::new(Arc::clone(&b)));
+    let log = agent.run_for(Duration::from_millis(20), Duration::from_millis(2));
+    assert_eq!(log.decisions.len(), 2, "one command per runtime");
+
+    // Each runtime converges to 1 thread per node (fair share of 2 cores).
+    for rt in [&a, &b] {
+        assert!(rt
+            .control()
+            .wait_converged(Duration::from_secs(5), |run, per| run == 2
+                && per.iter().all(|&p| p == 1)));
+    }
+    // Total worker threads across apps == machine cores (the paper's
+    // fair-share definition).
+    let total = Runtime::stats(&a).running_workers + Runtime::stats(&b).running_workers;
+    assert_eq!(total, machine.total_cores());
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn model_guided_agent_applies_numa_aware_partition() {
+    let machine = paper_model_machine();
+    let specs = vec![
+        AppSpec::numa_local("mem", 0.5),
+        AppSpec::numa_local("comp", 10.0),
+    ];
+    let mem = Arc::new(Runtime::start(RuntimeConfig::new("mem", machine.clone())).unwrap());
+    let comp = Arc::new(Runtime::start(RuntimeConfig::new("comp", machine.clone())).unwrap());
+
+    let mut agent = Agent::new(Box::new(ModelGuided::new(machine.clone(), specs)));
+    agent.manage(Box::new(Arc::clone(&mem)));
+    agent.manage(Box::new(Arc::clone(&comp)));
+    let log = agent.run_for(Duration::from_millis(30), Duration::from_millis(5));
+    assert!(!log.decisions.is_empty());
+
+    // The compute app must end up with (many) more threads than the
+    // memory-bound one, and no node may be over-subscribed.
+    assert!(mem
+        .control()
+        .wait_converged(Duration::from_secs(5), |run, _| run >= 1));
+    std::thread::sleep(Duration::from_millis(30));
+    let m = Runtime::stats(&mem);
+    let c = Runtime::stats(&comp);
+    assert!(
+        c.running_workers > m.running_workers,
+        "comp {} vs mem {}",
+        c.running_workers,
+        m.running_workers
+    );
+    for node in 0..machine.num_nodes() {
+        let used = m.per_node[node].running_workers + c.per_node[node].running_workers;
+        assert!(used <= 8, "node {node} over-subscribed: {used}");
+    }
+    mem.shutdown();
+    comp.shutdown();
+}
+
+#[test]
+fn channel_endpoints_support_the_full_agent_loop() {
+    // The separate-process-style transport: agent talks over channels.
+    let machine = tiny();
+    let a = Arc::new(Runtime::start(RuntimeConfig::new("a", machine.clone())).unwrap());
+    let b = Arc::new(Runtime::start(RuntimeConfig::new("b", machine.clone())).unwrap());
+    let (ep_a, _pump_a) = proto::connect(Arc::clone(&a));
+    let (ep_b, _pump_b) = proto::connect(Arc::clone(&b));
+
+    let mut agent = Agent::new(Box::new(FairShare::new(machine.clone())));
+    agent.manage(Box::new(ep_a));
+    agent.manage(Box::new(ep_b));
+    agent.tick().unwrap();
+
+    for rt in [&a, &b] {
+        assert!(rt
+            .control()
+            .wait_converged(Duration::from_secs(5), |run, _| run == 2));
+    }
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn throttled_pipeline_bounds_intermediate_data() {
+    let machine = tiny();
+    let producer = Arc::new(Runtime::start(RuntimeConfig::new("prod", machine.clone())).unwrap());
+    let consumer = Arc::new(Runtime::start(RuntimeConfig::new("cons", machine.clone())).unwrap());
+
+    let mut agent = Agent::new(Box::new(ProducerConsumerThrottle::new(
+        0,
+        1,
+        1,
+        2,
+        1,
+        machine.total_cores(),
+    )));
+    agent.manage(Box::new(Arc::clone(&producer)));
+    agent.manage(Box::new(Arc::clone(&consumer)));
+    let handle = agent.spawn(Duration::from_micros(500));
+
+    let config = PipelineConfig {
+        iterations: 30,
+        tasks_per_iteration: 4,
+        work_per_task: 60_000,
+        item_bytes: 1 << 12,
+        consumer_work_factor: 3.0,
+        sample_interval: Duration::from_micros(200),
+    };
+    let report = run_pipeline(&producer, &consumer, &config);
+    let log = handle.stop();
+
+    assert_eq!(report.produced, 30);
+    assert_eq!(report.consumed, 30);
+    assert!(log.decisions.iter().all(|d| d.runtime == "prod"));
+    assert!(
+        !log.decisions.is_empty(),
+        "the throttle must have reacted to the heavy consumer"
+    );
+    producer.shutdown();
+    consumer.shutdown();
+}
+
+#[test]
+fn handles_report_consistent_identity() {
+    let machine = tiny();
+    let rt = Arc::new(Runtime::start(RuntimeConfig::new("ident", machine)).unwrap());
+    let arc_handle: Box<dyn RuntimeHandle> = Box::new(Arc::clone(&rt));
+    assert_eq!(arc_handle.name(), "ident");
+    let stats = arc_handle.stats().unwrap();
+    assert_eq!(stats.name, "ident");
+    arc_handle.command(ThreadCommand::TotalThreads(2)).unwrap();
+    assert!(rt
+        .control()
+        .wait_converged(Duration::from_secs(5), |run, _| run <= 2));
+    rt.shutdown();
+}

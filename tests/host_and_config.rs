@@ -1,0 +1,71 @@
+//! Host-detection and configuration-file workflows: the paths a real
+//! deployment takes before any paper scenario runs.
+
+use numa_coop::prelude::*;
+use numa_coop::topology::host;
+
+#[test]
+fn detected_host_is_immediately_usable() {
+    let machine = host::detect_host();
+    assert!(machine.num_nodes() >= 1);
+    assert!(machine.total_cores() >= 1);
+
+    // Fair share + solve work on whatever was detected.
+    let apps = vec![
+        AppSpec::numa_local("a", 0.5),
+        AppSpec::numa_local("b", 8.0),
+    ];
+    let fair = strategies::fair_share(&machine, apps.len()).unwrap();
+    let report = solve(&machine, &apps, &fair).unwrap();
+    assert!(report.total_gflops() > 0.0);
+
+    // And a runtime starts on it (worker per core) and does work.
+    let rt = Runtime::start(RuntimeConfig::new("host-rt", machine.clone())).unwrap();
+    let hits = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    for i in 0..8 {
+        let hits = hits.clone();
+        rt.task(&format!("t{i}"))
+            .body(move |_| {
+                hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            })
+            .spawn()
+            .unwrap();
+    }
+    rt.wait_quiescent().unwrap();
+    assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 8);
+    rt.shutdown();
+}
+
+#[test]
+fn machine_config_file_round_trip_drives_the_model() {
+    // Serialize a machine to a config file, reload, and verify the paper
+    // scenario still reproduces — the "ship a machine description with
+    // your deployment" workflow.
+    let machine = numa_coop::topology::presets::paper_model_machine();
+    let dir = std::env::temp_dir().join(format!("numa-coop-cfg-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("machine.json");
+    std::fs::write(&path, machine.to_json()).unwrap();
+
+    let loaded = Machine::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(loaded, machine);
+
+    let apps = vec![
+        AppSpec::numa_local("mem1", 0.5),
+        AppSpec::numa_local("mem2", 0.5),
+        AppSpec::numa_local("mem3", 0.5),
+        AppSpec::numa_local("comp", 10.0),
+    ];
+    let a = ThreadAssignment::uniform_per_node(&loaded, &[1, 1, 1, 5]);
+    let r = solve(&loaded, &apps, &a).unwrap();
+    assert!((r.total_gflops() - 254.0).abs() < 1e-9);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_config_fails_closed() {
+    let machine = numa_coop::topology::presets::tiny();
+    let mut json = machine.to_json();
+    json = json.replace("\"num_cores\": 2", "\"num_cores\": 0");
+    assert!(Machine::from_json(&json).is_err(), "zero-core node must be rejected");
+}

@@ -1,0 +1,110 @@
+//! Cross-validation: the analytic model (`roofline-numa`) and the
+//! execution simulator (`memsim`) are independent implementations of the
+//! paper's arbitration semantics; with effects disabled they must agree on
+//! *generated* scenarios, not just the paper's hand-picked ones.
+
+use memsim::{EffectModel, SimApp, SimConfig, Simulation};
+use numa_coop::workloads::generator::{random_assignment, AppMixGen, MachineGen};
+use roofline_numa::solve;
+
+#[test]
+fn ideal_simulator_matches_model_on_generated_scenarios() {
+    let machine_gen = MachineGen::default();
+    let mix_gen = AppMixGen::default();
+    for seed in 0..40u64 {
+        let machine = machine_gen.generate(seed);
+        let specs = mix_gen.generate(&machine, seed);
+        let assignment = random_assignment(&machine, specs.len(), seed);
+
+        let model = solve(&machine, &specs, &assignment).unwrap();
+        let sim = Simulation::new(
+            SimConfig::new(machine.clone()).with_effects(EffectModel::ideal()),
+        );
+        let sim_apps: Vec<SimApp> = specs
+            .iter()
+            .map(|s| SimApp {
+                spec: s.clone(),
+                activity: memsim::ActivityPattern::AlwaysOn,
+                sync_overhead: 0.0,
+            })
+            .collect();
+        let run = sim.run(&sim_apps, &assignment, 0.01).unwrap();
+
+        let m = model.total_gflops();
+        let s = run.total_gflops();
+        assert!(
+            (m - s).abs() <= 1e-6 * (1.0 + m.abs()),
+            "seed {seed}: model {m} vs sim {s} on {}",
+            machine.name()
+        );
+        for (i, app) in model.apps.iter().enumerate() {
+            assert!(
+                (app.gflops - run.app_gflops(i) * 1.0).abs() <= 1e-6 * (1.0 + app.gflops.abs()),
+                "seed {seed} app {i}: model {} vs sim {}",
+                app.gflops,
+                run.app_gflops(i)
+            );
+        }
+    }
+}
+
+#[test]
+fn effects_are_pure_losses_on_generated_scenarios() {
+    let machine_gen = MachineGen::default();
+    let mix_gen = AppMixGen::default();
+    for seed in 100..120u64 {
+        let machine = machine_gen.generate(seed);
+        let specs = mix_gen.generate(&machine, seed);
+        let assignment = random_assignment(&machine, specs.len(), seed);
+        let sim_apps: Vec<SimApp> = specs
+            .iter()
+            .map(|s| SimApp {
+                spec: s.clone(),
+                activity: memsim::ActivityPattern::AlwaysOn,
+                sync_overhead: 0.0,
+            })
+            .collect();
+
+        let ideal = Simulation::new(
+            SimConfig::new(machine.clone()).with_effects(EffectModel::ideal()),
+        )
+        .run(&sim_apps, &assignment, 0.01)
+        .unwrap();
+
+        let mut effects = EffectModel::skylake_like();
+        effects.jitter = 0.0; // deterministic comparison
+        let lossy = Simulation::new(SimConfig::new(machine.clone()).with_effects(effects))
+            .run(&sim_apps, &assignment, 0.01)
+            .unwrap();
+
+        assert!(
+            lossy.total_gflops() <= ideal.total_gflops() * (1.0 + 1e-9),
+            "seed {seed}: effects gained throughput ({} > {})",
+            lossy.total_gflops(),
+            ideal.total_gflops()
+        );
+    }
+}
+
+#[test]
+fn model_conservation_on_generated_scenarios() {
+    let machine_gen = MachineGen::default();
+    let mix_gen = AppMixGen::default();
+    for seed in 200..240u64 {
+        let machine = machine_gen.generate(seed);
+        let specs = mix_gen.generate(&machine, seed);
+        let assignment = random_assignment(&machine, specs.len(), seed);
+        let report = solve(&machine, &specs, &assignment).unwrap();
+        for n in &report.nodes {
+            assert!(
+                n.served_remote_gbs + n.served_local_gbs <= n.capacity_gbs * (1.0 + 1e-9),
+                "seed {seed}: node {:?} over capacity",
+                n.node
+            );
+        }
+        for g in &report.groups {
+            assert!(g.granted_gbs <= g.demand_gbs * (1.0 + 1e-9) + 1e-9);
+            assert!(g.gflops <= machine.core_peak_gflops() * (1.0 + 1e-9));
+        }
+    }
+}

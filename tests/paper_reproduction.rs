@@ -1,0 +1,111 @@
+//! End-to-end reproduction checks: every table and figure of the paper,
+//! regenerated through the same code paths as the `coop-bench` binaries,
+//! asserted against the paper's published values.
+
+use coop_bench::experiments::{dist, fig3, oversub, sublinear, table12, table3};
+use numa_topology::presets::{dual_socket, paper_model_machine};
+
+/// Table I, every row (headline + the intermediate quantities the paper
+/// prints).
+#[test]
+fn table_1_full_reproduction() {
+    let t = table12::table1();
+    assert_eq!(t.classes.len(), 2);
+    let (mem, comp) = (&t.classes[0], &t.classes[1]);
+    assert_eq!((mem.instances, comp.instances), (3, 1));
+    assert_eq!((mem.threads_per_node, comp.threads_per_node), (1, 5));
+    assert!((t.total_required_bw - 65.0).abs() < 1e-9);
+    assert!((t.allocated_node_gbs - 17.0).abs() < 1e-9);
+    assert!((t.remaining_node_gbs - 15.0).abs() < 1e-9);
+    assert!((mem.total_allocated_per_thread - 9.0).abs() < 1e-9);
+    assert!((t.gflops_per_node - 63.5).abs() < 1e-9);
+    assert!((t.total_gflops - 254.0).abs() < 1e-9);
+}
+
+/// Table II, every row.
+#[test]
+fn table_2_full_reproduction() {
+    let t = table12::table2();
+    let mem = &t.classes[0];
+    assert!((t.total_required_bw - 122.0).abs() < 1e-9);
+    assert!((t.allocated_node_gbs - 26.0).abs() < 1e-9);
+    assert!((t.remaining_node_gbs - 6.0).abs() < 1e-9);
+    assert!((mem.total_allocated_per_thread - 5.0).abs() < 1e-9);
+    assert!((t.gflops_per_node - 35.0).abs() < 1e-9);
+    assert!((t.total_gflops - 140.0).abs() < 1e-9);
+}
+
+/// Figure 2: 254 / 140 / 128, with the uneven allocation winning.
+#[test]
+fn figure_2_reproduction() {
+    let t = table12::figure2();
+    let vals: Vec<f64> = t.rows.iter().map(|r| r.measured).collect();
+    assert!((vals[0] - 254.0).abs() < 1e-9);
+    assert!((vals[1] - 140.0).abs() < 1e-9);
+    assert!((vals[2] - 128.0).abs() < 1e-9);
+}
+
+/// Figure 3: the ranking reverses with a NUMA-bad application.
+#[test]
+fn figure_3_reproduction() {
+    let t = fig3::figure3();
+    assert!((t.rows[0].measured - 138.75).abs() < 1e-9); // paper: 138
+    assert!((t.rows[1].measured - 150.0).abs() < 1e-9); // paper: 150
+    assert!(t.rows[1].measured > t.rows[0].measured);
+}
+
+/// Table III: calibration recovers the paper's parameters; model and
+/// simulated-real columns land within a few percent of the paper's, with
+/// the same discrepancy signs.
+#[test]
+fn table_3_reproduction() {
+    let t = table3::run(0.1);
+    assert!((t.calibrated_peak - 0.29).abs() < 0.005);
+    assert!((t.calibrated_bandwidth - 100.0).abs() < 2.0);
+    assert!(t.model_table().max_deviation() < 0.02);
+    assert!(t.real_table().max_deviation() < 0.05);
+    // Discrepancy signs: model over-estimates the NUMA-bad rows.
+    assert!(t.scenarios[3].model > t.scenarios[3].real);
+    assert!(t.scenarios[4].model > t.scenarios[4].real);
+    // Real beats model on the single-app-per-node row, like the paper.
+    assert!(t.scenarios[2].real > t.scenarios[2].model);
+}
+
+/// E-osched: fair share beats over-subscription by only a few percent.
+#[test]
+fn oversubscription_claim() {
+    let t = oversub::run(&paper_model_machine(), 2, 10.0, 0.05);
+    let improvement = t
+        .rows
+        .iter()
+        .find(|r| r.label == "improvement %")
+        .expect("improvement row present")
+        .measured;
+    assert!(improvement > 0.0 && improvement < 10.0, "got {improvement}%");
+}
+
+/// E-sublin: the searched allocation shifts threads away from the
+/// sub-linear application and wins.
+#[test]
+fn sublinear_claim() {
+    let r = sublinear::run(&dual_socket(), 0.25, 0.02);
+    assert!(r.linear_threads > r.sublinear_threads);
+    assert!(r.table.rows[2].measured > 1.0);
+}
+
+/// E-dist: loose+dynamic translates most local speedup; tight+static
+/// translates almost none.
+#[test]
+fn distributed_translation_claim() {
+    let t = dist::run(16, 3200, 7);
+    let find = |prefix: &str| {
+        t.rows
+            .iter()
+            .find(|r| r.label.starts_with(prefix))
+            .unwrap()
+            .measured
+    };
+    let mean = find("mean local speedup");
+    assert!(find("loose (task bag) + dynamic") > 1.0 + 0.7 * (mean - 1.0));
+    assert!(find("tight (barrier/iter) + static") < 1.0 + 0.3 * (mean - 1.0));
+}

@@ -1,0 +1,154 @@
+//! Search-quality integration: on generated machines and mixes, the
+//! model-guided searches must never lose to the named strategies they are
+//! meant to supersede, and the exhaustive search bounds them all.
+
+use coop_alloc::{score, search, strategies, Objective};
+use numa_coop::workloads::generator::{AppMixGen, MachineGen};
+
+#[test]
+fn searches_are_competitive_with_named_strategies() {
+    let machine_gen = MachineGen {
+        nodes: (2, 3),
+        cores: (2, 8),
+        ..Default::default()
+    };
+    let mix_gen = AppMixGen {
+        apps: (2, 4),
+        ..Default::default()
+    };
+    for seed in 0..25u64 {
+        let machine = machine_gen.generate(seed);
+        let apps = mix_gen.generate(&machine, seed);
+        let greedy = search::GreedySearch::new()
+            .run(&machine, &apps, Objective::TotalGflops)
+            .unwrap();
+        let hc = search::HillClimb::new()
+            .with_iterations(600)
+            .with_seed(seed)
+            .run(&machine, &apps, Objective::TotalGflops)
+            .unwrap();
+
+        for (label, strat) in [
+            ("fair", strategies::fair_share(&machine, apps.len())),
+            (
+                "prop",
+                strategies::proportional(&machine, &vec![1.0; apps.len()]),
+            ),
+        ] {
+            let s = score(
+                &machine,
+                &apps,
+                &strat.unwrap(),
+                Objective::TotalGflops,
+            )
+            .unwrap();
+            // Greedy is myopic (it stops at the first non-improving
+            // addition, which can be a local optimum), so it may fall a
+            // little short of a named strategy on some mixes — but never
+            // badly.
+            assert!(
+                greedy.score >= 0.9 * s,
+                "seed {seed}: greedy {} far below {label} {s}",
+                greedy.score
+            );
+            // Hill climbing starts FROM fair share, so it can never lose
+            // to it; and it is monotone, so it bounds both.
+            assert!(
+                hc.score >= s - 1e-6 || label != "fair",
+                "seed {seed}: hill climb {} < {label} {s}",
+                hc.score
+            );
+        }
+    }
+}
+
+#[test]
+fn exhaustive_uniform_bounds_uniform_strategies() {
+    let machine_gen = MachineGen {
+        nodes: (2, 3),
+        cores: (2, 6),
+        ..Default::default()
+    };
+    let mix_gen = AppMixGen {
+        apps: (2, 3),
+        numa_bad_prob: 0.0, // uniform space suits NUMA-local apps
+        ..Default::default()
+    };
+    for seed in 50..70u64 {
+        let machine = machine_gen.generate(seed);
+        let apps = mix_gen.generate(&machine, seed);
+        let best = search::ExhaustiveSearch::new()
+            .run(&machine, &apps, Objective::TotalGflops)
+            .unwrap();
+        // Any uniform allocation is bounded by the exhaustive optimum.
+        let cores = machine.node(numa_topology::NodeId(0)).num_cores();
+        let k = cores / apps.len();
+        if k > 0 {
+            let even = strategies::uniform_per_node(&machine, &vec![k; apps.len()]).unwrap();
+            let s = score(&machine, &apps, &even, Objective::TotalGflops).unwrap();
+            assert!(best.score >= s - 1e-6, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn hill_climb_beats_its_seed_start_on_numa_bad_mixes() {
+    let machine_gen = MachineGen {
+        nodes: (3, 4),
+        cores: (4, 8),
+        ..Default::default()
+    };
+    let mix_gen = AppMixGen {
+        apps: (3, 4),
+        numa_bad_prob: 0.6, // placement-sensitive mixes
+        ..Default::default()
+    };
+    for seed in 80..95u64 {
+        let machine = machine_gen.generate(seed);
+        let apps = mix_gen.generate(&machine, seed);
+        let start = strategies::fair_share(&machine, apps.len()).unwrap();
+        let s0 = score(&machine, &apps, &start, Objective::TotalGflops).unwrap();
+        let hc = search::HillClimb::new()
+            .with_iterations(800)
+            .with_seed(seed)
+            .run(&machine, &apps, Objective::TotalGflops)
+            .unwrap();
+        assert!(
+            hc.score >= s0 - 1e-9,
+            "seed {seed}: hill climb {} below start {s0}",
+            hc.score
+        );
+        assert!(hc.assignment.validate(&machine).is_ok());
+    }
+}
+
+#[test]
+fn max_min_objective_never_starves_anyone_at_optimum() {
+    let machine_gen = MachineGen {
+        nodes: (2, 2),
+        cores: (2, 4),
+        ..Default::default()
+    };
+    let mix_gen = AppMixGen {
+        apps: (2, 3),
+        numa_bad_prob: 0.0,
+        ..Default::default()
+    };
+    for seed in 120..135u64 {
+        let machine = machine_gen.generate(seed);
+        let apps = mix_gen.generate(&machine, seed);
+        let best = search::ExhaustiveSearch::new()
+            .full_space()
+            .with_limit(5_000_000)
+            .run(&machine, &apps, Objective::MinAppGflops)
+            .unwrap();
+        // A max-min optimum with available capacity never leaves an app at
+        // zero (giving it one thread strictly improves the min).
+        for i in 0..apps.len() {
+            assert!(
+                best.assignment.app_total(i) > 0,
+                "seed {seed}: app {i} starved under max-min"
+            );
+        }
+    }
+}
