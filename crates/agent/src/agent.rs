@@ -1,6 +1,7 @@
 //! The agent control loop.
 
 use crate::{Policy, Result, RuntimeHandle, ThreadCommand};
+use coop_telemetry::{ArgValue, Counter, Histogram, TelemetryHub, TrackId};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -18,6 +19,11 @@ pub struct Decision {
 }
 
 /// The record of everything an agent did.
+///
+/// This is a *view* materialized from the agent's telemetry (see
+/// [`Agent::log`]): decisions and errors live in the shared telemetry
+/// store, where they sit on the same clock as runtime task events, and
+/// this snapshot exists for convenient post-hoc inspection.
 #[derive(Debug, Clone, Default)]
 pub struct AgentLog {
     /// Commands in issue order.
@@ -27,6 +33,86 @@ pub struct AgentLog {
     /// Errors encountered (command rejections, disconnects) — the agent
     /// keeps going, the paper's agent must not take the node down.
     pub errors: Vec<String>,
+}
+
+/// The agent's telemetry state: counters/histograms in the hub's
+/// registry, decision instants on the timeline, plus the decision and
+/// error records backing [`AgentLog`].
+struct AgentTelemetry {
+    hub: Arc<TelemetryHub>,
+    track: TrackId,
+    ticks: Arc<Counter>,
+    decisions_total: Arc<Counter>,
+    errors_total: Arc<Counter>,
+    decision_latency_us: Arc<Histogram>,
+    decisions: Mutex<Vec<Decision>>,
+    errors: Mutex<Vec<String>>,
+}
+
+impl AgentTelemetry {
+    fn new(hub: Arc<TelemetryHub>) -> Self {
+        let track = hub.register_track("agent");
+        hub.set_lane_name(track, 0, "decisions");
+        let reg = hub.registry();
+        reg.set_help(
+            "coop_agent_decision_latency_us",
+            "Latency of one policy tick (stats already collected) (us)",
+        );
+        reg.set_help(
+            "coop_agent_decisions_total",
+            "Commands applied by the agent",
+        );
+        AgentTelemetry {
+            track,
+            ticks: reg.counter("coop_agent_ticks_total", &[]),
+            decisions_total: reg.counter("coop_agent_decisions_total", &[]),
+            errors_total: reg.counter("coop_agent_errors_total", &[]),
+            decision_latency_us: reg.histogram("coop_agent_decision_latency_us", &[]),
+            decisions: Mutex::new(Vec::new()),
+            errors: Mutex::new(Vec::new()),
+            hub,
+        }
+    }
+
+    fn record_decision(&self, decision: Decision) {
+        self.decisions_total.inc();
+        self.hub.record_instant(
+            0,
+            self.track,
+            0,
+            "agent",
+            &format!("{:?}", decision.command),
+            vec![
+                (
+                    "runtime".to_string(),
+                    ArgValue::Str(decision.runtime.clone()),
+                ),
+                ("tick".to_string(), ArgValue::U64(decision.tick)),
+            ],
+        );
+        self.decisions.lock().push(decision);
+    }
+
+    fn record_error(&self, error: String) {
+        self.errors_total.inc();
+        self.hub.record_instant(
+            0,
+            self.track,
+            0,
+            "agent",
+            "error",
+            vec![("message".to_string(), ArgValue::Str(error.clone()))],
+        );
+        self.errors.lock().push(error);
+    }
+
+    fn snapshot(&self) -> AgentLog {
+        AgentLog {
+            decisions: self.decisions.lock().clone(),
+            ticks: self.ticks.get(),
+            errors: self.errors.lock().clone(),
+        }
+    }
 }
 
 /// The periodic arbitration loop of Figure 1.
@@ -53,16 +139,26 @@ pub struct AgentLog {
 pub struct Agent {
     handles: Vec<Box<dyn RuntimeHandle>>,
     policy: Box<dyn Policy>,
-    log: AgentLog,
+    telemetry: AgentTelemetry,
 }
 
 impl Agent {
     /// Creates an agent with the given policy and no managed runtimes.
+    /// Decisions are recorded into a private telemetry hub; use
+    /// [`with_telemetry`](Agent::with_telemetry) to share one with the
+    /// runtimes it manages.
     pub fn new(policy: Box<dyn Policy>) -> Self {
+        Self::with_telemetry(policy, Arc::new(TelemetryHub::new()))
+    }
+
+    /// Creates an agent that records its decisions into `hub`, so they
+    /// land on the same timeline (and clock) as the managed runtimes'
+    /// task events.
+    pub fn with_telemetry(policy: Box<dyn Policy>, hub: Arc<TelemetryHub>) -> Self {
         Agent {
             handles: Vec::new(),
             policy,
-            log: AgentLog::default(),
+            telemetry: AgentTelemetry::new(hub),
         }
     }
 
@@ -77,34 +173,49 @@ impl Agent {
         self.handles.len()
     }
 
+    /// A snapshot of everything the agent has done so far (a view over
+    /// its telemetry).
+    pub fn log(&self) -> AgentLog {
+        self.telemetry.snapshot()
+    }
+
+    /// The telemetry hub this agent records into.
+    pub fn hub(&self) -> Arc<TelemetryHub> {
+        Arc::clone(&self.telemetry.hub)
+    }
+
     /// Executes a single tick: poll stats, ask the policy, apply commands.
     pub fn tick(&mut self) -> Result<()> {
-        let tick = self.log.ticks;
-        self.log.ticks += 1;
+        let tick = self.telemetry.ticks.get();
+        self.telemetry.ticks.inc();
 
         let mut stats = Vec::with_capacity(self.handles.len());
         for h in &self.handles {
             match h.stats() {
                 Ok(s) => stats.push(s),
                 Err(e) => {
-                    self.log.errors.push(e.to_string());
+                    self.telemetry.record_error(e.to_string());
                     return Err(e);
                 }
             }
         }
+        let decided_at = Instant::now();
         let commands = self.policy.tick(&stats, tick);
+        self.telemetry
+            .decision_latency_us
+            .observe(decided_at.elapsed().as_micros() as u64);
         for (i, cmd) in commands.into_iter().enumerate() {
             let Some(cmd) = cmd else { continue };
             let Some(handle) = self.handles.get(i) else {
                 continue;
             };
             match handle.command(cmd.clone()) {
-                Ok(()) => self.log.decisions.push(Decision {
+                Ok(()) => self.telemetry.record_decision(Decision {
                     tick,
                     runtime: handle.name(),
                     command: cmd,
                 }),
-                Err(e) => self.log.errors.push(e.to_string()),
+                Err(e) => self.telemetry.record_error(e.to_string()),
             }
         }
         Ok(())
@@ -121,7 +232,7 @@ impl Agent {
             }
             std::thread::sleep(interval);
         }
-        self.log
+        self.log()
     }
 
     /// Runs the loop on a background thread until the returned handle is
@@ -139,7 +250,7 @@ impl Agent {
                     let _ = self.tick();
                     std::thread::sleep(interval);
                 }
-                *log2.lock() = Some(self.log);
+                *log2.lock() = Some(self.log());
             })
             .expect("spawning agent thread");
         AgentThread {
@@ -211,9 +322,10 @@ mod tests {
         assert!(rt
             .control()
             .wait_converged(Duration::from_secs(5), |run, _| run == 1));
-        assert_eq!(agent.log.decisions.len(), 1);
-        assert_eq!(agent.log.decisions[0].tick, 2);
-        assert_eq!(agent.log.decisions[0].runtime, "x");
+        let log = agent.log();
+        assert_eq!(log.decisions.len(), 1);
+        assert_eq!(log.decisions[0].tick, 2);
+        assert_eq!(log.decisions[0].runtime, "x");
         rt.shutdown();
     }
 
@@ -230,8 +342,40 @@ mod tests {
         agent.manage(Box::new(Arc::clone(&rt)));
         agent.tick().unwrap();
         agent.tick().unwrap();
-        assert_eq!(agent.log.errors.len(), 2);
-        assert!(agent.log.decisions.is_empty());
+        let log = agent.log();
+        assert_eq!(log.errors.len(), 2);
+        assert!(log.decisions.is_empty());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn decisions_land_on_shared_timeline() {
+        let hub = Arc::new(TelemetryHub::new());
+        let rt = Arc::new(
+            Runtime::start(RuntimeConfig::new("shared", tiny()).with_telemetry(Arc::clone(&hub)))
+                .unwrap(),
+        );
+        let mut agent =
+            Agent::with_telemetry(Box::new(Scripted { issued: false }), Arc::clone(&hub));
+        agent.manage(Box::new(Arc::clone(&rt)));
+        for _ in 0..3 {
+            agent.tick().unwrap();
+        }
+        assert_eq!(agent.log().decisions.len(), 1);
+        let events = hub.events();
+        let decision = events
+            .iter()
+            .find(|e| e.cat == "agent")
+            .expect("decision instant on the shared timeline");
+        assert!(decision.name.contains("TotalThreads"));
+        assert_eq!(
+            hub.registry().counter_total("coop_agent_decisions_total"),
+            1
+        );
+        assert!(
+            hub.registry().counter_total("coop_agent_ticks_total") >= 3,
+            "ticks counted in the shared registry"
+        );
         rt.shutdown();
     }
 

@@ -73,8 +73,7 @@ pub fn resolve(machine: &Machine, profiles: &[DemandProfile]) -> ThreadAssignmen
     for (i, p) in profiles.iter().enumerate() {
         if let DataPlacement::SingleNode(node) = p.spec.placement {
             let node_cores = machine.node(node).num_cores();
-            let want =
-                ((p.weight / total_weight) * machine.total_cores() as f64).round() as usize;
+            let want = ((p.weight / total_weight) * machine.total_cores() as f64).round() as usize;
             let take = want.min(free[node.0]).min(node_cores);
             assignment.set(i, node, take);
             free[node.0] -= take;
@@ -108,7 +107,9 @@ pub fn resolve(machine: &Machine, profiles: &[DemandProfile]) -> ThreadAssignmen
         order.sort_by(|&a, &b| {
             let ra = quotas[a] - counts[a] as f64;
             let rb = quotas[b] - counts[b] as f64;
-            rb.partial_cmp(&ra).unwrap().then(eligible[a].cmp(&eligible[b]))
+            rb.partial_cmp(&ra)
+                .unwrap()
+                .then(eligible[a].cmp(&eligible[b]))
         });
         let mut it = order.iter().cycle();
         while assigned < cores {

@@ -166,9 +166,7 @@ impl ModelGuided {
         // steered toward satisfying every application first and only then
         // optimizes GFLOPS.
         let mut oracle = |a: &ThreadAssignment| -> coop_alloc::Result<f64> {
-            let starved = (0..apps.len())
-                .filter(|&i| a.app_total(i) < min)
-                .count();
+            let starved = (0..apps.len()).filter(|&i| a.app_total(i) < min).count();
             if starved > 0 {
                 return Ok(-(starved as f64) * 1e12);
             }
@@ -343,7 +341,9 @@ mod tests {
             AppSpec::numa_local("comp", 10.0),
         ];
         let mut p = ModelGuided::new(m.clone(), apps);
-        let stats: Vec<RuntimeStats> = (0..4).map(|i| fake_stats(&format!("r{i}"), &[], 0)).collect();
+        let stats: Vec<RuntimeStats> = (0..4)
+            .map(|i| fake_stats(&format!("r{i}"), &[], 0))
+            .collect();
         let cmds = p.tick(&stats, 0);
         assert!(cmds.iter().all(|c| c.is_some()));
         let assignment = p.last_assignment().unwrap();

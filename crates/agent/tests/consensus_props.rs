@@ -25,11 +25,7 @@ fn arb_profiles(nodes: usize) -> impl Strategy<Value = Vec<DemandProfile>> {
                     let spec = match kind {
                         0 => AppSpec::numa_local(&format!("a{i}"), ai),
                         1 => AppSpec::numa_bad(&format!("b{i}"), ai, NodeId(i % nodes)),
-                        _ => AppSpec::spread(
-                            &format!("s{i}"),
-                            ai,
-                            vec![1.0 / nodes as f64; nodes],
-                        ),
+                        _ => AppSpec::spread(&format!("s{i}"), ai, vec![1.0 / nodes as f64; nodes]),
                     };
                     DemandProfile::new(spec, weight)
                 })

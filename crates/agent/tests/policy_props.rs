@@ -20,7 +20,10 @@ fn stats_pair(produced: u64, consumed: u64) -> Vec<RuntimeStats> {
         per_node: vec![],
         user_counters: HashMap::from([(key.to_string(), v)]),
     };
-    vec![mk("prod", "produced", produced), mk("cons", "consumed", consumed)]
+    vec![
+        mk("prod", "produced", produced),
+        mk("cons", "consumed", consumed),
+    ]
 }
 
 proptest! {

@@ -19,14 +19,22 @@ fn bench_searches(c: &mut Criterion) {
     g.bench_function("exhaustive_uniform", |b| {
         b.iter(|| {
             search::ExhaustiveSearch::new()
-                .run(black_box(&machine), black_box(&apps), Objective::TotalGflops)
+                .run(
+                    black_box(&machine),
+                    black_box(&apps),
+                    Objective::TotalGflops,
+                )
                 .unwrap()
         })
     });
     g.bench_function("greedy", |b| {
         b.iter(|| {
             search::GreedySearch::new()
-                .run(black_box(&machine), black_box(&apps), Objective::TotalGflops)
+                .run(
+                    black_box(&machine),
+                    black_box(&apps),
+                    Objective::TotalGflops,
+                )
                 .unwrap()
         })
     });
@@ -34,7 +42,11 @@ fn bench_searches(c: &mut Criterion) {
         b.iter(|| {
             search::HillClimb::new()
                 .with_iterations(1000)
-                .run(black_box(&machine), black_box(&apps), Objective::TotalGflops)
+                .run(
+                    black_box(&machine),
+                    black_box(&apps),
+                    Objective::TotalGflops,
+                )
                 .unwrap()
         })
     });

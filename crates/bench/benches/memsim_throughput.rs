@@ -1,9 +1,9 @@
 //! A-sim: simulator throughput — simulated seconds per wall second for the
 //! Table III machine, and the cost of the effect model vs the ideal path.
 
+use coop_workloads::apps::{sim_apps, skylake_bad_mix, skylake_mix};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use memsim::{EffectModel, SimConfig, Simulation};
-use coop_workloads::apps::{sim_apps, skylake_bad_mix, skylake_mix};
 use numa_topology::presets::paper_skylake_machine;
 use numa_topology::NodeId;
 use roofline_numa::ThreadAssignment;
@@ -22,9 +22,8 @@ fn bench_sim(c: &mut Criterion) {
     g.sample_size(20);
 
     g.bench_function("ideal_local", |b| {
-        let sim = Simulation::new(
-            SimConfig::new(machine.clone()).with_effects(EffectModel::ideal()),
-        );
+        let sim =
+            Simulation::new(SimConfig::new(machine.clone()).with_effects(EffectModel::ideal()));
         b.iter(|| black_box(sim.run(&local, &even, SIM_SECONDS).unwrap()))
     });
 

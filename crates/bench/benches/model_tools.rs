@@ -2,8 +2,8 @@
 //! consensus resolution, the stability planner, and simulated annealing.
 
 use coop_agent::consensus::{resolve, DemandProfile};
-use coop_alloc::{search::SimulatedAnnealing, Objective, ReallocPlanner};
 use coop_alloc::strategies;
+use coop_alloc::{search::SimulatedAnnealing, Objective, ReallocPlanner};
 use coop_workloads::apps::model_mix;
 use criterion::{criterion_group, criterion_main, Criterion};
 use numa_topology::presets::{paper_model_machine, paper_skylake_machine};

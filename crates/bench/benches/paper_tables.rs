@@ -4,8 +4,8 @@
 //! solver change that breaks the reproduction fails the bench loudly.
 
 use coop_bench::experiments::{fig3, table12};
-use criterion::{criterion_group, criterion_main, Criterion};
 use coop_workloads::apps::{skylake_bad_mix, skylake_mix};
+use criterion::{criterion_group, criterion_main, Criterion};
 use numa_topology::presets::paper_skylake_machine;
 use numa_topology::NodeId;
 use roofline_numa::{solve, ThreadAssignment};

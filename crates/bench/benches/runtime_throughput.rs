@@ -63,7 +63,11 @@ fn bench_runtime(c: &mut Criterion) {
                 let rounds = TASKS / width;
                 for _ in 0..rounds {
                     let latch = rt.new_latch_event(width);
-                    rt.task("join").depends_on(&latch).body(|_| {}).spawn().unwrap();
+                    rt.task("join")
+                        .depends_on(&latch)
+                        .body(|_| {})
+                        .spawn()
+                        .unwrap();
                     for i in 0..width {
                         let latch = latch.clone();
                         rt.task(&format!("leg{i}"))

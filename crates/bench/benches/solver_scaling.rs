@@ -22,7 +22,11 @@ fn mixed_apps(n: usize, nodes: usize) -> Vec<AppSpec> {
     (0..n)
         .map(|i| {
             if i % 3 == 2 {
-                AppSpec::numa_bad(&format!("bad{i}"), 1.0 / (i + 1) as f64, numa_topology::NodeId(i % nodes))
+                AppSpec::numa_bad(
+                    &format!("bad{i}"),
+                    1.0 / (i + 1) as f64,
+                    numa_topology::NodeId(i % nodes),
+                )
             } else {
                 AppSpec::numa_local(&format!("app{i}"), 0.25 * (i + 1) as f64)
             }

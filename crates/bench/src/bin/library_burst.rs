@@ -2,7 +2,10 @@
 use numa_topology::presets::dual_socket;
 
 fn main() {
-    println!("{}", coop_bench::experiments::library::run(&dual_socket(), 1.0));
+    println!(
+        "{}",
+        coop_bench::experiments::library::run(&dual_socket(), 1.0)
+    );
     println!("'burst shifting' is what the agent's LibraryBurst policy produces:");
     println!("cores move to the library during its bursts and back afterwards.");
 }

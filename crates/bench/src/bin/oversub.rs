@@ -5,6 +5,9 @@ use numa_topology::presets::paper_model_machine;
 fn main() {
     let m = paper_model_machine();
     for (apps, ai) in [(2usize, 10.0), (4, 10.0), (2, 0.5)] {
-        println!("{}", coop_bench::experiments::oversub::run(&m, apps, ai, 0.1));
+        println!(
+            "{}",
+            coop_bench::experiments::oversub::run(&m, apps, ai, 0.1)
+        );
     }
 }

@@ -4,10 +4,22 @@ use coop_bench::experiments::*;
 use numa_topology::presets::{dual_socket, paper_model_machine, tiny};
 
 fn main() {
-    println!("================ Table I ================\n{}", table12::table1());
-    println!("================ Table II ===============\n{}", table12::table2());
-    println!("================ Figure 2 ===============\n{}", table12::figure2());
-    println!("================ Figure 3 ===============\n{}", fig3::figure3());
+    println!(
+        "================ Table I ================\n{}",
+        table12::table1()
+    );
+    println!(
+        "================ Table II ===============\n{}",
+        table12::table2()
+    );
+    println!(
+        "================ Figure 2 ===============\n{}",
+        table12::figure2()
+    );
+    println!(
+        "================ Figure 3 ===============\n{}",
+        fig3::figure3()
+    );
     let t3 = table3::run(0.2);
     println!("================ Table III ==============\n{t3}");
     println!("{}", t3.model_table());

@@ -1,19 +1,28 @@
 //! Dumps per-application GFLOPS time series as CSV for external plotting —
 //! e.g. the library-burst scenario's resource shifts over time.
 //!
+//! The simulation runs with a telemetry hub attached, so each row also
+//! carries the per-node bandwidth utilization sampled by the memory
+//! controllers, and the `switch_t_s` column marks the reallocation
+//! (assignment-switch) timestamps that fell inside the sample window.
+//!
 //! Usage: `cargo run -p coop-bench --bin timeline_csv > series.csv`
 
+use coop_telemetry::{ArgValue, EventKind, TelemetryHub};
 use memsim::{ActivityPattern, EffectModel, SimApp, SimConfig, Simulation};
 use numa_topology::presets::dual_socket;
 use roofline_numa::ThreadAssignment;
+use std::sync::Arc;
 
 fn main() {
     let machine = dual_socket();
+    let hub = Arc::new(TelemetryHub::new());
     let sim = Simulation::new(
         SimConfig::new(machine.clone())
             .with_effects(EffectModel::ideal())
             .with_quantum(1e-3),
-    );
+    )
+    .with_telemetry(Arc::clone(&hub));
     let apps = vec![
         SimApp::numa_local("main", 8.0),
         SimApp::numa_local("library", 8.0).with_activity(ActivityPattern::Bursts {
@@ -34,11 +43,56 @@ fn main() {
     }
     let r = sim.run_dynamic(&apps, &schedule, 1.0).unwrap();
 
-    println!("time_s,main_gflops,library_gflops");
+    // Pull the per-node utilization samples and reallocation timestamps
+    // back off the hub. Bandwidth counters arrive one per node per sample
+    // window, in time order, so grouping by lane aligns them with the
+    // GFLOPS series.
+    let num_nodes = machine.num_nodes();
+    let mut node_util: Vec<Vec<f64>> = vec![Vec::new(); num_nodes];
+    let mut switches: Vec<f64> = Vec::new();
+    for e in hub.events() {
+        match &e.kind {
+            EventKind::Counter { .. } if e.cat == "bandwidth" => {
+                if let Some((_, ArgValue::F64(u))) = e.args.iter().find(|(k, _)| k == "utilization")
+                {
+                    node_util[(e.lane - 1) as usize].push(*u);
+                }
+            }
+            EventKind::Instant if e.cat == "scheduler" => {
+                if let Some((_, ArgValue::F64(t))) = e.args.iter().find(|(k, _)| k == "t_s") {
+                    switches.push(*t);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut header = String::from("time_s,main_gflops,library_gflops");
+    for n in 0..num_nodes {
+        header.push_str(&format!(",node{n}_util"));
+    }
+    header.push_str(",switch_t_s");
+    println!("{header}");
+
+    let mut prev = 0.0f64;
     for i in 0..r.apps[0].times_s.len() {
-        println!(
+        let time = r.apps[0].times_s[i];
+        let mut row = format!(
             "{:.4},{:.2},{:.2}",
-            r.apps[0].times_s[i], r.apps[0].gflops_series[i], r.apps[1].gflops_series[i]
+            time, r.apps[0].gflops_series[i], r.apps[1].gflops_series[i]
         );
+        for util in &node_util {
+            row.push_str(&format!(",{:.4}", util.get(i).copied().unwrap_or(0.0)));
+        }
+        // Reallocation decisions that landed inside this sample window.
+        let in_window: Vec<String> = switches
+            .iter()
+            .filter(|&&s| s > prev && s <= time)
+            .map(|s| format!("{s:.4}"))
+            .collect();
+        row.push(',');
+        row.push_str(&in_window.join(";"));
+        println!("{row}");
+        prev = time;
     }
 }

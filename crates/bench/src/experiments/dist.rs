@@ -31,9 +31,7 @@ pub fn run(ranks: usize, units: usize, seed: u64) -> Table {
     let mean = cluster.mean_speedup();
 
     let mut t = Table::new(
-        &format!(
-            "Distributed translation on {ranks} ranks (mean local speedup {mean:.3})"
-        ),
+        &format!("Distributed translation on {ranks} ranks (mean local speedup {mean:.3})"),
         "overall speedup",
     );
     for (sync, sync_label) in [
@@ -78,7 +76,10 @@ mod tests {
         let loose_dynamic = find("loose (task bag) + dynamic");
         let mean = find("mean local speedup");
 
-        assert!(loose_dynamic > tight_static, "{loose_dynamic} vs {tight_static}");
+        assert!(
+            loose_dynamic > tight_static,
+            "{loose_dynamic} vs {tight_static}"
+        );
         // Loose+dynamic captures most of the available speedup...
         assert!(
             loose_dynamic > 1.0 + 0.7 * (mean - 1.0),

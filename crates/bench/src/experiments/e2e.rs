@@ -33,10 +33,7 @@ fn node_mix(variant: usize) -> Vec<AppSpec> {
             AppSpec::numa_local("comp", 4.0),
         ],
         // Symmetric: nothing to gain over fair share.
-        _ => vec![
-            AppSpec::numa_local("a", 1.0),
-            AppSpec::numa_local("b", 1.0),
-        ],
+        _ => vec![AppSpec::numa_local("a", 1.0), AppSpec::numa_local("b", 1.0)],
     }
 }
 

@@ -93,9 +93,7 @@ fn run_once(config: &Fig1Config, with_agent: bool) -> (PipelineReport, usize) {
     });
 
     let report = run_pipeline(&producer, &consumer, &config.pipeline);
-    let decisions = agent_handle
-        .map(|h| h.stop().decisions.len())
-        .unwrap_or(0);
+    let decisions = agent_handle.map(|h| h.stop().decisions.len()).unwrap_or(0);
     producer.shutdown();
     consumer.shutdown();
     (report, decisions)

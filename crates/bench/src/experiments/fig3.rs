@@ -16,26 +16,23 @@ pub fn figure3() -> Table {
     let apps = crossnode_mix(NodeId(3));
 
     let even = ThreadAssignment::uniform_per_node(&machine, &[2, 2, 2, 2]);
-    let right = strategies::node_per_app_mapped(
-        &machine,
-        &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
-    )
-    .expect("distinct nodes");
+    let right =
+        strategies::node_per_app_mapped(&machine, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+            .expect("distinct nodes");
     // Ablation: the same whole-node allocation but with the NUMA-bad app
     // on the WRONG node (its data stays on node 3, its threads on node 0).
-    let wrong = strategies::node_per_app_mapped(
-        &machine,
-        &[NodeId(3), NodeId(1), NodeId(2), NodeId(0)],
-    )
-    .expect("distinct nodes");
+    let wrong =
+        strategies::node_per_app_mapped(&machine, &[NodeId(3), NodeId(1), NodeId(2), NodeId(0)])
+            .expect("distinct nodes");
 
-    let mut t = Table::new(
-        "Figure 3: NUMA-bad application (data on node 3)",
-        "GFLOPS",
-    );
+    let mut t = Table::new("Figure 3: NUMA-bad application (data on node 3)", "GFLOPS");
     let score = |a: &ThreadAssignment| solve(&machine, &apps, a).unwrap().total_gflops();
     t.push(Row::with_paper("even (2,2,2,2)", 138.0, score(&even)));
-    t.push(Row::with_paper("node per app, bad on its node", 150.0, score(&right)));
+    t.push(Row::with_paper(
+        "node per app, bad on its node",
+        150.0,
+        score(&right),
+    ));
     t.push(Row::new("node per app, bad on wrong node", score(&wrong)));
     t
 }

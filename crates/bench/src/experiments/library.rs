@@ -34,7 +34,10 @@ fn burst_schedule(
     duration_s: f64,
 ) -> Vec<(f64, ThreadAssignment)> {
     let full: Vec<usize> = machine.nodes().map(|n| n.num_cores()).collect();
-    let one_each: Vec<usize> = machine.nodes().map(|n| (n.num_cores() - 1).max(1)).collect();
+    let one_each: Vec<usize> = machine
+        .nodes()
+        .map(|n| (n.num_cores() - 1).max(1))
+        .collect();
     // Main keeps one core per node during bursts; library gets the rest.
     let burst = ThreadAssignment::from_matrix(vec![
         machine.nodes().map(|_| 1usize).collect(),
@@ -98,7 +101,10 @@ pub fn run(machine: &Machine, duration_s: f64) -> Table {
             &format!("{label} [total]"),
             r.apps[0].gflop_done + r.apps[1].gflop_done,
         ));
-        t.push(Row::new(&format!("{label} [library]"), r.apps[1].gflop_done));
+        t.push(Row::new(
+            &format!("{label} [library]"),
+            r.apps[1].gflop_done,
+        ));
     }
     t
 }

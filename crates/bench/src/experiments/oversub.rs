@@ -22,9 +22,8 @@ use roofline_numa::ThreadAssignment;
 /// Runs the over-subscription comparison for `num_apps` identical
 /// applications with the given AI on `machine`.
 pub fn run(machine: &Machine, num_apps: usize, ai: f64, duration_s: f64) -> Table {
-    let sim = Simulation::new(
-        SimConfig::new(machine.clone()).with_effects(EffectModel::skylake_like()),
-    );
+    let sim =
+        Simulation::new(SimConfig::new(machine.clone()).with_effects(EffectModel::skylake_like()));
     let apps: Vec<SimApp> = (0..num_apps)
         .map(|i| SimApp::numa_local(&format!("app{i}"), ai))
         .collect();

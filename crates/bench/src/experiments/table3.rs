@@ -85,9 +85,8 @@ fn sim_mix(specs: &[AppSpec]) -> Vec<SimApp> {
 /// less).
 pub fn run(duration_s: f64) -> Table3 {
     let machine = true_machine();
-    let sim = Simulation::new(
-        SimConfig::new(machine.clone()).with_effects(EffectModel::skylake_like()),
-    );
+    let sim =
+        Simulation::new(SimConfig::new(machine.clone()).with_effects(EffectModel::skylake_like()));
 
     let local = skylake_mix();
     let bad0 = skylake_bad_mix(NodeId(0));
@@ -272,8 +271,14 @@ mod tests {
         // Node-per-app: real beats the model (paper: 15.28 > 15.18).
         assert!(s[2].real > s[2].model);
         // NUMA-bad rows: the model over-estimates.
-        assert!(s[3].model > s[3].real, "cross-node: model should over-estimate");
-        assert!(s[4].model > s[4].real, "on-node: model should over-estimate");
+        assert!(
+            s[3].model > s[3].real,
+            "cross-node: model should over-estimate"
+        );
+        assert!(
+            s[4].model > s[4].real,
+            "on-node: model should over-estimate"
+        );
         // And the ordering of scenarios by performance matches the paper:
         // uneven > even > {node-per-app, on-node} > cross-node.
         assert!(s[0].real > s[1].real);

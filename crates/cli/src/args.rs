@@ -82,6 +82,8 @@ pub enum Command {
         keep_alive: bool,
         /// Seed for stochastic methods.
         seed: u64,
+        /// Write search metrics to this path (`--metrics`).
+        metrics: Option<String>,
     },
     /// `sweep --machine M --app ..` — thread-scaling curve for one app.
     Sweep {
@@ -103,6 +105,22 @@ pub enum Command {
         scenario: Option<String>,
         /// Emit the template scenario JSON instead of running.
         write_template: bool,
+        /// Write simulator metrics to this path (`--metrics`).
+        metrics: Option<String>,
+    },
+    /// `observe` — run the Figure-1 producer-consumer pipeline with an
+    /// agent and the memory simulator on one telemetry hub, and export
+    /// the merged trace / metrics.
+    Observe {
+        /// Preset name or JSON path (defaults to `tiny`).
+        machine: String,
+        /// Pipeline iterations.
+        iterations: usize,
+        /// Write the merged Perfetto/Chrome JSON trace here (`--trace-out`).
+        trace_out: Option<String>,
+        /// Write metrics here (`--metrics`; `.json` → summary JSON,
+        /// anything else → Prometheus text exposition).
+        metrics: Option<String>,
     },
     /// `help`.
     Help,
@@ -128,10 +146,19 @@ COMMANDS:
                                thread-scaling curve for one application
   pareto  --machine <M> --app <SPEC>...
                                throughput/fairness Pareto frontier
-  simulate --scenario <FILE> | --write-template
+  simulate --scenario <FILE> | --write-template  [--metrics <PATH>]
                                run (or emit a template for) a declarative
                                memsim scenario
+  observe [--machine <M>] [--iterations N] [--trace-out <PATH>] [--metrics <PATH>]
+                               run the Figure-1 producer-consumer pipeline
+                               with an agent and the memory simulator on one
+                               telemetry hub; export the merged trace/metrics
   help                         this text
+
+OBSERVABILITY:
+  --metrics <PATH>   on search/simulate/observe: write metrics to PATH
+                     (.json -> summary JSON, otherwise Prometheus text)
+  --trace-out <PATH> on observe: write the merged Perfetto/Chrome trace
 
 APP SPEC:   name:placement:ai      placement = local | node<K> | spread
 MACHINE:    preset name (paper-model, paper-crossnode, paper-skylake,
@@ -192,16 +219,18 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
     let mut write_template = false;
     let mut scenario: Option<String> = None;
     let mut seed = 0u64;
+    let mut metrics: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut iterations = 30usize;
 
     let mut positional: Vec<&str> = Vec::new();
     let mut it = argv.iter().peekable();
-    let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                          flag: &str|
-     -> Result<String> {
-        it.next()
-            .cloned()
-            .ok_or_else(|| CliError::usage(format!("{flag} requires a value")))
-    };
+    let next_value =
+        |it: &mut std::iter::Peekable<std::slice::Iter<String>>, flag: &str| -> Result<String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("{flag} requires a value")))
+        };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
@@ -212,6 +241,13 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             "--explain" => explain = true,
             "--write-template" => write_template = true,
             "--scenario" => scenario = Some(next_value(&mut it, "--scenario")?),
+            "--metrics" => metrics = Some(next_value(&mut it, "--metrics")?),
+            "--trace-out" => trace_out = Some(next_value(&mut it, "--trace-out")?),
+            "--iterations" => {
+                iterations = next_value(&mut it, "--iterations")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --iterations (expected usize)"))?
+            }
             "--seed" => {
                 seed = next_value(&mut it, "--seed")?
                     .parse()
@@ -237,8 +273,11 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
         }
     }
 
-    let need_machine =
-        || machine.clone().ok_or_else(|| CliError::usage("--machine is required"));
+    let need_machine = || {
+        machine
+            .clone()
+            .ok_or_else(|| CliError::usage("--machine is required"))
+    };
     let need_apps = |apps: &[AppArg]| -> Result<Vec<AppArg>> {
         if apps.is_empty() {
             Err(CliError::usage("at least one --app is required"))
@@ -277,6 +316,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             method,
             keep_alive,
             seed,
+            metrics,
         },
         Some("pareto") => Command::Pareto {
             machine: need_machine()?,
@@ -291,8 +331,15 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             Command::Simulate {
                 scenario,
                 write_template,
+                metrics,
             }
         }
+        Some("observe") => Command::Observe {
+            machine: machine.unwrap_or_else(|| "tiny".to_string()),
+            iterations,
+            trace_out,
+            metrics,
+        },
         Some("sweep") => {
             let apps = need_apps(&apps)?;
             if apps.len() != 1 {
@@ -324,7 +371,12 @@ mod tests {
         ))
         .unwrap();
         match cli.command {
-            Command::Solve { machine, apps, counts, .. } => {
+            Command::Solve {
+                machine,
+                apps,
+                counts,
+                ..
+            } => {
                 assert_eq!(machine, "paper-model");
                 assert_eq!(apps.len(), 2);
                 assert_eq!(apps[0].name, "mem");
@@ -345,7 +397,13 @@ mod tests {
         .unwrap();
         assert!(cli.json);
         match cli.command {
-            Command::Search { apps, method, keep_alive, seed, .. } => {
+            Command::Search {
+                apps,
+                method,
+                keep_alive,
+                seed,
+                ..
+            } => {
                 assert_eq!(apps[0].placement, PlacementArg::Node(1));
                 assert_eq!(method, SearchMethod::Anneal);
                 assert!(keep_alive);
@@ -365,14 +423,71 @@ mod tests {
         assert!(parse_args(&argv("bogus")).is_err());
         assert!(parse_args(&argv("search --machine m")).is_err());
         assert!(parse_args(&argv("sweep --machine m --app a:local:1 --app b:local:1")).is_err());
-        assert!(parse_args(&argv("solve --machine m --app a:local:1 --counts 1 --method warp"))
-            .is_err());
+        assert!(parse_args(&argv(
+            "solve --machine m --app a:local:1 --counts 1 --method warp"
+        ))
+        .is_err());
     }
 
     #[test]
     fn empty_argv_is_help() {
         assert_eq!(parse_args(&[]).unwrap().command, Command::Help);
         assert_eq!(parse_args(&argv("help")).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn parses_observe_with_defaults_and_overrides() {
+        let cli = parse_args(&argv("observe")).unwrap();
+        match cli.command {
+            Command::Observe {
+                machine,
+                iterations,
+                trace_out,
+                metrics,
+            } => {
+                assert_eq!(machine, "tiny");
+                assert_eq!(iterations, 30);
+                assert_eq!(trace_out, None);
+                assert_eq!(metrics, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse_args(&argv(
+            "observe --machine dual-socket --iterations 5 --trace-out /tmp/t.json --metrics /tmp/m.prom",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Observe {
+                machine,
+                iterations,
+                trace_out,
+                metrics,
+            } => {
+                assert_eq!(machine, "dual-socket");
+                assert_eq!(iterations, 5);
+                assert_eq!(trace_out.as_deref(), Some("/tmp/t.json"));
+                assert_eq!(metrics.as_deref(), Some("/tmp/m.prom"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&argv("observe --iterations bogus")).is_err());
+    }
+
+    #[test]
+    fn metrics_flag_attaches_to_search_and_simulate() {
+        let cli = parse_args(&argv(
+            "search --machine tiny --app a:local:1 --metrics m.json",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Search { metrics, .. } => assert_eq!(metrics.as_deref(), Some("m.json")),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse_args(&argv("simulate --write-template --metrics m.prom")).unwrap();
+        match cli.command {
+            Command::Simulate { metrics, .. } => assert_eq!(metrics.as_deref(), Some("m.prom")),
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]

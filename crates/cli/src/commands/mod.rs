@@ -73,17 +73,61 @@ pub fn execute(cli: &Cli) -> Result<String> {
             method,
             keep_alive,
             seed,
-        } => search_cmd(machine, apps, *method, *keep_alive, *seed, cli.json),
+            metrics,
+        } => search_cmd(
+            machine,
+            apps,
+            *method,
+            *keep_alive,
+            *seed,
+            metrics.as_deref(),
+            cli.json,
+        ),
         Command::Sweep { machine, app } => sweep_cmd(machine, app, cli.json),
         Command::Pareto { machine, apps } => pareto_cmd(machine, apps, cli.json),
         Command::Simulate {
             scenario,
             write_template,
-        } => simulate_cmd(scenario.as_deref(), *write_template, cli.json),
+            metrics,
+        } => simulate_cmd(
+            scenario.as_deref(),
+            *write_template,
+            metrics.as_deref(),
+            cli.json,
+        ),
+        Command::Observe {
+            machine,
+            iterations,
+            trace_out,
+            metrics,
+        } => observe_cmd(
+            machine,
+            *iterations,
+            trace_out.as_deref(),
+            metrics.as_deref(),
+            cli.json,
+        ),
     }
 }
 
-fn simulate_cmd(scenario: Option<&str>, write_template: bool, json: bool) -> Result<String> {
+/// Writes a hub's metrics to `path`: `.json` gets the structured summary,
+/// anything else the Prometheus text exposition.
+fn write_metrics_file(path: &str, hub: &coop_telemetry::TelemetryHub) -> Result<()> {
+    let body = if path.ends_with(".json") {
+        hub.summary_json()
+    } else {
+        hub.registry().to_prometheus()
+    };
+    std::fs::write(path, body)
+        .map_err(|e| CliError::failure(format!("cannot write metrics '{path}': {e}")))
+}
+
+fn simulate_cmd(
+    scenario: Option<&str>,
+    write_template: bool,
+    metrics: Option<&str>,
+    json: bool,
+) -> Result<String> {
     if write_template {
         return Ok(memsim::scenario::template().to_json() + "\n");
     }
@@ -92,14 +136,169 @@ fn simulate_cmd(scenario: Option<&str>, write_template: bool, json: bool) -> Res
         .map_err(|e| CliError::usage(format!("cannot read scenario '{path}': {e}")))?;
     let scenario = memsim::Scenario::from_json(&text)
         .map_err(|e| CliError::failure(format!("invalid scenario: {e}")))?;
-    let result = memsim::run_scenario(&scenario)
-        .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?;
+    let result = if let Some(metrics_path) = metrics {
+        let hub = std::sync::Arc::new(coop_telemetry::TelemetryHub::new());
+        let r = memsim::run_scenario_with_telemetry(&scenario, std::sync::Arc::clone(&hub))
+            .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?;
+        write_metrics_file(metrics_path, &hub)?;
+        r
+    } else {
+        memsim::run_scenario(&scenario)
+            .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?
+    };
     if json {
         return serde_json::to_string_pretty(&result)
             .map(|s| s + "\n")
             .map_err(|e| CliError::failure(e.to_string()));
     }
     Ok(result.to_string())
+}
+
+/// `observe`: the Figure-1 setup end to end on one telemetry hub — two
+/// runtimes driving the producer-consumer pipeline, the agent throttling
+/// the producer, and a memsim reallocation run — then export the merged
+/// trace and metrics.
+fn observe_cmd(
+    machine: &str,
+    iterations: usize,
+    trace_out: Option<&str>,
+    metrics: Option<&str>,
+    json: bool,
+) -> Result<String> {
+    use coop_agent::{policies, Agent};
+    use coop_runtime::{Runtime, RuntimeConfig};
+    use coop_workloads::pipeline::{run_pipeline, PipelineConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let m = resolve_machine(machine)?;
+    let hub = Arc::new(coop_telemetry::TelemetryHub::new());
+    let start_rt = |name: &str| -> Result<Arc<Runtime>> {
+        Runtime::start(RuntimeConfig::new(name, m.clone()).with_telemetry(Arc::clone(&hub)))
+            .map(Arc::new)
+            .map_err(|e| CliError::failure(format!("cannot start runtime '{name}': {e}")))
+    };
+    let producer = start_rt("producer")?;
+    let consumer = start_rt("consumer")?;
+
+    // Fair share first (every runtime gets a per-node allocation on tick
+    // 0), then the paper's producer-consumer throttle.
+    let policy = policies::Chain::new(vec![
+        Box::new(policies::FairShare::new(m.clone())),
+        Box::new(policies::ProducerConsumerThrottle::new(
+            0,
+            1,
+            1,
+            3,
+            1,
+            m.total_cores(),
+        )),
+    ]);
+    let mut agent = Agent::with_telemetry(Box::new(policy), Arc::clone(&hub));
+    agent.manage(Box::new(Arc::clone(&producer)));
+    agent.manage(Box::new(Arc::clone(&consumer)));
+    let agent_thread = agent.spawn(Duration::from_millis(2));
+
+    let config = PipelineConfig {
+        iterations,
+        ..PipelineConfig::default()
+    };
+    let report = run_pipeline(&producer, &consumer, &config);
+    let log = agent_thread.stop();
+    producer.shutdown();
+    consumer.shutdown();
+
+    // A dynamic-reallocation memsim run on the same hub: all cores to one
+    // app, then all to the other — bandwidth counter tracks plus one
+    // assignment-switch instant on the shared clock.
+    let sim = memsim::Simulation::new(
+        memsim::SimConfig::new(m.clone()).with_effects(memsim::EffectModel::ideal()),
+    )
+    .with_telemetry(Arc::clone(&hub));
+    let sim_apps = vec![
+        memsim::SimApp::numa_local("producer", 0.5),
+        memsim::SimApp::numa_local("consumer", 0.5),
+    ];
+    let full: Vec<usize> = m.nodes().map(|n| n.num_cores()).collect();
+    let zero = vec![0usize; m.num_nodes()];
+    let all_producer =
+        roofline_numa::ThreadAssignment::from_matrix(vec![full.clone(), zero.clone()]);
+    let all_consumer = roofline_numa::ThreadAssignment::from_matrix(vec![zero, full]);
+    let sim_result = sim
+        .run_dynamic(
+            &sim_apps,
+            &[(0.0, all_producer), (0.025, all_consumer)],
+            0.05,
+        )
+        .map_err(|e| CliError::failure(format!("memsim run failed: {e}")))?;
+
+    if let Some(path) = trace_out {
+        std::fs::write(path, hub.to_perfetto_json())
+            .map_err(|e| CliError::failure(format!("cannot write trace '{path}': {e}")))?;
+    }
+    if let Some(path) = metrics {
+        write_metrics_file(path, &hub)?;
+    }
+
+    if json {
+        let summary: serde_json::Value = serde_json::from_str(&hub.summary_json())
+            .map_err(|e| CliError::failure(format!("summary JSON: {e}")))?;
+        let out = serde_json::json!({
+            "pipeline": {
+                "produced": report.produced,
+                "consumed": report.consumed,
+                "throughput_items_per_s": report.throughput,
+                "max_lead": report.max_lead,
+            },
+            "agent": {
+                "ticks": log.ticks,
+                "decisions": log.decisions.len(),
+            },
+            "memsim": {
+                "node_utilization": sim_result.node_utilization,
+            },
+            "telemetry": summary,
+        });
+        return serde_json::to_string_pretty(&out)
+            .map(|s| s + "\n")
+            .map_err(|e| CliError::failure(e.to_string()));
+    }
+
+    let mut out = format!(
+        "pipeline: {} produced, {} consumed, {:.1} items/s (max lead {})\n",
+        report.produced, report.consumed, report.throughput, report.max_lead
+    );
+    out.push_str(&format!(
+        "agent: {} ticks, {} decisions\n",
+        log.ticks,
+        log.decisions.len()
+    ));
+    for (n, u) in sim_result.node_utilization.iter().enumerate() {
+        out.push_str(&format!(
+            "memsim node {n}: {:.0}% bandwidth utilization\n",
+            u * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "telemetry: {} timeline events ({} dropped)\n",
+        hub.event_count(),
+        hub.dropped()
+    ));
+    match (trace_out, metrics) {
+        (None, None) => out.push_str(
+            "hint: use --trace-out <path> for a Perfetto/Chrome trace and\n\
+             --metrics <path> for Prometheus or JSON metrics\n",
+        ),
+        _ => {
+            if let Some(p) = trace_out {
+                out.push_str(&format!("trace written to {p}\n"));
+            }
+            if let Some(p) = metrics {
+                out.push_str(&format!("metrics written to {p}\n"));
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn pareto_cmd(machine: &str, apps: &[AppArg], json: bool) -> Result<String> {
@@ -231,12 +430,14 @@ fn solve_cmd(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn search_cmd(
     machine: &str,
     apps: &[AppArg],
     method: SearchMethod,
     keep_alive: bool,
     seed: u64,
+    metrics: Option<&str>,
     json: bool,
 ) -> Result<String> {
     let m = resolve_machine(machine)?;
@@ -250,9 +451,11 @@ fn search_cmd(
             SearchMethod::Exhaustive => {
                 search::ExhaustiveSearch::new().run_with_oracle(&m, specs.len(), oracle)
             }
-            SearchMethod::Hill => search::HillClimb::new()
-                .with_seed(seed)
-                .run_with_oracle(&m, specs.len(), oracle),
+            SearchMethod::Hill => {
+                search::HillClimb::new()
+                    .with_seed(seed)
+                    .run_with_oracle(&m, specs.len(), oracle)
+            }
             SearchMethod::Anneal => search::SimulatedAnnealing::new()
                 .with_seed(seed)
                 .run_with_oracle(&m, specs.len(), oracle),
@@ -284,6 +487,26 @@ fn search_cmd(
 
     let report = solve(&m, &specs, &result.assignment)
         .map_err(|e| CliError::failure(format!("re-solve failed: {e}")))?;
+    if let Some(path) = metrics {
+        let method_label = match method {
+            SearchMethod::Greedy => "greedy",
+            SearchMethod::Exhaustive => "exhaustive",
+            SearchMethod::Hill => "hill",
+            SearchMethod::Anneal => "anneal",
+        };
+        let hub = coop_telemetry::TelemetryHub::new();
+        let reg = hub.registry();
+        reg.set_help(
+            "coop_search_evaluations_total",
+            "Model evaluations performed by the allocation search",
+        );
+        reg.set_help("coop_search_best_gflops", "Best machine-wide GFLOPS found");
+        reg.counter("coop_search_evaluations_total", &[("method", method_label)])
+            .add(result.evaluations as u64);
+        reg.gauge("coop_search_best_gflops", &[("method", method_label)])
+            .set(report.total_gflops());
+        write_metrics_file(path, &hub)?;
+    }
     if json {
         #[derive(serde::Serialize)]
         struct Out<'a> {
@@ -383,20 +606,15 @@ mod tests {
 
     #[test]
     fn solve_json_is_valid_json() {
-        let out = run_str(
-            "solve --machine tiny --app a:local:1 --counts 1 --json",
-        )
-        .unwrap();
+        let out = run_str("solve --machine tiny --app a:local:1 --counts 1 --json").unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert!(v.get("apps").is_some());
     }
 
     #[test]
     fn search_greedy_finds_compute_optimum() {
-        let out = run_str(
-            "search --machine paper-model --app mem:local:0.5 --app comp:local:10",
-        )
-        .unwrap();
+        let out = run_str("search --machine paper-model --app mem:local:0.5 --app comp:local:10")
+            .unwrap();
         assert!(out.contains("320.00 GFLOPS"), "output:\n{out}");
     }
 
@@ -409,7 +627,12 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         let assignment = v["assignment"].as_array().unwrap();
         for row in assignment {
-            let total: u64 = row.as_array().unwrap().iter().map(|x| x.as_u64().unwrap()).sum();
+            let total: u64 = row
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_u64().unwrap())
+                .sum();
             assert!(total >= 1, "keep-alive must give every app a thread");
         }
     }
@@ -448,8 +671,8 @@ mod tests {
 
     #[test]
     fn errors_are_usage_errors() {
-        let err = run_str("solve --machine nope-not-a-machine --app a:local:1 --counts 1")
-            .unwrap_err();
+        let err =
+            run_str("solve --machine nope-not-a-machine --app a:local:1 --counts 1").unwrap_err();
         assert_eq!(err.code, 2);
         let err = run_str("solve --machine tiny --app a:node9:1 --counts 1").unwrap_err();
         assert_eq!(err.code, 2, "placement beyond machine nodes: {err}");
@@ -502,11 +725,10 @@ mod pareto_tests {
 
     #[test]
     fn pareto_json_is_sorted() {
-        let argv: Vec<String> =
-            "pareto --machine tiny --app a:local:0.5 --app b:local:4 --json"
-                .split_whitespace()
-                .map(String::from)
-                .collect();
+        let argv: Vec<String> = "pareto --machine tiny --app a:local:0.5 --app b:local:4 --json"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
         let out = crate::run(&argv).unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         let totals: Vec<f64> = v
@@ -516,6 +738,95 @@ mod pareto_tests {
             .map(|p| p["total_gflops"].as_f64().unwrap())
             .collect();
         assert!(totals.windows(2).all(|w| w[0] >= w[1]));
+    }
+}
+
+#[cfg(test)]
+mod observe_tests {
+    #[test]
+    fn observe_writes_merged_trace_and_prometheus_metrics() {
+        let dir = std::env::temp_dir().join(format!("coop-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let prom = dir.join("metrics.prom");
+
+        let out = crate::run(&[
+            "observe".into(),
+            "--machine".into(),
+            "tiny".into(),
+            "--iterations".into(),
+            "4".into(),
+            "--trace-out".into(),
+            trace.to_str().unwrap().into(),
+            "--metrics".into(),
+            prom.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(out.contains("4 produced, 4 consumed"), "output:\n{out}");
+        assert!(out.contains("decisions"));
+
+        // The trace merges all three sources: runtime tasks, agent
+        // decisions, memsim bandwidth counters.
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert!(events.iter().any(|e| e["cat"] == "task"));
+        assert!(events.iter().any(|e| e["cat"] == "agent"));
+        assert!(events.iter().any(|e| e["cat"] == "bandwidth"));
+
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(
+            text.contains("coop_task_latency_us_bucket{"),
+            "metrics:\n{text}"
+        );
+        assert!(text.contains("memsim_node_utilization"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observe_json_embeds_telemetry_summary() {
+        let out = crate::run(&[
+            "observe".into(),
+            "--iterations".into(),
+            "2".into(),
+            "--json".into(),
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["pipeline"]["produced"], 2);
+        assert!(
+            v["agent"]["decisions"].as_u64().unwrap() >= 2,
+            "fair share decides on tick 0"
+        );
+        assert!(v["telemetry"]["events"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn search_metrics_file_is_written() {
+        let dir = std::env::temp_dir().join(format!("coop-cli-sm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("search.json");
+        crate::run(&[
+            "search".into(),
+            "--machine".into(),
+            "tiny".into(),
+            "--app".into(),
+            "a:local:1".into(),
+            "--metrics".into(),
+            path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let names: Vec<&str> = v["metrics"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|m| m["name"].as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"coop_search_evaluations_total"));
+        assert!(names.contains(&"coop_search_best_gflops"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

@@ -36,14 +36,24 @@ impl fmt::Display for AllocError {
         match self {
             AllocError::Model(e) => write!(f, "model error: {e}"),
             AllocError::NoApps => write!(f, "at least one application is required"),
-            AllocError::ParameterShape { what, expected, actual } => {
+            AllocError::ParameterShape {
+                what,
+                expected,
+                actual,
+            } => {
                 write!(f, "{what}: expected {expected} entries, got {actual}")
             }
             AllocError::SearchSpaceTooLarge { candidates, limit } => {
-                write!(f, "search space has {candidates} candidates, exceeding the limit of {limit}")
+                write!(
+                    f,
+                    "search space has {candidates} candidates, exceeding the limit of {limit}"
+                )
             }
             AllocError::BadWeights => {
-                write!(f, "objective weights must be non-negative, finite, and not all zero")
+                write!(
+                    f,
+                    "objective weights must be non-negative, finite, and not all zero"
+                )
             }
         }
     }
@@ -78,7 +88,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = AllocError::SearchSpaceTooLarge { candidates: 1000, limit: 10 };
+        let e = AllocError::SearchSpaceTooLarge {
+            candidates: 1000,
+            limit: 10,
+        };
         assert!(e.to_string().contains("1000"));
         assert!(AllocError::NoApps.to_string().contains("application"));
     }

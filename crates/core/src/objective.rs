@@ -96,7 +96,11 @@ mod tests {
         let (m, apps, a) = setup();
         let r = solve(&m, &apps, &a).unwrap();
         let s = score(&m, &apps, &a, Objective::MinAppGflops).unwrap();
-        let expected = r.apps.iter().map(|x| x.gflops).fold(f64::INFINITY, f64::min);
+        let expected = r
+            .apps
+            .iter()
+            .map(|x| x.gflops)
+            .fold(f64::INFINITY, f64::min);
         assert!((s - expected).abs() < 1e-12);
         assert!(s <= r.total_gflops());
     }

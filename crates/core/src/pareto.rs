@@ -117,8 +117,8 @@ mod tests {
         for (i, p) in f.iter().enumerate() {
             for (j, q) in f.iter().enumerate() {
                 if i != j {
-                    let dominated = q.total_gflops >= p.total_gflops
-                        && q.min_app_gflops >= p.min_app_gflops;
+                    let dominated =
+                        q.total_gflops >= p.total_gflops && q.min_app_gflops >= p.min_app_gflops;
                     assert!(!dominated, "{i} dominated by {j}");
                 }
             }

@@ -412,8 +412,7 @@ mod tests {
             .run_with_oracle(&m, apps.len(), &mut oracle)
             .unwrap();
         assert!((r.score - 254.0).abs() < 1e-9, "got {}", r.score);
-        let counts: Vec<usize> =
-            (0..4).map(|i| r.assignment.get(i, NodeId(0))).collect();
+        let counts: Vec<usize> = (0..4).map(|i| r.assignment.get(i, NodeId(0))).collect();
         assert_eq!(counts, vec![1, 1, 1, 5], "Table I allocation is optimal");
     }
 
@@ -438,10 +437,11 @@ mod tests {
     #[test]
     fn exhaustive_respects_limit() {
         let m = paper_model_machine();
-        let err = ExhaustiveSearch::new()
-            .full_space()
-            .with_limit(1000)
-            .run(&m, &paper_apps(), Objective::TotalGflops);
+        let err = ExhaustiveSearch::new().full_space().with_limit(1000).run(
+            &m,
+            &paper_apps(),
+            Objective::TotalGflops,
+        );
         assert!(matches!(err, Err(AllocError::SearchSpaceTooLarge { .. })));
     }
 
@@ -571,8 +571,7 @@ mod tests {
     fn custom_oracle_is_respected() {
         // An oracle that prefers fewer threads drives searches to empty.
         let m = tiny();
-        let mut oracle =
-            |a: &ThreadAssignment| -> Result<f64> { Ok(-(a.total() as f64)) };
+        let mut oracle = |a: &ThreadAssignment| -> Result<f64> { Ok(-(a.total() as f64)) };
         let g = GreedySearch::new()
             .run_with_oracle(&m, 2, &mut oracle)
             .unwrap();

@@ -20,7 +20,11 @@ fn machine(nodes: usize, cores: usize) -> numa_topology::Machine {
         .unwrap()
 }
 
-fn arb_assignment(nodes: usize, cores: usize, apps: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+fn arb_assignment(
+    nodes: usize,
+    cores: usize,
+    apps: usize,
+) -> impl Strategy<Value = Vec<Vec<usize>>> {
     proptest::collection::vec(
         proptest::collection::vec(0usize..=cores, nodes..=nodes),
         apps..=apps,

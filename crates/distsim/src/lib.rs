@@ -314,7 +314,10 @@ mod tests {
         let c = Cluster::uniform(4, 1.0).with_speedups(&[1.25; 4]);
         for sync in [Synchronization::Tight, Synchronization::Loose] {
             for dist in [Distribution::Static, Distribution::Dynamic] {
-                let w = Workload::new(400, 1.0).iterations(10).sync(sync).distribution(dist);
+                let w = Workload::new(400, 1.0)
+                    .iterations(10)
+                    .sync(sync)
+                    .distribution(dist);
                 let r = simulate(&c, &w, 1);
                 assert!(
                     (r.speedup_vs_uniform - 1.25).abs() < 1e-9,
@@ -363,14 +366,20 @@ mod tests {
         // loose/dynamic >= tight/dynamic >= tight/static.
         let c = Cluster::uniform(6, 1.0).with_speedups(&[1.5, 1.4, 1.0, 1.0, 1.0, 1.1]);
         let mk = |sync, dist| {
-            let w = Workload::new(1200, 1.0).iterations(8).sync(sync).distribution(dist);
+            let w = Workload::new(1200, 1.0)
+                .iterations(8)
+                .sync(sync)
+                .distribution(dist);
             simulate(&c, &w, 3).speedup_vs_uniform
         };
         let loose_dyn = mk(Synchronization::Loose, Distribution::Dynamic);
         let tight_dyn = mk(Synchronization::Tight, Distribution::Dynamic);
         let tight_static = mk(Synchronization::Tight, Distribution::Static);
         assert!(loose_dyn >= tight_dyn - 1e-9, "{loose_dyn} vs {tight_dyn}");
-        assert!(tight_dyn >= tight_static - 1e-9, "{tight_dyn} vs {tight_static}");
+        assert!(
+            tight_dyn >= tight_static - 1e-9,
+            "{tight_dyn} vs {tight_static}"
+        );
         assert!(loose_dyn > tight_static + 1e-3);
     }
 
@@ -407,7 +416,9 @@ mod tests {
     #[test]
     fn determinism_per_seed() {
         let c = one_fast_cluster(4, 1.3);
-        let w = Workload::new(200, 1.0).unit_variability(0.5).distribution(Distribution::Dynamic);
+        let w = Workload::new(200, 1.0)
+            .unit_variability(0.5)
+            .distribution(Distribution::Dynamic);
         assert_eq!(simulate(&c, &w, 9), simulate(&c, &w, 9));
         assert!(simulate(&c, &w, 9) != simulate(&c, &w, 10));
     }

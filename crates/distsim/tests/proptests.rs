@@ -4,9 +4,8 @@ use distsim::{simulate, Cluster, Distribution, Synchronization, Workload};
 use proptest::prelude::*;
 
 fn arb_cluster() -> impl Strategy<Value = Cluster> {
-    proptest::collection::vec(1.0f64..2.0, 2..12).prop_map(|speedups| {
-        Cluster::uniform(speedups.len(), 1.0).with_speedups(&speedups)
-    })
+    proptest::collection::vec(1.0f64..2.0, 2..12)
+        .prop_map(|speedups| Cluster::uniform(speedups.len(), 1.0).with_speedups(&speedups))
 }
 
 proptest! {

@@ -102,11 +102,13 @@ pub fn calibrate_even_scenario(
         })
         .collect();
     let machine = builder
-        .link_matrix(numa_topology::LinkMatrix::from_rows(dim, &rows).map_err(|e| {
-            SimError::Calibration {
-                reason: format!("link matrix: {e}"),
-            }
-        })?)
+        .link_matrix(
+            numa_topology::LinkMatrix::from_rows(dim, &rows).map_err(|e| {
+                SimError::Calibration {
+                    reason: format!("link matrix: {e}"),
+                }
+            })?,
+        )
         .build()
         .map_err(|e| SimError::Calibration {
             reason: format!("fitted machine invalid: {e}"),
@@ -132,8 +134,8 @@ mod tests {
         let template = paper_skylake_machine();
         let comp_gflops = 5.8; // 20 threads x 0.29
         let mem_gflops = 18.12 - 5.8; // model value of the mem apps
-        let cal = calibrate_even_scenario(&template, mem_gflops, 1.0 / 32.0, comp_gflops, 20)
-            .unwrap();
+        let cal =
+            calibrate_even_scenario(&template, mem_gflops, 1.0 / 32.0, comp_gflops, 20).unwrap();
         assert!((cal.core_peak_gflops - 0.29).abs() < 1e-9);
         assert!(
             (cal.node_bandwidth_gbs - 100.0).abs() < 0.1,
@@ -168,8 +170,7 @@ mod tests {
     #[test]
     fn fit_is_self_consistent() {
         let template = paper_skylake_machine();
-        let cal =
-            calibrate_even_scenario(&template, 12.32, 1.0 / 32.0, 5.8, 20).unwrap();
+        let cal = calibrate_even_scenario(&template, 12.32, 1.0 / 32.0, 5.8, 20).unwrap();
         let apps = vec![
             roofline_numa::AppSpec::numa_local("m1", 1.0 / 32.0),
             roofline_numa::AppSpec::numa_local("m2", 1.0 / 32.0),

@@ -8,20 +8,26 @@
 //! but per-thread and with the effect model applied), and bank the
 //! resulting floating-point work.
 
-use crate::{SimApp, SimConfig, SimError, SimResult};
 use crate::result::AppSeries;
+use crate::{SimApp, SimConfig, SimError, SimResult};
+use coop_telemetry::{
+    ArgValue, Counter, EventKind, Histogram, TelemetryHub, TimelineEvent, TrackId,
+};
 use numa_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use roofline_numa::ThreadAssignment;
+use std::sync::Arc;
 
 /// How many quanta are aggregated into one timeline sample.
 const SAMPLE_EVERY: usize = 10;
 
-/// A configured simulator. Cheap to clone (owns only the config).
+/// A configured simulator. Cheap to clone (owns only the config and an
+/// optional handle to a shared telemetry hub).
 #[derive(Debug, Clone)]
 pub struct Simulation {
     config: SimConfig,
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 struct Thread {
@@ -29,10 +35,133 @@ struct Thread {
     home: NodeId,
 }
 
+/// Telemetry handles resolved once per `run_dynamic` call. Simulated time
+/// is mapped onto the hub clock as `base_us + t * 1e6`, where `base_us` is
+/// the hub time when the run started — so memsim samples interleave
+/// correctly with runtime/agent events recorded during the same wall-clock
+/// window.
+struct SimTelemetry {
+    hub: Arc<TelemetryHub>,
+    track: TrackId,
+    base_us: u64,
+    assignment_switches: Arc<Counter>,
+    rotations: Vec<Arc<Counter>>,
+    util_pct: Vec<Arc<Histogram>>,
+}
+
+impl SimTelemetry {
+    fn new(hub: &Arc<TelemetryHub>, machine: &numa_topology::Machine) -> Self {
+        let track = hub.register_track("memsim");
+        hub.set_lane_name(track, 0, "scheduler");
+        let reg = hub.registry();
+        reg.set_help(
+            "memsim_node_bandwidth_gbs",
+            "Average delivered bandwidth per memory controller over the last sample window",
+        );
+        reg.set_help(
+            "memsim_node_utilization",
+            "End-of-run memory-controller utilization (delivered / nominal), per node",
+        );
+        reg.set_help(
+            "memsim_node_utilization_pct",
+            "Per-sample memory-controller utilization, percent",
+        );
+        reg.set_help(
+            "memsim_sched_switches_total",
+            "OS-scheduler context-switch quanta (round-robin rotations under over-subscription), per node",
+        );
+        reg.set_help(
+            "memsim_assignment_switches_total",
+            "Dynamic-schedule assignment changes applied during the run",
+        );
+        let num_nodes = machine.num_nodes();
+        let mut rotations = Vec::with_capacity(num_nodes);
+        let mut util_pct = Vec::with_capacity(num_nodes);
+        for n in 0..num_nodes {
+            hub.set_lane_name(track, n as u32 + 1, &format!("node {n} bandwidth"));
+            let node = n.to_string();
+            rotations.push(reg.counter("memsim_sched_switches_total", &[("node", &node)]));
+            util_pct.push(reg.histogram("memsim_node_utilization_pct", &[("node", &node)]));
+        }
+        SimTelemetry {
+            track,
+            base_us: hub.now_us(),
+            assignment_switches: reg.counter("memsim_assignment_switches_total", &[]),
+            rotations,
+            util_pct,
+            hub: Arc::clone(hub),
+        }
+    }
+
+    /// Simulated seconds → microseconds on the shared hub clock.
+    fn ts_us(&self, t_s: f64) -> u64 {
+        self.base_us + (t_s * 1e6) as u64
+    }
+
+    fn shard(&self) -> usize {
+        self.track.0 as usize
+    }
+
+    fn record_assignment_switch(&self, t_s: f64, sched_idx: usize) {
+        self.assignment_switches.inc();
+        self.hub.record(
+            self.shard(),
+            TimelineEvent {
+                track: self.track,
+                lane: 0,
+                cat: "scheduler".to_string(),
+                name: format!("assignment #{sched_idx}"),
+                ts_us: self.ts_us(t_s),
+                kind: EventKind::Instant,
+                args: vec![("t_s".to_string(), ArgValue::F64(t_s))],
+            },
+        );
+    }
+
+    fn record_bandwidth_sample(&self, node: usize, mid_s: f64, gbs: f64, utilization: f64) {
+        self.util_pct[node].observe((utilization * 100.0).round() as u64);
+        self.hub.record_counter(
+            self.shard(),
+            self.track,
+            node as u32 + 1,
+            "bandwidth",
+            &format!("node{node}_bw_gbs"),
+            self.ts_us(mid_s),
+            gbs,
+            vec![
+                ("t_s".to_string(), ArgValue::F64(mid_s)),
+                ("utilization".to_string(), ArgValue::F64(utilization)),
+            ],
+        );
+    }
+
+    fn record_run_summary(&self, node_avg_gbs: &[f64], node_utilization: &[f64]) {
+        let reg = self.hub.registry();
+        for (n, (&gbs, &util)) in node_avg_gbs.iter().zip(node_utilization).enumerate() {
+            let node = n.to_string();
+            reg.gauge("memsim_node_bandwidth_gbs", &[("node", &node)])
+                .set(gbs);
+            reg.gauge("memsim_node_utilization", &[("node", &node)])
+                .set(util);
+        }
+    }
+}
+
 impl Simulation {
     /// Creates a simulator from a config.
     pub fn new(config: SimConfig) -> Self {
-        Simulation { config }
+        Simulation {
+            config,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a telemetry hub: runs then publish per-node bandwidth
+    /// counter tracks (on the hub's shared clock), scheduler switch
+    /// counters, and end-of-run utilization gauges.
+    pub fn with_telemetry(mut self, hub: Arc<TelemetryHub>) -> Self {
+        self.telemetry = Some(hub);
+        self
     }
 
     /// The configured machine.
@@ -103,6 +232,11 @@ impl Simulation {
             })
             .collect();
         let mut node_gbs_acc = vec![0.0f64; num_nodes];
+        let mut node_window_acc = vec![0.0f64; num_nodes];
+        let tel = self
+            .telemetry
+            .as_ref()
+            .map(|hub| SimTelemetry::new(hub, machine));
 
         let mut sched_idx = 0usize;
         let mut applied_idx = usize::MAX;
@@ -118,6 +252,13 @@ impl Simulation {
             }
             if sched_idx != applied_idx {
                 threads = expand_threads(&schedule[sched_idx].1, num_nodes);
+                // The first application is the initial assignment, not a
+                // switch; every later change is a reallocation event.
+                if applied_idx != usize::MAX {
+                    if let Some(tel) = &tel {
+                        tel.record_assignment_switch(t, sched_idx);
+                    }
+                }
                 applied_idx = sched_idx;
             }
 
@@ -154,6 +295,11 @@ impl Simulation {
                             on_core[i] = slot < cores;
                         }
                         rr_offset[node] = (rr_offset[node] + cores) % runnable.len();
+                        // One rotated quantum = one OS-scheduler context
+                        // switch on this node's cores.
+                        if let Some(tel) = &tel {
+                            tel.rotations[node].inc();
+                        }
                     }
                 }
             }
@@ -200,11 +346,10 @@ impl Simulation {
                 #[allow(clippy::needless_range_loop)] // node is also a semantic id here
                 for node in 0..num_nodes {
                     demand_to[i][node] = total
-                        * apps[th.app].spec.placement.fraction(
-                            th.home,
-                            NodeId(node),
-                            num_nodes,
-                        );
+                        * apps[th.app]
+                            .spec
+                            .placement
+                            .fraction(th.home, NodeId(node), num_nodes);
                 }
             }
 
@@ -260,8 +405,7 @@ impl Simulation {
                 // Local stage: baseline + proportional remainder. Local
                 // grants are tracked per-target in `prov` so threads whose
                 // traffic spreads over several nodes accumulate correctly.
-                let remaining =
-                    (capacity - served_from.iter().sum::<f64>() * remote_cost).max(0.0);
+                let remaining = (capacity - served_from.iter().sum::<f64>() * remote_cost).max(0.0);
                 // The per-thread guaranteed share. The model's rule is
                 // per-core; under over-subscription (more demanding local
                 // threads than cores) the share divides among the threads,
@@ -333,6 +477,7 @@ impl Simulation {
                     }
                 }
                 node_gbs_acc[target] += served_total * dt;
+                node_window_acc[target] += served_total * dt;
             }
 
             // Bank the work.
@@ -354,6 +499,15 @@ impl Simulation {
                     s.gflops_series.push(sample_acc[a] / window);
                     sample_acc[a] = 0.0;
                 }
+                #[allow(clippy::needless_range_loop)] // node is also a semantic id here
+                for node in 0..num_nodes {
+                    if let Some(tel) = &tel {
+                        let gbs = node_window_acc[node] / window;
+                        let util = gbs / machine.node(NodeId(node)).bandwidth_gbs;
+                        tel.record_bandwidth_sample(node, mid, gbs, util);
+                    }
+                    node_window_acc[node] = 0.0;
+                }
             }
         }
 
@@ -367,6 +521,9 @@ impl Simulation {
             .enumerate()
             .map(|(n, &g)| g / machine.node(NodeId(n)).bandwidth_gbs)
             .collect();
+        if let Some(tel) = &tel {
+            tel.record_run_summary(&node_avg_gbs, &node_utilization);
+        }
 
         Ok(SimResult {
             machine: machine.name().to_string(),
@@ -384,18 +541,22 @@ impl Simulation {
     ) -> crate::Result<()> {
         let machine = &self.config.machine;
         if assignment.num_apps() != num_apps {
-            return Err(SimError::Model(roofline_numa::ModelError::AppCountMismatch {
-                specs: num_apps,
-                assignment: assignment.num_apps(),
-            }));
+            return Err(SimError::Model(
+                roofline_numa::ModelError::AppCountMismatch {
+                    specs: num_apps,
+                    assignment: assignment.num_apps(),
+                },
+            ));
         }
         for (app, row) in assignment.matrix().iter().enumerate() {
             if row.len() != machine.num_nodes() {
-                return Err(SimError::Model(roofline_numa::ModelError::AssignmentShape {
-                    app,
-                    expected: machine.num_nodes(),
-                    actual: row.len(),
-                }));
+                return Err(SimError::Model(
+                    roofline_numa::ModelError::AssignmentShape {
+                        app,
+                        expected: machine.num_nodes(),
+                        actual: row.len(),
+                    },
+                ));
             }
         }
         if !self.config.effects.allow_oversubscription {
@@ -520,10 +681,7 @@ mod tests {
     fn oversubscription_costs_a_few_percent() {
         // Two identical memory-light apps; fair share vs 2x oversubscribed.
         let machine = paper_model_machine();
-        let apps = vec![
-            SimApp::numa_local("a", 10.0),
-            SimApp::numa_local("b", 10.0),
-        ];
+        let apps = vec![SimApp::numa_local("a", 10.0), SimApp::numa_local("b", 10.0)];
         let sim = Simulation::new(
             SimConfig::new(machine.clone()).with_effects(EffectModel::skylake_like()),
         );
@@ -554,21 +712,17 @@ mod tests {
     fn activity_windows_gate_work() {
         let machine = tiny();
         let sim = ideal_sim(machine.clone());
-        let apps = vec![SimApp::numa_local("w", 1.0).with_activity(
-            ActivityPattern::Window {
+        let apps = vec![
+            SimApp::numa_local("w", 1.0).with_activity(ActivityPattern::Window {
                 start_s: 0.0,
                 end_s: 0.05,
-            },
-        )];
+            }),
+        ];
         let assignment = ThreadAssignment::uniform_per_node(&machine, &[1]);
         let r = sim.run(&apps, &assignment, 0.1).unwrap();
         // Active for half the run: sustained rate is half the peak rate.
         let r_full = sim
-            .run(
-                &[SimApp::numa_local("w", 1.0)],
-                &assignment,
-                0.1,
-            )
+            .run(&[SimApp::numa_local("w", 1.0)], &assignment, 0.1)
             .unwrap();
         let ratio = r.total_gflops() / r_full.total_gflops();
         assert!((ratio - 0.5).abs() < 0.02, "ratio = {ratio}");
@@ -596,10 +750,7 @@ mod tests {
     fn dynamic_schedule_switches_assignments() {
         let machine = tiny();
         let sim = ideal_sim(machine.clone());
-        let apps = vec![
-            SimApp::numa_local("a", 1.0),
-            SimApp::numa_local("b", 1.0),
-        ];
+        let apps = vec![SimApp::numa_local("a", 1.0), SimApp::numa_local("b", 1.0)];
         // First half: all cores to a; second half: all to b.
         let all_a = ThreadAssignment::from_matrix(vec![vec![2, 2], vec![0, 0]]);
         let all_b = ThreadAssignment::from_matrix(vec![vec![0, 0], vec![2, 2]]);
@@ -609,7 +760,10 @@ mod tests {
         let a = r.app_gflops(0);
         let b = r.app_gflops(1);
         assert!(a > 0.0 && b > 0.0);
-        assert!((a - b).abs() / a < 0.05, "halves should be symmetric: {a} vs {b}");
+        assert!(
+            (a - b).abs() / a < 0.05,
+            "halves should be symmetric: {a} vs {b}"
+        );
     }
 
     #[test]
@@ -630,7 +784,10 @@ mod tests {
         let r2 = mk(7);
         assert_eq!(r1, r2);
         let r3 = mk(8);
-        assert!(r1.total_gflops() != r3.total_gflops(), "different seed, different jitter");
+        assert!(
+            r1.total_gflops() != r3.total_gflops(),
+            "different seed, different jitter"
+        );
     }
 
     #[test]
@@ -667,10 +824,88 @@ mod tests {
         let assignment = ThreadAssignment::uniform_per_node(&machine, &[8]);
         let r = sim.run(&apps, &assignment, 0.02).unwrap();
         for &u in &r.node_utilization {
-            assert!((u - 1.0).abs() < 1e-6, "saturated node should be at 1.0, got {u}");
+            assert!(
+                (u - 1.0).abs() < 1e-6,
+                "saturated node should be at 1.0, got {u}"
+            );
         }
         // 32 GB/s * 0.1 = 3.2 GFLOPS per node.
         assert!((r.total_gflops() - 12.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn telemetry_publishes_bandwidth_and_switches() {
+        use coop_telemetry::EventKind;
+        use std::sync::Arc;
+
+        let machine = tiny();
+        let hub = Arc::new(coop_telemetry::TelemetryHub::new());
+        let sim = ideal_sim(machine.clone()).with_telemetry(Arc::clone(&hub));
+        let apps = vec![SimApp::numa_local("a", 1.0), SimApp::numa_local("b", 1.0)];
+        let all_a = ThreadAssignment::from_matrix(vec![vec![2, 2], vec![0, 0]]);
+        let all_b = ThreadAssignment::from_matrix(vec![vec![0, 0], vec![2, 2]]);
+        let r = sim
+            .run_dynamic(&apps, &[(0.0, all_a), (0.05, all_b)], 0.1)
+            .unwrap();
+
+        // One assignment switch (the initial assignment does not count).
+        let reg = hub.registry();
+        assert_eq!(reg.counter_total("memsim_assignment_switches_total"), 1);
+
+        let events = hub.events();
+        let switches: Vec<_> = events
+            .iter()
+            .filter(|e| e.cat == "scheduler" && matches!(e.kind, EventKind::Instant))
+            .collect();
+        assert_eq!(switches.len(), 1);
+        assert!(switches[0].name.contains("assignment"));
+
+        // Per-node bandwidth counter samples, one per timeline sample.
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.cat == "bandwidth" && matches!(e.kind, EventKind::Counter { .. }))
+            .collect();
+        assert_eq!(
+            counters.len(),
+            machine.num_nodes() * r.apps[0].times_s.len()
+        );
+        assert!(counters.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+
+        // End-of-run gauges match the result's utilization report.
+        for (n, &util) in r.node_utilization.iter().enumerate() {
+            let g = reg
+                .gauge("memsim_node_utilization", &[("node", &n.to_string())])
+                .get();
+            assert!(
+                (g - util).abs() < 1e-12,
+                "node {n}: gauge {g} vs result {util}"
+            );
+        }
+        // The merged Perfetto export carries the memsim track.
+        let json = hub.to_perfetto_json();
+        assert!(json.contains("memsim"));
+        assert!(json.contains("node0_bw_gbs"));
+    }
+
+    #[test]
+    fn telemetry_counts_sched_switches_under_oversubscription() {
+        use std::sync::Arc;
+
+        let machine = tiny();
+        let hub = Arc::new(coop_telemetry::TelemetryHub::new());
+        let mut effects = EffectModel::ideal();
+        effects.allow_oversubscription = true;
+        effects.discrete_timeslice = true;
+        let sim = Simulation::new(SimConfig::new(machine.clone()).with_effects(effects))
+            .with_telemetry(Arc::clone(&hub));
+        let apps = vec![SimApp::numa_local("m", 0.25), SimApp::numa_local("n", 0.25)];
+        // 2x oversubscribed: every quantum rotates the run queue.
+        let oversub = ThreadAssignment::from_matrix(vec![vec![2, 2], vec![2, 2]]);
+        sim.run(&apps, &oversub, 0.05).unwrap();
+        assert!(
+            hub.registry().counter_total("memsim_sched_switches_total") > 0,
+            "round-robin rotations must be counted"
+        );
     }
 
     #[test]
@@ -705,8 +940,7 @@ mod timeslice_tests {
             crate::SimApp::numa_local("b", 10.0),
         ];
         let full: Vec<usize> = machine.nodes().map(|n| n.num_cores()).collect();
-        let oversub =
-            roofline_numa::ThreadAssignment::from_matrix(vec![full.clone(), full]);
+        let oversub = roofline_numa::ThreadAssignment::from_matrix(vec![full.clone(), full]);
 
         let mut continuous = EffectModel::ideal();
         continuous.allow_oversubscription = true;
@@ -755,10 +989,7 @@ mod timeslice_tests {
             crate::SimApp::numa_local("n", 0.25),
         ];
         // 2x oversubscribed memory-bound threads.
-        let oversub = roofline_numa::ThreadAssignment::from_matrix(vec![
-            vec![2, 2],
-            vec![2, 2],
-        ]);
+        let oversub = roofline_numa::ThreadAssignment::from_matrix(vec![vec![2, 2], vec![2, 2]]);
         let mut effects = EffectModel::ideal();
         effects.allow_oversubscription = true;
         effects.discrete_timeslice = true;

@@ -62,7 +62,14 @@ pub use calibrate::{calibrate_even_scenario, CalibratedMachine};
 pub use config::{EffectModel, SimConfig};
 pub use engine::Simulation;
 pub use result::{AppSeries, SimResult};
-pub use scenario::{run_scenario, NamedAssignment, Scenario, ScenarioResult, ScenarioRow};
+pub use scenario::{
+    run_scenario, run_scenario_with_telemetry, NamedAssignment, Scenario, ScenarioResult,
+    ScenarioRow,
+};
+
+// Re-exported so callers can attach a hub without naming the telemetry
+// crate themselves (see `Simulation::with_telemetry`).
+pub use coop_telemetry::TelemetryHub;
 
 /// Errors produced by the simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,7 +99,10 @@ impl std::fmt::Display for SimError {
             SimError::Model(e) => write!(f, "model error: {e}"),
             SimError::BadTime { reason } => write!(f, "bad time parameter: {reason}"),
             SimError::OverSubscriptionDisabled { node } => {
-                write!(f, "node {node} is over-subscribed but over-subscription is disabled")
+                write!(
+                    f,
+                    "node {node} is over-subscribed but over-subscription is disabled"
+                )
             }
             SimError::Calibration { reason } => write!(f, "calibration failed: {reason}"),
         }

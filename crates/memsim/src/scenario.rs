@@ -108,12 +108,32 @@ impl Scenario {
 /// that over-subscribe get `model_gflops = NaN`-free `0.0` with the
 /// simulated value still reported.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult> {
+    run_scenario_inner(scenario, None)
+}
+
+/// Like [`run_scenario`], but attaches `hub` to the simulator so every
+/// assignment's run publishes per-node bandwidth counter tracks, scheduler
+/// switch counters, and utilization gauges into the shared telemetry hub.
+pub fn run_scenario_with_telemetry(
+    scenario: &Scenario,
+    hub: std::sync::Arc<coop_telemetry::TelemetryHub>,
+) -> Result<ScenarioResult> {
+    run_scenario_inner(scenario, Some(hub))
+}
+
+fn run_scenario_inner(
+    scenario: &Scenario,
+    hub: Option<std::sync::Arc<coop_telemetry::TelemetryHub>>,
+) -> Result<ScenarioResult> {
     scenario.validate()?;
-    let sim = Simulation::new(
+    let mut sim = Simulation::new(
         SimConfig::new(scenario.machine.clone())
             .with_effects(scenario.effects.clone())
             .with_seed(scenario.seed),
     );
+    if let Some(hub) = hub {
+        sim = sim.with_telemetry(hub);
+    }
     let specs: Vec<AppSpec> = scenario.apps.iter().map(|a| a.spec.clone()).collect();
 
     let mut rows = Vec::with_capacity(scenario.assignments.len());
@@ -223,7 +243,9 @@ mod tests {
         s.assignments[0].threads.pop(); // app count mismatch
         assert!(matches!(
             s.validate(),
-            Err(SimError::Model(roofline_numa::ModelError::AppCountMismatch { .. }))
+            Err(SimError::Model(
+                roofline_numa::ModelError::AppCountMismatch { .. }
+            ))
         ));
 
         assert!(Scenario::from_json("not json").is_err());
@@ -235,6 +257,18 @@ mod tests {
         let text = result.to_string();
         assert!(text.contains("uneven (1,1,1,17)"));
         assert!(text.contains("even (5,5,5,5)"));
+    }
+
+    #[test]
+    fn scenario_with_telemetry_records_bandwidth() {
+        let hub = std::sync::Arc::new(coop_telemetry::TelemetryHub::new());
+        let result = run_scenario_with_telemetry(&template(), std::sync::Arc::clone(&hub)).unwrap();
+        assert_eq!(result.rows.len(), 2);
+        assert!(hub.events().iter().any(|e| e.cat == "bandwidth"));
+        assert!(hub
+            .registry()
+            .to_prometheus()
+            .contains("memsim_node_utilization"));
     }
 
     #[test]

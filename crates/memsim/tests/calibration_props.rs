@@ -8,10 +8,7 @@ use numa_topology::MachineBuilder;
 use proptest::prelude::*;
 use roofline_numa::ThreadAssignment;
 
-fn run_even_scenario(
-    machine: &numa_topology::Machine,
-    effects: EffectModel,
-) -> (f64, f64) {
+fn run_even_scenario(machine: &numa_topology::Machine, effects: EffectModel) -> (f64, f64) {
     let sim = Simulation::new(SimConfig::new(machine.clone()).with_effects(effects));
     let apps = vec![
         SimApp::numa_local("m1", 1.0 / 32.0),

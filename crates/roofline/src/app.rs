@@ -189,7 +189,9 @@ mod tests {
         let m = paper_model_machine();
         assert!(AppSpec::numa_local("a", 0.5).validate(&m).is_ok());
         assert!(AppSpec::numa_bad("b", 1.0, NodeId(3)).validate(&m).is_ok());
-        assert!(AppSpec::spread("c", 1.0, vec![0.25; 4]).validate(&m).is_ok());
+        assert!(AppSpec::spread("c", 1.0, vec![0.25; 4])
+            .validate(&m)
+            .is_ok());
     }
 
     #[test]
@@ -209,7 +211,10 @@ mod tests {
         ));
         assert!(matches!(
             AppSpec::spread("a", 1.0, vec![0.5; 3]).validate(&m),
-            Err(ModelError::PlacementShape { expected: 2, actual: 3 })
+            Err(ModelError::PlacementShape {
+                expected: 2,
+                actual: 3
+            })
         ));
         assert!(matches!(
             AppSpec::spread("a", 1.0, vec![0.7, 0.7]).validate(&m),

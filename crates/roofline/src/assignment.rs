@@ -179,7 +179,11 @@ mod tests {
         let a = ThreadAssignment::uniform_per_node(&m, &[2, 1]);
         assert!(matches!(
             a.validate(&m),
-            Err(ModelError::OverSubscribed { node: 0, threads: 3, cores: 2 })
+            Err(ModelError::OverSubscribed {
+                node: 0,
+                threads: 3,
+                cores: 2
+            })
         ));
     }
 
@@ -189,7 +193,11 @@ mod tests {
         let a = ThreadAssignment::from_matrix(vec![vec![1, 1, 1]]);
         assert!(matches!(
             a.validate(&m),
-            Err(ModelError::AssignmentShape { app: 0, expected: 2, actual: 3 })
+            Err(ModelError::AssignmentShape {
+                app: 0,
+                expected: 2,
+                actual: 3
+            })
         ));
     }
 

@@ -72,19 +72,42 @@ impl fmt::Display for ModelError {
                 write!(f, "data placement references unknown node {node}")
             }
             ModelError::PlacementShape { expected, actual } => {
-                write!(f, "placement distribution must have {expected} fractions, got {actual}")
+                write!(
+                    f,
+                    "placement distribution must have {expected} fractions, got {actual}"
+                )
             }
             ModelError::PlacementFractions => {
-                write!(f, "placement fractions must be non-negative, finite, and sum to 1")
+                write!(
+                    f,
+                    "placement fractions must be non-negative, finite, and sum to 1"
+                )
             }
-            ModelError::AssignmentShape { app, expected, actual } => {
-                write!(f, "assignment row for app {app} must span {expected} nodes, got {actual}")
+            ModelError::AssignmentShape {
+                app,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "assignment row for app {app} must span {expected} nodes, got {actual}"
+                )
             }
-            ModelError::OverSubscribed { node, threads, cores } => {
-                write!(f, "node {node} over-subscribed: {threads} threads for {cores} cores")
+            ModelError::OverSubscribed {
+                node,
+                threads,
+                cores,
+            } => {
+                write!(
+                    f,
+                    "node {node} over-subscribed: {threads} threads for {cores} cores"
+                )
             }
             ModelError::AppCountMismatch { specs, assignment } => {
-                write!(f, "{specs} application specs but assignment covers {assignment} applications")
+                write!(
+                    f,
+                    "{specs} application specs but assignment covers {assignment} applications"
+                )
             }
             ModelError::TooManyAppsForNodes { apps, nodes } => {
                 write!(f, "cannot give each of {apps} applications its own node on a {nodes}-node machine")
@@ -101,9 +124,15 @@ mod tests {
 
     #[test]
     fn messages_carry_context() {
-        let e = ModelError::OverSubscribed { node: 1, threads: 9, cores: 8 };
+        let e = ModelError::OverSubscribed {
+            node: 1,
+            threads: 9,
+            cores: 8,
+        };
         let s = e.to_string();
         assert!(s.contains("node 1") && s.contains('9') && s.contains('8'));
-        assert!(ModelError::PlacementFractions.to_string().contains("sum to 1"));
+        assert!(ModelError::PlacementFractions
+            .to_string()
+            .contains("sum to 1"));
     }
 }

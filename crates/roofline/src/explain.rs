@@ -166,7 +166,10 @@ pub fn explain(machine: &Machine, report: &SolveReport) -> Explanation {
                 node: n.node,
                 utilization: n.utilization(),
                 saturated: n.utilization() >= 1.0 - 1e-3,
-                idle_cores: machine.node(n.node).num_cores().saturating_sub(threads_here),
+                idle_cores: machine
+                    .node(n.node)
+                    .num_cores()
+                    .saturating_sub(threads_here),
             }
         })
         .collect();

@@ -64,8 +64,8 @@
 mod app;
 mod assignment;
 mod error;
-mod report;
 pub mod explain;
+mod report;
 mod solver;
 pub mod sweep;
 pub mod trace;

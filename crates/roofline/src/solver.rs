@@ -23,8 +23,8 @@
 //! A thread's performance is `min(core peak GFLOPS, AI * granted GB/s)`,
 //! summed over the bandwidth granted by every target node.
 
-use crate::{AppSpec, ModelError, Result, SolveReport, ThreadAssignment};
 use crate::report::{AppReport, NodeReport, ThreadGrant};
+use crate::{AppSpec, ModelError, Result, SolveReport, ThreadAssignment};
 use numa_topology::{Machine, NodeId};
 
 /// Numerical slack used when comparing demands and grants.
@@ -306,7 +306,10 @@ mod tests {
         for app in 0..3 {
             let g = r.group(app, NodeId(0)).unwrap();
             assert!((g.demand_gbs - 20.0).abs() < 1e-9, "peak bw per mem thread");
-            assert!((g.granted_gbs - 9.0).abs() < 1e-9, "4 baseline + 5 remainder");
+            assert!(
+                (g.granted_gbs - 9.0).abs() < 1e-9,
+                "4 baseline + 5 remainder"
+            );
             assert!((g.gflops - 4.5).abs() < 1e-9);
         }
         let comp = r.group(3, NodeId(0)).unwrap();
@@ -316,10 +319,19 @@ mod tests {
         assert!(comp.is_satisfied());
 
         // Rollups.
-        assert!((r.nodes[0].gflops - 63.5).abs() < 1e-9, "total GFLOPS per node");
+        assert!(
+            (r.nodes[0].gflops - 63.5).abs() < 1e-9,
+            "total GFLOPS per node"
+        );
         assert!((r.total_gflops() - 254.0).abs() < 1e-9, "total GFLOPS");
-        assert!((r.app_gflops(3) - 200.0).abs() < 1e-9, "compute app 4 nodes x 50");
-        assert!((r.app_gflops(0) - 18.0).abs() < 1e-9, "memory app 4 nodes x 4.5");
+        assert!(
+            (r.app_gflops(3) - 200.0).abs() < 1e-9,
+            "compute app 4 nodes x 50"
+        );
+        assert!(
+            (r.app_gflops(0) - 18.0).abs() < 1e-9,
+            "memory app 4 nodes x 4.5"
+        );
         // Allocated node bandwidth: 17 (baseline stage) + 15 (remainder) = 32.
         assert!((r.nodes[0].served_local_gbs - 32.0).abs() < 1e-9);
         assert!((r.nodes[0].baseline_gbs - 4.0).abs() < 1e-9);
@@ -335,7 +347,10 @@ mod tests {
 
         for app in 0..3 {
             let g = r.group(app, NodeId(1)).unwrap();
-            assert!((g.granted_gbs - 5.0).abs() < 1e-9, "4 baseline + 1 remainder");
+            assert!(
+                (g.granted_gbs - 5.0).abs() < 1e-9,
+                "4 baseline + 1 remainder"
+            );
             assert!((g.gflops - 2.5).abs() < 1e-9);
         }
         let comp = r.group(3, NodeId(1)).unwrap();
@@ -414,7 +429,11 @@ mod tests {
         let m = paper_skylake_machine();
         let a = ThreadAssignment::uniform_per_node(&m, &[1, 1, 1, 17]);
         let r = solve(&m, &skylake_apps_local(), &a).unwrap();
-        assert!((r.total_gflops() - 23.20).abs() < 5e-3, "got {}", r.total_gflops());
+        assert!(
+            (r.total_gflops() - 23.20).abs() < 5e-3,
+            "got {}",
+            r.total_gflops()
+        );
         // Everyone reaches peak: 80 threads x 0.29.
         assert!((r.total_gflops() - 80.0 * 0.29).abs() < 1e-9);
     }
@@ -426,7 +445,11 @@ mod tests {
         let m = paper_skylake_machine();
         let a = ThreadAssignment::uniform_per_node(&m, &[5, 5, 5, 5]);
         let r = solve(&m, &skylake_apps_local(), &a).unwrap();
-        assert!((r.total_gflops() - 18.12).abs() < 5e-3, "got {}", r.total_gflops());
+        assert!(
+            (r.total_gflops() - 18.12).abs() < 5e-3,
+            "got {}",
+            r.total_gflops()
+        );
     }
 
     /// Table III row 3 (whole node per app): model 15.18 GFLOPS.
@@ -435,7 +458,11 @@ mod tests {
         let m = paper_skylake_machine();
         let a = ThreadAssignment::node_per_app(&m, 4).unwrap();
         let r = solve(&m, &skylake_apps_local(), &a).unwrap();
-        assert!((r.total_gflops() - 15.18).abs() < 5e-3, "got {}", r.total_gflops());
+        assert!(
+            (r.total_gflops() - 15.18).abs() < 5e-3,
+            "got {}",
+            r.total_gflops()
+        );
     }
 
     /// Table III row 4 (NUMA-bad, cross-node, even): model 13.98 GFLOPS.
@@ -450,7 +477,11 @@ mod tests {
         ];
         let a = ThreadAssignment::uniform_per_node(&m, &[5, 5, 5, 5]);
         let r = solve(&m, &apps, &a).unwrap();
-        assert!((r.total_gflops() - 13.98).abs() < 5e-3, "got {}", r.total_gflops());
+        assert!(
+            (r.total_gflops() - 13.98).abs() < 5e-3,
+            "got {}",
+            r.total_gflops()
+        );
     }
 
     /// Table III row 5 (NUMA-bad on its own node, whole-node allocation):
@@ -467,7 +498,11 @@ mod tests {
         ];
         let a = ThreadAssignment::node_per_app(&m, 4).unwrap();
         let r = solve(&m, &apps, &a).unwrap();
-        assert!((r.total_gflops() - 15.18).abs() < 5e-3, "got {}", r.total_gflops());
+        assert!(
+            (r.total_gflops() - 15.18).abs() < 5e-3,
+            "got {}",
+            r.total_gflops()
+        );
     }
 
     #[test]
@@ -499,7 +534,10 @@ mod tests {
         let a = ThreadAssignment::uniform_per_node(&m, &[1, 1]);
         assert!(matches!(
             solve(&m, &apps, &a),
-            Err(ModelError::AppCountMismatch { specs: 1, assignment: 2 })
+            Err(ModelError::AppCountMismatch {
+                specs: 1,
+                assignment: 2
+            })
         ));
     }
 
@@ -520,7 +558,9 @@ mod tests {
         let m = paper_model_machine();
         let apps = vec![AppSpec::numa_local("mem", 0.5)];
         let a = ThreadAssignment::uniform_per_node(&m, &[1]);
-        let opts = SolveOptions { baseline: BaselinePolicy::PerActiveThread };
+        let opts = SolveOptions {
+            baseline: BaselinePolicy::PerActiveThread,
+        };
         let r = solve_with_options(&m, &apps, &a, opts).unwrap();
         // demand 20 GB/s < 32 GB/s baseline -> fully satisfied.
         let g = r.group(0, NodeId(0)).unwrap();
@@ -566,7 +606,10 @@ mod tests {
         assert!((r.nodes[0].served_remote_gbs - 24.0).abs() < 1e-9);
         for n in 1..4 {
             let g = r.group(0, NodeId(n)).unwrap();
-            assert!((g.group_gbs() - 8.0).abs() < 1e-9, "10 * 24/30 per source node");
+            assert!(
+                (g.group_gbs() - 8.0).abs() < 1e-9,
+                "10 * 24/30 per source node"
+            );
         }
     }
 

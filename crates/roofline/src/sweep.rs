@@ -36,11 +36,7 @@ pub fn thread_sweep(
     app: usize,
     others: &[usize],
 ) -> Result<Vec<SweepPoint>> {
-    let min_cores = machine
-        .nodes()
-        .map(|n| n.num_cores())
-        .min()
-        .unwrap_or(0);
+    let min_cores = machine.nodes().map(|n| n.num_cores()).min().unwrap_or(0);
     let occupied: usize = others
         .iter()
         .enumerate()
@@ -132,14 +128,17 @@ mod tests {
         let apps = vec![AppSpec::numa_local("mem", 0.5)];
         let curve = thread_sweep(&m, &apps, 0, &[0]).unwrap();
         assert_eq!(curve.len(), 9); // 0..=8 threads per node
-        // Monotone non-decreasing...
+                                    // Monotone non-decreasing...
         for w in curve.windows(2) {
             assert!(w[1].app_gflops >= w[0].app_gflops - 1e-9);
         }
         // ...but saturating: the last step adds less than the first.
         let first_gain = curve[1].app_gflops - curve[0].app_gflops;
         let last_gain = curve[8].app_gflops - curve[7].app_gflops;
-        assert!(last_gain < first_gain - 1e-9, "memory-bound scaling must flatten");
+        assert!(
+            last_gain < first_gain - 1e-9,
+            "memory-bound scaling must flatten"
+        );
         // Saturated at the bandwidth roof: 4 nodes * 32 GB/s * 0.5.
         assert!((curve[8].app_gflops - 64.0).abs() < 1e-9);
     }
@@ -158,10 +157,7 @@ mod tests {
     #[test]
     fn thread_sweep_respects_other_apps_capacity() {
         let m = paper_model_machine();
-        let apps = vec![
-            AppSpec::numa_local("a", 0.5),
-            AppSpec::numa_local("b", 0.5),
-        ];
+        let apps = vec![AppSpec::numa_local("a", 0.5), AppSpec::numa_local("b", 0.5)];
         let curve = thread_sweep(&m, &apps, 0, &[0, 6]).unwrap();
         assert_eq!(curve.len(), 3); // 0, 1, 2 spare cores per node
     }

@@ -198,34 +198,61 @@ impl fmt::Display for TableTrace {
             "class",
             self.classes.iter().map(|c| c.apps.join("/")).collect(),
         )?;
-        row(f, "arithmetic intensity (AI)", self.classes.iter().map(|c| num(c.ai)).collect())?;
+        row(
+            f,
+            "arithmetic intensity (AI)",
+            self.classes.iter().map(|c| num(c.ai)).collect(),
+        )?;
         row(
             f,
             "number of instances",
-            self.classes.iter().map(|c| c.instances.to_string()).collect(),
+            self.classes
+                .iter()
+                .map(|c| c.instances.to_string())
+                .collect(),
         )?;
         row(
             f,
             "threads per NUMA node",
-            self.classes.iter().map(|c| c.threads_per_node.to_string()).collect(),
+            self.classes
+                .iter()
+                .map(|c| c.threads_per_node.to_string())
+                .collect(),
         )?;
         row(
             f,
             "peak memory bandwidth per thread",
-            self.classes.iter().map(|c| num(c.peak_bw_per_thread)).collect(),
+            self.classes
+                .iter()
+                .map(|c| num(c.peak_bw_per_thread))
+                .collect(),
         )?;
         row(
             f,
             "peak memory bandwidth per instance",
-            self.classes.iter().map(|c| num(c.peak_bw_per_instance)).collect(),
+            self.classes
+                .iter()
+                .map(|c| num(c.peak_bw_per_instance))
+                .collect(),
         )?;
         row(
             f,
             "total memory bandwidth of all instances",
-            self.classes.iter().map(|c| num(c.total_bw_all_instances)).collect(),
+            self.classes
+                .iter()
+                .map(|c| num(c.total_bw_all_instances))
+                .collect(),
         )?;
-        row(f, "total required bandwidth", vec![num(self.total_required_bw)])?;
-        row(f, "baseline GB/s per thread", vec![num(self.baseline_per_thread)])?;
+        row(
+            f,
+            "total required bandwidth",
+            vec![num(self.total_required_bw)],
+        )?;
+        row(
+            f,
+            "baseline GB/s per thread",
+            vec![num(self.baseline_per_thread)],
+        )?;
         row(
             f,
             "allocated baseline per thread",
@@ -239,13 +266,23 @@ impl fmt::Display for TableTrace {
         row(
             f,
             "still required GB/s per thread",
-            self.classes.iter().map(|c| num(c.still_required_per_thread)).collect(),
+            self.classes
+                .iter()
+                .map(|c| num(c.still_required_per_thread))
+                .collect(),
         )?;
-        row(f, "still required GB/s", vec![num(self.still_required_total)])?;
+        row(
+            f,
+            "still required GB/s",
+            vec![num(self.still_required_total)],
+        )?;
         row(
             f,
             "remainder given to a thread",
-            self.classes.iter().map(|c| num(c.remainder_per_thread)).collect(),
+            self.classes
+                .iter()
+                .map(|c| num(c.remainder_per_thread))
+                .collect(),
         )?;
         row(
             f,
@@ -258,7 +295,10 @@ impl fmt::Display for TableTrace {
         row(
             f,
             "GFLOPS per thread",
-            self.classes.iter().map(|c| num(c.gflops_per_thread)).collect(),
+            self.classes
+                .iter()
+                .map(|c| num(c.gflops_per_thread))
+                .collect(),
         )?;
         row(
             f,
@@ -308,12 +348,18 @@ mod tests {
         assert!((t.baseline_per_thread - 4.0).abs() < 1e-9, "32/8 = 4");
         assert!((mem.allocated_baseline_per_thread - 4.0).abs() < 1e-9);
         assert!((comp.allocated_baseline_per_thread - 1.0).abs() < 1e-9);
-        assert!((t.allocated_node_gbs - 17.0).abs() < 1e-9, "3*1*4 + 1*5*1 = 17");
+        assert!(
+            (t.allocated_node_gbs - 17.0).abs() < 1e-9,
+            "3*1*4 + 1*5*1 = 17"
+        );
         assert!((t.remaining_node_gbs - 15.0).abs() < 1e-9);
         assert!((mem.still_required_per_thread - 16.0).abs() < 1e-9);
         assert!((comp.still_required_per_thread - 0.0).abs() < 1e-9);
         assert!((t.still_required_total - 48.0).abs() < 1e-9, "3*1*16");
-        assert!((mem.remainder_per_thread - 5.0).abs() < 1e-9, "15/(3*1) = 5");
+        assert!(
+            (mem.remainder_per_thread - 5.0).abs() < 1e-9,
+            "15/(3*1) = 5"
+        );
         assert!((comp.remainder_per_thread - 0.0).abs() < 1e-9);
         assert!((mem.total_allocated_per_thread - 9.0).abs() < 1e-9);
         assert!((comp.total_allocated_per_thread - 1.0).abs() < 1e-9);
@@ -337,7 +383,10 @@ mod tests {
         assert!((comp.peak_bw_per_instance - 2.0).abs() < 1e-9);
         assert!((mem.total_bw_all_instances - 120.0).abs() < 1e-9);
         assert!((t.total_required_bw - 122.0).abs() < 1e-9);
-        assert!((t.allocated_node_gbs - 26.0).abs() < 1e-9, "3*2*4 + 1*2*1 = 26");
+        assert!(
+            (t.allocated_node_gbs - 26.0).abs() < 1e-9,
+            "3*2*4 + 1*2*1 = 26"
+        );
         assert!((t.remaining_node_gbs - 6.0).abs() < 1e-9);
         assert!((t.still_required_total - 96.0).abs() < 1e-9, "3*2*16");
         assert!((mem.remainder_per_thread - 1.0).abs() < 1e-9, "6/(3*2) = 1");

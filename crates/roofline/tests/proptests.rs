@@ -17,10 +17,7 @@ struct Scenario {
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (2usize..5, 1usize..9, 1usize..5).prop_flat_map(|(nodes, cores, num_apps)| {
-        let apps = proptest::collection::vec(
-            (0.01f64..64.0, 0usize..3usize),
-            num_apps..=num_apps,
-        );
+        let apps = proptest::collection::vec((0.01f64..64.0, 0usize..3usize), num_apps..=num_apps);
         let counts = proptest::collection::vec(
             proptest::collection::vec(0usize..=cores, nodes..=nodes),
             num_apps..=num_apps,
@@ -34,17 +31,15 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
             apps,
             counts,
         )
-            .prop_map(
-                |(nodes, cores, gflops, bw, link, apps, counts)| Scenario {
-                    nodes,
-                    cores,
-                    gflops,
-                    bw,
-                    link,
-                    apps,
-                    counts,
-                },
-            )
+            .prop_map(|(nodes, cores, gflops, bw, link, apps, counts)| Scenario {
+                nodes,
+                cores,
+                gflops,
+                bw,
+                link,
+                apps,
+                counts,
+            })
     })
 }
 
@@ -90,9 +85,7 @@ fn build(s: &Scenario) -> Option<(numa_topology::Machine, Vec<AppSpec>, ThreadAs
                 break;
             }
             // Reduce the largest contributor.
-            let max_app = (0..counts.len())
-                .max_by_key(|&a| counts[a][node])
-                .unwrap();
+            let max_app = (0..counts.len()).max_by_key(|&a| counts[a][node]).unwrap();
             counts[max_app][node] -= 1;
         }
     }

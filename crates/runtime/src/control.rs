@@ -23,7 +23,7 @@ use crate::{Result, RuntimeError};
 use numa_topology::{CoreId, CpuSet, NodeId};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A thread-control command, as issued by an agent.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +61,9 @@ pub(crate) struct ControlState {
     pub running_per_node: Vec<usize>,
     /// Which workers are currently blocked (index = worker id).
     pub blocked: Vec<bool>,
+    /// When each blocked worker blocked, and under which blocking option
+    /// (feeds the per-option block-latency histogram on unblock).
+    pub blocked_since: Vec<Option<(Instant, &'static str)>>,
     /// Monotonic command counter, so tests can await convergence.
     pub commands_applied: u64,
     /// True once the runtime is shutting down (gates must release).
@@ -79,6 +82,8 @@ pub(crate) struct ControlShared {
     pub state: Mutex<ControlState>,
     /// Tracer shared with the runtime (control commands are trace events).
     pub tracer: Arc<crate::trace::Tracer>,
+    /// Telemetry handles shared with the runtime, when a hub is attached.
+    pub telemetry: Option<crate::telemetry::RuntimeTelemetry>,
     /// Signalled when the mode changes or shutdown begins.
     pub gate: Condvar,
     /// Per-worker home node (index = worker id).
@@ -94,6 +99,7 @@ impl ControlHandle {
         worker_core: Vec<Option<CoreId>>,
         num_nodes: usize,
         tracer: Arc<crate::trace::Tracer>,
+        telemetry: Option<crate::telemetry::RuntimeTelemetry>,
     ) -> Self {
         let workers = worker_node.len();
         let mut running_per_node = vec![0usize; num_nodes];
@@ -103,11 +109,13 @@ impl ControlHandle {
         ControlHandle {
             inner: Arc::new(ControlShared {
                 tracer,
+                telemetry,
                 state: Mutex::new(ControlState {
                     mode: ControlMode::Unrestricted,
                     running_total: workers,
                     running_per_node,
                     blocked: vec![false; workers],
+                    blocked_since: vec![None; workers],
                     commands_applied: 0,
                     shutdown: false,
                 }),
@@ -124,6 +132,9 @@ impl ControlHandle {
     pub fn apply(&self, cmd: ThreadCommand) -> Result<()> {
         if self.inner.tracer.is_active() {
             self.inner.tracer.record_control(format!("{cmd:?}"));
+        }
+        if let Some(tel) = &self.inner.telemetry {
+            tel.record_command(&format!("{cmd:?}"));
         }
         let mode = self.validate(cmd)?;
         let mut st = self.inner.state.lock();
@@ -157,10 +168,7 @@ impl ControlHandle {
                     });
                 }
                 for core in set.iter() {
-                    if !self
-                        .inner
-                        .worker_core.contains(&Some(core))
-                    {
+                    if !self.inner.worker_core.contains(&Some(core)) {
                         return Err(RuntimeError::InvalidControl {
                             reason: format!("no worker is bound to {core}"),
                         });
@@ -221,6 +229,7 @@ impl ControlHandle {
                 // Release: never hold a worker hostage during shutdown.
                 if st.blocked[worker] {
                     st.blocked[worker] = false;
+                    st.blocked_since[worker] = None;
                     st.running_total += 1;
                     st.running_per_node[node.0] += 1;
                 }
@@ -231,9 +240,7 @@ impl ControlHandle {
                 match &st.mode {
                     ControlMode::Unrestricted => false,
                     ControlMode::TotalThreads(n) => st.running_total >= *n,
-                    ControlMode::BlockCores(set) => {
-                        core.map(|c| set.contains(c)).unwrap_or(false)
-                    }
+                    ControlMode::BlockCores(set) => core.map(|c| set.contains(c)).unwrap_or(false),
                     ControlMode::PerNode(t) => st.running_per_node[node.0] >= t[node.0],
                 }
             } else {
@@ -241,9 +248,7 @@ impl ControlHandle {
                 match &st.mode {
                     ControlMode::Unrestricted => false,
                     ControlMode::TotalThreads(n) => st.running_total > *n,
-                    ControlMode::BlockCores(set) => {
-                        core.map(|c| set.contains(c)).unwrap_or(false)
-                    }
+                    ControlMode::BlockCores(set) => core.map(|c| set.contains(c)).unwrap_or(false),
                     ControlMode::PerNode(t) => st.running_per_node[node.0] > t[node.0],
                 }
             };
@@ -252,6 +257,7 @@ impl ControlHandle {
                 (false, false) => return, // keep running
                 (false, true) => {
                     st.blocked[worker] = true;
+                    st.blocked_since[worker] = Some((Instant::now(), mode_label(&st.mode)));
                     st.running_total -= 1;
                     st.running_per_node[node.0] -= 1;
                     // Tell waiters (wait_converged) the census changed.
@@ -263,9 +269,14 @@ impl ControlHandle {
                 }
                 (true, false) => {
                     st.blocked[worker] = false;
+                    let since = st.blocked_since[worker].take();
                     st.running_total += 1;
                     st.running_per_node[node.0] += 1;
                     self.inner.gate.notify_all();
+                    if let (Some(tel), Some((blocked_at, option))) = (&self.inner.telemetry, since)
+                    {
+                        tel.record_block_span(worker, option, blocked_at);
+                    }
                     return;
                 }
             }
@@ -286,6 +297,17 @@ impl ControlHandle {
     }
 }
 
+/// Stable label for the blocking option a worker blocked under (used as
+/// the `option` label of `coop_block_latency_us`).
+fn mode_label(mode: &ControlMode) -> &'static str {
+    match mode {
+        ControlMode::TotalThreads(_) => "total_threads",
+        ControlMode::BlockCores(_) => "block_cores",
+        ControlMode::PerNode(_) => "per_node",
+        ControlMode::Unrestricted => "unrestricted",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +324,7 @@ mod tests {
             ],
             2,
             Arc::new(crate::trace::Tracer::new()),
+            None,
         )
     }
 
@@ -338,6 +361,7 @@ mod tests {
             vec![None, None],
             2,
             Arc::new(crate::trace::Tracer::new()),
+            None,
         );
         assert!(nb
             .apply(ThreadCommand::BlockCores(CpuSet::single(CoreId(0))))

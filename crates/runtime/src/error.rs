@@ -83,10 +83,8 @@ mod tests {
             message: "boom".into(),
         };
         assert!(e.to_string().contains("boom"));
-        assert!(
-            RuntimeError::QuiescenceTimeout { pending: 3 }
-                .to_string()
-                .contains('3')
-        );
+        assert!(RuntimeError::QuiescenceTimeout { pending: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

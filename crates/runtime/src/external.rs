@@ -194,8 +194,7 @@ mod tests {
         let _a = rt.register_external("main", ExternalRole::Main, Binding::Unbound);
         let _b = rt.register_external("io", ExternalRole::Io, Binding::Node(NodeId(0)));
         let _c = rt.register_external("legacy", ExternalRole::Compute, Binding::Unbound);
-        let roles: Vec<ExternalRole> =
-            rt.external_threads().iter().map(|t| t.role).collect();
+        let roles: Vec<ExternalRole> = rt.external_threads().iter().map(|t| t.role).collect();
         assert_eq!(roles.len(), 3);
         assert!(roles.contains(&ExternalRole::Io));
         rt.shutdown();

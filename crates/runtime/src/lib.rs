@@ -63,6 +63,7 @@ mod external;
 mod runtime;
 mod stats;
 mod task;
+mod telemetry;
 pub mod trace;
 mod worker;
 
@@ -75,6 +76,10 @@ pub use runtime::{Runtime, RuntimeConfig, TaskContext};
 pub use stats::{NodeOccupancy, RuntimeStats};
 pub use task::{TaskBuilder, TaskId, TaskPriority};
 pub use trace::{Trace, TraceEvent};
+
+// Re-exported so callers can attach a hub without naming the telemetry
+// crate themselves (see `RuntimeConfig::with_telemetry`).
+pub use coop_telemetry::TelemetryHub;
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -29,6 +29,9 @@ pub struct RuntimeConfig {
     /// supports options 1 and 3; [`BindingKind::Unbound`] only option 1
     /// (workers still carry a logical home node for queue preference).
     pub binding: BindingKind,
+    /// Shared telemetry hub to publish metrics and timeline events to.
+    /// `None` (default) keeps the hot path free of telemetry work.
+    pub telemetry: Option<Arc<coop_telemetry::TelemetryHub>>,
 }
 
 impl RuntimeConfig {
@@ -38,12 +41,21 @@ impl RuntimeConfig {
             name: name.to_string(),
             machine,
             binding: BindingKind::Core,
+            telemetry: None,
         }
     }
 
     /// Overrides the worker binding granularity.
     pub fn with_binding(mut self, binding: BindingKind) -> Self {
         self.binding = binding;
+        self
+    }
+
+    /// Attaches a shared telemetry hub: the runtime registers a timeline
+    /// track (one lane per worker) and publishes task/steal/blocking
+    /// metrics into the hub's registry.
+    pub fn with_telemetry(mut self, hub: Arc<coop_telemetry::TelemetryHub>) -> Self {
+        self.telemetry = Some(hub);
         self
     }
 }
@@ -100,11 +112,17 @@ pub(crate) struct Shared {
     pub external: crate::external::ExternalRegistry,
     /// Execution tracer (off unless started).
     pub tracer: Arc<crate::trace::Tracer>,
+    /// Telemetry handles, when a hub is attached (see
+    /// [`RuntimeConfig::with_telemetry`]).
+    pub telemetry: Option<crate::telemetry::RuntimeTelemetry>,
 }
 
 impl Shared {
     /// Pushes a ready task onto the right queue and wakes one worker.
-    pub(crate) fn enqueue_ready(&self, task: Task) {
+    pub(crate) fn enqueue_ready(&self, mut task: Task) {
+        if self.telemetry.is_some() {
+            task.enqueued_at = Some(Instant::now());
+        }
         let (global, per_node) = match task.priority {
             TaskPriority::High => (&self.high_global, &self.high_node_queues),
             TaskPriority::Normal => (&self.global, &self.node_queues),
@@ -128,7 +146,9 @@ impl Shared {
     /// Decrements `event`; on satisfaction, releases subscribed tasks.
     pub(crate) fn satisfy_event(&self, event: &Event) -> Result<()> {
         match event.decrement() {
-            Err(()) => Err(RuntimeError::EventAlreadySatisfied { event: event.id().0 }),
+            Err(()) => Err(RuntimeError::EventAlreadySatisfied {
+                event: event.id().0,
+            }),
             Ok(false) => Ok(()), // latch still counting down
             Ok(true) => {
                 let mut ready = Vec::new();
@@ -197,6 +217,7 @@ impl Shared {
             affinity,
             priority,
             finish: finish.clone(),
+            enqueued_at: None,
         };
         self.stats.record_spawned();
 
@@ -237,10 +258,14 @@ impl Shared {
     }
 
     pub(crate) fn pending_tasks(&self) -> u64 {
+        // Read `finished` BEFORE `spawned`: a task is always spawned
+        // before it finishes, so this order can only over-estimate
+        // pending work, never report premature quiescence.
+        let finished = self.stats.finished();
         self.stats
             .tasks_spawned
             .load(Ordering::Acquire)
-            .saturating_sub(self.stats.finished())
+            .saturating_sub(finished)
     }
 }
 
@@ -283,11 +308,15 @@ impl Runtime {
         }
 
         let tracer = Arc::new(crate::trace::Tracer::new());
+        let telemetry = config
+            .telemetry
+            .map(|hub| crate::telemetry::RuntimeTelemetry::new(hub, &config.name, &worker_node));
         let control = ControlHandle::new(
             worker_node.clone(),
             worker_core.clone(),
             num_nodes,
             Arc::clone(&tracer),
+            telemetry.clone(),
         );
         let shared = Arc::new(Shared {
             name: config.name,
@@ -312,6 +341,7 @@ impl Runtime {
             panics: Mutex::new(Vec::new()),
             external: crate::external::ExternalRegistry::new(),
             tracer,
+            telemetry,
             machine,
         });
 
@@ -474,13 +504,25 @@ impl Runtime {
                 tasks_executed: self.shared.stats.per_node_executed[i].load(Ordering::Relaxed),
             })
             .collect();
+        // Load finish counters BEFORE the spawn counter, and derive
+        // `tasks_pending` from the loaded values: every task finishes
+        // after it is spawned, so `spawned >= executed + panicked` holds
+        // for this read order, and the snapshot invariant
+        // `spawned == executed + panicked + pending` holds by
+        // construction.
+        let tasks_executed = self.shared.stats.tasks_executed.load(Ordering::Acquire);
+        let tasks_panicked = self.shared.stats.tasks_panicked.load(Ordering::Acquire);
+        let tasks_spawned = self.shared.stats.tasks_spawned.load(Ordering::Acquire);
+        if let Some(tel) = &self.shared.telemetry {
+            tel.set_occupancy(running, blocked);
+        }
         RuntimeStats {
             name: self.shared.name.clone(),
-            tasks_executed: self.shared.stats.tasks_executed.load(Ordering::Relaxed),
-            tasks_panicked: self.shared.stats.tasks_panicked.load(Ordering::Relaxed),
-            tasks_spawned: self.shared.stats.tasks_spawned.load(Ordering::Relaxed),
+            tasks_executed,
+            tasks_panicked,
+            tasks_spawned,
             tasks_ready,
-            tasks_pending: self.shared.pending_tasks(),
+            tasks_pending: tasks_spawned.saturating_sub(tasks_executed + tasks_panicked),
             running_workers: running,
             blocked_workers: blocked,
             external_threads: self.shared.external.snapshot().len(),

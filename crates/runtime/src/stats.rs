@@ -77,17 +77,24 @@ impl StatsCollector {
         }
     }
 
+    // Finish counters are recorded with Release and read with Acquire so
+    // that a reader who observes a task's finish also observes its spawn
+    // (the spawn increment is sequenced before the queue handoff, which
+    // synchronizes with the executing worker). Snapshot code relies on
+    // this: reading executed/panicked *before* spawned guarantees
+    // `spawned >= executed + panicked`.
+
     pub fn record_executed(&self, node: NodeId) {
-        self.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        self.tasks_executed.fetch_add(1, Ordering::Release);
         self.per_node_executed[node.0].fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_panicked(&self) {
-        self.tasks_panicked.fetch_add(1, Ordering::Relaxed);
+        self.tasks_panicked.fetch_add(1, Ordering::Release);
     }
 
     pub fn record_spawned(&self) {
-        self.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+        self.tasks_spawned.fetch_add(1, Ordering::Release);
     }
 
     pub fn add_user(&self, name: &str, delta: u64) {
@@ -95,7 +102,7 @@ impl StatsCollector {
     }
 
     pub fn finished(&self) -> u64 {
-        self.tasks_executed.load(Ordering::Relaxed) + self.tasks_panicked.load(Ordering::Relaxed)
+        self.tasks_executed.load(Ordering::Acquire) + self.tasks_panicked.load(Ordering::Acquire)
     }
 }
 

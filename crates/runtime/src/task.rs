@@ -54,6 +54,9 @@ pub(crate) struct Task {
     /// Event satisfied when the body finishes (even if it panics, so
     /// downstream tasks are not stranded by a contained failure).
     pub finish: Option<Event>,
+    /// When the task was pushed onto a ready queue; only stamped while
+    /// telemetry is attached (feeds the queue-wait histogram).
+    pub enqueued_at: Option<std::time::Instant>,
 }
 
 impl fmt::Debug for Task {

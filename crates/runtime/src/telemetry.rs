@@ -1,0 +1,171 @@
+//! Runtime-side wiring into the shared [`coop_telemetry`] hub.
+//!
+//! When a [`crate::RuntimeConfig`] carries a [`TelemetryHub`], the runtime
+//! registers one timeline track (lane 0 = control, lane `w + 1` = worker
+//! `w`) and resolves its metric handles once at startup, so the per-task
+//! hot path is a handful of relaxed atomic adds plus one per-shard lock —
+//! workers use their own worker index as the shard hint and therefore
+//! never contend with each other.
+
+use coop_telemetry::{ArgValue, Counter, Histogram, TelemetryHub, TrackId};
+use numa_topology::NodeId;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pre-resolved metric handles plus the runtime's timeline track.
+#[derive(Clone)]
+pub(crate) struct RuntimeTelemetry {
+    pub hub: Arc<TelemetryHub>,
+    pub track: TrackId,
+    /// Task body execution latency, microseconds.
+    pub task_latency_us: Arc<Histogram>,
+    /// Ready-queue wait (enqueue → pickup), microseconds.
+    pub queue_wait_us: Arc<Histogram>,
+    /// Tasks taken from another node's queue.
+    pub steals_total: Arc<Counter>,
+    /// Successfully executed task bodies.
+    pub tasks_completed_total: Arc<Counter>,
+    /// Contained task panics.
+    pub tasks_panicked_total: Arc<Counter>,
+    /// Thread-control commands applied.
+    pub commands_total: Arc<Counter>,
+    /// Runtime name, used as the metric label and for lazy lookups.
+    pub name: Arc<str>,
+}
+
+impl RuntimeTelemetry {
+    pub fn new(hub: Arc<TelemetryHub>, name: &str, worker_node: &[NodeId]) -> Self {
+        let track = hub.register_track(&format!("runtime:{name}"));
+        hub.set_lane_name(track, 0, "control");
+        for (w, node) in worker_node.iter().enumerate() {
+            hub.set_lane_name(
+                track,
+                w as u32 + 1,
+                &format!("worker-{w} (node {})", node.0),
+            );
+        }
+        let reg = hub.registry();
+        reg.set_help("coop_task_latency_us", "Task body execution latency (us)");
+        reg.set_help(
+            "coop_queue_wait_us",
+            "Time a ready task waited in a queue before pickup (us)",
+        );
+        reg.set_help(
+            "coop_steals_total",
+            "Tasks taken from another NUMA node's queue",
+        );
+        reg.set_help(
+            "coop_block_latency_us",
+            "Time a worker spent blocked by thread control, by blocking option (us)",
+        );
+        reg.set_help(
+            "coop_control_commands_total",
+            "Thread-control commands applied",
+        );
+        let labels = [("runtime", name)];
+        RuntimeTelemetry {
+            track,
+            task_latency_us: reg.histogram("coop_task_latency_us", &labels),
+            queue_wait_us: reg.histogram("coop_queue_wait_us", &labels),
+            steals_total: reg.counter("coop_steals_total", &labels),
+            tasks_completed_total: reg.counter("coop_tasks_completed_total", &labels),
+            tasks_panicked_total: reg.counter("coop_tasks_panicked_total", &labels),
+            commands_total: reg.counter("coop_control_commands_total", &labels),
+            name: Arc::from(name),
+            hub,
+        }
+    }
+
+    /// Shard + lane for a worker id (`None` = helping external thread,
+    /// which shares lane 0 with control events).
+    fn lane(worker: Option<usize>) -> u32 {
+        worker.map(|w| w as u32 + 1).unwrap_or(0)
+    }
+
+    /// Record one executed task: histograms, counters, and a timeline span.
+    pub fn record_task(
+        &self,
+        name: &str,
+        worker: Option<usize>,
+        node: NodeId,
+        enqueued_at: Option<Instant>,
+        started_at: Instant,
+        panicked: bool,
+    ) {
+        let dur_us = started_at.elapsed().as_micros() as u64;
+        self.task_latency_us.observe(dur_us);
+        if let Some(enq) = enqueued_at {
+            self.queue_wait_us
+                .observe(started_at.saturating_duration_since(enq).as_micros() as u64);
+        }
+        if panicked {
+            self.tasks_panicked_total.inc();
+        } else {
+            self.tasks_completed_total.inc();
+        }
+        let shard = worker.map(|w| w + 1).unwrap_or(0);
+        let mut args = vec![("node".to_string(), ArgValue::U64(node.0 as u64))];
+        if panicked {
+            args.push(("panicked".to_string(), ArgValue::Bool(true)));
+        }
+        self.hub.record_span(
+            shard,
+            self.track,
+            Self::lane(worker),
+            "task",
+            name,
+            self.hub.timestamp_us(started_at),
+            dur_us.max(1),
+            args,
+        );
+    }
+
+    /// Record an applied thread-control command as an instant event.
+    pub fn record_command(&self, command: &str) {
+        self.commands_total.inc();
+        self.hub.record_instant(
+            0,
+            self.track,
+            0,
+            "control",
+            command,
+            vec![(
+                "runtime".to_string(),
+                ArgValue::Str(self.name.as_ref().to_string()),
+            )],
+        );
+    }
+
+    /// Record a completed block/unblock cycle of `worker` under blocking
+    /// option `option` ("total_threads" | "block_cores" | "per_node").
+    pub fn record_block_span(&self, worker: usize, option: &'static str, blocked_at: Instant) {
+        let dur_us = blocked_at.elapsed().as_micros() as u64;
+        self.hub
+            .registry()
+            .histogram(
+                "coop_block_latency_us",
+                &[("runtime", self.name.as_ref()), ("option", option)],
+            )
+            .observe(dur_us);
+        self.hub.record_span(
+            worker + 1,
+            self.track,
+            Self::lane(Some(worker)),
+            "control",
+            "blocked",
+            self.hub.timestamp_us(blocked_at),
+            dur_us.max(1),
+            vec![("option".to_string(), ArgValue::Str(option.to_string()))],
+        );
+    }
+
+    /// Refresh occupancy gauges (called from `Runtime::stats`).
+    pub fn set_occupancy(&self, running: usize, blocked: usize) {
+        let reg = self.hub.registry();
+        let labels = [("runtime", self.name.as_ref())];
+        reg.gauge("coop_running_workers", &labels)
+            .set(running as f64);
+        reg.gauge("coop_blocked_workers", &labels)
+            .set(blocked as f64);
+    }
+}

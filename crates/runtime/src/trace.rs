@@ -28,6 +28,7 @@
 use numa_topology::NodeId;
 use parking_lot::Mutex;
 use serde::Serialize;
+use std::collections::VecDeque;
 use std::time::Instant;
 
 /// One recorded event.
@@ -87,8 +88,10 @@ impl Trace {
         counts
     }
 
-    /// Exports the Chrome trace-event JSON array format. Workers appear as
-    /// `tid`s; NUMA nodes as `pid`s, so the viewer groups lanes by node.
+    /// Exports the Chrome trace-event JSON object format (`traceEvents`
+    /// plus a `metadata` block recording how many events were dropped).
+    /// Workers appear as `tid`s; NUMA nodes as `pid`s, so the viewer
+    /// groups lanes by node.
     pub fn to_chrome_json(&self) -> String {
         #[derive(Serialize)]
         struct ChromeEvent<'a> {
@@ -135,7 +138,12 @@ impl Trace {
                 }),
             }
         }
-        serde_json::to_string(&out).expect("trace serialization cannot fail")
+        serde_json::to_string(&serde_json::json!({
+            "traceEvents": out,
+            "displayTimeUnit": "ms",
+            "metadata": { "dropped": self.dropped, "events": self.events.len() },
+        }))
+        .expect("trace serialization cannot fail")
     }
 }
 
@@ -147,8 +155,20 @@ pub(crate) struct Tracer {
 struct Recording {
     started: Instant,
     capacity: usize,
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
     dropped: u64,
+}
+
+impl Recording {
+    /// Ring-buffer push: when full, the **oldest** event is evicted so the
+    /// newest data always survives (matching the `Trace::events` doc).
+    fn push(&mut self, event: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
 }
 
 impl Tracer {
@@ -162,7 +182,7 @@ impl Tracer {
         *self.inner.lock() = Some(Recording {
             started: Instant::now(),
             capacity: capacity.max(1),
-            events: Vec::new(),
+            events: VecDeque::new(),
             dropped: 0,
         });
     }
@@ -170,7 +190,7 @@ impl Tracer {
     pub fn stop(&self) -> Trace {
         match self.inner.lock().take() {
             Some(rec) => Trace {
-                events: rec.events,
+                events: rec.events.into(),
                 dropped: rec.dropped,
             },
             None => Trace::default(),
@@ -191,15 +211,11 @@ impl Tracer {
     ) {
         let mut guard = self.inner.lock();
         let Some(rec) = guard.as_mut() else { return };
-        if rec.events.len() >= rec.capacity {
-            rec.dropped += 1;
-            return;
-        }
         let start_us = started_at
             .saturating_duration_since(rec.started)
             .as_micros() as u64;
         let duration_us = started_at.elapsed().as_micros() as u64;
-        rec.events.push(TraceEvent::Task {
+        rec.push(TraceEvent::Task {
             name: name.to_string(),
             worker,
             node,
@@ -212,12 +228,8 @@ impl Tracer {
     pub fn record_control(&self, command: String) {
         let mut guard = self.inner.lock();
         let Some(rec) = guard.as_mut() else { return };
-        if rec.events.len() >= rec.capacity {
-            rec.dropped += 1;
-            return;
-        }
         let at_us = rec.started.elapsed().as_micros() as u64;
-        rec.events.push(TraceEvent::Control { command, at_us });
+        rec.push(TraceEvent::Control { command, at_us });
     }
 }
 
@@ -238,10 +250,9 @@ mod tests {
         rt.control().apply(ThreadCommand::TotalThreads(2)).unwrap();
         let trace = rt.trace_stop();
         assert_eq!(trace.task_events().count(), 5);
-        assert!(trace
-            .events
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Control { command, .. } if command.contains("TotalThreads"))));
+        assert!(trace.events.iter().any(
+            |e| matches!(e, TraceEvent::Control { command, .. } if command.contains("TotalThreads"))
+        ));
         assert_eq!(trace.dropped, 0);
         let per_node: usize = trace.tasks_per_node(2).iter().sum();
         assert_eq!(per_node, 5);
@@ -263,6 +274,63 @@ mod tests {
     }
 
     #[test]
+    fn overflow_keeps_newest_drops_oldest() {
+        // Regression: the doc promises "oldest events are dropped first",
+        // but the buffer used to discard the *newest* once full. Record a
+        // known sequence directly through the Tracer so ordering is exact.
+        let tracer = Tracer::new();
+        tracer.start(3);
+        let t0 = Instant::now();
+        for i in 0..10 {
+            tracer.record_task(&format!("e{i}"), Some(0), NodeId(0), t0, false);
+        }
+        let trace = tracer.stop();
+        let names: Vec<&str> = trace
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Task { name, .. } => name.as_str(),
+                TraceEvent::Control { command, .. } => command.as_str(),
+            })
+            .collect();
+        assert_eq!(names, ["e7", "e8", "e9"], "newest events must survive");
+        assert_eq!(trace.dropped, 7);
+    }
+
+    #[test]
+    fn control_events_share_the_ring() {
+        let tracer = Tracer::new();
+        tracer.start(2);
+        let t0 = Instant::now();
+        tracer.record_task("old", Some(0), NodeId(0), t0, false);
+        tracer.record_control("mid".to_string());
+        tracer.record_control("new".to_string());
+        let trace = tracer.stop();
+        assert_eq!(trace.dropped, 1);
+        assert!(
+            matches!(&trace.events[0], TraceEvent::Control { command, .. } if command == "mid")
+        );
+        assert!(
+            matches!(&trace.events[1], TraceEvent::Control { command, .. } if command == "new")
+        );
+    }
+
+    #[test]
+    fn chrome_json_surfaces_drops_in_metadata() {
+        let tracer = Tracer::new();
+        tracer.start(2);
+        let t0 = Instant::now();
+        for i in 0..5 {
+            tracer.record_task(&format!("e{i}"), Some(0), NodeId(0), t0, false);
+        }
+        let trace = tracer.stop();
+        let v: serde_json::Value = serde_json::from_str(&trace.to_chrome_json()).unwrap();
+        assert_eq!(v["metadata"]["dropped"], 3);
+        assert_eq!(v["metadata"]["events"], 2);
+        assert_eq!(v["traceEvents"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
     fn chrome_json_is_valid_and_complete() {
         let rt = Runtime::start(RuntimeConfig::new("json", tiny())).unwrap();
         rt.trace_start(100);
@@ -272,8 +340,9 @@ mod tests {
         let trace = rt.trace_stop();
         let json = trace.to_chrome_json();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        let arr = v.as_array().unwrap();
+        let arr = v["traceEvents"].as_array().unwrap();
         assert_eq!(arr.len(), 2);
+        assert_eq!(v["metadata"]["dropped"], 0);
         let panicking = arr
             .iter()
             .find(|e| e["name"] == "beta")

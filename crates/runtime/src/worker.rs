@@ -51,7 +51,8 @@ pub(crate) fn execute_public(shared: &Shared, task: Task, node: NodeId, core: Op
 }
 
 /// Pops a ready task: own node first, then the global queue, then steal
-/// from other nodes (nearest-index order).
+/// from other nodes (nearest-index order). Cross-node takes count toward
+/// the `coop_steals_total` metric when telemetry is attached.
 fn find_task(shared: &Shared, node: NodeId) -> Option<Task> {
     let n = shared.node_queues.len();
     // High-priority tier first: local, global, then steal.
@@ -64,6 +65,7 @@ fn find_task(shared: &Shared, node: NodeId) -> Option<Task> {
     for off in 1..n {
         let victim = (node.0 + off) % n;
         if let Some(t) = steal_from(&shared.high_node_queues[victim]) {
+            record_steal(shared);
             return Some(t);
         }
     }
@@ -77,10 +79,17 @@ fn find_task(shared: &Shared, node: NodeId) -> Option<Task> {
     for off in 1..n {
         let victim = (node.0 + off) % n;
         if let Some(t) = steal_from(&shared.node_queues[victim]) {
+            record_steal(shared);
             return Some(t);
         }
     }
     None
+}
+
+fn record_steal(shared: &Shared) {
+    if let Some(tel) = &shared.telemetry {
+        tel.steals_total.inc();
+    }
 }
 
 fn steal_from(q: &crossbeam::deque::Injector<Task>) -> Option<Task> {
@@ -108,6 +117,16 @@ fn execute(shared: &Shared, task: Task, node: NodeId, core: Option<CoreId>, work
         shared
             .tracer
             .record_task(&task.name, worker, node, started_at, result.is_err());
+    }
+    if let Some(tel) = &shared.telemetry {
+        tel.record_task(
+            &task.name,
+            worker,
+            node,
+            task.enqueued_at,
+            started_at,
+            result.is_err(),
+        );
     }
     match result {
         Ok(()) => shared.stats.record_executed(node),
@@ -144,11 +163,12 @@ mod tests {
         let r = rt("single");
         let hit = Arc::new(AtomicUsize::new(0));
         let h = hit.clone();
-        r.task("t").body(move |_| {
-            h.fetch_add(1, Ordering::SeqCst);
-        })
-        .spawn()
-        .unwrap();
+        r.task("t")
+            .body(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            })
+            .spawn()
+            .unwrap();
         r.wait_quiescent().unwrap();
         assert_eq!(hit.load(Ordering::SeqCst), 1);
         assert_eq!(r.stats().tasks_executed, 1);
@@ -239,11 +259,7 @@ mod tests {
     fn finish_event_chains_tasks() {
         let r = rt("finish");
         let flag = Arc::new(AtomicUsize::new(0));
-        let (_, finish) = r
-            .task("producer")
-            .body(|_| {})
-            .spawn_with_finish()
-            .unwrap();
+        let (_, finish) = r.task("producer").body(|_| {}).spawn_with_finish().unwrap();
         let f = flag.clone();
         r.task("consumer")
             .depends_on(&finish)
@@ -311,9 +327,9 @@ mod tests {
         r.control()
             .apply(ThreadCommand::PerNode(vec![0, 0, 8, 0]))
             .unwrap();
-        assert!(r.control().wait_converged(Duration::from_secs(5), |_, per| {
-            per == [0, 0, 8, 0]
-        }));
+        assert!(r
+            .control()
+            .wait_converged(Duration::from_secs(5), |_, per| { per == [0, 0, 8, 0] }));
         let wrong = Arc::new(AtomicUsize::new(0));
         for i in 0..50 {
             let wrong = wrong.clone();
@@ -337,9 +353,7 @@ mod tests {
     #[test]
     fn total_threads_converges_and_work_completes() {
         let r = rt("opt1");
-        r.control()
-            .apply(ThreadCommand::TotalThreads(1))
-            .unwrap();
+        r.control().apply(ThreadCommand::TotalThreads(1)).unwrap();
         assert!(r
             .control()
             .wait_converged(Duration::from_secs(5), |run, _| run <= 1));
@@ -400,19 +414,18 @@ mod tests {
 
     #[test]
     fn block_cores_requires_core_binding() {
-        let r = Runtime::start(
-            RuntimeConfig::new("nodebound", tiny()).with_binding(BindingKind::Node),
-        )
-        .unwrap();
-        let err = r
-            .control()
-            .apply(ThreadCommand::BlockCores(CpuSet::single(
-                numa_topology::CoreId(0),
-            )));
+        let r =
+            Runtime::start(RuntimeConfig::new("nodebound", tiny()).with_binding(BindingKind::Node))
+                .unwrap();
+        let err = r.control().apply(ThreadCommand::BlockCores(CpuSet::single(
+            numa_topology::CoreId(0),
+        )));
         assert!(matches!(err, Err(RuntimeError::InvalidControl { .. })));
         // Options 1 and 3 still work.
         r.control().apply(ThreadCommand::TotalThreads(2)).unwrap();
-        r.control().apply(ThreadCommand::PerNode(vec![1, 1])).unwrap();
+        r.control()
+            .apply(ThreadCommand::PerNode(vec![1, 1]))
+            .unwrap();
         r.shutdown();
     }
 
@@ -420,7 +433,11 @@ mod tests {
     fn quiescence_timeout_on_unsatisfied_event() {
         let r = rt("timeout");
         let never = r.new_once_event();
-        r.task("stuck").depends_on(&never).body(|_| {}).spawn().unwrap();
+        r.task("stuck")
+            .depends_on(&never)
+            .body(|_| {})
+            .spawn()
+            .unwrap();
         let err = r.wait_quiescent_timeout(Duration::from_millis(100));
         assert!(matches!(
             err,

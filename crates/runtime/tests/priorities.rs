@@ -55,7 +55,9 @@ fn high_priority_runs_before_normal() {
 fn high_priority_respects_affinity() {
     let rt = Runtime::start(RuntimeConfig::new("prio-aff", tiny())).unwrap();
     // Only node 1 may run.
-    rt.control().apply(ThreadCommand::PerNode(vec![0, 2])).unwrap();
+    rt.control()
+        .apply(ThreadCommand::PerNode(vec![0, 2]))
+        .unwrap();
     assert!(rt
         .control()
         .wait_converged(Duration::from_secs(5), |_, per| per == [0, 2]));

@@ -1,0 +1,81 @@
+//! `RuntimeStats` snapshot invariants under concurrent load.
+//!
+//! The agent (Figure 1) polls stats while workers are mid-flight, so a
+//! snapshot must be internally consistent even when it races task
+//! spawning and completion: `tasks_spawned` must equal
+//! `tasks_executed + tasks_panicked + tasks_pending` in *every* snapshot.
+
+use coop_runtime::{Runtime, RuntimeConfig};
+use numa_topology::presets::tiny;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn spawned_equals_executed_plus_panicked_plus_pending_in_every_snapshot() {
+    let rt = Arc::new(Runtime::start(RuntimeConfig::new("inv", tiny())).unwrap());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // Poller thread: hammer stats() while the load is running.
+    let poller = {
+        let rt = Arc::clone(&rt);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut snapshots = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let s = rt.stats();
+                assert_eq!(
+                    s.tasks_spawned,
+                    s.tasks_executed + s.tasks_panicked + s.tasks_pending,
+                    "inconsistent snapshot: {s:?}"
+                );
+                snapshots += 1;
+            }
+            snapshots
+        })
+    };
+
+    // Load: several spawner threads, a mix of quick tasks and panickers.
+    let spawners: Vec<_> = (0..4)
+        .map(|sp| {
+            let rt = Arc::clone(&rt);
+            std::thread::spawn(move || {
+                for i in 0..250 {
+                    let name = format!("s{sp}t{i}");
+                    if i % 25 == 24 {
+                        rt.task(&name).body(|_| panic!("load")).spawn().unwrap();
+                    } else {
+                        rt.task(&name)
+                            .body(|_| std::hint::black_box(()))
+                            .spawn()
+                            .unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+    for s in spawners {
+        s.join().unwrap();
+    }
+    let _ = rt.wait_quiescent_timeout(std::time::Duration::from_secs(30));
+    stop.store(true, Ordering::Release);
+    let snapshots = poller.join().expect("no inconsistent snapshot observed");
+    assert!(snapshots > 0);
+
+    let end = rt.stats();
+    assert_eq!(end.tasks_spawned, 1000);
+    assert_eq!(end.tasks_panicked, 40);
+    assert_eq!(end.tasks_executed, 960);
+    assert_eq!(end.tasks_pending, 0);
+    rt.shutdown();
+}
+
+#[test]
+fn user_counter_defaults_to_zero() {
+    let rt = Runtime::start(RuntimeConfig::new("uc", tiny())).unwrap();
+    assert_eq!(rt.stats().user_counter("never_touched"), 0);
+    rt.inc_counter("touched", 2);
+    let s = rt.stats();
+    assert_eq!(s.user_counter("touched"), 2);
+    assert_eq!(s.user_counter("still_not_touched"), 0);
+    rt.shutdown();
+}

@@ -1,0 +1,126 @@
+//! Runtime → telemetry hub integration: task spans, latency histograms,
+//! steal counters, and block-latency per blocking option.
+
+use coop_runtime::{Runtime, RuntimeConfig, TelemetryHub, ThreadCommand};
+use coop_telemetry::EventKind;
+use numa_topology::presets::tiny;
+use numa_topology::NodeId;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn tasks_feed_histograms_and_timeline() {
+    let hub = Arc::new(TelemetryHub::new());
+    let rt = Runtime::start(RuntimeConfig::new("tele", tiny()).with_telemetry(Arc::clone(&hub)))
+        .unwrap();
+    for i in 0..20 {
+        rt.task(&format!("t{i}")).body(|_| {}).spawn().unwrap();
+    }
+    rt.wait_quiescent().unwrap();
+
+    let reg = hub.registry();
+    assert_eq!(
+        reg.histogram("coop_task_latency_us", &[("runtime", "tele")])
+            .count(),
+        20
+    );
+    assert_eq!(
+        reg.histogram("coop_queue_wait_us", &[("runtime", "tele")])
+            .count(),
+        20
+    );
+    assert_eq!(reg.counter_total("coop_tasks_completed_total"), 20);
+
+    let spans: Vec<_> = hub
+        .events()
+        .into_iter()
+        .filter(|e| e.cat == "task" && matches!(e.kind, EventKind::Span { .. }))
+        .collect();
+    assert_eq!(spans.len(), 20);
+    // Worker lanes are 1-based; lane 0 is reserved for control events.
+    assert!(spans.iter().all(|e| e.lane >= 1));
+
+    let prom = reg.to_prometheus();
+    assert!(prom.contains("coop_task_latency_us_bucket{"));
+    assert!(prom.contains("le=\"+Inf\"} 20"));
+    rt.shutdown();
+}
+
+#[test]
+fn control_commands_and_block_latency_are_recorded() {
+    let hub = Arc::new(TelemetryHub::new());
+    let rt =
+        Runtime::start(RuntimeConfig::new("ctl", tiny()).with_telemetry(Arc::clone(&hub))).unwrap();
+
+    // Block down to 1 worker, then release: the released workers must
+    // land in the per-option block-latency histogram.
+    rt.control().apply(ThreadCommand::TotalThreads(1)).unwrap();
+    assert!(rt
+        .control()
+        .wait_converged(Duration::from_secs(5), |run, _| run <= 1));
+    rt.control().apply(ThreadCommand::Unrestricted).unwrap();
+    assert!(rt
+        .control()
+        .wait_converged(Duration::from_secs(5), |run, _| run == 4));
+
+    let reg = hub.registry();
+    assert_eq!(reg.counter_total("coop_control_commands_total"), 2);
+    let blocked = reg.histogram(
+        "coop_block_latency_us",
+        &[("runtime", "ctl"), ("option", "total_threads")],
+    );
+    assert!(blocked.count() >= 1, "released workers must be observed");
+
+    // Command instants are on the timeline's control lane.
+    assert!(hub
+        .events()
+        .iter()
+        .any(|e| e.cat == "control" && e.name.contains("TotalThreads")));
+    rt.shutdown();
+}
+
+#[test]
+fn cross_node_steals_are_counted() {
+    let hub = Arc::new(TelemetryHub::new());
+    let rt = Runtime::start(RuntimeConfig::new("steal", tiny()).with_telemetry(Arc::clone(&hub)))
+        .unwrap();
+    // Pin all tasks to node 0's queue; node 1's workers can only get work
+    // by stealing across nodes.
+    for i in 0..200 {
+        rt.task(&format!("t{i}"))
+            .affinity(NodeId(0))
+            .body(|_| std::thread::sleep(Duration::from_micros(200)))
+            .spawn()
+            .unwrap();
+    }
+    rt.wait_quiescent().unwrap();
+    assert!(
+        hub.registry().counter_total("coop_steals_total") > 0,
+        "node-1 workers had to steal node-0 tasks"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn two_runtimes_share_one_hub_on_one_clock() {
+    let hub = Arc::new(TelemetryHub::new());
+    let a =
+        Runtime::start(RuntimeConfig::new("a", tiny()).with_telemetry(Arc::clone(&hub))).unwrap();
+    let b =
+        Runtime::start(RuntimeConfig::new("b", tiny()).with_telemetry(Arc::clone(&hub))).unwrap();
+    a.task("ta").body(|_| {}).spawn().unwrap();
+    a.wait_quiescent().unwrap();
+    b.task("tb").body(|_| {}).spawn().unwrap();
+    b.wait_quiescent().unwrap();
+
+    let events = hub.events();
+    let ta = events.iter().find(|e| e.name == "ta").unwrap();
+    let tb = events.iter().find(|e| e.name == "tb").unwrap();
+    assert_ne!(ta.track, tb.track, "each runtime has its own track");
+    assert!(tb.ts_us >= ta.ts_us, "shared epoch: later task, later ts");
+    let json = hub.to_perfetto_json();
+    assert!(json.contains("runtime:a"));
+    assert!(json.contains("runtime:b"));
+    a.shutdown();
+    b.shutdown();
+}

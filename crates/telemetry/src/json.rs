@@ -1,0 +1,67 @@
+//! Minimal hand-rolled JSON writer used by the exporters.
+//!
+//! The exporters only ever emit objects/arrays built from strings and
+//! numbers, so a tiny escape-and-append helper keeps this crate free of
+//! external dependencies. Output is validated against `serde_json` in the
+//! crate's integration tests.
+
+/// Append `s` to `out` as a JSON string literal (including the quotes).
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `v` to `out` as a JSON number. Non-finite values (which JSON
+/// cannot represent) are written as `0`.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` keeps enough precision to round-trip and always includes
+        // a decimal point or exponent, which is still valid JSON.
+        out.push_str(&format!("{:?}", v));
+    } else {
+        out.push('0');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        push_str_literal(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_are_finite() {
+        let mut out = String::new();
+        push_f64(&mut out, 1.5);
+        out.push(',');
+        push_f64(&mut out, f64::NAN);
+        out.push(',');
+        push_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "1.5,0,0");
+    }
+
+    #[test]
+    fn plain_integers_still_have_a_marker() {
+        let mut out = String::new();
+        push_f64(&mut out, 2.0);
+        assert_eq!(out, "2.0");
+    }
+}

@@ -1,0 +1,56 @@
+//! # coop-telemetry
+//!
+//! The unified observability substrate for the numa-coop workspace.
+//!
+//! The paper's control loop (Figure 1) is driven entirely by observation:
+//! the agent "receives information about the execution from the runtimes"
+//! and decides thread counts from it. This crate gives every layer of the
+//! stack — the task runtime, the arbitration agent, and the `memsim`
+//! hardware simulator — one shared place to put that information, so that
+//! a single run produces:
+//!
+//! * a [`MetricsRegistry`] of lock-free counters, gauges and log₂-bucketed
+//!   [`Histogram`]s (task latency, queue wait, steals, block/unblock
+//!   latency per blocking option, agent decision latency, per-node
+//!   bandwidth utilization, …), exportable as Prometheus text exposition;
+//! * a **sharded** per-worker event ring buffer feeding a unified
+//!   timeline: runtime task spans, agent decision instants, and memsim
+//!   bandwidth counter samples all share one clock (microseconds since the
+//!   hub's epoch) and export as a single merged Perfetto/Chrome JSON
+//!   trace;
+//! * a compact JSON summary report for scripting.
+//!
+//! The hot path is deliberately cheap: metric updates are single atomic
+//! RMW operations on pre-registered handles, and timeline recording takes
+//! one **per-shard** mutex (writers pick their own shard, normally their
+//! worker index, so concurrent workers never contend on a global lock the
+//! way the legacy `coop_runtime::trace` buffer did).
+//!
+//! This crate is intentionally dependency-free (std only) so it can sit
+//! below every other crate in the workspace.
+//!
+//! ```
+//! use coop_telemetry::{TelemetryHub, TrackId};
+//! use std::sync::Arc;
+//!
+//! let hub = Arc::new(TelemetryHub::new());
+//! let track = hub.register_track("runtime:demo");
+//! let latency = hub.registry().histogram("coop_task_latency_us", &[("runtime", "demo")]);
+//! latency.observe(120);
+//! hub.record_span(0, track, 1, "task", "stage1", 10, 120, Vec::new());
+//! assert!(hub.registry().to_prometheus().contains("coop_task_latency_us_bucket"));
+//! assert!(hub.to_perfetto_json().contains("\"stage1\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod json;
+mod metrics;
+mod timeline;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, HISTOGRAM_BUCKETS,
+};
+pub use timeline::{ArgValue, EventKind, TelemetryHub, TimelineEvent, TrackId};

@@ -97,7 +97,9 @@ impl CpuSet {
     /// Tests membership.
     pub fn contains(&self, core: CoreId) -> bool {
         let (w, b) = (core.0 / BITS, core.0 % BITS);
-        self.words.get(w).is_some_and(|word| word & (1u64 << b) != 0)
+        self.words
+            .get(w)
+            .is_some_and(|word| word & (1u64 << b) != 0)
     }
 
     /// Number of cores in the set.

@@ -72,10 +72,16 @@ impl fmt::Display for TopologyError {
                 write!(f, "link bandwidth {from}->{to} is negative: {value}")
             }
             TopologyError::UnknownNode { node, num_nodes } => {
-                write!(f, "node {node} out of range (machine has {num_nodes} nodes)")
+                write!(
+                    f,
+                    "node {node} out of range (machine has {num_nodes} nodes)"
+                )
             }
             TopologyError::UnknownCore { core, num_cores } => {
-                write!(f, "core {core} out of range (machine has {num_cores} cores)")
+                write!(
+                    f,
+                    "core {core} out of range (machine has {num_cores} cores)"
+                )
             }
             TopologyError::Serde(msg) => write!(f, "machine (de)serialization failed: {msg}"),
         }
@@ -98,7 +104,10 @@ mod tests {
         };
         assert!(e.to_string().contains("core peak GFLOPS"));
         assert!(e.to_string().contains("-1"));
-        let e = TopologyError::LinkMatrixShape { expected: 4, actual: 3 };
+        let e = TopologyError::LinkMatrixShape {
+            expected: 4,
+            actual: 3,
+        };
         assert!(e.to_string().contains("4x4"));
     }
 

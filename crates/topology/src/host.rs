@@ -30,8 +30,7 @@ pub const DEFAULT_LINK_GBS: f64 = 12.0;
 ///
 /// Never fails: the fallback path always succeeds.
 pub fn detect_host() -> Machine {
-    detect_from_sysfs(Path::new("/sys/devices/system/node"))
-        .unwrap_or_else(|_| fallback_machine())
+    detect_from_sysfs(Path::new("/sys/devices/system/node")).unwrap_or_else(|_| fallback_machine())
 }
 
 /// A single-node machine with `available_parallelism` cores.
@@ -79,7 +78,11 @@ pub fn detect_from_sysfs(node_dir: &Path) -> Result<Machine> {
             .map(|kb| kb as f64 / (1024.0 * 1024.0))
             .unwrap_or(16.0);
         cores_per_node.push(cpus.len());
-        builder = builder.add_node(cpus.len().max(1), DEFAULT_NODE_BANDWIDTH_GBS, mem_gib.max(0.5));
+        builder = builder.add_node(
+            cpus.len().max(1),
+            DEFAULT_NODE_BANDWIDTH_GBS,
+            mem_gib.max(0.5),
+        );
     }
 
     // Distances (SLIT): node{n}/distance is a space-separated row. We map

@@ -241,7 +241,9 @@ impl Machine {
             serde_json::from_str(json).map_err(|e| TopologyError::Serde(e.to_string()))?;
         // Re-run the builder validation so hand-edited JSON cannot smuggle
         // in inconsistent descriptions.
-        let mut b = MachineBuilder::new().name(&m.name).core_peak_gflops(m.core_peak_gflops);
+        let mut b = MachineBuilder::new()
+            .name(&m.name)
+            .core_peak_gflops(m.core_peak_gflops);
         for n in &m.nodes {
             b = b.add_node(n.num_cores, n.bandwidth_gbs, n.memory_gib);
         }
@@ -249,7 +251,8 @@ impl Machine {
             .flat_map(|i| (0..m.nodes.len()).map(move |j| (i, j)))
             .map(|(i, j)| m.links.link(NodeId(i), NodeId(j)))
             .collect();
-        b.link_matrix(LinkMatrix::from_rows(m.nodes.len(), &rows)?).build()
+        b.link_matrix(LinkMatrix::from_rows(m.nodes.len(), &rows)?)
+            .build()
     }
 }
 
@@ -300,7 +303,8 @@ impl MachineBuilder {
 
     /// Appends one node with an explicit core count, bandwidth and capacity.
     pub fn add_node(mut self, num_cores: usize, bandwidth_gbs: f64, memory_gib: f64) -> Self {
-        self.nodes.push((num_cores, Some(bandwidth_gbs), memory_gib));
+        self.nodes
+            .push((num_cores, Some(bandwidth_gbs), memory_gib));
         self
     }
 
@@ -485,7 +489,10 @@ mod tests {
                 .symmetric_nodes(2, 4)
                 .node_bandwidth_gbs(10.0)
                 .build(),
-            Err(TopologyError::NonPositiveQuantity { what: "core peak GFLOPS", .. })
+            Err(TopologyError::NonPositiveQuantity {
+                what: "core peak GFLOPS",
+                ..
+            })
         ));
         assert!(matches!(
             MachineBuilder::new()
@@ -545,7 +552,10 @@ mod tests {
     fn link_matrix_shape_and_sign_validation() {
         assert!(matches!(
             LinkMatrix::from_rows(2, &[0.0; 3]),
-            Err(TopologyError::LinkMatrixShape { expected: 2, actual: 3 })
+            Err(TopologyError::LinkMatrixShape {
+                expected: 2,
+                actual: 3
+            })
         ));
         assert!(matches!(
             LinkMatrix::from_rows(2, &[0.0, -1.0, 0.0, 0.0]),
@@ -563,7 +573,10 @@ mod tests {
             .build();
         assert!(matches!(
             err,
-            Err(TopologyError::LinkMatrixShape { expected: 4, actual: 3 })
+            Err(TopologyError::LinkMatrixShape {
+                expected: 4,
+                actual: 3
+            })
         ));
     }
 
@@ -600,7 +613,10 @@ mod tests {
         assert!(m.try_node(NodeId(3)).is_ok());
         assert!(matches!(
             m.try_node(NodeId(4)),
-            Err(TopologyError::UnknownNode { node: 4, num_nodes: 4 })
+            Err(TopologyError::UnknownNode {
+                node: 4,
+                num_nodes: 4
+            })
         ));
     }
 }

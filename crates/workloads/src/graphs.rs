@@ -79,7 +79,10 @@ impl IterativeGraph {
     /// the final round completes, plus shared counters. Non-blocking:
     /// combine with [`Runtime::wait_quiescent`] or
     /// [`Runtime::help_until`].
-    pub fn spawn(&self, rt: &Runtime) -> coop_runtime::Result<(Event, Arc<AtomicU64>, Arc<AtomicU64>)> {
+    pub fn spawn(
+        &self,
+        rt: &Runtime,
+    ) -> coop_runtime::Result<(Event, Arc<AtomicU64>, Arc<AtomicU64>)> {
         let num_nodes = rt.machine().num_nodes();
         let tasks_run = Arc::new(AtomicU64::new(0));
         let rounds_done = Arc::new(AtomicU64::new(0));
@@ -179,12 +182,14 @@ mod tests {
     fn single_node_placement_is_honoured_without_stealing() {
         let rt = Runtime::start(RuntimeConfig::new("pin", tiny())).unwrap();
         // Freeze node 0 so only node 1 can run; pin the graph to node 1.
-        rt.control().apply(ThreadCommand::PerNode(vec![0, 2])).unwrap();
+        rt.control()
+            .apply(ThreadCommand::PerNode(vec![0, 2]))
+            .unwrap();
         assert!(rt
             .control()
             .wait_converged(Duration::from_secs(5), |_, per| per == [0, 2]));
-        let g = IterativeGraph::new(3, 4, 200)
-            .with_placement(GraphPlacement::SingleNode(NodeId(1)));
+        let g =
+            IterativeGraph::new(3, 4, 200).with_placement(GraphPlacement::SingleNode(NodeId(1)));
         let stats = g.run(&rt).unwrap();
         assert_eq!(stats.tasks_run, 12);
         // All 12 worker tasks + 3 join tasks ran somewhere on node 1.

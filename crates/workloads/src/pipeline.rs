@@ -20,8 +20,8 @@
 //! `fig1_pipeline` bench) can compare uncontrolled execution against
 //! agent-throttled execution.
 
-use coop_runtime::Runtime;
 use crate::kernels::spin_work;
+use coop_runtime::Runtime;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

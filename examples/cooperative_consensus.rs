@@ -59,7 +59,10 @@ fn main() {
     let allocation = &agreed[0];
 
     println!("agreed allocation (threads per NUMA node):");
-    println!("{:<10} {:>6} {:>6} {:>6} {:>6} {:>8}", "runtime", "n0", "n1", "n2", "n3", "total");
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>6} {:>8}",
+        "runtime", "n0", "n1", "n2", "n3", "total"
+    );
     for (i, name) in names.iter().enumerate() {
         let per: Vec<usize> = machine.node_ids().map(|n| allocation.get(i, n)).collect();
         println!(
@@ -74,9 +77,10 @@ fn main() {
     }
 
     for (i, rt) in runtimes.iter().enumerate() {
-        rt.control().wait_converged(Duration::from_secs(5), |run, _| {
-            run == agreed[0].app_total(i)
-        });
+        rt.control()
+            .wait_converged(Duration::from_secs(5), |run, _| {
+                run == agreed[0].app_total(i)
+            });
     }
     let total: usize = runtimes.iter().map(|r| r.stats().running_workers).sum();
     println!(

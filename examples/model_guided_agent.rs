@@ -44,13 +44,20 @@ fn main() {
         agent.manage(Box::new(Arc::clone(rt)));
     }
     let log = agent.run_for(Duration::from_millis(50), Duration::from_millis(5));
-    println!("agent issued {} commands over {} ticks:", log.decisions.len(), log.ticks);
+    println!(
+        "agent issued {} commands over {} ticks:",
+        log.decisions.len(),
+        log.ticks
+    );
     for d in &log.decisions {
         println!("  tick {} -> {:<6} {:?}", d.tick, d.runtime, d.command);
     }
 
     // Wait for convergence and report the census.
-    println!("\n{:<8} {:>18} {:>14}", "runtime", "running workers", "per node");
+    println!(
+        "\n{:<8} {:>18} {:>14}",
+        "runtime", "running workers", "per node"
+    );
     let mut total = 0;
     for rt in &runtimes {
         rt.control()
@@ -59,7 +66,10 @@ fn main() {
         std::thread::sleep(Duration::from_millis(20));
         let stats = Runtime::stats(rt);
         let per: Vec<usize> = stats.per_node.iter().map(|n| n.running_workers).collect();
-        println!("{:<8} {:>18} {:>14?}", stats.name, stats.running_workers, per);
+        println!(
+            "{:<8} {:>18} {:>14?}",
+            stats.name, stats.running_workers, per
+        );
         total += stats.running_workers;
     }
     println!(

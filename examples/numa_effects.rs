@@ -10,17 +10,15 @@
 //!
 //! Run with: `cargo run --example numa_effects`
 
+use numa_coop::alloc::strategies;
 use numa_coop::prelude::*;
 use numa_coop::topology::presets::paper_crossnode_machine;
-use numa_coop::alloc::strategies;
 
 fn show(label: &str, machine: &Machine, apps: &[AppSpec], a: &ThreadAssignment) -> f64 {
     let model = solve(machine, apps, a).unwrap().total_gflops();
     // Cross-check with the execution simulator (ideal effects = the model
     // semantics, executed step by step).
-    let sim = Simulation::new(
-        SimConfig::new(machine.clone()).with_effects(EffectModel::ideal()),
-    );
+    let sim = Simulation::new(SimConfig::new(machine.clone()).with_effects(EffectModel::ideal()));
     let sim_apps: Vec<SimApp> = apps
         .iter()
         .map(|s| SimApp {
@@ -36,14 +34,15 @@ fn show(label: &str, machine: &Machine, apps: &[AppSpec], a: &ThreadAssignment) 
 
 fn main() {
     let machine = paper_crossnode_machine();
-    println!("machine: {} (60 GB/s/node, 10 GB/s links)\n", machine.name());
+    println!(
+        "machine: {} (60 GB/s/node, 10 GB/s links)\n",
+        machine.name()
+    );
 
     let even = ThreadAssignment::uniform_per_node(&machine, &[2, 2, 2, 2]);
-    let whole = strategies::node_per_app_mapped(
-        &machine,
-        &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
-    )
-    .unwrap();
+    let whole =
+        strategies::node_per_app_mapped(&machine, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+            .unwrap();
 
     // 1) All NUMA-perfect: even wins (like Figure 2 on this machine).
     let perfect: Vec<AppSpec> = (0..3)
@@ -62,16 +61,27 @@ fn main() {
         .collect();
     println!("\n-- fourth application NUMA-bad (all data on node 3) --");
     let e2 = show("even (2,2,2,2)", &machine, &with_bad, &even);
-    let w2 = show("whole node per app (bad on node 3)", &machine, &with_bad, &whole);
-    assert!(w2 > e2, "Figure 3: whole-node wins once a NUMA-bad app exists");
+    let w2 = show(
+        "whole node per app (bad on node 3)",
+        &machine,
+        &with_bad,
+        &whole,
+    );
+    assert!(
+        w2 > e2,
+        "Figure 3: whole-node wins once a NUMA-bad app exists"
+    );
 
     // 3) Put the bad app's threads on the WRONG node: placement matters.
-    let wrong = strategies::node_per_app_mapped(
+    let wrong =
+        strategies::node_per_app_mapped(&machine, &[NodeId(3), NodeId(1), NodeId(2), NodeId(0)])
+            .unwrap();
+    show(
+        "whole node per app (bad on node 0!)",
         &machine,
-        &[NodeId(3), NodeId(1), NodeId(2), NodeId(0)],
-    )
-    .unwrap();
-    show("whole node per app (bad on node 0!)", &machine, &with_bad, &wrong);
+        &with_bad,
+        &wrong,
+    );
 
     // 4) The runtime-managed fix: migrate the data to where the threads
     // are. (In OCR the runtime owns the data blocks, so it CAN do this —
@@ -81,7 +91,12 @@ fn main() {
         .chain([AppSpec::numa_bad("bad", 1.0, NodeId(0))])
         .collect();
     println!("\n-- after migrating the bad app's data to node 0 (its threads' node) --");
-    let m = show("whole node per app (data follows threads)", &machine, &migrated, &wrong);
+    let m = show(
+        "whole node per app (data follows threads)",
+        &machine,
+        &migrated,
+        &wrong,
+    );
     assert!((m - w2).abs() < 1e-9, "migration recovers the good case");
 
     // The data-block migration primitive itself:

@@ -13,12 +13,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn run_variant(machine: &Machine, with_agent: bool) {
-    let producer = Arc::new(
-        Runtime::start(RuntimeConfig::new("producer", machine.clone())).unwrap(),
-    );
-    let consumer = Arc::new(
-        Runtime::start(RuntimeConfig::new("consumer", machine.clone())).unwrap(),
-    );
+    let producer =
+        Arc::new(Runtime::start(RuntimeConfig::new("producer", machine.clone())).unwrap());
+    let consumer =
+        Arc::new(Runtime::start(RuntimeConfig::new("consumer", machine.clone())).unwrap());
 
     // The consumer's tasks are 3x heavier, so an unthrottled producer
     // races ahead and intermediate items pile up.

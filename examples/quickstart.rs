@@ -44,10 +44,7 @@ fn main() {
             "one node per app [Fig 2c]",
             ThreadAssignment::node_per_app(&machine, 4).unwrap(),
         ),
-        (
-            "fair share",
-            strategies::fair_share(&machine, 4).unwrap(),
-        ),
+        ("fair share", strategies::fair_share(&machine, 4).unwrap()),
     ] {
         let report = solve(&machine, &apps, &assignment).unwrap();
         println!("{label:<28} {:>12.1}", report.total_gflops());
@@ -86,7 +83,10 @@ fn main() {
 
     // Per-application breakdown of the chosen allocation.
     let report = solve(&machine, &apps, &fair_best.assignment).unwrap();
-    println!("\n{:<8} {:>8} {:>12} {:>12}", "app", "threads", "GB/s", "GFLOPS");
+    println!(
+        "\n{:<8} {:>8} {:>12} {:>12}",
+        "app", "threads", "GB/s", "GFLOPS"
+    );
     for a in &report.apps {
         println!(
             "{:<8} {:>8} {:>12.1} {:>12.1}",

@@ -52,7 +52,10 @@ fn main() {
             a
         };
         let report = solve(&machine, &apps, &assignment).unwrap();
-        println!("\n== model view: {label} ({:.0} GFLOPS) ==", report.total_gflops());
+        println!(
+            "\n== model view: {label} ({:.0} GFLOPS) ==",
+            report.total_gflops()
+        );
         print!("{}", explain(&machine, &report));
     }
 

@@ -20,6 +20,7 @@
 //! | [`sim`] | `memsim` | execution-driven NUMA hardware simulator (the §III.B testbed substitute) |
 //! | [`workloads`] | `coop-workloads` | kernels, paper scenario mixes, producer-consumer pipeline |
 //! | [`dist`] | `distsim` | §V distributed-translation simulator |
+//! | [`telemetry`] | `coop-telemetry` | shared metrics registry + unified timeline (Perfetto/Prometheus exporters) |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@
 pub use coop_agent as agent;
 pub use coop_alloc as alloc;
 pub use coop_runtime as runtime;
+pub use coop_telemetry as telemetry;
 pub use coop_workloads as workloads;
 pub use distsim as dist;
 pub use memsim as sim;
@@ -60,6 +62,7 @@ pub mod prelude {
     pub use coop_agent::{Agent, Policy, RuntimeHandle, ThreadCommand};
     pub use coop_alloc::{score, strategies, Objective, ThreadAssignment};
     pub use coop_runtime::{Runtime, RuntimeConfig, RuntimeStats};
+    pub use coop_telemetry::TelemetryHub;
     pub use memsim::{EffectModel, SimApp, SimConfig, Simulation};
     pub use numa_topology::{Binding, CoreId, CpuSet, Machine, MachineBuilder, NodeId};
     pub use roofline_numa::{solve, AppSpec, DataPlacement, SolveReport};

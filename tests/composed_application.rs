@@ -105,7 +105,11 @@ fn three_component_composition_end_to_end() {
     // The solver's trace captured its tasks.
     assert_eq!(trace.task_events().count(), (6 * 12 + 6) as usize);
     // The agent issued at least the fair-share round.
-    assert!(log.decisions.len() >= 3, "decisions: {:?}", log.decisions.len());
+    assert!(
+        log.decisions.len() >= 3,
+        "decisions: {:?}",
+        log.decisions.len()
+    );
     // No runtime is left over-subscribed after the dust settles.
     std::thread::sleep(Duration::from_millis(20));
     for node in machine.node_ids() {
@@ -113,7 +117,10 @@ fn three_component_composition_end_to_end() {
             .iter()
             .map(|rt| Runtime::stats(rt).per_node[node.0].running_workers)
             .sum();
-        assert!(total <= 8 + 8, "node {node:?} badly over-subscribed: {total}");
+        assert!(
+            total <= 8 + 8,
+            "node {node:?} badly over-subscribed: {total}"
+        );
     }
 
     for rt in &runtimes {

@@ -11,10 +11,7 @@ fn detected_host_is_immediately_usable() {
     assert!(machine.total_cores() >= 1);
 
     // Fair share + solve work on whatever was detected.
-    let apps = vec![
-        AppSpec::numa_local("a", 0.5),
-        AppSpec::numa_local("b", 8.0),
-    ];
+    let apps = vec![AppSpec::numa_local("a", 0.5), AppSpec::numa_local("b", 8.0)];
     let fair = strategies::fair_share(&machine, apps.len()).unwrap();
     let report = solve(&machine, &apps, &fair).unwrap();
     assert!(report.total_gflops() > 0.0);
@@ -67,5 +64,8 @@ fn corrupted_config_fails_closed() {
     let machine = numa_coop::topology::presets::tiny();
     let mut json = machine.to_json();
     json = json.replace("\"num_cores\": 2", "\"num_cores\": 0");
-    assert!(Machine::from_json(&json).is_err(), "zero-core node must be rejected");
+    assert!(
+        Machine::from_json(&json).is_err(),
+        "zero-core node must be rejected"
+    );
 }

@@ -17,9 +17,8 @@ fn ideal_simulator_matches_model_on_generated_scenarios() {
         let assignment = random_assignment(&machine, specs.len(), seed);
 
         let model = solve(&machine, &specs, &assignment).unwrap();
-        let sim = Simulation::new(
-            SimConfig::new(machine.clone()).with_effects(EffectModel::ideal()),
-        );
+        let sim =
+            Simulation::new(SimConfig::new(machine.clone()).with_effects(EffectModel::ideal()));
         let sim_apps: Vec<SimApp> = specs
             .iter()
             .map(|s| SimApp {
@@ -65,11 +64,10 @@ fn effects_are_pure_losses_on_generated_scenarios() {
             })
             .collect();
 
-        let ideal = Simulation::new(
-            SimConfig::new(machine.clone()).with_effects(EffectModel::ideal()),
-        )
-        .run(&sim_apps, &assignment, 0.01)
-        .unwrap();
+        let ideal =
+            Simulation::new(SimConfig::new(machine.clone()).with_effects(EffectModel::ideal()))
+                .run(&sim_apps, &assignment, 0.01)
+                .unwrap();
 
         let mut effects = EffectModel::skylake_like();
         effects.jitter = 0.0; // deterministic comparison

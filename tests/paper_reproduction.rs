@@ -81,7 +81,10 @@ fn oversubscription_claim() {
         .find(|r| r.label == "improvement %")
         .expect("improvement row present")
         .measured;
-    assert!(improvement > 0.0 && improvement < 10.0, "got {improvement}%");
+    assert!(
+        improvement > 0.0 && improvement < 10.0,
+        "got {improvement}%"
+    );
 }
 
 /// E-sublin: the searched allocation shifts threads away from the

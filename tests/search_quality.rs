@@ -35,13 +35,7 @@ fn searches_are_competitive_with_named_strategies() {
                 strategies::proportional(&machine, &vec![1.0; apps.len()]),
             ),
         ] {
-            let s = score(
-                &machine,
-                &apps,
-                &strat.unwrap(),
-                Objective::TotalGflops,
-            )
-            .unwrap();
+            let s = score(&machine, &apps, &strat.unwrap(), Objective::TotalGflops).unwrap();
             // Greedy is myopic (it stops at the first non-improving
             // addition, which can be a local optimum), so it may fall a
             // little short of a named strategy on some mixes — but never
