@@ -1,7 +1,9 @@
 //! The agent control loop.
 
-use crate::{Policy, Result, RuntimeHandle, ThreadCommand};
-use coop_telemetry::{ArgValue, Counter, Histogram, TelemetryHub, TrackId};
+use crate::{Policy, Result, RuntimeHandle, RuntimeStats, ThreadCommand};
+use coop_telemetry::{
+    ArgValue, Counter, Histogram, ModelObservatory, Prediction, SeriesValue, TelemetryHub, TrackId,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -16,6 +18,11 @@ pub struct Decision {
     pub runtime: String,
     /// The command.
     pub command: ThreadCommand,
+    /// Id of the provenance record in the agent's
+    /// [`ModelObservatory`] ledger, when the deciding policy was
+    /// model-driven (see [`Policy::prediction`]); `None` for reactive
+    /// policies.
+    pub provenance: Option<u64>,
 }
 
 /// The record of everything an agent did.
@@ -41,6 +48,7 @@ pub struct AgentLog {
 struct AgentTelemetry {
     hub: Arc<TelemetryHub>,
     track: TrackId,
+    observatory: Arc<ModelObservatory>,
     ticks: Arc<Counter>,
     decisions_total: Arc<Counter>,
     errors_total: Arc<Counter>,
@@ -64,6 +72,7 @@ impl AgentTelemetry {
         );
         AgentTelemetry {
             track,
+            observatory: Arc::new(ModelObservatory::new(Arc::clone(&hub))),
             ticks: reg.counter("coop_agent_ticks_total", &[]),
             decisions_total: reg.counter("coop_agent_decisions_total", &[]),
             errors_total: reg.counter("coop_agent_errors_total", &[]),
@@ -140,6 +149,70 @@ pub struct Agent {
     handles: Vec<Box<dyn RuntimeHandle>>,
     policy: Box<dyn Policy>,
     telemetry: AgentTelemetry,
+    open_decision: Option<OpenDecision>,
+}
+
+/// Book-keeping for the provenance record opened on the last
+/// model-driven tick, closed with measured outcomes on the next tick.
+struct OpenDecision {
+    id: u64,
+    /// `tasks_executed` per managed runtime when the record was opened.
+    baseline: Vec<u64>,
+}
+
+/// Augments a policy prediction with per-runtime predicted *throughput
+/// shares* (`share/<runtime>/throughput`). The model predicts GFLOPS but
+/// the runtimes report task counts; normalizing both sides to shares of
+/// the total makes the residual unit-free and comparable. Only added when
+/// every managed runtime has a predicted `app/<name>/gflops` series.
+fn with_share_series(mut prediction: Prediction, stats: &[RuntimeStats]) -> Prediction {
+    let per_app: Vec<(String, f64)> = stats
+        .iter()
+        .filter_map(|s| {
+            prediction
+                .value(&format!("app/{}/gflops", s.name))
+                .map(|g| (s.name.clone(), g))
+        })
+        .collect();
+    let total: f64 = per_app.iter().map(|(_, g)| g).sum();
+    if per_app.len() == stats.len() && total > 0.0 {
+        for (name, gflops) in per_app {
+            prediction.series.push(SeriesValue::new(
+                format!("share/{name}/throughput"),
+                gflops / total,
+            ));
+        }
+    }
+    prediction
+}
+
+/// Measured per-runtime throughput shares over a decision's lifetime:
+/// the fraction of all newly executed tasks each runtime contributed
+/// since `baseline`. Empty when nothing executed (no residual is better
+/// than a fabricated one).
+fn measured_share_series(stats: &[RuntimeStats], baseline: &[u64]) -> Vec<SeriesValue> {
+    if stats.len() != baseline.len() {
+        return Vec::new();
+    }
+    let deltas: Vec<u64> = stats
+        .iter()
+        .zip(baseline)
+        .map(|(s, b)| s.tasks_executed.saturating_sub(*b))
+        .collect();
+    let total: u64 = deltas.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    stats
+        .iter()
+        .zip(&deltas)
+        .map(|(s, d)| {
+            SeriesValue::new(
+                format!("share/{}/throughput", s.name),
+                *d as f64 / total as f64,
+            )
+        })
+        .collect()
 }
 
 impl Agent {
@@ -159,6 +232,7 @@ impl Agent {
             handles: Vec::new(),
             policy,
             telemetry: AgentTelemetry::new(hub),
+            open_decision: None,
         }
     }
 
@@ -184,7 +258,22 @@ impl Agent {
         Arc::clone(&self.telemetry.hub)
     }
 
-    /// Executes a single tick: poll stats, ask the policy, apply commands.
+    /// The model-drift observatory holding this agent's decision
+    /// provenance ledger and drift detector. Clone the `Arc` before
+    /// [`Agent::spawn`] to inspect drift while the agent runs.
+    pub fn observatory(&self) -> Arc<ModelObservatory> {
+        Arc::clone(&self.telemetry.observatory)
+    }
+
+    /// The current residual report (see
+    /// [`ModelObservatory::report`]).
+    pub fn drift_report(&self) -> coop_telemetry::DriftReport {
+        self.telemetry.observatory.report()
+    }
+
+    /// Executes a single tick: poll stats, back-fill the previous
+    /// decision's provenance, ask the policy, apply commands, and open a
+    /// provenance record when the policy is model-driven.
     pub fn tick(&mut self) -> Result<()> {
         let tick = self.telemetry.ticks.get();
         self.telemetry.ticks.inc();
@@ -199,24 +288,58 @@ impl Agent {
                 }
             }
         }
+        // The previous model-driven decision has now lived for one full
+        // tick interval: back-fill its provenance record with the
+        // throughput realized over that window.
+        if let Some(open) = self.open_decision.take() {
+            let measured = measured_share_series(&stats, &open.baseline);
+            self.telemetry.observatory.close_decision(open.id, measured);
+        }
         let decided_at = Instant::now();
         let commands = self.policy.tick(&stats, tick);
         self.telemetry
             .decision_latency_us
             .observe(decided_at.elapsed().as_micros() as u64);
+        let mut applied: Vec<(usize, ThreadCommand)> = Vec::new();
         for (i, cmd) in commands.into_iter().enumerate() {
             let Some(cmd) = cmd else { continue };
             let Some(handle) = self.handles.get(i) else {
                 continue;
             };
             match handle.command(cmd.clone()) {
-                Ok(()) => self.telemetry.record_decision(Decision {
-                    tick,
-                    runtime: handle.name(),
-                    command: cmd,
-                }),
+                Ok(()) => applied.push((i, cmd)),
                 Err(e) => self.telemetry.record_error(e.to_string()),
             }
+        }
+        let mut provenance = None;
+        if !applied.is_empty() {
+            if let Some(prediction) = self.policy.prediction() {
+                let prediction = with_share_series(prediction, &stats);
+                let command_text = applied
+                    .iter()
+                    .map(|(i, cmd)| format!("{}:{:?}", self.handles[*i].name(), cmd))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                let id = self.telemetry.observatory.open_decision(
+                    tick,
+                    "agent",
+                    &command_text,
+                    prediction,
+                );
+                self.open_decision = Some(OpenDecision {
+                    id,
+                    baseline: stats.iter().map(|s| s.tasks_executed).collect(),
+                });
+                provenance = Some(id);
+            }
+        }
+        for (i, cmd) in applied {
+            self.telemetry.record_decision(Decision {
+                tick,
+                runtime: self.handles[i].name(),
+                command: cmd,
+                provenance,
+            });
         }
         Ok(())
     }
@@ -376,6 +499,78 @@ mod tests {
             hub.registry().counter_total("coop_agent_ticks_total") >= 3,
             "ticks counted in the shared registry"
         );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn model_driven_decisions_carry_provenance() {
+        /// Issues one command on tick 0 and always exposes a prediction.
+        struct Predicting;
+        impl Policy for Predicting {
+            fn tick(&mut self, stats: &[RuntimeStats], tick: u64) -> Vec<Option<ThreadCommand>> {
+                if tick == 0 {
+                    vec![Some(ThreadCommand::TotalThreads(1)); stats.len()]
+                } else {
+                    vec![None; stats.len()]
+                }
+            }
+            fn prediction(&self) -> Option<Prediction> {
+                Some(Prediction {
+                    inputs: vec![("ai/prov".to_string(), 0.5)],
+                    assignment: "prov:[1]".to_string(),
+                    series: vec![SeriesValue::new("app/prov/gflops", 2.0)],
+                })
+            }
+        }
+        let hub = Arc::new(TelemetryHub::new());
+        let rt = Arc::new(
+            Runtime::start(RuntimeConfig::new("prov", tiny()).with_telemetry(Arc::clone(&hub)))
+                .unwrap(),
+        );
+        let mut agent = Agent::with_telemetry(Box::new(Predicting), Arc::clone(&hub));
+        agent.manage(Box::new(Arc::clone(&rt)));
+        agent.tick().unwrap();
+
+        let log = agent.log();
+        assert_eq!(log.decisions.len(), 1);
+        let id = log.decisions[0]
+            .provenance
+            .expect("model-driven decision must reference a provenance record");
+        let observatory = agent.observatory();
+        let records = observatory.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, id);
+        assert!(!records[0].is_closed(), "open until the next tick");
+        assert_eq!(records[0].prediction.value("app/prov/gflops"), Some(2.0));
+        // The predicted throughput share was derived from the gflops
+        // series (a single runtime owns the whole share).
+        assert_eq!(
+            records[0].prediction.value("share/prov/throughput"),
+            Some(1.0)
+        );
+
+        // The next tick back-fills the record.
+        agent.tick().unwrap();
+        let records = observatory.records();
+        assert!(records[0].is_closed(), "closed on the following tick");
+
+        // The decision's provenance instant landed on the shared timeline.
+        assert!(hub.events().iter().any(|e| e.cat == "provenance"));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn reactive_decisions_have_no_provenance() {
+        let rt = Arc::new(Runtime::start(RuntimeConfig::new("y", tiny())).unwrap());
+        let mut agent = Agent::new(Box::new(Scripted { issued: false }));
+        agent.manage(Box::new(Arc::clone(&rt)));
+        for _ in 0..4 {
+            agent.tick().unwrap();
+        }
+        let log = agent.log();
+        assert_eq!(log.decisions.len(), 1);
+        assert!(log.decisions[0].provenance.is_none());
+        assert!(agent.observatory().ledger().is_empty());
         rt.shutdown();
     }
 

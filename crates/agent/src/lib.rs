@@ -20,6 +20,11 @@
 //!   while it has work, return them when it goes idle).
 //! * [`Agent`] — the periodic control loop, runnable inline
 //!   ([`Agent::run_for`]) or on a background thread ([`Agent::spawn`]).
+//!   Model-driven policies expose their roofline solve via
+//!   [`Policy::prediction`]; the agent opens a provenance record per
+//!   applied decision in its [`coop_telemetry::ModelObservatory`]
+//!   ([`Agent::observatory`]) and back-fills it one tick later with the
+//!   measured throughput shares, feeding the model-drift detector.
 //!
 //! The agent deliberately does cheap work per tick (the paper's §IV:
 //! an agent that is "only required to occasionally perform quick
@@ -113,4 +118,17 @@ impl RuntimeHandle for Arc<coop_runtime::Runtime> {
 pub trait Policy: Send {
     /// Called once per agent tick.
     fn tick(&mut self, stats: &[RuntimeStats], tick_index: u64) -> Vec<Option<ThreadCommand>>;
+
+    /// The model prediction backing the commands most recently returned
+    /// from [`Policy::tick`], if this policy is model-driven.
+    ///
+    /// Model-driven policies (e.g. [`policies::ModelGuided`]) return the
+    /// roofline solve of the assignment they just pushed; the [`Agent`]
+    /// attaches it to the decisions' provenance record so the model-drift
+    /// observatory can later compare it against measured runtime
+    /// counters. Reactive policies keep the default `None` and their
+    /// decisions carry no prediction.
+    fn prediction(&self) -> Option<coop_telemetry::Prediction> {
+        None
+    }
 }

@@ -180,6 +180,14 @@ impl ModelGuided {
 }
 
 impl Policy for ModelGuided {
+    fn prediction(&self) -> Option<coop_telemetry::Prediction> {
+        let assignment = self.last.as_ref()?;
+        let report = roofline_numa::solve(&self.machine, &self.apps, assignment).ok()?;
+        let mut prediction = report.to_prediction();
+        prediction.assignment = format!("{:?}", assignment.matrix());
+        Some(prediction)
+    }
+
     fn tick(&mut self, stats: &[RuntimeStats], tick: u64) -> Vec<Option<ThreadCommand>> {
         if stats.len() != self.apps.len() {
             return vec![None; stats.len()];
@@ -280,6 +288,7 @@ mod tests {
                 .iter()
                 .map(|&(k, v)| (k.to_string(), v))
                 .collect::<HashMap<_, _>>(),
+            uptime_us: 0,
         }
     }
 
@@ -358,6 +367,25 @@ mod tests {
     }
 
     #[test]
+    fn model_guided_exposes_prediction() {
+        let m = paper_model_machine();
+        let apps = vec![
+            AppSpec::numa_local("mem1", 0.5),
+            AppSpec::numa_local("comp", 10.0),
+        ];
+        let mut p = ModelGuided::new(m, apps);
+        assert!(p.prediction().is_none(), "no assignment before first tick");
+        let stats = vec![fake_stats("mem1", &[], 0), fake_stats("comp", &[], 0)];
+        p.tick(&stats, 0);
+        let pred = p.prediction().expect("prediction after first search");
+        assert!(pred.value("app/mem1/gflops").unwrap() > 0.0);
+        assert!(pred.value("app/comp/bandwidth_gbs").is_some());
+        assert!(pred.value("node/0/bandwidth_gbs").is_some());
+        assert!(!pred.assignment.is_empty());
+        assert!(pred.inputs.iter().any(|(k, v)| k == "ai/mem1" && *v == 0.5));
+    }
+
+    #[test]
     fn library_burst_shifts_and_restores() {
         let mut p = LibraryBurst::new(0, 1, 8);
         // Library idle at first tick: explicit idle commands.
@@ -396,6 +424,12 @@ impl Chain {
 }
 
 impl crate::Policy for Chain {
+    fn prediction(&self) -> Option<coop_telemetry::Prediction> {
+        // Highest-precedence model-driven sub-policy wins, matching the
+        // last-wins command merge.
+        self.policies.iter().rev().find_map(|p| p.prediction())
+    }
+
     fn tick(&mut self, stats: &[RuntimeStats], tick: u64) -> Vec<Option<ThreadCommand>> {
         let mut merged: Vec<Option<ThreadCommand>> = vec![None; stats.len()];
         for p in self.policies.iter_mut() {
@@ -438,6 +472,7 @@ mod chain_tests {
                 external_threads: 0,
                 per_node: vec![],
                 user_counters: HashMap::new(),
+                uptime_us: 0,
             })
             .collect()
     }
@@ -469,5 +504,30 @@ mod chain_tests {
     fn empty_chain_is_silent() {
         let mut chain = Chain::new(vec![]);
         assert!(chain.tick(&stats(3), 0).iter().all(|c| c.is_none()));
+    }
+
+    #[test]
+    fn chain_prediction_takes_highest_precedence_model() {
+        struct WithPred(f64);
+        impl Policy for WithPred {
+            fn tick(&mut self, stats: &[RuntimeStats], _t: u64) -> Vec<Option<ThreadCommand>> {
+                vec![None; stats.len()]
+            }
+            fn prediction(&self) -> Option<coop_telemetry::Prediction> {
+                Some(coop_telemetry::Prediction {
+                    inputs: Vec::new(),
+                    assignment: String::new(),
+                    series: vec![coop_telemetry::SeriesValue::new("x", self.0)],
+                })
+            }
+        }
+        let chain = Chain::new(vec![
+            Box::new(WithPred(1.0)),
+            Box::new(Fixed(0, None)),
+            Box::new(WithPred(2.0)),
+        ]);
+        assert_eq!(chain.prediction().unwrap().value("x"), Some(2.0));
+        let no_model = Chain::new(vec![Box::new(Fixed(0, None))]);
+        assert!(no_model.prediction().is_none());
     }
 }

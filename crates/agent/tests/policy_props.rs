@@ -19,6 +19,7 @@ fn stats_pair(produced: u64, consumed: u64) -> Vec<RuntimeStats> {
         external_threads: 0,
         per_node: vec![],
         user_counters: HashMap::from([(key.to_string(), v)]),
+        uptime_us: 0,
     };
     vec![
         mk("prod", "produced", produced),

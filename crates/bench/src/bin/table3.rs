@@ -1,7 +1,27 @@
 //! Regenerates Table III: the full §III.B procedure — simulate the
 //! benchmark on 'real' hardware (memsim), calibrate the model from the
 //! even scenario, predict all five scenarios, compare.
+//!
+//! With `--residuals`, replays the even scenario as a stream of
+//! predict/measure decision ticks instead (the model-drift observatory's
+//! continuous version of the same comparison):
+//! `cargo run -p coop-bench --bin table3 -- --residuals [duration_s [period_s]]`
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--residuals") {
+        let nums: Vec<f64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+        let duration = nums.first().copied().unwrap_or(0.2);
+        let period = nums.get(1).copied().unwrap_or(0.02);
+        let r = coop_bench::experiments::table3::run_residuals(duration, period);
+        println!("Table III — continuous residual mode\n");
+        println!(
+            "calibrated parameters: {:.4} GFLOPS/thread, {:.1} GB/s per node",
+            r.calibrated_peak, r.calibrated_bandwidth
+        );
+        println!("{r}");
+        println!("{}", r.report.to_text());
+        return;
+    }
     let t = coop_bench::experiments::table3::run(0.2);
     println!("Table III — model vs (simulated) real hardware\n");
     println!("{t}");

@@ -20,10 +20,12 @@
 //! the simulator's effect model rather than being hard-coded.
 
 use crate::report::{Row, Table};
+use coop_telemetry::{DriftReport, ModelObservatory, SeriesValue, TelemetryHub};
 use coop_workloads::apps::{sim_apps_with_sync, skylake_bad_mix, skylake_mix};
 use memsim::{calibrate_even_scenario, EffectModel, SimApp, SimConfig, Simulation};
 use numa_topology::{Machine, MachineBuilder, NodeId};
 use roofline_numa::{solve, AppSpec, ThreadAssignment};
+use std::sync::Arc;
 
 /// Per-scenario outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -170,6 +172,150 @@ pub fn run(duration_s: f64) -> Table3 {
     }
 }
 
+/// One decision tick of the continuous residual replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualTick {
+    /// Tick index.
+    pub tick: u64,
+    /// Model prediction for the tick, machine-wide GFLOPS.
+    pub predicted_gflops: f64,
+    /// Simulated "real" measurement for the tick, machine-wide GFLOPS.
+    pub measured_gflops: f64,
+    /// Relative machine-wide residual `(measured - predicted)/predicted`.
+    pub residual: f64,
+}
+
+/// Result of [`run_residuals`]: the Table III even scenario replayed as a
+/// stream of predict/measure decision ticks instead of one aggregate row.
+#[derive(Debug, Clone)]
+pub struct Table3Residuals {
+    /// Fitted peak GFLOPS per thread (paper: 0.29).
+    pub calibrated_peak: f64,
+    /// Fitted node bandwidth (paper: 100 GB/s).
+    pub calibrated_bandwidth: f64,
+    /// Per-tick predicted vs measured throughput.
+    pub ticks: Vec<ResidualTick>,
+    /// The observatory's drift report over all series.
+    pub report: DriftReport,
+}
+
+impl Table3Residuals {
+    /// Mean absolute machine-wide relative residual.
+    pub fn mean_abs_residual(&self) -> f64 {
+        if self.ticks.is_empty() {
+            return 0.0;
+        }
+        self.ticks.iter().map(|t| t.residual.abs()).sum::<f64>() / self.ticks.len() as f64
+    }
+}
+
+impl std::fmt::Display for Table3Residuals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "continuous Table III (even scenario): {} ticks, mean |residual| {:.4}, {} alarms",
+            self.ticks.len(),
+            self.mean_abs_residual(),
+            self.report.total_alarms()
+        )?;
+        writeln!(
+            f,
+            "{:>5} {:>10} {:>10} {:>9}",
+            "tick", "model", "real", "residual"
+        )?;
+        for t in &self.ticks {
+            writeln!(
+                f,
+                "{:>5} {:>10.2} {:>10.2} {:>+9.4}",
+                t.tick, t.predicted_gflops, t.measured_gflops, t.residual
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The continuous residual mode: replay the paper's even scenario as a
+/// stream of decision ticks. Each tick is predicted with the *calibrated*
+/// model machine, measured on the *true* machine (with the full effect
+/// model), and back-filled into a [`ModelObservatory`] — Table III's
+/// one-shot model-vs-real comparison turned into residual tracking. With
+/// calibration as good as the paper's, the machine-wide residual stays in
+/// the low percent range and the drift detector stays quiet.
+pub fn run_residuals(duration_s: f64, decision_period_s: f64) -> Table3Residuals {
+    let machine = true_machine();
+    let local = skylake_mix();
+    let even = ThreadAssignment::uniform_per_node(&machine, &[5, 5, 5, 5]);
+
+    // Calibrate exactly like `run` (one even-scenario measurement).
+    let sim =
+        Simulation::new(SimConfig::new(machine.clone()).with_effects(EffectModel::skylake_like()));
+    let r_even = sim.run(&sim_mix(&local), &even, duration_s).unwrap();
+    let mem_total: f64 = (0..3).map(|a| r_even.app_gflops(a)).sum();
+    let comp = r_even.app_gflops(3);
+    let cal = calibrate_even_scenario(&machine, mem_total, 1.0 / 32.0, comp, 20)
+        .expect("calibration inputs are sane");
+    let model_machine = MachineBuilder::new()
+        .name("skylake-4x20-calibrated")
+        .symmetric_nodes(4, 20)
+        .core_peak_gflops(cal.core_peak_gflops)
+        .node_bandwidth_gbs(cal.node_bandwidth_gbs)
+        .uniform_link_gbs(10.0)
+        .build()
+        .expect("calibrated machine is valid");
+
+    // One prediction per tick from the calibrated machine; one measurement
+    // per tick from the true machine (fresh jitter seed each segment).
+    let report = solve(&model_machine, &local, &even).expect("even scenario solves");
+    let mut prediction = report.to_prediction();
+    prediction.assignment = "even (5,5,5,5)".to_string();
+    let predicted_gflops = report.total_gflops();
+
+    let hub = Arc::new(TelemetryHub::new());
+    let observatory = ModelObservatory::new(Arc::clone(&hub));
+    let apps = sim_mix(&local);
+    let n_ticks = (duration_s / decision_period_s).ceil().max(1.0) as u64;
+    let mut ticks = Vec::with_capacity(n_ticks as usize);
+    for tick in 0..n_ticks {
+        let id = observatory.open_decision(tick, "table3", "even (5,5,5,5)", prediction.clone());
+        let sim = Simulation::new(
+            SimConfig::new(machine.clone())
+                .with_effects(EffectModel::skylake_like())
+                .with_seed(tick),
+        );
+        let r = sim.run(&apps, &even, decision_period_s).unwrap();
+        let mut measured = Vec::with_capacity(local.len() * 2 + machine.num_nodes());
+        for (i, spec) in local.iter().enumerate() {
+            let gflops = r.app_gflops(i);
+            measured.push(SeriesValue::new(
+                format!("app/{}/gflops", spec.name),
+                gflops,
+            ));
+            measured.push(SeriesValue::new(
+                format!("app/{}/bandwidth_gbs", spec.name),
+                gflops / spec.ai,
+            ));
+        }
+        for (n, &gbs) in r.node_avg_gbs.iter().enumerate() {
+            measured.push(SeriesValue::new(format!("node/{n}/bandwidth_gbs"), gbs));
+        }
+        observatory.close_decision(id, measured);
+        let measured_gflops = r.total_gflops();
+        ticks.push(ResidualTick {
+            tick,
+            predicted_gflops,
+            measured_gflops,
+            residual: (measured_gflops - predicted_gflops) / predicted_gflops,
+        });
+    }
+
+    Table3Residuals {
+        calibrated_peak: cal.core_peak_gflops,
+        calibrated_bandwidth: cal.node_bandwidth_gbs,
+        ticks,
+        report: observatory.report(),
+    }
+}
+
 impl Table3 {
     /// The model column as a comparison table against the paper's model
     /// column.
@@ -260,6 +406,36 @@ mod tests {
             "real column deviation {}",
             r.max_deviation()
         );
+    }
+
+    #[test]
+    fn residual_mode_tracks_calibrated_model() {
+        let r = run_residuals(0.05, 0.01);
+        assert_eq!(r.ticks.len(), 5);
+        // The even scenario is the calibration target: the continuous
+        // machine-wide residual stays small...
+        assert!(
+            r.mean_abs_residual() < 0.03,
+            "mean |residual| {}",
+            r.mean_abs_residual()
+        );
+        // ...every tick has a real (nonzero) residual — this is measured
+        // hardware-with-effects against an analytic model...
+        assert!(r.ticks.iter().any(|t| t.residual != 0.0));
+        // ...and a well-calibrated model raises no drift alarms.
+        assert_eq!(
+            r.report.total_alarms(),
+            0,
+            "report:\n{}",
+            r.report.to_text()
+        );
+        // The report carries per-app and per-node series.
+        assert!(r.report.series.iter().any(|s| s.series.starts_with("app/")));
+        assert!(r
+            .report
+            .series
+            .iter()
+            .any(|s| s.series.starts_with("node/")));
     }
 
     #[test]

@@ -9,6 +9,36 @@ pub struct Cli {
     pub command: Command,
     /// Emit JSON instead of text (`--json`).
     pub json: bool,
+    /// Requested stdout format (`--format text|json|prom`; `--json` is an
+    /// alias for `--format json`).
+    pub format: OutputFormat,
+}
+
+/// Stdout format shared by `observe`, `simulate` and `drift`
+/// (`--format text|json|prom`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable text (default).
+    #[default]
+    Text,
+    /// Structured JSON.
+    Json,
+    /// Prometheus text exposition of the run's telemetry hub.
+    Prom,
+}
+
+impl OutputFormat {
+    /// Parses a `--format` value.
+    pub fn parse(s: &str) -> Result<OutputFormat> {
+        match s {
+            "text" => Ok(OutputFormat::Text),
+            "json" => Ok(OutputFormat::Json),
+            "prom" => Ok(OutputFormat::Prom),
+            other => Err(CliError::usage(format!(
+                "unknown --format '{other}' (text|json|prom)"
+            ))),
+        }
+    }
 }
 
 /// Application placement, as written on the command line.
@@ -31,6 +61,17 @@ pub struct AppArg {
     pub placement: PlacementArg,
     /// Arithmetic intensity (FLOP/byte).
     pub ai: f64,
+}
+
+/// One `--perturb node:factor[:at_s]` argument for `coop-cli drift`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerturbArg {
+    /// Node whose bandwidth changes.
+    pub node: usize,
+    /// Multiplier on the node's nominal bandwidth.
+    pub factor: f64,
+    /// Simulated time the change takes effect, seconds (default 0).
+    pub at_s: f64,
 }
 
 /// Search method for `coop-cli search`.
@@ -122,6 +163,29 @@ pub enum Command {
         /// anything else → Prometheus text exposition).
         metrics: Option<String>,
     },
+    /// `drift` — run a memsim scenario under model supervision and report
+    /// prediction residuals and drift alarms.
+    Drift {
+        /// Path to a scenario JSON file (defaults to the built-in template
+        /// with ideal effects).
+        scenario: Option<String>,
+        /// Mid-run bandwidth perturbations the model does not see.
+        perturbations: Vec<PerturbArg>,
+        /// Length of one decision tick, seconds.
+        decision_period_s: f64,
+        /// Supervised duration, seconds.
+        duration_s: f64,
+        /// Drift-detector EWMA smoothing factor (`--ewma`).
+        ewma_alpha: f64,
+        /// CUSUM slack per sample (`--cusum-k`).
+        cusum_k: f64,
+        /// CUSUM alarm threshold (`--cusum-h`).
+        cusum_h: f64,
+        /// Write the merged trace here (`--trace-out`).
+        trace_out: Option<String>,
+        /// Write metrics here (`--metrics`).
+        metrics: Option<String>,
+    },
     /// `help`.
     Help,
 }
@@ -153,12 +217,24 @@ COMMANDS:
                                run the Figure-1 producer-consumer pipeline
                                with an agent and the memory simulator on one
                                telemetry hub; export the merged trace/metrics
+  drift   [--scenario <FILE>] [--perturb <node:factor[:at_s]>...]
+          [--decision-period S] [--duration S]
+          [--ewma A] [--cusum-k K] [--cusum-h H]
+          [--trace-out <PATH>] [--metrics <PATH>]
+                               run a scenario under model supervision: the
+                               analytic model predicts each decision tick,
+                               the simulator measures it (optionally on a
+                               perturbed machine), and the drift detector
+                               reports residuals and alarms
   help                         this text
 
 OBSERVABILITY:
-  --metrics <PATH>   on search/simulate/observe: write metrics to PATH
+  --format <F>       on observe/simulate/drift: stdout format
+                     text (default) | json | prom (Prometheus exposition
+                     of the run's telemetry hub); --json = --format json
+  --metrics <PATH>   on search/simulate/observe/drift: write metrics to PATH
                      (.json -> summary JSON, otherwise Prometheus text)
-  --trace-out <PATH> on observe: write the merged Perfetto/Chrome trace
+  --trace-out <PATH> on observe/drift: write the merged Perfetto/Chrome trace
 
 APP SPEC:   name:placement:ai      placement = local | node<K> | spread
 MACHINE:    preset name (paper-model, paper-crossnode, paper-skylake,
@@ -197,6 +273,28 @@ fn parse_app(spec: &str) -> Result<AppArg> {
     })
 }
 
+fn parse_perturb(spec: &str) -> Result<PerturbArg> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 2 && parts.len() != 3 {
+        return Err(CliError::usage(format!(
+            "bad --perturb '{spec}': expected node:factor[:at_s]"
+        )));
+    }
+    let node: usize = parts[0]
+        .parse()
+        .map_err(|_| CliError::usage(format!("bad node '{}' in --perturb '{spec}'", parts[0])))?;
+    let factor: f64 = parts[1]
+        .parse()
+        .map_err(|_| CliError::usage(format!("bad factor '{}' in --perturb '{spec}'", parts[1])))?;
+    let at_s: f64 = match parts.get(2) {
+        Some(t) => t
+            .parse()
+            .map_err(|_| CliError::usage(format!("bad at_s '{t}' in --perturb '{spec}'")))?,
+        None => 0.0,
+    };
+    Ok(PerturbArg { node, factor, at_s })
+}
+
 fn parse_counts(spec: &str) -> Result<Vec<usize>> {
     spec.split(',')
         .map(|t| {
@@ -222,6 +320,13 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
     let mut metrics: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut iterations = 30usize;
+    let mut format: Option<OutputFormat> = None;
+    let mut perturbations: Vec<PerturbArg> = Vec::new();
+    let mut decision_period_s = 0.01f64;
+    let mut duration_s = 0.2f64;
+    let mut ewma_alpha = 0.3f64;
+    let mut cusum_k = 0.05f64;
+    let mut cusum_h = 0.5f64;
 
     let mut positional: Vec<&str> = Vec::new();
     let mut it = argv.iter().peekable();
@@ -243,6 +348,33 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             "--scenario" => scenario = Some(next_value(&mut it, "--scenario")?),
             "--metrics" => metrics = Some(next_value(&mut it, "--metrics")?),
             "--trace-out" => trace_out = Some(next_value(&mut it, "--trace-out")?),
+            "--format" => format = Some(OutputFormat::parse(&next_value(&mut it, "--format")?)?),
+            "--perturb" => perturbations.push(parse_perturb(&next_value(&mut it, "--perturb")?)?),
+            "--decision-period" => {
+                decision_period_s = next_value(&mut it, "--decision-period")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --decision-period (expected seconds)"))?
+            }
+            "--duration" => {
+                duration_s = next_value(&mut it, "--duration")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --duration (expected seconds)"))?
+            }
+            "--ewma" => {
+                ewma_alpha = next_value(&mut it, "--ewma")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --ewma (expected 0..1)"))?
+            }
+            "--cusum-k" => {
+                cusum_k = next_value(&mut it, "--cusum-k")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --cusum-k (expected f64)"))?
+            }
+            "--cusum-h" => {
+                cusum_h = next_value(&mut it, "--cusum-h")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --cusum-h (expected f64)"))?
+            }
             "--iterations" => {
                 iterations = next_value(&mut it, "--iterations")?
                     .parse()
@@ -340,6 +472,17 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             trace_out,
             metrics,
         },
+        Some("drift") => Command::Drift {
+            scenario,
+            perturbations,
+            decision_period_s,
+            duration_s,
+            ewma_alpha,
+            cusum_k,
+            cusum_h,
+            trace_out,
+            metrics,
+        },
         Some("sweep") => {
             let apps = need_apps(&apps)?;
             if apps.len() != 1 {
@@ -353,7 +496,18 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
         Some(cmd) => return Err(CliError::usage(format!("unknown command '{cmd}'"))),
     };
 
-    Ok(Cli { command, json })
+    // `--json` is an alias for `--format json`; an explicit `--format`
+    // wins when both appear.
+    let format = format.unwrap_or(if json {
+        OutputFormat::Json
+    } else {
+        OutputFormat::Text
+    });
+    Ok(Cli {
+        command,
+        json: format == OutputFormat::Json,
+        format,
+    })
 }
 
 #[cfg(test)]
@@ -488,6 +642,74 @@ mod tests {
             Command::Simulate { metrics, .. } => assert_eq!(metrics.as_deref(), Some("m.prom")),
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_format_flag_and_json_alias() {
+        let cli = parse_args(&argv("observe --format prom")).unwrap();
+        assert_eq!(cli.format, OutputFormat::Prom);
+        assert!(!cli.json);
+
+        let cli = parse_args(&argv("observe --format json")).unwrap();
+        assert_eq!(cli.format, OutputFormat::Json);
+        assert!(cli.json, "--format json implies the --json alias");
+
+        let cli = parse_args(&argv("observe --json")).unwrap();
+        assert_eq!(cli.format, OutputFormat::Json);
+
+        // Explicit --format beats the --json alias.
+        let cli = parse_args(&argv("observe --json --format prom")).unwrap();
+        assert_eq!(cli.format, OutputFormat::Prom);
+        assert!(!cli.json);
+
+        assert!(parse_args(&argv("observe --format yaml")).is_err());
+    }
+
+    #[test]
+    fn parses_drift_command() {
+        let cli = parse_args(&argv(
+            "drift --perturb 0:0.5:0.1 --perturb 1:0.8 --decision-period 0.02 \
+             --duration 0.3 --ewma 0.4 --cusum-k 0.1 --cusum-h 0.8 --format json",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Drift {
+                scenario,
+                perturbations,
+                decision_period_s,
+                duration_s,
+                ewma_alpha,
+                cusum_k,
+                cusum_h,
+                ..
+            } => {
+                assert_eq!(scenario, None);
+                assert_eq!(
+                    perturbations,
+                    vec![
+                        PerturbArg {
+                            node: 0,
+                            factor: 0.5,
+                            at_s: 0.1
+                        },
+                        PerturbArg {
+                            node: 1,
+                            factor: 0.8,
+                            at_s: 0.0
+                        },
+                    ]
+                );
+                assert!((decision_period_s - 0.02).abs() < 1e-12);
+                assert!((duration_s - 0.3).abs() < 1e-12);
+                assert!((ewma_alpha - 0.4).abs() < 1e-12);
+                assert!((cusum_k - 0.1).abs() < 1e-12);
+                assert!((cusum_h - 0.8).abs() < 1e-12);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&argv("drift --perturb bogus")).is_err());
+        assert!(parse_args(&argv("drift --perturb 0:x")).is_err());
+        assert!(parse_args(&argv("drift --duration nope")).is_err());
     }
 
     #[test]

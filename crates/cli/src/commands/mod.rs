@@ -1,6 +1,8 @@
 //! Command execution.
 
-use crate::{AppArg, Cli, CliError, Command, PlacementArg, Result, SearchMethod};
+use crate::{
+    AppArg, Cli, CliError, Command, OutputFormat, PerturbArg, PlacementArg, Result, SearchMethod,
+};
 use coop_alloc::{search, Objective, ThreadAssignment};
 use numa_topology::{presets, Machine, NodeId};
 use roofline_numa::{solve, sweep, AppSpec, DataPlacement};
@@ -93,7 +95,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             scenario.as_deref(),
             *write_template,
             metrics.as_deref(),
-            cli.json,
+            cli.format,
         ),
         Command::Observe {
             machine,
@@ -105,7 +107,27 @@ pub fn execute(cli: &Cli) -> Result<String> {
             *iterations,
             trace_out.as_deref(),
             metrics.as_deref(),
-            cli.json,
+            cli.format,
+        ),
+        Command::Drift {
+            scenario,
+            perturbations,
+            decision_period_s,
+            duration_s,
+            ewma_alpha,
+            cusum_k,
+            cusum_h,
+            trace_out,
+            metrics,
+        } => drift_cmd(
+            scenario.as_deref(),
+            perturbations,
+            *decision_period_s,
+            *duration_s,
+            (*ewma_alpha, *cusum_k, *cusum_h),
+            trace_out.as_deref(),
+            metrics.as_deref(),
+            cli.format,
         ),
     }
 }
@@ -126,7 +148,7 @@ fn simulate_cmd(
     scenario: Option<&str>,
     write_template: bool,
     metrics: Option<&str>,
-    json: bool,
+    format: OutputFormat,
 ) -> Result<String> {
     if write_template {
         return Ok(memsim::scenario::template().to_json() + "\n");
@@ -136,22 +158,117 @@ fn simulate_cmd(
         .map_err(|e| CliError::usage(format!("cannot read scenario '{path}': {e}")))?;
     let scenario = memsim::Scenario::from_json(&text)
         .map_err(|e| CliError::failure(format!("invalid scenario: {e}")))?;
-    let result = if let Some(metrics_path) = metrics {
+    // `--format prom` needs the hub even without a `--metrics` file.
+    let want_hub = metrics.is_some() || format == OutputFormat::Prom;
+    let (result, hub) = if want_hub {
         let hub = std::sync::Arc::new(coop_telemetry::TelemetryHub::new());
         let r = memsim::run_scenario_with_telemetry(&scenario, std::sync::Arc::clone(&hub))
             .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?;
-        write_metrics_file(metrics_path, &hub)?;
-        r
+        if let Some(metrics_path) = metrics {
+            write_metrics_file(metrics_path, &hub)?;
+        }
+        (r, Some(hub))
     } else {
-        memsim::run_scenario(&scenario)
-            .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?
+        let r = memsim::run_scenario(&scenario)
+            .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?;
+        (r, None)
     };
-    if json {
-        return serde_json::to_string_pretty(&result)
+    match format {
+        OutputFormat::Json => serde_json::to_string_pretty(&result)
             .map(|s| s + "\n")
-            .map_err(|e| CliError::failure(e.to_string()));
+            .map_err(|e| CliError::failure(e.to_string())),
+        OutputFormat::Prom => Ok(hub
+            .expect("hub exists for prom format")
+            .registry()
+            .to_prometheus()),
+        OutputFormat::Text => Ok(result.to_string()),
     }
-    Ok(result.to_string())
+}
+
+/// `drift`: run a scenario under model supervision (predict each decision
+/// tick with the analytic model, simulate it — optionally on a perturbed
+/// machine — and back-fill the residuals) and print the drift report.
+#[allow(clippy::too_many_arguments)]
+fn drift_cmd(
+    scenario: Option<&str>,
+    perturbations: &[PerturbArg],
+    decision_period_s: f64,
+    duration_s: f64,
+    (ewma_alpha, cusum_k, cusum_h): (f64, f64, f64),
+    trace_out: Option<&str>,
+    metrics: Option<&str>,
+    format: OutputFormat,
+) -> Result<String> {
+    use std::sync::Arc;
+
+    let scenario = match scenario {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::usage(format!("cannot read scenario '{path}': {e}")))?;
+            memsim::Scenario::from_json(&text)
+                .map_err(|e| CliError::failure(format!("invalid scenario: {e}")))?
+        }
+        None => {
+            // Template with only the first assignment: one supervised run.
+            let mut s = memsim::scenario::template();
+            s.assignments.truncate(1);
+            s
+        }
+    };
+    let config = memsim::SupervisorConfig {
+        decision_period_s,
+        duration_s,
+        perturbations: perturbations
+            .iter()
+            .map(|p| memsim::Perturbation {
+                at_s: p.at_s,
+                node: p.node,
+                bandwidth_factor: p.factor,
+            })
+            .collect(),
+        drift: coop_telemetry::DriftConfig {
+            ewma_alpha,
+            cusum_k,
+            cusum_h,
+            ..coop_telemetry::DriftConfig::default()
+        },
+    };
+    let hub = Arc::new(coop_telemetry::TelemetryHub::new());
+    let result = memsim::run_supervised(&scenario, &config, Arc::clone(&hub))
+        .map_err(|e| CliError::failure(format!("supervised run failed: {e}")))?;
+
+    if let Some(path) = trace_out {
+        std::fs::write(path, hub.to_perfetto_json())
+            .map_err(|e| CliError::failure(format!("cannot write trace '{path}': {e}")))?;
+    }
+    if let Some(path) = metrics {
+        write_metrics_file(path, &hub)?;
+    }
+
+    let report = result.report();
+    match format {
+        OutputFormat::Json => Ok(report.to_json() + "\n"),
+        OutputFormat::Prom => Ok(hub.registry().to_prometheus()),
+        OutputFormat::Text => {
+            let mut out = report.to_text();
+            out.push_str(&format!(
+                "{} decision ticks ({} perturbed), first alarm at tick {}\n",
+                result.ticks.len(),
+                result.ticks.iter().filter(|t| t.perturbed).count(),
+                result
+                    .first_alarm_tick()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".to_string()),
+            ));
+            if let Some(p) = trace_out {
+                out.push_str(&format!("trace written to {p}\n"));
+            }
+            if let Some(p) = metrics {
+                out.push_str(&format!("metrics written to {p}\n"));
+            }
+            Ok(out)
+        }
+    }
 }
 
 /// `observe`: the Figure-1 setup end to end on one telemetry hub — two
@@ -163,7 +280,7 @@ fn observe_cmd(
     iterations: usize,
     trace_out: Option<&str>,
     metrics: Option<&str>,
-    json: bool,
+    format: OutputFormat,
 ) -> Result<String> {
     use coop_agent::{policies, Agent};
     use coop_runtime::{Runtime, RuntimeConfig};
@@ -240,7 +357,10 @@ fn observe_cmd(
         write_metrics_file(path, &hub)?;
     }
 
-    if json {
+    if format == OutputFormat::Prom {
+        return Ok(hub.registry().to_prometheus());
+    }
+    if format == OutputFormat::Json {
         let summary: serde_json::Value = serde_json::from_str(&hub.summary_json())
             .map_err(|e| CliError::failure(format!("summary JSON: {e}")))?;
         let out = serde_json::json!({
@@ -831,6 +951,111 @@ mod observe_tests {
 }
 
 #[cfg(test)]
+mod drift_tests {
+    #[test]
+    fn drift_with_perturbation_reports_alarms() {
+        let out = crate::run(&[
+            "drift".into(),
+            "--perturb".into(),
+            "0:0.4:0.1".into(),
+            "--duration".into(),
+            "0.2".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("model-drift report"), "output:\n{out}");
+        assert!(!out.contains("first alarm at tick -"), "output:\n{out}");
+        assert!(out.contains("node/0/bandwidth_gbs"), "output:\n{out}");
+    }
+
+    #[test]
+    fn drift_without_perturbation_is_quiet() {
+        let out = crate::run(&["drift".into()]).unwrap();
+        assert!(out.contains("0 alarms"), "output:\n{out}");
+        assert!(out.contains("first alarm at tick -"), "output:\n{out}");
+    }
+
+    #[test]
+    fn drift_json_and_prom_formats() {
+        let json_out = crate::run(&[
+            "drift".into(),
+            "--perturb".into(),
+            "0:0.4:0.05".into(),
+            "--duration".into(),
+            "0.15".into(),
+            "--format".into(),
+            "json".into(),
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json_out).unwrap();
+        assert!(v["total_alarms"].as_u64().unwrap() > 0, "json:\n{json_out}");
+        assert!(v["series"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|s| s["series"].as_str().unwrap().starts_with("node/")));
+
+        let prom_out = crate::run(&[
+            "drift".into(),
+            "--perturb".into(),
+            "0:0.4:0.05".into(),
+            "--duration".into(),
+            "0.15".into(),
+            "--format".into(),
+            "prom".into(),
+        ])
+        .unwrap();
+        assert!(
+            prom_out.contains("coop_model_drift_alarms"),
+            "prom:\n{prom_out}"
+        );
+        assert!(prom_out.contains("coop_model_residual"));
+    }
+
+    #[test]
+    fn drift_writes_trace_and_metrics() {
+        let dir = std::env::temp_dir().join(format!("coop-cli-drift-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let prom = dir.join("drift.prom");
+        let out = crate::run(&[
+            "drift".into(),
+            "--perturb".into(),
+            "0:0.5:0.05".into(),
+            "--duration".into(),
+            "0.15".into(),
+            "--trace-out".into(),
+            trace.to_str().unwrap().into(),
+            "--metrics".into(),
+            prom.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(out.contains("trace written"));
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert!(events.iter().any(|e| e["cat"] == "provenance"));
+        assert!(events.iter().any(|e| e["cat"] == "drift"));
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("coop_model_residual"), "metrics:\n{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observe_prom_format_prints_exposition() {
+        let out = crate::run(&[
+            "observe".into(),
+            "--iterations".into(),
+            "2".into(),
+            "--format".into(),
+            "prom".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("# TYPE"), "output:\n{out}");
+        assert!(out.contains("memsim_node_utilization"));
+    }
+}
+
+#[cfg(test)]
 mod simulate_tests {
     #[test]
     fn template_round_trip_through_the_cli() {
@@ -859,6 +1084,25 @@ mod simulate_tests {
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&json_out).unwrap();
         assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_prom_format_prints_exposition() {
+        let template = crate::run(&["simulate".into(), "--write-template".into()]).unwrap();
+        let dir = std::env::temp_dir().join(format!("coop-cli-simprom-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        std::fs::write(&path, &template).unwrap();
+        let out = crate::run(&[
+            "simulate".into(),
+            "--scenario".into(),
+            path.to_str().unwrap().to_string(),
+            "--format".into(),
+            "prom".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("memsim_node_utilization"), "output:\n{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -28,7 +28,9 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse_args, AppArg, Cli, Command, PlacementArg, SearchMethod};
+pub use args::{
+    parse_args, AppArg, Cli, Command, OutputFormat, PerturbArg, PlacementArg, SearchMethod,
+};
 
 /// CLI error: a message for stderr plus a suggested exit code.
 #[derive(Debug, Clone, PartialEq)]

@@ -29,6 +29,12 @@
 //! converges to the analytic model exactly — a property the tests assert,
 //! cross-validating both implementations.
 //!
+//! The [`supervise`] module runs a scenario under *model supervision*: each
+//! decision tick is predicted with the analytic model, simulated (possibly
+//! on a mid-run-perturbed machine), and back-filled into the model-drift
+//! observatory so prediction residuals and drift alarms land on the shared
+//! telemetry timeline.
+//!
 //! ## Example: the paper's Table III procedure in miniature
 //!
 //! ```
@@ -56,6 +62,7 @@ mod config;
 mod engine;
 mod result;
 pub mod scenario;
+pub mod supervise;
 
 pub use app::{ActivityPattern, SimApp};
 pub use calibrate::{calibrate_even_scenario, CalibratedMachine};
@@ -65,6 +72,9 @@ pub use result::{AppSeries, SimResult};
 pub use scenario::{
     run_scenario, run_scenario_with_telemetry, NamedAssignment, Scenario, ScenarioResult,
     ScenarioRow,
+};
+pub use supervise::{
+    run_supervised, DecisionTick, Perturbation, SupervisedResult, SupervisorConfig,
 };
 
 // Re-exported so callers can attach a hub without naming the telemetry

@@ -1,0 +1,413 @@
+//! Supervised simulation: the model-drift observatory's predict-then-measure
+//! loop over the simulator.
+//!
+//! [`run_supervised`] slices one scenario assignment into decision ticks.
+//! Per tick it
+//!
+//! 1. solves the analytic model on the scenario's *nominal* machine and
+//!    opens a provenance record with the predicted per-app and per-node
+//!    series ([`roofline_numa::SolveReport::to_prediction`]),
+//! 2. simulates the tick on the *current* machine — the nominal one with
+//!    every [`Perturbation`] whose `at_s` has passed applied — and
+//! 3. back-fills the record with the measured series, which runs the
+//!    residuals through the shared drift detector, updates the
+//!    `coop_model_*` Prometheus metrics, and raises alarm events on the
+//!    merged timeline.
+//!
+//! With no perturbations (and ideal effects) predicted and measured agree
+//! and the detector stays quiet; degrade a node's bandwidth mid-run and the
+//! `node/<n>/bandwidth_gbs` residuals go persistently negative until the
+//! CUSUM alarm fires — the continuous analogue of the paper's one-shot
+//! Table III model-vs-measurement comparison.
+
+use crate::{Result, Scenario, SimConfig, SimError, SimResult, Simulation};
+use coop_telemetry::{
+    DriftConfig, DriftReport, ModelObservatory, ProvenanceRecord, Residual, SeriesValue,
+    TelemetryHub,
+};
+use numa_topology::{Machine, NodeId};
+use roofline_numa::{solve, AppSpec, ThreadAssignment};
+use std::sync::Arc;
+
+/// A mid-run change to the simulated machine that the analytic model does
+/// not know about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Perturbation {
+    /// Simulated time at which the change takes effect, seconds.
+    pub at_s: f64,
+    /// The node whose local memory bandwidth changes.
+    pub node: usize,
+    /// Multiplier applied to the node's *nominal* bandwidth (e.g. `0.5`
+    /// halves it). When several perturbations of the same node are active,
+    /// the latest `at_s` wins.
+    pub bandwidth_factor: f64,
+}
+
+/// Tuning for [`run_supervised`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Length of one decision tick (predict → simulate → measure), seconds.
+    pub decision_period_s: f64,
+    /// Total supervised duration, seconds.
+    pub duration_s: f64,
+    /// Machine changes the model does not know about.
+    pub perturbations: Vec<Perturbation>,
+    /// Drift-detector tuning shared by every series.
+    pub drift: DriftConfig,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            decision_period_s: 0.02,
+            duration_s: 0.2,
+            perturbations: Vec::new(),
+            drift: DriftConfig::default(),
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Validates periods and perturbation targets against `machine`.
+    pub fn validate(&self, machine: &Machine) -> Result<()> {
+        if !(self.decision_period_s > 0.0 && self.decision_period_s.is_finite()) {
+            return Err(SimError::BadTime {
+                reason: "decision period must be positive and finite",
+            });
+        }
+        if !(self.duration_s > 0.0 && self.duration_s.is_finite()) {
+            return Err(SimError::BadTime {
+                reason: "supervised duration must be positive and finite",
+            });
+        }
+        for p in &self.perturbations {
+            if p.node >= machine.num_nodes() {
+                return Err(SimError::Calibration {
+                    reason: format!(
+                        "perturbation targets node {} but the machine has {} nodes",
+                        p.node,
+                        machine.num_nodes()
+                    ),
+                });
+            }
+            if !(p.bandwidth_factor > 0.0 && p.bandwidth_factor.is_finite()) {
+                return Err(SimError::Calibration {
+                    reason: format!(
+                        "perturbation of node {} has non-positive bandwidth factor {}",
+                        p.node, p.bandwidth_factor
+                    ),
+                });
+            }
+            if !(p.at_s >= 0.0 && p.at_s.is_finite()) {
+                return Err(SimError::BadTime {
+                    reason: "perturbation time must be non-negative and finite",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The nominal machine with every perturbation active at time `t_s`
+    /// applied (latest-active-per-node wins).
+    pub fn machine_at(&self, nominal: &Machine, t_s: f64) -> Result<Machine> {
+        let mut factors: Vec<Option<(f64, f64)>> = vec![None; nominal.num_nodes()];
+        for p in &self.perturbations {
+            if p.at_s <= t_s {
+                let slot = &mut factors[p.node];
+                if slot.is_none_or(|(at, _)| p.at_s >= at) {
+                    *slot = Some((p.at_s, p.bandwidth_factor));
+                }
+            }
+        }
+        let mut machine = nominal.clone();
+        for (node, slot) in factors.iter().enumerate() {
+            if let Some((_, factor)) = slot {
+                machine = machine
+                    .with_scaled_node_bandwidth(NodeId(node), *factor)
+                    .map_err(|e| SimError::Calibration {
+                        reason: format!("applying perturbation to node {node}: {e}"),
+                    })?;
+            }
+        }
+        Ok(machine)
+    }
+}
+
+/// One decision tick of a supervised run.
+#[derive(Debug, Clone)]
+pub struct DecisionTick {
+    /// Tick index (0-based).
+    pub tick: u64,
+    /// Simulated start time of the tick, seconds.
+    pub start_s: f64,
+    /// Provenance-record id in the observatory's ledger.
+    pub provenance: u64,
+    /// `true` if a perturbation was active during this tick.
+    pub perturbed: bool,
+    /// Residuals computed when the tick's record was back-filled.
+    pub residuals: Vec<Residual>,
+    /// Number of drift alarms raised while closing this tick.
+    pub alarms: usize,
+}
+
+/// The outcome of [`run_supervised`].
+#[derive(Debug, Clone)]
+pub struct SupervisedResult {
+    /// One entry per decision tick, in order.
+    pub ticks: Vec<DecisionTick>,
+    /// The observatory holding the ledger, detector state, and metrics.
+    pub observatory: Arc<ModelObservatory>,
+}
+
+impl SupervisedResult {
+    /// The drift report accumulated over the run.
+    pub fn report(&self) -> DriftReport {
+        self.observatory.report()
+    }
+
+    /// The retained provenance records, oldest first.
+    pub fn records(&self) -> Vec<ProvenanceRecord> {
+        self.observatory.records()
+    }
+
+    /// Total drift alarms raised during the run.
+    pub fn total_alarms(&self) -> usize {
+        self.ticks.iter().map(|t| t.alarms).sum()
+    }
+
+    /// Index of the first tick that raised an alarm, if any.
+    pub fn first_alarm_tick(&self) -> Option<u64> {
+        self.ticks.iter().find(|t| t.alarms > 0).map(|t| t.tick)
+    }
+}
+
+/// Runs the first assignment of `scenario` under model supervision,
+/// publishing provenance and drift events into `hub` (see the module docs
+/// for the per-tick loop).
+pub fn run_supervised(
+    scenario: &Scenario,
+    config: &SupervisorConfig,
+    hub: Arc<TelemetryHub>,
+) -> Result<SupervisedResult> {
+    scenario.validate()?;
+    config.validate(&scenario.machine)?;
+    let observatory = Arc::new(ModelObservatory::with_config(
+        Arc::clone(&hub),
+        config.drift.clone(),
+        1024,
+    ));
+    let named = &scenario.assignments[0];
+    let assignment = ThreadAssignment::from_matrix(named.threads.clone());
+    let specs: Vec<AppSpec> = scenario.apps.iter().map(|a| a.spec.clone()).collect();
+
+    // The model predicts once from the nominal machine: the assignment is
+    // static, so the prediction only changes if the machine does — and the
+    // whole point is that the model does not know about perturbations.
+    let report = solve(&scenario.machine, &specs, &assignment)?;
+    let mut prediction_template = report.to_prediction();
+    prediction_template.assignment = format!("{} {:?}", named.name, named.threads);
+
+    // Map simulated seconds onto the hub clock exactly like the engine's
+    // own telemetry does, so provenance/alarm events interleave with the
+    // simulator's bandwidth samples.
+    let base_us = hub.now_us();
+    let ts = |t_s: f64| base_us + (t_s * 1e6) as u64;
+
+    let ticks_total = (config.duration_s / config.decision_period_s).ceil() as u64;
+    let mut ticks = Vec::with_capacity(ticks_total as usize);
+    for tick in 0..ticks_total {
+        let start_s = tick as f64 * config.decision_period_s;
+        let period = config.decision_period_s.min(config.duration_s - start_s);
+        if period <= 0.0 {
+            break;
+        }
+        let machine = config.machine_at(&scenario.machine, start_s)?;
+        let perturbed = machine != scenario.machine;
+
+        let id = observatory.open_decision_at(
+            tick,
+            "memsim-supervisor",
+            &format!("simulate {period:.4}s on {}", machine.name()),
+            prediction_template.clone(),
+            ts(start_s),
+        );
+
+        let sim = Simulation::new(
+            SimConfig::new(machine)
+                .with_effects(scenario.effects.clone())
+                .with_seed(scenario.seed.wrapping_add(tick)),
+        )
+        .with_telemetry(Arc::clone(&hub));
+        let result = sim.run(&scenario.apps, &assignment, period)?;
+
+        let alarms_before = observatory.detector().total_alarms();
+        let residuals = observatory.close_decision_at(
+            id,
+            measured_series(scenario, &result),
+            ts(start_s + period),
+        );
+        let alarms = (observatory.detector().total_alarms() - alarms_before) as usize;
+        ticks.push(DecisionTick {
+            tick,
+            start_s,
+            provenance: id,
+            perturbed,
+            residuals,
+            alarms,
+        });
+    }
+
+    Ok(SupervisedResult { ticks, observatory })
+}
+
+/// The measured counterpart of [`roofline_numa::SolveReport::to_prediction`]:
+/// per-app throughput and bandwidth plus per-node served bandwidth, from
+/// the simulator's counters.
+fn measured_series(scenario: &Scenario, result: &SimResult) -> Vec<SeriesValue> {
+    let mut series = Vec::with_capacity(scenario.apps.len() * 2 + result.node_avg_gbs.len());
+    for (i, app) in scenario.apps.iter().enumerate() {
+        let gflops = result.app_gflops(i);
+        series.push(SeriesValue::new(
+            format!("app/{}/gflops", app.spec.name),
+            gflops,
+        ));
+        // bandwidth = throughput / arithmetic intensity (GFLOPS over
+        // FLOP/byte gives GB/s) — the same identity the model uses.
+        series.push(SeriesValue::new(
+            format!("app/{}/bandwidth_gbs", app.spec.name),
+            gflops / app.spec.ai,
+        ));
+    }
+    for (n, &gbs) in result.node_avg_gbs.iter().enumerate() {
+        series.push(SeriesValue::new(format!("node/{n}/bandwidth_gbs"), gbs));
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::template;
+    use crate::EffectModel;
+
+    fn base_scenario() -> Scenario {
+        let mut s = template();
+        // Single assignment, ideal effects: the simulator matches the
+        // analytic model exactly, so residuals are pure perturbation.
+        s.assignments.truncate(1);
+        s.effects = EffectModel::ideal();
+        s
+    }
+
+    fn quiet_config() -> SupervisorConfig {
+        SupervisorConfig {
+            decision_period_s: 0.01,
+            duration_s: 0.1,
+            perturbations: Vec::new(),
+            drift: DriftConfig::default(),
+        }
+    }
+
+    #[test]
+    fn unperturbed_run_raises_no_alarm() {
+        let hub = Arc::new(TelemetryHub::new());
+        let result = run_supervised(&base_scenario(), &quiet_config(), hub).unwrap();
+        assert_eq!(result.ticks.len(), 10);
+        assert_eq!(result.total_alarms(), 0);
+        assert!(result.ticks.iter().all(|t| !t.perturbed));
+        // Every record is closed with real residuals.
+        for record in result.records() {
+            assert!(record.is_closed());
+            assert!(!record.residuals.is_empty());
+        }
+    }
+
+    #[test]
+    fn step_change_is_detected_within_a_few_ticks() {
+        let mut config = quiet_config();
+        config.duration_s = 0.2;
+        config.perturbations.push(Perturbation {
+            at_s: 0.1,
+            node: 0,
+            bandwidth_factor: 0.4,
+        });
+        let hub = Arc::new(TelemetryHub::new());
+        let result = run_supervised(&base_scenario(), &config, hub).unwrap();
+        assert!(
+            result.total_alarms() > 0,
+            "perturbation must raise an alarm"
+        );
+        let first = result.first_alarm_tick().unwrap();
+        // The perturbation lands at tick 10; satellite requirement: the
+        // detector fires within a handful of decision ticks, not at the
+        // very end of the run.
+        assert!(
+            (10..=16).contains(&first),
+            "first alarm at tick {first}, expected within 6 ticks of the step at tick 10"
+        );
+        // No alarm before the step.
+        assert!(result.ticks[..10].iter().all(|t| t.alarms == 0));
+    }
+
+    #[test]
+    fn perturbed_ticks_are_flagged_and_residuals_negative() {
+        let mut config = quiet_config();
+        config.perturbations.push(Perturbation {
+            at_s: 0.05,
+            node: 1,
+            bandwidth_factor: 0.5,
+        });
+        let hub = Arc::new(TelemetryHub::new());
+        let scenario = base_scenario();
+        let result = run_supervised(&scenario, &config, hub).unwrap();
+        assert!(result.ticks[..5].iter().all(|t| !t.perturbed));
+        assert!(result.ticks[5..].iter().all(|t| t.perturbed));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let scenario = base_scenario();
+        let mut config = quiet_config();
+        config.decision_period_s = 0.0;
+        assert!(config.validate(&scenario.machine).is_err());
+
+        let mut config = quiet_config();
+        config.perturbations.push(Perturbation {
+            at_s: 0.0,
+            node: 99,
+            bandwidth_factor: 0.5,
+        });
+        assert!(config.validate(&scenario.machine).is_err());
+
+        let mut config = quiet_config();
+        config.perturbations.push(Perturbation {
+            at_s: 0.0,
+            node: 0,
+            bandwidth_factor: 0.0,
+        });
+        assert!(config.validate(&scenario.machine).is_err());
+    }
+
+    #[test]
+    fn machine_at_latest_perturbation_wins() {
+        let scenario = base_scenario();
+        let mut config = quiet_config();
+        config.perturbations.push(Perturbation {
+            at_s: 0.01,
+            node: 0,
+            bandwidth_factor: 0.5,
+        });
+        config.perturbations.push(Perturbation {
+            at_s: 0.05,
+            node: 0,
+            bandwidth_factor: 0.25,
+        });
+        let nominal = scenario.machine.node(NodeId(0)).bandwidth_gbs;
+        let m = config.machine_at(&scenario.machine, 0.02).unwrap();
+        assert!((m.node(NodeId(0)).bandwidth_gbs - nominal * 0.5).abs() < 1e-9);
+        let m = config.machine_at(&scenario.machine, 0.06).unwrap();
+        assert!((m.node(NodeId(0)).bandwidth_gbs - nominal * 0.25).abs() < 1e-9);
+        let m = config.machine_at(&scenario.machine, 0.0).unwrap();
+        assert_eq!(m, scenario.machine);
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end acceptance test for the model-drift observatory.
+//!
+//! A supervised memsim run whose node bandwidth is perturbed mid-run must
+//! produce (a) a decision whose provenance record carries predicted AND
+//! measured bandwidth with a nonzero residual, (b) a drift alarm event on
+//! the shared timeline, and (c) a nonzero `coop_model_drift_alarms`
+//! counter in the Prometheus exposition — while the identical unperturbed
+//! run raises no alarm at all.
+
+use coop_telemetry::TelemetryHub;
+use memsim::scenario::template;
+use memsim::{run_supervised, EffectModel, Perturbation, Scenario, SupervisorConfig};
+use std::sync::Arc;
+
+fn scenario() -> Scenario {
+    let mut s = template();
+    s.assignments.truncate(1);
+    s.effects = EffectModel::ideal();
+    s
+}
+
+fn config(perturbations: Vec<Perturbation>) -> SupervisorConfig {
+    SupervisorConfig {
+        decision_period_s: 0.01,
+        duration_s: 0.2,
+        perturbations,
+        ..SupervisorConfig::default()
+    }
+}
+
+#[test]
+fn perturbed_run_satisfies_all_acceptance_criteria() {
+    let hub = Arc::new(TelemetryHub::new());
+    let result = run_supervised(
+        &scenario(),
+        &config(vec![Perturbation {
+            at_s: 0.1,
+            node: 0,
+            bandwidth_factor: 0.4,
+        }]),
+        Arc::clone(&hub),
+    )
+    .unwrap();
+
+    // (a) A closed provenance record with predicted and measured node
+    // bandwidth and a nonzero residual on the perturbed node's series.
+    let series = "node/0/bandwidth_gbs";
+    let record = result
+        .records()
+        .into_iter()
+        .filter(|r| r.is_closed())
+        .find(|r| {
+            r.residual_for(series)
+                .is_some_and(|res| res.relative.abs() > 0.05)
+        })
+        .expect("a provenance record with a nonzero node/0 residual");
+    let residual = record.residual_for(series).unwrap();
+    assert!(residual.predicted > 0.0, "prediction must be recorded");
+    assert!(residual.measured > 0.0, "measurement must be back-filled");
+    assert!(
+        residual.measured < residual.predicted,
+        "halving node bandwidth must under-deliver the prediction"
+    );
+    assert_eq!(record.prediction.value(series), Some(residual.predicted));
+
+    // (b) A drift alarm instant on the shared timeline.
+    let events = hub.events();
+    assert!(
+        events.iter().any(|e| e.cat == "drift"),
+        "expected a drift alarm event on the timeline"
+    );
+    assert!(
+        events.iter().any(|e| e.cat == "provenance"),
+        "expected provenance events on the timeline"
+    );
+
+    // (c) A nonzero alarm counter in the Prometheus exposition.
+    assert!(result.total_alarms() > 0);
+    let prom = hub.registry().to_prometheus();
+    let alarm_count: u64 = prom
+        .lines()
+        .filter(|l| l.starts_with("coop_model_drift_alarms{"))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum();
+    assert!(
+        alarm_count > 0,
+        "coop_model_drift_alarms must be nonzero in:\n{prom}"
+    );
+    assert!(prom.contains("coop_model_residual{"));
+}
+
+#[test]
+fn unperturbed_run_raises_no_alarm_anywhere() {
+    let hub = Arc::new(TelemetryHub::new());
+    let result = run_supervised(&scenario(), &config(Vec::new()), Arc::clone(&hub)).unwrap();
+
+    assert_eq!(result.total_alarms(), 0);
+    assert!(!hub.events().iter().any(|e| e.cat == "drift"));
+    let prom = hub.registry().to_prometheus();
+    let alarm_count: u64 = prom
+        .lines()
+        .filter(|l| l.starts_with("coop_model_drift_alarms{"))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum();
+    assert_eq!(alarm_count, 0, "no alarms expected in:\n{prom}");
+}

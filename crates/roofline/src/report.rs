@@ -1,5 +1,6 @@
 //! Structured output of a model solve.
 
+use coop_telemetry::{Prediction, SeriesValue};
 use numa_topology::NodeId;
 use serde::{Deserialize, Serialize};
 
@@ -115,6 +116,59 @@ impl SolveReport {
     pub fn group(&self, app: usize, node: NodeId) -> Option<&ThreadGrant> {
         self.groups.iter().find(|g| g.app == app && g.home == node)
     }
+
+    /// Total bandwidth served *by* `node`'s memory (remote-first plus
+    /// local stage), GB/s — the model's prediction of what a bandwidth
+    /// counter on that node would measure.
+    pub fn node_bandwidth_gbs(&self, node: NodeId) -> f64 {
+        self.nodes
+            .iter()
+            .find(|n| n.node == node)
+            .map(|n| n.served_remote_gbs + n.served_local_gbs)
+            .unwrap_or(0.0)
+    }
+
+    /// Per-node served bandwidth in node order, GB/s.
+    pub fn node_bandwidths_gbs(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .map(|n| n.served_remote_gbs + n.served_local_gbs)
+            .collect()
+    }
+
+    /// Package this solve as a decision [`Prediction`] for the model-drift
+    /// observatory: per-app predicted throughput (`app/<name>/gflops`) and
+    /// bandwidth (`app/<name>/bandwidth_gbs`), per-node served bandwidth
+    /// (`node/<n>/bandwidth_gbs`), with the apps' arithmetic intensities
+    /// and thread counts recorded as model inputs. The caller fills in
+    /// [`Prediction::assignment`] with the assignment it evaluated.
+    pub fn to_prediction(&self) -> Prediction {
+        let mut inputs = Vec::with_capacity(self.apps.len() * 2);
+        let mut series = Vec::with_capacity(self.apps.len() * 2 + self.nodes.len());
+        for app in &self.apps {
+            inputs.push((format!("ai/{}", app.name), app.ai));
+            inputs.push((format!("threads/{}", app.name), app.threads as f64));
+            series.push(SeriesValue::new(
+                format!("app/{}/gflops", app.name),
+                app.gflops,
+            ));
+            series.push(SeriesValue::new(
+                format!("app/{}/bandwidth_gbs", app.name),
+                app.bandwidth_gbs,
+            ));
+        }
+        for node in &self.nodes {
+            series.push(SeriesValue::new(
+                format!("node/{}/bandwidth_gbs", node.node.0),
+                node.served_remote_gbs + node.served_local_gbs,
+            ));
+        }
+        Prediction {
+            inputs,
+            assignment: String::new(),
+            series,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +202,47 @@ mod tests {
             gflops: 10.0,
         };
         assert!((n.utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_converts_to_prediction() {
+        let report = SolveReport {
+            machine: "m".into(),
+            apps: vec![AppReport {
+                name: "memA".into(),
+                ai: 0.25,
+                threads: 4,
+                gflops: 6.0,
+                bandwidth_gbs: 24.0,
+            }],
+            nodes: vec![
+                NodeReport {
+                    node: NodeId(0),
+                    capacity_gbs: 32.0,
+                    served_remote_gbs: 4.0,
+                    served_local_gbs: 20.0,
+                    baseline_gbs: 3.0,
+                    gflops: 6.0,
+                },
+                NodeReport {
+                    node: NodeId(1),
+                    capacity_gbs: 32.0,
+                    served_remote_gbs: 0.0,
+                    served_local_gbs: 0.0,
+                    baseline_gbs: 3.0,
+                    gflops: 0.0,
+                },
+            ],
+            groups: Vec::new(),
+        };
+        assert!((report.node_bandwidth_gbs(NodeId(0)) - 24.0).abs() < 1e-12);
+        assert_eq!(report.node_bandwidths_gbs(), vec![24.0, 0.0]);
+        let p = report.to_prediction();
+        assert_eq!(p.value("app/memA/gflops"), Some(6.0));
+        assert_eq!(p.value("app/memA/bandwidth_gbs"), Some(24.0));
+        assert_eq!(p.value("node/0/bandwidth_gbs"), Some(24.0));
+        assert_eq!(p.value("node/1/bandwidth_gbs"), Some(0.0));
+        assert!(p.inputs.contains(&("ai/memA".to_string(), 0.25)));
+        assert!(p.inputs.contains(&("threads/memA".to_string(), 4.0)));
     }
 }

@@ -528,6 +528,7 @@ impl Runtime {
             external_threads: self.shared.external.snapshot().len(),
             per_node,
             user_counters: self.shared.stats.user.lock().clone(),
+            uptime_us: self.shared.stats.uptime_us(),
         }
     }
 

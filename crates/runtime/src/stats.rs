@@ -11,6 +11,7 @@ use numa_topology::NodeId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Per-node occupancy in a [`RuntimeStats`] snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,12 +49,37 @@ pub struct RuntimeStats {
     pub per_node: Vec<NodeOccupancy>,
     /// Application-defined counters (e.g. iterations produced/consumed).
     pub user_counters: HashMap<String, u64>,
+    /// Microseconds since the runtime started, measured when the snapshot
+    /// was taken. Lets consumers turn two snapshots' counter deltas into
+    /// rates (the model-drift observatory's measured throughput) without a
+    /// clock of their own.
+    pub uptime_us: u64,
 }
 
 impl RuntimeStats {
     /// Convenience: value of a user counter, or 0 if absent.
     pub fn user_counter(&self, name: &str) -> u64 {
         self.user_counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Lifetime-average task throughput, tasks per second (0 when the
+    /// snapshot carries no elapsed time).
+    pub fn tasks_per_second(&self) -> f64 {
+        if self.uptime_us == 0 {
+            return 0.0;
+        }
+        self.tasks_executed as f64 / (self.uptime_us as f64 / 1e6)
+    }
+
+    /// Task throughput between an older snapshot `prev` and this one,
+    /// tasks per second (0 when no time elapsed between them).
+    pub fn tasks_per_second_since(&self, prev: &RuntimeStats) -> f64 {
+        let dt_us = self.uptime_us.saturating_sub(prev.uptime_us);
+        if dt_us == 0 {
+            return 0.0;
+        }
+        let dn = self.tasks_executed.saturating_sub(prev.tasks_executed);
+        dn as f64 / (dt_us as f64 / 1e6)
     }
 }
 
@@ -64,6 +90,9 @@ pub(crate) struct StatsCollector {
     pub tasks_spawned: AtomicU64,
     pub per_node_executed: Vec<AtomicU64>,
     pub user: Mutex<HashMap<String, u64>>,
+    /// When the runtime was constructed; `RuntimeStats::uptime_us` is
+    /// measured from here.
+    pub epoch: Instant,
 }
 
 impl StatsCollector {
@@ -74,7 +103,13 @@ impl StatsCollector {
             tasks_spawned: AtomicU64::new(0),
             per_node_executed: (0..num_nodes).map(|_| AtomicU64::new(0)).collect(),
             user: Mutex::new(HashMap::new()),
+            epoch: Instant::now(),
         }
+    }
+
+    /// Microseconds elapsed since construction.
+    pub fn uptime_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
     }
 
     // Finish counters are recorded with Release and read with Acquire so
@@ -149,8 +184,37 @@ mod tests {
             external_threads: 0,
             per_node: vec![],
             user_counters: HashMap::from([("a".to_string(), 7u64)]),
+            uptime_us: 0,
         };
         assert_eq!(s.user_counter("a"), 7);
         assert_eq!(s.user_counter("missing"), 0);
+    }
+
+    #[test]
+    fn throughput_accessors() {
+        let mut prev = RuntimeStats {
+            name: "x".into(),
+            tasks_executed: 100,
+            tasks_panicked: 0,
+            tasks_spawned: 100,
+            tasks_ready: 0,
+            tasks_pending: 0,
+            running_workers: 0,
+            blocked_workers: 0,
+            external_threads: 0,
+            per_node: vec![],
+            user_counters: HashMap::new(),
+            uptime_us: 500_000,
+        };
+        let mut now = prev.clone();
+        now.tasks_executed = 300;
+        now.uptime_us = 1_500_000;
+        assert!((now.tasks_per_second() - 200.0).abs() < 1e-9);
+        assert!((now.tasks_per_second_since(&prev) - 200.0).abs() < 1e-9);
+        // Degenerate windows report 0 instead of dividing by zero.
+        prev.uptime_us = 0;
+        prev.tasks_executed = 0;
+        assert_eq!(prev.tasks_per_second(), 0.0);
+        assert_eq!(now.tasks_per_second_since(&now.clone()), 0.0);
     }
 }

@@ -18,7 +18,13 @@
 //!   bandwidth counter samples all share one clock (microseconds since the
 //!   hub's epoch) and export as a single merged Perfetto/Chrome JSON
 //!   trace;
-//! * a compact JSON summary report for scripting.
+//! * a compact JSON summary report for scripting;
+//! * a **model-drift observatory** ([`ModelObservatory`]): a decision
+//!   provenance ledger pairing every model prediction with its measured
+//!   outcome, plus a per-series EWMA + CUSUM [`DriftDetector`] over the
+//!   prediction residuals — exported as `coop_model_residual` /
+//!   `coop_model_drift_alarms` metrics, timeline instants, and the
+//!   [`DriftReport`] behind `coop drift`.
 //!
 //! The hot path is deliberately cheap: metric updates are single atomic
 //! RMW operations on pre-registered handles, and timeline recording takes
@@ -45,12 +51,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod drift;
 mod export;
 mod json;
 mod metrics;
+mod observatory;
+mod provenance;
 mod timeline;
 
+pub use drift::{DriftAlarm, DriftConfig, DriftDetector, DriftDirection, SeriesSnapshot};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, HISTOGRAM_BUCKETS,
 };
+pub use observatory::{
+    DriftReport, ModelObservatory, ALARMS_METRIC, RESIDUAL_METRIC, RESIDUAL_PCT_METRIC,
+};
+pub use provenance::{Prediction, ProvenanceLedger, ProvenanceRecord, Residual, SeriesValue};
 pub use timeline::{ArgValue, EventKind, TelemetryHub, TimelineEvent, TrackId};

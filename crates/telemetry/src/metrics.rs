@@ -141,6 +141,57 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the log₂ bucket containing the target rank.
+    ///
+    /// Bucket `i` covers `(2^(i-1), 2^i]` (bucket 0 covers `[0, 1]`), so
+    /// the estimate interpolates between those bounds by the rank's
+    /// position within the bucket. The last bucket is unbounded; samples
+    /// landing there are attributed to `[2^30, 2^31]`, which keeps the
+    /// estimate finite. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            if *bucket == 0 {
+                continue;
+            }
+            let prev = cumulative as f64;
+            cumulative += bucket;
+            if cumulative as f64 >= target {
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    (1u64 << (i - 1)) as f64
+                };
+                let hi = (1u64 << i) as f64;
+                let fraction = ((target - prev) / *bucket as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * fraction;
+            }
+        }
+        // Unreachable unless the snapshot is torn; fall back to the mean.
+        self.mean()
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// A metric identity: name plus a sorted label set.
@@ -236,7 +287,7 @@ impl MetricsRegistry {
         let header = |out: &mut String, last: &mut String, name: &str, kind: &str| {
             if *last != name {
                 if let Some(help) = inner.help.get(name) {
-                    out.push_str(&format!("# HELP {} {}\n", name, help));
+                    out.push_str(&format!("# HELP {} {}\n", name, escape_help(help)));
                 }
                 out.push_str(&format!("# TYPE {} {}\n", name, kind));
                 *last = name.to_string();
@@ -257,6 +308,10 @@ impl MetricsRegistry {
             crate::json::push_f64(&mut value, gauge.get());
             out.push_str(&format!(" {}\n", value));
         }
+        // Quantile gauges are derived per histogram key but emitted after
+        // all `<name>_bucket` families so each `# TYPE` header appears
+        // exactly once per family.
+        let mut quantile_rows: Vec<(String, Vec<(String, String)>, &'static str, f64)> = Vec::new();
         for (key, histogram) in &inner.histograms {
             header(&mut out, &mut last_name, &key.name, "histogram");
             let snap = histogram.snapshot();
@@ -282,6 +337,23 @@ impl MetricsRegistry {
             out.push_str(&format!("{}_count", key.name));
             push_labels(&mut out, &key.labels, None);
             out.push_str(&format!(" {}\n", snap.count));
+            for (q, v) in [
+                ("0.5", snap.p50()),
+                ("0.9", snap.p90()),
+                ("0.99", snap.p99()),
+            ] {
+                quantile_rows.push((format!("{}_quantile", key.name), key.labels.clone(), q, v));
+            }
+        }
+        for (name, labels, q, v) in quantile_rows {
+            header(&mut out, &mut last_name, &name, "gauge");
+            out.push_str(&name);
+            let mut labels = labels;
+            labels.push(("quantile".to_string(), q.to_string()));
+            push_labels(&mut out, &labels, None);
+            let mut value = String::new();
+            crate::json::push_f64(&mut value, v);
+            out.push_str(&format!(" {}\n", value));
         }
         out
     }
@@ -315,9 +387,27 @@ impl MetricsRegistry {
                 key.labels.clone(),
                 snap.mean(),
             ));
+            rows.push((format!("{}_p50", key.name), key.labels.clone(), snap.p50()));
+            rows.push((format!("{}_p90", key.name), key.labels.clone(), snap.p90()));
+            rows.push((format!("{}_p99", key.name), key.labels.clone(), snap.p99()));
         }
         rows
     }
+}
+
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote and line feed must be backslash-escaped.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escape `# HELP` text per the Prometheus text exposition format:
+/// backslash and line feed must be backslash-escaped (quotes are legal
+/// in help text and stay as-is).
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 /// Append a Prometheus label block (`{a="b",le="4"}`) to `out`. `le` is
@@ -333,11 +423,7 @@ fn push_labels(out: &mut String, labels: &[(String, String)], le: Option<&str>) 
             out.push(',');
         }
         first = false;
-        out.push_str(&format!(
-            "{}=\"{}\"",
-            k,
-            v.replace('\\', "\\\\").replace('"', "\\\"")
-        ));
+        out.push_str(&format!("{}=\"{}\"", k, escape_label_value(v)));
     }
     if let Some(le) = le {
         if !first {
@@ -439,6 +525,84 @@ mod tests {
         assert!(text.contains("lat_bucket{le=\"2\"} 2\n"));
         assert!(text.contains("lat_bucket{le=\"8\"} 3\n"));
         assert!(text.contains("lat_bucket{le=\"+Inf\"} 3\n"));
+    }
+
+    #[test]
+    fn quantiles_on_known_distributions() {
+        // Uniform 1..=1024: every power-of-two bucket 1..=10 holds half
+        // the mass of the next one; the interpolated quantiles must land
+        // within one bucket width of the exact order statistics.
+        let h = Histogram::default();
+        for v in 1..=1024u64 {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let exact = |q: f64| q * 1024.0;
+        for q in [0.5, 0.9, 0.99] {
+            let est = snap.quantile(q);
+            let e = exact(q);
+            // Log₂ buckets bound the estimate to a factor of 2.
+            assert!(est >= e / 2.0 && est <= e * 2.0, "q={q}: est {est} vs {e}");
+        }
+        // A point mass: all quantiles collapse into the sample's bucket.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(700); // bucket (512, 1024]
+        }
+        let snap = h.snapshot();
+        for q in [0.01, 0.5, 0.99] {
+            let est = snap.quantile(q);
+            assert!((512.0..=1024.0).contains(&est), "q={q}: {est}");
+        }
+        assert!(snap.p50() <= snap.p90() && snap.p90() <= snap.p99());
+        // Empty histogram reports 0.
+        assert_eq!(Histogram::default().snapshot().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn exposition_carries_quantile_gauges() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_us", &[("runtime", "a")]);
+        for v in [1, 2, 4, 8, 1000] {
+            h.observe(v);
+        }
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE lat_us_quantile gauge"), "{text}");
+        assert!(
+            text.contains("lat_us_quantile{runtime=\"a\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("quantile=\"0.99\""), "{text}");
+        // Exactly one TYPE header for the quantile family.
+        assert_eq!(text.matches("# TYPE lat_us_quantile gauge").count(), 1);
+    }
+
+    #[test]
+    fn hostile_strings_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.set_help("evil", "line one\nline two \\ with backslash");
+        reg.counter("evil", &[("path", "C:\\tmp\n\"quoted\"")])
+            .inc();
+        let text = reg.to_prometheus();
+        // Help: newline and backslash escaped.
+        assert!(
+            text.contains("# HELP evil line one\\nline two \\\\ with backslash\n"),
+            "{text}"
+        );
+        // Label value: backslash, quote and newline escaped, so the
+        // sample still occupies a single physical line.
+        assert!(
+            text.contains("evil{path=\"C:\\\\tmp\\n\\\"quoted\\\"\"} 1\n"),
+            "{text}"
+        );
+        // No raw (unescaped) newline may survive inside any line: every
+        // physical line must be a comment or `name{...} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.ends_with(" 1"),
+                "torn line: {line:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,438 @@
+//! The model-drift observatory: provenance ledger + drift detector wired
+//! onto a [`TelemetryHub`].
+//!
+//! Callers (the agent tick loop, the memsim supervisor, the bench
+//! harnesses) open a provenance record when a decision fires and close it
+//! when the decision's lifetime ends. The observatory then:
+//!
+//! * computes per-series residuals and feeds them to the
+//!   [`DriftDetector`];
+//! * exports `coop_model_residual{series=…}` gauges, the
+//!   `coop_model_residual_abs_pct` histogram and the
+//!   `coop_model_drift_alarms{series=…}` counter to the hub's registry;
+//! * records `provenance` instants (decision opened) and `drift` instants
+//!   (alarm raised) on the shared timeline, so drift shows up next to the
+//!   task spans and bandwidth counters that caused it.
+
+use crate::drift::{DriftAlarm, DriftConfig, DriftDetector, SeriesSnapshot};
+use crate::json::{push_f64, push_str_literal};
+use crate::provenance::{Prediction, ProvenanceLedger, ProvenanceRecord, Residual, SeriesValue};
+use crate::timeline::{ArgValue, TelemetryHub, TrackId};
+use std::sync::Arc;
+
+/// Gauge holding the latest relative residual per series.
+pub const RESIDUAL_METRIC: &str = "coop_model_residual";
+/// Histogram of absolute relative residuals, in percent.
+pub const RESIDUAL_PCT_METRIC: &str = "coop_model_residual_abs_pct";
+/// Counter of drift alarms per series.
+pub const ALARMS_METRIC: &str = "coop_model_drift_alarms";
+
+/// Provenance + drift detection bound to one [`TelemetryHub`].
+#[derive(Debug)]
+pub struct ModelObservatory {
+    hub: Arc<TelemetryHub>,
+    track: TrackId,
+    ledger: ProvenanceLedger,
+    detector: DriftDetector,
+}
+
+impl ModelObservatory {
+    /// Create an observatory with default drift tuning and ledger size.
+    pub fn new(hub: Arc<TelemetryHub>) -> Self {
+        Self::with_config(hub, DriftConfig::default(), 1024)
+    }
+
+    /// Create an observatory with explicit drift tuning and ledger
+    /// capacity.
+    pub fn with_config(hub: Arc<TelemetryHub>, config: DriftConfig, capacity: usize) -> Self {
+        let track = hub.register_track("model-drift");
+        hub.set_lane_name(track, 0, "decisions");
+        hub.set_lane_name(track, 1, "alarms");
+        let registry = hub.registry();
+        registry.set_help(
+            RESIDUAL_METRIC,
+            "Latest relative prediction residual (measured-predicted)/|predicted| per series",
+        );
+        registry.set_help(
+            RESIDUAL_PCT_METRIC,
+            "Absolute relative prediction residual in percent",
+        );
+        registry.set_help(ALARMS_METRIC, "CUSUM drift alarms raised per series");
+        ModelObservatory {
+            hub,
+            track,
+            ledger: ProvenanceLedger::new(capacity),
+            detector: DriftDetector::new(config),
+        }
+    }
+
+    /// The hub this observatory records into.
+    pub fn hub(&self) -> &Arc<TelemetryHub> {
+        &self.hub
+    }
+
+    /// The underlying provenance ledger.
+    pub fn ledger(&self) -> &ProvenanceLedger {
+        &self.ledger
+    }
+
+    /// The underlying drift detector.
+    pub fn detector(&self) -> &DriftDetector {
+        &self.detector
+    }
+
+    /// Open a provenance record for a decision at the current hub time.
+    pub fn open_decision(
+        &self,
+        tick: u64,
+        source: &str,
+        command: &str,
+        prediction: Prediction,
+    ) -> u64 {
+        let now = self.hub.now_us();
+        self.open_decision_at(tick, source, command, prediction, now)
+    }
+
+    /// Open a provenance record with an explicit hub-clock timestamp
+    /// (simulators map simulated seconds onto the hub clock).
+    pub fn open_decision_at(
+        &self,
+        tick: u64,
+        source: &str,
+        command: &str,
+        prediction: Prediction,
+        ts_us: u64,
+    ) -> u64 {
+        let id = self.ledger.open(tick, source, command, prediction, ts_us);
+        self.hub.record_instant_at(
+            0,
+            self.track,
+            0,
+            "provenance",
+            "decision",
+            ts_us,
+            vec![
+                ("id".to_string(), ArgValue::U64(id)),
+                ("tick".to_string(), ArgValue::U64(tick)),
+                ("source".to_string(), ArgValue::Str(source.to_string())),
+                ("command".to_string(), ArgValue::Str(command.to_string())),
+            ],
+        );
+        id
+    }
+
+    /// Back-fill a decision with its realized outcome at the current hub
+    /// time; see [`ModelObservatory::close_decision_at`].
+    pub fn close_decision(&self, id: u64, measured: Vec<SeriesValue>) -> Vec<Residual> {
+        let now = self.hub.now_us();
+        self.close_decision_at(id, measured, now)
+    }
+
+    /// Back-fill decision `id` with the realized outcome, run every
+    /// residual through the drift detector, update the Prometheus
+    /// metrics, and put any alarms on the timeline. Returns the computed
+    /// residuals (empty if the id is unknown).
+    pub fn close_decision_at(
+        &self,
+        id: u64,
+        measured: Vec<SeriesValue>,
+        ts_us: u64,
+    ) -> Vec<Residual> {
+        let Some(record) = self.ledger.close(id, measured, ts_us) else {
+            return Vec::new();
+        };
+        let registry = self.hub.registry();
+        for residual in &record.residuals {
+            registry
+                .gauge(RESIDUAL_METRIC, &[("series", &residual.series)])
+                .set(residual.relative);
+            registry
+                .histogram(RESIDUAL_PCT_METRIC, &[])
+                .observe((residual.relative.abs() * 100.0).round() as u64);
+            if let Some(alarm) = self.detector.observe(&residual.series, residual.relative) {
+                registry
+                    .counter(ALARMS_METRIC, &[("series", &residual.series)])
+                    .inc();
+                self.hub.record_instant_at(
+                    0,
+                    self.track,
+                    1,
+                    "drift",
+                    "drift_alarm",
+                    ts_us,
+                    vec![
+                        ("series".to_string(), ArgValue::Str(alarm.series.clone())),
+                        ("residual".to_string(), ArgValue::F64(alarm.residual)),
+                        ("ewma".to_string(), ArgValue::F64(alarm.ewma)),
+                        ("cusum".to_string(), ArgValue::F64(alarm.cusum)),
+                        (
+                            "direction".to_string(),
+                            ArgValue::Str(alarm.direction.as_str().to_string()),
+                        ),
+                        ("decision".to_string(), ArgValue::U64(record.id)),
+                    ],
+                );
+            }
+        }
+        record.residuals
+    }
+
+    /// Build the residual report from the current detector and ledger
+    /// state.
+    pub fn report(&self) -> DriftReport {
+        DriftReport {
+            series: self.detector.snapshot(),
+            alarms: self.detector.alarm_log(),
+            records: self.ledger.len(),
+            open_records: self.ledger.open_count(),
+        }
+    }
+
+    /// Copies of the retained provenance records (oldest first).
+    pub fn records(&self) -> Vec<ProvenanceRecord> {
+        self.ledger.records()
+    }
+}
+
+/// The residual report surfaced by `coop drift`: per-series error
+/// statistics, the worst series, and the alarm log.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// Per-series drift statistics, sorted by series key.
+    pub series: Vec<SeriesSnapshot>,
+    /// Alarm log, oldest first.
+    pub alarms: Vec<DriftAlarm>,
+    /// Provenance records retained in the ledger.
+    pub records: usize,
+    /// Provenance records still awaiting back-fill.
+    pub open_records: usize,
+}
+
+impl DriftReport {
+    /// Total alarms across all series.
+    pub fn total_alarms(&self) -> u64 {
+        self.series.iter().map(|s| s.alarms).sum()
+    }
+
+    /// The series with the largest mean absolute residual.
+    pub fn worst_series(&self) -> Option<&SeriesSnapshot> {
+        self.series.iter().max_by(|a, b| {
+            a.mean_abs_residual
+                .partial_cmp(&b.mean_abs_residual)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// The node-level series (`node/...`) with the largest mean absolute
+    /// residual — "the worst node" of the report.
+    pub fn worst_node(&self) -> Option<&SeriesSnapshot> {
+        self.series
+            .iter()
+            .filter(|s| s.series.starts_with("node/"))
+            .max_by(|a, b| {
+                a.mean_abs_residual
+                    .partial_cmp(&b.mean_abs_residual)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Render as a human-readable text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "model-drift report: {} records ({} open), {} alarms\n",
+            self.records,
+            self.open_records,
+            self.total_alarms()
+        ));
+        out.push_str(&format!(
+            "{:<34} {:>6} {:>9} {:>9} {:>9} {:>9} {:>7}\n",
+            "series", "n", "last", "ewma", "mean|r|", "max|r|", "alarms"
+        ));
+        for s in &self.series {
+            out.push_str(&format!(
+                "{:<34} {:>6} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>7}\n",
+                s.series,
+                s.samples,
+                s.last_residual,
+                s.ewma,
+                s.mean_abs_residual,
+                s.max_abs_residual,
+                s.alarms
+            ));
+        }
+        if let Some(worst) = self.worst_series() {
+            out.push_str(&format!(
+                "worst series: {} (mean |residual| {:.4})\n",
+                worst.series, worst.mean_abs_residual
+            ));
+        }
+        if let Some(worst) = self.worst_node() {
+            out.push_str(&format!(
+                "worst node:   {} (mean |residual| {:.4})\n",
+                worst.series, worst.mean_abs_residual
+            ));
+        }
+        if self.alarms.is_empty() {
+            out.push_str("no drift alarms\n");
+        } else {
+            out.push_str("alarm log:\n");
+            for (i, a) in self.alarms.iter().enumerate() {
+                out.push_str(&format!(
+                    "  [{}] {} sample {} residual {:+.4} cusum {:.4} ({})\n",
+                    i,
+                    a.series,
+                    a.sample,
+                    a.residual,
+                    a.cusum,
+                    a.direction.as_str()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"records\":");
+        out.push_str(&self.records.to_string());
+        out.push_str(",\"open_records\":");
+        out.push_str(&self.open_records.to_string());
+        out.push_str(",\"total_alarms\":");
+        out.push_str(&self.total_alarms().to_string());
+        out.push_str(",\"worst_series\":");
+        match self.worst_series() {
+            Some(w) => push_str_literal(&mut out, &w.series),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"worst_node\":");
+        match self.worst_node() {
+            Some(w) => push_str_literal(&mut out, &w.series),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"series\":[");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"series\":");
+            push_str_literal(&mut out, &s.series);
+            out.push_str(",\"samples\":");
+            out.push_str(&s.samples.to_string());
+            out.push_str(",\"last_residual\":");
+            push_f64(&mut out, s.last_residual);
+            out.push_str(",\"ewma\":");
+            push_f64(&mut out, s.ewma);
+            out.push_str(",\"mean_abs_residual\":");
+            push_f64(&mut out, s.mean_abs_residual);
+            out.push_str(",\"max_abs_residual\":");
+            push_f64(&mut out, s.max_abs_residual);
+            out.push_str(",\"alarms\":");
+            out.push_str(&s.alarms.to_string());
+            out.push('}');
+        }
+        out.push_str("],\"alarms\":[");
+        for (i, a) in self.alarms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"series\":");
+            push_str_literal(&mut out, &a.series);
+            out.push_str(",\"sample\":");
+            out.push_str(&a.sample.to_string());
+            out.push_str(",\"residual\":");
+            push_f64(&mut out, a.residual);
+            out.push_str(",\"ewma\":");
+            push_f64(&mut out, a.ewma);
+            out.push_str(",\"cusum\":");
+            push_f64(&mut out, a.cusum);
+            out.push_str(",\"direction\":");
+            push_str_literal(&mut out, a.direction.as_str());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prediction(bw: f64) -> Prediction {
+        Prediction {
+            inputs: vec![("ai/a".into(), 0.25)],
+            assignment: "a:[2,0]".into(),
+            series: vec![
+                SeriesValue::new("app/a/bandwidth_gbs", bw),
+                SeriesValue::new("node/0/bandwidth_gbs", bw * 2.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn residuals_flow_into_metrics_and_timeline() {
+        let hub = Arc::new(TelemetryHub::new());
+        let obs = ModelObservatory::new(Arc::clone(&hub));
+        // A run of decisions whose measurements sit 40% below prediction
+        // must eventually raise an alarm and export it everywhere.
+        for tick in 0..8u64 {
+            let id = obs.open_decision(tick, "test", "assign", prediction(10.0));
+            let residuals = obs.close_decision(
+                id,
+                vec![
+                    SeriesValue::new("app/a/bandwidth_gbs", 6.0),
+                    SeriesValue::new("node/0/bandwidth_gbs", 12.0),
+                ],
+            );
+            assert_eq!(residuals.len(), 2);
+        }
+        assert!(obs.detector().total_alarms() > 0);
+        let prom = hub.registry().to_prometheus();
+        assert!(prom.contains("coop_model_residual{series=\"app/a/bandwidth_gbs\"}"));
+        assert!(prom.contains("coop_model_drift_alarms{series=\"app/a/bandwidth_gbs\"}"));
+        assert!(hub.registry().counter_total(ALARMS_METRIC) > 0);
+        let events = hub.events();
+        assert!(events.iter().any(|e| e.cat == "provenance"));
+        assert!(events.iter().any(|e| e.cat == "drift"));
+    }
+
+    #[test]
+    fn perfect_predictions_raise_nothing() {
+        let hub = Arc::new(TelemetryHub::new());
+        let obs = ModelObservatory::new(Arc::clone(&hub));
+        for tick in 0..20u64 {
+            let id = obs.open_decision(tick, "test", "assign", prediction(10.0));
+            obs.close_decision(
+                id,
+                vec![
+                    SeriesValue::new("app/a/bandwidth_gbs", 10.0),
+                    SeriesValue::new("node/0/bandwidth_gbs", 20.0),
+                ],
+            );
+        }
+        assert_eq!(obs.detector().total_alarms(), 0);
+        assert_eq!(hub.registry().counter_total(ALARMS_METRIC), 0);
+        assert!(!hub.events().iter().any(|e| e.cat == "drift"));
+    }
+
+    #[test]
+    fn report_text_and_json_roundtrip() {
+        let hub = Arc::new(TelemetryHub::new());
+        let obs = ModelObservatory::new(Arc::clone(&hub));
+        for tick in 0..6u64 {
+            let id = obs.open_decision(tick, "t", "cmd", prediction(10.0));
+            obs.close_decision(id, vec![SeriesValue::new("app/a/bandwidth_gbs", 5.0)]);
+        }
+        let report = obs.report();
+        let text = report.to_text();
+        assert!(text.contains("model-drift report"));
+        assert!(text.contains("app/a/bandwidth_gbs"));
+        assert!(text.contains("worst series"));
+        let v: serde_json::Value =
+            serde_json::from_str(&report.to_json()).expect("report JSON must parse");
+        assert_eq!(v["worst_series"], "app/a/bandwidth_gbs");
+        assert!(v["total_alarms"].as_u64().unwrap() > 0);
+        assert!(v["series"][0]["mean_abs_residual"].as_f64().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Decision provenance: what the model believed when it acted, and what
+//! actually happened.
+//!
+//! Every agent decision (or simulated decision tick) opens a
+//! [`ProvenanceRecord`] carrying the model inputs and the model's
+//! predicted per-app / per-node series. When the decision's lifetime ends
+//! (the next tick, or the end of a simulation segment), the record is
+//! **back-filled** with the realized outcome and the per-series relative
+//! residuals are computed. The ledger is the raw material for the drift
+//! detector and the `coop drift` report: it can explain every
+//! reallocation the system made, in terms of what was expected and what
+//! was measured.
+
+use crate::json::{push_f64, push_str_literal};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One named scalar in a prediction or a measured outcome.
+///
+/// Series keys are hierarchical strings, by convention
+/// `app/<name>/<quantity>` or `node/<index>/<quantity>`, e.g.
+/// `app/mem1/bandwidth_gbs` or `node/0/bandwidth_gbs`. Predicted and
+/// measured values join on these keys to produce residuals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesValue {
+    /// Hierarchical series key.
+    pub series: String,
+    /// The value.
+    pub value: f64,
+}
+
+impl SeriesValue {
+    /// Convenience constructor.
+    pub fn new(series: impl Into<String>, value: f64) -> Self {
+        SeriesValue {
+            series: series.into(),
+            value,
+        }
+    }
+}
+
+/// A model prediction attached to a decision at open time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Prediction {
+    /// Model inputs the prediction was computed from (app arithmetic
+    /// intensities, thread counts, …), as labelled scalars.
+    pub inputs: Vec<(String, f64)>,
+    /// Human-readable core/node assignment the model evaluated.
+    pub assignment: String,
+    /// Predicted per-app / per-node series values.
+    pub series: Vec<SeriesValue>,
+}
+
+impl Prediction {
+    /// Look up a predicted value by series key.
+    pub fn value(&self, series: &str) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.series == series)
+            .map(|s| s.value)
+    }
+}
+
+/// A predicted/measured pair and its relative residual.
+#[derive(Debug, Clone)]
+pub struct Residual {
+    /// Series key the pair joined on.
+    pub series: String,
+    /// Predicted value.
+    pub predicted: f64,
+    /// Measured value.
+    pub measured: f64,
+    /// `(measured − predicted) / |predicted|`.
+    pub relative: f64,
+}
+
+/// One decision's provenance: prediction at open, outcome at close.
+#[derive(Debug, Clone)]
+pub struct ProvenanceRecord {
+    /// Ledger-unique id.
+    pub id: u64,
+    /// Agent tick (or simulated decision index) the decision fired on.
+    pub tick: u64,
+    /// Where the decision was applied (runtime name or scenario name).
+    pub source: String,
+    /// The command that was applied, rendered as text.
+    pub command: String,
+    /// Hub-clock microseconds at open.
+    pub opened_us: u64,
+    /// The model's prediction at open time.
+    pub prediction: Prediction,
+    /// Realized outcome series (empty until the record is closed).
+    pub measured: Vec<SeriesValue>,
+    /// Per-series residuals (computed at close).
+    pub residuals: Vec<Residual>,
+    /// Hub-clock microseconds at close, if closed.
+    pub closed_us: Option<u64>,
+}
+
+impl ProvenanceRecord {
+    /// Whether the outcome has been back-filled.
+    pub fn is_closed(&self) -> bool {
+        self.closed_us.is_some()
+    }
+
+    /// The residual for `series`, if present.
+    pub fn residual_for(&self, series: &str) -> Option<&Residual> {
+        self.residuals.iter().find(|r| r.series == series)
+    }
+}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    records: VecDeque<ProvenanceRecord>,
+}
+
+/// Bounded ledger of [`ProvenanceRecord`]s with open → back-fill
+/// lifecycle. Oldest records are evicted once `capacity` is exceeded.
+#[derive(Debug)]
+pub struct ProvenanceLedger {
+    next_id: AtomicU64,
+    capacity: usize,
+    inner: Mutex<LedgerInner>,
+}
+
+impl Default for ProvenanceLedger {
+    fn default() -> Self {
+        Self::new(1024)
+    }
+}
+
+impl ProvenanceLedger {
+    /// Create a ledger retaining at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        ProvenanceLedger {
+            next_id: AtomicU64::new(1),
+            capacity: capacity.max(1),
+            inner: Mutex::new(LedgerInner::default()),
+        }
+    }
+
+    /// Open a record for a decision; returns its id.
+    pub fn open(
+        &self,
+        tick: u64,
+        source: &str,
+        command: &str,
+        prediction: Prediction,
+        opened_us: u64,
+    ) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.records.len() >= self.capacity {
+            inner.records.pop_front();
+        }
+        inner.records.push_back(ProvenanceRecord {
+            id,
+            tick,
+            source: source.to_string(),
+            command: command.to_string(),
+            opened_us,
+            prediction,
+            measured: Vec::new(),
+            residuals: Vec::new(),
+            closed_us: None,
+        });
+        id
+    }
+
+    /// Back-fill record `id` with the realized outcome, computing one
+    /// residual per predicted series that has a matching measured key.
+    /// Returns the closed record, or `None` if the id is unknown (e.g.
+    /// already evicted) or already closed.
+    pub fn close(
+        &self,
+        id: u64,
+        measured: Vec<SeriesValue>,
+        closed_us: u64,
+    ) -> Option<ProvenanceRecord> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let record = inner
+            .records
+            .iter_mut()
+            .find(|r| r.id == id && !r.is_closed())?;
+        record.residuals = record
+            .prediction
+            .series
+            .iter()
+            .filter_map(|p| {
+                let m = measured.iter().find(|m| m.series == p.series)?;
+                Some(Residual {
+                    series: p.series.clone(),
+                    predicted: p.value,
+                    measured: m.value,
+                    relative: crate::drift::DriftDetector::relative_residual(p.value, m.value),
+                })
+            })
+            .collect();
+        record.measured = measured;
+        record.closed_us = Some(closed_us);
+        Some(record.clone())
+    }
+
+    /// Copies of all retained records, oldest first.
+    pub fn records(&self) -> Vec<ProvenanceRecord> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.records.iter().cloned().collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .records
+            .len()
+    }
+
+    /// Whether the ledger holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of retained records still awaiting back-fill.
+    pub fn open_count(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.records.iter().filter(|r| !r.is_closed()).count()
+    }
+
+    /// Render the ledger as a JSON array of records.
+    pub fn to_json(&self) -> String {
+        let records = self.records();
+        let mut out = String::from("[");
+        for (i, r) in records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_record(&mut out, r);
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn push_series(out: &mut String, series: &[SeriesValue]) {
+    out.push('[');
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"series\":");
+        push_str_literal(out, &s.series);
+        out.push_str(",\"value\":");
+        push_f64(out, s.value);
+        out.push('}');
+    }
+    out.push(']');
+}
+
+fn push_record(out: &mut String, r: &ProvenanceRecord) {
+    out.push_str("{\"id\":");
+    out.push_str(&r.id.to_string());
+    out.push_str(",\"tick\":");
+    out.push_str(&r.tick.to_string());
+    out.push_str(",\"source\":");
+    push_str_literal(out, &r.source);
+    out.push_str(",\"command\":");
+    push_str_literal(out, &r.command);
+    out.push_str(",\"opened_us\":");
+    out.push_str(&r.opened_us.to_string());
+    out.push_str(",\"assignment\":");
+    push_str_literal(out, &r.prediction.assignment);
+    out.push_str(",\"inputs\":{");
+    for (i, (k, v)) in r.prediction.inputs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_literal(out, k);
+        out.push(':');
+        push_f64(out, *v);
+    }
+    out.push_str("},\"predicted\":");
+    push_series(out, &r.prediction.series);
+    out.push_str(",\"measured\":");
+    push_series(out, &r.measured);
+    out.push_str(",\"residuals\":[");
+    for (i, res) in r.residuals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"series\":");
+        push_str_literal(out, &res.series);
+        out.push_str(",\"predicted\":");
+        push_f64(out, res.predicted);
+        out.push_str(",\"measured\":");
+        push_f64(out, res.measured);
+        out.push_str(",\"relative\":");
+        push_f64(out, res.relative);
+        out.push('}');
+    }
+    out.push_str("],\"closed_us\":");
+    match r.closed_us {
+        Some(us) => out.push_str(&us.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prediction() -> Prediction {
+        Prediction {
+            inputs: vec![("ai/app_a".into(), 0.25)],
+            assignment: "a:[2,0] b:[0,2]".into(),
+            series: vec![
+                SeriesValue::new("app/a/bandwidth_gbs", 10.0),
+                SeriesValue::new("node/0/bandwidth_gbs", 20.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn open_close_lifecycle() {
+        let ledger = ProvenanceLedger::new(8);
+        let id = ledger.open(3, "scenario", "assign a:[2,0]", prediction(), 100);
+        assert_eq!(ledger.open_count(), 1);
+
+        let closed = ledger
+            .close(
+                id,
+                vec![
+                    SeriesValue::new("app/a/bandwidth_gbs", 8.0),
+                    SeriesValue::new("node/0/bandwidth_gbs", 20.0),
+                    SeriesValue::new("node/1/bandwidth_gbs", 5.0), // unmatched
+                ],
+                200,
+            )
+            .expect("close must succeed");
+        assert!(closed.is_closed());
+        assert_eq!(ledger.open_count(), 0);
+        assert_eq!(closed.residuals.len(), 2);
+        let r = closed.residual_for("app/a/bandwidth_gbs").unwrap();
+        assert!((r.relative - (-0.2)).abs() < 1e-12);
+        assert_eq!(
+            closed
+                .residual_for("node/0/bandwidth_gbs")
+                .unwrap()
+                .relative,
+            0.0
+        );
+        // Double close is rejected.
+        assert!(ledger.close(id, Vec::new(), 300).is_none());
+        // Unknown id is rejected.
+        assert!(ledger.close(999, Vec::new(), 300).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let ledger = ProvenanceLedger::new(2);
+        let a = ledger.open(0, "s", "c", Prediction::default(), 0);
+        let _b = ledger.open(1, "s", "c", Prediction::default(), 1);
+        let _c = ledger.open(2, "s", "c", Prediction::default(), 2);
+        assert_eq!(ledger.len(), 2);
+        assert!(ledger.close(a, Vec::new(), 3).is_none(), "evicted id");
+        assert_eq!(ledger.records()[0].tick, 1);
+    }
+
+    #[test]
+    fn ledger_json_is_valid() {
+        let ledger = ProvenanceLedger::new(4);
+        let id = ledger.open(0, "src\"quoted\"", "cmd\nline", prediction(), 7);
+        ledger.close(id, vec![SeriesValue::new("app/a/bandwidth_gbs", 9.0)], 9);
+        let json = ledger.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v[0]["source"], "src\"quoted\"");
+        assert_eq!(v[0]["residuals"][0]["series"], "app/a/bandwidth_gbs");
+        assert_eq!(v[0]["closed_us"], 9);
+    }
+}

@@ -257,6 +257,34 @@ impl TelemetryHub {
         );
     }
 
+    /// Convenience: record an instant event at an explicit hub-clock
+    /// timestamp (simulators map simulated seconds onto the hub clock,
+    /// so "now" is not always the right time).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_instant_at(
+        &self,
+        shard_hint: usize,
+        track: TrackId,
+        lane: u32,
+        cat: &str,
+        name: &str,
+        ts_us: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        self.record(
+            shard_hint,
+            TimelineEvent {
+                track,
+                lane,
+                cat: cat.to_string(),
+                name: name.to_string(),
+                ts_us,
+                kind: EventKind::Instant,
+                args,
+            },
+        );
+    }
+
     /// Convenience: record a counter sample.
     #[allow(clippy::too_many_arguments)]
     pub fn record_counter(

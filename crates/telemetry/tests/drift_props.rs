@@ -1,0 +1,102 @@
+//! Property tests for the drift detector's statistical behavior.
+//!
+//! Two properties from the model-drift observatory spec:
+//!
+//! 1. **Bounded false-alarm rate.** On stationary residual streams (zero-mean
+//!    noise whose amplitude stays within the CUSUM slack band), the detector
+//!    must stay quiet: the empirical false-alarm rate across many independent
+//!    series must remain below a small bound.
+//! 2. **Prompt step detection.** When a stationary stream acquires a
+//!    persistent bias well above the slack, the detector must alarm within a
+//!    predictable number of samples (the CUSUM ramp `h / (bias - k)` plus the
+//!    warm-up allowance).
+
+use coop_telemetry::{DriftConfig, DriftDetector};
+use proptest::prelude::*;
+
+/// Deterministic uniform noise in `[-amp, amp]` from a simple LCG, so the
+/// statistical properties are reproducible for any proptest-chosen seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        // Numerical Recipes LCG constants; top 53 bits -> [0, 1).
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn noise(&mut self, amp: f64) -> f64 {
+        (self.next_f64() * 2.0 - 1.0) * amp
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Stationary noise within the slack band never accumulates: across 16
+    /// independent series x 256 samples the false-alarm rate stays below
+    /// 0.1% (in fact it is zero for in-band noise, but the property pins
+    /// the rate bound the ISSUE asks for, not the mechanism).
+    #[test]
+    fn stationary_false_alarm_rate_is_bounded(seed in any::<u64>(), amp in 0.0f64..0.045) {
+        let config = DriftConfig::default(); // k = 0.05, h = 0.5
+        prop_assume!(amp < config.cusum_k);
+        let detector = DriftDetector::new(config);
+        let mut rng = Lcg(seed ^ 0x9e3779b97f4a7c15);
+        let series: Vec<String> = (0..16).map(|i| format!("app/a{i}/gflops")).collect();
+        let mut samples = 0u64;
+        for _ in 0..256 {
+            for s in &series {
+                detector.observe(s, rng.noise(amp));
+                samples += 1;
+            }
+        }
+        let rate = detector.total_alarms() as f64 / samples as f64;
+        prop_assert!(rate < 0.001, "false-alarm rate {rate} (alarms={})", detector.total_alarms());
+    }
+
+    /// A persistent bias of at least 4x the slack is detected within the
+    /// CUSUM ramp time: ceil(h / (bias - k)) samples of signal, plus the
+    /// min_samples warm-up and one sample of noise margin.
+    #[test]
+    fn step_change_is_detected_within_ramp_bound(
+        seed in any::<u64>(),
+        bias in 0.2f64..1.0,
+        sign in prop::bool::ANY,
+    ) {
+        let config = DriftConfig::default();
+        let detector = DriftDetector::new(config.clone());
+        let mut rng = Lcg(seed ^ 0x2545f4914f6cdd1d);
+        let noise_amp = 0.02;
+        let bias = if sign { bias } else { -bias };
+
+        // Stationary prefix: quiet.
+        for _ in 0..64 {
+            detector.observe("node/0/bandwidth_gbs", rng.noise(noise_amp));
+        }
+        prop_assert_eq!(detector.total_alarms(), 0);
+
+        // Step: each post-step sample adds at least |bias| - noise - k to
+        // the relevant CUSUM sum, so the ramp to h is bounded.
+        let per_sample = bias.abs() - noise_amp - config.cusum_k;
+        let ramp = (config.cusum_h / per_sample).ceil() as u64;
+        let budget = ramp + config.min_samples + 1;
+        let mut detected_at = None;
+        for i in 0..budget {
+            if detector
+                .observe("node/0/bandwidth_gbs", bias + rng.noise(noise_amp))
+                .is_some()
+            {
+                detected_at = Some(i + 1);
+                break;
+            }
+        }
+        prop_assert!(
+            detected_at.is_some(),
+            "no alarm within {budget} samples after a bias of {bias}"
+        );
+    }
+}

@@ -230,6 +230,33 @@ impl Machine {
             .all(|w| w[0].num_cores == w[1].num_cores)
     }
 
+    /// Returns a copy of this machine with `node`'s local memory bandwidth
+    /// replaced by `bandwidth_gbs` (everything else unchanged).
+    ///
+    /// This is the building block for perturbation experiments: simulate on
+    /// a machine whose controller degraded mid-run while the analytic model
+    /// keeps predicting with the nominal description, and watch the
+    /// prediction residuals drift.
+    pub fn with_node_bandwidth(&self, node: NodeId, bandwidth_gbs: f64) -> Result<Machine> {
+        self.try_node(node)?;
+        if bandwidth_gbs <= 0.0 || !bandwidth_gbs.is_finite() {
+            return Err(TopologyError::NonPositiveQuantity {
+                what: "node memory bandwidth (GB/s)",
+                value: bandwidth_gbs,
+            });
+        }
+        let mut m = self.clone();
+        m.nodes[node.0].bandwidth_gbs = bandwidth_gbs;
+        Ok(m)
+    }
+
+    /// Returns a copy of this machine with `node`'s local memory bandwidth
+    /// multiplied by `factor` (e.g. `0.5` halves it).
+    pub fn with_scaled_node_bandwidth(&self, node: NodeId, factor: f64) -> Result<Machine> {
+        let nominal = self.try_node(node)?.bandwidth_gbs;
+        self.with_node_bandwidth(node, nominal * factor)
+    }
+
     /// Serializes the machine description to pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("machine serialization cannot fail")
@@ -589,6 +616,25 @@ mod tests {
         assert!(!n1.contains(CoreId(16)));
         assert!(n1.is_subset(&m.all_cores()));
         assert_eq!(m.all_cores().count(), 32);
+    }
+
+    #[test]
+    fn bandwidth_perturbation_helpers() {
+        let m = paper_machine();
+        let degraded = m.with_scaled_node_bandwidth(NodeId(2), 0.5).unwrap();
+        assert!((degraded.node(NodeId(2)).bandwidth_gbs - 16.0).abs() < 1e-12);
+        // Every other node — and the original machine — is untouched.
+        for n in [0usize, 1, 3] {
+            assert!((degraded.node(NodeId(n)).bandwidth_gbs - 32.0).abs() < 1e-12);
+        }
+        assert!((m.node(NodeId(2)).bandwidth_gbs - 32.0).abs() < 1e-12);
+
+        let replaced = m.with_node_bandwidth(NodeId(0), 100.0).unwrap();
+        assert!((replaced.node(NodeId(0)).bandwidth_gbs - 100.0).abs() < 1e-12);
+
+        assert!(m.with_node_bandwidth(NodeId(9), 10.0).is_err());
+        assert!(m.with_node_bandwidth(NodeId(0), 0.0).is_err());
+        assert!(m.with_scaled_node_bandwidth(NodeId(0), -1.0).is_err());
     }
 
     #[test]
