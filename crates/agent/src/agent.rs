@@ -1,9 +1,12 @@
 //! The agent control loop.
 
+use crate::policies::per_node_command;
+use crate::supervise::{Health, SupervisedHandle, SupervisionConfig, HEALTH_LANE};
 use crate::{Policy, Result, RuntimeHandle, RuntimeStats, ThreadCommand};
 use coop_telemetry::{
     ArgValue, Counter, Histogram, ModelObservatory, Prediction, SeriesValue, TelemetryHub, TrackId,
 };
+use numa_topology::Machine;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -37,8 +40,9 @@ pub struct AgentLog {
     pub decisions: Vec<Decision>,
     /// Ticks executed.
     pub ticks: u64,
-    /// Errors encountered (command rejections, disconnects) — the agent
-    /// keeps going, the paper's agent must not take the node down.
+    /// Errors encountered (command rejections, timeouts, disconnects) —
+    /// the agent keeps going, the paper's agent must not take the node
+    /// down.
     pub errors: Vec<String>,
 }
 
@@ -52,6 +56,10 @@ struct AgentTelemetry {
     ticks: Arc<Counter>,
     decisions_total: Arc<Counter>,
     errors_total: Arc<Counter>,
+    poll_failures: Arc<Counter>,
+    evictions: Arc<Counter>,
+    recoveries: Arc<Counter>,
+    regressions: Arc<Counter>,
     decision_latency_us: Arc<Histogram>,
     decisions: Mutex<Vec<Decision>>,
     errors: Mutex<Vec<String>>,
@@ -61,6 +69,7 @@ impl AgentTelemetry {
     fn new(hub: Arc<TelemetryHub>) -> Self {
         let track = hub.register_track("agent");
         hub.set_lane_name(track, 0, "decisions");
+        hub.set_lane_name(track, HEALTH_LANE, "health");
         let reg = hub.registry();
         reg.set_help(
             "coop_agent_decision_latency_us",
@@ -70,12 +79,40 @@ impl AgentTelemetry {
             "coop_agent_decisions_total",
             "Commands applied by the agent",
         );
+        reg.set_help(
+            "coop_agent_poll_failures_total",
+            "Stats polls that failed after retries",
+        );
+        reg.set_help(
+            "coop_agent_evictions_total",
+            "Runtimes evicted after being declared Dead",
+        );
+        reg.set_help(
+            "coop_agent_recoveries_total",
+            "Evicted runtimes re-admitted after recovering",
+        );
+        reg.set_help(
+            "coop_agent_counter_regressions_total",
+            "Decision windows discarded because a runtime's task counter ran backwards",
+        );
+        reg.set_help(
+            "coop_agent_runtime_health",
+            "Per-runtime health: 0 healthy, 1 degraded, 2 suspected, 3 dead",
+        );
+        reg.set_help(
+            "coop_agent_retries_total",
+            "Per-runtime call retries after transport failures",
+        );
         AgentTelemetry {
             track,
             observatory: Arc::new(ModelObservatory::new(Arc::clone(&hub))),
             ticks: reg.counter("coop_agent_ticks_total", &[]),
             decisions_total: reg.counter("coop_agent_decisions_total", &[]),
             errors_total: reg.counter("coop_agent_errors_total", &[]),
+            poll_failures: reg.counter("coop_agent_poll_failures_total", &[]),
+            evictions: reg.counter("coop_agent_evictions_total", &[]),
+            recoveries: reg.counter("coop_agent_recoveries_total", &[]),
+            regressions: reg.counter("coop_agent_counter_regressions_total", &[]),
             decision_latency_us: reg.histogram("coop_agent_decision_latency_us", &[]),
             decisions: Mutex::new(Vec::new()),
             errors: Mutex::new(Vec::new()),
@@ -115,6 +152,23 @@ impl AgentTelemetry {
         self.errors.lock().push(error);
     }
 
+    /// Puts an eviction / re-admission / counter-regression instant on
+    /// the health lane, next to the per-runtime transition instants the
+    /// supervised handles emit.
+    fn record_health_event(&self, tick: u64, runtime: &str, what: &str) {
+        self.hub.record_instant(
+            0,
+            self.track,
+            HEALTH_LANE,
+            "health",
+            what,
+            vec![
+                ("runtime".to_string(), ArgValue::Str(runtime.to_string())),
+                ("tick".to_string(), ArgValue::U64(tick)),
+            ],
+        );
+    }
+
     fn snapshot(&self) -> AgentLog {
         AgentLog {
             decisions: self.decisions.lock().clone(),
@@ -124,7 +178,13 @@ impl AgentTelemetry {
     }
 }
 
-/// The periodic arbitration loop of Figure 1.
+/// The periodic arbitration loop of Figure 1, hardened against partial
+/// failure: every managed handle is wrapped in a [`SupervisedHandle`]
+/// (deadline, retry, health state machine), a tick polls *all* runtimes
+/// and continues with whoever answered, quarantined runtimes are skipped,
+/// Dead ones are evicted and their cores reclaimed for the survivors
+/// (see [`Agent::set_reclaim_machine`]), and evicted runtimes are probed
+/// for recovery and re-admitted when healthy again.
 ///
 /// ```
 /// use coop_agent::{Agent, policies::FairShare};
@@ -146,7 +206,15 @@ impl AgentTelemetry {
 /// b.shutdown();
 /// ```
 pub struct Agent {
-    handles: Vec<Box<dyn RuntimeHandle>>,
+    handles: Vec<SupervisedHandle>,
+    /// `evicted[i]` — handle `i` was declared Dead and removed from the
+    /// live set (indices stay stable so policies keep a coherent view).
+    evicted: Vec<bool>,
+    supervision: SupervisionConfig,
+    /// Probe evicted runtimes every this many ticks (0 disables
+    /// re-admission probing).
+    probe_period_ticks: u64,
+    reclaim_machine: Option<Machine>,
     policy: Box<dyn Policy>,
     telemetry: AgentTelemetry,
     open_decision: Option<OpenDecision>,
@@ -156,8 +224,9 @@ pub struct Agent {
 /// model-driven tick, closed with measured outcomes on the next tick.
 struct OpenDecision {
     id: u64,
-    /// `tasks_executed` per managed runtime when the record was opened.
-    baseline: Vec<u64>,
+    /// `tasks_executed` per live runtime (by name — the live set may
+    /// change shape between open and close) when the record was opened.
+    baseline: Vec<(String, u64)>,
 }
 
 /// Augments a policy prediction with per-runtime predicted *throughput
@@ -188,31 +257,43 @@ fn with_share_series(mut prediction: Prediction, stats: &[RuntimeStats]) -> Pred
 
 /// Measured per-runtime throughput shares over a decision's lifetime:
 /// the fraction of all newly executed tasks each runtime contributed
-/// since `baseline`. Empty when nothing executed (no residual is better
-/// than a fabricated one).
-fn measured_share_series(stats: &[RuntimeStats], baseline: &[u64]) -> Vec<SeriesValue> {
-    if stats.len() != baseline.len() {
-        return Vec::new();
+/// since `baseline`. Returns the series plus the names of runtimes whose
+/// `tasks_executed` ran *backwards* (a restarted or corrupted runtime).
+/// Any regression discards the whole window — an empty series (no
+/// residual) is better than a fabricated one — and the caller resets the
+/// baseline by dropping the open decision. A runtime present in the
+/// baseline but missing from `stats` (evicted mid-window) is simply
+/// excluded.
+fn measured_share_series(
+    stats: &[RuntimeStats],
+    baseline: &[(String, u64)],
+) -> (Vec<SeriesValue>, Vec<String>) {
+    let mut regressed = Vec::new();
+    let mut deltas: Vec<(String, u64)> = Vec::new();
+    for (name, base) in baseline {
+        let Some(s) = stats.iter().find(|s| &s.name == name) else {
+            continue;
+        };
+        if s.tasks_executed < *base {
+            regressed.push(name.clone());
+        } else {
+            deltas.push((name.clone(), s.tasks_executed - *base));
+        }
     }
-    let deltas: Vec<u64> = stats
-        .iter()
-        .zip(baseline)
-        .map(|(s, b)| s.tasks_executed.saturating_sub(*b))
-        .collect();
-    let total: u64 = deltas.iter().sum();
+    if !regressed.is_empty() {
+        return (Vec::new(), regressed);
+    }
+    let total: u64 = deltas.iter().map(|(_, d)| *d).sum();
     if total == 0 {
-        return Vec::new();
+        return (Vec::new(), regressed);
     }
-    stats
-        .iter()
-        .zip(&deltas)
-        .map(|(s, d)| {
-            SeriesValue::new(
-                format!("share/{}/throughput", s.name),
-                *d as f64 / total as f64,
-            )
+    let series = deltas
+        .into_iter()
+        .map(|(name, d)| {
+            SeriesValue::new(format!("share/{name}/throughput"), d as f64 / total as f64)
         })
-        .collect()
+        .collect();
+    (series, regressed)
 }
 
 impl Agent {
@@ -230,21 +311,75 @@ impl Agent {
     pub fn with_telemetry(policy: Box<dyn Policy>, hub: Arc<TelemetryHub>) -> Self {
         Agent {
             handles: Vec::new(),
+            evicted: Vec::new(),
+            supervision: SupervisionConfig::default(),
+            probe_period_ticks: 1,
+            reclaim_machine: None,
             policy,
             telemetry: AgentTelemetry::new(hub),
             open_decision: None,
         }
     }
 
-    /// Registers a runtime. Registry order defines the indices policies
-    /// see.
-    pub fn manage(&mut self, handle: Box<dyn RuntimeHandle>) {
-        self.handles.push(handle);
+    /// Sets the supervision configuration (failure detector + backoff)
+    /// applied to runtimes registered *after* this call.
+    pub fn set_supervision(&mut self, config: SupervisionConfig) {
+        self.supervision = config;
     }
 
-    /// Number of managed runtimes.
+    /// Gives the agent the machine topology, enabling core reclamation:
+    /// whenever the live set changes (an eviction or a re-admission) and
+    /// the policy issues no commands that tick, the agent falls back to a
+    /// fair share of this machine among the survivors, so a dead
+    /// runtime's cores never sit idle.
+    pub fn set_reclaim_machine(&mut self, machine: Machine) {
+        self.reclaim_machine = Some(machine);
+    }
+
+    /// Probe evicted runtimes for recovery every `ticks` ticks
+    /// (default 1 = every tick; 0 disables re-admission).
+    pub fn set_probe_period(&mut self, ticks: u64) {
+        self.probe_period_ticks = ticks;
+    }
+
+    /// Registers a runtime, wrapping it in a [`SupervisedHandle`] with
+    /// the agent's current supervision configuration. Registry order
+    /// defines the indices policies see.
+    pub fn manage(&mut self, handle: Box<dyn RuntimeHandle>) {
+        let supervised = SupervisedHandle::new(handle, self.supervision.clone());
+        self.manage_supervised(supervised);
+    }
+
+    /// Registers an already-wrapped handle (use to tune supervision per
+    /// runtime).
+    pub fn manage_supervised(&mut self, handle: SupervisedHandle) {
+        handle.attach_telemetry(Arc::clone(&self.telemetry.hub), self.telemetry.track);
+        self.handles.push(handle);
+        self.evicted.push(false);
+    }
+
+    /// Number of managed runtimes (evicted ones included — eviction is
+    /// reversible).
     pub fn managed(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Current health of every managed runtime, in registry order.
+    pub fn health(&self) -> Vec<(String, Health)> {
+        self.handles
+            .iter()
+            .map(|h| (h.name(), h.health()))
+            .collect()
+    }
+
+    /// Names of currently evicted runtimes.
+    pub fn evicted(&self) -> Vec<String> {
+        self.handles
+            .iter()
+            .zip(&self.evicted)
+            .filter(|(_, e)| **e)
+            .map(|(h, _)| h.name())
+            .collect()
     }
 
     /// A snapshot of everything the agent has done so far (a view over
@@ -271,48 +406,140 @@ impl Agent {
         self.telemetry.observatory.report()
     }
 
-    /// Executes a single tick: poll stats, back-fill the previous
-    /// decision's provenance, ask the policy, apply commands, and open a
-    /// provenance record when the policy is model-driven.
+    /// Executes a single tick: probe evicted runtimes for recovery, poll
+    /// *all* live runtimes (recording failures without aborting the
+    /// tick), evict runtimes the failure detector declared Dead,
+    /// back-fill the previous decision's provenance, ask the policy
+    /// (over the live set only), apply commands, and reclaim cores via a
+    /// fair-share fallback when the live set changed but the policy
+    /// issued nothing.
+    ///
+    /// A failing runtime never makes the tick fail: poll errors are
+    /// recorded in the log/telemetry and the tick continues with the
+    /// runtimes that answered.
     pub fn tick(&mut self) -> Result<()> {
         let tick = self.telemetry.ticks.get();
         self.telemetry.ticks.inc();
 
-        let mut stats = Vec::with_capacity(self.handles.len());
-        for h in &self.handles {
-            match h.stats() {
-                Ok(s) => stats.push(s),
+        let mut live_set_changed = false;
+
+        // Re-admission: probe evicted runtimes; a runtime whose health
+        // has climbed back to Healthy rejoins the live set.
+        for i in 0..self.handles.len() {
+            if !self.evicted[i]
+                || self.probe_period_ticks == 0
+                || !tick.is_multiple_of(self.probe_period_ticks)
+            {
+                continue;
+            }
+            if self.handles[i].probe() == Health::Healthy {
+                self.evicted[i] = false;
+                live_set_changed = true;
+                self.telemetry.recoveries.inc();
+                self.telemetry
+                    .record_health_event(tick, &self.handles[i].name(), "readmitted");
+            }
+        }
+
+        // Poll everyone still in the live set. Failures are recorded and
+        // the poll moves on; `live_idx` maps positions in `stats` back to
+        // handle indices for the command phase.
+        let mut live_idx: Vec<usize> = Vec::with_capacity(self.handles.len());
+        let mut stats: Vec<RuntimeStats> = Vec::with_capacity(self.handles.len());
+        for i in 0..self.handles.len() {
+            if self.evicted[i] {
+                continue;
+            }
+            match self.handles[i].stats() {
+                Ok(s) => {
+                    if self.handles[i].is_quarantined() {
+                        // Answered, but still under suspicion (recovery
+                        // streak incomplete): keep it out of decisions
+                        // until the detector trusts it again.
+                        continue;
+                    }
+                    live_idx.push(i);
+                    stats.push(s);
+                }
                 Err(e) => {
+                    self.telemetry.poll_failures.inc();
                     self.telemetry.record_error(e.to_string());
-                    return Err(e);
+                    if self.handles[i].health() == Health::Dead {
+                        self.evicted[i] = true;
+                        live_set_changed = true;
+                        self.telemetry.evictions.inc();
+                        self.telemetry.record_health_event(
+                            tick,
+                            &self.handles[i].name(),
+                            "evicted",
+                        );
+                    }
                 }
             }
         }
+
         // The previous model-driven decision has now lived for one full
         // tick interval: back-fill its provenance record with the
-        // throughput realized over that window.
+        // throughput realized over that window. A counter regression
+        // (restarted/corrupted runtime) discards the window — the
+        // baseline resets with the next opened decision — and is
+        // announced instead of being fed to the drift detector as a
+        // bogus share.
         if let Some(open) = self.open_decision.take() {
-            let measured = measured_share_series(&stats, &open.baseline);
+            let (measured, regressed) = measured_share_series(&stats, &open.baseline);
+            for name in &regressed {
+                self.telemetry.regressions.inc();
+                self.telemetry
+                    .record_health_event(tick, name, "counter_regression");
+            }
             self.telemetry.observatory.close_decision(open.id, measured);
         }
+
         let decided_at = Instant::now();
         let commands = self.policy.tick(&stats, tick);
         self.telemetry
             .decision_latency_us
             .observe(decided_at.elapsed().as_micros() as u64);
         let mut applied: Vec<(usize, ThreadCommand)> = Vec::new();
-        for (i, cmd) in commands.into_iter().enumerate() {
+        for (pos, cmd) in commands.into_iter().enumerate() {
             let Some(cmd) = cmd else { continue };
-            let Some(handle) = self.handles.get(i) else {
+            let Some(&i) = live_idx.get(pos) else {
                 continue;
             };
-            match handle.command(cmd.clone()) {
+            match self.handles[i].command(cmd.clone()) {
                 Ok(()) => applied.push((i, cmd)),
                 Err(e) => self.telemetry.record_error(e.to_string()),
             }
         }
+        let policy_applied = applied.len();
+
+        // Core reclamation fallback: the live set changed but the policy
+        // issued nothing (its solve failed, or it is a one-shot policy
+        // that already fired). Survivors split the whole machine fairly
+        // rather than leaving the dead runtime's cores idle.
+        if live_set_changed && policy_applied == 0 && !live_idx.is_empty() {
+            if let Some(machine) = self.reclaim_machine.clone() {
+                match coop_alloc::strategies::fair_share(&machine, live_idx.len()) {
+                    Ok(assignment) => {
+                        for (pos, &i) in live_idx.iter().enumerate() {
+                            let cmd = per_node_command(&assignment, pos, &machine);
+                            match self.handles[i].command(cmd.clone()) {
+                                Ok(()) => applied.push((i, cmd)),
+                                Err(e) => self.telemetry.record_error(e.to_string()),
+                            }
+                        }
+                    }
+                    Err(e) => self
+                        .telemetry
+                        .record_error(format!("reclamation fair-share failed: {e}")),
+                }
+            }
+        }
+
         let mut provenance = None;
-        if !applied.is_empty() {
+        // Only policy-issued commands carry the policy's prediction;
+        // fallback fair-share commands are reactive by construction.
+        if policy_applied > 0 {
             if let Some(prediction) = self.policy.prediction() {
                 let prediction = with_share_series(prediction, &stats);
                 let command_text = applied
@@ -328,17 +555,25 @@ impl Agent {
                 );
                 self.open_decision = Some(OpenDecision {
                     id,
-                    baseline: stats.iter().map(|s| s.tasks_executed).collect(),
+                    baseline: stats
+                        .iter()
+                        .map(|s| (s.name.clone(), s.tasks_executed))
+                        .collect(),
                 });
                 provenance = Some(id);
             }
         }
-        for (i, cmd) in applied {
+        for (idx, (i, cmd)) in applied.into_iter().enumerate() {
             self.telemetry.record_decision(Decision {
                 tick,
                 runtime: self.handles[i].name(),
                 command: cmd,
-                provenance,
+                // Fallback commands (idx >= policy_applied) are reactive.
+                provenance: if idx < policy_applied {
+                    provenance
+                } else {
+                    None
+                },
             });
         }
         Ok(())
@@ -360,8 +595,9 @@ impl Agent {
 
     /// Runs the loop on a background thread until the returned handle is
     /// stopped. Use this to arbitrate while the main thread drives work
-    /// (e.g. a pipeline).
-    pub fn spawn(mut self, interval: Duration) -> AgentThread {
+    /// (e.g. a pipeline). Fails with [`crate::AgentError::Spawn`] when
+    /// the OS refuses the thread.
+    pub fn spawn(mut self, interval: Duration) -> Result<AgentThread> {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let log = Arc::new(Mutex::new(None));
@@ -375,12 +611,15 @@ impl Agent {
                 }
                 *log2.lock() = Some(self.log());
             })
-            .expect("spawning agent thread");
-        AgentThread {
+            .map_err(|e| crate::AgentError::Spawn {
+                runtime: "agent".to_string(),
+                reason: e.to_string(),
+            })?;
+        Ok(AgentThread {
             stop,
             thread: Some(thread),
             log,
-        }
+        })
     }
 }
 
@@ -414,9 +653,11 @@ impl Drop for AgentThread {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::RuntimeStats;
+    use crate::{AgentError, RuntimeStats};
     use coop_runtime::{Runtime, RuntimeConfig};
     use numa_topology::presets::tiny;
+    use std::collections::HashMap;
+    use std::sync::atomic::AtomicU64;
 
     /// A policy that counts ticks and issues one command on tick 2.
     struct Scripted {
@@ -426,12 +667,97 @@ mod tests {
     impl Policy for Scripted {
         fn tick(&mut self, stats: &[RuntimeStats], tick: u64) -> Vec<Option<ThreadCommand>> {
             let mut out = vec![None; stats.len()];
-            if tick == 2 && !self.issued {
+            if tick == 2 && !self.issued && !stats.is_empty() {
                 self.issued = true;
                 out[0] = Some(ThreadCommand::TotalThreads(1));
             }
             out
         }
+    }
+
+    /// A policy that never issues anything (reclamation fallback tests).
+    struct Silent;
+    impl Policy for Silent {
+        fn tick(&mut self, stats: &[RuntimeStats], _t: u64) -> Vec<Option<ThreadCommand>> {
+            vec![None; stats.len()]
+        }
+    }
+
+    /// An in-memory runtime with a switchable liveness flag, a settable
+    /// task counter, and a command log.
+    struct Fake {
+        name: String,
+        dead: Arc<AtomicBool>,
+        executed: Arc<AtomicU64>,
+        commands: Arc<Mutex<Vec<ThreadCommand>>>,
+    }
+
+    impl Fake {
+        fn new(
+            name: &str,
+        ) -> (
+            Self,
+            Arc<AtomicBool>,
+            Arc<AtomicU64>,
+            Arc<Mutex<Vec<ThreadCommand>>>,
+        ) {
+            let dead = Arc::new(AtomicBool::new(false));
+            let executed = Arc::new(AtomicU64::new(100));
+            let commands = Arc::new(Mutex::new(Vec::new()));
+            (
+                Fake {
+                    name: name.to_string(),
+                    dead: Arc::clone(&dead),
+                    executed: Arc::clone(&executed),
+                    commands: Arc::clone(&commands),
+                },
+                dead,
+                executed,
+                commands,
+            )
+        }
+    }
+
+    impl RuntimeHandle for Fake {
+        fn name(&self) -> String {
+            self.name.clone()
+        }
+        fn stats(&self) -> crate::Result<RuntimeStats> {
+            if self.dead.load(Ordering::SeqCst) {
+                return Err(AgentError::Disconnected {
+                    runtime: self.name.clone(),
+                });
+            }
+            Ok(RuntimeStats {
+                name: self.name.clone(),
+                tasks_executed: self.executed.load(Ordering::SeqCst),
+                tasks_panicked: 0,
+                tasks_spawned: 0,
+                tasks_ready: 0,
+                tasks_pending: 0,
+                running_workers: 1,
+                blocked_workers: 0,
+                external_threads: 0,
+                per_node: vec![],
+                user_counters: HashMap::new(),
+                uptime_us: 1_000,
+            })
+        }
+        fn command(&self, cmd: ThreadCommand) -> crate::Result<()> {
+            if self.dead.load(Ordering::SeqCst) {
+                return Err(AgentError::Disconnected {
+                    runtime: self.name.clone(),
+                });
+            }
+            self.commands.lock().push(cmd);
+            Ok(())
+        }
+    }
+
+    fn fast_supervision() -> SupervisionConfig {
+        let mut c = SupervisionConfig::aggressive(Duration::from_millis(100));
+        c.backoff.max_retries = 0;
+        c
     }
 
     #[test]
@@ -468,7 +794,172 @@ mod tests {
         let log = agent.log();
         assert_eq!(log.errors.len(), 2);
         assert!(log.decisions.is_empty());
+        // Command *rejections* prove liveness: the runtime stays healthy
+        // and is never quarantined for refusing a bad command.
+        assert_eq!(agent.health(), vec![("bad".to_string(), Health::Healthy)]);
         rt.shutdown();
+    }
+
+    #[test]
+    fn tick_continues_when_one_runtime_fails_poll() {
+        // Regression test: a failed stats() poll used to abort the whole
+        // tick, starving the healthy runtimes of decisions.
+        struct CommandAll;
+        impl Policy for CommandAll {
+            fn tick(&mut self, stats: &[RuntimeStats], _t: u64) -> Vec<Option<ThreadCommand>> {
+                vec![Some(ThreadCommand::TotalThreads(1)); stats.len()]
+            }
+        }
+        let (down, down_dead, _, _) = Fake::new("down");
+        let (up, _, _, up_commands) = Fake::new("up");
+        down_dead.store(true, Ordering::SeqCst);
+        let mut agent = Agent::new(Box::new(CommandAll));
+        agent.set_supervision(fast_supervision());
+        agent.manage(Box::new(down));
+        agent.manage(Box::new(up));
+        agent
+            .tick()
+            .expect("a failing runtime must not fail the tick");
+        let log = agent.log();
+        assert!(
+            log.errors.iter().any(|e| e.contains("down")),
+            "the poll failure is recorded: {:?}",
+            log.errors
+        );
+        assert_eq!(
+            up_commands.lock().as_slice(),
+            &[ThreadCommand::TotalThreads(1)],
+            "the healthy runtime still received its command"
+        );
+        assert_eq!(log.decisions.len(), 1);
+        assert_eq!(log.decisions[0].runtime, "up");
+    }
+
+    #[test]
+    fn dead_runtime_is_evicted_cores_reclaimed_then_readmitted() {
+        let (a, _, _, a_cmds) = Fake::new("a");
+        let (b, b_dead, _, b_cmds) = Fake::new("b");
+        let (c, _, _, c_cmds) = Fake::new("c");
+        let mut agent = Agent::new(Box::new(Silent));
+        agent.set_supervision(fast_supervision());
+        agent.set_reclaim_machine(tiny());
+        agent.manage(Box::new(a));
+        agent.manage(Box::new(b));
+        agent.manage(Box::new(c));
+
+        // Healthy steady state: Silent never issues, nothing applied.
+        agent.tick().unwrap();
+        assert!(a_cmds.lock().is_empty());
+
+        // Kill b; dead_after = 3 consecutive failures (one per tick with
+        // retries disabled) ⇒ evicted on the third failing tick.
+        b_dead.store(true, Ordering::SeqCst);
+        for _ in 0..4 {
+            agent.tick().unwrap();
+        }
+        assert_eq!(agent.evicted(), vec!["b".to_string()]);
+        assert!(agent
+            .health()
+            .iter()
+            .any(|(n, h)| n == "b" && *h == Health::Dead));
+
+        // Reclamation: the two survivors split the whole tiny() machine
+        // (2 nodes x 2 cores): one thread per node each — up from the
+        // 3-way split they would get with all runtimes alive.
+        assert_eq!(
+            a_cmds.lock().clone(),
+            vec![ThreadCommand::PerNode(vec![1, 1])]
+        );
+        assert_eq!(
+            c_cmds.lock().clone(),
+            vec![ThreadCommand::PerNode(vec![1, 1])]
+        );
+        assert!(b_cmds.lock().is_empty(), "no commands to the dead runtime");
+
+        // The eviction instant landed on the health lane.
+        let hub = agent.hub();
+        assert!(hub
+            .events()
+            .iter()
+            .any(|e| e.cat == "health" && e.name == "evicted"));
+        assert_eq!(
+            hub.registry().counter_total("coop_agent_evictions_total"),
+            1
+        );
+
+        // Revive b: recovery_successes = 2 probes ⇒ re-admitted after two
+        // ticks, and the fallback redistributes over all three again.
+        b_dead.store(false, Ordering::SeqCst);
+        agent.tick().unwrap();
+        assert_eq!(
+            agent.evicted(),
+            vec!["b".to_string()],
+            "one probe is not enough"
+        );
+        agent.tick().unwrap();
+        assert!(agent.evicted().is_empty());
+        assert!(agent
+            .health()
+            .iter()
+            .any(|(n, h)| n == "b" && *h == Health::Healthy));
+        assert!(
+            !b_cmds.lock().is_empty(),
+            "the re-admitted runtime gets its share back"
+        );
+        assert!(hub
+            .events()
+            .iter()
+            .any(|e| e.cat == "health" && e.name == "readmitted"));
+        assert_eq!(
+            hub.registry().counter_total("coop_agent_recoveries_total"),
+            1
+        );
+    }
+
+    #[test]
+    fn counter_regression_discards_window_and_announces() {
+        struct Predicting;
+        impl Policy for Predicting {
+            fn tick(&mut self, stats: &[RuntimeStats], tick: u64) -> Vec<Option<ThreadCommand>> {
+                if tick == 0 {
+                    vec![Some(ThreadCommand::TotalThreads(1)); stats.len()]
+                } else {
+                    vec![None; stats.len()]
+                }
+            }
+            fn prediction(&self) -> Option<Prediction> {
+                Some(Prediction {
+                    inputs: vec![],
+                    assignment: "r:[1]".to_string(),
+                    series: vec![SeriesValue::new("app/r/gflops", 2.0)],
+                })
+            }
+        }
+        let (r, _, executed, _) = Fake::new("r");
+        let mut agent = Agent::new(Box::new(Predicting));
+        agent.set_supervision(fast_supervision());
+        agent.manage(Box::new(r));
+        agent.tick().unwrap(); // opens a decision, baseline = 100
+        executed.store(40, Ordering::SeqCst); // the counter runs backwards
+        agent.tick().unwrap(); // closes the decision
+
+        let records = agent.observatory().records();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].is_closed());
+        assert!(
+            records[0].residuals.is_empty(),
+            "a regressed window must not produce residuals"
+        );
+        let hub = agent.hub();
+        assert_eq!(
+            hub.registry()
+                .counter_total("coop_agent_counter_regressions_total"),
+            1
+        );
+        assert!(hub
+            .events()
+            .iter()
+            .any(|e| e.cat == "health" && e.name == "counter_regression"));
     }
 
     #[test]
@@ -579,7 +1070,7 @@ mod tests {
         let rt = Arc::new(Runtime::start(RuntimeConfig::new("bg", tiny())).unwrap());
         let mut agent = Agent::new(Box::new(Scripted { issued: false }));
         agent.manage(Box::new(Arc::clone(&rt)));
-        let handle = agent.spawn(Duration::from_millis(1));
+        let handle = agent.spawn(Duration::from_millis(1)).unwrap();
         std::thread::sleep(Duration::from_millis(30));
         let log = handle.stop();
         assert!(log.ticks >= 3);

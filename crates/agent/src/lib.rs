@@ -26,6 +26,13 @@
 //!   ([`Agent::observatory`]) and back-fills it one tick later with the
 //!   measured throughput shares, feeding the model-drift detector.
 //!
+//! * [`supervise`] / [`fault`] — fault tolerance: every managed handle is
+//!   wrapped in a [`SupervisedHandle`] (per-runtime health state machine,
+//!   per-call deadlines, bounded retry with backoff); sick runtimes are
+//!   quarantined, dead ones evicted and their cores reclaimed for the
+//!   survivors. [`ChaosHandle`] + [`FaultPlan`] inject deterministic
+//!   faults for testing (see `docs/robustness.md`).
+//!
 //! The agent deliberately does cheap work per tick (the paper's §IV:
 //! an agent that is "only required to occasionally perform quick
 //! decisions" will not disturb the computation).
@@ -35,11 +42,17 @@
 
 mod agent;
 pub mod consensus;
+pub mod fault;
 pub mod policies;
 pub mod proto;
+pub mod supervise;
 
 pub use agent::{Agent, AgentLog, Decision};
 pub use coop_runtime::{RuntimeStats, ThreadCommand};
+pub use fault::{ChaosHandle, Fault, FaultPlan, FaultRule, KillSwitch};
+pub use supervise::{
+    BackoffConfig, DetectorConfig, Health, HealthState, SupervisedHandle, SupervisionConfig,
+};
 
 use std::sync::Arc;
 
@@ -63,6 +76,34 @@ pub enum AgentError {
         /// Managed runtime's name.
         runtime: String,
     },
+    /// A call exceeded its deadline (the runtime may be hung).
+    Timeout {
+        /// Managed runtime's name.
+        runtime: String,
+        /// The deadline that elapsed.
+        deadline: std::time::Duration,
+    },
+    /// A supporting thread (courier, endpoint pump) could not be spawned.
+    Spawn {
+        /// Managed runtime's name.
+        runtime: String,
+        /// OS-level reason.
+        reason: String,
+    },
+}
+
+impl AgentError {
+    /// `true` for *transport* failures — the runtime did not answer
+    /// (timeout, disconnect, spawn failure). These feed the failure
+    /// detector and are retried; application-level errors
+    /// ([`AgentError::Command`], [`AgentError::Policy`]) prove the
+    /// runtime is alive and are neither retried nor counted against it.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            AgentError::Disconnected { .. } | AgentError::Timeout { .. } | AgentError::Spawn { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for AgentError {
@@ -74,6 +115,19 @@ impl std::fmt::Display for AgentError {
             AgentError::Policy { reason } => write!(f, "policy error: {reason}"),
             AgentError::Disconnected { runtime } => {
                 write!(f, "runtime '{runtime}' disconnected")
+            }
+            AgentError::Timeout { runtime, deadline } => {
+                write!(
+                    f,
+                    "runtime '{runtime}' exceeded the {:?} call deadline",
+                    deadline
+                )
+            }
+            AgentError::Spawn { runtime, reason } => {
+                write!(
+                    f,
+                    "spawning support thread for '{runtime}' failed: {reason}"
+                )
             }
         }
     }

@@ -7,7 +7,11 @@ use roofline_numa::{AppSpec, ThreadAssignment};
 
 /// Converts one application's row of a [`ThreadAssignment`] into the
 /// per-node command the paper's blocking option 3 expects.
-fn per_node_command(assignment: &ThreadAssignment, app: usize, machine: &Machine) -> ThreadCommand {
+pub(crate) fn per_node_command(
+    assignment: &ThreadAssignment,
+    app: usize,
+    machine: &Machine,
+) -> ThreadCommand {
     ThreadCommand::PerNode(
         machine
             .node_ids()
@@ -136,12 +140,23 @@ pub struct ModelGuided {
     /// Require every application to keep at least this many threads
     /// machine-wide (0 allows starving an application entirely).
     pub min_threads_per_app: usize,
-    last: Option<ThreadAssignment>,
+    last: Option<Solved>,
+}
+
+/// The most recent solve: the live set it covered (runtime names in
+/// stats order, with the matching specs) plus the chosen assignment.
+struct Solved {
+    names: Vec<String>,
+    apps: Vec<AppSpec>,
+    assignment: ThreadAssignment,
 }
 
 impl ModelGuided {
-    /// Creates the policy. `apps[i]` must describe the runtime at registry
-    /// index `i`.
+    /// Creates the policy. `apps` describes the managed runtimes *by
+    /// name*: each tick the policy matches the polled stats against the
+    /// specs and solves over exactly the runtimes that answered, so a
+    /// quarantined or evicted runtime shrinks the solve to the live set
+    /// (its cores flow to the survivors) instead of stalling it.
     pub fn new(machine: Machine, apps: Vec<AppSpec>) -> Self {
         ModelGuided {
             machine,
@@ -152,14 +167,23 @@ impl ModelGuided {
         }
     }
 
-    /// The most recent assignment the policy computed.
+    /// The most recent assignment the policy computed (rows follow the
+    /// stats order of the tick that produced it).
     pub fn last_assignment(&self) -> Option<&ThreadAssignment> {
-        self.last.as_ref()
+        self.last.as_ref().map(|s| &s.assignment)
     }
 
-    fn search(&self) -> Option<ThreadAssignment> {
+    /// Matches polled stats to specs by name; `None` if any polled
+    /// runtime has no spec (the policy cannot model it).
+    fn live_apps(&self, stats: &[RuntimeStats]) -> Option<Vec<AppSpec>> {
+        stats
+            .iter()
+            .map(|s| self.apps.iter().find(|a| a.name == s.name).cloned())
+            .collect()
+    }
+
+    fn search(&self, apps: &[AppSpec]) -> Option<ThreadAssignment> {
         let machine = &self.machine;
-        let apps = &self.apps;
         let min = self.min_threads_per_app;
         // Infeasible assignments (an application below its thread floor)
         // score as a large graded penalty, so the greedy constructor is
@@ -181,31 +205,43 @@ impl ModelGuided {
 
 impl Policy for ModelGuided {
     fn prediction(&self) -> Option<coop_telemetry::Prediction> {
-        let assignment = self.last.as_ref()?;
-        let report = roofline_numa::solve(&self.machine, &self.apps, assignment).ok()?;
+        let last = self.last.as_ref()?;
+        let report = roofline_numa::solve(&self.machine, &last.apps, &last.assignment).ok()?;
         let mut prediction = report.to_prediction();
-        prediction.assignment = format!("{:?}", assignment.matrix());
+        prediction.assignment = format!("{:?}", last.assignment.matrix());
         Some(prediction)
     }
 
     fn tick(&mut self, stats: &[RuntimeStats], tick: u64) -> Vec<Option<ThreadCommand>> {
-        if stats.len() != self.apps.len() {
-            return vec![None; stats.len()];
-        }
-        if !tick.is_multiple_of(self.period) && self.last.is_some() {
-            return vec![None; stats.len()];
-        }
-        let Some(assignment) = self.search() else {
+        let Some(live_apps) = self.live_apps(stats) else {
             return vec![None; stats.len()];
         };
-        let changed = self.last.as_ref() != Some(&assignment);
-        self.last = Some(assignment);
+        if live_apps.is_empty() {
+            return Vec::new();
+        }
+        let names: Vec<String> = stats.iter().map(|s| s.name.clone()).collect();
+        // A changed live set (eviction, re-admission) forces an immediate
+        // re-solve even off-period: reclaimed cores should not idle for
+        // up to `period` ticks.
+        let set_changed = self.last.as_ref().is_none_or(|l| l.names != names);
+        if !set_changed && !tick.is_multiple_of(self.period) {
+            return vec![None; stats.len()];
+        }
+        let Some(assignment) = self.search(&live_apps) else {
+            return vec![None; stats.len()];
+        };
+        let changed = set_changed || self.last.as_ref().map(|l| &l.assignment) != Some(&assignment);
+        self.last = Some(Solved {
+            names,
+            apps: live_apps,
+            assignment,
+        });
         if !changed {
             return vec![None; stats.len()];
         }
-        let assignment = self.last.as_ref().expect("just set");
+        let last = self.last.as_ref().expect("just set");
         (0..stats.len())
-            .map(|app| Some(per_node_command(assignment, app, &self.machine)))
+            .map(|app| Some(per_node_command(&last.assignment, app, &self.machine)))
             .collect()
     }
 }
@@ -364,6 +400,44 @@ mod tests {
         // Non-period tick with unchanged search: silent.
         let cmds2 = p.tick(&stats, 1);
         assert!(cmds2.iter().all(|c| c.is_none()));
+    }
+
+    #[test]
+    fn model_guided_resolves_over_the_live_set() {
+        let m = paper_model_machine();
+        let apps = vec![
+            AppSpec::numa_local("a", 0.5),
+            AppSpec::numa_local("b", 0.5),
+            AppSpec::numa_local("c", 10.0),
+        ];
+        let mut p = ModelGuided::new(m, apps);
+        let full: Vec<RuntimeStats> = ["a", "b", "c"]
+            .iter()
+            .map(|n| fake_stats(n, &[], 0))
+            .collect();
+        let cmds = p.tick(&full, 0);
+        assert!(cmds.iter().all(|c| c.is_some()));
+
+        // 'b' disappears (evicted): the next tick re-solves over the two
+        // survivors immediately, even though it is off-period.
+        let live = vec![fake_stats("a", &[], 0), fake_stats("c", &[], 0)];
+        let cmds = p.tick(&live, 1);
+        assert_eq!(cmds.len(), 2);
+        assert!(
+            cmds.iter().all(|c| c.is_some()),
+            "live-set change forces an immediate re-solve"
+        );
+        let assignment = p.last_assignment().unwrap();
+        assert!(assignment.app_total(0) >= 1 && assignment.app_total(1) >= 1);
+
+        // 'b' comes back: another immediate re-solve over all three.
+        let cmds = p.tick(&full, 2);
+        assert_eq!(cmds.len(), 3);
+        assert!(cmds.iter().all(|c| c.is_some()));
+
+        // A runtime the policy has no spec for: silent (cannot model it).
+        let unknown = vec![fake_stats("a", &[], 0), fake_stats("mystery", &[], 0)];
+        assert!(p.tick(&unknown, 3).iter().all(|c| c.is_none()));
     }
 
     #[test]

@@ -6,12 +6,28 @@
 //! the agent owns an [`AgentSideEndpoint`] (a [`RuntimeHandle`]), the
 //! runtime side runs a [`RuntimeSideEndpoint`] pump on its own thread.
 //! Structurally this is Figure 1; only the transport differs.
+//!
+//! Failure semantics mirror a real IPC transport: a pump that does not
+//! answer within the endpoint's timeout surfaces as
+//! [`AgentError::Timeout`], a dead pump as [`AgentError::Disconnected`],
+//! and a reply that does not match the request as an application-level
+//! [`AgentError::Command`]. For fault-injection testing,
+//! [`connect_chaotic`] runs the pump under a
+//! [`FaultPlan`](crate::fault::FaultPlan) (delays, hangs, drops, error
+//! replies, wrong-variant replies, garbage stats); to add kill/revive
+//! semantics, wrap the agent side in a
+//! [`ChaosHandle`](crate::fault::ChaosHandle) with a
+//! [`KillSwitch`](crate::fault::KillSwitch) — the wrappers compose.
 
+use crate::fault::{Fault, FaultPlan};
 use crate::{AgentError, Result, RuntimeHandle};
 use coop_runtime::{Runtime, RuntimeStats, ThreadCommand};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Default per-roundtrip timeout for [`connect`].
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Requests the agent sends to a runtime.
 #[derive(Debug, Clone)]
@@ -50,9 +66,39 @@ pub struct RuntimeSideEndpoint {
 }
 
 /// Connects a runtime to a fresh channel pair and spawns the runtime-side
-/// pump thread. Returns the agent-side handle and the pump handle (keep
-/// the latter alive for the duration of the session).
-pub fn connect(runtime: Arc<Runtime>) -> (AgentSideEndpoint, RuntimeSideEndpoint) {
+/// pump thread, with the [`DEFAULT_TIMEOUT`] per roundtrip. Returns the
+/// agent-side handle and the pump handle (keep the latter alive for the
+/// duration of the session). Fails with [`AgentError::Spawn`] when the
+/// pump thread cannot be spawned.
+pub fn connect(runtime: Arc<Runtime>) -> Result<(AgentSideEndpoint, RuntimeSideEndpoint)> {
+    connect_with(runtime, DEFAULT_TIMEOUT, None)
+}
+
+/// [`connect`] with a custom per-roundtrip timeout.
+pub fn connect_with_timeout(
+    runtime: Arc<Runtime>,
+    timeout: Duration,
+) -> Result<(AgentSideEndpoint, RuntimeSideEndpoint)> {
+    connect_with(runtime, timeout, None)
+}
+
+/// [`connect`] with a [`FaultPlan`] applied by the pump: each received
+/// request counts as one call; a faulting call is delayed, dropped
+/// (hang), answered wrongly, answered with an error, answered with
+/// corrupted stats, or kills the pump (disconnect), per the plan.
+pub fn connect_chaotic(
+    runtime: Arc<Runtime>,
+    timeout: Duration,
+    plan: FaultPlan,
+) -> Result<(AgentSideEndpoint, RuntimeSideEndpoint)> {
+    connect_with(runtime, timeout, Some(plan))
+}
+
+fn connect_with(
+    runtime: Arc<Runtime>,
+    timeout: Duration,
+    plan: Option<FaultPlan>,
+) -> Result<(AgentSideEndpoint, RuntimeSideEndpoint)> {
     let (req_tx, req_rx) = bounded::<Request>(16);
     let (resp_tx, resp_rx) = bounded::<Response>(16);
     let name = runtime.name().to_string();
@@ -61,14 +107,64 @@ pub fn connect(runtime: Arc<Runtime>) -> (AgentSideEndpoint, RuntimeSideEndpoint
     let thread = std::thread::Builder::new()
         .name(format!("{name}-endpoint"))
         .spawn(move || {
+            let mut call: u64 = 0;
+            // Last clean counters reported, for Garbage corruption.
+            let mut last_reported: (u64, u64) = (0, 0);
             while let Ok(req) = req_rx.recv() {
-                let resp = match req {
-                    Request::GetStats => {
-                        Response::Stats(coop_runtime::Runtime::stats(&pump_runtime))
+                let fault = match (&plan, &req) {
+                    // Close is control-plane: never faulted.
+                    (Some(p), Request::GetStats) | (Some(p), Request::Apply(_)) => {
+                        let f = p.fault_for(call).cloned();
+                        call += 1;
+                        f
                     }
-                    Request::Apply(cmd) => match pump_runtime.control().apply(cmd) {
-                        Ok(()) => Response::Ok,
-                        Err(e) => Response::Err(e.to_string()),
+                    _ => None,
+                };
+                match fault {
+                    Some(Fault::Delay(d)) => std::thread::sleep(d),
+                    Some(Fault::Hang(d)) => {
+                        // Swallow the request: the agent's deadline must
+                        // fire. The pump stays busy for the duration, as
+                        // a wedged runtime thread would.
+                        std::thread::sleep(d);
+                        continue;
+                    }
+                    Some(Fault::Disconnect) => break,
+                    _ => {}
+                }
+                let resp = match req {
+                    Request::GetStats => match fault {
+                        Some(Fault::Error) => {
+                            Response::Err("injected fault: error response".into())
+                        }
+                        Some(Fault::WrongResponse) => Response::Ok,
+                        Some(Fault::Garbage) => {
+                            let garbage_executed = last_reported.0 / 2;
+                            let garbage_uptime = last_reported.1 / 2;
+                            let mut stats = coop_runtime::Runtime::stats(&pump_runtime);
+                            stats.tasks_executed = garbage_executed;
+                            stats.uptime_us = garbage_uptime;
+                            last_reported = (garbage_executed, garbage_uptime);
+                            Response::Stats(stats)
+                        }
+                        _ => {
+                            let stats = coop_runtime::Runtime::stats(&pump_runtime);
+                            last_reported = (stats.tasks_executed, stats.uptime_us);
+                            Response::Stats(stats)
+                        }
+                    },
+                    Request::Apply(cmd) => match fault {
+                        Some(Fault::Error) => {
+                            Response::Err("injected fault: error response".into())
+                        }
+                        Some(Fault::WrongResponse) => {
+                            Response::Stats(coop_runtime::Runtime::stats(&pump_runtime))
+                        }
+                        // Garbage only corrupts stats; the command is applied.
+                        _ => match pump_runtime.control().apply(cmd) {
+                            Ok(()) => Response::Ok,
+                            Err(e) => Response::Err(e.to_string()),
+                        },
                     },
                     Request::Close => break,
                 };
@@ -77,32 +173,55 @@ pub fn connect(runtime: Arc<Runtime>) -> (AgentSideEndpoint, RuntimeSideEndpoint
                 }
             }
         })
-        .expect("spawning endpoint pump");
+        .map_err(|e| AgentError::Spawn {
+            runtime: name.clone(),
+            reason: e.to_string(),
+        })?;
 
-    (
+    Ok((
         AgentSideEndpoint {
             name,
             req: req_tx.clone(),
             resp: resp_rx,
-            timeout: Duration::from_secs(5),
+            timeout,
         },
         RuntimeSideEndpoint {
             req: req_tx,
             thread: Some(thread),
         },
-    )
+    ))
 }
 
 impl AgentSideEndpoint {
+    /// The per-roundtrip timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Changes the per-roundtrip timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Builder-style [`AgentSideEndpoint::set_timeout`].
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
     fn roundtrip(&self, req: Request) -> Result<Response> {
+        // A previous roundtrip may have timed out and its reply arrived
+        // late; drop any such stale responses so this request is not
+        // answered by the past.
+        while self.resp.try_recv().is_ok() {}
         self.req.send(req).map_err(|_| AgentError::Disconnected {
             runtime: self.name.clone(),
         })?;
         match self.resp.recv_timeout(self.timeout) {
             Ok(resp) => Ok(resp),
-            Err(RecvTimeoutError::Timeout) => Err(AgentError::Command {
+            Err(RecvTimeoutError::Timeout) => Err(AgentError::Timeout {
                 runtime: self.name.clone(),
-                reason: "endpoint timed out".into(),
+                deadline: self.timeout,
             }),
             Err(RecvTimeoutError::Disconnected) => Err(AgentError::Disconnected {
                 runtime: self.name.clone(),
@@ -155,11 +274,12 @@ mod tests {
     use super::*;
     use coop_runtime::RuntimeConfig;
     use numa_topology::presets::tiny;
+    use std::time::Instant;
 
     #[test]
     fn endpoint_round_trips_stats_and_commands() {
         let rt = Arc::new(Runtime::start(RuntimeConfig::new("ep", tiny())).unwrap());
-        let (agent_side, _pump) = connect(Arc::clone(&rt));
+        let (agent_side, _pump) = connect(Arc::clone(&rt)).unwrap();
 
         assert_eq!(RuntimeHandle::name(&agent_side), "ep");
         let stats = agent_side.stats().unwrap();
@@ -180,9 +300,124 @@ mod tests {
     #[test]
     fn endpoint_survives_runtime_shutdown() {
         let rt = Arc::new(Runtime::start(RuntimeConfig::new("gone", tiny())).unwrap());
-        let (agent_side, _pump) = connect(Arc::clone(&rt));
+        let (agent_side, _pump) = connect(Arc::clone(&rt)).unwrap();
         rt.shutdown();
         // Stats still answer (the runtime object is alive, just stopped).
         assert!(agent_side.stats().is_ok());
+    }
+
+    #[test]
+    fn timeout_is_configurable() {
+        let rt = Arc::new(Runtime::start(RuntimeConfig::new("cfg", tiny())).unwrap());
+        let (agent_side, _pump) =
+            connect_with_timeout(Arc::clone(&rt), Duration::from_millis(250)).unwrap();
+        assert_eq!(agent_side.timeout(), Duration::from_millis(250));
+        let agent_side = agent_side.with_timeout(Duration::from_millis(125));
+        assert_eq!(agent_side.timeout(), Duration::from_millis(125));
+        assert!(agent_side.stats().is_ok());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn hanging_pump_hits_deadline_not_deadlock() {
+        let rt = Arc::new(Runtime::start(RuntimeConfig::new("hang", tiny())).unwrap());
+        let plan = FaultPlan::new().inject(0..1, Fault::Hang(Duration::from_millis(150)));
+        let (agent_side, _pump) =
+            connect_chaotic(Arc::clone(&rt), Duration::from_millis(30), plan).unwrap();
+        let start = Instant::now();
+        let err = agent_side.stats().unwrap_err();
+        assert!(matches!(err, AgentError::Timeout { .. }), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_millis(140),
+            "the deadline must fire before the hang ends"
+        );
+        // Once the pump drains the hang, fresh roundtrips work again (the
+        // hung request was swallowed, so no stale response can desync us).
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(agent_side.stats().is_ok());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn dropped_runtime_side_endpoint_yields_disconnected() {
+        let rt = Arc::new(Runtime::start(RuntimeConfig::new("drop", tiny())).unwrap());
+        let (agent_side, pump) = connect(Arc::clone(&rt)).unwrap();
+        assert!(agent_side.stats().is_ok());
+        drop(pump);
+        let err = agent_side.stats().unwrap_err();
+        assert!(matches!(err, AgentError::Disconnected { .. }), "{err}");
+        // Still no panic on repeated use.
+        let err = agent_side
+            .command(ThreadCommand::TotalThreads(1))
+            .unwrap_err();
+        assert!(matches!(err, AgentError::Disconnected { .. }), "{err}");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn disconnect_fault_kills_the_pump() {
+        let rt = Arc::new(Runtime::start(RuntimeConfig::new("dc", tiny())).unwrap());
+        let plan = FaultPlan::new().inject(1.., Fault::Disconnect);
+        let (agent_side, _pump) =
+            connect_chaotic(Arc::clone(&rt), Duration::from_millis(500), plan).unwrap();
+        assert!(agent_side.stats().is_ok(), "first call is clean");
+        let err = agent_side.stats().unwrap_err();
+        assert!(matches!(err, AgentError::Disconnected { .. }), "{err}");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unexpected_response_variant_is_error_not_panic() {
+        let rt = Arc::new(Runtime::start(RuntimeConfig::new("wrong", tiny())).unwrap());
+        let plan = FaultPlan::new().inject(0..2, Fault::WrongResponse);
+        let (agent_side, _pump) =
+            connect_chaotic(Arc::clone(&rt), Duration::from_millis(500), plan).unwrap();
+        // GetStats answered with Ok: application-level error, not a panic.
+        let err = agent_side.stats().unwrap_err();
+        assert!(
+            matches!(err, AgentError::Command { ref reason, .. } if reason.contains("unexpected")),
+            "{err}"
+        );
+        // Apply answered with Stats: same.
+        let err = agent_side
+            .command(ThreadCommand::TotalThreads(2))
+            .unwrap_err();
+        assert!(
+            matches!(err, AgentError::Command { ref reason, .. } if reason.contains("unexpected")),
+            "{err}"
+        );
+        // The plan's window is over: clean calls again.
+        assert!(agent_side.stats().is_ok());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn error_fault_surfaces_as_command_error() {
+        let rt = Arc::new(Runtime::start(RuntimeConfig::new("err", tiny())).unwrap());
+        let plan = FaultPlan::new().inject(0..1, Fault::Error);
+        let (agent_side, _pump) =
+            connect_chaotic(Arc::clone(&rt), Duration::from_millis(500), plan).unwrap();
+        let err = agent_side.stats().unwrap_err();
+        assert!(matches!(err, AgentError::Command { .. }), "{err}");
+        assert!(agent_side.stats().is_ok());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn garbage_fault_regresses_counters() {
+        let rt = Arc::new(Runtime::start(RuntimeConfig::new("garb", tiny())).unwrap());
+        let plan = FaultPlan::new().inject(1..2, Fault::Garbage);
+        let (agent_side, _pump) =
+            connect_chaotic(Arc::clone(&rt), Duration::from_millis(500), plan).unwrap();
+        let clean = agent_side.stats().unwrap();
+        let garbage = agent_side.stats().unwrap();
+        assert!(
+            garbage.uptime_us < clean.uptime_us,
+            "garbage stats must run the uptime counter backwards ({} vs {})",
+            garbage.uptime_us,
+            clean.uptime_us
+        );
+        assert!(garbage.tasks_executed <= clean.tasks_executed);
+        rt.shutdown();
     }
 }

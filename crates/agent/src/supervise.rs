@@ -1,0 +1,876 @@
+//! Fault-tolerant supervision of managed runtimes.
+//!
+//! The paper's agent arbitrates cores between *cooperating* applications,
+//! which means one sick application must never take the others down with
+//! it. This module wraps every [`RuntimeHandle`] the agent manages in a
+//! [`SupervisedHandle`]: a per-runtime health state machine
+//! ([`Health`]: `Healthy → Degraded → Suspected → Dead`, with recovery
+//! transitions back) driven by a configurable failure detector
+//! ([`DetectorConfig`]: consecutive-failure thresholds plus a per-call
+//! deadline), with bounded retry under exponential backoff and jitter
+//! ([`BackoffConfig`]).
+//!
+//! Liveness semantics: only *transport* failures — deadline timeouts,
+//! disconnects, spawn failures (see [`AgentError::is_transport`]) — feed
+//! the failure detector. An application-level rejection (the runtime
+//! answered, but said no) proves the runtime is alive, so it counts as a
+//! liveness success even though the call still returns an error, and it
+//! is not retried (retrying a rejected command cannot help).
+//!
+//! Deadlines are enforced even when the underlying handle *hangs*: each
+//! supervised handle lazily spawns a courier thread that owns the inner
+//! handle; calls travel over a bounded channel and responses are awaited
+//! with `recv_timeout`. A hung call leaves the courier busy — subsequent
+//! calls fail fast ("previous call still in flight") instead of blocking
+//! the whole agent tick, and stale late replies are discarded by sequence
+//! number. If the inner handle *panics*, the courier dies and every later
+//! call reports `Disconnected` — a panic in one runtime's glue code
+//! cannot unwind into the agent loop.
+
+use crate::{AgentError, Result, RuntimeHandle, RuntimeStats, ThreadCommand};
+use coop_telemetry::{ArgValue, Counter, Gauge, TelemetryHub, TrackId};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Timeline lane (within the agent's track) carrying health transitions,
+/// evictions, recoveries and counter-regression instants.
+pub const HEALTH_LANE: u32 = 1;
+
+/// Health of one managed runtime, as judged by the failure detector.
+///
+/// The ordering is meaningful: each variant is strictly sicker than the
+/// previous one, and [`Health::as_gauge`] exports the same order as a
+/// Prometheus gauge value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Health {
+    /// Responding normally.
+    Healthy,
+    /// A recent transport failure; still polled normally.
+    Degraded,
+    /// Enough consecutive failures that the runtime is presumed sick;
+    /// the agent quarantines it (skips it when asking the policy for
+    /// commands) but keeps polling.
+    Suspected,
+    /// The detector's dead threshold was crossed: the agent evicts the
+    /// runtime and reclaims its cores for the survivors.
+    Dead,
+}
+
+impl Health {
+    /// Gauge encoding: 0 healthy, 1 degraded, 2 suspected, 3 dead.
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            Health::Healthy => 0.0,
+            Health::Degraded => 1.0,
+            Health::Suspected => 2.0,
+            Health::Dead => 3.0,
+        }
+    }
+
+    /// Lower-case name (used in timeline instants and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Suspected => "suspected",
+            Health::Dead => "dead",
+        }
+    }
+}
+
+/// Failure-detector tuning: how many consecutive transport failures move
+/// a runtime down the health ladder, how many consecutive successes bring
+/// it back, and how long one call may take.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorConfig {
+    /// Consecutive transport failures after which the runtime is
+    /// [`Health::Degraded`].
+    pub degraded_after: u32,
+    /// Consecutive transport failures after which the runtime is
+    /// [`Health::Suspected`] (quarantined).
+    pub suspected_after: u32,
+    /// Consecutive transport failures after which the runtime is
+    /// [`Health::Dead`] (evicted, cores reclaimed).
+    pub dead_after: u32,
+    /// Consecutive successes required to recover to [`Health::Healthy`]
+    /// from `Suspected` or `Dead` (a single success recovers from
+    /// `Degraded`).
+    pub recovery_successes: u32,
+    /// Per-call deadline enforced by the courier thread.
+    pub call_deadline: Duration,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            degraded_after: 1,
+            suspected_after: 3,
+            dead_after: 5,
+            recovery_successes: 2,
+            call_deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Bounded-retry policy with exponential backoff and deterministic
+/// jitter, applied to transport failures only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackoffConfig {
+    /// Retries after the first failed attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Growth factor per retry.
+    pub multiplier: f64,
+    /// Upper bound on any single delay (before jitter).
+    pub max_delay: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a factor
+    /// drawn uniformly from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            max_retries: 2,
+            base_delay: Duration::from_millis(1),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(50),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl BackoffConfig {
+    /// The delay before retry number `retry` (0-based), jittered by the
+    /// uniform sample `u ∈ [0, 1)`.
+    pub fn delay(&self, retry: u32, u: f64) -> Duration {
+        let exp = self.multiplier.powi(retry.min(30) as i32);
+        let nominal = self.base_delay.as_secs_f64() * exp;
+        let capped = nominal.min(self.max_delay.as_secs_f64());
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let factor = 1.0 - jitter + 2.0 * jitter * u.clamp(0.0, 1.0);
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+}
+
+/// Everything the agent's supervision layer needs to know per runtime.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SupervisionConfig {
+    /// Failure-detector thresholds and the per-call deadline.
+    pub detector: DetectorConfig,
+    /// Retry/backoff policy for transport failures.
+    pub backoff: BackoffConfig,
+}
+
+impl SupervisionConfig {
+    /// A fast-reacting configuration for tests and short ticks: small
+    /// thresholds, a short deadline, and near-zero backoff delays.
+    pub fn aggressive(call_deadline: Duration) -> Self {
+        SupervisionConfig {
+            detector: DetectorConfig {
+                degraded_after: 1,
+                suspected_after: 2,
+                dead_after: 3,
+                recovery_successes: 2,
+                call_deadline,
+            },
+            backoff: BackoffConfig {
+                max_retries: 1,
+                base_delay: Duration::from_micros(100),
+                multiplier: 2.0,
+                max_delay: Duration::from_millis(2),
+                jitter: 0.5,
+            },
+        }
+    }
+}
+
+/// The pure health state machine: consecutive-outcome counting plus the
+/// threshold transitions of [`DetectorConfig`]. Kept free of I/O so it
+/// can be unit-tested exhaustively.
+#[derive(Debug, Clone)]
+pub struct HealthState {
+    health: Health,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+}
+
+impl Default for HealthState {
+    fn default() -> Self {
+        HealthState {
+            health: Health::Healthy,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+        }
+    }
+}
+
+impl HealthState {
+    /// Current health.
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// Consecutive transport failures observed since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Feed one transport failure; returns `Some((from, to))` when the
+    /// health changed.
+    pub fn on_failure(&mut self, d: &DetectorConfig) -> Option<(Health, Health)> {
+        self.consecutive_successes = 0;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let next = if self.consecutive_failures >= d.dead_after {
+            Health::Dead
+        } else if self.consecutive_failures >= d.suspected_after {
+            Health::Suspected
+        } else if self.consecutive_failures >= d.degraded_after {
+            Health::Degraded
+        } else {
+            self.health
+        };
+        // Failures only ever move down the ladder.
+        let next = next.max(self.health);
+        self.transition(next)
+    }
+
+    /// Feed one success; returns `Some((from, to))` when the health
+    /// changed.
+    pub fn on_success(&mut self, d: &DetectorConfig) -> Option<(Health, Health)> {
+        self.consecutive_failures = 0;
+        self.consecutive_successes = self.consecutive_successes.saturating_add(1);
+        let next = match self.health {
+            Health::Healthy | Health::Degraded => Health::Healthy,
+            Health::Suspected | Health::Dead => {
+                if self.consecutive_successes >= d.recovery_successes {
+                    Health::Healthy
+                } else {
+                    self.health
+                }
+            }
+        };
+        self.transition(next)
+    }
+
+    fn transition(&mut self, next: Health) -> Option<(Health, Health)> {
+        if next == self.health {
+            return None;
+        }
+        let from = self.health;
+        self.health = next;
+        Some((from, next))
+    }
+}
+
+/// A call shipped to the courier thread.
+enum CallRequest {
+    Stats,
+    Command(ThreadCommand),
+    /// Stop the courier.
+    Close,
+}
+
+/// What the courier sends back.
+enum CallOutcome {
+    Stats(RuntimeStats),
+    Done,
+}
+
+struct Courier {
+    req: Sender<(u64, CallRequest)>,
+    resp: Receiver<(u64, Result<CallOutcome>)>,
+    next_seq: u64,
+}
+
+enum CourierState {
+    /// Not spawned yet; the inner handle waits here.
+    Idle(Option<Box<dyn RuntimeHandle>>),
+    Running(Courier),
+    /// Spawning failed; the reason is replayed on every call.
+    Failed(String),
+}
+
+/// Telemetry handles resolved once per supervised runtime.
+struct SupervisionTelemetry {
+    hub: Arc<TelemetryHub>,
+    track: TrackId,
+    health_gauge: Arc<Gauge>,
+    retries: Arc<Counter>,
+    transitions: Arc<Counter>,
+}
+
+/// A [`RuntimeHandle`] wrapper adding deadline enforcement, bounded
+/// retry with exponential backoff + jitter, and the per-runtime health
+/// state machine (see the module docs).
+///
+/// [`Agent::manage`](crate::Agent::manage) wraps every handle in one of
+/// these automatically; construct one directly only to tune supervision
+/// per runtime via [`Agent::manage_supervised`](crate::Agent::manage_supervised).
+pub struct SupervisedHandle {
+    name: String,
+    config: SupervisionConfig,
+    courier: Mutex<CourierState>,
+    state: Mutex<HealthState>,
+    telemetry: Mutex<Option<SupervisionTelemetry>>,
+    rng: Mutex<u64>,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+impl SupervisedHandle {
+    /// Wraps `inner` with the given supervision configuration. The
+    /// courier thread is spawned lazily on the first call, so
+    /// construction never fails; a failed spawn surfaces as
+    /// [`AgentError::Spawn`] from the call that needed it.
+    pub fn new(inner: Box<dyn RuntimeHandle>, config: SupervisionConfig) -> Self {
+        let name = inner.name();
+        SupervisedHandle {
+            // Derive a per-handle jitter seed from the name so two
+            // handles retrying in lockstep de-synchronize.
+            rng: Mutex::new(
+                name.bytes().fold(0x9e3779b97f4a7c15u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x100000001b3)
+                }) | 1,
+            ),
+            name,
+            config,
+            courier: Mutex::new(CourierState::Idle(Some(inner))),
+            state: Mutex::new(HealthState::default()),
+            telemetry: Mutex::new(None),
+        }
+    }
+
+    /// Attaches telemetry: a per-runtime health gauge
+    /// (`coop_agent_runtime_health{runtime=..}`), retry and transition
+    /// counters, and `health` timeline instants on `track`'s
+    /// [`HEALTH_LANE`].
+    pub fn attach_telemetry(&self, hub: Arc<TelemetryHub>, track: TrackId) {
+        let reg = hub.registry();
+        let labels = [("runtime", self.name.as_str())];
+        let telemetry = SupervisionTelemetry {
+            health_gauge: reg.gauge("coop_agent_runtime_health", &labels),
+            retries: reg.counter("coop_agent_retries_total", &labels),
+            transitions: reg.counter("coop_agent_health_transitions_total", &labels),
+            hub,
+            track,
+        };
+        telemetry.health_gauge.set(self.health().as_gauge());
+        *self.telemetry.lock() = Some(telemetry);
+    }
+
+    /// The runtime's current health.
+    pub fn health(&self) -> Health {
+        self.state.lock().health()
+    }
+
+    /// `true` when the runtime should be excluded from policy decisions
+    /// ([`Health::Suspected`] or worse).
+    pub fn is_quarantined(&self) -> bool {
+        self.health() >= Health::Suspected
+    }
+
+    /// The supervision configuration this handle was built with.
+    pub fn config(&self) -> &SupervisionConfig {
+        &self.config
+    }
+
+    /// One un-retried stats round-trip feeding the health state machine —
+    /// the probe the agent sends to quarantined/evicted runtimes. Returns
+    /// the health after the probe.
+    pub fn probe(&self) -> Health {
+        match self.call_once(CallRequest::Stats) {
+            Ok(_) => self.record_success(),
+            Err(e) => {
+                if e.is_transport() {
+                    self.record_failure();
+                } else {
+                    // The runtime answered (with an application-level
+                    // error): alive.
+                    self.record_success();
+                }
+            }
+        }
+        self.health()
+    }
+
+    fn record_success(&self) {
+        let transition = self.state.lock().on_success(&self.config.detector);
+        self.publish_transition(transition);
+    }
+
+    fn record_failure(&self) {
+        let transition = self.state.lock().on_failure(&self.config.detector);
+        self.publish_transition(transition);
+    }
+
+    fn publish_transition(&self, transition: Option<(Health, Health)>) {
+        let Some((from, to)) = transition else { return };
+        let guard = self.telemetry.lock();
+        let Some(t) = guard.as_ref() else { return };
+        t.health_gauge.set(to.as_gauge());
+        t.transitions.inc();
+        t.hub.record_instant(
+            0,
+            t.track,
+            HEALTH_LANE,
+            "health",
+            to.name(),
+            vec![
+                ("runtime".to_string(), ArgValue::Str(self.name.clone())),
+                ("from".to_string(), ArgValue::Str(from.name().to_string())),
+            ],
+        );
+    }
+
+    fn record_retry(&self) {
+        if let Some(t) = self.telemetry.lock().as_ref() {
+            t.retries.inc();
+        }
+    }
+
+    /// Ships one call to the courier and awaits the reply within the
+    /// configured deadline. Does not touch the health state machine.
+    fn call_once(&self, request: CallRequest) -> Result<CallOutcome> {
+        let mut guard = self.courier.lock();
+        // Lazily spawn the courier on first use.
+        if let CourierState::Idle(inner) = &mut *guard {
+            let inner = inner.take().expect("idle courier holds the handle");
+            *guard = match spawn_courier(&self.name, inner) {
+                Ok(courier) => CourierState::Running(courier),
+                Err(reason) => CourierState::Failed(reason),
+            };
+        }
+        let courier = match &mut *guard {
+            CourierState::Running(c) => c,
+            CourierState::Failed(reason) => {
+                return Err(AgentError::Spawn {
+                    runtime: self.name.clone(),
+                    reason: reason.clone(),
+                })
+            }
+            CourierState::Idle(_) => unreachable!("courier spawned above"),
+        };
+        let seq = courier.next_seq;
+        courier.next_seq += 1;
+        match courier.req.try_send((seq, request)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                // A previous call is still hung inside the runtime; do
+                // not pile up behind it.
+                return Err(AgentError::Timeout {
+                    runtime: self.name.clone(),
+                    deadline: self.config.detector.call_deadline,
+                });
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(AgentError::Disconnected {
+                    runtime: self.name.clone(),
+                })
+            }
+        }
+        let deadline = Instant::now() + self.config.detector.call_deadline;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match courier.resp.recv_timeout(remaining) {
+                // Stale reply from a call that already timed out: discard.
+                Ok((got, _)) if got < seq => continue,
+                Ok((_, outcome)) => return outcome,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(AgentError::Timeout {
+                        runtime: self.name.clone(),
+                        deadline: self.config.detector.call_deadline,
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(AgentError::Disconnected {
+                        runtime: self.name.clone(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// One logical call: deadline-enforced attempts with bounded retry
+    /// and backoff on transport failures, feeding the health state
+    /// machine per attempt.
+    fn call_with_retry(&self, make: impl Fn() -> CallRequest) -> Result<CallOutcome> {
+        let mut last_err;
+        let mut retry = 0u32;
+        loop {
+            match self.call_once(make()) {
+                Ok(outcome) => {
+                    self.record_success();
+                    return Ok(outcome);
+                }
+                Err(e) if e.is_transport() => {
+                    self.record_failure();
+                    last_err = e;
+                }
+                Err(e) => {
+                    // Application-level rejection: the runtime is alive.
+                    self.record_success();
+                    return Err(e);
+                }
+            }
+            if retry >= self.config.backoff.max_retries || self.health() == Health::Dead {
+                return Err(last_err);
+            }
+            let u = (xorshift(&mut self.rng.lock()) >> 11) as f64 / (1u64 << 53) as f64;
+            std::thread::sleep(self.config.backoff.delay(retry, u));
+            self.record_retry();
+            retry += 1;
+        }
+    }
+}
+
+impl RuntimeHandle for SupervisedHandle {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn stats(&self) -> Result<RuntimeStats> {
+        match self.call_with_retry(|| CallRequest::Stats)? {
+            CallOutcome::Stats(s) => Ok(s),
+            CallOutcome::Done => Err(AgentError::Command {
+                runtime: self.name.clone(),
+                reason: "courier returned the wrong outcome for stats".into(),
+            }),
+        }
+    }
+
+    fn command(&self, cmd: ThreadCommand) -> Result<()> {
+        match self.call_with_retry(|| CallRequest::Command(cmd.clone()))? {
+            CallOutcome::Done => Ok(()),
+            CallOutcome::Stats(_) => Err(AgentError::Command {
+                runtime: self.name.clone(),
+                reason: "courier returned the wrong outcome for command".into(),
+            }),
+        }
+    }
+}
+
+impl Drop for SupervisedHandle {
+    fn drop(&mut self) {
+        if let CourierState::Running(c) = &*self.courier.lock() {
+            // Ask the courier to exit; never join (a hung inner call
+            // would block the drop forever). The thread exits on Close
+            // or when the request channel disconnects.
+            let _ = c.req.try_send((u64::MAX, CallRequest::Close));
+        }
+    }
+}
+
+/// Spawns the courier thread owning `inner`; returns an error string on
+/// spawn failure.
+fn spawn_courier(
+    name: &str,
+    inner: Box<dyn RuntimeHandle>,
+) -> std::result::Result<Courier, String> {
+    let (req_tx, req_rx) = bounded::<(u64, CallRequest)>(1);
+    let (resp_tx, resp_rx) = unbounded::<(u64, Result<CallOutcome>)>();
+    std::thread::Builder::new()
+        .name(format!("{name}-courier"))
+        .spawn(move || {
+            while let Ok((seq, request)) = req_rx.recv() {
+                let outcome = match request {
+                    CallRequest::Stats => inner.stats().map(CallOutcome::Stats),
+                    CallRequest::Command(cmd) => inner.command(cmd).map(|()| CallOutcome::Done),
+                    CallRequest::Close => break,
+                };
+                if resp_tx.send((seq, outcome)).is_err() {
+                    break;
+                }
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    Ok(Courier {
+        req: req_tx,
+        resp: resp_rx,
+        next_seq: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{ChaosHandle, Fault, FaultPlan};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn detector(degraded: u32, suspected: u32, dead: u32, recover: u32) -> DetectorConfig {
+        DetectorConfig {
+            degraded_after: degraded,
+            suspected_after: suspected,
+            dead_after: dead,
+            recovery_successes: recover,
+            call_deadline: Duration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn state_machine_walks_the_ladder_down_and_back() {
+        let d = detector(1, 3, 5, 2);
+        let mut s = HealthState::default();
+        assert_eq!(s.on_failure(&d), Some((Health::Healthy, Health::Degraded)));
+        assert_eq!(s.on_failure(&d), None);
+        assert_eq!(
+            s.on_failure(&d),
+            Some((Health::Degraded, Health::Suspected))
+        );
+        assert_eq!(s.on_failure(&d), None);
+        assert_eq!(s.on_failure(&d), Some((Health::Suspected, Health::Dead)));
+        // Extra failures keep it Dead without re-announcing.
+        assert_eq!(s.on_failure(&d), None);
+        // Recovery needs two consecutive successes from Dead.
+        assert_eq!(s.on_success(&d), None);
+        assert_eq!(s.on_success(&d), Some((Health::Dead, Health::Healthy)));
+        // One failure then success: Degraded bounces straight back.
+        s.on_failure(&d);
+        assert_eq!(s.on_success(&d), Some((Health::Degraded, Health::Healthy)));
+    }
+
+    #[test]
+    fn recovery_counter_resets_on_interleaved_failure() {
+        let d = detector(1, 2, 3, 2);
+        let mut s = HealthState::default();
+        for _ in 0..3 {
+            s.on_failure(&d);
+        }
+        assert_eq!(s.health(), Health::Dead);
+        s.on_success(&d);
+        s.on_failure(&d); // interrupts the recovery streak
+        s.on_success(&d);
+        assert_eq!(s.health(), Health::Dead, "streak must restart");
+        s.on_success(&d);
+        assert_eq!(s.health(), Health::Healthy);
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_within_bounds() {
+        let b = BackoffConfig {
+            max_retries: 5,
+            base_delay: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(35),
+            jitter: 0.5,
+        };
+        // No jitter at u = 0.5 (factor 1.0).
+        assert_eq!(b.delay(0, 0.5), Duration::from_millis(10));
+        assert_eq!(b.delay(1, 0.5), Duration::from_millis(20));
+        // Capped at max_delay.
+        assert_eq!(b.delay(4, 0.5), Duration::from_millis(35));
+        // Jitter bounds: [0.5x, 1.5x].
+        assert_eq!(b.delay(0, 0.0), Duration::from_millis(5));
+        assert_eq!(b.delay(0, 1.0), Duration::from_millis(15));
+    }
+
+    /// A scriptable in-memory handle.
+    struct Scripted {
+        calls: AtomicU64,
+        fail_transport_first: u64,
+    }
+
+    impl Scripted {
+        fn stats_value(name: &str) -> RuntimeStats {
+            RuntimeStats {
+                name: name.into(),
+                tasks_executed: 1,
+                tasks_panicked: 0,
+                tasks_spawned: 1,
+                tasks_ready: 0,
+                tasks_pending: 0,
+                running_workers: 1,
+                blocked_workers: 0,
+                external_threads: 0,
+                per_node: vec![],
+                user_counters: HashMap::new(),
+                uptime_us: 1,
+            }
+        }
+    }
+
+    impl RuntimeHandle for Scripted {
+        fn name(&self) -> String {
+            "scripted".into()
+        }
+        fn stats(&self) -> Result<RuntimeStats> {
+            let n = self.calls.fetch_add(1, Ordering::SeqCst);
+            if n < self.fail_transport_first {
+                Err(AgentError::Disconnected {
+                    runtime: "scripted".into(),
+                })
+            } else {
+                Ok(Self::stats_value("scripted"))
+            }
+        }
+        fn command(&self, _cmd: ThreadCommand) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_transport_failures() {
+        let inner = Scripted {
+            calls: AtomicU64::new(0),
+            fail_transport_first: 2,
+        };
+        let mut config = SupervisionConfig::aggressive(Duration::from_millis(200));
+        config.backoff.max_retries = 3;
+        // Keep the detector above the two scripted failures so the final
+        // success recovers straight from Degraded.
+        config.detector.suspected_after = 5;
+        config.detector.dead_after = 10;
+        let h = SupervisedHandle::new(Box::new(inner), config);
+        // Two failed attempts then a success, all within one logical call.
+        let stats = h.stats().expect("retries cover the transient failures");
+        assert_eq!(stats.name, "scripted");
+        // The interleaved failures degraded it, but the success recovered.
+        assert_eq!(h.health(), Health::Healthy);
+    }
+
+    #[test]
+    fn hanging_handle_hits_deadline_not_deadlock() {
+        // Only the first call hangs; later calls answer promptly.
+        let plan = FaultPlan::new().inject(0..1, Fault::Hang(Duration::from_millis(150)));
+        let rt = ChaosHandle::new(
+            Box::new(Scripted {
+                calls: AtomicU64::new(0),
+                fail_transport_first: 0,
+            }),
+            plan,
+        );
+        let mut config = SupervisionConfig::aggressive(Duration::from_millis(30));
+        config.backoff.max_retries = 0;
+        let h = SupervisedHandle::new(Box::new(rt), config);
+        let start = Instant::now();
+        let err = h.stats().unwrap_err();
+        assert!(matches!(err, AgentError::Timeout { .. }), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_millis(140),
+            "deadline must fire before the hang ends"
+        );
+        // The courier is still busy: the next call fails fast.
+        let err = h.stats().unwrap_err();
+        assert!(matches!(err, AgentError::Timeout { .. }), "{err}");
+        // After the hang drains, the stale reply is discarded and fresh
+        // calls succeed again.
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(h.stats().is_ok());
+    }
+
+    #[test]
+    fn rejection_counts_as_liveness_success_and_is_not_retried() {
+        struct Rejecting {
+            calls: AtomicU64,
+        }
+        impl RuntimeHandle for Rejecting {
+            fn name(&self) -> String {
+                "rej".into()
+            }
+            fn stats(&self) -> Result<RuntimeStats> {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+                Err(AgentError::Command {
+                    runtime: "rej".into(),
+                    reason: "no".into(),
+                })
+            }
+            fn command(&self, _cmd: ThreadCommand) -> Result<()> {
+                Ok(())
+            }
+        }
+        let inner = Rejecting {
+            calls: AtomicU64::new(0),
+        };
+        let h = SupervisedHandle::new(
+            Box::new(inner),
+            SupervisionConfig::aggressive(Duration::from_millis(200)),
+        );
+        let err = h.stats().unwrap_err();
+        assert!(matches!(err, AgentError::Command { .. }));
+        // Rejections prove liveness: health stays Healthy.
+        assert_eq!(h.health(), Health::Healthy);
+    }
+
+    #[test]
+    fn panicking_handle_reports_disconnected_not_panic() {
+        struct Panicky;
+        impl RuntimeHandle for Panicky {
+            fn name(&self) -> String {
+                "boom".into()
+            }
+            fn stats(&self) -> Result<RuntimeStats> {
+                panic!("runtime glue exploded");
+            }
+            fn command(&self, _cmd: ThreadCommand) -> Result<()> {
+                Ok(())
+            }
+        }
+        let mut config = SupervisionConfig::aggressive(Duration::from_millis(200));
+        config.backoff.max_retries = 0;
+        let h = SupervisedHandle::new(Box::new(Panicky), config);
+        let err = h.stats().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AgentError::Disconnected { .. } | AgentError::Timeout { .. }
+            ),
+            "{err}"
+        );
+        // Subsequent calls fail cleanly too.
+        assert!(h.stats().is_err());
+    }
+
+    #[test]
+    fn detector_drives_dead_and_probe_drives_recovery() {
+        let dead = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        struct Switchable {
+            dead: Arc<std::sync::atomic::AtomicBool>,
+        }
+        impl RuntimeHandle for Switchable {
+            fn name(&self) -> String {
+                "sw".into()
+            }
+            fn stats(&self) -> Result<RuntimeStats> {
+                if self.dead.load(Ordering::SeqCst) {
+                    Err(AgentError::Disconnected {
+                        runtime: "sw".into(),
+                    })
+                } else {
+                    Ok(Scripted::stats_value("sw"))
+                }
+            }
+            fn command(&self, _cmd: ThreadCommand) -> Result<()> {
+                Ok(())
+            }
+        }
+        let mut config = SupervisionConfig::aggressive(Duration::from_millis(100));
+        config.backoff.max_retries = 0;
+        let h = SupervisedHandle::new(
+            Box::new(Switchable {
+                dead: Arc::clone(&dead),
+            }),
+            config,
+        );
+        for _ in 0..3 {
+            let _ = h.stats();
+        }
+        assert_eq!(h.health(), Health::Dead);
+        assert!(h.is_quarantined());
+        // Revive: two successful probes re-admit it.
+        dead.store(false, Ordering::SeqCst);
+        assert_eq!(h.probe(), Health::Dead);
+        assert_eq!(h.probe(), Health::Healthy);
+        assert!(!h.is_quarantined());
+    }
+}

@@ -1,0 +1,8 @@
+//! E-chaos: survivor throughput with reclaimed vs idle cores when one
+//! cooperating application dies mid-run (the supervision layer's payoff).
+fn main() {
+    println!("{}", coop_bench::experiments::chaos::run(0.1));
+    println!("Each mix kills one app at half-time; the ratio compares survivor");
+    println!("throughput when its cores are fair-shared among the survivors");
+    println!("(the agent's reclamation path) against letting them idle.");
+}

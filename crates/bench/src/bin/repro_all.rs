@@ -42,4 +42,6 @@ fn main() {
     println!("{}", dist::run(16, 6400, 42));
     println!("=============== E-e2e ===================");
     println!("{}", e2e::run(12, 0.1));
+    println!("=============== E-chaos =================");
+    println!("{}", chaos::run(0.1));
 }

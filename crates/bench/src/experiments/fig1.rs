@@ -89,7 +89,7 @@ fn run_once(config: &Fig1Config, with_agent: bool) -> (PipelineReport, usize) {
         )));
         agent.manage(Box::new(Arc::clone(&producer)));
         agent.manage(Box::new(Arc::clone(&consumer)));
-        agent.spawn(config.tick)
+        agent.spawn(config.tick).expect("agent thread starts")
     });
 
     let report = run_pipeline(&producer, &consumer, &config.pipeline);

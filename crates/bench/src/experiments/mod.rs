@@ -1,5 +1,6 @@
 //! The experiment implementations, one module per table/figure.
 
+pub mod chaos;
 pub mod dist;
 pub mod e2e;
 pub mod fig1;

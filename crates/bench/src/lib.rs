@@ -19,6 +19,7 @@
 //! | `sublinear` | §II claim: shifting cores away from a sub-linearly scaling app helps |
 //! | `library_burst` | §II tight-integration "library application" scenario |
 //! | `distributed` | §V: local-to-global speedup translation |
+//! | `chaos_recovery` | partial failure: survivor throughput with reclaimed vs idle cores |
 //! | `repro_all` | everything above, in order |
 
 #![forbid(unsafe_code)]

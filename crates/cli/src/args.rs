@@ -148,6 +148,12 @@ pub enum Command {
         write_template: bool,
         /// Write simulator metrics to this path (`--metrics`).
         metrics: Option<String>,
+        /// Mid-run application outages (`--fault app:down_at_s[:up_at_s]`),
+        /// raw; parsed against the scenario at execution time.
+        faults: Vec<String>,
+        /// Keep the dead application's cores idle instead of fair-sharing
+        /// them among survivors (`--no-reclaim`).
+        no_reclaim: bool,
     },
     /// `observe` — run the Figure-1 producer-consumer pipeline with an
     /// agent and the memory simulator on one telemetry hub, and export
@@ -186,6 +192,32 @@ pub enum Command {
         /// Write metrics here (`--metrics`).
         metrics: Option<String>,
     },
+    /// `chaos` — run live runtimes under a supervised agent, kill one
+    /// mid-run, and report detection, eviction, core reclamation, and
+    /// (optionally) recovery.
+    Chaos {
+        /// Preset name or JSON path (defaults to `tiny`).
+        machine: String,
+        /// Number of cooperating runtimes (`--runtimes`, default 3).
+        runtimes: usize,
+        /// Agent ticks to run (`--ticks`, default 12).
+        ticks: u64,
+        /// Wall-clock pause between ticks, milliseconds (`--tick-interval`).
+        tick_interval_ms: u64,
+        /// Tick at which runtime `app0` is killed (`--kill-at`).
+        kill_at: u64,
+        /// Tick at which it is revived (`--revive-at`; omit to stay dead).
+        revive_at: Option<u64>,
+        /// Per-call deadline for the failure detector, ms (`--deadline`).
+        deadline_ms: u64,
+        /// Extra fault rules for the victim handle
+        /// (`--fault kind[=millis][@from[..until]][~prob]`).
+        faults: Vec<String>,
+        /// Write the merged trace here (`--trace-out`).
+        trace_out: Option<String>,
+        /// Write metrics here (`--metrics`).
+        metrics: Option<String>,
+    },
     /// `help`.
     Help,
 }
@@ -211,8 +243,12 @@ COMMANDS:
   pareto  --machine <M> --app <SPEC>...
                                throughput/fairness Pareto frontier
   simulate --scenario <FILE> | --write-template  [--metrics <PATH>]
+          [--fault <app:down_at_s[:up_at_s]>...] [--no-reclaim]
                                run (or emit a template for) a declarative
-                               memsim scenario
+                               memsim scenario; --fault kills an app
+                               mid-run (and optionally revives it), with
+                               its cores fair-shared among the survivors
+                               unless --no-reclaim
   observe [--machine <M>] [--iterations N] [--trace-out <PATH>] [--metrics <PATH>]
                                run the Figure-1 producer-consumer pipeline
                                with an agent and the memory simulator on one
@@ -226,6 +262,16 @@ COMMANDS:
                                the simulator measures it (optionally on a
                                perturbed machine), and the drift detector
                                reports residuals and alarms
+  chaos   [--machine <M>] [--runtimes N] [--ticks N] [--tick-interval MS]
+          [--kill-at T] [--revive-at T] [--deadline MS]
+          [--fault <kind[=millis][@from[..until]][~prob]>...]
+          [--trace-out <PATH>] [--metrics <PATH>]
+                               run live runtimes under a supervised agent,
+                               kill app0 mid-run, and report detection,
+                               eviction, core reclamation, and recovery;
+                               --fault injects extra protocol faults
+                               (delay|hang|error|disconnect|garbage|
+                               wrong-response) into app0's handle
   help                         this text
 
 OBSERVABILITY:
@@ -322,6 +368,14 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
     let mut iterations = 30usize;
     let mut format: Option<OutputFormat> = None;
     let mut perturbations: Vec<PerturbArg> = Vec::new();
+    let mut faults: Vec<String> = Vec::new();
+    let mut no_reclaim = false;
+    let mut runtimes = 3usize;
+    let mut ticks = 12u64;
+    let mut tick_interval_ms = 10u64;
+    let mut kill_at = 2u64;
+    let mut revive_at: Option<u64> = None;
+    let mut deadline_ms = 50u64;
     let mut decision_period_s = 0.01f64;
     let mut duration_s = 0.2f64;
     let mut ewma_alpha = 0.3f64;
@@ -350,6 +404,40 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             "--trace-out" => trace_out = Some(next_value(&mut it, "--trace-out")?),
             "--format" => format = Some(OutputFormat::parse(&next_value(&mut it, "--format")?)?),
             "--perturb" => perturbations.push(parse_perturb(&next_value(&mut it, "--perturb")?)?),
+            "--fault" => faults.push(next_value(&mut it, "--fault")?),
+            "--no-reclaim" => no_reclaim = true,
+            "--runtimes" => {
+                runtimes = next_value(&mut it, "--runtimes")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --runtimes (expected usize)"))?
+            }
+            "--ticks" => {
+                ticks = next_value(&mut it, "--ticks")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --ticks (expected u64)"))?
+            }
+            "--tick-interval" => {
+                tick_interval_ms = next_value(&mut it, "--tick-interval")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --tick-interval (expected milliseconds)"))?
+            }
+            "--kill-at" => {
+                kill_at = next_value(&mut it, "--kill-at")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --kill-at (expected tick index)"))?
+            }
+            "--revive-at" => {
+                revive_at = Some(
+                    next_value(&mut it, "--revive-at")?
+                        .parse()
+                        .map_err(|_| CliError::usage("bad --revive-at (expected tick index)"))?,
+                )
+            }
+            "--deadline" => {
+                deadline_ms = next_value(&mut it, "--deadline")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --deadline (expected milliseconds)"))?
+            }
             "--decision-period" => {
                 decision_period_s = next_value(&mut it, "--decision-period")?
                     .parse()
@@ -463,6 +551,35 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             Command::Simulate {
                 scenario,
                 write_template,
+                metrics,
+                faults,
+                no_reclaim,
+            }
+        }
+        Some("chaos") => {
+            if ticks == 0 {
+                return Err(CliError::usage("--ticks must be at least 1"));
+            }
+            if kill_at >= ticks {
+                return Err(CliError::usage("--kill-at must be before --ticks"));
+            }
+            if let Some(r) = revive_at {
+                if r <= kill_at || r >= ticks {
+                    return Err(CliError::usage(
+                        "--revive-at must fall after --kill-at and before --ticks",
+                    ));
+                }
+            }
+            Command::Chaos {
+                machine: machine.unwrap_or_else(|| "tiny".to_string()),
+                runtimes,
+                ticks,
+                tick_interval_ms,
+                kill_at,
+                revive_at,
+                deadline_ms,
+                faults,
+                trace_out,
                 metrics,
             }
         }
@@ -710,6 +827,84 @@ mod tests {
         assert!(parse_args(&argv("drift --perturb bogus")).is_err());
         assert!(parse_args(&argv("drift --perturb 0:x")).is_err());
         assert!(parse_args(&argv("drift --duration nope")).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_with_defaults_and_overrides() {
+        let cli = parse_args(&argv("chaos")).unwrap();
+        match cli.command {
+            Command::Chaos {
+                machine,
+                runtimes,
+                ticks,
+                tick_interval_ms,
+                kill_at,
+                revive_at,
+                deadline_ms,
+                faults,
+                ..
+            } => {
+                assert_eq!(machine, "tiny");
+                assert_eq!(runtimes, 3);
+                assert_eq!(ticks, 12);
+                assert_eq!(tick_interval_ms, 10);
+                assert_eq!(kill_at, 2);
+                assert_eq!(revive_at, None);
+                assert_eq!(deadline_ms, 50);
+                assert!(faults.is_empty());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+
+        let cli = parse_args(&argv(
+            "chaos --machine dual-socket --runtimes 4 --ticks 20 --tick-interval 5 \
+             --kill-at 3 --revive-at 9 --deadline 25 --fault delay=2@0..4 --fault error@5",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Chaos {
+                machine,
+                runtimes,
+                ticks,
+                kill_at,
+                revive_at,
+                deadline_ms,
+                faults,
+                ..
+            } => {
+                assert_eq!(machine, "dual-socket");
+                assert_eq!(runtimes, 4);
+                assert_eq!(ticks, 20);
+                assert_eq!(kill_at, 3);
+                assert_eq!(revive_at, Some(9));
+                assert_eq!(deadline_ms, 25);
+                assert_eq!(faults, vec!["delay=2@0..4", "error@5"]);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+
+        // Kill/revive ordering is validated at parse time.
+        assert!(parse_args(&argv("chaos --kill-at 12")).is_err());
+        assert!(parse_args(&argv("chaos --kill-at 3 --revive-at 2")).is_err());
+        assert!(parse_args(&argv("chaos --ticks 0")).is_err());
+        assert!(parse_args(&argv("chaos --runtimes many")).is_err());
+    }
+
+    #[test]
+    fn simulate_collects_fault_flags() {
+        let cli = parse_args(&argv(
+            "simulate --scenario s.json --fault 1:0.05 --fault 0:0.02:0.08 --no-reclaim",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Simulate {
+                faults, no_reclaim, ..
+            } => {
+                assert_eq!(faults, vec!["1:0.05", "0:0.02:0.08"]);
+                assert!(no_reclaim);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]

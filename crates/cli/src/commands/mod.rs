@@ -91,9 +91,34 @@ pub fn execute(cli: &Cli) -> Result<String> {
             scenario,
             write_template,
             metrics,
+            faults,
+            no_reclaim,
         } => simulate_cmd(
             scenario.as_deref(),
             *write_template,
+            metrics.as_deref(),
+            faults,
+            *no_reclaim,
+            cli.format,
+        ),
+        Command::Chaos {
+            machine,
+            runtimes,
+            ticks,
+            tick_interval_ms,
+            kill_at,
+            revive_at,
+            deadline_ms,
+            faults,
+            trace_out,
+            metrics,
+        } => chaos_cmd(
+            machine,
+            *runtimes,
+            (*ticks, *tick_interval_ms, *kill_at, *revive_at),
+            *deadline_ms,
+            faults,
+            trace_out.as_deref(),
             metrics.as_deref(),
             cli.format,
         ),
@@ -144,10 +169,40 @@ fn write_metrics_file(path: &str, hub: &coop_telemetry::TelemetryHub) -> Result<
         .map_err(|e| CliError::failure(format!("cannot write metrics '{path}': {e}")))
 }
 
+/// Parses a simulate `--fault app:down_at_s[:up_at_s]` outage spec.
+fn parse_outage(spec: &str) -> Result<memsim::AppOutage> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 2 && parts.len() != 3 {
+        return Err(CliError::usage(format!(
+            "bad --fault '{spec}': expected app:down_at_s[:up_at_s]"
+        )));
+    }
+    let app: usize = parts[0].parse().map_err(|_| {
+        CliError::usage(format!("bad app index '{}' in --fault '{spec}'", parts[0]))
+    })?;
+    let down_at_s: f64 = parts[1].parse().map_err(|_| {
+        CliError::usage(format!("bad down time '{}' in --fault '{spec}'", parts[1]))
+    })?;
+    let up_at_s: Option<f64> = match parts.get(2) {
+        Some(t) => Some(
+            t.parse()
+                .map_err(|_| CliError::usage(format!("bad up time '{t}' in --fault '{spec}'")))?,
+        ),
+        None => None,
+    };
+    Ok(memsim::AppOutage {
+        app,
+        down_at_s,
+        up_at_s,
+    })
+}
+
 fn simulate_cmd(
     scenario: Option<&str>,
     write_template: bool,
     metrics: Option<&str>,
+    faults: &[String],
+    no_reclaim: bool,
     format: OutputFormat,
 ) -> Result<String> {
     if write_template {
@@ -158,6 +213,79 @@ fn simulate_cmd(
         .map_err(|e| CliError::usage(format!("cannot read scenario '{path}': {e}")))?;
     let scenario = memsim::Scenario::from_json(&text)
         .map_err(|e| CliError::failure(format!("invalid scenario: {e}")))?;
+
+    // `--fault` switches simulate into the chaos path: the first
+    // assignment runs with the requested outages injected.
+    if !faults.is_empty() {
+        let plan = memsim::ChaosPlan {
+            outages: faults
+                .iter()
+                .map(|f| parse_outage(f))
+                .collect::<Result<Vec<_>>>()?,
+            reclaim: !no_reclaim,
+        };
+        let want_hub = metrics.is_some() || format == OutputFormat::Prom;
+        let (chaos, hub) = if want_hub {
+            let hub = std::sync::Arc::new(coop_telemetry::TelemetryHub::new());
+            let r = memsim::chaos::run_chaos_scenario_with_telemetry(
+                &scenario,
+                &plan,
+                std::sync::Arc::clone(&hub),
+            )
+            .map_err(|e| CliError::failure(format!("chaos simulation failed: {e}")))?;
+            if let Some(metrics_path) = metrics {
+                write_metrics_file(metrics_path, &hub)?;
+            }
+            (r, Some(hub))
+        } else {
+            let r = memsim::run_chaos_scenario(&scenario, &plan)
+                .map_err(|e| CliError::failure(format!("chaos simulation failed: {e}")))?;
+            (r, None)
+        };
+        return match format {
+            OutputFormat::Json => serde_json::to_string_pretty(&chaos.result)
+                .map(|s| s + "\n")
+                .map_err(|e| CliError::failure(e.to_string())),
+            OutputFormat::Prom => Ok(hub
+                .expect("hub exists for prom format")
+                .registry()
+                .to_prometheus()),
+            OutputFormat::Text => {
+                let mut out = format!(
+                    "chaos scenario: {} ({} segments, reclaim {})\n",
+                    scenario.name,
+                    chaos.segments.len(),
+                    if plan.reclaim { "on" } else { "off" }
+                );
+                for (start, live) in &chaos.segments {
+                    let live_names: Vec<&str> = scenario
+                        .apps
+                        .iter()
+                        .zip(live)
+                        .filter(|(_, &l)| l)
+                        .map(|(a, _)| a.name())
+                        .collect();
+                    out.push_str(&format!(
+                        "  from {start:.3}s: live = [{}]\n",
+                        live_names.join(", ")
+                    ));
+                }
+                for (i, app) in scenario.apps.iter().enumerate() {
+                    out.push_str(&format!(
+                        "  {:<12} {:>10.2} GFLOPS\n",
+                        app.name(),
+                        chaos.result.app_gflops(i)
+                    ));
+                }
+                out.push_str(&format!(
+                    "  total        {:>10.2} GFLOPS\n",
+                    chaos.result.total_gflops()
+                ));
+                Ok(out)
+            }
+        };
+    }
+
     // `--format prom` needs the hub even without a `--metrics` file.
     let want_hub = metrics.is_some() || format == OutputFormat::Prom;
     let (result, hub) = if want_hub {
@@ -271,6 +399,177 @@ fn drift_cmd(
     }
 }
 
+/// `chaos`: live runtimes under a supervised agent. `app0` is wrapped in a
+/// chaos handle; at `--kill-at` its kill switch flips and the failure
+/// detector walks it to Dead, the agent evicts it and fair-shares its
+/// cores among the survivors; at `--revive-at` (if given) a probe finds it
+/// healthy again and re-admits it.
+#[allow(clippy::too_many_arguments)]
+fn chaos_cmd(
+    machine: &str,
+    runtimes: usize,
+    (ticks, tick_interval_ms, kill_at, revive_at): (u64, u64, u64, Option<u64>),
+    deadline_ms: u64,
+    faults: &[String],
+    trace_out: Option<&str>,
+    metrics: Option<&str>,
+    format: OutputFormat,
+) -> Result<String> {
+    use coop_agent::{policies, Agent, ChaosHandle, FaultPlan, KillSwitch, SupervisionConfig};
+    use coop_runtime::{Runtime, RuntimeConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    if runtimes < 2 {
+        return Err(CliError::usage("chaos needs --runtimes >= 2"));
+    }
+    let m = resolve_machine(machine)?;
+    let mut plan = FaultPlan::new();
+    for spec in faults {
+        plan = plan
+            .parse_rule(spec)
+            .map_err(|e| CliError::usage(format!("bad --fault '{spec}': {e}")))?;
+    }
+
+    let hub = Arc::new(coop_telemetry::TelemetryHub::new());
+    let rts: Vec<Arc<Runtime>> = (0..runtimes)
+        .map(|i| {
+            let name = format!("app{i}");
+            Runtime::start(RuntimeConfig::new(&name, m.clone()).with_telemetry(Arc::clone(&hub)))
+                .map(Arc::new)
+                .map_err(|e| CliError::failure(format!("cannot start runtime '{name}': {e}")))
+        })
+        .collect::<Result<_>>()?;
+
+    let kill = KillSwitch::new();
+    let mut agent = Agent::with_telemetry(
+        Box::new(policies::FairShare::new(m.clone())),
+        Arc::clone(&hub),
+    );
+    agent.set_supervision(SupervisionConfig::aggressive(Duration::from_millis(
+        deadline_ms,
+    )));
+    agent.set_reclaim_machine(m.clone());
+    for (i, rt) in rts.iter().enumerate() {
+        if i == 0 {
+            agent.manage(Box::new(
+                ChaosHandle::new(Box::new(Arc::clone(rt)), plan.clone())
+                    .with_kill_switch(kill.clone()),
+            ));
+        } else {
+            agent.manage(Box::new(Arc::clone(rt)));
+        }
+    }
+
+    let mut lines = Vec::new();
+    let mut tick_records = Vec::new();
+    for tick in 0..ticks {
+        if tick == kill_at {
+            kill.kill();
+            lines.push(format!("tick {tick:>3}: >>> killed app0"));
+        }
+        if revive_at == Some(tick) {
+            kill.revive();
+            lines.push(format!("tick {tick:>3}: >>> revived app0"));
+        }
+        agent
+            .tick()
+            .map_err(|e| CliError::failure(format!("agent tick {tick} failed: {e}")))?;
+        let health = agent.health();
+        let evicted = agent.evicted();
+        lines.push(format!(
+            "tick {tick:>3}: {}{}",
+            health
+                .iter()
+                .map(|(n, h)| format!("{n}={}", h.name()))
+                .collect::<Vec<_>>()
+                .join(" "),
+            if evicted.is_empty() {
+                String::new()
+            } else {
+                format!("  evicted: [{}]", evicted.join(", "))
+            }
+        ));
+        tick_records.push(serde_json::json!({
+            "tick": tick,
+            "health": health
+                .iter()
+                .map(|(n, h)| (n.clone(), h.name()))
+                .collect::<std::collections::BTreeMap<_, _>>(),
+            "evicted": evicted,
+        }));
+        std::thread::sleep(Duration::from_millis(tick_interval_ms));
+    }
+
+    let final_health = agent.health();
+    let final_evicted = agent.evicted();
+    for rt in &rts {
+        rt.shutdown();
+    }
+
+    if let Some(path) = trace_out {
+        std::fs::write(path, hub.to_perfetto_json())
+            .map_err(|e| CliError::failure(format!("cannot write trace '{path}': {e}")))?;
+    }
+    if let Some(path) = metrics {
+        write_metrics_file(path, &hub)?;
+    }
+
+    match format {
+        OutputFormat::Json => {
+            let doc = serde_json::json!({
+                "machine": m.name(),
+                "runtimes": runtimes,
+                "kill_at": kill_at,
+                "revive_at": revive_at,
+                "ticks": tick_records,
+                "final_health": final_health
+                    .iter()
+                    .map(|(n, h)| (n.clone(), h.name()))
+                    .collect::<std::collections::BTreeMap<_, _>>(),
+                "final_evicted": final_evicted,
+            });
+            serde_json::to_string_pretty(&doc)
+                .map(|s| s + "\n")
+                .map_err(|e| CliError::failure(e.to_string()))
+        }
+        OutputFormat::Prom => Ok(hub.registry().to_prometheus()),
+        OutputFormat::Text => {
+            let mut out = format!(
+                "chaos: {runtimes} runtimes on {}, kill app0 at tick {kill_at}{}\n",
+                m.name(),
+                revive_at
+                    .map(|r| format!(", revive at tick {r}"))
+                    .unwrap_or_default()
+            );
+            for l in &lines {
+                out.push_str(l);
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "final: {}{}\n",
+                final_health
+                    .iter()
+                    .map(|(n, h)| format!("{n}={}", h.name()))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                if final_evicted.is_empty() {
+                    String::new()
+                } else {
+                    format!("  evicted: [{}]", final_evicted.join(", "))
+                }
+            ));
+            if let Some(p) = trace_out {
+                out.push_str(&format!("trace written to {p}\n"));
+            }
+            if let Some(p) = metrics {
+                out.push_str(&format!("metrics written to {p}\n"));
+            }
+            Ok(out)
+        }
+    }
+}
+
 /// `observe`: the Figure-1 setup end to end on one telemetry hub — two
 /// runtimes driving the producer-consumer pipeline, the agent throttling
 /// the producer, and a memsim reallocation run — then export the merged
@@ -314,7 +613,9 @@ fn observe_cmd(
     let mut agent = Agent::with_telemetry(Box::new(policy), Arc::clone(&hub));
     agent.manage(Box::new(Arc::clone(&producer)));
     agent.manage(Box::new(Arc::clone(&consumer)));
-    let agent_thread = agent.spawn(Duration::from_millis(2));
+    let agent_thread = agent
+        .spawn(Duration::from_millis(2))
+        .map_err(|e| CliError::failure(format!("cannot start agent: {e}")))?;
 
     let config = PipelineConfig {
         iterations,
@@ -796,6 +1097,43 @@ mod tests {
         assert_eq!(err.code, 2);
         let err = run_str("solve --machine tiny --app a:node9:1 --counts 1").unwrap_err();
         assert_eq!(err.code, 2, "placement beyond machine nodes: {err}");
+    }
+
+    #[test]
+    fn chaos_kill_revive_round_trips() {
+        let out =
+            run_str("chaos --ticks 8 --kill-at 1 --revive-at 5 --tick-interval 1 --deadline 25")
+                .unwrap();
+        assert!(out.contains("killed app0"), "{out}");
+        assert!(out.contains("evicted: [app0]"), "{out}");
+        assert!(out.contains("revived app0"), "{out}");
+        let final_line = out.lines().find(|l| l.starts_with("final:")).unwrap();
+        assert!(final_line.contains("app0=healthy"), "{out}");
+        assert!(!final_line.contains("evicted"), "{out}");
+    }
+
+    #[test]
+    fn simulate_fault_flag_runs_the_chaos_path() {
+        let dir = std::env::temp_dir().join(format!("coop-cli-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        std::fs::write(&path, memsim::scenario::template().to_json()).unwrap();
+        let out = run_str(&format!(
+            "simulate --scenario {} --fault 3:0.02",
+            path.to_str().unwrap()
+        ))
+        .unwrap();
+        assert!(out.contains("chaos scenario"), "{out}");
+        assert!(out.contains("live = ["), "{out}");
+        assert!(out.contains("total"), "{out}");
+        // Bad specs are usage errors.
+        let err = run_str(&format!(
+            "simulate --scenario {} --fault nope",
+            path.to_str().unwrap()
+        ))
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

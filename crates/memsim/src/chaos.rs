@@ -1,0 +1,343 @@
+//! Chaos scenarios: mid-run application failures in the simulator.
+//!
+//! The agent-side supervision layer (`coop-agent`'s `supervise` module)
+//! evicts a dead runtime and redistributes its cores to the survivors.
+//! This module provides the simulator-side counterpart so the *throughput*
+//! effect of that reclamation can be studied deterministically: a
+//! [`ChaosPlan`] lists [`AppOutage`]s (an application dies at one simulated
+//! time and optionally revives at another), and [`run_chaos_scenario`]
+//! compiles plan + scenario into a time-varying schedule for
+//! [`Simulation::run_dynamic`]:
+//!
+//! * while an application is down its threads are removed from the
+//!   assignment (it executes nothing),
+//! * with [`ChaosPlan::reclaim`] enabled, every segment re-partitions the
+//!   machine fairly among the *live* applications — the same fair-share
+//!   fallback the agent uses — so survivors absorb the freed cores,
+//! * without reclamation the survivors keep their original threads and the
+//!   dead application's cores simply idle.
+//!
+//! Comparing the two runs quantifies what reclamation buys (tests assert
+//! survivors complete strictly more work with it).
+
+use crate::{Result, Scenario, SimConfig, SimError, SimResult, Simulation};
+use coop_telemetry::TelemetryHub;
+use roofline_numa::ThreadAssignment;
+use std::sync::Arc;
+
+/// One application failing (and possibly recovering) mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppOutage {
+    /// Index of the application in the scenario's `apps`.
+    pub app: usize,
+    /// Simulated time at which the application dies, seconds.
+    pub down_at_s: f64,
+    /// Simulated time at which it revives; `None` means it stays dead.
+    pub up_at_s: Option<f64>,
+}
+
+impl AppOutage {
+    /// `true` while the outage is active at time `t_s`.
+    pub fn is_down(&self, t_s: f64) -> bool {
+        t_s >= self.down_at_s && self.up_at_s.is_none_or(|up| t_s < up)
+    }
+}
+
+/// A set of outages plus the recovery policy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosPlan {
+    /// The outages to inject.
+    pub outages: Vec<AppOutage>,
+    /// When `true`, each segment fair-shares the machine among the live
+    /// applications (the agent's reclamation fallback); when `false`, the
+    /// survivors keep the scenario's original assignment and the dead
+    /// application's cores idle.
+    pub reclaim: bool,
+}
+
+impl ChaosPlan {
+    /// A plan that kills `app` at `down_at_s` and revives it at `up_at_s`.
+    pub fn kill_revive(app: usize, down_at_s: f64, up_at_s: f64) -> Self {
+        ChaosPlan {
+            outages: vec![AppOutage {
+                app,
+                down_at_s,
+                up_at_s: Some(up_at_s),
+            }],
+            reclaim: true,
+        }
+    }
+
+    /// Enables or disables reclamation (builder style).
+    pub fn with_reclaim(mut self, reclaim: bool) -> Self {
+        self.reclaim = reclaim;
+        self
+    }
+
+    /// Which applications are live at time `t_s`.
+    pub fn live_at(&self, num_apps: usize, t_s: f64) -> Vec<bool> {
+        let mut live = vec![true; num_apps];
+        for o in &self.outages {
+            if o.is_down(t_s) {
+                live[o.app] = false;
+            }
+        }
+        live
+    }
+
+    /// Validates outage targets and times against the scenario.
+    pub fn validate(&self, scenario: &Scenario) -> Result<()> {
+        for o in &self.outages {
+            if o.app >= scenario.apps.len() {
+                return Err(SimError::Calibration {
+                    reason: format!(
+                        "outage targets app {} but the scenario has {} apps",
+                        o.app,
+                        scenario.apps.len()
+                    ),
+                });
+            }
+            if !(o.down_at_s >= 0.0 && o.down_at_s.is_finite()) {
+                return Err(SimError::BadTime {
+                    reason: "outage down time must be non-negative and finite",
+                });
+            }
+            if let Some(up) = o.up_at_s {
+                if !(up > o.down_at_s && up.is_finite()) {
+                    return Err(SimError::BadTime {
+                        reason: "outage up time must come after its down time",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The schedule boundary times: 0 plus every down/up edge inside the
+    /// run, ascending and deduplicated.
+    fn edges(&self, duration_s: f64) -> Vec<f64> {
+        let mut edges = vec![0.0];
+        for o in &self.outages {
+            edges.push(o.down_at_s);
+            if let Some(up) = o.up_at_s {
+                edges.push(up);
+            }
+        }
+        edges.retain(|&t| t < duration_s);
+        edges.sort_by(|a, b| a.partial_cmp(b).expect("finite edge times"));
+        edges.dedup();
+        edges
+    }
+}
+
+/// The outcome of a chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    /// The underlying simulation result (per-app series span the whole
+    /// run, outages included).
+    pub result: SimResult,
+    /// `(start_s, live_flags)` per schedule segment, ascending.
+    pub segments: Vec<(f64, Vec<bool>)>,
+}
+
+/// Runs the first assignment of `scenario` under `plan`.
+pub fn run_chaos_scenario(scenario: &Scenario, plan: &ChaosPlan) -> Result<ChaosResult> {
+    run_chaos_inner(scenario, plan, None)
+}
+
+/// Like [`run_chaos_scenario`], with the simulator publishing bandwidth
+/// tracks and reallocation events into `hub` (each outage edge appears as
+/// an assignment-switch event on the shared timeline).
+pub fn run_chaos_scenario_with_telemetry(
+    scenario: &Scenario,
+    plan: &ChaosPlan,
+    hub: Arc<TelemetryHub>,
+) -> Result<ChaosResult> {
+    run_chaos_inner(scenario, plan, Some(hub))
+}
+
+fn run_chaos_inner(
+    scenario: &Scenario,
+    plan: &ChaosPlan,
+    hub: Option<Arc<TelemetryHub>>,
+) -> Result<ChaosResult> {
+    scenario.validate()?;
+    plan.validate(scenario)?;
+    let base = ThreadAssignment::from_matrix(scenario.assignments[0].threads.clone());
+    let num_apps = scenario.apps.len();
+
+    let mut schedule = Vec::new();
+    let mut segments = Vec::new();
+    for t in plan.edges(scenario.duration_s) {
+        let live = plan.live_at(num_apps, t);
+        schedule.push((t, segment_assignment(scenario, plan, &base, &live)?));
+        segments.push((t, live));
+    }
+
+    let mut sim = Simulation::new(
+        SimConfig::new(scenario.machine.clone())
+            .with_effects(scenario.effects.clone())
+            .with_seed(scenario.seed),
+    );
+    if let Some(hub) = hub {
+        sim = sim.with_telemetry(hub);
+    }
+    let result = sim.run_dynamic(&scenario.apps, &schedule, scenario.duration_s)?;
+    Ok(ChaosResult { result, segments })
+}
+
+/// The assignment in force for one segment: dead rows zeroed; live rows
+/// either fair-shared over the survivors (reclaim) or kept as-is.
+fn segment_assignment(
+    scenario: &Scenario,
+    plan: &ChaosPlan,
+    base: &ThreadAssignment,
+    live: &[bool],
+) -> Result<ThreadAssignment> {
+    let num_nodes = scenario.machine.num_nodes();
+    let live_count = live.iter().filter(|&&l| l).count();
+    let mut matrix = vec![vec![0usize; num_nodes]; live.len()];
+
+    if live_count == 0 {
+        // Everything is down: an empty machine is a valid (if sad) segment.
+        return Ok(ThreadAssignment::from_matrix(matrix));
+    }
+    if plan.reclaim {
+        let shared =
+            coop_alloc::strategies::fair_share(&scenario.machine, live_count).map_err(|e| {
+                SimError::Calibration {
+                    reason: format!("fair-share reclamation failed: {e}"),
+                }
+            })?;
+        let mut pos = 0usize;
+        for (app, row) in matrix.iter_mut().enumerate() {
+            if live[app] {
+                for (node, slot) in row.iter_mut().enumerate() {
+                    *slot = shared.get(pos, numa_topology::NodeId(node));
+                }
+                pos += 1;
+            }
+        }
+    } else {
+        for (app, row) in matrix.iter_mut().enumerate() {
+            if live[app] {
+                for (node, slot) in row.iter_mut().enumerate() {
+                    *slot = base.get(app, numa_topology::NodeId(node));
+                }
+            }
+        }
+    }
+    Ok(ThreadAssignment::from_matrix(matrix))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::NamedAssignment;
+    use crate::{EffectModel, SimApp};
+    use numa_topology::presets::tiny;
+
+    /// Two identical apps fair-sharing the tiny machine (1 thread per
+    /// node each), ideal effects: fully deterministic throughput.
+    fn two_app_scenario() -> Scenario {
+        Scenario {
+            name: "chaos-base".into(),
+            machine: tiny(),
+            apps: vec![
+                SimApp::numa_local("a", 1.0 / 32.0),
+                SimApp::numa_local("b", 1.0 / 32.0),
+            ],
+            assignments: vec![NamedAssignment {
+                name: "even".into(),
+                threads: vec![vec![1, 1], vec![1, 1]],
+            }],
+            duration_s: 0.1,
+            effects: EffectModel::ideal(),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn reclamation_lets_the_survivor_absorb_the_freed_cores() {
+        let scenario = two_app_scenario();
+        let kill_b = ChaosPlan {
+            outages: vec![AppOutage {
+                app: 1,
+                down_at_s: 0.05,
+                up_at_s: None,
+            }],
+            reclaim: false,
+        };
+
+        let idle = run_chaos_scenario(&scenario, &kill_b).unwrap();
+        let reclaimed = run_chaos_scenario(&scenario, &kill_b.clone().with_reclaim(true)).unwrap();
+
+        // The dead app stops either way.
+        assert!(idle.result.app_gflops(1) < idle.result.total_gflops());
+        // With reclamation the survivor takes over the whole machine for
+        // the second half: strictly more work than when the cores idle.
+        assert!(
+            reclaimed.result.app_gflops(0) > idle.result.app_gflops(0) * 1.2,
+            "reclaimed {} vs idle {}",
+            reclaimed.result.app_gflops(0),
+            idle.result.app_gflops(0)
+        );
+        assert!(reclaimed.result.total_gflops() > idle.result.total_gflops());
+    }
+
+    #[test]
+    fn kill_revive_round_trips_through_three_segments() {
+        let scenario = two_app_scenario();
+        let plan = ChaosPlan::kill_revive(1, 0.03, 0.06);
+        let r = run_chaos_scenario(&scenario, &plan).unwrap();
+        assert_eq!(r.segments.len(), 3);
+        assert_eq!(r.segments[0].1, vec![true, true]);
+        assert_eq!(r.segments[1].1, vec![true, false]);
+        assert_eq!(r.segments[2].1, vec![true, true]);
+        // The revived app did real work before and after the outage.
+        assert!(r.result.app_gflops(1) > 0.0);
+        // The survivor out-executes the app that lost a third of the run.
+        assert!(r.result.app_gflops(0) > r.result.app_gflops(1));
+    }
+
+    #[test]
+    fn chaos_edges_show_up_as_reallocation_events() {
+        let hub = Arc::new(TelemetryHub::new());
+        let scenario = two_app_scenario();
+        let plan = ChaosPlan::kill_revive(0, 0.03, 0.06);
+        run_chaos_scenario_with_telemetry(&scenario, &plan, Arc::clone(&hub)).unwrap();
+        let switches = hub
+            .events()
+            .iter()
+            .filter(|e| e.cat == "scheduler" && e.name.starts_with("assignment"))
+            .count();
+        assert!(
+            switches >= 2,
+            "down and up edges must land on the timeline, saw {switches}"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let scenario = two_app_scenario();
+        let bad_app = ChaosPlan {
+            outages: vec![AppOutage {
+                app: 9,
+                down_at_s: 0.01,
+                up_at_s: None,
+            }],
+            reclaim: true,
+        };
+        assert!(bad_app.validate(&scenario).is_err());
+
+        let bad_times = ChaosPlan {
+            outages: vec![AppOutage {
+                app: 0,
+                down_at_s: 0.05,
+                up_at_s: Some(0.02),
+            }],
+            reclaim: true,
+        };
+        assert!(bad_times.validate(&scenario).is_err());
+    }
+}

@@ -33,7 +33,10 @@
 //! decision tick is predicted with the analytic model, simulated (possibly
 //! on a mid-run-perturbed machine), and back-filled into the model-drift
 //! observatory so prediction residuals and drift alarms land on the shared
-//! telemetry timeline.
+//! telemetry timeline. The [`chaos`] module injects mid-run application
+//! failures (kill/revive) and optionally fair-shares the freed cores among
+//! the survivors — the simulator-side counterpart of the agent's
+//! eviction-and-reclamation path.
 //!
 //! ## Example: the paper's Table III procedure in miniature
 //!
@@ -58,6 +61,7 @@
 
 mod app;
 mod calibrate;
+pub mod chaos;
 mod config;
 mod engine;
 mod result;
@@ -66,6 +70,7 @@ pub mod supervise;
 
 pub use app::{ActivityPattern, SimApp};
 pub use calibrate::{calibrate_even_scenario, CalibratedMachine};
+pub use chaos::{run_chaos_scenario, AppOutage, ChaosPlan, ChaosResult};
 pub use config::{EffectModel, SimConfig};
 pub use engine::Simulation;
 pub use result::{AppSeries, SimResult};

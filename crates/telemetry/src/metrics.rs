@@ -267,6 +267,14 @@ impl MetricsRegistry {
             .insert(name.to_string(), help.to_string());
     }
 
+    /// Current value of the gauge `name{labels}`, or `None` if that exact
+    /// label set was never created (useful in tests and health probes —
+    /// unlike [`MetricsRegistry::gauge`], this never creates the series).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = MetricKey::new(name, labels);
+        lock_inner(self).gauges.get(&key).map(|g| g.get())
+    }
+
     /// Sum of a counter across all label sets sharing `name` (useful in
     /// tests and summaries).
     pub fn counter_total(&self, name: &str) -> u64 {
@@ -612,5 +620,15 @@ mod tests {
         reg.counter("steals", &[("node", "1")]).add(4);
         assert_eq!(reg.counter_total("steals"), 7);
         assert_eq!(reg.counter_total("missing"), 0);
+    }
+
+    #[test]
+    fn gauge_value_reads_without_creating() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("health", &[("runtime", "a")]).set(2.0);
+        assert_eq!(reg.gauge_value("health", &[("runtime", "a")]), Some(2.0));
+        assert_eq!(reg.gauge_value("health", &[("runtime", "b")]), None);
+        // The miss must not have created the series.
+        assert!(!reg.to_prometheus().contains("runtime=\"b\""));
     }
 }

@@ -28,7 +28,9 @@ fn main() {
     let mut agent = Agent::new(Box::new(LibraryBurst::new(0, 1, machine.total_cores())));
     agent.manage(Box::new(Arc::clone(&main_rt)));
     agent.manage(Box::new(Arc::clone(&library)));
-    let agent = agent.spawn(Duration::from_micros(300));
+    let agent = agent
+        .spawn(Duration::from_micros(300))
+        .expect("agent thread starts");
 
     // Main application: a steady stream of small tasks.
     let main_done = Arc::new(AtomicU64::new(0));

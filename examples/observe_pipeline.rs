@@ -53,7 +53,9 @@ fn main() {
     let mut agent = Agent::with_telemetry(Box::new(policy), Arc::clone(&hub));
     agent.manage(Box::new(Arc::clone(&producer)));
     agent.manage(Box::new(Arc::clone(&consumer)));
-    let agent_thread = agent.spawn(Duration::from_micros(500));
+    let agent_thread = agent
+        .spawn(Duration::from_micros(500))
+        .expect("agent thread starts");
 
     let config = PipelineConfig {
         iterations: 40,

@@ -40,7 +40,9 @@ fn run_variant(machine: &Machine, with_agent: bool) {
         )));
         agent.manage(Box::new(Arc::clone(&producer)));
         agent.manage(Box::new(Arc::clone(&consumer)));
-        agent.spawn(Duration::from_micros(500))
+        agent
+            .spawn(Duration::from_micros(500))
+            .expect("agent thread starts")
     });
 
     let report = run_pipeline(&producer, &consumer, &config);

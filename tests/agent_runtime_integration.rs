@@ -80,8 +80,8 @@ fn channel_endpoints_support_the_full_agent_loop() {
     let machine = tiny();
     let a = Arc::new(Runtime::start(RuntimeConfig::new("a", machine.clone())).unwrap());
     let b = Arc::new(Runtime::start(RuntimeConfig::new("b", machine.clone())).unwrap());
-    let (ep_a, _pump_a) = proto::connect(Arc::clone(&a));
-    let (ep_b, _pump_b) = proto::connect(Arc::clone(&b));
+    let (ep_a, _pump_a) = proto::connect(Arc::clone(&a)).unwrap();
+    let (ep_b, _pump_b) = proto::connect(Arc::clone(&b)).unwrap();
 
     let mut agent = Agent::new(Box::new(FairShare::new(machine.clone())));
     agent.manage(Box::new(ep_a));
@@ -113,7 +113,7 @@ fn throttled_pipeline_bounds_intermediate_data() {
     )));
     agent.manage(Box::new(Arc::clone(&producer)));
     agent.manage(Box::new(Arc::clone(&consumer)));
-    let handle = agent.spawn(Duration::from_micros(500));
+    let handle = agent.spawn(Duration::from_micros(500)).unwrap();
 
     let config = PipelineConfig {
         iterations: 30,

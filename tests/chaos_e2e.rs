@@ -1,0 +1,142 @@
+//! End-to-end fault tolerance: three cooperating runtimes under one
+//! supervised agent, with a chaos wrapper around the first. Killing it
+//! mid-run must walk the detector to Dead within the configured window,
+//! evict it, and fair-share its cores to the two survivors (their worker
+//! counts rise); reviving it must re-admit it as Healthy and give it its
+//! share back — all without `Agent::tick` ever returning an error. The
+//! eviction/recovery instants must land on the shared telemetry timeline
+//! and the health gauge / retry counters must export via Prometheus.
+
+use numa_coop::agent::SupervisionConfig;
+use numa_coop::agent::{policies, Agent, ChaosHandle, FaultPlan, Health, KillSwitch};
+use numa_coop::prelude::*;
+use numa_coop::topology::presets::tiny;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CONVERGE: Duration = Duration::from_secs(5);
+
+fn health_of(agent: &Agent, name: &str) -> Health {
+    agent
+        .health()
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, h)| h)
+        .expect("runtime is managed")
+}
+
+#[test]
+fn kill_evict_reclaim_revive_round_trip() {
+    let machine = tiny();
+    let hub = Arc::new(TelemetryHub::new());
+
+    // Three cooperating runtimes on one hub; fair share over tiny()
+    // (2 nodes x 2 cores) gives them 1 / 2 / 1 threads respectively.
+    let runtimes: Vec<Arc<Runtime>> = (0..3)
+        .map(|i| {
+            Arc::new(
+                Runtime::start(
+                    RuntimeConfig::new(&format!("app{i}"), machine.clone())
+                        .with_telemetry(Arc::clone(&hub)),
+                )
+                .unwrap(),
+            )
+        })
+        .collect();
+
+    // app0 goes through the chaos wrapper so the test can kill and
+    // revive it without touching the real runtime.
+    let kill = KillSwitch::new();
+    let chaotic = ChaosHandle::new(Box::new(Arc::clone(&runtimes[0])), FaultPlan::new())
+        .with_kill_switch(kill.clone());
+
+    let mut agent = Agent::with_telemetry(
+        Box::new(policies::FairShare::new(machine.clone())),
+        Arc::clone(&hub),
+    );
+    agent.set_supervision(SupervisionConfig::aggressive(Duration::from_millis(100)));
+    agent.set_reclaim_machine(machine.clone());
+    agent.manage(Box::new(chaotic));
+    agent.manage(Box::new(Arc::clone(&runtimes[1])));
+    agent.manage(Box::new(Arc::clone(&runtimes[2])));
+
+    // Phase 1 — healthy steady state: FairShare fires on the first tick.
+    for _ in 0..2 {
+        agent.tick().unwrap();
+    }
+    for (_, h) in agent.health() {
+        assert_eq!(h, Health::Healthy);
+    }
+    assert!(runtimes[0]
+        .control()
+        .wait_converged(CONVERGE, |total, _| total == 1));
+    assert!(runtimes[1]
+        .control()
+        .wait_converged(CONVERGE, |total, _| total == 2));
+    assert!(runtimes[2]
+        .control()
+        .wait_converged(CONVERGE, |total, _| total == 1));
+
+    // Phase 2 — kill app0. aggressive() allows one retry per call, so
+    // each failing tick records two detector failures: Degraded and
+    // Suspected on the first failing tick, Dead (and eviction) on the
+    // second. Four ticks stay comfortably inside the detection window,
+    // and none of them may error.
+    kill.kill();
+    for _ in 0..4 {
+        agent.tick().unwrap();
+    }
+    assert_eq!(health_of(&agent, "app0"), Health::Dead);
+    assert_eq!(agent.evicted(), vec!["app0".to_string()]);
+
+    // Reclamation: the survivors split the whole machine — both rise to
+    // one thread per node (app2 grows 1 -> 2, combined 3 -> 4).
+    assert!(runtimes[1]
+        .control()
+        .wait_converged(CONVERGE, |total, per_node| total == 2 && per_node == [1, 1]));
+    assert!(runtimes[2]
+        .control()
+        .wait_converged(CONVERGE, |total, per_node| total == 2 && per_node == [1, 1]));
+
+    // The health gauge tracks the transition (Dead exports as 3).
+    assert_eq!(
+        hub.registry()
+            .gauge_value("coop_agent_runtime_health", &[("runtime", "app0")]),
+        Some(3.0)
+    );
+
+    // Phase 3 — revive: recovery_successes = 2 probes, one per tick.
+    kill.revive();
+    for _ in 0..3 {
+        agent.tick().unwrap();
+    }
+    assert!(agent.evicted().is_empty());
+    assert_eq!(health_of(&agent, "app0"), Health::Healthy);
+
+    // The re-admitted runtime gets its fair share back.
+    assert!(runtimes[0]
+        .control()
+        .wait_converged(CONVERGE, |total, _| total >= 1));
+
+    // Eviction and recovery instants are on the shared timeline.
+    let events = hub.events();
+    assert!(events
+        .iter()
+        .any(|e| e.cat == "health" && e.name == "evicted"));
+    assert!(events
+        .iter()
+        .any(|e| e.cat == "health" && e.name == "readmitted"));
+
+    // Health and retry series export through the Prometheus endpoint.
+    let prom = hub.registry().to_prometheus();
+    assert!(prom.contains("coop_agent_runtime_health"));
+    assert!(prom.contains("coop_agent_retries_total"));
+    assert!(
+        hub.registry().counter_total("coop_agent_retries_total") > 0,
+        "the killed runtime's calls were retried before being declared dead"
+    );
+
+    for rt in &runtimes {
+        rt.shutdown();
+    }
+}

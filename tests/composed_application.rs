@@ -72,7 +72,7 @@ fn three_component_composition_end_to_end() {
     for rt in &runtimes {
         agent.manage(Box::new(Arc::clone(rt)));
     }
-    let agent = agent.spawn(Duration::from_millis(1));
+    let agent = agent.spawn(Duration::from_millis(1)).unwrap();
 
     runtimes[0].trace_start(50_000);
     // Solver: the big steady component.

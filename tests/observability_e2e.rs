@@ -39,7 +39,7 @@ fn figure1_pipeline_exports_one_merged_timeline() {
     );
     agent.manage(Box::new(Arc::clone(&producer)));
     agent.manage(Box::new(Arc::clone(&consumer)));
-    let agent_thread = agent.spawn(Duration::from_millis(1));
+    let agent_thread = agent.spawn(Duration::from_millis(1)).unwrap();
 
     let config = PipelineConfig {
         iterations: 6,
