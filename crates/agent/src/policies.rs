@@ -1,9 +1,11 @@
 //! Built-in agent policies.
 
 use crate::{Policy, RuntimeStats, ThreadCommand};
-use coop_alloc::{search::GreedySearch, Objective};
+use coop_alloc::search::{GreedySearch, HillClimb, ModelOracle};
+use coop_alloc::{CacheStats, Objective, ScoreCache, SearchCounters};
 use numa_topology::Machine;
 use roofline_numa::{AppSpec, ThreadAssignment};
+use std::sync::Arc;
 
 /// Converts one application's row of a [`ThreadAssignment`] into the
 /// per-node command the paper's blocking option 3 expects.
@@ -126,12 +128,21 @@ impl Policy for ProducerConsumerThrottle {
 }
 
 /// Model-guided repartitioning: knows each runtime's [`AppSpec`] (AI and
-/// data placement), runs a greedy model search periodically, and pushes
-/// the resulting per-node allocations to every runtime.
+/// data placement), runs a model search periodically, and pushes the
+/// resulting per-node allocations to every runtime.
 ///
 /// This is the paper's NUMA-aware endgame: allocations expressed as
 /// "threads per NUMA node" (option 3), chosen with a model that
 /// understands both bandwidth sharing and data placement.
+///
+/// Search cost is amortized across ticks: a [`ScoreCache`] persists while
+/// the live set (and thus the solving-context fingerprint) is unchanged,
+/// and re-solves over an unchanged live set **warm-start** a hill climb
+/// from the previous assignment instead of rebuilding greedily from
+/// nothing. The solver-work counters of the latest search are surfaced in
+/// the policy's [`Prediction`](coop_telemetry::Prediction) inputs
+/// (`search/full_solves`, `search/delta_solves`, `search/cache_hits`), so
+/// the provenance ledger records how much work each decision cost.
 pub struct ModelGuided {
     machine: Machine,
     apps: Vec<AppSpec>,
@@ -140,7 +151,13 @@ pub struct ModelGuided {
     /// Require every application to keep at least this many threads
     /// machine-wide (0 allows starving an application entirely).
     pub min_threads_per_app: usize,
+    /// Hill-climb proposals per warm-started re-solve.
+    pub warm_iterations: usize,
     last: Option<Solved>,
+    cache: Option<Arc<ScoreCache>>,
+    last_counters: SearchCounters,
+    last_evaluations: usize,
+    last_warm: bool,
 }
 
 /// The most recent solve: the live set it covered (runtime names in
@@ -163,7 +180,12 @@ impl ModelGuided {
             apps,
             period: 10,
             min_threads_per_app: 1,
+            warm_iterations: 1500,
             last: None,
+            cache: None,
+            last_counters: SearchCounters::default(),
+            last_evaluations: 0,
+            last_warm: false,
         }
     }
 
@@ -171,6 +193,24 @@ impl ModelGuided {
     /// stats order of the tick that produced it).
     pub fn last_assignment(&self) -> Option<&ThreadAssignment> {
         self.last.as_ref().map(|s| &s.assignment)
+    }
+
+    /// Solver-work counters of the most recent search (also exported as
+    /// `search/*` prediction inputs for the provenance ledger).
+    pub fn last_search_counters(&self) -> SearchCounters {
+        self.last_counters
+    }
+
+    /// Hit/miss/insert statistics of the persistent score cache, if a
+    /// search has run.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The persistent score cache itself (present after the first search),
+    /// e.g. for attaching telemetry counters to a metrics registry.
+    pub fn score_cache(&self) -> Option<&Arc<ScoreCache>> {
+        self.cache.as_ref()
     }
 
     /// Matches polled stats to specs by name; `None` if any polled
@@ -182,24 +222,44 @@ impl ModelGuided {
             .collect()
     }
 
-    fn search(&self, apps: &[AppSpec]) -> Option<ThreadAssignment> {
-        let machine = &self.machine;
-        let min = self.min_threads_per_app;
-        // Infeasible assignments (an application below its thread floor)
-        // score as a large graded penalty, so the greedy constructor is
-        // steered toward satisfying every application first and only then
-        // optimizes GFLOPS.
-        let mut oracle = |a: &ThreadAssignment| -> coop_alloc::Result<f64> {
-            let starved = (0..apps.len()).filter(|&i| a.app_total(i) < min).count();
-            if starved > 0 {
-                return Ok(-(starved as f64) * 1e12);
+    /// Runs the model search over the live set. The oracle penalizes
+    /// assignments that starve any application below the thread floor, so
+    /// the search satisfies every application first and only then
+    /// optimizes GFLOPS.
+    ///
+    /// `warm_from` (the previous solve over the *same* live set) turns the
+    /// cold greedy construction into a hill climb seeded at the previous
+    /// optimum. The persistent score cache is reused whenever the solving
+    /// context (machine, live apps, objective, thread floor) fingerprints
+    /// the same, and rebuilt otherwise.
+    fn search(
+        &mut self,
+        apps: &[AppSpec],
+        warm_from: Option<ThreadAssignment>,
+    ) -> Option<(ThreadAssignment, SearchCounters, usize)> {
+        let objective = Objective::TotalGflops;
+        let oracle = ModelOracle::new(&self.machine, apps, &objective)
+            .ok()?
+            .with_min_threads(self.min_threads_per_app);
+        let fingerprint = oracle.fingerprint();
+        let cache = match self.cache.as_ref() {
+            Some(c) if c.fingerprint() == fingerprint => Arc::clone(c),
+            _ => {
+                let fresh = Arc::new(ScoreCache::new(fingerprint));
+                self.cache = Some(Arc::clone(&fresh));
+                fresh
             }
-            coop_alloc::score(machine, apps, a, Objective::TotalGflops)
         };
-        GreedySearch::new()
-            .run_with_oracle(machine, apps.len(), &mut oracle)
-            .ok()
-            .map(|r| r.assignment)
+        let mut oracle = oracle.with_cache(cache).ok()?;
+        let result = match warm_from {
+            Some(start) => HillClimb::new()
+                .with_iterations(self.warm_iterations)
+                .with_start(start)
+                .run_model(&self.machine, &mut oracle),
+            None => GreedySearch::new().run_model(&self.machine, &mut oracle),
+        }
+        .ok()?;
+        Some((result.assignment, result.counters, result.evaluations))
     }
 }
 
@@ -209,6 +269,27 @@ impl Policy for ModelGuided {
         let report = roofline_numa::solve(&self.machine, &last.apps, &last.assignment).ok()?;
         let mut prediction = report.to_prediction();
         prediction.assignment = format!("{:?}", last.assignment.matrix());
+        // Provenance: how much solver work the deciding search cost, so
+        // the ledger can attribute cheap (warm, cached) re-solves vs
+        // expensive cold ones.
+        let c = self.last_counters;
+        prediction
+            .inputs
+            .push(("search/full_solves".to_string(), c.full_solves as f64));
+        prediction
+            .inputs
+            .push(("search/delta_solves".to_string(), c.delta_solves as f64));
+        prediction
+            .inputs
+            .push(("search/cache_hits".to_string(), c.cache_hits as f64));
+        prediction.inputs.push((
+            "search/evaluations".to_string(),
+            self.last_evaluations as f64,
+        ));
+        prediction.inputs.push((
+            "search/warm_start".to_string(),
+            if self.last_warm { 1.0 } else { 0.0 },
+        ));
         Some(prediction)
     }
 
@@ -227,9 +308,20 @@ impl Policy for ModelGuided {
         if !set_changed && !tick.is_multiple_of(self.period) {
             return vec![None; stats.len()];
         }
-        let Some(assignment) = self.search(&live_apps) else {
+        // Same live set: warm-start from the previous assignment. A
+        // changed set means the previous matrix has the wrong shape (and
+        // the wrong meaning), so solve cold.
+        let warm_from = if set_changed {
+            None
+        } else {
+            self.last.as_ref().map(|l| l.assignment.clone())
+        };
+        self.last_warm = warm_from.is_some();
+        let Some((assignment, counters, evaluations)) = self.search(&live_apps, warm_from) else {
             return vec![None; stats.len()];
         };
+        self.last_counters = counters;
+        self.last_evaluations = evaluations;
         let changed = set_changed || self.last.as_ref().map(|l| &l.assignment) != Some(&assignment);
         self.last = Some(Solved {
             names,
@@ -457,6 +549,65 @@ mod tests {
         assert!(pred.value("node/0/bandwidth_gbs").is_some());
         assert!(!pred.assignment.is_empty());
         assert!(pred.inputs.iter().any(|(k, v)| k == "ai/mem1" && *v == 0.5));
+        assert!(
+            pred.inputs.iter().any(|(k, _)| k == "search/full_solves"),
+            "search cost counters belong to the provenance record"
+        );
+    }
+
+    #[test]
+    fn model_guided_warm_starts_and_keeps_the_cache_across_ticks() {
+        let m = paper_model_machine();
+        let apps = vec![
+            AppSpec::numa_local("mem1", 0.5),
+            AppSpec::numa_local("comp", 10.0),
+        ];
+        let mut p = ModelGuided::new(m, apps);
+        p.period = 1; // re-solve every tick
+        let stats = vec![fake_stats("mem1", &[], 0), fake_stats("comp", &[], 0)];
+
+        p.tick(&stats, 0);
+        let cold = p.last_search_counters();
+        assert!(
+            cold.full_solves >= 1,
+            "cold greedy solve pays at least one full solve"
+        );
+        let cache = p.cache_stats().expect("cache created by the first search");
+        let first_assignment = p.last_assignment().unwrap().clone();
+
+        // Same live set, on-period: warm hill climb from the previous
+        // assignment, same persistent cache.
+        p.tick(&stats, 1);
+        let pred = p.prediction().unwrap();
+        assert!(pred
+            .inputs
+            .iter()
+            .any(|(k, v)| k == "search/warm_start" && *v == 1.0));
+        let warm = p.last_search_counters();
+        assert!(
+            warm.full_solves + warm.delta_solves + warm.cache_hits > 0,
+            "warm re-solve still consults the model"
+        );
+        let cache_after = p.cache_stats().unwrap();
+        assert!(
+            cache_after.inserts >= cache.inserts && cache_after.hits >= cache.hits,
+            "the cache persists across ticks (counters never reset)"
+        );
+        // A warm climb starts at the previous optimum, so it never ends
+        // somewhere worse; the assignment shape is unchanged.
+        assert_eq!(
+            p.last_assignment().unwrap().num_apps(),
+            first_assignment.num_apps()
+        );
+
+        // Live-set change: cold solve, fresh cache fingerprint.
+        let solo = vec![fake_stats("comp", &[], 0)];
+        p.tick(&solo, 2);
+        let pred = p.prediction().unwrap();
+        assert!(pred
+            .inputs
+            .iter()
+            .any(|(k, v)| k == "search/warm_start" && *v == 0.0));
     }
 
     #[test]

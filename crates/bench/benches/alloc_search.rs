@@ -1,40 +1,68 @@
 //! A-search: the allocation-search ablation from DESIGN.md — exhaustive
-//! vs greedy vs hill-climbing on the paper's machine. Criterion measures
-//! the cost; the `quality` group prints the achieved objective as a
-//! sanity anchor (greedy should match the uniform-exhaustive optimum here
-//! at a fraction of the evaluations).
+//! vs greedy vs hill-climbing on the paper's machine, now with the
+//! parallel/memoized machinery of docs/performance.md. Criterion measures
+//! per-strategy cost; a manual harness times the parallel fan-out and the
+//! delta+cache oracle against their sequential/full-solve baselines and
+//! writes the figures to `BENCH_alloc_search.json` (override the path via
+//! the `BENCH_ALLOC_SEARCH_JSON` environment variable). The JSON is also
+//! produced under `cargo bench -- --test`, with shrunk problem sizes, so
+//! CI can archive it from a smoke run.
 
-use coop_alloc::{search, Objective};
+use coop_alloc::{search, Objective, ScoreCache};
 use coop_workloads::apps::model_mix;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::Criterion;
 use numa_topology::presets::paper_model_machine;
+use numa_topology::Machine;
+use roofline_numa::AppSpec;
 use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
 
-fn bench_searches(c: &mut Criterion) {
+/// Twelve apps spanning memory-bound to compute-bound: the uniform space
+/// on the paper machine is C(8+12, 12) = 125 970 candidates, big enough
+/// that each exhaustive worker gets real chunks to chew on.
+fn wide_mix() -> Vec<AppSpec> {
+    let mut apps = model_mix();
+    for (i, ai) in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        .into_iter()
+        .enumerate()
+    {
+        apps.push(AppSpec::numa_local(&format!("x{i}"), ai));
+    }
+    apps
+}
+
+fn bench_searches(c: &mut Criterion, smoke: bool) {
     let machine = paper_model_machine();
     let apps = model_mix();
+    let objective = Objective::TotalGflops;
 
     let mut g = c.benchmark_group("alloc_search");
-    g.sample_size(20);
+    g.sample_size(if smoke { 10 } else { 20 });
     g.bench_function("exhaustive_uniform", |b| {
         b.iter(|| {
             search::ExhaustiveSearch::new()
-                .run(
-                    black_box(&machine),
-                    black_box(&apps),
-                    Objective::TotalGflops,
-                )
+                .run(black_box(&machine), black_box(&apps), black_box(&objective))
                 .unwrap()
         })
     });
+    if !smoke {
+        for threads in [2usize, 8] {
+            g.bench_function(format!("exhaustive_wide_{threads}t"), |b| {
+                let wide = wide_mix();
+                b.iter(|| {
+                    search::ExhaustiveSearch::new()
+                        .with_threads(threads)
+                        .run(black_box(&machine), black_box(&wide), black_box(&objective))
+                        .unwrap()
+                })
+            });
+        }
+    }
     g.bench_function("greedy", |b| {
         b.iter(|| {
             search::GreedySearch::new()
-                .run(
-                    black_box(&machine),
-                    black_box(&apps),
-                    Objective::TotalGflops,
-                )
+                .run(black_box(&machine), black_box(&apps), black_box(&objective))
                 .unwrap()
         })
     });
@@ -42,11 +70,20 @@ fn bench_searches(c: &mut Criterion) {
         b.iter(|| {
             search::HillClimb::new()
                 .with_iterations(1000)
-                .run(
-                    black_box(&machine),
-                    black_box(&apps),
-                    Objective::TotalGflops,
-                )
+                .run(black_box(&machine), black_box(&apps), black_box(&objective))
+                .unwrap()
+        })
+    });
+    g.bench_function("hill_climb_1000_legacy_oracle", |b| {
+        // The pre-delta baseline: every proposal pays a full solve through
+        // the boxed-closure oracle.
+        b.iter(|| {
+            let mut oracle = |a: &roofline_numa::ThreadAssignment| {
+                coop_alloc::score(&machine, &apps, a, &objective)
+            };
+            search::HillClimb::new()
+                .with_iterations(1000)
+                .run_with_oracle(black_box(&machine), apps.len(), &mut oracle)
                 .unwrap()
         })
     });
@@ -54,14 +91,14 @@ fn bench_searches(c: &mut Criterion) {
 
     // Quality anchor, printed once.
     let ex = search::ExhaustiveSearch::new()
-        .run(&machine, &apps, Objective::TotalGflops)
+        .run(&machine, &apps, &objective)
         .unwrap();
     let gr = search::GreedySearch::new()
-        .run(&machine, &apps, Objective::TotalGflops)
+        .run(&machine, &apps, &objective)
         .unwrap();
     let hc = search::HillClimb::new()
         .with_iterations(1000)
-        .run(&machine, &apps, Objective::TotalGflops)
+        .run(&machine, &apps, &objective)
         .unwrap();
     println!(
         "quality (GFLOPS / evaluations): exhaustive {:.1}/{}  greedy {:.1}/{}  hill-climb {:.1}/{}",
@@ -69,5 +106,193 @@ fn bench_searches(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_searches);
-criterion_main!(benches);
+/// Best-of-`repeats` wall time for one closure, in seconds.
+fn time_best<F: FnMut() -> search::SearchResult>(
+    repeats: usize,
+    mut f: F,
+) -> (f64, search::SearchResult) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("at least one repeat"))
+}
+
+/// Times the parallel exhaustive fan-out against the sequential scan of
+/// the same candidate space and checks bit-identical results across
+/// thread counts; also times a warm-cache rescan.
+fn exhaustive_report(machine: &Machine, smoke: bool) -> serde_json::Value {
+    let apps = wide_mix();
+    let objective = Objective::TotalGflops;
+    let repeats = if smoke { 1 } else { 3 };
+    let run = |threads: usize| {
+        search::ExhaustiveSearch::new()
+            .with_threads(threads)
+            .run(machine, &apps, &objective)
+            .expect("exhaustive search over the wide mix")
+    };
+    let (seq_s, seq) = time_best(repeats, || run(1));
+    let (par2_s, par2) = time_best(repeats, || run(2));
+    let (par8_s, par8) = time_best(repeats, || run(8));
+    let deterministic = seq.score == par2.score
+        && seq.score == par8.score
+        && seq.assignment == par2.assignment
+        && seq.assignment == par8.assignment;
+    assert!(
+        deterministic,
+        "parallel exhaustive must be bit-identical to sequential"
+    );
+    // A warm shared cache turns the rescan into pure lookups.
+    let fingerprint = search::ModelOracle::new(machine, &apps, &objective)
+        .expect("model oracle")
+        .fingerprint();
+    let cache = Arc::new(ScoreCache::new(fingerprint));
+    let rescan = |threads: usize| {
+        search::ExhaustiveSearch::new()
+            .with_threads(threads)
+            .run_cached(machine, &apps, &objective, Some(&cache))
+            .expect("cached exhaustive search")
+    };
+    let (_, cold) = time_best(1, || rescan(1));
+    let (cached_s, warm) = time_best(repeats, || rescan(1));
+    assert_eq!(cold.assignment, warm.assignment);
+    serde_json::json!({
+        "candidates": seq.evaluations,
+        "seq_ms": seq_s * 1e3,
+        "par2_ms": par2_s * 1e3,
+        "par8_ms": par8_s * 1e3,
+        "cached_rescan_ms": cached_s * 1e3,
+        "speedup_2_threads": seq_s / par2_s,
+        "speedup_8_threads": seq_s / par8_s,
+        "speedup_cached_rescan": seq_s / cached_s,
+        "cache_hits_on_rescan": warm.counters.cache_hits,
+        "deterministic_across_thread_counts": deterministic,
+        "best_gflops": seq.score,
+    })
+}
+
+/// Measures the full-solve reduction that the delta+cache oracle buys a
+/// local search against the legacy boxed-closure oracle (one full solve
+/// per proposal).
+fn local_search_report(
+    machine: &Machine,
+    apps: &[AppSpec],
+    iterations: usize,
+    anneal: bool,
+) -> serde_json::Value {
+    let objective = Objective::TotalGflops;
+    let legacy = {
+        let mut oracle =
+            |a: &roofline_numa::ThreadAssignment| coop_alloc::score(machine, apps, a, &objective);
+        if anneal {
+            search::SimulatedAnnealing::new()
+                .with_iterations(iterations)
+                .with_seed(7)
+                .run_with_oracle(machine, apps.len(), &mut oracle)
+        } else {
+            search::HillClimb::new()
+                .with_iterations(iterations)
+                .with_seed(7)
+                .run_with_oracle(machine, apps.len(), &mut oracle)
+        }
+        .expect("legacy-oracle local search")
+    };
+    let (model_s, model) = time_best(1, || {
+        let base = search::ModelOracle::new(machine, apps, &objective).expect("model oracle");
+        let cache = Arc::new(ScoreCache::new(base.fingerprint()));
+        let mut oracle = base
+            .with_cache(cache)
+            .expect("a freshly keyed cache always matches its oracle");
+        if anneal {
+            search::SimulatedAnnealing::new()
+                .with_iterations(iterations)
+                .with_seed(7)
+                .run_model(machine, &mut oracle)
+        } else {
+            search::HillClimb::new()
+                .with_iterations(iterations)
+                .with_seed(7)
+                .run_model(machine, &mut oracle)
+        }
+        .expect("model-oracle local search")
+    });
+    // The legacy path answers every evaluation with a full solve; the
+    // model oracle answers them with deltas and cache hits.
+    let baseline_full = legacy.evaluations as u64;
+    let reduction = baseline_full as f64 / model.counters.full_solves.max(1) as f64;
+    serde_json::json!({
+        "iterations": iterations,
+        "seconds": model_s,
+        "baseline_full_solves": baseline_full,
+        "full_solves": model.counters.full_solves,
+        "delta_solves": model.counters.delta_solves,
+        "cache_hits": model.counters.cache_hits,
+        "full_solve_reduction": reduction,
+        "legacy_gflops": legacy.score,
+        "model_gflops": model.score,
+    })
+}
+
+/// Races a multi-seed portfolio across threads as a cost/quality anchor.
+fn portfolio_report(machine: &Machine, apps: &[AppSpec], iterations: usize) -> serde_json::Value {
+    let objective = Objective::TotalGflops;
+    let portfolio = search::Portfolio::new()
+        .with_seeds((0..8u64).collect())
+        .with_threads(8);
+    let cache = Arc::new(ScoreCache::new(
+        search::ModelOracle::new(machine, apps, &objective)
+            .expect("model oracle")
+            .fingerprint(),
+    ));
+    let (secs, result) = time_best(1, || {
+        search::HillClimb::new()
+            .with_iterations(iterations)
+            .run_portfolio(machine, apps, &objective, &portfolio, Some(&cache))
+            .expect("portfolio hill climb")
+    });
+    let stats = cache.stats();
+    serde_json::json!({
+        "seeds": 8,
+        "threads": 8,
+        "iterations_per_seed": iterations,
+        "seconds": secs,
+        "best_gflops": result.score,
+        "evaluations": result.evaluations,
+        "cache_hits": stats.hits,
+        "cache_inserts": stats.inserts,
+    })
+}
+
+fn write_report(smoke: bool) {
+    let machine = paper_model_machine();
+    let apps = model_mix();
+    let iterations = if smoke { 300 } else { 3000 };
+    let report = serde_json::json!({
+        "bench": "alloc_search",
+        "smoke": smoke,
+        "exhaustive": exhaustive_report(&machine, smoke),
+        "hill_climb": local_search_report(&machine, &apps, iterations, false),
+        "annealing": local_search_report(&machine, &apps, iterations, true),
+        "portfolio": portfolio_report(&machine, &apps, iterations),
+    });
+    let path = std::env::var("BENCH_ALLOC_SEARCH_JSON")
+        .unwrap_or_else(|_| "BENCH_alloc_search.json".to_string());
+    let body = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
+    match std::fs::write(&path, &body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+    println!("{body}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_searches(&mut criterion, smoke);
+    criterion.final_summary();
+    write_report(smoke);
+}

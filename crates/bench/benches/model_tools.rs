@@ -44,7 +44,7 @@ fn bench_tools(c: &mut Criterion) {
             black_box(
                 SimulatedAnnealing::new()
                     .with_iterations(1000)
-                    .run(&m, &mix, Objective::TotalGflops)
+                    .run(&m, &mix, &Objective::TotalGflops)
                     .unwrap(),
             )
         })

@@ -65,7 +65,7 @@ fn local_speedup(variant: usize, duration_s: f64) -> f64 {
         if starved > 0 {
             return Ok(-(starved as f64) * 1e12);
         }
-        coop_alloc::score(&machine, &apps, a, coop_alloc::Objective::TotalGflops)
+        coop_alloc::score(&machine, &apps, a, &coop_alloc::Objective::TotalGflops)
     };
     let found = GreedySearch::new()
         .run_with_oracle(&machine, apps.len(), &mut oracle)

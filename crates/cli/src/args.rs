@@ -123,6 +123,8 @@ pub enum Command {
         keep_alive: bool,
         /// Seed for stochastic methods.
         seed: u64,
+        /// Worker threads for the parallel/portfolio paths (`--threads`).
+        threads: usize,
         /// Write search metrics to this path (`--metrics`).
         metrics: Option<String>,
     },
@@ -187,6 +189,9 @@ pub enum Command {
         cusum_k: f64,
         /// CUSUM alarm threshold (`--cusum-h`).
         cusum_h: f64,
+        /// Re-run the allocation search (warm, cached) each decision tick
+        /// (`--reoptimize`).
+        reoptimize: bool,
         /// Write the merged trace here (`--trace-out`).
         trace_out: Option<String>,
         /// Write metrics here (`--metrics`).
@@ -236,8 +241,11 @@ COMMANDS:
   solve   --machine <M> --app <SPEC>... --counts <a,b,..> [--explain]
                                score a uniform per-node allocation with the model
   search  --machine <M> --app <SPEC>... [--method greedy|exhaustive|hill|anneal]
-                               [--keep-alive] [--seed N]
-                               find a good allocation
+                               [--keep-alive] [--seed N] [--threads N]
+                               find a good allocation; --threads fans the
+                               exhaustive scan out across workers (result is
+                               bit-identical at any thread count) and races
+                               a multi-seed portfolio for hill/anneal
   sweep   --machine <M> --app <SPEC>
                                thread-scaling curve for one application
   pareto  --machine <M> --app <SPEC>...
@@ -254,14 +262,16 @@ COMMANDS:
                                with an agent and the memory simulator on one
                                telemetry hub; export the merged trace/metrics
   drift   [--scenario <FILE>] [--perturb <node:factor[:at_s]>...]
-          [--decision-period S] [--duration S]
+          [--decision-period S] [--duration S] [--reoptimize]
           [--ewma A] [--cusum-k K] [--cusum-h H]
           [--trace-out <PATH>] [--metrics <PATH>]
                                run a scenario under model supervision: the
                                analytic model predicts each decision tick,
                                the simulator measures it (optionally on a
                                perturbed machine), and the drift detector
-                               reports residuals and alarms
+                               reports residuals and alarms; --reoptimize
+                               re-searches the allocation each tick (warm
+                               start + persistent score cache)
   chaos   [--machine <M>] [--runtimes N] [--ticks N] [--tick-interval MS]
           [--kill-at T] [--revive-at T] [--deadline MS]
           [--fault <kind[=millis][@from[..until]][~prob]>...]
@@ -370,6 +380,8 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
     let mut perturbations: Vec<PerturbArg> = Vec::new();
     let mut faults: Vec<String> = Vec::new();
     let mut no_reclaim = false;
+    let mut reoptimize = false;
+    let mut threads = 1usize;
     let mut runtimes = 3usize;
     let mut ticks = 12u64;
     let mut tick_interval_ms = 10u64;
@@ -406,6 +418,15 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             "--perturb" => perturbations.push(parse_perturb(&next_value(&mut it, "--perturb")?)?),
             "--fault" => faults.push(next_value(&mut it, "--fault")?),
             "--no-reclaim" => no_reclaim = true,
+            "--reoptimize" => reoptimize = true,
+            "--threads" => {
+                threads = next_value(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --threads (expected usize)"))?;
+                if threads == 0 {
+                    return Err(CliError::usage("--threads must be at least 1"));
+                }
+            }
             "--runtimes" => {
                 runtimes = next_value(&mut it, "--runtimes")?
                     .parse()
@@ -536,6 +557,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             method,
             keep_alive,
             seed,
+            threads,
             metrics,
         },
         Some("pareto") => Command::Pareto {
@@ -597,6 +619,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             ewma_alpha,
             cusum_k,
             cusum_h,
+            reoptimize,
             trace_out,
             metrics,
         },
@@ -663,7 +686,8 @@ mod tests {
     #[test]
     fn parses_search_with_options() {
         let cli = parse_args(&argv(
-            "search --machine tiny --app a:node1:0.25 --method anneal --keep-alive --seed 7 --json",
+            "search --machine tiny --app a:node1:0.25 --method anneal --keep-alive --seed 7 \
+             --threads 4 --json",
         ))
         .unwrap();
         assert!(cli.json);
@@ -673,15 +697,25 @@ mod tests {
                 method,
                 keep_alive,
                 seed,
+                threads,
                 ..
             } => {
                 assert_eq!(apps[0].placement, PlacementArg::Node(1));
                 assert_eq!(method, SearchMethod::Anneal);
                 assert!(keep_alive);
                 assert_eq!(seed, 7);
+                assert_eq!(threads, 4);
             }
             other => panic!("wrong command {other:?}"),
         }
+        // Threads default to 1 and must be positive.
+        let cli = parse_args(&argv("search --machine tiny --app a:local:1")).unwrap();
+        match cli.command {
+            Command::Search { threads, .. } => assert_eq!(threads, 1),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&argv("search --machine tiny --app a:local:1 --threads 0")).is_err());
+        assert!(parse_args(&argv("search --machine tiny --app a:local:1 --threads x")).is_err());
     }
 
     #[test]
@@ -798,9 +832,11 @@ mod tests {
                 ewma_alpha,
                 cusum_k,
                 cusum_h,
+                reoptimize,
                 ..
             } => {
                 assert_eq!(scenario, None);
+                assert!(!reoptimize, "reoptimize is opt-in");
                 assert_eq!(
                     perturbations,
                     vec![
@@ -827,6 +863,12 @@ mod tests {
         assert!(parse_args(&argv("drift --perturb bogus")).is_err());
         assert!(parse_args(&argv("drift --perturb 0:x")).is_err());
         assert!(parse_args(&argv("drift --duration nope")).is_err());
+
+        let cli = parse_args(&argv("drift --reoptimize")).unwrap();
+        match cli.command {
+            Command::Drift { reoptimize, .. } => assert!(reoptimize),
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             method,
             keep_alive,
             seed,
+            threads,
             metrics,
         } => search_cmd(
             machine,
@@ -82,6 +83,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             *method,
             *keep_alive,
             *seed,
+            *threads,
             metrics.as_deref(),
             cli.json,
         ),
@@ -142,6 +144,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             ewma_alpha,
             cusum_k,
             cusum_h,
+            reoptimize,
             trace_out,
             metrics,
         } => drift_cmd(
@@ -150,6 +153,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             *decision_period_s,
             *duration_s,
             (*ewma_alpha, *cusum_k, *cusum_h),
+            *reoptimize,
             trace_out.as_deref(),
             metrics.as_deref(),
             cli.format,
@@ -317,12 +321,14 @@ fn simulate_cmd(
 /// tick with the analytic model, simulate it — optionally on a perturbed
 /// machine — and back-fill the residuals) and print the drift report.
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)]
 fn drift_cmd(
     scenario: Option<&str>,
     perturbations: &[PerturbArg],
     decision_period_s: f64,
     duration_s: f64,
     (ewma_alpha, cusum_k, cusum_h): (f64, f64, f64),
+    reoptimize: bool,
     trace_out: Option<&str>,
     metrics: Option<&str>,
     format: OutputFormat,
@@ -360,6 +366,7 @@ fn drift_cmd(
             cusum_h,
             ..coop_telemetry::DriftConfig::default()
         },
+        reoptimize,
     };
     let hub = Arc::new(coop_telemetry::TelemetryHub::new());
     let result = memsim::run_supervised(&scenario, &config, Arc::clone(&hub))
@@ -650,6 +657,43 @@ fn observe_cmd(
         )
         .map_err(|e| CliError::failure(format!("memsim run failed: {e}")))?;
 
+    // A model-guided allocation search on the same hub: the score cache is
+    // attached to the registry first, so its hit/miss/insert counters land
+    // in the merged Prometheus exposition alongside the pipeline metrics.
+    let search_specs = vec![
+        roofline_numa::AppSpec::numa_local("producer", 0.5),
+        roofline_numa::AppSpec::numa_local("consumer", 0.5),
+    ];
+    let objective = Objective::TotalGflops;
+    let search_counters = {
+        let oracle = search::ModelOracle::new(&m, &search_specs, &objective)
+            .map_err(|e| CliError::failure(format!("search setup failed: {e}")))?
+            .with_min_threads(1);
+        let cache = Arc::new(coop_alloc::ScoreCache::new(oracle.fingerprint()));
+        cache.attach_metrics(hub.registry(), "observe");
+        let mut oracle = oracle
+            .with_cache(Arc::clone(&cache))
+            .expect("a freshly keyed cache always matches its oracle");
+        let result = search::GreedySearch::new()
+            .run_model(&m, &mut oracle)
+            .map_err(|e| CliError::failure(format!("allocation search failed: {e}")))?;
+        let reg = hub.registry();
+        reg.set_help(
+            "coop_search_full_solves_total",
+            "Full model solves performed by the allocation search",
+        );
+        reg.set_help(
+            "coop_search_delta_solves_total",
+            "Incremental (delta) model solves performed by the allocation search",
+        );
+        let labels = &[("method", "greedy")];
+        reg.counter("coop_search_full_solves_total", labels)
+            .add(result.counters.full_solves);
+        reg.counter("coop_search_delta_solves_total", labels)
+            .add(result.counters.delta_solves);
+        result.counters
+    };
+
     if let Some(path) = trace_out {
         std::fs::write(path, hub.to_perfetto_json())
             .map_err(|e| CliError::failure(format!("cannot write trace '{path}': {e}")))?;
@@ -678,6 +722,11 @@ fn observe_cmd(
             "memsim": {
                 "node_utilization": sim_result.node_utilization,
             },
+            "search": {
+                "full_solves": search_counters.full_solves,
+                "delta_solves": search_counters.delta_solves,
+                "cache_hits": search_counters.cache_hits,
+            },
             "telemetry": summary,
         });
         return serde_json::to_string_pretty(&out)
@@ -700,6 +749,10 @@ fn observe_cmd(
             u * 100.0
         ));
     }
+    out.push_str(&format!(
+        "search: {} full / {} delta solves, {} cache hits (counters in metrics output)\n",
+        search_counters.full_solves, search_counters.delta_solves, search_counters.cache_hits
+    ));
     out.push_str(&format!(
         "telemetry: {} timeline events ({} dropped)\n",
         hub.event_count(),
@@ -858,56 +911,76 @@ fn search_cmd(
     method: SearchMethod,
     keep_alive: bool,
     seed: u64,
+    threads: usize,
     metrics: Option<&str>,
     json: bool,
 ) -> Result<String> {
     let m = resolve_machine(machine)?;
     let specs = resolve_apps(&m, apps)?;
+    let objective = Objective::TotalGflops;
+    let min_threads = usize::from(keep_alive);
+    let fail = |e: coop_alloc::AllocError| CliError::failure(format!("search failed: {e}"));
 
-    let run_search = |oracle: &mut search::Oracle<'_>| -> Result<search::SearchResult> {
-        let r = match method {
-            SearchMethod::Greedy => {
-                search::GreedySearch::new().run_with_oracle(&m, specs.len(), oracle)
-            }
-            SearchMethod::Exhaustive => {
-                search::ExhaustiveSearch::new().run_with_oracle(&m, specs.len(), oracle)
-            }
-            SearchMethod::Hill => {
-                search::HillClimb::new()
-                    .with_seed(seed)
-                    .run_with_oracle(&m, specs.len(), oracle)
-            }
-            SearchMethod::Anneal => search::SimulatedAnnealing::new()
-                .with_seed(seed)
-                .run_with_oracle(&m, specs.len(), oracle),
-        };
-        r.map_err(|e| CliError::failure(format!("search failed: {e}")))
-    };
+    let oracle = search::ModelOracle::new(&m, &specs, &objective)
+        .map_err(fail)?
+        .with_min_threads(min_threads);
+    let cache = std::sync::Arc::new(coop_alloc::ScoreCache::new(oracle.fingerprint()));
+    let mut oracle = oracle
+        .with_cache(std::sync::Arc::clone(&cache))
+        .expect("a freshly keyed cache always matches its oracle");
 
-    let result = if keep_alive {
-        let specs_ref = &specs;
-        let m_ref = &m;
-        let mut oracle = move |a: &ThreadAssignment| -> coop_alloc::Result<f64> {
-            let starved = (0..specs_ref.len())
-                .filter(|&i| a.app_total(i) == 0)
-                .count();
-            if starved > 0 {
-                return Ok(-(starved as f64) * 1e12);
-            }
-            coop_alloc::score(m_ref, specs_ref, a, Objective::TotalGflops)
-        };
-        run_search(&mut oracle)?
-    } else {
-        let specs_ref = &specs;
-        let m_ref = &m;
-        let mut oracle = move |a: &ThreadAssignment| {
-            coop_alloc::score(m_ref, specs_ref, a, Objective::TotalGflops)
-        };
-        run_search(&mut oracle)?
-    };
+    // `--threads N` races N derived seeds for the stochastic methods; the
+    // merge is deterministic (best score, earliest seed on ties).
+    let portfolio = search::Portfolio::new()
+        .with_seeds((0..threads as u64).map(|i| seed.wrapping_add(i)).collect())
+        .with_threads(threads)
+        .with_min_threads(min_threads);
+
+    let result = match method {
+        SearchMethod::Greedy => search::GreedySearch::new().run_model(&m, &mut oracle),
+        SearchMethod::Exhaustive if min_threads == 0 => search::ExhaustiveSearch::new()
+            .with_threads(threads)
+            .truncating()
+            .run_cached(&m, &specs, &objective, Some(&cache)),
+        SearchMethod::Exhaustive => {
+            // keep-alive: penalty-aware thread-safe oracle sharing the same
+            // cache (penalized candidates are never cached).
+            let (m_ref, specs_ref, obj_ref, c) = (&m, &specs, &objective, &cache);
+            let sync_oracle = move |a: &ThreadAssignment| -> coop_alloc::Result<f64> {
+                let starved = (0..specs_ref.len())
+                    .filter(|&i| a.app_total(i) < min_threads)
+                    .count();
+                if starved > 0 {
+                    return Ok(-(starved as f64) * 1e12);
+                }
+                if let Some(s) = c.lookup(a) {
+                    return Ok(s);
+                }
+                let s = coop_alloc::score(m_ref, specs_ref, a, obj_ref)?;
+                c.insert(a, s);
+                Ok(s)
+            };
+            search::ExhaustiveSearch::new()
+                .with_threads(threads)
+                .truncating()
+                .run_with_sync_oracle(&m, specs.len(), &sync_oracle)
+        }
+        SearchMethod::Hill => search::HillClimb::new().with_seed(seed).run_portfolio(
+            &m,
+            &specs,
+            &objective,
+            &portfolio,
+            Some(&cache),
+        ),
+        SearchMethod::Anneal => search::SimulatedAnnealing::new()
+            .with_seed(seed)
+            .run_portfolio(&m, &specs, &objective, &portfolio, Some(&cache)),
+    }
+    .map_err(fail)?;
 
     let report = solve(&m, &specs, &result.assignment)
         .map_err(|e| CliError::failure(format!("re-solve failed: {e}")))?;
+    let cache_stats = cache.stats();
     if let Some(path) = metrics {
         let method_label = match method {
             SearchMethod::Greedy => "greedy",
@@ -922,10 +995,26 @@ fn search_cmd(
             "Model evaluations performed by the allocation search",
         );
         reg.set_help("coop_search_best_gflops", "Best machine-wide GFLOPS found");
-        reg.counter("coop_search_evaluations_total", &[("method", method_label)])
+        reg.set_help(
+            "coop_search_full_solves_total",
+            "Full model solves performed by the allocation search",
+        );
+        reg.set_help(
+            "coop_search_delta_solves_total",
+            "Incremental (delta) model solves performed by the allocation search",
+        );
+        let labels = &[("method", method_label)];
+        reg.counter("coop_search_evaluations_total", labels)
             .add(result.evaluations as u64);
-        reg.gauge("coop_search_best_gflops", &[("method", method_label)])
+        reg.gauge("coop_search_best_gflops", labels)
             .set(report.total_gflops());
+        reg.counter("coop_search_full_solves_total", labels)
+            .add(result.counters.full_solves);
+        reg.counter("coop_search_delta_solves_total", labels)
+            .add(result.counters.delta_solves);
+        // Replays the cache's hit/miss/insert history onto the registry as
+        // coop_score_cache_*_total{context=...} counters.
+        cache.attach_metrics(reg, method_label);
         write_metrics_file(path, &hub)?;
     }
     if json {
@@ -933,12 +1022,20 @@ fn search_cmd(
         struct Out<'a> {
             score_gflops: f64,
             evaluations: usize,
+            full_solves: u64,
+            delta_solves: u64,
+            cache_hits: u64,
+            truncated: bool,
             assignment: &'a [Vec<usize>],
             report: &'a roofline_numa::SolveReport,
         }
         return serde_json::to_string_pretty(&Out {
             score_gflops: report.total_gflops(),
             evaluations: result.evaluations,
+            full_solves: result.counters.full_solves,
+            delta_solves: result.counters.delta_solves,
+            cache_hits: result.counters.cache_hits.max(cache_stats.hits),
+            truncated: result.truncated,
             assignment: result.assignment.matrix(),
             report: &report,
         })
@@ -947,10 +1044,18 @@ fn search_cmd(
     }
 
     let mut out = format!(
-        "best allocation: {:.2} GFLOPS ({} model evaluations)\n",
+        "best allocation: {:.2} GFLOPS ({} model evaluations; {} full / {} delta solves, {} cache hits)\n",
         report.total_gflops(),
-        result.evaluations
+        result.evaluations,
+        result.counters.full_solves,
+        result.counters.delta_solves,
+        result.counters.cache_hits.max(cache_stats.hits),
     );
+    if result.truncated {
+        out.push_str(
+            "note: candidate space exceeded the scan limit; the result covers a prefix of the space\n",
+        );
+    }
     out.push_str(&format!("{:<12} {:>8}  threads per node\n", "app", "total"));
     for (i, spec) in specs.iter().enumerate() {
         let per: Vec<usize> = m.node_ids().map(|n| result.assignment.get(i, n)).collect();

@@ -15,7 +15,7 @@
 //!   uniform allocations, a much smaller and often sufficient space for
 //!   NUMA-local workloads on symmetric machines).
 
-use numa_topology::Machine;
+use numa_topology::{Machine, NodeId};
 use roofline_numa::ThreadAssignment;
 
 /// All ways to write `sum <= total` as `parts` non-negative counts
@@ -99,6 +99,38 @@ pub fn uniform_assignments(
     node_compositions(min_cores, num_apps)
         .into_iter()
         .map(move |counts| ThreadAssignment::uniform_per_node(&machine, &counts))
+}
+
+/// The indexable form of [`assignments`]: one composition list per node.
+///
+/// Together with [`assignment_at`] this lets a parallel search jump straight
+/// to any rank of the enumeration without iterating from the start, so the
+/// space can be chunked across threads.
+pub fn per_node_compositions(machine: &Machine, num_apps: usize) -> Vec<Vec<Vec<usize>>> {
+    machine
+        .nodes()
+        .map(|n| node_compositions(n.num_cores(), num_apps))
+        .collect()
+}
+
+/// Writes the `index`-th assignment of the full space into `out`.
+///
+/// Ranks follow [`assignments`] order exactly: node 0 is the most
+/// significant digit and the last node varies fastest (the odometer
+/// advances its final dimension first). `out` must already be shaped
+/// `[num_apps][num_nodes]`; `index` must be below the product of the
+/// per-node list lengths.
+pub fn assignment_at(per_node: &[Vec<Vec<usize>>], index: u128, out: &mut ThreadAssignment) {
+    let mut rank = index;
+    for node in (0..per_node.len()).rev() {
+        let len = per_node[node].len() as u128;
+        let choice = (rank % len) as usize;
+        rank /= len;
+        for (app, &c) in per_node[node][choice].iter().enumerate() {
+            out.set(app, NodeId(node), c);
+        }
+    }
+    debug_assert_eq!(rank, 0, "index out of range for the enumerated space");
 }
 
 /// Lazy cartesian product over a vector of option lists.
@@ -219,6 +251,17 @@ mod tests {
         let m = paper_model_machine();
         // C(12,4)^4 = 495^4 ≈ 6e10 — large but countable without overflow.
         assert_eq!(count_assignments(&m, 4), 495u128.pow(4));
+    }
+
+    #[test]
+    fn assignment_at_matches_iteration_order() {
+        let m = tiny();
+        let per_node = per_node_compositions(&m, 2);
+        let mut out = ThreadAssignment::zero(&m, 2);
+        for (i, expected) in assignments(&m, 2).enumerate() {
+            assignment_at(&per_node, i as u128, &mut out);
+            assert_eq!(out, expected, "rank {i} decoded differently");
+        }
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub enum AllocError {
     /// A weighted objective needs one non-negative weight per application,
     /// not all zero.
     BadWeights,
+    /// A [`ScoreCache`](crate::cache::ScoreCache) was attached to a search
+    /// context with a different fingerprint; its entries would be meaningless
+    /// (or silently wrong) for this machine/apps/objective combination.
+    CacheMismatch {
+        /// Fingerprint the search context expects.
+        expected: u64,
+        /// Fingerprint the supplied cache was built for.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for AllocError {
@@ -53,6 +62,13 @@ impl fmt::Display for AllocError {
                 write!(
                     f,
                     "objective weights must be non-negative, finite, and not all zero"
+                )
+            }
+            AllocError::CacheMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "score cache fingerprint {actual:#018x} does not match the \
+                     search context fingerprint {expected:#018x}"
                 )
             }
         }

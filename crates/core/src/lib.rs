@@ -17,10 +17,14 @@
 //!   configurations (with combinatorial counting so callers can bound the
 //!   work before starting).
 //! * [`search`] — optimizers that consult the `roofline-numa` model as an
-//!   oracle: exhaustive (uniform or full), greedy constructive, and
-//!   seeded hill-climbing. The paper leaves the "how to choose" question
+//!   oracle: exhaustive (uniform or full, optionally fanned out across
+//!   threads), greedy constructive, and seeded hill-climbing/annealing with
+//!   multi-start portfolios. The paper leaves the "how to choose" question
 //!   open as future work; these searches make the machinery concrete and
 //!   are compared in the `alloc_search` ablation bench.
+//! * [`cache`] — a memoized score store shared across strategies and agent
+//!   ticks, keyed by the canonical assignment matrix and fingerprinted to
+//!   one solving context. See `docs/performance.md` for the cost model.
 //!
 //! ## Example: search beats the naive fair share
 //!
@@ -37,14 +41,15 @@
 //!     AppSpec::numa_local("comp", 10.0),
 //! ];
 //! let fair = strategies::fair_share(&machine, apps.len()).unwrap();
-//! let fair_score = coop_alloc::score(&machine, &apps, &fair, Objective::TotalGflops).unwrap();
-//! let found = GreedySearch::new().run(&machine, &apps, Objective::TotalGflops).unwrap();
+//! let fair_score = coop_alloc::score(&machine, &apps, &fair, &Objective::TotalGflops).unwrap();
+//! let found = GreedySearch::new().run(&machine, &apps, &Objective::TotalGflops).unwrap();
 //! assert!(found.score >= fair_score);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod enumerate;
 mod error;
 mod objective;
@@ -53,9 +58,11 @@ pub mod search;
 pub mod stability;
 pub mod strategies;
 
+pub use cache::{context_fingerprint, CacheStats, ScoreCache};
 pub use error::AllocError;
 pub use objective::{score, Objective};
 pub use pareto::{pareto_frontier, ParetoPoint};
+pub use search::{ModelOracle, Portfolio, SearchCounters, SearchResult, SyncOracle};
 pub use stability::{switching_cost, ReallocPlan, ReallocPlanner};
 
 // Re-export the assignment type: it is the lingua franca between this

@@ -2,7 +2,9 @@
 
 use crate::{AllocError, Result};
 use numa_topology::Machine;
-use roofline_numa::{solve, AppSpec, SolveReport, ThreadAssignment};
+use roofline_numa::{
+    solve_gflops, AppSpec, SolveOptions, SolveReport, SolveScratch, ThreadAssignment,
+};
 
 /// What an allocation search optimizes.
 ///
@@ -54,6 +56,32 @@ impl Objective {
             }
         }
     }
+
+    /// Evaluates this objective over a per-app GFLOPS slice (the
+    /// allocation-free form produced by [`roofline_numa::solve_gflops`]).
+    ///
+    /// Arithmetic is ordered exactly as [`Objective::evaluate`] orders it
+    /// over a [`SolveReport`] — sums run in app order — so both paths return
+    /// bit-identical scores for the same solve.
+    pub fn evaluate_gflops(&self, app_gflops: &[f64]) -> Result<f64> {
+        match self {
+            Objective::TotalGflops => Ok(app_gflops.iter().sum()),
+            Objective::MinAppGflops => Ok(app_gflops.iter().copied().fold(f64::INFINITY, f64::min)),
+            Objective::WeightedGflops(w) => {
+                if w.len() != app_gflops.len() {
+                    return Err(AllocError::ParameterShape {
+                        what: "objective weights",
+                        expected: app_gflops.len(),
+                        actual: w.len(),
+                    });
+                }
+                if w.iter().any(|&x| x < 0.0 || !x.is_finite()) || w.iter().all(|&x| x == 0.0) {
+                    return Err(AllocError::BadWeights);
+                }
+                Ok(app_gflops.iter().zip(w).map(|(&g, &wt)| wt * g).sum())
+            }
+        }
+    }
 }
 
 /// Solves the model for `assignment` and evaluates `objective` on the
@@ -62,16 +90,24 @@ pub fn score(
     machine: &Machine,
     apps: &[AppSpec],
     assignment: &ThreadAssignment,
-    objective: Objective,
+    objective: &Objective,
 ) -> Result<f64> {
-    let report = solve(machine, apps, assignment)?;
-    objective.evaluate(&report)
+    let mut scratch = SolveScratch::new();
+    let gflops = solve_gflops(
+        machine,
+        apps,
+        assignment,
+        SolveOptions::default(),
+        &mut scratch,
+    )?;
+    objective.evaluate_gflops(gflops)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use numa_topology::presets::paper_model_machine;
+    use roofline_numa::solve;
 
     fn setup() -> (Machine, Vec<AppSpec>, ThreadAssignment) {
         let m = paper_model_machine();
@@ -87,7 +123,7 @@ mod tests {
     fn total_gflops_matches_report() {
         let (m, apps, a) = setup();
         let r = solve(&m, &apps, &a).unwrap();
-        let s = score(&m, &apps, &a, Objective::TotalGflops).unwrap();
+        let s = score(&m, &apps, &a, &Objective::TotalGflops).unwrap();
         assert!((s - r.total_gflops()).abs() < 1e-12);
     }
 
@@ -95,7 +131,7 @@ mod tests {
     fn min_app_gflops_is_the_minimum() {
         let (m, apps, a) = setup();
         let r = solve(&m, &apps, &a).unwrap();
-        let s = score(&m, &apps, &a, Objective::MinAppGflops).unwrap();
+        let s = score(&m, &apps, &a, &Objective::MinAppGflops).unwrap();
         let expected = r
             .apps
             .iter()
@@ -109,9 +145,9 @@ mod tests {
     fn weighted_interpolates() {
         let (m, apps, a) = setup();
         let r = solve(&m, &apps, &a).unwrap();
-        let s = score(&m, &apps, &a, Objective::WeightedGflops(vec![1.0, 0.0])).unwrap();
+        let s = score(&m, &apps, &a, &Objective::WeightedGflops(vec![1.0, 0.0])).unwrap();
         assert!((s - r.apps[0].gflops).abs() < 1e-12);
-        let s2 = score(&m, &apps, &a, Objective::WeightedGflops(vec![1.0, 1.0])).unwrap();
+        let s2 = score(&m, &apps, &a, &Objective::WeightedGflops(vec![1.0, 1.0])).unwrap();
         assert!((s2 - r.total_gflops()).abs() < 1e-12);
     }
 
@@ -119,16 +155,32 @@ mod tests {
     fn weighted_validation() {
         let (m, apps, a) = setup();
         assert!(matches!(
-            score(&m, &apps, &a, Objective::WeightedGflops(vec![1.0])),
+            score(&m, &apps, &a, &Objective::WeightedGflops(vec![1.0])),
             Err(AllocError::ParameterShape { .. })
         ));
         assert!(matches!(
-            score(&m, &apps, &a, Objective::WeightedGflops(vec![0.0, 0.0])),
+            score(&m, &apps, &a, &Objective::WeightedGflops(vec![0.0, 0.0])),
             Err(AllocError::BadWeights)
         ));
         assert!(matches!(
-            score(&m, &apps, &a, Objective::WeightedGflops(vec![-1.0, 2.0])),
+            score(&m, &apps, &a, &Objective::WeightedGflops(vec![-1.0, 2.0])),
             Err(AllocError::BadWeights)
         ));
+    }
+
+    #[test]
+    fn evaluate_gflops_matches_evaluate() {
+        let (m, apps, a) = setup();
+        let r = solve(&m, &apps, &a).unwrap();
+        let gflops: Vec<f64> = r.apps.iter().map(|x| x.gflops).collect();
+        for obj in [
+            Objective::TotalGflops,
+            Objective::MinAppGflops,
+            Objective::WeightedGflops(vec![0.3, 0.7]),
+        ] {
+            let via_report = obj.evaluate(&r).unwrap();
+            let via_slice = obj.evaluate_gflops(&gflops).unwrap();
+            assert_eq!(via_report, via_slice, "{obj:?} diverged between paths");
+        }
     }
 }

@@ -134,7 +134,7 @@ mod tests {
         assert!((f.first().unwrap().total_gflops - 320.0).abs() < 1e-9);
         // Max-min end matches the exhaustive max-min search.
         let best_min = crate::search::ExhaustiveSearch::new()
-            .run(&m, &apps, crate::Objective::MinAppGflops)
+            .run(&m, &apps, &crate::Objective::MinAppGflops)
             .unwrap();
         let frontier_min = f.last().unwrap().min_app_gflops;
         assert!(

@@ -8,7 +8,11 @@
 //! call site of each search's `run_with_oracle`.
 //!
 //! * [`ExhaustiveSearch`] — optimal, over the uniform space or (bounded)
-//!   the full space.
+//!   the full space. [`ExhaustiveSearch::with_threads`] fans the enumerated
+//!   space out across OS threads in contiguous index chunks; results are
+//!   bit-identical at any thread count thanks to a canonical tie-break
+//!   (highest score wins; equal scores resolve toward the lexicographically
+//!   smallest count matrix).
 //! * [`GreedySearch`] — constructive: repeatedly adds the single thread
 //!   whose addition improves the objective most. `O(cores * apps * nodes)`
 //!   oracle calls.
@@ -18,13 +22,57 @@
 //!   moves with a temperature-controlled probability, escaping the local
 //!   optima that trap greedy/hill-climb on placement-sensitive mixes.
 //!
-//! The `alloc_search` Criterion bench compares their cost and quality.
+//! The local searches also offer a multi-start **portfolio** mode
+//! ([`HillClimb::run_portfolio`], [`SimulatedAnnealing::run_portfolio`])
+//! that races independent seeds — optionally in parallel — and keeps the
+//! best result (earliest seed wins ties, so the outcome is independent of
+//! thread count).
+//!
+//! Scoring cost is attacked on three fronts (see `docs/performance.md`):
+//! [`ModelOracle`] reuses solver scratch space so the hot loop allocates
+//! nothing, re-scores local moves incrementally via
+//! [`roofline_numa::DeltaSolver`], and can memoize full scores in a shared
+//! [`ScoreCache`]. [`SearchCounters`] reports how much real solver work a
+//! search performed versus how many candidates it evaluated.
+//!
+//! The `alloc_search` Criterion bench compares cost and quality.
 
-use crate::{enumerate, score, strategies, AllocError, Objective, Result};
+use crate::cache::ScoreCache;
+use crate::{enumerate, strategies, AllocError, Objective, Result};
 use numa_topology::{Machine, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use roofline_numa::{AppSpec, ThreadAssignment};
+use roofline_numa::{
+    solve_gflops, AppSpec, DeltaSolver, SolveOptions, SolveScratch, ThreadAssignment,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Breakdown of the real solver work behind a search's evaluations.
+///
+/// `evaluations` in [`SearchResult`] counts *candidates scored*; these
+/// counters say how each score was produced. Their sum can be below the
+/// evaluation count when some candidates were answered without any solve at
+/// all (e.g. the starvation penalty in [`ModelOracle::with_min_threads`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchCounters {
+    /// Candidates scored by a full model solve.
+    pub full_solves: u64,
+    /// Candidates scored by an incremental (per-node-column) delta solve.
+    pub delta_solves: u64,
+    /// Candidates answered from a [`ScoreCache`].
+    pub cache_hits: u64,
+}
+
+impl SearchCounters {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: SearchCounters) {
+        self.full_solves += other.full_solves;
+        self.delta_solves += other.delta_solves;
+        self.cache_hits += other.cache_hits;
+    }
+}
 
 /// Outcome of a search.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,12 +81,412 @@ pub struct SearchResult {
     pub assignment: ThreadAssignment,
     /// Its objective value.
     pub score: f64,
-    /// How many times the oracle (model solve) was consulted.
+    /// How many candidate assignments were scored. For exhaustive searches
+    /// this is the enumerated space size regardless of thread count or cache
+    /// hits; for local searches it counts proposals that reached the oracle.
     pub evaluations: usize,
+    /// How the scores were produced (zeroed for opaque custom oracles).
+    pub counters: SearchCounters,
+    /// `true` if an exhaustive search stopped at its candidate limit instead
+    /// of covering the whole space (see [`ExhaustiveSearch::truncating`]).
+    pub truncated: bool,
 }
 
 /// An objective oracle: maps an assignment to a value (higher is better).
 pub type Oracle<'a> = dyn FnMut(&ThreadAssignment) -> Result<f64> + 'a;
+
+/// A thread-safe objective oracle for parallel searches.
+///
+/// Any `Fn(&ThreadAssignment) -> Result<f64> + Sync` closure implements
+/// this automatically; stateful oracles implement it directly with interior
+/// synchronization.
+pub trait SyncOracle: Sync {
+    /// Scores an assignment (higher is better).
+    fn score(&self, assignment: &ThreadAssignment) -> Result<f64>;
+}
+
+impl<F> SyncOracle for F
+where
+    F: Fn(&ThreadAssignment) -> Result<f64> + Sync,
+{
+    fn score(&self, assignment: &ThreadAssignment) -> Result<f64> {
+        self(assignment)
+    }
+}
+
+/// The analytic-model oracle, packaged with everything that makes repeated
+/// scoring cheap: reusable solver scratch (no per-candidate allocation), an
+/// incremental [`DeltaSolver`] for local moves, an optional shared
+/// [`ScoreCache`], and an optional starvation penalty for cooperating
+/// applications that must keep a minimum thread count.
+///
+/// Local searches drive it through [`set_base`](ModelOracle::set_base) /
+/// [`score_move`](ModelOracle::score_move) /
+/// [`accept`](ModelOracle::accept); exhaustive searches call
+/// [`score`](ModelOracle::score) per candidate.
+#[derive(Debug)]
+pub struct ModelOracle<'a> {
+    machine: &'a Machine,
+    apps: &'a [AppSpec],
+    objective: &'a Objective,
+    min_threads: usize,
+    context_fp: u64,
+    cache: Option<Arc<ScoreCache>>,
+    delta: DeltaSolver<'a>,
+    scratch: SolveScratch,
+    key_buf: Vec<u32>,
+    counters: SearchCounters,
+}
+
+impl<'a> ModelOracle<'a> {
+    /// Creates an oracle over a fixed solving context.
+    pub fn new(
+        machine: &'a Machine,
+        apps: &'a [AppSpec],
+        objective: &'a Objective,
+    ) -> Result<Self> {
+        let delta = DeltaSolver::new(machine, apps)?;
+        Ok(ModelOracle {
+            machine,
+            apps,
+            objective,
+            min_threads: 0,
+            context_fp: crate::cache::context_fingerprint(machine, apps, objective),
+            cache: None,
+            delta,
+            scratch: SolveScratch::new(),
+            key_buf: Vec::new(),
+            counters: SearchCounters::default(),
+        })
+    }
+
+    /// Penalizes assignments that give any application fewer than
+    /// `min_threads` threads machine-wide: such candidates score
+    /// `-(starved_apps) * 1e12` without consulting the model. This is the
+    /// cooperation constraint the paper motivates — starving a cooperating
+    /// application is counterproductive even when it maximizes raw GFLOPS.
+    ///
+    /// Changes the context fingerprint; set it *before*
+    /// [`with_cache`](ModelOracle::with_cache).
+    pub fn with_min_threads(mut self, min_threads: usize) -> Self {
+        self.min_threads = min_threads;
+        self
+    }
+
+    /// Attaches a shared score cache. The cache's fingerprint must equal
+    /// [`fingerprint`](ModelOracle::fingerprint), else
+    /// [`AllocError::CacheMismatch`] — cached scores are only meaningful for
+    /// the exact context they were computed under.
+    pub fn with_cache(mut self, cache: Arc<ScoreCache>) -> Result<Self> {
+        let expected = self.fingerprint();
+        if cache.fingerprint() != expected {
+            return Err(AllocError::CacheMismatch {
+                expected,
+                actual: cache.fingerprint(),
+            });
+        }
+        self.cache = Some(cache);
+        Ok(self)
+    }
+
+    /// Fingerprint of this oracle's scoring context: the machine/apps/
+    /// objective fingerprint ([`crate::cache::context_fingerprint`]) mixed
+    /// with the minimum-threads penalty parameter. Build [`ScoreCache`]s for
+    /// this oracle from this value.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.context_fp.hash(&mut h);
+        self.min_threads.hash(&mut h);
+        h.finish()
+    }
+
+    /// Number of applications in the context.
+    pub fn num_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Solver-work counters accumulated since construction (or since the
+    /// last [`take_counters`](ModelOracle::take_counters)).
+    pub fn counters(&self) -> SearchCounters {
+        self.counters
+    }
+
+    /// Returns and resets the accumulated counters.
+    pub fn take_counters(&mut self) -> SearchCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    /// The starvation penalty for `assignment`, if any.
+    fn penalty(&self, assignment: &ThreadAssignment) -> Option<f64> {
+        if self.min_threads == 0 {
+            return None;
+        }
+        let starved = (0..self.apps.len())
+            .filter(|&i| assignment.app_total(i) < self.min_threads)
+            .count();
+        if starved > 0 {
+            Some(-(starved as f64) * 1e12)
+        } else {
+            None
+        }
+    }
+
+    /// Scores an arbitrary assignment: penalty check, then cache, then a
+    /// full solve (inserted into the cache on the way out).
+    pub fn score(&mut self, assignment: &ThreadAssignment) -> Result<f64> {
+        if let Some(p) = self.penalty(assignment) {
+            return Ok(p);
+        }
+        if let Some(cache) = &self.cache {
+            ScoreCache::key_of(assignment, &mut self.key_buf);
+            if let Some(s) = cache.lookup_key(&self.key_buf) {
+                self.counters.cache_hits += 1;
+                return Ok(s);
+            }
+        }
+        let gflops = solve_gflops(
+            self.machine,
+            self.apps,
+            assignment,
+            SolveOptions::default(),
+            &mut self.scratch,
+        )?;
+        self.counters.full_solves += 1;
+        let s = self.objective.evaluate_gflops(gflops)?;
+        if let Some(cache) = &self.cache {
+            cache.insert_key(&self.key_buf, s);
+        }
+        Ok(s)
+    }
+
+    /// Full-solves `base` and makes it the incumbent for subsequent
+    /// [`score_move`](ModelOracle::score_move) probes. Returns its score
+    /// (penalty included, matching [`score`](ModelOracle::score)).
+    pub fn set_base(&mut self, base: &ThreadAssignment) -> Result<f64> {
+        let penalty = self.penalty(base);
+        let totals = self.delta.rebase(base)?;
+        self.counters.full_solves += 1;
+        match penalty {
+            Some(p) => Ok(p),
+            None => self.objective.evaluate_gflops(totals),
+        }
+    }
+
+    /// Scores a local move: `candidate` must differ from the incumbent base
+    /// only on the `touched` nodes. On separable contexts (all apps
+    /// NUMA-local) this re-solves only the touched node columns; otherwise
+    /// it consults the cache and falls back to a full solve.
+    pub fn score_move(&mut self, candidate: &ThreadAssignment, touched: &[NodeId]) -> Result<f64> {
+        if let Some(p) = self.penalty(candidate) {
+            return Ok(p);
+        }
+        if self.delta.is_separable() {
+            // A column probe is cheaper than hashing the whole assignment,
+            // so the cache is deliberately skipped on this path.
+            let incremental = self.delta.has_base();
+            let totals = self.delta.probe(candidate, touched)?;
+            if incremental {
+                self.counters.delta_solves += 1;
+            } else {
+                self.counters.full_solves += 1;
+            }
+            return self.objective.evaluate_gflops(totals);
+        }
+        if let Some(cache) = &self.cache {
+            ScoreCache::key_of(candidate, &mut self.key_buf);
+            if let Some(s) = cache.lookup_key(&self.key_buf) {
+                self.counters.cache_hits += 1;
+                return Ok(s);
+            }
+        }
+        let totals = self.delta.probe(candidate, touched)?;
+        self.counters.full_solves += 1;
+        let s = self.objective.evaluate_gflops(totals)?;
+        if let Some(cache) = &self.cache {
+            cache.insert_key(&self.key_buf, s);
+        }
+        Ok(s)
+    }
+
+    /// Adopts `candidate` (which must differ from the base only on
+    /// `touched`) as the new incumbent base. On separable contexts this
+    /// costs one column re-probe; otherwise it is free (every probe
+    /// full-solves anyway).
+    pub fn accept(&mut self, candidate: &ThreadAssignment, touched: &[NodeId]) -> Result<()> {
+        if self.delta.is_separable() {
+            self.delta.probe(candidate, touched)?;
+            self.counters.delta_solves += 1;
+            self.delta.commit(candidate);
+        }
+        Ok(())
+    }
+}
+
+/// The enumerated candidate space in indexable form, so workers can jump to
+/// any rank without iterating from the start.
+enum Space {
+    /// Uniform per-node assignments: one composition of the smallest node's
+    /// capacity per candidate; app `a` runs `comp[a]` threads on every node.
+    Uniform(Vec<Vec<usize>>),
+    /// The full space: per-node composition lists, decoded by
+    /// [`enumerate::assignment_at`].
+    Full(Vec<Vec<Vec<usize>>>),
+}
+
+impl Space {
+    fn build(machine: &Machine, num_apps: usize, uniform_only: bool) -> Space {
+        if uniform_only {
+            let min_cores = machine.nodes().map(|n| n.num_cores()).min().unwrap_or(0);
+            Space::Uniform(enumerate::node_compositions(min_cores, num_apps))
+        } else {
+            Space::Full(enumerate::per_node_compositions(machine, num_apps))
+        }
+    }
+
+    /// Writes candidate `index` into `out` (every cell is overwritten, so
+    /// `out` can be reused across calls). Index order matches the crate's
+    /// sequential enumerators exactly.
+    fn write(&self, index: u128, out: &mut ThreadAssignment, num_nodes: usize) {
+        match self {
+            Space::Uniform(comps) => {
+                for (app, &c) in comps[index as usize].iter().enumerate() {
+                    for node in 0..num_nodes {
+                        out.set(app, NodeId(node), c);
+                    }
+                }
+            }
+            Space::Full(per_node) => enumerate::assignment_at(per_node, index, out),
+        }
+    }
+}
+
+/// Canonical replacement rule shared by the sequential scan, every parallel
+/// worker, and the cross-worker merge: higher score wins; equal scores
+/// resolve toward the lexicographically smallest count matrix. Because one
+/// rule governs all three, the final result is bit-identical at any thread
+/// count.
+fn replaces(best: &Option<(ThreadAssignment, f64)>, s: f64, cand: &ThreadAssignment) -> bool {
+    match best {
+        None => true,
+        Some((ba, bs)) => s > *bs || (s == *bs && cand.matrix() < ba.matrix()),
+    }
+}
+
+/// Scans ranks `start..end` of `space`, returning the canonical best.
+fn scan_range<F>(
+    space: &Space,
+    machine: &Machine,
+    num_apps: usize,
+    start: u128,
+    end: u128,
+    scorer: &mut F,
+) -> Result<Option<(ThreadAssignment, f64)>>
+where
+    F: FnMut(&ThreadAssignment) -> Result<f64>,
+{
+    let num_nodes = machine.num_nodes();
+    let mut candidate = ThreadAssignment::zero(machine, num_apps);
+    let mut best: Option<(ThreadAssignment, f64)> = None;
+    let mut i = start;
+    while i < end {
+        space.write(i, &mut candidate, num_nodes);
+        let s = scorer(&candidate)?;
+        if replaces(&best, s, &candidate) {
+            match &mut best {
+                Some((ba, bs)) => {
+                    ba.copy_from(&candidate);
+                    *bs = s;
+                }
+                None => best = Some((candidate.clone(), s)),
+            }
+        }
+        i += 1;
+    }
+    Ok(best)
+}
+
+/// A per-worker scorer for the parallel exhaustive engine. Workers build
+/// their own instance inside the spawned thread, so implementations need
+/// neither `Send` nor `Sync`.
+trait ParScorer {
+    fn score_candidate(&mut self, assignment: &ThreadAssignment) -> Result<f64>;
+    fn take_counters(&mut self) -> SearchCounters {
+        SearchCounters::default()
+    }
+}
+
+impl ParScorer for ModelOracle<'_> {
+    fn score_candidate(&mut self, assignment: &ThreadAssignment) -> Result<f64> {
+        self.score(assignment)
+    }
+    fn take_counters(&mut self) -> SearchCounters {
+        ModelOracle::take_counters(self)
+    }
+}
+
+struct SyncAdapter<'o>(&'o dyn SyncOracle);
+
+impl ParScorer for SyncAdapter<'_> {
+    fn score_candidate(&mut self, assignment: &ThreadAssignment) -> Result<f64> {
+        self.0.score(assignment)
+    }
+}
+
+/// Effective worker count: at least one, at most one per candidate.
+fn worker_count(threads: usize, n: u128) -> usize {
+    let cap = n.min(usize::MAX as u128).max(1) as usize;
+    threads.clamp(1, cap)
+}
+
+/// Fans `0..n` out over `workers` contiguous chunks on scoped OS threads.
+/// Chunk `w` covers `[n*w/workers, n*(w+1)/workers)`. Errors surface in
+/// worker-index order (deterministic); per-worker bests merge under the
+/// canonical [`replaces`] rule.
+fn run_par<S, F>(
+    space: &Space,
+    machine: &Machine,
+    num_apps: usize,
+    n: u128,
+    workers: usize,
+    make: &F,
+) -> Result<(Option<(ThreadAssignment, f64)>, SearchCounters)>
+where
+    S: ParScorer,
+    F: Fn() -> Result<S> + Sync,
+{
+    type WorkerOut = Result<(Option<(ThreadAssignment, f64)>, SearchCounters)>;
+    let results: Vec<WorkerOut> = std::thread::scope(|sc| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let start = n * w as u128 / workers as u128;
+                let end = n * (w as u128 + 1) / workers as u128;
+                sc.spawn(move || -> WorkerOut {
+                    let mut scorer = make()?;
+                    let best = scan_range(space, machine, num_apps, start, end, &mut |a| {
+                        scorer.score_candidate(a)
+                    })?;
+                    Ok((best, scorer.take_counters()))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("search worker panicked"))
+            .collect()
+    });
+    let mut counters = SearchCounters::default();
+    let mut best: Option<(ThreadAssignment, f64)> = None;
+    for r in results {
+        let (wbest, wc) = r?;
+        counters.merge(wc);
+        if let Some((a, s)) = wbest {
+            if replaces(&best, s, &a) {
+                best = Some((a, s));
+            }
+        }
+    }
+    Ok((best, counters))
+}
 
 /// Exhaustive search over an enumerable space of assignments.
 #[derive(Debug, Clone)]
@@ -46,21 +494,32 @@ pub struct ExhaustiveSearch {
     /// If `true` (default), only uniform per-node assignments are searched;
     /// otherwise the full space (bounded by `limit`) is used.
     pub uniform_only: bool,
-    /// Upper bound on candidates before the search refuses to run.
+    /// Upper bound on candidates before the search refuses to run (or, with
+    /// [`truncating`](ExhaustiveSearch::truncating), stops scanning).
     pub limit: u128,
+    /// Worker threads for the scan; `0` or `1` means sequential. Results
+    /// are bit-identical at any thread count.
+    pub threads: usize,
+    /// If `true`, a space larger than `limit` is scanned up to `limit`
+    /// candidates (in enumeration order) and the result is flagged
+    /// [`SearchResult::truncated`] instead of erroring.
+    pub truncate: bool,
 }
 
 impl Default for ExhaustiveSearch {
     fn default() -> Self {
         ExhaustiveSearch {
             uniform_only: true,
-            limit: 2_000_000,
+            limit: 8_000_000,
+            threads: 1,
+            truncate: false,
         }
     }
 }
 
 impl ExhaustiveSearch {
-    /// Default configuration: uniform space, 2e6 candidate limit.
+    /// Default configuration: uniform space, 8e6 candidate limit,
+    /// sequential.
     pub fn new() -> Self {
         Self::default()
     }
@@ -77,18 +536,95 @@ impl ExhaustiveSearch {
         self
     }
 
+    /// Scans the space on `threads` worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Over-limit spaces are scanned up to the limit and flagged
+    /// [`SearchResult::truncated`] instead of failing with
+    /// [`AllocError::SearchSpaceTooLarge`].
+    pub fn truncating(mut self) -> Self {
+        self.truncate = true;
+        self
+    }
+
+    /// Candidate count and truncation decision for this configuration.
+    fn plan(&self, machine: &Machine, num_apps: usize) -> Result<(u128, bool)> {
+        let candidates = if self.uniform_only {
+            enumerate::count_uniform_assignments(machine, num_apps)
+        } else {
+            enumerate::count_assignments(machine, num_apps)
+        };
+        if candidates > self.limit {
+            if !self.truncate {
+                return Err(AllocError::SearchSpaceTooLarge {
+                    candidates,
+                    limit: self.limit,
+                });
+            }
+            return Ok((self.limit.max(1), true));
+        }
+        Ok((candidates, false))
+    }
+
     /// Runs the search with the analytic model as the oracle.
     pub fn run(
         &self,
         machine: &Machine,
         apps: &[AppSpec],
-        objective: Objective,
+        objective: &Objective,
     ) -> Result<SearchResult> {
-        let mut oracle = |a: &ThreadAssignment| score(machine, apps, a, objective.clone());
-        self.run_with_oracle(machine, apps.len(), &mut oracle)
+        self.run_cached(machine, apps, objective, None)
     }
 
-    /// Runs the search with a caller-supplied oracle.
+    /// Like [`run`](ExhaustiveSearch::run), but memoizing scores in (and
+    /// reusing scores from) a shared cache. The cache fingerprint must match
+    /// the context ([`AllocError::CacheMismatch`] otherwise).
+    pub fn run_cached(
+        &self,
+        machine: &Machine,
+        apps: &[AppSpec],
+        objective: &Objective,
+        cache: Option<&Arc<ScoreCache>>,
+    ) -> Result<SearchResult> {
+        if apps.is_empty() {
+            return Err(AllocError::NoApps);
+        }
+        let num_apps = apps.len();
+        let (n, truncated) = self.plan(machine, num_apps)?;
+        let make = || {
+            let oracle = ModelOracle::new(machine, apps, objective)?;
+            match cache {
+                Some(c) => oracle.with_cache(Arc::clone(c)),
+                None => Ok(oracle),
+            }
+        };
+        let workers = worker_count(self.threads, n);
+        let space = self.space(machine, num_apps);
+        let (best, counters) = if workers <= 1 {
+            let mut scorer = make()?;
+            let best = scan_range(&space, machine, num_apps, 0, n, &mut |a| scorer.score(a))?;
+            (best, ModelOracle::take_counters(&mut scorer))
+        } else {
+            run_par(&space, machine, num_apps, n, workers, &make)?
+        };
+        let (assignment, score) = best.expect("space contains at least the empty assignment");
+        Ok(SearchResult {
+            assignment,
+            score,
+            evaluations: n as usize,
+            counters,
+            truncated,
+        })
+    }
+
+    fn space(&self, machine: &Machine, num_apps: usize) -> Space {
+        Space::build(machine, num_apps, self.uniform_only)
+    }
+
+    /// Runs the search with a caller-supplied (sequential) oracle.
     pub fn run_with_oracle(
         &self,
         machine: &Machine,
@@ -98,46 +634,43 @@ impl ExhaustiveSearch {
         if num_apps == 0 {
             return Err(AllocError::NoApps);
         }
-        let candidates = if self.uniform_only {
-            enumerate::count_uniform_assignments(machine, num_apps)
-        } else {
-            enumerate::count_assignments(machine, num_apps)
-        };
-        if candidates > self.limit {
-            return Err(AllocError::SearchSpaceTooLarge {
-                candidates,
-                limit: self.limit,
-            });
-        }
+        let (n, truncated) = self.plan(machine, num_apps)?;
+        let space = self.space(machine, num_apps);
+        let best = scan_range(&space, machine, num_apps, 0, n, &mut |a| oracle(a))?;
+        let (assignment, score) = best.expect("space contains at least the empty assignment");
+        Ok(SearchResult {
+            assignment,
+            score,
+            evaluations: n as usize,
+            counters: SearchCounters::default(),
+            truncated,
+        })
+    }
 
-        let mut best: Option<SearchResult> = None;
-        let mut evals = 0usize;
-        let mut consider = |a: ThreadAssignment, s: f64, evals: usize| match &mut best {
-            Some(b) if s <= b.score => {}
-            _ => {
-                best = Some(SearchResult {
-                    assignment: a,
-                    score: s,
-                    evaluations: evals,
-                });
-            }
-        };
-        if self.uniform_only {
-            for a in enumerate::uniform_assignments(machine, num_apps) {
-                let s = oracle(&a)?;
-                evals += 1;
-                consider(a, s, evals);
-            }
-        } else {
-            for a in enumerate::assignments(machine, num_apps) {
-                let s = oracle(&a)?;
-                evals += 1;
-                consider(a, s, evals);
-            }
+    /// Runs the search with a caller-supplied thread-safe oracle, fanning
+    /// out across [`threads`](ExhaustiveSearch::with_threads) workers.
+    pub fn run_with_sync_oracle(
+        &self,
+        machine: &Machine,
+        num_apps: usize,
+        oracle: &dyn SyncOracle,
+    ) -> Result<SearchResult> {
+        if num_apps == 0 {
+            return Err(AllocError::NoApps);
         }
-        let mut result = best.expect("space contains at least the empty assignment");
-        result.evaluations = evals;
-        Ok(result)
+        let (n, truncated) = self.plan(machine, num_apps)?;
+        let space = self.space(machine, num_apps);
+        let workers = worker_count(self.threads, n);
+        let make = || Ok(SyncAdapter(oracle));
+        let (best, _) = run_par(&space, machine, num_apps, n, workers, &make)?;
+        let (assignment, score) = best.expect("space contains at least the empty assignment");
+        Ok(SearchResult {
+            assignment,
+            score,
+            evaluations: n as usize,
+            counters: SearchCounters::default(),
+            truncated,
+        })
     }
 }
 
@@ -169,10 +702,60 @@ impl GreedySearch {
         &self,
         machine: &Machine,
         apps: &[AppSpec],
-        objective: Objective,
+        objective: &Objective,
     ) -> Result<SearchResult> {
-        let mut oracle = |a: &ThreadAssignment| score(machine, apps, a, objective.clone());
-        self.run_with_oracle(machine, apps.len(), &mut oracle)
+        let mut oracle = ModelOracle::new(machine, apps, objective)?;
+        self.run_model(machine, &mut oracle)
+    }
+
+    /// Runs the search against a configured [`ModelOracle`] (delta scoring,
+    /// caching, starvation penalty).
+    pub fn run_model(
+        &self,
+        machine: &Machine,
+        oracle: &mut ModelOracle<'_>,
+    ) -> Result<SearchResult> {
+        let num_apps = oracle.num_apps();
+        if num_apps == 0 {
+            return Err(AllocError::NoApps);
+        }
+        let mut current = ThreadAssignment::zero(machine, num_apps);
+        let mut current_score = oracle.set_base(&current)?;
+        let mut evals = 1usize;
+        let mut candidate = current.clone();
+
+        loop {
+            let mut best_move: Option<(usize, NodeId, f64)> = None;
+            for node in machine.node_ids() {
+                if current.node_total(node) >= machine.node(node).num_cores() {
+                    continue;
+                }
+                for app in 0..num_apps {
+                    candidate.copy_from(&current);
+                    candidate.set(app, node, candidate.get(app, node) + 1);
+                    let s = oracle.score_move(&candidate, &[node])?;
+                    evals += 1;
+                    if best_move.is_none_or(|(_, _, bs)| s > bs) {
+                        best_move = Some((app, node, s));
+                    }
+                }
+            }
+            match best_move {
+                Some((app, node, s)) if s > current_score || self.fill_machine => {
+                    current.set(app, node, current.get(app, node) + 1);
+                    oracle.accept(&current, &[node])?;
+                    current_score = s;
+                }
+                _ => break,
+            }
+        }
+        Ok(SearchResult {
+            assignment: current,
+            score: current_score,
+            evaluations: evals,
+            counters: oracle.take_counters(),
+            truncated: false,
+        })
     }
 
     /// Runs the search with a caller-supplied oracle.
@@ -188,6 +771,7 @@ impl GreedySearch {
         let mut current = ThreadAssignment::zero(machine, num_apps);
         let mut current_score = oracle(&current)?;
         let mut evals = 1usize;
+        let mut candidate = current.clone();
 
         loop {
             let mut best_move: Option<(usize, NodeId, f64)> = None;
@@ -196,7 +780,7 @@ impl GreedySearch {
                     continue;
                 }
                 for app in 0..num_apps {
-                    let mut candidate = current.clone();
+                    candidate.copy_from(&current);
                     candidate.set(app, node, candidate.get(app, node) + 1);
                     let s = oracle(&candidate)?;
                     evals += 1;
@@ -217,8 +801,130 @@ impl GreedySearch {
             assignment: current,
             score: current_score,
             evaluations: evals,
+            counters: SearchCounters::default(),
+            truncated: false,
         })
     }
+}
+
+/// Options for a multi-start portfolio run of a local search: independent
+/// seeds raced (optionally in parallel), best result kept. Ties resolve to
+/// the earliest seed, so the outcome is independent of thread count.
+#[derive(Debug, Clone, Default)]
+pub struct Portfolio {
+    /// Seeds to race; empty means "just the strategy's configured seed".
+    pub seeds: Vec<u64>,
+    /// Worker threads; `0` or `1` runs the seeds sequentially.
+    pub threads: usize,
+    /// Minimum machine-wide threads per application before the starvation
+    /// penalty applies (see [`ModelOracle::with_min_threads`]).
+    pub min_threads: usize,
+}
+
+impl Portfolio {
+    /// Empty portfolio: the strategy's own seed, sequential, no penalty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds to race.
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Starvation-penalty threshold.
+    pub fn with_min_threads(mut self, min_threads: usize) -> Self {
+        self.min_threads = min_threads;
+        self
+    }
+}
+
+/// Races one local search per seed and merges deterministically: the result
+/// with the highest score wins and ties go to the earliest seed. Evaluation
+/// and solver counters are summed over all seeds.
+fn run_portfolio_impl<R>(
+    machine: &Machine,
+    apps: &[AppSpec],
+    objective: &Objective,
+    portfolio: &Portfolio,
+    default_seed: u64,
+    cache: Option<&Arc<ScoreCache>>,
+    run_one: R,
+) -> Result<SearchResult>
+where
+    R: Fn(u64, &mut ModelOracle<'_>) -> Result<SearchResult> + Sync,
+{
+    if apps.is_empty() {
+        return Err(AllocError::NoApps);
+    }
+    let seeds: Vec<u64> = if portfolio.seeds.is_empty() {
+        vec![default_seed]
+    } else {
+        portfolio.seeds.clone()
+    };
+    let min_threads = portfolio.min_threads;
+    let make = || {
+        let oracle = ModelOracle::new(machine, apps, objective)?.with_min_threads(min_threads);
+        match cache {
+            Some(c) => oracle.with_cache(Arc::clone(c)),
+            None => Ok(oracle),
+        }
+    };
+    // Surface a fingerprint mismatch before spawning anything.
+    make()?;
+
+    let workers = portfolio.threads.clamp(1, seeds.len());
+    let per_worker: Vec<Result<Vec<SearchResult>>> = std::thread::scope(|sc| {
+        let seeds = &seeds;
+        let run_one = &run_one;
+        let make = &make;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let start = seeds.len() * w / workers;
+                let end = seeds.len() * (w + 1) / workers;
+                sc.spawn(move || -> Result<Vec<SearchResult>> {
+                    let mut out = Vec::with_capacity(end - start);
+                    for &seed in &seeds[start..end] {
+                        let mut oracle = make()?;
+                        out.push(run_one(seed, &mut oracle)?);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("portfolio worker panicked"))
+            .collect()
+    });
+
+    let mut merged: Option<SearchResult> = None;
+    let mut evaluations = 0usize;
+    let mut counters = SearchCounters::default();
+    for r in per_worker {
+        for res in r? {
+            evaluations += res.evaluations;
+            counters.merge(res.counters);
+            let replace = match &merged {
+                None => true,
+                Some(b) => res.score > b.score,
+            };
+            if replace {
+                merged = Some(res);
+            }
+        }
+    }
+    let mut best = merged.expect("portfolio raced at least one seed");
+    best.evaluations = evaluations;
+    best.counters = counters;
+    Ok(best)
 }
 
 /// Seeded stochastic hill-climbing over move/add/remove neighbourhoods.
@@ -266,8 +972,8 @@ impl HillClimb {
     }
 
     /// Starts the climb from a given assignment instead of the fair share
-    /// (used by the stability planner to climb from the *current*
-    /// allocation).
+    /// (used by the stability planner and the agent's warm start to climb
+    /// from the *current* allocation).
     pub fn with_start(mut self, start: ThreadAssignment) -> Self {
         self.start = Some(start);
         self
@@ -278,10 +984,115 @@ impl HillClimb {
         &self,
         machine: &Machine,
         apps: &[AppSpec],
-        objective: Objective,
+        objective: &Objective,
     ) -> Result<SearchResult> {
-        let mut oracle = |a: &ThreadAssignment| score(machine, apps, a, objective.clone());
-        self.run_with_oracle(machine, apps.len(), &mut oracle)
+        let mut oracle = ModelOracle::new(machine, apps, objective)?;
+        self.run_model(machine, &mut oracle)
+    }
+
+    /// Races this climb across `portfolio.seeds`, sharing `cache` among the
+    /// workers.
+    pub fn run_portfolio(
+        &self,
+        machine: &Machine,
+        apps: &[AppSpec],
+        objective: &Objective,
+        portfolio: &Portfolio,
+        cache: Option<&Arc<ScoreCache>>,
+    ) -> Result<SearchResult> {
+        run_portfolio_impl(
+            machine,
+            apps,
+            objective,
+            portfolio,
+            self.seed,
+            cache,
+            |seed, oracle| self.clone().with_seed(seed).run_model(machine, oracle),
+        )
+    }
+
+    /// Runs the search against a configured [`ModelOracle`]: every
+    /// neighbourhood proposal is scored incrementally (delta solve on
+    /// separable contexts) and accepted moves fold into the oracle's base.
+    pub fn run_model(
+        &self,
+        machine: &Machine,
+        oracle: &mut ModelOracle<'_>,
+    ) -> Result<SearchResult> {
+        let num_apps = oracle.num_apps();
+        if num_apps == 0 {
+            return Err(AllocError::NoApps);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut current = match &self.start {
+            Some(s) => {
+                s.validate(machine)?;
+                s.clone()
+            }
+            None => strategies::fair_share(machine, num_apps)?,
+        };
+        let mut current_score = oracle.set_base(&current)?;
+        let mut evals = 1usize;
+        let nodes = machine.num_nodes();
+        let mut candidate = current.clone();
+
+        for _ in 0..self.iterations {
+            candidate.copy_from(&current);
+            let app = rng.gen_range(0..num_apps);
+            let mut touched = [NodeId(0); 2];
+            let touched_len: usize;
+            match rng.gen_range(0..3u8) {
+                // Move a thread of `app` from one node to another.
+                0 => {
+                    let from = NodeId(rng.gen_range(0..nodes));
+                    let to = NodeId(rng.gen_range(0..nodes));
+                    if from == to
+                        || candidate.get(app, from) == 0
+                        || candidate.node_total(to) >= machine.node(to).num_cores()
+                    {
+                        continue;
+                    }
+                    candidate.set(app, from, candidate.get(app, from) - 1);
+                    candidate.set(app, to, candidate.get(app, to) + 1);
+                    touched = [from, to];
+                    touched_len = 2;
+                }
+                // Add a thread on a node with spare capacity.
+                1 => {
+                    let node = NodeId(rng.gen_range(0..nodes));
+                    if candidate.node_total(node) >= machine.node(node).num_cores() {
+                        continue;
+                    }
+                    candidate.set(app, node, candidate.get(app, node) + 1);
+                    touched[0] = node;
+                    touched_len = 1;
+                }
+                // Remove a thread.
+                _ => {
+                    let node = NodeId(rng.gen_range(0..nodes));
+                    if candidate.get(app, node) == 0 {
+                        continue;
+                    }
+                    candidate.set(app, node, candidate.get(app, node) - 1);
+                    touched[0] = node;
+                    touched_len = 1;
+                }
+            }
+            let s = oracle.score_move(&candidate, &touched[..touched_len])?;
+            evals += 1;
+            if s >= current_score {
+                oracle.accept(&candidate, &touched[..touched_len])?;
+                current.copy_from(&candidate);
+                current_score = s;
+            }
+        }
+        Ok(SearchResult {
+            assignment: current,
+            score: current_score,
+            evaluations: evals,
+            counters: oracle.take_counters(),
+            truncated: false,
+        })
     }
 
     /// Runs the search with a caller-supplied oracle.
@@ -305,9 +1116,10 @@ impl HillClimb {
         let mut current_score = oracle(&current)?;
         let mut evals = 1usize;
         let nodes = machine.num_nodes();
+        let mut candidate = current.clone();
 
         for _ in 0..self.iterations {
-            let mut candidate = current.clone();
+            candidate.copy_from(&current);
             let app = rng.gen_range(0..num_apps);
             match rng.gen_range(0..3u8) {
                 // Move a thread of `app` from one node to another.
@@ -343,7 +1155,7 @@ impl HillClimb {
             let s = oracle(&candidate)?;
             evals += 1;
             if s >= current_score {
-                current = candidate;
+                current.copy_from(&candidate);
                 current_score = s;
             }
         }
@@ -351,6 +1163,8 @@ impl HillClimb {
             assignment: current,
             score: current_score,
             evaluations: evals,
+            counters: SearchCounters::default(),
+            truncated: false,
         })
     }
 }
@@ -358,6 +1172,7 @@ impl HillClimb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::score;
     use numa_topology::presets::{paper_crossnode_machine, paper_model_machine, tiny};
 
     fn paper_apps() -> Vec<AppSpec> {
@@ -375,11 +1190,13 @@ mod tests {
     fn exhaustive_uniform_finds_table_1_or_better() {
         let m = paper_model_machine();
         let r = ExhaustiveSearch::new()
-            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .run(&m, &paper_apps(), &Objective::TotalGflops)
             .unwrap();
         assert!(r.score >= 254.0 - 1e-9, "found {}", r.score);
         // C(12,4) = 495 candidates.
         assert_eq!(r.evaluations, 495);
+        assert_eq!(r.counters.full_solves, 495);
+        assert!(!r.truncated);
     }
 
     /// The unconstrained optimum on the paper machine starves the
@@ -391,7 +1208,7 @@ mod tests {
     fn exhaustive_optimum_structure() {
         let m = paper_model_machine();
         let r = ExhaustiveSearch::new()
-            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .run(&m, &paper_apps(), &Objective::TotalGflops)
             .unwrap();
         assert!((r.score - 320.0).abs() < 1e-9, "got {}", r.score);
         for app in 0..3 {
@@ -406,7 +1223,7 @@ mod tests {
             if (0..apps.len()).any(|i| m.node_ids().any(|n| a.get(i, n) == 0)) {
                 return Ok(f64::NEG_INFINITY);
             }
-            score(&m, &apps, a, Objective::TotalGflops)
+            score(&m, &apps, a, &Objective::TotalGflops)
         };
         let r = ExhaustiveSearch::new()
             .run_with_oracle(&m, apps.len(), &mut oracle)
@@ -424,11 +1241,11 @@ mod tests {
             AppSpec::numa_local("comp", 8.0),
         ];
         let uni = ExhaustiveSearch::new()
-            .run(&m, &apps, Objective::TotalGflops)
+            .run(&m, &apps, &Objective::TotalGflops)
             .unwrap();
         let full = ExhaustiveSearch::new()
             .full_space()
-            .run(&m, &apps, Objective::TotalGflops)
+            .run(&m, &apps, &Objective::TotalGflops)
             .unwrap();
         assert!(full.score >= uni.score - 1e-12);
         assert_eq!(full.evaluations, 36);
@@ -440,21 +1257,90 @@ mod tests {
         let err = ExhaustiveSearch::new().full_space().with_limit(1000).run(
             &m,
             &paper_apps(),
-            Objective::TotalGflops,
+            &Objective::TotalGflops,
         );
         assert!(matches!(err, Err(AllocError::SearchSpaceTooLarge { .. })));
+    }
+
+    #[test]
+    fn exhaustive_truncating_scans_prefix_and_flags_it() {
+        let m = paper_model_machine();
+        let r = ExhaustiveSearch::new()
+            .full_space()
+            .with_limit(1000)
+            .truncating()
+            .run(&m, &paper_apps(), &Objective::TotalGflops)
+            .unwrap();
+        assert!(r.truncated);
+        assert_eq!(r.evaluations, 1000);
+        assert!(r.assignment.validate(&m).is_ok());
+    }
+
+    #[test]
+    fn parallel_exhaustive_matches_sequential() {
+        let m = paper_model_machine();
+        let apps = paper_apps();
+        let seq = ExhaustiveSearch::new()
+            .run(&m, &apps, &Objective::TotalGflops)
+            .unwrap();
+        for threads in [2, 8] {
+            let par = ExhaustiveSearch::new()
+                .with_threads(threads)
+                .run(&m, &apps, &Objective::TotalGflops)
+                .unwrap();
+            assert_eq!(par.assignment, seq.assignment, "{threads} threads");
+            assert_eq!(par.score, seq.score, "{threads} threads");
+            assert_eq!(par.evaluations, seq.evaluations, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn cached_exhaustive_rerun_hits_for_every_candidate() {
+        let m = paper_model_machine();
+        let apps = paper_apps();
+        let objective = Objective::TotalGflops;
+        let fp = ModelOracle::new(&m, &apps, &objective)
+            .unwrap()
+            .fingerprint();
+        let cache = Arc::new(ScoreCache::new(fp));
+        let first = ExhaustiveSearch::new()
+            .run_cached(&m, &apps, &objective, Some(&cache))
+            .unwrap();
+        assert_eq!(first.counters.full_solves, 495);
+        assert_eq!(first.counters.cache_hits, 0);
+        let second = ExhaustiveSearch::new()
+            .run_cached(&m, &apps, &objective, Some(&cache))
+            .unwrap();
+        assert_eq!(second.counters.cache_hits, 495);
+        assert_eq!(second.counters.full_solves, 0);
+        assert_eq!(second.assignment, first.assignment);
+        assert_eq!(second.score, first.score);
+    }
+
+    #[test]
+    fn mismatched_cache_is_rejected() {
+        let m = paper_model_machine();
+        let apps = paper_apps();
+        let cache = Arc::new(ScoreCache::new(0xbad));
+        let err =
+            ExhaustiveSearch::new().run_cached(&m, &apps, &Objective::TotalGflops, Some(&cache));
+        assert!(matches!(err, Err(AllocError::CacheMismatch { .. })));
     }
 
     #[test]
     fn greedy_matches_exhaustive_on_paper_machine() {
         let m = paper_model_machine();
         let g = GreedySearch::new()
-            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .run(&m, &paper_apps(), &Objective::TotalGflops)
             .unwrap();
         // Greedy also discovers the unconstrained optimum (all cores to the
         // compute-bound app): each compute thread adds a full 10 GFLOPS.
         assert!((g.score - 320.0).abs() < 1e-9, "greedy found {}", g.score);
         assert!(g.assignment.validate(&m).is_ok());
+        // The paper apps are all NUMA-local, so after the initial full solve
+        // every neighbourhood probe is answered incrementally.
+        assert_eq!(g.counters.full_solves, 1);
+        assert!(g.counters.delta_solves > 0);
     }
 
     #[test]
@@ -463,7 +1349,7 @@ mod tests {
         let apps = vec![AppSpec::numa_local("mem", 0.5)];
         let g = GreedySearch::new()
             .filling()
-            .run(&m, &apps, Objective::TotalGflops)
+            .run(&m, &apps, &Objective::TotalGflops)
             .unwrap();
         assert_eq!(g.assignment.total(), m.total_cores());
     }
@@ -477,7 +1363,7 @@ mod tests {
         let m = paper_model_machine();
         let apps = vec![AppSpec::numa_local("mem", 0.1)];
         let g = GreedySearch::new()
-            .run(&m, &apps, Objective::TotalGflops)
+            .run(&m, &apps, &Objective::TotalGflops)
             .unwrap();
         assert!(g.assignment.total() < m.total_cores());
         // Total bandwidth is the cap: 128 GB/s * 0.1 AI = 12.8 GFLOPS.
@@ -489,7 +1375,7 @@ mod tests {
         let m = paper_model_machine();
         let h = HillClimb::new()
             .with_iterations(3000)
-            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .run(&m, &paper_apps(), &Objective::TotalGflops)
             .unwrap();
         assert!(h.score >= 250.0, "hill climb found {}", h.score);
         assert!(h.assignment.validate(&m).is_ok());
@@ -501,12 +1387,12 @@ mod tests {
         let a = HillClimb::new()
             .with_iterations(500)
             .with_seed(42)
-            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .run(&m, &paper_apps(), &Objective::TotalGflops)
             .unwrap();
         let b = HillClimb::new()
             .with_iterations(500)
             .with_seed(42)
-            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .run(&m, &paper_apps(), &Objective::TotalGflops)
             .unwrap();
         assert_eq!(a.assignment, b.assignment);
         assert_eq!(a.score, b.score);
@@ -528,10 +1414,86 @@ mod tests {
         let h = HillClimb::new()
             .with_iterations(6000)
             .with_seed(7)
-            .run(&m, &apps, Objective::TotalGflops)
+            .run(&m, &apps, &Objective::TotalGflops)
             .unwrap();
         // Even allocation scores 138.75; the climb must at least beat it.
         assert!(h.score > 138.75, "hill climb stuck at {}", h.score);
+        // The numa-bad placement couples nodes, so probes full-solve.
+        assert_eq!(h.counters.delta_solves, 0);
+        assert!(h.counters.full_solves > 0);
+    }
+
+    #[test]
+    fn hill_climb_model_path_matches_oracle_path() {
+        // The delta-scored model path must reproduce the plain-oracle path
+        // bit for bit: same RNG consumption, same oracle values, same
+        // accepted moves.
+        let m = paper_model_machine();
+        let apps = paper_apps();
+        let climb = HillClimb::new().with_iterations(800).with_seed(9);
+        let fast = climb.run(&m, &apps, &Objective::TotalGflops).unwrap();
+        let mut oracle =
+            |a: &ThreadAssignment| -> Result<f64> { score(&m, &apps, a, &Objective::TotalGflops) };
+        let slow = climb.run_with_oracle(&m, apps.len(), &mut oracle).unwrap();
+        assert_eq!(fast.assignment, slow.assignment);
+        assert_eq!(fast.score, slow.score);
+        assert_eq!(fast.evaluations, slow.evaluations);
+    }
+
+    #[test]
+    fn hill_climb_portfolio_is_deterministic_across_thread_counts() {
+        let m = paper_model_machine();
+        let apps = paper_apps();
+        let climb = HillClimb::new().with_iterations(400);
+        let seeds = vec![1u64, 2, 3, 4];
+        let seq = climb
+            .run_portfolio(
+                &m,
+                &apps,
+                &Objective::TotalGflops,
+                &Portfolio::new().with_seeds(seeds.clone()),
+                None,
+            )
+            .unwrap();
+        let par = climb
+            .run_portfolio(
+                &m,
+                &apps,
+                &Objective::TotalGflops,
+                &Portfolio::new().with_seeds(seeds).with_threads(4),
+                None,
+            )
+            .unwrap();
+        assert_eq!(seq.assignment, par.assignment);
+        assert_eq!(seq.score, par.score);
+        assert_eq!(seq.evaluations, par.evaluations);
+        // The portfolio must be at least as good as any single member.
+        let single = climb
+            .clone()
+            .with_seed(1)
+            .run(&m, &apps, &Objective::TotalGflops)
+            .unwrap();
+        assert!(seq.score >= single.score);
+    }
+
+    #[test]
+    fn min_threads_penalty_shapes_the_search() {
+        let m = paper_model_machine();
+        let apps = paper_apps();
+        let objective = Objective::TotalGflops;
+        let mut oracle = ModelOracle::new(&m, &apps, &objective)
+            .unwrap()
+            .with_min_threads(1);
+        let r = GreedySearch::new()
+            .filling()
+            .run_model(&m, &mut oracle)
+            .unwrap();
+        for app in 0..apps.len() {
+            assert!(
+                r.assignment.app_total(app) >= 1,
+                "app {app} starved despite min_threads"
+            );
+        }
     }
 
     #[test]
@@ -542,7 +1504,7 @@ mod tests {
             AppSpec::numa_local("mem2", 0.5),
         ];
         let r = ExhaustiveSearch::new()
-            .run(&m, &apps, Objective::MinAppGflops)
+            .run(&m, &apps, &Objective::MinAppGflops)
             .unwrap();
         // With identical apps, max-min is achieved by (at least) a balanced
         // allocation; both apps end up with the same GFLOPS.
@@ -554,15 +1516,15 @@ mod tests {
     fn searches_reject_zero_apps() {
         let m = tiny();
         assert!(matches!(
-            ExhaustiveSearch::new().run(&m, &[], Objective::TotalGflops),
+            ExhaustiveSearch::new().run(&m, &[], &Objective::TotalGflops),
             Err(AllocError::NoApps)
         ));
         assert!(matches!(
-            GreedySearch::new().run(&m, &[], Objective::TotalGflops),
+            GreedySearch::new().run(&m, &[], &Objective::TotalGflops),
             Err(AllocError::NoApps)
         ));
         assert!(matches!(
-            HillClimb::new().run(&m, &[], Objective::TotalGflops),
+            HillClimb::new().run(&m, &[], &Objective::TotalGflops),
             Err(AllocError::NoApps)
         ));
     }
@@ -576,6 +1538,24 @@ mod tests {
             .run_with_oracle(&m, 2, &mut oracle)
             .unwrap();
         assert_eq!(g.assignment.total(), 0);
+    }
+
+    #[test]
+    fn sync_oracle_parallel_search_matches_sequential_custom() {
+        let m = tiny();
+        let oracle = |a: &ThreadAssignment| -> Result<f64> { Ok(a.total() as f64) };
+        let seq = ExhaustiveSearch::new()
+            .full_space()
+            .run_with_sync_oracle(&m, 2, &oracle)
+            .unwrap();
+        let par = ExhaustiveSearch::new()
+            .full_space()
+            .with_threads(4)
+            .run_with_sync_oracle(&m, 2, &oracle)
+            .unwrap();
+        assert_eq!(seq.assignment, par.assignment);
+        assert_eq!(seq.score, par.score);
+        assert_eq!(seq.evaluations, 36);
     }
 }
 
@@ -643,10 +1623,122 @@ impl SimulatedAnnealing {
         &self,
         machine: &Machine,
         apps: &[AppSpec],
-        objective: Objective,
+        objective: &Objective,
     ) -> Result<SearchResult> {
-        let mut oracle = |a: &ThreadAssignment| score(machine, apps, a, objective.clone());
-        self.run_with_oracle(machine, apps.len(), &mut oracle)
+        let mut oracle = ModelOracle::new(machine, apps, objective)?;
+        self.run_model(machine, &mut oracle)
+    }
+
+    /// Races this annealer across `portfolio.seeds`, sharing `cache` among
+    /// the workers.
+    pub fn run_portfolio(
+        &self,
+        machine: &Machine,
+        apps: &[AppSpec],
+        objective: &Objective,
+        portfolio: &Portfolio,
+        cache: Option<&Arc<ScoreCache>>,
+    ) -> Result<SearchResult> {
+        run_portfolio_impl(
+            machine,
+            apps,
+            objective,
+            portfolio,
+            self.seed,
+            cache,
+            |seed, oracle| self.clone().with_seed(seed).run_model(machine, oracle),
+        )
+    }
+
+    /// Runs the search against a configured [`ModelOracle`] (delta scoring,
+    /// caching, starvation penalty).
+    pub fn run_model(
+        &self,
+        machine: &Machine,
+        oracle: &mut ModelOracle<'_>,
+    ) -> Result<SearchResult> {
+        let num_apps = oracle.num_apps();
+        if num_apps == 0 {
+            return Err(AllocError::NoApps);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut current = match &self.start {
+            Some(s) => {
+                s.validate(machine)?;
+                s.clone()
+            }
+            None => strategies::fair_share(machine, num_apps)?,
+        };
+        let mut current_score = oracle.set_base(&current)?;
+        let mut best = current.clone();
+        let mut best_score = current_score;
+        let mut evals = 1usize;
+        let nodes = machine.num_nodes();
+        let mut temperature = self.initial_temperature;
+        let mut candidate = current.clone();
+
+        for _ in 0..self.iterations {
+            temperature *= self.cooling;
+            candidate.copy_from(&current);
+            let app = rng.gen_range(0..num_apps);
+            let mut touched = [NodeId(0); 2];
+            let touched_len: usize;
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    let from = NodeId(rng.gen_range(0..nodes));
+                    let to = NodeId(rng.gen_range(0..nodes));
+                    if from == to
+                        || candidate.get(app, from) == 0
+                        || candidate.node_total(to) >= machine.node(to).num_cores()
+                    {
+                        continue;
+                    }
+                    candidate.set(app, from, candidate.get(app, from) - 1);
+                    candidate.set(app, to, candidate.get(app, to) + 1);
+                    touched = [from, to];
+                    touched_len = 2;
+                }
+                1 => {
+                    let node = NodeId(rng.gen_range(0..nodes));
+                    if candidate.node_total(node) >= machine.node(node).num_cores() {
+                        continue;
+                    }
+                    candidate.set(app, node, candidate.get(app, node) + 1);
+                    touched[0] = node;
+                    touched_len = 1;
+                }
+                _ => {
+                    let node = NodeId(rng.gen_range(0..nodes));
+                    if candidate.get(app, node) == 0 {
+                        continue;
+                    }
+                    candidate.set(app, node, candidate.get(app, node) - 1);
+                    touched[0] = node;
+                    touched_len = 1;
+                }
+            }
+            let s = oracle.score_move(&candidate, &touched[..touched_len])?;
+            evals += 1;
+            let delta = s - current_score;
+            let accept = delta >= 0.0
+                || (temperature > 1e-12 && rng.gen::<f64>() < (delta / temperature).exp());
+            if accept {
+                oracle.accept(&candidate, &touched[..touched_len])?;
+                current.copy_from(&candidate);
+                current_score = s;
+                if s > best_score {
+                    best.copy_from(&candidate);
+                    best_score = s;
+                }
+            }
+        }
+        Ok(SearchResult {
+            assignment: best,
+            score: best_score,
+            evaluations: evals,
+            counters: oracle.take_counters(),
+            truncated: false,
+        })
     }
 
     /// Runs the search with a caller-supplied oracle.
@@ -673,10 +1765,11 @@ impl SimulatedAnnealing {
         let mut evals = 1usize;
         let nodes = machine.num_nodes();
         let mut temperature = self.initial_temperature;
+        let mut candidate = current.clone();
 
         for _ in 0..self.iterations {
             temperature *= self.cooling;
-            let mut candidate = current.clone();
+            candidate.copy_from(&current);
             let app = rng.gen_range(0..num_apps);
             match rng.gen_range(0..3u8) {
                 0 => {
@@ -712,10 +1805,10 @@ impl SimulatedAnnealing {
             let accept = delta >= 0.0
                 || (temperature > 1e-12 && rng.gen::<f64>() < (delta / temperature).exp());
             if accept {
-                current = candidate;
+                current.copy_from(&candidate);
                 current_score = s;
                 if s > best_score {
-                    best = current.clone();
+                    best.copy_from(&candidate);
                     best_score = s;
                 }
             }
@@ -724,6 +1817,8 @@ impl SimulatedAnnealing {
             assignment: best,
             score: best_score,
             evaluations: evals,
+            counters: SearchCounters::default(),
+            truncated: false,
         })
     }
 }
@@ -731,6 +1826,7 @@ impl SimulatedAnnealing {
 #[cfg(test)]
 mod annealing_tests {
     use super::*;
+    use crate::score;
     use numa_topology::presets::{paper_crossnode_machine, paper_model_machine};
 
     fn paper_apps() -> Vec<AppSpec> {
@@ -747,7 +1843,7 @@ mod annealing_tests {
         let m = paper_model_machine();
         let sa = SimulatedAnnealing::new()
             .with_iterations(4000)
-            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .run(&m, &paper_apps(), &Objective::TotalGflops)
             .unwrap();
         assert!(sa.score >= 254.0, "annealing found only {}", sa.score);
         assert!(sa.assignment.validate(&m).is_ok());
@@ -759,12 +1855,12 @@ mod annealing_tests {
         let a = SimulatedAnnealing::new()
             .with_iterations(800)
             .with_seed(3)
-            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .run(&m, &paper_apps(), &Objective::TotalGflops)
             .unwrap();
         let b = SimulatedAnnealing::new()
             .with_iterations(800)
             .with_seed(3)
-            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .run(&m, &paper_apps(), &Objective::TotalGflops)
             .unwrap();
         assert_eq!(a.assignment, b.assignment);
         assert_eq!(a.score, b.score);
@@ -782,11 +1878,54 @@ mod annealing_tests {
         let sa = SimulatedAnnealing::new()
             .with_iterations(6000)
             .with_seed(11)
-            .run(&m, &apps, Objective::TotalGflops)
+            .run(&m, &apps, &Objective::TotalGflops)
             .unwrap();
         // Must beat the even allocation (138.75), i.e. discover that the
         // bad app's threads belong near its data.
         assert!(sa.score > 138.75, "annealing stuck at {}", sa.score);
+    }
+
+    #[test]
+    fn annealing_model_path_matches_oracle_path() {
+        let m = paper_model_machine();
+        let apps = paper_apps();
+        let sa = SimulatedAnnealing::new().with_iterations(600).with_seed(21);
+        let fast = sa.run(&m, &apps, &Objective::TotalGflops).unwrap();
+        let mut oracle =
+            |a: &ThreadAssignment| -> Result<f64> { score(&m, &apps, a, &Objective::TotalGflops) };
+        let slow = sa.run_with_oracle(&m, apps.len(), &mut oracle).unwrap();
+        assert_eq!(fast.assignment, slow.assignment);
+        assert_eq!(fast.score, slow.score);
+        assert_eq!(fast.evaluations, slow.evaluations);
+    }
+
+    #[test]
+    fn annealing_portfolio_beats_or_matches_single_seed() {
+        let m = paper_crossnode_machine();
+        let apps = vec![
+            AppSpec::numa_local("perf1", 0.5),
+            AppSpec::numa_local("perf2", 0.5),
+            AppSpec::numa_local("perf3", 0.5),
+            AppSpec::numa_bad("bad", 1.0, NodeId(3)),
+        ];
+        let sa = SimulatedAnnealing::new().with_iterations(1500);
+        let single = sa
+            .clone()
+            .with_seed(11)
+            .run(&m, &apps, &Objective::TotalGflops)
+            .unwrap();
+        let portfolio = sa
+            .run_portfolio(
+                &m,
+                &apps,
+                &Objective::TotalGflops,
+                &Portfolio::new()
+                    .with_seeds(vec![11, 12, 13])
+                    .with_threads(3),
+                None,
+            )
+            .unwrap();
+        assert!(portfolio.score >= single.score);
     }
 
     #[test]
@@ -796,11 +1935,11 @@ mod annealing_tests {
             .with_iterations(1000)
             .with_schedule(0.0, 0.5)
             .with_seed(5)
-            .run(&m, &paper_apps(), Objective::TotalGflops)
+            .run(&m, &paper_apps(), &Objective::TotalGflops)
             .unwrap();
         // Monotone acceptance only: still valid and never below the start.
         let start = strategies::fair_share(&m, 4).unwrap();
-        let s0 = score(&m, &paper_apps(), &start, Objective::TotalGflops).unwrap();
+        let s0 = score(&m, &paper_apps(), &start, &Objective::TotalGflops).unwrap();
         assert!(sa.score >= s0);
     }
 
@@ -808,7 +1947,7 @@ mod annealing_tests {
     fn annealing_rejects_zero_apps() {
         let m = paper_model_machine();
         assert!(matches!(
-            SimulatedAnnealing::new().run(&m, &[], Objective::TotalGflops),
+            SimulatedAnnealing::new().run(&m, &[], &Objective::TotalGflops),
             Err(AllocError::NoApps)
         ));
     }

@@ -103,12 +103,12 @@ impl ReallocPlanner {
             return Err(AllocError::NoApps);
         }
         current.validate(machine)?;
-        let current_value = score(machine, apps, current, self.objective.clone())?;
+        let current_value = score(machine, apps, current, &self.objective)?;
 
         let penalty = self.switch_penalty;
-        let objective = self.objective.clone();
+        let objective = &self.objective;
         let mut oracle = |a: &ThreadAssignment| -> Result<f64> {
-            let raw = score(machine, apps, a, objective.clone())?;
+            let raw = score(machine, apps, a, objective)?;
             Ok(raw - penalty * switching_cost(current, a) as f64)
         };
         // Hill-climb, seeded from fair share internally — but we want to
@@ -129,7 +129,7 @@ impl ReallocPlanner {
         }
         let _ = best_penalized;
 
-        let objective_value = score(machine, apps, &best, self.objective.clone())?;
+        let objective_value = score(machine, apps, &best, &self.objective)?;
         Ok(ReallocPlan {
             moved_threads: switching_cost(current, &best),
             assignment: best,

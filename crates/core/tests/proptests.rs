@@ -79,7 +79,7 @@ proptest! {
             .map(|(i, &ai)| AppSpec::numa_local(&format!("a{i}"), ai))
             .collect();
         let g = search::GreedySearch::new()
-            .run(&m, &apps, Objective::TotalGflops)
+            .run(&m, &apps, &Objective::TotalGflops)
             .unwrap();
         prop_assert!(g.assignment.validate(&m).is_ok());
         prop_assert!(g.score >= 0.0);
@@ -99,12 +99,12 @@ proptest! {
             AppSpec::numa_local("b", ai2),
         ];
         let best = search::ExhaustiveSearch::new()
-            .run(&m, &apps, Objective::TotalGflops)
+            .run(&m, &apps, &Objective::TotalGflops)
             .unwrap();
         let k = cores / 2;
         if k > 0 {
             let even = strategies::uniform_per_node(&m, &[k, k]).unwrap();
-            let s = score(&m, &apps, &even, Objective::TotalGflops).unwrap();
+            let s = score(&m, &apps, &even, &Objective::TotalGflops).unwrap();
             prop_assert!(best.score >= s - 1e-9);
         }
     }
@@ -123,14 +123,72 @@ proptest! {
             AppSpec::numa_local("b", ai2),
         ];
         let start = strategies::fair_share(&m, 2).unwrap();
-        let s0 = score(&m, &apps, &start, Objective::TotalGflops).unwrap();
+        let s0 = score(&m, &apps, &start, &Objective::TotalGflops).unwrap();
         let h = search::HillClimb::new()
             .with_iterations(200)
             .with_seed(seed)
-            .run(&m, &apps, Objective::TotalGflops)
+            .run(&m, &apps, &Objective::TotalGflops)
             .unwrap();
         prop_assert!(h.score >= s0 - 1e-9);
         prop_assert!(h.assignment.validate(&m).is_ok());
+    }
+
+    /// A delta-scored local move agrees with a from-scratch solve of the
+    /// moved-to assignment, for random separable (all-local) contexts.
+    #[test]
+    fn delta_move_scores_match_full_solves(
+        cores in 2usize..7,
+        ais in proptest::collection::vec(0.05f64..32.0, 2..4),
+        seed in 0u64..1000,
+    ) {
+        let m = machine(2, cores);
+        let apps: Vec<AppSpec> = ais
+            .iter()
+            .enumerate()
+            .map(|(i, &ai)| AppSpec::numa_local(&format!("a{i}"), ai))
+            .collect();
+        let objective = Objective::TotalGflops;
+        let mut oracle = search::ModelOracle::new(&m, &apps, &objective).unwrap();
+        let base = strategies::fair_share(&m, apps.len()).unwrap();
+        oracle.set_base(&base).unwrap();
+
+        let nodes: Vec<_> = m.node_ids().collect();
+        let node = nodes[(seed as usize / 7) % nodes.len()];
+        // Fair share fills every node, so some app has a thread to give up.
+        let app = (0..apps.len())
+            .map(|i| (i + seed as usize) % apps.len())
+            .find(|&i| base.get(i, node) > 0)
+            .unwrap();
+        let mut candidate = base.clone();
+        candidate.set(app, node, base.get(app, node) - 1);
+
+        let delta = oracle.score_move(&candidate, &[node]).unwrap();
+        let full = score(&m, &apps, &candidate, &objective).unwrap();
+        prop_assert!(
+            (delta - full).abs() <= 1e-9 * full.abs().max(1.0),
+            "delta {delta} vs full {full}"
+        );
+        prop_assert!(oracle.counters().delta_solves >= 1);
+
+        // After accepting, a move touching two node columns at once must
+        // also match a from-scratch solve.
+        let other = nodes[((seed as usize / 7) + 1) % nodes.len()];
+        let app2 = (0..apps.len())
+            .map(|i| (i + seed as usize / 3) % apps.len())
+            .find(|&i| candidate.get(i, other) > 0)
+            .unwrap();
+        let mut second = candidate.clone();
+        second.set(app2, other, candidate.get(app2, other) - 1);
+        if candidate.get(app, node) > 0 {
+            second.set(app, node, candidate.get(app, node) - 1);
+        }
+        oracle.accept(&candidate, &[node]).unwrap();
+        let delta2 = oracle.score_move(&second, &[node, other]).unwrap();
+        let full2 = score(&m, &apps, &second, &objective).unwrap();
+        prop_assert!(
+            (delta2 - full2).abs() <= 1e-9 * full2.abs().max(1.0),
+            "two-column delta {delta2} vs full {full2}"
+        );
     }
 
     /// Enumeration counts match the actual number of yielded items.

@@ -21,6 +21,8 @@
 //! Table III model-vs-measurement comparison.
 
 use crate::{Result, Scenario, SimConfig, SimError, SimResult, Simulation};
+use coop_alloc::search::{HillClimb, ModelOracle};
+use coop_alloc::{Objective, ScoreCache};
 use coop_telemetry::{
     DriftConfig, DriftReport, ModelObservatory, ProvenanceRecord, Residual, SeriesValue,
     TelemetryHub,
@@ -54,6 +56,13 @@ pub struct SupervisorConfig {
     pub perturbations: Vec<Perturbation>,
     /// Drift-detector tuning shared by every series.
     pub drift: DriftConfig,
+    /// Re-run the allocation search each tick instead of replaying the
+    /// scenario's fixed assignment. The search warm-starts from the
+    /// current assignment and shares one score cache and delta-solver
+    /// context across the whole run, so steady-state ticks cost a handful
+    /// of incremental solves; per-tick solver-work counters are recorded
+    /// as `search/*` inputs on each provenance record.
+    pub reoptimize: bool,
 }
 
 impl Default for SupervisorConfig {
@@ -63,6 +72,7 @@ impl Default for SupervisorConfig {
             duration_s: 0.2,
             perturbations: Vec::new(),
             drift: DriftConfig::default(),
+            reoptimize: false,
         }
     }
 }
@@ -197,15 +207,34 @@ pub fn run_supervised(
         1024,
     ));
     let named = &scenario.assignments[0];
-    let assignment = ThreadAssignment::from_matrix(named.threads.clone());
+    let mut assignment = ThreadAssignment::from_matrix(named.threads.clone());
     let specs: Vec<AppSpec> = scenario.apps.iter().map(|a| a.spec.clone()).collect();
 
-    // The model predicts once from the nominal machine: the assignment is
-    // static, so the prediction only changes if the machine does — and the
-    // whole point is that the model does not know about perturbations.
+    // The model predicts from the nominal machine: the prediction only
+    // changes if the assignment does (under `reoptimize`) — the whole
+    // point is that the model does not know about perturbations.
     let report = solve(&scenario.machine, &specs, &assignment)?;
     let mut prediction_template = report.to_prediction();
     prediction_template.assignment = format!("{} {:?}", named.name, named.threads);
+
+    // Under `reoptimize`, one oracle (and thus one score cache and one
+    // delta-solver base) persists across every tick of the run.
+    let objective = Objective::TotalGflops;
+    let mut search_oracle = if config.reoptimize {
+        let oracle = ModelOracle::new(&scenario.machine, &specs, &objective)
+            .map_err(|e| SimError::Calibration {
+                reason: format!("building the search oracle: {e}"),
+            })?
+            .with_min_threads(1);
+        let cache = Arc::new(ScoreCache::new(oracle.fingerprint()));
+        Some(
+            oracle
+                .with_cache(cache)
+                .expect("a freshly keyed cache always matches its oracle"),
+        )
+    } else {
+        None
+    };
 
     // Map simulated seconds onto the hub clock exactly like the engine's
     // own telemetry does, so provenance/alarm events interleave with the
@@ -224,11 +253,49 @@ pub fn run_supervised(
         let machine = config.machine_at(&scenario.machine, start_s)?;
         let perturbed = machine != scenario.machine;
 
+        let mut prediction = prediction_template.clone();
+        if let Some(oracle) = search_oracle.as_mut() {
+            // Warm re-search from the current assignment on the nominal
+            // machine (the model's view); a deterministic per-tick seed
+            // keeps runs reproducible.
+            let found = HillClimb::new()
+                .with_iterations(600)
+                .with_seed(0xc0de ^ tick)
+                .with_start(assignment.clone())
+                .run_model(&scenario.machine, oracle)
+                .map_err(|e| SimError::Calibration {
+                    reason: format!("re-optimizing tick {tick}: {e}"),
+                })?;
+            let counters = found.counters;
+            if found.assignment != assignment {
+                assignment = found.assignment;
+                let report = solve(&scenario.machine, &specs, &assignment)?;
+                prediction_template = report.to_prediction();
+                prediction_template.assignment =
+                    format!("{} {:?}", named.name, assignment.matrix());
+                prediction = prediction_template.clone();
+            }
+            prediction.inputs.push((
+                "search/full_solves".to_string(),
+                counters.full_solves as f64,
+            ));
+            prediction.inputs.push((
+                "search/delta_solves".to_string(),
+                counters.delta_solves as f64,
+            ));
+            prediction
+                .inputs
+                .push(("search/cache_hits".to_string(), counters.cache_hits as f64));
+            prediction
+                .inputs
+                .push(("search/warm_start".to_string(), 1.0));
+        }
+
         let id = observatory.open_decision_at(
             tick,
             "memsim-supervisor",
             &format!("simulate {period:.4}s on {}", machine.name()),
-            prediction_template.clone(),
+            prediction,
             ts(start_s),
         );
 
@@ -305,6 +372,7 @@ mod tests {
             duration_s: 0.1,
             perturbations: Vec::new(),
             drift: DriftConfig::default(),
+            reoptimize: false,
         }
     }
 
@@ -362,6 +430,53 @@ mod tests {
         let result = run_supervised(&scenario, &config, hub).unwrap();
         assert!(result.ticks[..5].iter().all(|t| !t.perturbed));
         assert!(result.ticks[5..].iter().all(|t| t.perturbed));
+    }
+
+    #[test]
+    fn reoptimizing_run_records_search_cost_in_provenance() {
+        let mut config = quiet_config();
+        config.reoptimize = true;
+        let hub = Arc::new(TelemetryHub::new());
+        let result = run_supervised(&base_scenario(), &config, hub).unwrap();
+        assert_eq!(result.ticks.len(), 10);
+        let records = result.records();
+        assert_eq!(records.len(), 10);
+        let solves_of = |r: &ProvenanceRecord, key: &str| -> f64 {
+            r.prediction
+                .inputs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|&(_, v)| v)
+                .expect("search counters recorded")
+        };
+        for record in &records {
+            assert!(solves_of(record, "search/warm_start") == 1.0);
+            // Every tick does some solver work, but the persistent
+            // delta/cache context keeps full solves to (at most) the one
+            // base rebase per tick.
+            let full = solves_of(record, "search/full_solves");
+            let delta = solves_of(record, "search/delta_solves");
+            let hits = solves_of(record, "search/cache_hits");
+            assert!(full + delta + hits > 0.0, "search did no work");
+            assert!(
+                delta + hits >= full,
+                "warm re-solves should be dominated by incremental work \
+                 (full={full}, delta={delta}, hits={hits})"
+            );
+        }
+        // Determinism: the same config and scenario replays identically.
+        let hub2 = Arc::new(TelemetryHub::new());
+        let again = run_supervised(&base_scenario(), &config, hub2).unwrap();
+        let a: Vec<String> = records
+            .iter()
+            .map(|r| r.prediction.assignment.clone())
+            .collect();
+        let b: Vec<String> = again
+            .records()
+            .iter()
+            .map(|r| r.prediction.assignment.clone())
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -113,6 +113,27 @@ impl ThreadAssignment {
         &self.threads
     }
 
+    /// Copies `other`'s counts into `self` without reallocating, provided
+    /// both assignments have the same `[app][node]` shape.
+    ///
+    /// This is the allocation-free alternative to `*self = other.clone()`
+    /// used by the local-search hot loops, which mutate a scratch candidate
+    /// and reset it from the incumbent between moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, other: &ThreadAssignment) {
+        assert_eq!(
+            self.threads.len(),
+            other.threads.len(),
+            "copy_from: app count mismatch"
+        );
+        for (dst, src) in self.threads.iter_mut().zip(&other.threads) {
+            dst.copy_from_slice(src);
+        }
+    }
+
     /// Checks shape (every row spans every node) and the no-over-subscription
     /// assumption (per-node totals do not exceed the node's core count).
     pub fn validate(&self, machine: &Machine) -> Result<()> {

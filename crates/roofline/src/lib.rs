@@ -63,6 +63,7 @@
 
 mod app;
 mod assignment;
+mod delta;
 mod error;
 pub mod explain;
 mod report;
@@ -72,9 +73,12 @@ pub mod trace;
 
 pub use app::{AppSpec, DataPlacement};
 pub use assignment::ThreadAssignment;
+pub use delta::DeltaSolver;
 pub use error::ModelError;
 pub use report::{AppReport, NodeReport, SolveReport, ThreadGrant};
-pub use solver::{solve, solve_with_options, BaselinePolicy, SolveOptions};
+pub use solver::{
+    solve, solve_gflops, solve_with_options, BaselinePolicy, SolveOptions, SolveScratch,
+};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, ModelError>;

@@ -51,23 +51,61 @@ pub struct SolveOptions {
     pub baseline: BaselinePolicy,
 }
 
-/// Internal: one (app, home) thread group being solved.
-struct Group {
-    app: usize,
-    home: NodeId,
-    count: usize,
-    /// Demand one thread directs at each target node, GB/s.
+/// Reusable flat-array workspace for the arbitration phases.
+///
+/// A solve needs per-`(app, home)` thread counts, per-`(app, home, target)`
+/// demand/grant matrices and a handful of per-node accumulators. Allocating
+/// them per candidate dominates search cost, so the solver keeps them in one
+/// scratch object the caller can reuse across candidates: [`solve_gflops`]
+/// writes into a borrowed `SolveScratch` and returns a slice view instead of
+/// building a [`SolveReport`].
+///
+/// Layouts (row-major): `counts[app * nodes + home]`,
+/// `demand_to[(app * nodes + home) * nodes + target]` (same for grants).
+#[derive(Debug, Default, Clone)]
+pub struct SolveScratch {
+    num_apps: usize,
+    num_nodes: usize,
+    counts: Vec<usize>,
     demand_to: Vec<f64>,
-    /// Grant one thread receives from each target node, GB/s.
     granted_to: Vec<f64>,
+    demand_from: Vec<f64>,
+    served_from: Vec<f64>,
+    served_remote: Vec<f64>,
+    served_local: Vec<f64>,
+    baseline: Vec<f64>,
+    node_gflops: Vec<f64>,
+    app_gflops: Vec<f64>,
+    app_bandwidth: Vec<f64>,
 }
 
-impl Group {
-    fn demand_total(&self) -> f64 {
-        self.demand_to.iter().sum()
+impl SolveScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        SolveScratch::default()
     }
-    fn granted_total(&self) -> f64 {
-        self.granted_to.iter().sum()
+
+    /// Per-app GFLOPS totals from the most recent solve.
+    pub fn app_gflops(&self) -> &[f64] {
+        &self.app_gflops
+    }
+
+    fn resize(&mut self, num_apps: usize, num_nodes: usize) {
+        self.num_apps = num_apps;
+        self.num_nodes = num_nodes;
+        self.counts.resize(num_apps * num_nodes, 0);
+        self.demand_to.resize(num_apps * num_nodes * num_nodes, 0.0);
+        self.granted_to
+            .resize(num_apps * num_nodes * num_nodes, 0.0);
+        self.demand_from.resize(num_nodes, 0.0);
+        self.served_from.resize(num_nodes, 0.0);
+        self.served_remote.resize(num_nodes, 0.0);
+        self.served_local.resize(num_nodes, 0.0);
+        self.baseline.resize(num_nodes, 0.0);
+        self.node_gflops.resize(num_nodes, 0.0);
+        self.app_gflops.resize(num_apps, 0.0);
+        self.app_bandwidth.resize(num_apps, 0.0);
     }
 }
 
@@ -80,14 +118,17 @@ pub fn solve(
     solve_with_options(machine, apps, assignment, SolveOptions::default())
 }
 
-/// Runs the model: validates inputs, arbitrates bandwidth on every node,
-/// and rolls the grants up into a [`SolveReport`].
-pub fn solve_with_options(
+/// The arbitration engine: validates inputs, fills the scratch demand/count
+/// matrices, and runs both phases plus the GFLOPS rollup. All accumulations
+/// iterate `(app asc, home asc)` skipping empty groups, so results are
+/// bit-identical to the historical `Vec<Group>` implementation.
+pub(crate) fn arbitrate(
     machine: &Machine,
     apps: &[AppSpec],
     assignment: &ThreadAssignment,
     options: SolveOptions,
-) -> Result<SolveReport> {
+    s: &mut SolveScratch,
+) -> Result<()> {
     for app in apps {
         app.validate(machine)?;
     }
@@ -99,175 +140,250 @@ pub fn solve_with_options(
         });
     }
 
+    let num_apps = apps.len();
     let num_nodes = machine.num_nodes();
     let peak = machine.core_peak_gflops();
+    s.resize(num_apps, num_nodes);
 
-    // Materialize all non-empty thread groups with their per-target demands.
-    let mut groups: Vec<Group> = Vec::new();
+    // Per-thread demand toward each target: independent of thread counts,
+    // but cheap enough to refresh every solve (keeps the scratch stateless
+    // with respect to the (machine, apps) context).
     for (a, app) in apps.iter().enumerate() {
         let demand = app.demand_per_thread_gbs(peak);
-        for home in machine.node_ids() {
-            let count = assignment.get(a, home);
-            if count == 0 {
-                continue;
+        for home in 0..num_nodes {
+            let row = (a * num_nodes + home) * num_nodes;
+            for t in 0..num_nodes {
+                s.demand_to[row + t] =
+                    demand * app.placement.fraction(NodeId(home), NodeId(t), num_nodes);
             }
-            let demand_to: Vec<f64> = (0..num_nodes)
-                .map(|t| demand * app.placement.fraction(home, NodeId(t), num_nodes))
-                .collect();
-            groups.push(Group {
-                app: a,
-                home,
-                count,
-                demand_to,
-                granted_to: vec![0.0; num_nodes],
-            });
+        }
+    }
+    s.granted_to.fill(0.0);
+    for a in 0..num_apps {
+        for home in 0..num_nodes {
+            s.counts[a * num_nodes + home] = assignment.get(a, NodeId(home));
         }
     }
 
-    let mut node_reports: Vec<NodeReport> = machine
-        .nodes()
-        .map(|n| NodeReport {
-            node: n.id,
-            capacity_gbs: n.bandwidth_gbs,
-            served_remote_gbs: 0.0,
-            served_local_gbs: 0.0,
-            baseline_gbs: 0.0,
-            gflops: 0.0,
-        })
-        .collect();
-
     // ---- Phase 1: remote-first service on every node -------------------
-    for target in machine.node_ids() {
-        let capacity = machine.node(target).bandwidth_gbs;
+    for target in 0..num_nodes {
+        let capacity = machine.node(NodeId(target)).bandwidth_gbs;
 
         // Aggregate remote demand per source node, capped by the link.
         // served[s] = min(sum of demand from node s, link(s, target)).
-        let mut demand_from = vec![0.0f64; num_nodes];
-        for g in &groups {
-            if g.home != target {
-                demand_from[g.home.0] += g.count as f64 * g.demand_to[target.0];
+        s.demand_from.fill(0.0);
+        for a in 0..num_apps {
+            for home in 0..num_nodes {
+                let count = s.counts[a * num_nodes + home];
+                if count == 0 || home == target {
+                    continue;
+                }
+                s.demand_from[home] +=
+                    count as f64 * s.demand_to[(a * num_nodes + home) * num_nodes + target];
             }
         }
-        let mut served_from: Vec<f64> = (0..num_nodes)
-            .map(|s| {
-                if s == target.0 {
-                    0.0
-                } else {
-                    demand_from[s].min(machine.links().link(NodeId(s), target))
-                }
-            })
-            .collect();
+        for src in 0..num_nodes {
+            s.served_from[src] = if src == target {
+                0.0
+            } else {
+                s.demand_from[src].min(machine.links().link(NodeId(src), NodeId(target)))
+            };
+        }
 
         // If remote service alone would exceed capacity, scale it down.
-        let total_remote: f64 = served_from.iter().sum();
+        let total_remote: f64 = s.served_from.iter().sum();
         if total_remote > capacity {
             let scale = capacity / total_remote;
-            for s in served_from.iter_mut() {
-                *s *= scale;
+            for v in s.served_from.iter_mut() {
+                *v *= scale;
             }
         }
 
         // Distribute each source's served bandwidth over its groups,
         // proportionally to their demand toward this target.
-        for g in groups.iter_mut() {
-            if g.home == target {
-                continue;
-            }
-            let d = g.count as f64 * g.demand_to[target.0];
-            if d > EPS && demand_from[g.home.0] > EPS {
-                let share = served_from[g.home.0] * d / demand_from[g.home.0];
-                g.granted_to[target.0] = share / g.count as f64;
+        for a in 0..num_apps {
+            for home in 0..num_nodes {
+                let count = s.counts[a * num_nodes + home];
+                if count == 0 || home == target {
+                    continue;
+                }
+                let idx = (a * num_nodes + home) * num_nodes + target;
+                let d = count as f64 * s.demand_to[idx];
+                if d > EPS && s.demand_from[home] > EPS {
+                    let share = s.served_from[home] * d / s.demand_from[home];
+                    s.granted_to[idx] = share / count as f64;
+                }
             }
         }
 
-        node_reports[target.0].served_remote_gbs = served_from.iter().sum();
+        s.served_remote[target] = s.served_from.iter().sum();
     }
 
     // ---- Phase 2: local arbitration on every node -----------------------
-    for target in machine.node_ids() {
-        let node = machine.node(target);
-        let remaining = (node.bandwidth_gbs - node_reports[target.0].served_remote_gbs).max(0.0);
+    for target in 0..num_nodes {
+        let node = machine.node(NodeId(target));
+        let remaining = (node.bandwidth_gbs - s.served_remote[target]).max(0.0);
 
-        // Collect indices of groups homed here with local demand.
-        let local: Vec<usize> = groups
-            .iter()
-            .enumerate()
-            .filter(|(_, g)| g.home == target)
-            .map(|(i, _)| i)
-            .collect();
-
-        let thread_count: usize = local.iter().map(|&i| groups[i].count).sum();
+        let mut thread_count = 0usize;
+        for a in 0..num_apps {
+            thread_count += s.counts[a * num_nodes + target];
+        }
         let divisor = match options.baseline {
             BaselinePolicy::PerCore => node.num_cores(),
             BaselinePolicy::PerActiveThread => thread_count.max(1),
         };
         let baseline = remaining / divisor as f64;
-        node_reports[target.0].baseline_gbs = baseline;
+        s.baseline[target] = baseline;
 
         // Stage 2a: everyone gets min(demand, baseline).
         let mut used = 0.0f64;
-        for &i in &local {
-            let g = &mut groups[i];
-            let grant = g.demand_to[target.0].min(baseline);
-            g.granted_to[target.0] = grant;
-            used += g.count as f64 * grant;
+        for a in 0..num_apps {
+            let count = s.counts[a * num_nodes + target];
+            if count == 0 {
+                continue;
+            }
+            let idx = (a * num_nodes + target) * num_nodes + target;
+            let grant = s.demand_to[idx].min(baseline);
+            s.granted_to[idx] = grant;
+            used += count as f64 * grant;
         }
 
         // Stage 2b: split the remainder proportionally to unmet need.
         let mut rest = (remaining - used).max(0.0);
-        let total_need: f64 = local
-            .iter()
-            .map(|&i| {
-                let g = &groups[i];
-                g.count as f64 * (g.demand_to[target.0] - g.granted_to[target.0]).max(0.0)
-            })
-            .sum();
+        let mut total_need = 0.0f64;
+        for a in 0..num_apps {
+            let count = s.counts[a * num_nodes + target];
+            if count == 0 {
+                continue;
+            }
+            let idx = (a * num_nodes + target) * num_nodes + target;
+            total_need += count as f64 * (s.demand_to[idx] - s.granted_to[idx]).max(0.0);
+        }
         if total_need > EPS && rest > EPS {
             let ratio = (rest / total_need).min(1.0);
-            for &i in &local {
-                let g = &mut groups[i];
-                let need = (g.demand_to[target.0] - g.granted_to[target.0]).max(0.0);
+            for a in 0..num_apps {
+                let count = s.counts[a * num_nodes + target];
+                if count == 0 {
+                    continue;
+                }
+                let idx = (a * num_nodes + target) * num_nodes + target;
+                let need = (s.demand_to[idx] - s.granted_to[idx]).max(0.0);
                 let extra = ratio * need;
-                g.granted_to[target.0] += extra;
-                rest -= g.count as f64 * extra;
+                s.granted_to[idx] += extra;
+                rest -= count as f64 * extra;
             }
         }
+        let _ = rest;
 
-        node_reports[target.0].served_local_gbs = local
-            .iter()
-            .map(|&i| groups[i].count as f64 * groups[i].granted_to[target.0])
-            .sum();
+        let mut served_local = 0.0f64;
+        for a in 0..num_apps {
+            let count = s.counts[a * num_nodes + target];
+            if count == 0 {
+                continue;
+            }
+            let idx = (a * num_nodes + target) * num_nodes + target;
+            served_local += count as f64 * s.granted_to[idx];
+        }
+        s.served_local[target] = served_local;
     }
 
     // ---- Roll up: per-thread GFLOPS, per-app and per-node totals --------
-    let mut app_reports: Vec<AppReport> = apps
+    s.app_gflops.fill(0.0);
+    s.app_bandwidth.fill(0.0);
+    s.node_gflops.fill(0.0);
+    for (a, app) in apps.iter().enumerate() {
+        for home in 0..num_nodes {
+            let count = s.counts[a * num_nodes + home];
+            if count == 0 {
+                continue;
+            }
+            let row = (a * num_nodes + home) * num_nodes;
+            let granted: f64 = s.granted_to[row..row + num_nodes].iter().sum();
+            let gflops = (app.ai * granted).min(peak);
+            s.app_gflops[a] += count as f64 * gflops;
+            s.app_bandwidth[a] += count as f64 * granted;
+            s.node_gflops[home] += count as f64 * gflops;
+        }
+    }
+
+    Ok(())
+}
+
+/// Allocation-free solve for search hot loops: arbitrates into the caller's
+/// [`SolveScratch`] and returns the per-app GFLOPS slice. Produces exactly
+/// the values `solve_with_options` would report as `AppReport::gflops`,
+/// without cloning app names, building reports, or allocating per candidate
+/// (after the scratch buffers have grown once).
+pub fn solve_gflops<'a>(
+    machine: &Machine,
+    apps: &[AppSpec],
+    assignment: &ThreadAssignment,
+    options: SolveOptions,
+    scratch: &'a mut SolveScratch,
+) -> Result<&'a [f64]> {
+    arbitrate(machine, apps, assignment, options, scratch)?;
+    Ok(&scratch.app_gflops)
+}
+
+/// Runs the model: validates inputs, arbitrates bandwidth on every node,
+/// and rolls the grants up into a [`SolveReport`].
+pub fn solve_with_options(
+    machine: &Machine,
+    apps: &[AppSpec],
+    assignment: &ThreadAssignment,
+    options: SolveOptions,
+) -> Result<SolveReport> {
+    let mut s = SolveScratch::new();
+    arbitrate(machine, apps, assignment, options, &mut s)?;
+
+    let num_nodes = machine.num_nodes();
+    let peak = machine.core_peak_gflops();
+
+    let app_reports: Vec<AppReport> = apps
         .iter()
         .enumerate()
         .map(|(a, app)| AppReport {
             name: app.name.clone(),
             ai: app.ai,
             threads: assignment.app_total(a),
-            gflops: 0.0,
-            bandwidth_gbs: 0.0,
+            gflops: s.app_gflops[a],
+            bandwidth_gbs: s.app_bandwidth[a],
         })
         .collect();
 
-    let mut grants = Vec::with_capacity(groups.len());
-    for g in &groups {
-        let granted = g.granted_total();
-        let gflops = (apps[g.app].ai * granted).min(peak);
-        app_reports[g.app].gflops += g.count as f64 * gflops;
-        app_reports[g.app].bandwidth_gbs += g.count as f64 * granted;
-        node_reports[g.home.0].gflops += g.count as f64 * gflops;
-        grants.push(ThreadGrant {
-            app: g.app,
-            home: g.home,
-            count: g.count,
-            demand_gbs: g.demand_total(),
-            granted_gbs: granted,
-            granted_by_target: g.granted_to.clone(),
-            gflops,
-        });
+    let node_reports: Vec<NodeReport> = machine
+        .nodes()
+        .map(|n| NodeReport {
+            node: n.id,
+            capacity_gbs: n.bandwidth_gbs,
+            served_remote_gbs: s.served_remote[n.id.0],
+            served_local_gbs: s.served_local[n.id.0],
+            baseline_gbs: s.baseline[n.id.0],
+            gflops: s.node_gflops[n.id.0],
+        })
+        .collect();
+
+    let mut grants = Vec::new();
+    for (a, app) in apps.iter().enumerate() {
+        for home in 0..num_nodes {
+            let count = s.counts[a * num_nodes + home];
+            if count == 0 {
+                continue;
+            }
+            let row = (a * num_nodes + home) * num_nodes;
+            let granted_by_target = s.granted_to[row..row + num_nodes].to_vec();
+            let granted: f64 = granted_by_target.iter().sum();
+            let demand: f64 = s.demand_to[row..row + num_nodes].iter().sum();
+            grants.push(ThreadGrant {
+                app: a,
+                home: NodeId(home),
+                count,
+                demand_gbs: demand,
+                granted_gbs: granted,
+                granted_by_target,
+                gflops: (app.ai * granted).min(peak),
+            });
+        }
     }
 
     Ok(SolveReport {

@@ -54,7 +54,7 @@ fn main() {
     // machine-throughput optimum starves the memory-bound apps entirely;
     // with a keep-everyone-alive floor it recovers the paper's (1,1,1,5).
     let best = ExhaustiveSearch::new()
-        .run(&machine, &apps, Objective::TotalGflops)
+        .run(&machine, &apps, &Objective::TotalGflops)
         .unwrap();
     println!(
         "\nexhaustive optimum (unconstrained): {:.1} GFLOPS in {} evaluations",
@@ -66,7 +66,7 @@ fn main() {
         if starved > 0 {
             return Ok(-(starved as f64) * 1e12);
         }
-        score(&machine, &apps, a, Objective::TotalGflops)
+        score(&machine, &apps, a, &Objective::TotalGflops)
     };
     let fair_best = GreedySearch::new()
         .run_with_oracle(&machine, apps.len(), &mut oracle)

@@ -20,12 +20,12 @@ fn searches_are_competitive_with_named_strategies() {
         let machine = machine_gen.generate(seed);
         let apps = mix_gen.generate(&machine, seed);
         let greedy = search::GreedySearch::new()
-            .run(&machine, &apps, Objective::TotalGflops)
+            .run(&machine, &apps, &Objective::TotalGflops)
             .unwrap();
         let hc = search::HillClimb::new()
             .with_iterations(600)
             .with_seed(seed)
-            .run(&machine, &apps, Objective::TotalGflops)
+            .run(&machine, &apps, &Objective::TotalGflops)
             .unwrap();
 
         for (label, strat) in [
@@ -35,7 +35,7 @@ fn searches_are_competitive_with_named_strategies() {
                 strategies::proportional(&machine, &vec![1.0; apps.len()]),
             ),
         ] {
-            let s = score(&machine, &apps, &strat.unwrap(), Objective::TotalGflops).unwrap();
+            let s = score(&machine, &apps, &strat.unwrap(), &Objective::TotalGflops).unwrap();
             // Greedy is myopic (it stops at the first non-improving
             // addition, which can be a local optimum), so it may fall a
             // little short of a named strategy on some mixes — but never
@@ -72,14 +72,14 @@ fn exhaustive_uniform_bounds_uniform_strategies() {
         let machine = machine_gen.generate(seed);
         let apps = mix_gen.generate(&machine, seed);
         let best = search::ExhaustiveSearch::new()
-            .run(&machine, &apps, Objective::TotalGflops)
+            .run(&machine, &apps, &Objective::TotalGflops)
             .unwrap();
         // Any uniform allocation is bounded by the exhaustive optimum.
         let cores = machine.node(numa_topology::NodeId(0)).num_cores();
         let k = cores / apps.len();
         if k > 0 {
             let even = strategies::uniform_per_node(&machine, &vec![k; apps.len()]).unwrap();
-            let s = score(&machine, &apps, &even, Objective::TotalGflops).unwrap();
+            let s = score(&machine, &apps, &even, &Objective::TotalGflops).unwrap();
             assert!(best.score >= s - 1e-6, "seed {seed}");
         }
     }
@@ -101,11 +101,11 @@ fn hill_climb_beats_its_seed_start_on_numa_bad_mixes() {
         let machine = machine_gen.generate(seed);
         let apps = mix_gen.generate(&machine, seed);
         let start = strategies::fair_share(&machine, apps.len()).unwrap();
-        let s0 = score(&machine, &apps, &start, Objective::TotalGflops).unwrap();
+        let s0 = score(&machine, &apps, &start, &Objective::TotalGflops).unwrap();
         let hc = search::HillClimb::new()
             .with_iterations(800)
             .with_seed(seed)
-            .run(&machine, &apps, Objective::TotalGflops)
+            .run(&machine, &apps, &Objective::TotalGflops)
             .unwrap();
         assert!(
             hc.score >= s0 - 1e-9,
@@ -134,7 +134,7 @@ fn max_min_objective_never_starves_anyone_at_optimum() {
         let best = search::ExhaustiveSearch::new()
             .full_space()
             .with_limit(5_000_000)
-            .run(&machine, &apps, Objective::MinAppGflops)
+            .run(&machine, &apps, &Objective::MinAppGflops)
             .unwrap();
         // A max-min optimum with available capacity never leaves an app at
         // zero (giving it one thread strictly improves the min).
