@@ -1,0 +1,256 @@
+//! Scheduler A/B: the work-stealing overhaul (per-worker deques,
+//! event-counted parking, sharded task graph) against the legacy shared
+//! injector + 1 ms condvar poll, which is still available as
+//! [`SchedulerKind::SharedInjector`].
+//!
+//! Three graph shapes stress different scheduler paths:
+//!
+//! * **fan-out/fan-in** — rounds of `W` independent tasks joined by a
+//!   latch; contention on the ready queues, the shape where a single
+//!   shared injector serializes everyone.
+//! * **chain** — a linear dependency chain; pure wakeup latency, one
+//!   ready task at a time.
+//! * **random DAG** — tasks depending on up to two of the last 64 finish
+//!   events (deterministic LCG); mixed subscription/fast-path traffic on
+//!   the sharded graph.
+//!
+//! Each shape runs on 1, 4 and 16 workers under both schedulers; the
+//! manual harness reports tasks/sec and the new/old speedup per cell to
+//! `BENCH_runtime_sched.json` (override the path via the
+//! `BENCH_RUNTIME_SCHED_JSON` environment variable). The JSON is also
+//! produced under `cargo bench -- --test` with shrunk sizes so CI can
+//! archive it from a smoke run.
+
+use coop_runtime::{Runtime, RuntimeConfig, SchedulerKind};
+use criterion::Criterion;
+use numa_topology::{Machine, MachineBuilder};
+use std::time::Instant;
+
+fn machine(nodes: usize, cores_per_node: usize) -> Machine {
+    MachineBuilder::new()
+        .symmetric_nodes(nodes, cores_per_node)
+        .core_peak_gflops(1.0)
+        .node_bandwidth_gbs(10.0)
+        .uniform_link_gbs(5.0)
+        .build()
+        .expect("symmetric bench machine")
+}
+
+/// The three machine sizes of the sweep: (label, machine). Worker count
+/// equals total cores.
+fn sweep_machines() -> Vec<(&'static str, Machine)> {
+    vec![
+        ("1", machine(1, 1)),
+        ("4", machine(2, 2)),
+        ("16", machine(2, 8)),
+    ]
+}
+
+fn start(name: &str, m: &Machine, kind: SchedulerKind) -> Runtime {
+    Runtime::start(RuntimeConfig::new(name, m.clone()).with_scheduler(kind))
+        .expect("runtime starts")
+}
+
+/// Deterministic LCG (MMIX constants) for the random-DAG shape.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+/// Rounds of `width` no-op tasks, each round gated on the previous
+/// round's latch. Returns the task count.
+fn run_fanout(rt: &Runtime, rounds: usize, width: usize) -> u64 {
+    let mut gate: Option<coop_runtime::Event> = None;
+    for r in 0..rounds {
+        let joined = rt.new_latch_event(width as u64);
+        for i in 0..width {
+            let mut b = rt.task(&format!("f{r}-{i}")).body({
+                let joined = joined.clone();
+                move |ctx| ctx.satisfy(&joined)
+            });
+            if let Some(g) = &gate {
+                b = b.depends_on(g);
+            }
+            b.spawn().expect("spawn fan-out task");
+        }
+        gate = Some(joined);
+    }
+    rt.wait_quiescent().expect("fan-out drains");
+    (rounds * width) as u64
+}
+
+/// A linear chain of `len` tasks linked by finish events.
+fn run_chain(rt: &Runtime, len: usize) -> u64 {
+    let mut prev: Option<coop_runtime::Event> = None;
+    for i in 0..len {
+        let mut b = rt.task(&format!("c{i}")).body(|_| {});
+        if let Some(p) = &prev {
+            b = b.depends_on(p);
+        }
+        let (_, finish) = b.spawn_with_finish().expect("spawn chain task");
+        prev = Some(finish);
+    }
+    rt.wait_quiescent().expect("chain drains");
+    len as u64
+}
+
+/// `count` tasks, each depending on up to two of the last 64 finish
+/// events, with occasional affinity hints and high priorities.
+fn run_random_dag(rt: &Runtime, count: usize, nodes: usize) -> u64 {
+    const RING: usize = 64;
+    let mut rng = Lcg(0x0da6_0da6_0da6_0da6_u64);
+    let mut recent: Vec<coop_runtime::Event> = Vec::with_capacity(RING);
+    for i in 0..count {
+        let r = rng.next();
+        let mut b = rt.task(&format!("d{i}")).body(|_| {});
+        if r % 3 == 0 {
+            b = b.affinity(numa_topology::NodeId((r as usize >> 3) % nodes));
+        }
+        if r % 13 == 0 {
+            b = b.high_priority();
+        }
+        for pick in 0..(r % 3) {
+            if !recent.is_empty() {
+                let idx = ((r >> (8 + 8 * pick)) as usize) % recent.len();
+                b = b.depends_on(&recent[idx]);
+            }
+        }
+        let (_, finish) = b.spawn_with_finish().expect("spawn dag task");
+        if recent.len() < RING {
+            recent.push(finish);
+        } else {
+            recent[i % RING] = finish;
+        }
+    }
+    rt.wait_quiescent().expect("dag drains");
+    count as u64
+}
+
+/// Wall-clock one workload (spawn + drain) on a fresh runtime; best of
+/// `repeats`. Returns tasks/sec.
+fn measure(
+    label: &str,
+    m: &Machine,
+    kind: SchedulerKind,
+    repeats: usize,
+    run: impl Fn(&Runtime) -> u64,
+) -> f64 {
+    let mut best = 0.0f64;
+    for rep in 0..repeats.max(1) {
+        let rt = start(&format!("{label}-{rep}"), m, kind);
+        let t0 = Instant::now();
+        let tasks = run(&rt);
+        let rate = tasks as f64 / t0.elapsed().as_secs_f64();
+        rt.shutdown();
+        best = best.max(rate);
+    }
+    best
+}
+
+fn scheduler_report(smoke: bool) -> serde_json::Value {
+    let (rounds, width, chain_len, dag_tasks, repeats) = if smoke {
+        (10, 50, 500, 2_000, 1)
+    } else {
+        (50, 400, 4_000, 40_000, 3)
+    };
+    let mut cells = Vec::new();
+    for (workers, m) in sweep_machines() {
+        let nodes = m.num_nodes();
+        let shapes: Vec<(&str, Box<dyn Fn(&Runtime) -> u64>)> = vec![
+            (
+                "fanout_fanin",
+                Box::new(move |rt: &Runtime| run_fanout(rt, rounds, width)),
+            ),
+            (
+                "chain",
+                Box::new(move |rt: &Runtime| run_chain(rt, chain_len)),
+            ),
+            (
+                "random_dag",
+                Box::new(move |rt: &Runtime| run_random_dag(rt, dag_tasks, nodes)),
+            ),
+        ];
+        for (shape, run) in shapes {
+            let new_rate = measure(
+                &format!("ws-{shape}-{workers}w"),
+                &m,
+                SchedulerKind::WorkStealing,
+                repeats,
+                &run,
+            );
+            let old_rate = measure(
+                &format!("legacy-{shape}-{workers}w"),
+                &m,
+                SchedulerKind::SharedInjector,
+                repeats,
+                &run,
+            );
+            let speedup = new_rate / old_rate.max(1e-9);
+            println!(
+                "{shape:>13} @ {workers:>2} workers: work-stealing {new_rate:>12.0} t/s, \
+                 shared-injector {old_rate:>12.0} t/s, speedup {speedup:.2}x"
+            );
+            cells.push(serde_json::json!({
+                "shape": shape,
+                "workers": workers.parse::<u64>().expect("numeric label"),
+                "work_stealing_tasks_per_sec": new_rate,
+                "shared_injector_tasks_per_sec": old_rate,
+                "speedup": speedup,
+            }));
+        }
+    }
+    serde_json::json!({
+        "bench": "runtime_sched",
+        "smoke": smoke,
+        "workloads": {
+            "fanout_fanin": { "rounds": rounds, "width": width },
+            "chain": { "len": chain_len },
+            "random_dag": { "tasks": dag_tasks },
+        },
+        "cells": cells,
+    })
+}
+
+fn bench_schedulers(c: &mut Criterion, smoke: bool) {
+    let m = machine(2, 2);
+    let (rounds, width) = if smoke { (5, 20) } else { (20, 100) };
+    let mut g = c.benchmark_group("runtime_sched");
+    g.sample_size(10);
+    for (name, kind) in [
+        ("fanout_work_stealing", SchedulerKind::WorkStealing),
+        ("fanout_shared_injector", SchedulerKind::SharedInjector),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_with_large_drop(|| {
+                let rt = start(name, &m, kind);
+                run_fanout(&rt, rounds, width);
+                rt.shutdown();
+                rt
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_schedulers(&mut criterion, smoke);
+    criterion.final_summary();
+    let report = scheduler_report(smoke);
+    let path = std::env::var("BENCH_RUNTIME_SCHED_JSON")
+        .unwrap_or_else(|_| "BENCH_runtime_sched.json".to_string());
+    let body = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
+    match std::fs::write(&path, &body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+    println!("{body}");
+}

@@ -91,6 +91,11 @@ pub(crate) struct ControlShared {
     /// Per-worker bound core, if per-core binding is in use.
     pub worker_core: Vec<Option<CoreId>>,
     pub num_nodes: usize,
+    /// The scheduler's idle-worker registry, when the runtime uses
+    /// event-counted parking. Mode changes and shutdown must unpark
+    /// every worker: a parked worker is "running" in the census and has
+    /// to reach its gate checkpoint for a new blocking mode to converge.
+    pub parking: Option<Arc<crate::sched::ParkRegistry>>,
 }
 
 impl ControlHandle {
@@ -100,6 +105,7 @@ impl ControlHandle {
         num_nodes: usize,
         tracer: Arc<crate::trace::Tracer>,
         telemetry: Option<crate::telemetry::RuntimeTelemetry>,
+        parking: Option<Arc<crate::sched::ParkRegistry>>,
     ) -> Self {
         let workers = worker_node.len();
         let mut running_per_node = vec![0usize; num_nodes];
@@ -123,6 +129,7 @@ impl ControlHandle {
                 worker_node,
                 worker_core,
                 num_nodes,
+                parking,
             }),
         }
     }
@@ -142,6 +149,12 @@ impl ControlHandle {
         st.commands_applied += 1;
         drop(st);
         self.inner.gate.notify_all();
+        // Parked idle workers are not waiting on the gate condvar; wake
+        // them so a tightening mode converges at unpark speed rather
+        // than at the parking backstop timeout.
+        if let Some(parking) = &self.inner.parking {
+            parking.unpark_all();
+        }
         Ok(())
     }
 
@@ -221,6 +234,16 @@ impl ControlHandle {
     /// current mode says this worker should not run. Returns when the
     /// worker may run again (or shutdown began).
     pub(crate) fn checkpoint(&self, worker: usize) {
+        self.checkpoint_with(worker, || {});
+    }
+
+    /// Like [`checkpoint`](Self::checkpoint), but runs `on_block` once,
+    /// just before the worker first blocks (if it blocks at all). The
+    /// work-stealing worker flushes its batched stats there: a suspended
+    /// worker must not sit on unpublished completion counts, or
+    /// quiescence waiters would stall until it resumes.
+    pub(crate) fn checkpoint_with(&self, worker: usize, on_block: impl FnOnce()) {
+        let mut on_block = Some(on_block);
         let node = self.inner.worker_node[worker];
         let core = self.inner.worker_core[worker];
         let mut st = self.inner.state.lock();
@@ -260,11 +283,17 @@ impl ControlHandle {
                     st.blocked_since[worker] = Some((Instant::now(), mode_label(&st.mode)));
                     st.running_total -= 1;
                     st.running_per_node[node.0] -= 1;
+                    if let Some(f) = on_block.take() {
+                        f();
+                    }
                     // Tell waiters (wait_converged) the census changed.
                     self.inner.gate.notify_all();
                     self.inner.gate.wait(&mut st);
                 }
                 (true, true) => {
+                    if let Some(f) = on_block.take() {
+                        f();
+                    }
                     self.inner.gate.wait(&mut st);
                 }
                 (true, false) => {
@@ -288,6 +317,9 @@ impl ControlHandle {
         st.shutdown = true;
         drop(st);
         self.inner.gate.notify_all();
+        if let Some(parking) = &self.inner.parking {
+            parking.unpark_all();
+        }
     }
 
     pub(crate) fn snapshot(&self) -> (usize, Vec<usize>, usize) {
@@ -325,6 +357,7 @@ mod tests {
             2,
             Arc::new(crate::trace::Tracer::new()),
             None,
+            None,
         )
     }
 
@@ -361,6 +394,7 @@ mod tests {
             vec![None, None],
             2,
             Arc::new(crate::trace::Tracer::new()),
+            None,
             None,
         );
         assert!(nb

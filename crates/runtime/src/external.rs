@@ -148,7 +148,13 @@ impl Runtime {
     /// contained, stats recorded), but is not subject to thread control.
     ///
     /// The helper prefers the queues of `home` (pass the node whose data
-    /// the caller just touched for the §II cache-reuse effect).
+    /// the caller just touched for the §II cache-reuse effect). Under the
+    /// work-stealing scheduler the helper follows the same steal order as
+    /// a worker of `home` — including stealing from worker deques — but
+    /// owns no deque of its own and takes no part in the parking
+    /// protocol: it naps briefly instead of parking, because its exit
+    /// condition (the event satisfying) is not an enqueue and so would
+    /// never generate an unpark.
     pub fn help_until(&self, event: &Event, home: NodeId) {
         let shared = &self.shared;
         while !event.is_satisfied() {

@@ -61,6 +61,7 @@ mod error;
 mod event;
 mod external;
 mod runtime;
+mod sched;
 mod stats;
 mod task;
 mod telemetry;
@@ -73,6 +74,7 @@ pub use error::RuntimeError;
 pub use event::{Event, EventId, EventKind};
 pub use external::{ExternalRole, ExternalThread, ExternalThreadInfo};
 pub use runtime::{Runtime, RuntimeConfig, TaskContext};
+pub use sched::SchedulerKind;
 pub use stats::{NodeOccupancy, RuntimeStats};
 pub use task::{TaskBuilder, TaskId, TaskPriority};
 pub use trace::{Trace, TraceEvent};

@@ -3,15 +3,17 @@
 use crate::control::ControlHandle;
 use crate::datablock::{DataBlock, DbId};
 use crate::event::{Event, EventId, EventKind};
+use crate::sched::{self, LocalQueues, ParkRegistry, SchedState, SchedulerKind, StealGrid};
 use crate::stats::{NodeOccupancy, RuntimeStats, StatsCollector};
 use crate::task::{Task, TaskBody, TaskBuilder, TaskId, TaskPriority};
 use crate::worker;
 use crate::{Result, RuntimeError};
 use crossbeam::deque::Injector;
+use crossbeam::sync::Parker;
 use numa_topology::{Binding, BindingKind, CoreId, Machine, NodeId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -32,6 +34,11 @@ pub struct RuntimeConfig {
     /// Shared telemetry hub to publish metrics and timeline events to.
     /// `None` (default) keeps the hot path free of telemetry work.
     pub telemetry: Option<Arc<coop_telemetry::TelemetryHub>>,
+    /// Which scheduling core to use. [`SchedulerKind::WorkStealing`]
+    /// (default) is the per-worker-deque scheduler described in
+    /// docs/performance.md; [`SchedulerKind::SharedInjector`] is the
+    /// original shared-queue scheduler, kept for benchmarking.
+    pub scheduler: SchedulerKind,
 }
 
 impl RuntimeConfig {
@@ -42,6 +49,7 @@ impl RuntimeConfig {
             machine,
             binding: BindingKind::Core,
             telemetry: None,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -58,27 +66,43 @@ impl RuntimeConfig {
         self.telemetry = Some(hub);
         self
     }
+
+    /// Overrides the scheduling core (see [`SchedulerKind`]).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
 }
 
-/// Dependency-graph bookkeeping (single lock; satisfaction and spawning
-/// both go through it, so subscribe-vs-satisfy races are impossible).
-struct GraphState {
-    /// All events known to this runtime.
+/// One lock stripe of the dependency graph. Events are distributed over
+/// the stripes by id, so `satisfy`/`subscribe` traffic on unrelated
+/// events never serializes; a task with dependencies in several stripes
+/// is released correctly by its own atomic remaining-counter (see
+/// [`PendingTask`]), with at most one stripe lock held at a time.
+struct GraphShard {
+    /// Events homed in this shard (registered here, or adopted on first
+    /// subscription for externally created events). Entries are removed
+    /// when the event satisfies, so long-lived runtimes don't accumulate
+    /// graph state for completed work.
     events: HashMap<u64, EventEntry>,
-    /// Tasks waiting on at least one event.
-    pending: HashMap<u64, PendingTask>,
 }
 
 struct EventEntry {
     #[allow(dead_code)] // kept so externally-dropped events stay alive
     event: Event,
-    /// Pending-task ids to notify when the event satisfies.
-    subscribers: Vec<u64>,
+    /// Tasks to release (one remaining-counter decrement each) when the
+    /// event satisfies.
+    subscribers: Vec<Arc<PendingTask>>,
 }
 
+/// A spawned task waiting on dependencies. Shared (via `Arc`) between
+/// every event entry it subscribed to; the releasing decrement that
+/// drops `remaining` to zero — and only that one — takes the task out
+/// and enqueues it, which makes cross-shard release safe without ever
+/// holding two shard locks.
 struct PendingTask {
-    task: Option<Task>,
-    remaining: usize,
+    task: Mutex<Option<Task>>,
+    remaining: AtomicUsize,
 }
 
 /// All state shared between the [`Runtime`] facade, its workers, and
@@ -88,15 +112,20 @@ pub(crate) struct Shared {
     pub machine: Machine,
     pub control: ControlHandle,
     pub stats: StatsCollector,
-    /// Queue for tasks without a placement hint.
+    /// Queue for tasks without a placement hint (overflow/fallback path
+    /// in work-stealing mode; the primary path in legacy mode).
     pub global: Injector<Task>,
     /// One queue per NUMA node for tasks with an affinity hint.
     pub node_queues: Vec<Injector<Task>>,
     /// High-priority variants of the two queues above.
     pub high_global: Injector<Task>,
     pub high_node_queues: Vec<Injector<Task>>,
-    graph: Mutex<GraphState>,
-    /// Parked idle workers wait here for new work.
+    /// Scheduler substrate: deque stealers, parking registry, ready
+    /// census, high-priority gate (see [`crate::sched`]).
+    pub sched: SchedState,
+    /// Lock-striped dependency graph (power-of-two stripe count).
+    shards: Box<[Mutex<GraphShard>]>,
+    /// Legacy mode: idle workers poll this pair on a 1 ms timeout.
     pub work_mutex: Mutex<()>,
     pub work_cv: Condvar,
     /// Quiescence waiters.
@@ -117,21 +146,80 @@ pub(crate) struct Shared {
     pub telemetry: Option<crate::telemetry::RuntimeTelemetry>,
 }
 
+/// Stripe count for the dependency graph: enough stripes that workers
+/// rarely collide (next power of two above the worker count), floored at
+/// 8 so small machines still spread main-thread and worker traffic, and
+/// capped at 64 — past that the HashMaps are so sparse that striping
+/// further only wastes cache.
+fn shard_count(workers: usize, kind: SchedulerKind) -> usize {
+    match kind {
+        SchedulerKind::WorkStealing => workers.next_power_of_two().clamp(8, 64),
+        SchedulerKind::SharedInjector => 1, // the seed's single graph lock
+    }
+}
+
 impl Shared {
+    fn shard(&self, event_id: u64) -> &Mutex<GraphShard> {
+        // Stripe count is a power of two, so the mask is exact.
+        &self.shards[(event_id as usize) & (self.shards.len() - 1)]
+    }
+
+    /// The (global, per-node) injector pair for a priority tier.
+    pub(crate) fn injectors(&self, tier: TaskPriority) -> (&Injector<Task>, &[Injector<Task>]) {
+        match tier {
+            TaskPriority::High => (&self.high_global, &self.high_node_queues),
+            TaskPriority::Normal => (&self.global, &self.node_queues),
+        }
+    }
+
     /// Pushes a ready task onto the right queue and wakes one worker.
+    ///
+    /// Work-stealing mode: if the calling thread is one of this runtime's
+    /// workers and the task has no conflicting affinity, the task goes
+    /// onto the caller's own LIFO deque (no shared-queue traffic at all);
+    /// otherwise it goes to the hinted node's injector or the global
+    /// injector. Either way the parking registry publishes the enqueue
+    /// (sequence number + targeted unpark) — see the no-lost-wakeup
+    /// protocol on [`ParkRegistry`].
     pub(crate) fn enqueue_ready(&self, mut task: Task) {
         if self.telemetry.is_some() {
             task.enqueued_at = Some(Instant::now());
         }
-        let (global, per_node) = match task.priority {
-            TaskPriority::High => (&self.high_global, &self.high_node_queues),
-            TaskPriority::Normal => (&self.global, &self.node_queues),
-        };
-        match task.affinity {
-            Some(node) if node.0 < per_node.len() => per_node[node.0].push(task),
-            _ => global.push(task),
+        self.sched.ready.fetch_add(1, Ordering::Relaxed);
+        match self.sched.kind {
+            SchedulerKind::WorkStealing => {
+                if task.priority == TaskPriority::High {
+                    // Raise the gate before the task is visible, so no
+                    // pop can see the task while the gate reads zero.
+                    self.sched.high_pending.fetch_add(1, Ordering::Release);
+                }
+                let affinity = task.affinity;
+                let hint = match sched::try_push_local(self, task) {
+                    Ok(node) => Some(node),
+                    Err(task) => {
+                        let (global, per_node) = self.injectors(task.priority);
+                        match task.affinity {
+                            Some(node) if node.0 < per_node.len() => per_node[node.0].push(task),
+                            _ => global.push(task),
+                        }
+                        affinity
+                    }
+                };
+                self.sched
+                    .parking
+                    .as_ref()
+                    .expect("work-stealing mode always has a park registry")
+                    .notify_one(hint);
+            }
+            SchedulerKind::SharedInjector => {
+                let (global, per_node) = self.injectors(task.priority);
+                match task.affinity {
+                    Some(node) if node.0 < per_node.len() => per_node[node.0].push(task),
+                    _ => global.push(task),
+                }
+                self.work_cv.notify_one();
+            }
         }
-        self.work_cv.notify_one();
     }
 
     /// Called by workers after each finished (or panicked) task body.
@@ -143,6 +231,12 @@ impl Shared {
         self.quiesce_cv.notify_all();
     }
 
+    /// Wakes quiescence waiters (used by the batched stats flush, which
+    /// is what actually publishes progress in work-stealing mode).
+    pub(crate) fn notify_quiesce(&self) {
+        self.quiesce_cv.notify_all();
+    }
+
     /// Decrements `event`; on satisfaction, releases subscribed tasks.
     pub(crate) fn satisfy_event(&self, event: &Event) -> Result<()> {
         match event.decrement() {
@@ -151,37 +245,38 @@ impl Shared {
             }),
             Ok(false) => Ok(()), // latch still counting down
             Ok(true) => {
-                let mut ready = Vec::new();
-                {
-                    let mut g = self.graph.lock();
-                    let subscribers = g
-                        .events
-                        .get_mut(&event.id().0)
-                        .map(|e| std::mem::take(&mut e.subscribers))
-                        .unwrap_or_default();
-                    for tid in subscribers {
-                        if let Some(entry) = g.pending.get_mut(&tid) {
-                            entry.remaining -= 1;
-                            if entry.remaining == 0 {
-                                let task = entry.task.take().expect("task present until ready");
-                                g.pending.remove(&tid);
-                                ready.push(task);
-                            }
-                        }
+                // The event reads as satisfied from here on, and late
+                // subscribers re-check that under the shard lock — so
+                // removing the entry cannot strand anyone, and the
+                // subscriber list we take is complete.
+                let entry = self.shard(event.id().0).lock().events.remove(&event.id().0);
+                if let Some(entry) = entry {
+                    for pending in entry.subscribers {
+                        self.release_dependency(&pending);
                     }
-                }
-                for t in ready {
-                    self.enqueue_ready(t);
                 }
                 Ok(())
             }
         }
     }
 
+    /// Drops one remaining-dependency count; the decrement that reaches
+    /// zero enqueues the task. Called outside any shard lock.
+    fn release_dependency(&self, pending: &Arc<PendingTask>) {
+        if pending.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let task = pending
+                .task
+                .lock()
+                .take()
+                .expect("exactly one releasing decrement takes the task");
+            self.enqueue_ready(task);
+        }
+    }
+
     pub(crate) fn register_event(&self, kind: EventKind) -> Event {
         let id = EventId(self.next_event.fetch_add(1, Ordering::Relaxed));
         let event = Event::new(id, kind);
-        self.graph.lock().events.insert(
+        self.shard(id.0).lock().events.insert(
             id.0,
             EventEntry {
                 event: event.clone(),
@@ -221,39 +316,49 @@ impl Shared {
         };
         self.stats.record_spawned();
 
-        // Count unsatisfied dependencies and subscribe, all under the graph
-        // lock so a concurrent satisfy cannot be missed.
-        let ready = {
-            let mut g = self.graph.lock();
-            let mut remaining = 0usize;
-            for dep in &deps {
-                if !dep.is_satisfied() {
-                    // The event may belong to this runtime's registry or be
-                    // externally created; adopt it if unknown.
-                    let entry = g.events.entry(dep.id().0).or_insert_with(|| EventEntry {
-                        event: dep.clone(),
-                        subscribers: Vec::new(),
-                    });
-                    entry.subscribers.push(id.0);
-                    remaining += 1;
-                }
-            }
-            if remaining == 0 {
-                Some(task)
-            } else {
-                g.pending.insert(
-                    id.0,
-                    PendingTask {
-                        task: Some(task),
-                        remaining,
-                    },
-                );
-                None
-            }
-        };
-        if let Some(task) = ready {
+        // Fast path: no unsatisfied dependencies means no graph locks at
+        // all — the dominant case in fan-out-heavy graphs goes straight
+        // to the (usually local) queue.
+        if deps.iter().all(|d| d.is_satisfied()) {
             self.enqueue_ready(task);
+            return Ok((id, finish));
         }
+
+        // Slow path: subscribe to each unsatisfied dependency under its
+        // own shard lock. `remaining` starts at 1 (a spawn guard) so a
+        // dependency satisfied concurrently mid-loop can never release
+        // the task before all subscriptions are in place.
+        let pending = Arc::new(PendingTask {
+            task: Mutex::new(Some(task)),
+            remaining: AtomicUsize::new(1),
+        });
+        for dep in &deps {
+            if dep.is_satisfied() {
+                continue;
+            }
+            let mut shard = self.shard(dep.id().0).lock();
+            // Re-check under the lock: `satisfy_event` marks the event
+            // satisfied *before* draining subscribers under this same
+            // lock, so a subscription added while unsatisfied is always
+            // drained, and a satisfied event is never subscribed to.
+            if dep.is_satisfied() {
+                continue;
+            }
+            pending.remaining.fetch_add(1, Ordering::AcqRel);
+            shard
+                .events
+                .entry(dep.id().0)
+                .or_insert_with(|| EventEntry {
+                    // Externally created event: adopt it on first use.
+                    event: dep.clone(),
+                    subscribers: Vec::new(),
+                })
+                .subscribers
+                .push(Arc::clone(&pending));
+        }
+        // Drop the spawn guard; if every dependency already satisfied
+        // in the meantime, this is the releasing decrement.
+        self.release_dependency(&pending);
         Ok((id, finish))
     }
 
@@ -282,6 +387,7 @@ impl Runtime {
     pub fn start(config: RuntimeConfig) -> Result<Runtime> {
         let machine = config.machine;
         let num_nodes = machine.num_nodes();
+        let scheduler = config.scheduler;
 
         // One worker per core; binding per config.
         let mut worker_node = Vec::with_capacity(machine.total_cores());
@@ -306,6 +412,40 @@ impl Runtime {
                 }
             }
         }
+        let workers = worker_node.len();
+
+        // Work-stealing substrate: per-worker deques (moved into the
+        // worker threads below, stealers registered here), the parking
+        // registry, and one parker per worker.
+        let runtime_id = sched::next_runtime_id();
+        let (mut locals, mut parkers, grid, parking): (
+            Vec<Option<LocalQueues>>,
+            Vec<Option<Parker>>,
+            StealGrid,
+            Option<Arc<ParkRegistry>>,
+        ) = match scheduler {
+            SchedulerKind::WorkStealing => {
+                let locals: Vec<LocalQueues> = worker_node
+                    .iter()
+                    .enumerate()
+                    .map(|(w, &n)| LocalQueues::new(runtime_id, w, n))
+                    .collect();
+                let grid = StealGrid::new(locals.iter().map(|l| l.stealers()).collect(), num_nodes);
+                let (registry, parkers) = ParkRegistry::new(worker_node.clone());
+                (
+                    locals.into_iter().map(Some).collect(),
+                    parkers.into_iter().map(Some).collect(),
+                    grid,
+                    Some(Arc::new(registry)),
+                )
+            }
+            SchedulerKind::SharedInjector => (
+                (0..workers).map(|_| None).collect(),
+                (0..workers).map(|_| None).collect(),
+                StealGrid::default(),
+                None,
+            ),
+        };
 
         let tracer = Arc::new(crate::trace::Tracer::new());
         let telemetry = config
@@ -317,6 +457,7 @@ impl Runtime {
             num_nodes,
             Arc::clone(&tracer),
             telemetry.clone(),
+            parking.clone(),
         );
         let shared = Arc::new(Shared {
             name: config.name,
@@ -326,10 +467,21 @@ impl Runtime {
             node_queues: (0..num_nodes).map(|_| Injector::new()).collect(),
             high_global: Injector::new(),
             high_node_queues: (0..num_nodes).map(|_| Injector::new()).collect(),
-            graph: Mutex::new(GraphState {
-                events: HashMap::new(),
-                pending: HashMap::new(),
-            }),
+            sched: SchedState {
+                kind: scheduler,
+                runtime_id,
+                grid,
+                parking,
+                ready: AtomicUsize::new(0),
+                high_pending: AtomicUsize::new(0),
+            },
+            shards: (0..shard_count(workers, scheduler))
+                .map(|_| {
+                    Mutex::new(GraphShard {
+                        events: HashMap::new(),
+                    })
+                })
+                .collect(),
             work_mutex: Mutex::new(()),
             work_cv: Condvar::new(),
             quiesce_mutex: Mutex::new(()),
@@ -345,15 +497,17 @@ impl Runtime {
             machine,
         });
 
-        let mut handles = Vec::with_capacity(worker_node.len());
+        let mut handles = Vec::with_capacity(workers);
         for (id, &node) in worker_node.iter().enumerate() {
             let shared = Arc::clone(&shared);
             let core = worker_core[id];
+            let local = locals[id].take();
+            let parker = parkers[id].take();
             let _binding = bindings[id]; // bookkeeping only; see DESIGN.md
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("{}-w{id}", shared.name))
-                    .spawn(move || worker::worker_loop(shared, id, node, core))
+                    .spawn(move || worker::worker_loop(shared, id, node, core, local, parker))
                     .expect("spawning worker thread"),
             );
         }
@@ -486,15 +640,9 @@ impl Runtime {
     /// A point-in-time statistics snapshot (what the agent polls).
     pub fn stats(&self) -> RuntimeStats {
         let (running, per_node_running, blocked) = self.shared.control.snapshot();
-        let tasks_ready = self.shared.global.len()
-            + self.shared.high_global.len()
-            + self
-                .shared
-                .node_queues
-                .iter()
-                .chain(self.shared.high_node_queues.iter())
-                .map(|q| q.len())
-                .sum::<usize>();
+        // The ready census counts enqueues minus pops, covering worker
+        // deques and injectors alike (the deques have no cheap lengths).
+        let tasks_ready = self.shared.sched.ready.load(Ordering::Relaxed);
         let per_node = per_node_running
             .iter()
             .enumerate()
@@ -532,11 +680,14 @@ impl Runtime {
         }
     }
 
-    /// Stops the runtime: releases blocked workers, wakes idle ones, and
-    /// joins all worker threads. Tasks already running finish; queued tasks
-    /// are dropped. Idempotent.
+    /// Stops the runtime: releases blocked workers, wakes idle (parked)
+    /// ones, and joins all worker threads. Tasks already running finish;
+    /// queued tasks are dropped. Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        // begin_shutdown releases gate-blocked workers and unparks every
+        // parked one (the registry unpark covers workers mid-park; the
+        // parker token covers workers about to park).
         self.shared.control.begin_shutdown();
         self.shared.work_cv.notify_all();
         self.shared.quiesce_cv.notify_all();

@@ -124,6 +124,16 @@ impl StatsCollector {
         self.per_node_executed[node.0].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Publishes `n` completions a worker counted locally (the batched
+    /// flush of the work-stealing scheduler: on idle, on gate block, on
+    /// exit, or every `STATS_FLUSH_EVERY` tasks). Same ordering contract
+    /// as [`record_executed`](Self::record_executed) — the flush happens
+    /// strictly after the counted tasks executed.
+    pub fn record_executed_batch(&self, node: NodeId, n: u64) {
+        self.tasks_executed.fetch_add(n, Ordering::Release);
+        self.per_node_executed[node.0].fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn record_panicked(&self) {
         self.tasks_panicked.fetch_add(1, Ordering::Release);
     }

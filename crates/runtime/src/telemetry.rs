@@ -7,6 +7,7 @@
 //! workers use their own worker index as the shard hint and therefore
 //! never contend with each other.
 
+use crate::task::TaskPriority;
 use coop_telemetry::{ArgValue, Counter, Histogram, TelemetryHub, TrackId};
 use numa_topology::NodeId;
 use std::sync::Arc;
@@ -21,8 +22,27 @@ pub(crate) struct RuntimeTelemetry {
     pub task_latency_us: Arc<Histogram>,
     /// Ready-queue wait (enqueue → pickup), microseconds.
     pub queue_wait_us: Arc<Histogram>,
-    /// Tasks taken from another node's queue.
+    /// All steals, any tier or source (aggregate of the labelled
+    /// `coop_sched_steals_total` series; kept for dashboards that
+    /// predate the per-tier split). Same-node injector takes are *not*
+    /// steals and are counted in `local_pops_total` instead.
     pub steals_total: Arc<Counter>,
+    /// Pops that stayed local: own deque, own node's injector, or the
+    /// global injector.
+    pub local_pops_total: Arc<Counter>,
+    /// Steals split by tier × source (`coop_sched_steals_total` with
+    /// `tier` = high|normal, `source` = sibling|remote).
+    pub steals_high_sibling: Arc<Counter>,
+    pub steals_high_remote: Arc<Counter>,
+    pub steals_normal_sibling: Arc<Counter>,
+    pub steals_normal_remote: Arc<Counter>,
+    /// Times a worker parked after the idle re-check found nothing.
+    pub parks_total: Arc<Counter>,
+    /// Wakeups (unpark or backstop timeout) that found no work.
+    pub spurious_wakeups_total: Arc<Counter>,
+    /// Time spent in one park, microseconds (unpark latency when work
+    /// arrives; clipped at the backstop timeout otherwise).
+    pub park_latency_us: Arc<Histogram>,
     /// Successfully executed task bodies.
     pub tasks_completed_total: Arc<Counter>,
     /// Contained task panics.
@@ -52,7 +72,27 @@ impl RuntimeTelemetry {
         );
         reg.set_help(
             "coop_steals_total",
-            "Tasks taken from another NUMA node's queue",
+            "Tasks stolen from another worker's deque or another NUMA node (any tier)",
+        );
+        reg.set_help(
+            "coop_sched_local_pops_total",
+            "Tasks popped without stealing: own deque, own node's injector, or the global injector",
+        );
+        reg.set_help(
+            "coop_sched_steals_total",
+            "Steals by tier (high|normal) and source (sibling = same-node deque, remote = other node)",
+        );
+        reg.set_help(
+            "coop_sched_parks_total",
+            "Times an idle worker parked after re-checking every queue",
+        );
+        reg.set_help(
+            "coop_sched_spurious_wakeups_total",
+            "Worker wakeups that found no task (lost the race, or backstop timeout)",
+        );
+        reg.set_help(
+            "coop_sched_park_latency_us",
+            "Time a worker spent in one park (us)",
         );
         reg.set_help(
             "coop_block_latency_us",
@@ -63,16 +103,41 @@ impl RuntimeTelemetry {
             "Thread-control commands applied",
         );
         let labels = [("runtime", name)];
+        let steal = |tier: &str, source: &str| {
+            reg.counter(
+                "coop_sched_steals_total",
+                &[("runtime", name), ("tier", tier), ("source", source)],
+            )
+        };
         RuntimeTelemetry {
             track,
             task_latency_us: reg.histogram("coop_task_latency_us", &labels),
             queue_wait_us: reg.histogram("coop_queue_wait_us", &labels),
             steals_total: reg.counter("coop_steals_total", &labels),
+            local_pops_total: reg.counter("coop_sched_local_pops_total", &labels),
+            steals_high_sibling: steal("high", "sibling"),
+            steals_high_remote: steal("high", "remote"),
+            steals_normal_sibling: steal("normal", "sibling"),
+            steals_normal_remote: steal("normal", "remote"),
+            parks_total: reg.counter("coop_sched_parks_total", &labels),
+            spurious_wakeups_total: reg.counter("coop_sched_spurious_wakeups_total", &labels),
+            park_latency_us: reg.histogram("coop_sched_park_latency_us", &labels),
             tasks_completed_total: reg.counter("coop_tasks_completed_total", &labels),
             tasks_panicked_total: reg.counter("coop_tasks_panicked_total", &labels),
             commands_total: reg.counter("coop_control_commands_total", &labels),
             name: Arc::from(name),
             hub,
+        }
+    }
+
+    /// The labelled steal counter for a (tier, source) pair; `sibling`
+    /// means the victim was a same-node worker's deque.
+    pub fn steal_counter(&self, tier: TaskPriority, sibling: bool) -> &Arc<Counter> {
+        match (tier, sibling) {
+            (TaskPriority::High, true) => &self.steals_high_sibling,
+            (TaskPriority::High, false) => &self.steals_high_remote,
+            (TaskPriority::Normal, true) => &self.steals_normal_sibling,
+            (TaskPriority::Normal, false) => &self.steals_normal_remote,
         }
     }
 

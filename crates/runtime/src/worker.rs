@@ -1,33 +1,168 @@
 //! The worker-thread loop.
 //!
-//! Each worker: (1) passes the thread-control gate (possibly blocking there
-//! — the paper's cooperative suspension at task boundaries), (2) looks for
-//! a ready task, preferring its own NUMA node's queue, then the global
-//! queue, then *stealing* from other nodes' queues, and (3) executes it
-//! with panics contained. Idle workers park briefly on a condition
-//! variable so new work wakes them promptly.
+//! Each worker: (1) passes the thread-control gate (possibly blocking
+//! there — the paper's cooperative suspension at task boundaries),
+//! (2) looks for a ready task following the work-stealing order of
+//! [`crate::sched`] (own deque → same-node siblings → node injector →
+//! global injector → remote nodes), and (3) executes it with panics
+//! contained. A worker that finds nothing flushes its batched stats and
+//! enters the event-counted parking protocol: it registers as idle,
+//! re-checks every queue, and only then parks — `enqueue_ready` unparks
+//! it the moment work arrives (no polling; see
+//! [`crate::sched::ParkRegistry`] for the no-lost-wakeup argument).
+//!
+//! The legacy scheduler ([`crate::SchedulerKind::SharedInjector`]) keeps
+//! the seed's loop byte-for-byte in behaviour: shared-injector pops and
+//! a 1 ms condvar poll when idle, with per-task stats updates.
 
 use crate::runtime::{Shared, TaskContext};
+use crate::sched::{self, LocalQueues, PARK_BACKSTOP, STATS_FLUSH_EVERY};
 use crate::task::Task;
-use crossbeam::deque::Steal;
+use crossbeam::sync::Parker;
 use numa_topology::{CoreId, NodeId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-pub(crate) fn worker_loop(shared: Arc<Shared>, id: usize, node: NodeId, core: Option<CoreId>) {
+/// Per-worker batch of completed-task counts. Flushed into the shared
+/// [`StatsCollector`](crate::stats::StatsCollector) when the worker goes
+/// idle, blocks at the control gate, exits, or crosses
+/// [`STATS_FLUSH_EVERY`] — so the per-task hot path touches no shared
+/// cache lines for accounting.
+struct LocalStats {
+    node: NodeId,
+    executed: u64,
+}
+
+impl LocalStats {
+    fn new(node: NodeId) -> Self {
+        LocalStats { node, executed: 0 }
+    }
+
+    fn flush(&mut self, shared: &Shared) {
+        if self.executed > 0 {
+            shared.stats.record_executed_batch(self.node, self.executed);
+            self.executed = 0;
+            // Quiescence waiters poll the flushed counters.
+            shared.notify_quiesce();
+        }
+    }
+}
+
+pub(crate) fn worker_loop(
+    shared: Arc<Shared>,
+    id: usize,
+    node: NodeId,
+    core: Option<CoreId>,
+    local: Option<LocalQueues>,
+    parker: Option<Parker>,
+) {
+    match (local, parker) {
+        (Some(local), Some(parker)) => stealing_loop(shared, id, node, core, local, parker),
+        _ => legacy_loop(shared, id, node, core),
+    }
+}
+
+/// The work-stealing worker loop (per-worker deques + parking).
+fn stealing_loop(
+    shared: Arc<Shared>,
+    id: usize,
+    node: NodeId,
+    core: Option<CoreId>,
+    local: LocalQueues,
+    parker: Parker,
+) {
+    let local = Rc::new(local);
+    // Install the deques in TLS so task bodies running on this thread
+    // spawn straight onto them (dropped on exit).
+    let _tls = sched::install_local(Rc::clone(&local));
+    let registry = Arc::clone(
+        shared
+            .sched
+            .parking
+            .as_ref()
+            .expect("work-stealing mode always has a park registry"),
+    );
+    let mut stats = LocalStats::new(node);
+    let mut woke_from_park = false;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // The thread-control gate: blocks in here while suspended. Stats
+        // must be flushed before blocking, or quiescence waiters would
+        // stall on counts held by a suspended worker.
+        shared.control.checkpoint_with(id, || stats.flush(&shared));
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let task = match sched::find_task(&shared, node, Some(&local)) {
+            Some(task) => Some(task),
+            None => {
+                // An unpark that found no work is a spurious wakeup
+                // (someone else won the race for the task, or the
+                // backstop timeout fired).
+                if woke_from_park {
+                    woke_from_park = false;
+                    if let Some(tel) = &shared.telemetry {
+                        tel.spurious_wakeups_total.inc();
+                    }
+                }
+                stats.flush(&shared);
+                // Event-counted parking (see ParkRegistry's protocol):
+                // snapshot the sequence, announce idle, re-check every
+                // queue, and only park if nothing was published since.
+                let s0 = registry.seq();
+                registry.register(id);
+                let recheck = sched::find_task(&shared, node, Some(&local));
+                if recheck.is_some()
+                    || shared.shutdown.load(Ordering::Acquire)
+                    || registry.seq() != s0
+                {
+                    registry.deregister(id);
+                } else {
+                    match &shared.telemetry {
+                        Some(tel) => {
+                            tel.parks_total.inc();
+                            let parked_at = Instant::now();
+                            parker.park_timeout(PARK_BACKSTOP);
+                            tel.park_latency_us
+                                .observe(parked_at.elapsed().as_micros() as u64);
+                        }
+                        None => parker.park_timeout(PARK_BACKSTOP),
+                    }
+                    registry.deregister(id);
+                    woke_from_park = true;
+                }
+                recheck
+            }
+        };
+        if let Some(task) = task {
+            woke_from_park = false;
+            execute(&shared, task, node, core, Some(id), Some(&mut stats));
+            if stats.executed >= STATS_FLUSH_EVERY {
+                stats.flush(&shared);
+            }
+        }
+    }
+    stats.flush(&shared);
+}
+
+/// The seed's loop: shared-injector pops, 1 ms condvar poll when idle,
+/// per-task stats. Kept as the benchmark baseline.
+fn legacy_loop(shared: Arc<Shared>, id: usize, node: NodeId, core: Option<CoreId>) {
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        // The thread-control gate: blocks in here while suspended.
         shared.control.checkpoint(id);
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        match find_task(&shared, node) {
-            Some(task) => execute(&shared, task, node, core, Some(id)),
+        match sched::find_task_legacy(&shared, node) {
+            Some(task) => execute(&shared, task, node, core, Some(id), None),
             None => {
                 // Nothing to do: park briefly; enqueue_ready will wake us.
                 let mut guard = shared.work_mutex.lock();
@@ -40,69 +175,30 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, id: usize, node: NodeId, core: Op
 }
 
 /// Pops a ready task for a helping external thread (see
-/// `Runtime::help_until`).
+/// `Runtime::help_until`). External threads own no deque, so the
+/// work-stealing path runs with `local = None`: single-task steals,
+/// no batching.
 pub(crate) fn find_task_public(shared: &Shared, node: NodeId) -> Option<Task> {
-    find_task(shared, node)
+    match shared.sched.kind {
+        sched::SchedulerKind::WorkStealing => sched::find_task(shared, node, None),
+        sched::SchedulerKind::SharedInjector => sched::find_task_legacy(shared, node),
+    }
 }
 
-/// Executes a task on a helping external thread.
+/// Executes a task on a helping external thread (stats recorded
+/// per-task; helpers have no batch to flush).
 pub(crate) fn execute_public(shared: &Shared, task: Task, node: NodeId, core: Option<CoreId>) {
-    execute(shared, task, node, core, None)
+    execute(shared, task, node, core, None, None)
 }
 
-/// Pops a ready task: own node first, then the global queue, then steal
-/// from other nodes (nearest-index order). Cross-node takes count toward
-/// the `coop_steals_total` metric when telemetry is attached.
-fn find_task(shared: &Shared, node: NodeId) -> Option<Task> {
-    let n = shared.node_queues.len();
-    // High-priority tier first: local, global, then steal.
-    if let Some(t) = steal_from(&shared.high_node_queues[node.0]) {
-        return Some(t);
-    }
-    if let Some(t) = steal_from(&shared.high_global) {
-        return Some(t);
-    }
-    for off in 1..n {
-        let victim = (node.0 + off) % n;
-        if let Some(t) = steal_from(&shared.high_node_queues[victim]) {
-            record_steal(shared);
-            return Some(t);
-        }
-    }
-    // Then the normal tier.
-    if let Some(t) = steal_from(&shared.node_queues[node.0]) {
-        return Some(t);
-    }
-    if let Some(t) = steal_from(&shared.global) {
-        return Some(t);
-    }
-    for off in 1..n {
-        let victim = (node.0 + off) % n;
-        if let Some(t) = steal_from(&shared.node_queues[victim]) {
-            record_steal(shared);
-            return Some(t);
-        }
-    }
-    None
-}
-
-fn record_steal(shared: &Shared) {
-    if let Some(tel) = &shared.telemetry {
-        tel.steals_total.inc();
-    }
-}
-
-fn steal_from(q: &crossbeam::deque::Injector<Task>) -> Option<Task> {
-    loop {
-        match q.steal() {
-            Steal::Success(t) => return Some(t),
-            Steal::Empty => return None,
-            Steal::Retry => continue,
-        }
-    }
-}
-
-fn execute(shared: &Shared, task: Task, node: NodeId, core: Option<CoreId>, worker: Option<usize>) {
+fn execute(
+    shared: &Shared,
+    task: Task,
+    node: NodeId,
+    core: Option<CoreId>,
+    worker: Option<usize>,
+    mut batch: Option<&mut LocalStats>,
+) {
     let ctx = TaskContext {
         shared,
         worker_node: node,
@@ -110,13 +206,20 @@ fn execute(shared: &Shared, task: Task, node: NodeId, core: Option<CoreId>, work
         worker_core: core,
     };
     let tracing = shared.tracer.is_active();
-    let started_at = std::time::Instant::now();
+    // Reading the clock twice per task is measurable on tiny tasks; only
+    // pay for it when some consumer will see the timing.
+    let timed = tracing || shared.telemetry.is_some();
+    let started_at = timed.then(Instant::now);
     let body = task.body;
     let result = catch_unwind(AssertUnwindSafe(move || body(&ctx)));
     if tracing {
-        shared
-            .tracer
-            .record_task(&task.name, worker, node, started_at, result.is_err());
+        shared.tracer.record_task(
+            &task.name,
+            worker,
+            node,
+            started_at.expect("timed while tracing"),
+            result.is_err(),
+        );
     }
     if let Some(tel) = &shared.telemetry {
         tel.record_task(
@@ -124,12 +227,15 @@ fn execute(shared: &Shared, task: Task, node: NodeId, core: Option<CoreId>, work
             worker,
             node,
             task.enqueued_at,
-            started_at,
+            started_at.expect("timed while telemetry is attached"),
             result.is_err(),
         );
     }
     match result {
-        Ok(()) => shared.stats.record_executed(node),
+        Ok(()) => match batch.as_deref_mut() {
+            Some(batch) => batch.executed += 1,
+            None => shared.stats.record_executed(node),
+        },
         Err(payload) => {
             let message = if let Some(s) = payload.downcast_ref::<&str>() {
                 (*s).to_string()
@@ -147,7 +253,7 @@ fn execute(shared: &Shared, task: Task, node: NodeId, core: Option<CoreId>, work
 
 #[cfg(test)]
 mod tests {
-    use crate::{Runtime, RuntimeConfig, RuntimeError, ThreadCommand};
+    use crate::{Runtime, RuntimeConfig, RuntimeError, SchedulerKind, ThreadCommand};
     use numa_topology::presets::{paper_model_machine, tiny};
     use numa_topology::{BindingKind, CpuSet, NodeId};
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -537,5 +643,79 @@ mod tests {
         r.task("t").body(|_| {}).spawn().unwrap();
         r.wait_quiescent().unwrap();
         drop(r); // must not hang or panic
+    }
+
+    /// The legacy shared-injector scheduler must keep working — it is the
+    /// baseline half of the `runtime_sched` benchmark.
+    #[test]
+    fn legacy_scheduler_still_executes_graphs() {
+        let r = Runtime::start(
+            RuntimeConfig::new("legacy", tiny()).with_scheduler(SchedulerKind::SharedInjector),
+        )
+        .unwrap();
+        let count = Arc::new(AtomicU64::new(0));
+        let latch = r.new_latch_event(16);
+        let c = count.clone();
+        r.task("join")
+            .depends_on(&latch)
+            .body(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .spawn()
+            .unwrap();
+        for i in 0..16 {
+            let latch = latch.clone();
+            let c = count.clone();
+            r.task(&format!("leg{i}"))
+                .body(move |ctx| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    ctx.satisfy(&latch);
+                })
+                .spawn()
+                .unwrap();
+        }
+        r.wait_quiescent().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 17);
+        assert_eq!(r.stats().tasks_executed, 17);
+        r.shutdown();
+    }
+
+    /// Tasks spawned from a task body whose affinity matches the spawning
+    /// worker's node take the local-deque fast path and stay on that node
+    /// (deterministic here because every other node is frozen, so nobody
+    /// can steal them).
+    #[test]
+    fn local_spawn_fast_path_stays_on_node() {
+        let r = Runtime::start(RuntimeConfig::new("local-aff", paper_model_machine())).unwrap();
+        r.control()
+            .apply(ThreadCommand::PerNode(vec![0, 0, 8, 0]))
+            .unwrap();
+        assert!(r
+            .control()
+            .wait_converged(Duration::from_secs(5), |_, per| per == [0, 0, 8, 0]));
+        let wrong = Arc::new(AtomicUsize::new(0));
+        let w = wrong.clone();
+        r.task("parent")
+            .affinity(NodeId(2))
+            .body(move |ctx| {
+                for i in 0..20 {
+                    let w = w.clone();
+                    ctx.task(&format!("child{i}"))
+                        .affinity(NodeId(2))
+                        .body(move |ctx| {
+                            if ctx.node() != NodeId(2) {
+                                w.fetch_add(1, Ordering::SeqCst);
+                            }
+                        })
+                        .spawn()
+                        .unwrap();
+                }
+            })
+            .spawn()
+            .unwrap();
+        r.wait_quiescent().unwrap();
+        assert_eq!(wrong.load(Ordering::SeqCst), 0);
+        assert_eq!(r.stats().per_node[2].tasks_executed, 21);
+        r.shutdown();
     }
 }
