@@ -431,6 +431,14 @@ impl SupervisedHandle {
                 ("from".to_string(), ArgValue::Str(from.name().to_string())),
             ],
         );
+        // A quarantine or eviction is exactly the moment the recent event
+        // history matters: snapshot the flight recorder before the ring
+        // overwrites the lead-up.
+        if to >= Health::Suspected {
+            if let Some(rec) = t.hub.flight_recorder() {
+                rec.trigger_dump(&format!("health-{}-{}", self.name, to.name()));
+            }
+        }
     }
 
     fn record_retry(&self) {
@@ -872,5 +880,72 @@ mod tests {
         assert_eq!(h.probe(), Health::Dead);
         assert_eq!(h.probe(), Health::Healthy);
         assert!(!h.is_quarantined());
+    }
+
+    #[test]
+    fn suspected_and_dead_transitions_dump_the_flight_recorder() {
+        use coop_telemetry::FlightRecorder;
+
+        let dir = std::env::temp_dir().join(format!(
+            "coop-health-dump-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let hub = Arc::new(TelemetryHub::new());
+        let rec = Arc::new(FlightRecorder::new(256));
+        rec.set_dump_dir(&dir);
+        assert!(hub.install_flight_recorder(Arc::clone(&rec)));
+
+        let mut config = SupervisionConfig::aggressive(Duration::from_millis(100));
+        config.backoff.max_retries = 0;
+        config.detector = detector(1, 2, 3, 2);
+        let h = SupervisedHandle::new(
+            Box::new(Scripted {
+                calls: AtomicU64::new(0),
+                fail_transport_first: u64::MAX,
+            }),
+            config,
+        );
+        h.attach_telemetry(Arc::clone(&hub), TrackId(9));
+
+        // Two failures reach Suspected: the first dump. A third reaches
+        // Dead: the second. Repeat failures in a state must not re-dump.
+        let _ = h.stats();
+        assert_eq!(rec.dumps(), 0, "Degraded is not dump-worthy");
+        let _ = h.stats();
+        assert_eq!(h.health(), Health::Suspected);
+        assert_eq!(rec.dumps(), 1, "Suspected snapshots the recorder");
+        let _ = h.stats();
+        assert_eq!(h.health(), Health::Dead);
+        assert_eq!(rec.dumps(), 2, "Dead snapshots it again");
+        let _ = h.stats();
+        assert_eq!(rec.dumps(), 2, "staying Dead must not re-dump");
+
+        // The dump files carry the health reason and decode back into
+        // events that include the transition instants themselves.
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names.len(), 2);
+        assert!(
+            names[0].starts_with("flight-health-scripted-dead-"),
+            "{names:?}"
+        );
+        assert!(
+            names[1].starts_with("flight-health-scripted-suspected-"),
+            "{names:?}"
+        );
+        let bytes = std::fs::read(dir.join(&names[0])).unwrap();
+        let events = FlightRecorder::decode(&bytes).unwrap();
+        assert!(
+            events.iter().any(|e| e.cat == "health"),
+            "dump must contain the health transition lead-up"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

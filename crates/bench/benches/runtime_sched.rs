@@ -20,10 +20,21 @@
 //! `BENCH_RUNTIME_SCHED_JSON` environment variable). The JSON is also
 //! produced under `cargo bench -- --test` with shrunk sizes so CI can
 //! archive it from a smoke run.
+//!
+//! A second sweep is the **tracing overhead gate**: the fan-out shape
+//! (densest per-task event traffic) under three telemetry modes — no hub
+//! at all, hub attached with per-task tracing off (the production
+//! default, byte-identical to the pre-tracing hub configuration), and
+//! hub attached with causal tracing on. Tracing is a runtime flag
+//! checked once per instrumentation site, so `tracing_off_tasks_per_sec`
+//! must track the archived value from earlier runs — the cost of the
+//! tracing feature when disabled is the flag check and nothing else; all
+//! per-hop event recording shows up only in the `tracing_on` column.
 
-use coop_runtime::{Runtime, RuntimeConfig, SchedulerKind};
+use coop_runtime::{Runtime, RuntimeConfig, SchedulerKind, TelemetryHub};
 use criterion::Criterion;
 use numa_topology::{Machine, MachineBuilder};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn machine(nodes: usize, cores_per_node: usize) -> Machine {
@@ -49,6 +60,41 @@ fn sweep_machines() -> Vec<(&'static str, Machine)> {
 fn start(name: &str, m: &Machine, kind: SchedulerKind) -> Runtime {
     Runtime::start(RuntimeConfig::new(name, m.clone()).with_scheduler(kind))
         .expect("runtime starts")
+}
+
+/// Telemetry attachment modes for the tracing overhead gate.
+#[derive(Clone, Copy)]
+enum Tracing {
+    /// No telemetry hub at all — the historical baseline column.
+    Baseline,
+    /// Hub attached, per-task tracing off: the production default.
+    Off,
+    /// Hub attached with causal task tracing enabled.
+    On,
+}
+
+impl Tracing {
+    fn label(self) -> &'static str {
+        match self {
+            Tracing::Baseline => "baseline",
+            Tracing::Off => "tracing_off",
+            Tracing::On => "tracing_on",
+        }
+    }
+}
+
+fn start_mode(name: &str, m: &Machine, kind: SchedulerKind, mode: Tracing) -> Runtime {
+    let mut cfg = RuntimeConfig::new(name, m.clone()).with_scheduler(kind);
+    match mode {
+        Tracing::Baseline => {}
+        Tracing::Off => cfg = cfg.with_telemetry(Arc::new(TelemetryHub::new())),
+        Tracing::On => {
+            cfg = cfg
+                .with_telemetry(Arc::new(TelemetryHub::new()))
+                .with_task_tracing();
+        }
+    }
+    Runtime::start(cfg).expect("runtime starts")
 }
 
 /// Deterministic LCG (MMIX constants) for the random-DAG shape.
@@ -154,6 +200,76 @@ fn measure(
     best
 }
 
+/// Like [`measure`], but under an explicit telemetry mode.
+fn measure_mode(
+    label: &str,
+    m: &Machine,
+    kind: SchedulerKind,
+    mode: Tracing,
+    repeats: usize,
+    run: impl Fn(&Runtime) -> u64,
+) -> f64 {
+    let mut best = 0.0f64;
+    for rep in 0..repeats.max(1) {
+        let rt = start_mode(&format!("{label}-{rep}"), m, kind, mode);
+        let t0 = Instant::now();
+        let tasks = run(&rt);
+        let rate = tasks as f64 / t0.elapsed().as_secs_f64();
+        rt.shutdown();
+        best = best.max(rate);
+    }
+    best
+}
+
+/// The tracing overhead gate: fan-out/fan-in (densest per-task event
+/// traffic) on the work-stealing scheduler under the three telemetry
+/// modes. The column that matters is `tracing_off_tasks_per_sec`: hub
+/// attached, tracing off is byte-identical to the pre-tracing hub
+/// configuration, so it must hold steady across archived runs. The
+/// overhead-pct columns attribute the remaining deltas: off-vs-baseline
+/// is the hub's own (pre-existing) per-task accounting, on-vs-baseline
+/// is what causal tracing actually buys into.
+fn tracing_overhead_report(smoke: bool) -> serde_json::Value {
+    let (rounds, width, repeats) = if smoke { (10, 50, 1) } else { (50, 400, 3) };
+    let mut cells = Vec::new();
+    for (workers, m) in sweep_machines() {
+        let rate = |mode: Tracing| {
+            measure_mode(
+                &format!("trace-{}-{workers}w", mode.label()),
+                &m,
+                SchedulerKind::WorkStealing,
+                mode,
+                repeats,
+                |rt| run_fanout(rt, rounds, width),
+            )
+        };
+        let baseline = rate(Tracing::Baseline);
+        let off = rate(Tracing::Off);
+        let on = rate(Tracing::On);
+        let off_overhead_pct = (baseline / off.max(1e-9) - 1.0) * 100.0;
+        let on_overhead_pct = (baseline / on.max(1e-9) - 1.0) * 100.0;
+        println!(
+            "  tracing gate @ {workers:>2} workers: baseline {baseline:>12.0} t/s, \
+             off {off:>12.0} t/s ({off_overhead_pct:+.1}%), \
+             on {on:>12.0} t/s ({on_overhead_pct:+.1}%)"
+        );
+        cells.push(serde_json::json!({
+            "workers": workers.parse::<u64>().expect("numeric label"),
+            "baseline_tasks_per_sec": baseline,
+            "tracing_off_tasks_per_sec": off,
+            "tracing_on_tasks_per_sec": on,
+            "tracing_off_overhead_pct": off_overhead_pct,
+            "tracing_on_overhead_pct": on_overhead_pct,
+        }));
+    }
+    serde_json::json!({
+        "shape": "fanout_fanin",
+        "scheduler": "work_stealing",
+        "workloads": { "rounds": rounds, "width": width },
+        "cells": cells,
+    })
+}
+
 fn scheduler_report(smoke: bool) -> serde_json::Value {
     let (rounds, width, chain_len, dag_tasks, repeats) = if smoke {
         (10, 50, 500, 2_000, 1)
@@ -215,6 +331,7 @@ fn scheduler_report(smoke: bool) -> serde_json::Value {
             "random_dag": { "tasks": dag_tasks },
         },
         "cells": cells,
+        "tracing": tracing_overhead_report(smoke),
     })
 }
 

@@ -170,6 +170,31 @@ pub enum Command {
         /// Write metrics here (`--metrics`; `.json` → summary JSON,
         /// anything else → Prometheus text exposition).
         metrics: Option<String>,
+        /// Serve the hub over HTTP after the run (`--serve <addr>`;
+        /// `/metrics`, `/healthz`, `/trace/recent`, `/summary`).
+        serve: Option<String>,
+        /// Shut the server down after N requests (`--serve-max-requests`;
+        /// 0 = serve until killed). Lets CI smoke the endpoints
+        /// deterministically.
+        serve_max_requests: u64,
+        /// Install a flight recorder on the hub and dump it into this
+        /// directory at the end of the run (`--dump <DIR>`).
+        dump: Option<String>,
+    },
+    /// `trace` — assemble causal task traces (from a flight-recorder dump
+    /// or a fresh instrumented pipeline run) and print the critical path
+    /// for the matching task(s).
+    Trace {
+        /// Task query: a numeric task id (`7` / `task7`) or a name
+        /// substring.
+        query: String,
+        /// Read span events from this flight-recorder dump instead of
+        /// running a live pipeline (`--from <PATH>`).
+        from: Option<String>,
+        /// Preset name or JSON path for the live run (defaults to `tiny`).
+        machine: String,
+        /// Pipeline iterations for the live run.
+        iterations: usize,
     },
     /// `drift` — run a memsim scenario under model supervision and report
     /// prediction residuals and drift alarms.
@@ -222,6 +247,10 @@ pub enum Command {
         trace_out: Option<String>,
         /// Write metrics here (`--metrics`).
         metrics: Option<String>,
+        /// Install a flight recorder dumping into this directory
+        /// (`--flight-dir <DIR>`); the supervision machine dumps it
+        /// automatically when a runtime goes Suspected or Dead.
+        flight_dir: Option<String>,
     },
     /// `help`.
     Help,
@@ -258,9 +287,23 @@ COMMANDS:
                                its cores fair-shared among the survivors
                                unless --no-reclaim
   observe [--machine <M>] [--iterations N] [--trace-out <PATH>] [--metrics <PATH>]
+          [--serve <ADDR> [--serve-max-requests N]] [--dump <DIR>]
                                run the Figure-1 producer-consumer pipeline
                                with an agent and the memory simulator on one
-                               telemetry hub; export the merged trace/metrics
+                               telemetry hub; export the merged trace/metrics;
+                               --serve exposes /metrics, /healthz,
+                               /trace/recent and /summary over HTTP after
+                               the run; --dump writes a flight-recorder
+                               snapshot of recent events into DIR
+  trace   <TASK> [--from <DUMP>] [--machine <M>] [--iterations N]
+                               reconstruct the causal span chain
+                               (spawn -> release -> enqueue -> steal ->
+                               start -> finish) for a task and print its
+                               critical path with per-hop wall time and
+                               cross-node attribution; TASK is a task id
+                               (7 or task7) or a name substring; --from
+                               reads a flight-recorder dump instead of
+                               running a fresh traced pipeline
   drift   [--scenario <FILE>] [--perturb <node:factor[:at_s]>...]
           [--decision-period S] [--duration S] [--reoptimize]
           [--ewma A] [--cusum-k K] [--cusum-h H]
@@ -275,13 +318,17 @@ COMMANDS:
   chaos   [--machine <M>] [--runtimes N] [--ticks N] [--tick-interval MS]
           [--kill-at T] [--revive-at T] [--deadline MS]
           [--fault <kind[=millis][@from[..until]][~prob]>...]
-          [--trace-out <PATH>] [--metrics <PATH>]
+          [--trace-out <PATH>] [--metrics <PATH>] [--flight-dir <DIR>]
                                run live runtimes under a supervised agent,
                                kill app0 mid-run, and report detection,
                                eviction, core reclamation, and recovery;
                                --fault injects extra protocol faults
                                (delay|hang|error|disconnect|garbage|
-                               wrong-response) into app0's handle
+                               wrong-response) into app0's handle;
+                               --flight-dir installs a black-box flight
+                               recorder that dumps recent events into DIR
+                               whenever the supervisor marks a runtime
+                               Suspected or Dead
   help                         this text
 
 OBSERVABILITY:
@@ -393,6 +440,11 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
     let mut ewma_alpha = 0.3f64;
     let mut cusum_k = 0.05f64;
     let mut cusum_h = 0.5f64;
+    let mut serve: Option<String> = None;
+    let mut serve_max_requests = 0u64;
+    let mut dump: Option<String> = None;
+    let mut from: Option<String> = None;
+    let mut flight_dir: Option<String> = None;
 
     let mut positional: Vec<&str> = Vec::new();
     let mut it = argv.iter().peekable();
@@ -416,6 +468,15 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             "--trace-out" => trace_out = Some(next_value(&mut it, "--trace-out")?),
             "--format" => format = Some(OutputFormat::parse(&next_value(&mut it, "--format")?)?),
             "--perturb" => perturbations.push(parse_perturb(&next_value(&mut it, "--perturb")?)?),
+            "--serve" => serve = Some(next_value(&mut it, "--serve")?),
+            "--serve-max-requests" => {
+                serve_max_requests = next_value(&mut it, "--serve-max-requests")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --serve-max-requests (expected u64)"))?
+            }
+            "--dump" => dump = Some(next_value(&mut it, "--dump")?),
+            "--from" => from = Some(next_value(&mut it, "--from")?),
+            "--flight-dir" => flight_dir = Some(next_value(&mut it, "--flight-dir")?),
             "--fault" => faults.push(next_value(&mut it, "--fault")?),
             "--no-reclaim" => no_reclaim = true,
             "--reoptimize" => reoptimize = true,
@@ -603,6 +664,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
                 faults,
                 trace_out,
                 metrics,
+                flight_dir,
             }
         }
         Some("observe") => Command::Observe {
@@ -610,7 +672,23 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             iterations,
             trace_out,
             metrics,
+            serve,
+            serve_max_requests,
+            dump,
         },
+        Some("trace") => {
+            let query = positional
+                .get(1)
+                .copied()
+                .ok_or_else(|| CliError::usage("trace needs a task id or name substring"))?
+                .to_string();
+            Command::Trace {
+                query,
+                from,
+                machine: machine.unwrap_or_else(|| "tiny".to_string()),
+                iterations,
+            }
+        }
         Some("drift") => Command::Drift {
             scenario,
             perturbations,
@@ -749,11 +827,17 @@ mod tests {
                 iterations,
                 trace_out,
                 metrics,
+                serve,
+                serve_max_requests,
+                dump,
             } => {
                 assert_eq!(machine, "tiny");
                 assert_eq!(iterations, 30);
                 assert_eq!(trace_out, None);
                 assert_eq!(metrics, None);
+                assert_eq!(serve, None);
+                assert_eq!(serve_max_requests, 0);
+                assert_eq!(dump, None);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -767,6 +851,7 @@ mod tests {
                 iterations,
                 trace_out,
                 metrics,
+                ..
             } => {
                 assert_eq!(machine, "dual-socket");
                 assert_eq!(iterations, 5);
@@ -776,6 +861,84 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         assert!(parse_args(&argv("observe --iterations bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_observe_serve_and_dump_flags() {
+        let cli = parse_args(&argv(
+            "observe --serve 127.0.0.1:9464 --serve-max-requests 3 --dump /tmp/flight",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Observe {
+                serve,
+                serve_max_requests,
+                dump,
+                ..
+            } => {
+                assert_eq!(serve.as_deref(), Some("127.0.0.1:9464"));
+                assert_eq!(serve_max_requests, 3);
+                assert_eq!(dump.as_deref(), Some("/tmp/flight"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&argv("observe --serve")).is_err());
+        assert!(parse_args(&argv("observe --serve-max-requests nope")).is_err());
+    }
+
+    #[test]
+    fn parses_trace_command() {
+        let cli = parse_args(&argv("trace task7")).unwrap();
+        match cli.command {
+            Command::Trace {
+                query,
+                from,
+                machine,
+                iterations,
+            } => {
+                assert_eq!(query, "task7");
+                assert_eq!(from, None);
+                assert_eq!(machine, "tiny");
+                assert_eq!(iterations, 30);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse_args(&argv(
+            "trace stage --from /tmp/flight-dump.bin --machine dual-socket --iterations 4",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Trace {
+                query,
+                from,
+                machine,
+                iterations,
+            } => {
+                assert_eq!(query, "stage");
+                assert_eq!(from.as_deref(), Some("/tmp/flight-dump.bin"));
+                assert_eq!(machine, "dual-socket");
+                assert_eq!(iterations, 4);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // The task query is mandatory.
+        assert!(parse_args(&argv("trace")).is_err());
+    }
+
+    #[test]
+    fn chaos_collects_flight_dir() {
+        let cli = parse_args(&argv("chaos --flight-dir /tmp/blackbox")).unwrap();
+        match cli.command {
+            Command::Chaos { flight_dir, .. } => {
+                assert_eq!(flight_dir.as_deref(), Some("/tmp/blackbox"))
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse_args(&argv("chaos")).unwrap();
+        match cli.command {
+            Command::Chaos { flight_dir, .. } => assert_eq!(flight_dir, None),
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]

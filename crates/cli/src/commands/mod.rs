@@ -114,6 +114,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             faults,
             trace_out,
             metrics,
+            flight_dir,
         } => chaos_cmd(
             machine,
             *runtimes,
@@ -122,6 +123,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             faults,
             trace_out.as_deref(),
             metrics.as_deref(),
+            flight_dir.as_deref(),
             cli.format,
         ),
         Command::Observe {
@@ -129,13 +131,23 @@ pub fn execute(cli: &Cli) -> Result<String> {
             iterations,
             trace_out,
             metrics,
+            serve,
+            serve_max_requests,
+            dump,
         } => observe_cmd(
             machine,
             *iterations,
             trace_out.as_deref(),
             metrics.as_deref(),
+            (serve.as_deref(), *serve_max_requests, dump.as_deref()),
             cli.format,
         ),
+        Command::Trace {
+            query,
+            from,
+            machine,
+            iterations,
+        } => trace_cmd(query, from.as_deref(), machine, *iterations, cli.format),
         Command::Drift {
             scenario,
             perturbations,
@@ -367,6 +379,9 @@ fn drift_cmd(
             ..coop_telemetry::DriftConfig::default()
         },
         reoptimize,
+        // A requested trace export implies the causal spans that make it
+        // assemble like a real runtime's.
+        tracing: trace_out.is_some(),
     };
     let hub = Arc::new(coop_telemetry::TelemetryHub::new());
     let result = memsim::run_supervised(&scenario, &config, Arc::clone(&hub))
@@ -420,6 +435,7 @@ fn chaos_cmd(
     faults: &[String],
     trace_out: Option<&str>,
     metrics: Option<&str>,
+    flight_dir: Option<&str>,
     format: OutputFormat,
 ) -> Result<String> {
     use coop_agent::{policies, Agent, ChaosHandle, FaultPlan, KillSwitch, SupervisionConfig};
@@ -439,6 +455,22 @@ fn chaos_cmd(
     }
 
     let hub = Arc::new(coop_telemetry::TelemetryHub::new());
+    // `--flight-dir`: black-box recorder on the shared hub. The agent's
+    // supervision machine dumps it automatically on every transition to
+    // Suspected or Dead, so the kill below leaves a post-mortem on disk.
+    let recorder = match flight_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError::failure(format!("cannot create flight dir '{dir}': {e}")))?;
+            let rec = Arc::new(coop_telemetry::FlightRecorder::new(
+                coop_telemetry::DEFAULT_FLIGHT_CAPACITY,
+            ));
+            rec.set_dump_dir(dir);
+            hub.install_flight_recorder(Arc::clone(&rec));
+            Some(rec)
+        }
+        None => None,
+    };
     let rts: Vec<Arc<Runtime>> = (0..runtimes)
         .map(|i| {
             let name = format!("app{i}");
@@ -522,6 +554,8 @@ fn chaos_cmd(
         write_metrics_file(path, &hub)?;
     }
 
+    let flight_dumps = recorder.as_ref().map(|r| r.dumps());
+
     match format {
         OutputFormat::Json => {
             let doc = serde_json::json!({
@@ -535,6 +569,7 @@ fn chaos_cmd(
                     .map(|(n, h)| (n.clone(), h.name()))
                     .collect::<std::collections::BTreeMap<_, _>>(),
                 "final_evicted": final_evicted,
+                "flight_dumps": flight_dumps,
             });
             serde_json::to_string_pretty(&doc)
                 .map(|s| s + "\n")
@@ -572,6 +607,9 @@ fn chaos_cmd(
             if let Some(p) = metrics {
                 out.push_str(&format!("metrics written to {p}\n"));
             }
+            if let (Some(dir), Some(n)) = (flight_dir, flight_dumps) {
+                out.push_str(&format!("flight recorder: {n} dump(s) in {dir}\n"));
+            }
             Ok(out)
         }
     }
@@ -586,6 +624,7 @@ fn observe_cmd(
     iterations: usize,
     trace_out: Option<&str>,
     metrics: Option<&str>,
+    (serve, serve_max_requests, dump): (Option<&str>, u64, Option<&str>),
     format: OutputFormat,
 ) -> Result<String> {
     use coop_agent::{policies, Agent};
@@ -596,10 +635,29 @@ fn observe_cmd(
 
     let m = resolve_machine(machine)?;
     let hub = Arc::new(coop_telemetry::TelemetryHub::new());
+    // `--dump`: flight recorder on the hub from the start, snapshotted at
+    // the end of the run (`coop observe --dump` in the docs).
+    let recorder = match dump {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError::failure(format!("cannot create dump dir '{dir}': {e}")))?;
+            let rec = Arc::new(coop_telemetry::FlightRecorder::new(
+                coop_telemetry::DEFAULT_FLIGHT_CAPACITY,
+            ));
+            rec.set_dump_dir(dir);
+            hub.install_flight_recorder(Arc::clone(&rec));
+            Some(rec)
+        }
+        None => None,
+    };
     let start_rt = |name: &str| -> Result<Arc<Runtime>> {
-        Runtime::start(RuntimeConfig::new(name, m.clone()).with_telemetry(Arc::clone(&hub)))
-            .map(Arc::new)
-            .map_err(|e| CliError::failure(format!("cannot start runtime '{name}': {e}")))
+        Runtime::start(
+            RuntimeConfig::new(name, m.clone())
+                .with_telemetry(Arc::clone(&hub))
+                .with_task_tracing(),
+        )
+        .map(Arc::new)
+        .map_err(|e| CliError::failure(format!("cannot start runtime '{name}': {e}")))
     };
     let producer = start_rt("producer")?;
     let consumer = start_rt("consumer")?;
@@ -639,7 +697,8 @@ fn observe_cmd(
     let sim = memsim::Simulation::new(
         memsim::SimConfig::new(m.clone()).with_effects(memsim::EffectModel::ideal()),
     )
-    .with_telemetry(Arc::clone(&hub));
+    .with_telemetry(Arc::clone(&hub))
+    .with_tracing();
     let sim_apps = vec![
         memsim::SimApp::numa_local("producer", 0.5),
         memsim::SimApp::numa_local("consumer", 0.5),
@@ -702,6 +761,34 @@ fn observe_cmd(
         write_metrics_file(path, &hub)?;
     }
 
+    // `--dump`: snapshot the flight recorder now that the run is over.
+    let dump_path = recorder
+        .as_ref()
+        .and_then(|r| r.trigger_dump("observe-cli"));
+
+    // `--serve`: expose the hub over HTTP once the run has finished. With
+    // `--serve-max-requests N` the server exits by itself after N requests
+    // (deterministic for CI smoke tests); without it, serve until killed.
+    let served_addr = match serve {
+        Some(addr) => {
+            let limit = (serve_max_requests > 0).then_some(serve_max_requests);
+            let server = coop_telemetry::serve_with_limit(Arc::clone(&hub), addr, limit)
+                .map_err(|e| CliError::failure(format!("cannot serve on '{addr}': {e}")))?;
+            let bound = server.addr();
+            eprintln!(
+                "serving telemetry on http://{bound} \
+                 (/metrics /healthz /trace/recent /summary){}",
+                match limit {
+                    Some(n) => format!(", exiting after {n} request(s)"),
+                    None => ", ctrl-c to stop".to_string(),
+                }
+            );
+            server.join();
+            Some(bound.to_string())
+        }
+        None => None,
+    };
+
     if format == OutputFormat::Prom {
         return Ok(hub.registry().to_prometheus());
     }
@@ -727,6 +814,8 @@ fn observe_cmd(
                 "delta_solves": search_counters.delta_solves,
                 "cache_hits": search_counters.cache_hits,
             },
+            "flight_dump": dump_path.as_ref().map(|p| p.display().to_string()),
+            "served": served_addr,
             "telemetry": summary,
         });
         return serde_json::to_string_pretty(&out)
@@ -770,6 +859,147 @@ fn observe_cmd(
             if let Some(p) = metrics {
                 out.push_str(&format!("metrics written to {p}\n"));
             }
+        }
+    }
+    if let Some(p) = &dump_path {
+        out.push_str(&format!("flight recorder dumped to {}\n", p.display()));
+    }
+    if let Some(a) = &served_addr {
+        out.push_str(&format!("served telemetry on http://{a}\n"));
+    }
+    Ok(out)
+}
+
+/// `trace`: reconstruct the causal span chain for a task — either from a
+/// flight-recorder dump (`--from`) or from a fresh traced dependency-chain
+/// run — and print each matching task's hop timeline, per-hop wall time,
+/// cross-node attribution, and critical path.
+fn trace_cmd(
+    query: &str,
+    from: Option<&str>,
+    machine: &str,
+    iterations: usize,
+    format: OutputFormat,
+) -> Result<String> {
+    use coop_telemetry::TraceAssembler;
+    use std::sync::Arc;
+
+    let asm = match from {
+        Some(path) => {
+            let bytes = std::fs::read(path)
+                .map_err(|e| CliError::usage(format!("cannot read dump '{path}': {e}")))?;
+            let events = coop_telemetry::FlightRecorder::decode(&bytes)
+                .map_err(|e| CliError::failure(format!("invalid flight dump '{path}': {e}")))?;
+            TraceAssembler::from_events(&events)
+        }
+        None => {
+            // Live mode: a dependent task chain on a traced runtime. Each
+            // stage gates its successor through a once-event and stages
+            // round-robin across nodes, so released/enqueued/stolen hops
+            // and cross-node attribution all show up in the assembly.
+            use coop_runtime::{Runtime, RuntimeConfig};
+            let m = resolve_machine(machine)?;
+            let nodes = m.num_nodes();
+            let hub = Arc::new(coop_telemetry::TelemetryHub::new());
+            let rt = Runtime::start(
+                RuntimeConfig::new("traced", m)
+                    .with_telemetry(Arc::clone(&hub))
+                    .with_task_tracing(),
+            )
+            .map_err(|e| CliError::failure(format!("cannot start runtime: {e}")))?;
+            let n = iterations.max(1);
+            let chain: Vec<_> = (0..n).map(|_| rt.new_once_event()).collect();
+            {
+                let chain = chain.clone();
+                rt.task("root")
+                    .body(move |ctx| {
+                        for (i, ev) in chain.iter().enumerate() {
+                            let mine = ev.clone();
+                            let b = ctx
+                                .task(&format!("stage{i}"))
+                                .affinity(NodeId(i % nodes))
+                                .body(move |c| c.satisfy(&mine));
+                            let b = if i > 0 {
+                                b.depends_on(&chain[i - 1])
+                            } else {
+                                b
+                            };
+                            b.spawn().expect("spawn traced stage");
+                        }
+                    })
+                    .spawn()
+                    .map_err(|e| CliError::failure(format!("cannot spawn chain: {e}")))?;
+            }
+            rt.wait_quiescent()
+                .map_err(|e| CliError::failure(format!("traced run failed: {e}")))?;
+            let asm = TraceAssembler::from_hub(&hub);
+            rt.shutdown();
+            asm
+        }
+    };
+
+    let matches = asm.find(query);
+    if matches.is_empty() {
+        return Err(CliError::failure(format!(
+            "no traced task matches '{query}' ({} task(s) assembled)",
+            asm.len()
+        )));
+    }
+
+    if format == OutputFormat::Json {
+        let docs: Vec<serde_json::Value> = matches
+            .iter()
+            .map(|t| {
+                serde_json::json!({
+                    "task": t.task,
+                    "trace_id": t.trace_id,
+                    "name": t.name.clone(),
+                    "parent": t.parent,
+                    "truncated": t.truncated,
+                    "completed": t.completed(),
+                    "total_wall_us": t.total_wall_us(),
+                    "cross_node": t
+                        .cross_node()
+                        .map(|(f, to)| serde_json::json!({"from": f, "to": to})),
+                    "critical_path": asm
+                        .critical_path(t)
+                        .iter()
+                        .map(|p| serde_json::json!({"task": p.task, "name": p.name.clone()}))
+                        .collect::<Vec<_>>(),
+                    "hops": t
+                        .hops
+                        .iter()
+                        .map(|h| serde_json::json!({
+                            "kind": h.kind.clone(),
+                            "ts_us": h.ts_us,
+                            "wall_us": h.wall_us,
+                            "node": h.node,
+                            "from_node": h.from_node,
+                            "tier": h.tier.clone(),
+                            "event": h.event,
+                        }))
+                        .collect::<Vec<_>>(),
+                })
+            })
+            .collect();
+        return serde_json::to_string_pretty(&docs)
+            .map(|s| s + "\n")
+            .map_err(|e| CliError::failure(e.to_string()));
+    }
+
+    let mut out = format!("{} task(s) match '{query}'\n", matches.len());
+    for t in &matches {
+        out.push('\n');
+        out.push_str(&t.to_text());
+        let path = asm.critical_path(t);
+        if path.len() > 1 {
+            out.push_str(&format!(
+                "critical path: {}\n",
+                path.iter()
+                    .map(|p| p.name.clone().unwrap_or_else(|| format!("task{}", p.task)))
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            ));
         }
     }
     Ok(out)
@@ -1495,6 +1725,197 @@ mod drift_tests {
         .unwrap();
         assert!(out.contains("# TYPE"), "output:\n{out}");
         assert!(out.contains("memsim_node_utilization"));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    #[test]
+    fn trace_live_run_prints_causal_chain_and_critical_path() {
+        let out = crate::run(&[
+            "trace".into(),
+            "stage".into(),
+            "--iterations".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("task(s) match 'stage'"), "output:\n{out}");
+        assert!(out.contains("spawned"), "hop timeline present:\n{out}");
+        assert!(out.contains("finished"), "hop timeline present:\n{out}");
+        assert!(
+            out.contains("critical path: root -> stage"),
+            "chain links back to the root:\n{out}"
+        );
+    }
+
+    #[test]
+    fn trace_json_lists_hops() {
+        let out = crate::run(&[
+            "trace".into(),
+            "stage0".into(),
+            "--iterations".into(),
+            "2".into(),
+            "--json".into(),
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let tasks = v.as_array().unwrap();
+        assert!(!tasks.is_empty());
+        let hops = tasks[0]["hops"].as_array().unwrap();
+        assert!(hops.iter().any(|h| h["kind"] == "spawned"));
+        assert!(hops.iter().any(|h| h["kind"] == "finished"));
+        assert!(tasks[0]["critical_path"].as_array().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn trace_unknown_task_is_an_error() {
+        let err = crate::run(&[
+            "trace".into(),
+            "no-such-task-name".into(),
+            "--iterations".into(),
+            "1".into(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("no traced task"), "{err}");
+    }
+
+    #[test]
+    fn observe_dump_then_trace_from_flight_recorder() {
+        let dir = std::env::temp_dir().join(format!("coop-cli-dump-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let out = crate::run(&[
+            "observe".into(),
+            "--iterations".into(),
+            "2".into(),
+            "--dump".into(),
+            dir.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(out.contains("flight recorder dumped to"), "output:\n{out}");
+
+        let dump = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("flight-observe-cli-")
+            })
+            .expect("observe --dump writes a flight file");
+
+        // The dump feeds `trace --from`: memsim epoch spans (recorded at
+        // the end of the run) must still be in the drop-oldest ring.
+        let out = crate::run(&[
+            "trace".into(),
+            "epoch".into(),
+            "--from".into(),
+            dump.path().to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(out.contains("match 'epoch'"), "output:\n{out}");
+        assert!(out.contains("started"), "output:\n{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_flight_dir_dumps_on_eviction() {
+        let dir = std::env::temp_dir().join(format!("coop-cli-bb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).ok();
+
+        let out = crate::run(&[
+            "chaos".into(),
+            "--ticks".into(),
+            "6".into(),
+            "--kill-at".into(),
+            "1".into(),
+            "--tick-interval".into(),
+            "1".into(),
+            "--deadline".into(),
+            "25".into(),
+            "--flight-dir".into(),
+            dir.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(out.contains("evicted: [app0]"), "output:\n{out}");
+        assert!(out.contains("flight recorder:"), "output:\n{out}");
+
+        // Suspected and Dead each dump once; the files decode back into
+        // timeline events.
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("flight-health-app0-")
+            })
+            .collect();
+        assert!(
+            !dumps.is_empty(),
+            "eviction must leave a black-box dump in {dir:?}"
+        );
+        let bytes = std::fs::read(dumps[0].path()).unwrap();
+        let events = coop_telemetry::FlightRecorder::decode(&bytes).unwrap();
+        assert!(!events.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observe_serve_answers_metrics_and_healthz() {
+        use std::io::{Read, Write};
+
+        // Reserve a port, free it, and hand it to --serve. (The small
+        // reuse race is acceptable in tests.)
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let addr_for_cli = addr.clone();
+        let cli = std::thread::spawn(move || {
+            crate::run(&[
+                "observe".into(),
+                "--iterations".into(),
+                "2".into(),
+                "--serve".into(),
+                addr_for_cli,
+                "--serve-max-requests".into(),
+                "2".into(),
+            ])
+        });
+
+        let fetch = |path: &str| -> String {
+            // The server comes up only after the observe run finishes, so
+            // retry the connect for a while.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+            loop {
+                match std::net::TcpStream::connect(&addr) {
+                    Ok(mut s) => {
+                        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+                        let mut buf = String::new();
+                        s.read_to_string(&mut buf).unwrap();
+                        return buf;
+                    }
+                    Err(_) if std::time::Instant::now() < deadline => {
+                        std::thread::sleep(std::time::Duration::from_millis(20))
+                    }
+                    Err(e) => panic!("server never came up on {addr}: {e}"),
+                }
+            }
+        };
+
+        let health = fetch("/healthz");
+        assert!(health.contains("200"), "healthz response:\n{health}");
+        assert!(health.contains("\"status\""), "healthz response:\n{health}");
+        let metrics = fetch("/metrics");
+        assert!(
+            metrics.contains("coop_task_latency_us"),
+            "metrics response:\n{metrics}"
+        );
+
+        let out = cli.join().unwrap().unwrap();
+        assert!(out.contains("served telemetry"), "output:\n{out}");
     }
 }
 

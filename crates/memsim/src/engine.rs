@@ -11,16 +11,23 @@
 use crate::result::AppSeries;
 use crate::{SimApp, SimConfig, SimError, SimResult};
 use coop_telemetry::{
-    ArgValue, Counter, EventKind, Histogram, TelemetryHub, TimelineEvent, TrackId,
+    hop, hop_args, ArgValue, Counter, EventKind, Histogram, TelemetryHub, TimelineEvent, TrackId,
+    TRACE_CAT,
 };
 use numa_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use roofline_numa::ThreadAssignment;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// How many quanta are aggregated into one timeline sample.
 const SAMPLE_EVERY: usize = 10;
+
+/// Synthetic epoch tasks draw ids from one process-wide counter: every
+/// simulation run on a hub shares the deduplicated "memsim" track, so ids
+/// must be unique across runs for the assembler to keep tasks apart.
+static NEXT_TRACE_TASK: AtomicU64 = AtomicU64::new(1);
 
 /// A configured simulator. Cheap to clone (owns only the config and an
 /// optional handle to a shared telemetry hub).
@@ -28,6 +35,7 @@ const SAMPLE_EVERY: usize = 10;
 pub struct Simulation {
     config: SimConfig,
     telemetry: Option<Arc<TelemetryHub>>,
+    tracing: bool,
 }
 
 struct Thread {
@@ -135,6 +143,73 @@ impl SimTelemetry {
         );
     }
 
+    /// One causal hop in the shared trace schema, at simulated time.
+    fn trace_hop(
+        &self,
+        t_s: f64,
+        name: &str,
+        task: u64,
+        trace: u64,
+        extra: Vec<(String, ArgValue)>,
+    ) {
+        let mut args = hop_args(task, trace);
+        args.extend(extra);
+        self.hub.record(
+            self.shard(),
+            TimelineEvent {
+                track: self.track,
+                lane: 0,
+                cat: TRACE_CAT.to_string(),
+                name: name.to_string(),
+                ts_us: self.ts_us(t_s),
+                kind: EventKind::Instant,
+                args,
+            },
+        );
+    }
+
+    /// Opens an epoch task: spawned (by the app's previous epoch, when
+    /// there is one), enqueued and started on its dominant node, all at
+    /// the epoch's start instant (lifecycle order breaks the tie).
+    fn trace_epoch_open(
+        &self,
+        t_s: f64,
+        task: u64,
+        trace: u64,
+        parent: Option<u64>,
+        name: &str,
+        node: Option<u64>,
+    ) {
+        let mut extra = vec![("task_name".to_string(), ArgValue::Str(name.to_string()))];
+        if let Some(p) = parent {
+            extra.push(("parent".to_string(), ArgValue::U64(p)));
+        }
+        self.trace_hop(t_s, hop::SPAWNED, task, trace, extra);
+        let node_arg =
+            |node: Option<u64>| node.map(|n| vec![("node".to_string(), ArgValue::U64(n))]);
+        self.trace_hop(
+            t_s,
+            hop::ENQUEUED,
+            task,
+            trace,
+            node_arg(node).unwrap_or_default(),
+        );
+        self.trace_hop(
+            t_s,
+            hop::STARTED,
+            task,
+            trace,
+            node_arg(node).unwrap_or_default(),
+        );
+    }
+
+    fn trace_epoch_close(&self, t_s: f64, task: u64, trace: u64, node: Option<u64>) {
+        let extra = node
+            .map(|n| vec![("node".to_string(), ArgValue::U64(n))])
+            .unwrap_or_default();
+        self.trace_hop(t_s, hop::FINISHED, task, trace, extra);
+    }
+
     fn record_run_summary(&self, node_avg_gbs: &[f64], node_utilization: &[f64]) {
         let reg = self.hub.registry();
         for (n, (&gbs, &util)) in node_avg_gbs.iter().zip(node_utilization).enumerate() {
@@ -153,6 +228,7 @@ impl Simulation {
         Simulation {
             config,
             telemetry: None,
+            tracing: false,
         }
     }
 
@@ -161,6 +237,20 @@ impl Simulation {
     /// counters, and end-of-run utilization gauges.
     pub fn with_telemetry(mut self, hub: Arc<TelemetryHub>) -> Self {
         self.telemetry = Some(hub);
+        self
+    }
+
+    /// Enables synthetic causal spans: each app's time under one
+    /// assignment epoch becomes a traced task in the runtime's hop schema
+    /// (`spawned -> enqueued -> started -> finished`, simulated time
+    /// mapped onto the hub clock), with each epoch spawned by the app's
+    /// previous epoch — so [`coop_telemetry::TraceAssembler`] reconstructs
+    /// a simulated run's reallocation history with the same code that
+    /// reconstructs a real runtime's steals. Requires [`with_telemetry`].
+    ///
+    /// [`with_telemetry`]: Simulation::with_telemetry
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
         self
     }
 
@@ -241,6 +331,10 @@ impl Simulation {
         let mut sched_idx = 0usize;
         let mut applied_idx = usize::MAX;
         let mut threads: Vec<Thread> = Vec::new();
+        // Synthetic causal spans: per app, the open epoch's (task id,
+        // dominant node) and the causal-tree root (first epoch's id).
+        let mut epoch_tasks: Vec<Option<(u64, Option<u64>)>> = vec![None; apps.len()];
+        let mut epoch_roots: Vec<Option<u64>> = vec![None; apps.len()];
         // Rotating round-robin offsets for discrete time-slicing.
         let mut rr_offset = vec![0usize; num_nodes];
 
@@ -257,6 +351,28 @@ impl Simulation {
                 if applied_idx != usize::MAX {
                     if let Some(tel) = &tel {
                         tel.record_assignment_switch(t, sched_idx);
+                    }
+                }
+                if self.tracing {
+                    if let Some(tel) = &tel {
+                        for app in 0..apps.len() {
+                            let task = NEXT_TRACE_TASK.fetch_add(1, Ordering::Relaxed);
+                            let trace = *epoch_roots[app].get_or_insert(task);
+                            let prev = epoch_tasks[app].take();
+                            if let Some((ptask, pnode)) = prev {
+                                tel.trace_epoch_close(t, ptask, trace, pnode);
+                            }
+                            let node = dominant_node(&schedule[sched_idx].1, app);
+                            tel.trace_epoch_open(
+                                t,
+                                task,
+                                trace,
+                                prev.map(|(p, _)| p),
+                                &format!("{}#epoch{}", apps[app].name(), sched_idx),
+                                node,
+                            );
+                            epoch_tasks[app] = Some((task, node));
+                        }
                     }
                 }
                 applied_idx = sched_idx;
@@ -522,6 +638,12 @@ impl Simulation {
             .map(|(n, &g)| g / machine.node(NodeId(n)).bandwidth_gbs)
             .collect();
         if let Some(tel) = &tel {
+            for (app, slot) in epoch_tasks.iter_mut().enumerate() {
+                if let Some((task, node)) = slot.take() {
+                    let trace = epoch_roots[app].unwrap_or(task);
+                    tel.trace_epoch_close(sim_time, task, trace, node);
+                }
+            }
             tel.record_run_summary(&node_avg_gbs, &node_utilization);
         }
 
@@ -568,6 +690,17 @@ impl Simulation {
         }
         Ok(())
     }
+}
+
+/// The node holding the most of `app`'s threads under `assignment` (ties
+/// break to the lowest node id), or `None` when the app has none.
+fn dominant_node(assignment: &ThreadAssignment, app: usize) -> Option<u64> {
+    let row = &assignment.matrix()[app];
+    let (node, &best) = row
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &n)| (n, std::cmp::Reverse(i)))?;
+    (best > 0).then_some(node as u64)
 }
 
 fn expand_threads(assignment: &ThreadAssignment, num_nodes: usize) -> Vec<Thread> {
@@ -885,6 +1018,63 @@ mod tests {
         let json = hub.to_perfetto_json();
         assert!(json.contains("memsim"));
         assert!(json.contains("node0_bw_gbs"));
+    }
+
+    #[test]
+    fn tracing_emits_epoch_spans_in_the_shared_hop_schema() {
+        use coop_telemetry::{hop, TraceAssembler};
+        use std::sync::Arc;
+
+        let machine = tiny();
+        let hub = Arc::new(coop_telemetry::TelemetryHub::new());
+        let sim = ideal_sim(machine.clone())
+            .with_telemetry(Arc::clone(&hub))
+            .with_tracing();
+        let apps = vec![SimApp::numa_local("a", 1.0), SimApp::numa_local("b", 1.0)];
+        let all_a = ThreadAssignment::from_matrix(vec![vec![2, 2], vec![0, 0]]);
+        let all_b = ThreadAssignment::from_matrix(vec![vec![0, 0], vec![2, 2]]);
+        sim.run_dynamic(&apps, &[(0.0, all_a), (0.05, all_b)], 0.1)
+            .unwrap();
+
+        // Two apps x two epochs, each a complete synthetic task whose
+        // causal chain walks the reallocation history.
+        let asm = TraceAssembler::from_hub(&hub);
+        assert_eq!(asm.len(), 4);
+        for t in asm.tasks() {
+            let kinds: Vec<&str> = t.hops.iter().map(|h| h.kind.as_str()).collect();
+            assert_eq!(
+                kinds,
+                [hop::SPAWNED, hop::ENQUEUED, hop::STARTED, hop::FINISHED],
+                "{:?}",
+                t.name
+            );
+            assert!(t.completed());
+            assert!(!t.truncated);
+        }
+        let late = asm.find("a#epoch1");
+        assert_eq!(late.len(), 1);
+        let late = late[0];
+        let early = asm.find("a#epoch0")[0];
+        assert_eq!(late.parent, Some(early.task), "epochs chain causally");
+        assert_eq!(late.trace_id, early.trace_id);
+        assert_eq!(asm.critical_path(late).len(), 2);
+        // App "a" ran on node 0 first, then nowhere (dominant node absent
+        // once its threads are withdrawn).
+        assert_eq!(early.hop(hop::STARTED).unwrap().node, Some(0));
+        assert_eq!(late.hop(hop::STARTED).unwrap().node, None);
+        // Each epoch spans its simulated window: 50ms of hub time.
+        assert!(early.total_wall_us() >= 49_000 && early.total_wall_us() <= 51_000);
+        // Tracing off: the same scenario emits no trace hops.
+        let hub2 = Arc::new(coop_telemetry::TelemetryHub::new());
+        ideal_sim(machine.clone())
+            .with_telemetry(Arc::clone(&hub2))
+            .run(
+                &apps,
+                &ThreadAssignment::uniform_per_node(&machine, &[1, 1]),
+                0.02,
+            )
+            .unwrap();
+        assert!(TraceAssembler::from_hub(&hub2).is_empty());
     }
 
     #[test]

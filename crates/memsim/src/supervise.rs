@@ -63,6 +63,12 @@ pub struct SupervisorConfig {
     /// of incremental solves; per-tick solver-work counters are recorded
     /// as `search/*` inputs on each provenance record.
     pub reoptimize: bool,
+    /// Emit synthetic causal spans from each tick's simulation (see
+    /// [`Simulation::with_tracing`]): every (app, tick) pair becomes a
+    /// traced task in the runtime's hop schema, so a supervised fleet run
+    /// assembles with the same [`coop_telemetry::TraceAssembler`] as a
+    /// real runtime.
+    pub tracing: bool,
 }
 
 impl Default for SupervisorConfig {
@@ -73,6 +79,7 @@ impl Default for SupervisorConfig {
             perturbations: Vec::new(),
             drift: DriftConfig::default(),
             reoptimize: false,
+            tracing: false,
         }
     }
 }
@@ -299,12 +306,15 @@ pub fn run_supervised(
             ts(start_s),
         );
 
-        let sim = Simulation::new(
+        let mut sim = Simulation::new(
             SimConfig::new(machine)
                 .with_effects(scenario.effects.clone())
                 .with_seed(scenario.seed.wrapping_add(tick)),
         )
         .with_telemetry(Arc::clone(&hub));
+        if config.tracing {
+            sim = sim.with_tracing();
+        }
         let result = sim.run(&scenario.apps, &assignment, period)?;
 
         let alarms_before = observatory.detector().total_alarms();
@@ -373,6 +383,7 @@ mod tests {
             perturbations: Vec::new(),
             drift: DriftConfig::default(),
             reoptimize: false,
+            tracing: false,
         }
     }
 
@@ -388,6 +399,31 @@ mod tests {
             assert!(record.is_closed());
             assert!(!record.residuals.is_empty());
         }
+    }
+
+    #[test]
+    fn supervised_tracing_emits_assemblable_spans() {
+        use coop_telemetry::{hop, TraceAssembler};
+
+        let hub = Arc::new(TelemetryHub::new());
+        let mut config = quiet_config();
+        config.tracing = true;
+        let scenario = base_scenario();
+        let result = run_supervised(&scenario, &config, Arc::clone(&hub)).unwrap();
+
+        // One synthetic task per (app, tick): the same assembler that
+        // reconstructs real runtime steals reconstructs a supervised run.
+        let asm = TraceAssembler::from_hub(&hub);
+        assert_eq!(asm.len(), result.ticks.len() * scenario.apps.len());
+        for t in asm.tasks() {
+            assert!(t.completed(), "{:?}", t.name);
+            assert!(!t.truncated);
+            assert!(t.hop(hop::STARTED).is_some());
+        }
+        // Tracing off (the default) emits none.
+        let hub2 = Arc::new(TelemetryHub::new());
+        run_supervised(&scenario, &quiet_config(), Arc::clone(&hub2)).unwrap();
+        assert!(TraceAssembler::from_hub(&hub2).is_empty());
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub struct RuntimeConfig {
     /// docs/performance.md; [`SchedulerKind::SharedInjector`] is the
     /// original shared-queue scheduler, kept for benchmarking.
     pub scheduler: SchedulerKind,
+    /// Causal task tracing: record `spawned`/`deps_released`/`enqueued`/
+    /// `stolen`/`started`/`finished` hop events for every task into the
+    /// telemetry hub (assembled by `coop_telemetry::TraceAssembler`).
+    /// Requires a hub ([`with_telemetry`](RuntimeConfig::with_telemetry));
+    /// off by default so the hot path records nothing extra.
+    pub tracing: bool,
 }
 
 impl RuntimeConfig {
@@ -50,6 +56,7 @@ impl RuntimeConfig {
             binding: BindingKind::Core,
             telemetry: None,
             scheduler: SchedulerKind::default(),
+            tracing: false,
         }
     }
 
@@ -70,6 +77,13 @@ impl RuntimeConfig {
     /// Overrides the scheduling core (see [`SchedulerKind`]).
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Enables causal task tracing (no-op without
+    /// [`with_telemetry`](RuntimeConfig::with_telemetry)).
+    pub fn with_task_tracing(mut self) -> Self {
+        self.tracing = true;
         self
     }
 }
@@ -185,6 +199,18 @@ impl Shared {
         if self.telemetry.is_some() {
             task.enqueued_at = Some(Instant::now());
         }
+        // The enqueued hop is recorded *before* the push so a worker on
+        // another thread can never observe (and trace) the task with an
+        // earlier timestamp than its enqueue.
+        if let Some(tel) = self.telemetry.as_ref().filter(|t| t.tracing) {
+            let dest = match self.sched.kind {
+                SchedulerKind::WorkStealing => {
+                    sched::local_target(self, task.affinity).or(task.affinity)
+                }
+                SchedulerKind::SharedInjector => task.affinity,
+            };
+            tel.trace_enqueued(task.id.0, task.trace_id, dest.map(|n| n.0 as u64));
+        }
         self.sched.ready.fetch_add(1, Ordering::Relaxed);
         match self.sched.kind {
             SchedulerKind::WorkStealing => {
@@ -252,7 +278,7 @@ impl Shared {
                 let entry = self.shard(event.id().0).lock().events.remove(&event.id().0);
                 if let Some(entry) = entry {
                     for pending in entry.subscribers {
-                        self.release_dependency(&pending);
+                        self.release_dependency(&pending, Some(event.id().0));
                     }
                 }
                 Ok(())
@@ -261,14 +287,18 @@ impl Shared {
     }
 
     /// Drops one remaining-dependency count; the decrement that reaches
-    /// zero enqueues the task. Called outside any shard lock.
-    fn release_dependency(&self, pending: &Arc<PendingTask>) {
+    /// zero enqueues the task. Called outside any shard lock. `event_id`
+    /// is the satisfying event, or `None` for the spawn-guard decrement.
+    fn release_dependency(&self, pending: &Arc<PendingTask>, event_id: Option<u64>) {
         if pending.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let task = pending
                 .task
                 .lock()
                 .take()
                 .expect("exactly one releasing decrement takes the task");
+            if let Some(tel) = self.telemetry.as_ref().filter(|t| t.tracing) {
+                tel.trace_deps_released(task.id.0, task.trace_id, event_id);
+            }
             self.enqueue_ready(task);
         }
     }
@@ -291,6 +321,7 @@ impl Shared {
         DataBlock::new(id, size, node)
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn spawn_task(
         &self,
         name: String,
@@ -299,6 +330,7 @@ impl Shared {
         affinity: Option<NodeId>,
         priority: TaskPriority,
         want_finish: bool,
+        parent: Option<(TaskId, u64)>,
     ) -> Result<(TaskId, Option<Event>)> {
         if self.shutdown.load(Ordering::Acquire) {
             return Err(RuntimeError::ShutDown);
@@ -307,6 +339,7 @@ impl Shared {
         let finish = want_finish.then(|| self.register_event(EventKind::Once));
         let task = Task {
             id,
+            trace_id: parent.map(|(_, trace)| trace).unwrap_or(id.0),
             name,
             body,
             affinity,
@@ -315,6 +348,9 @@ impl Shared {
             enqueued_at: None,
         };
         self.stats.record_spawned();
+        if let Some(tel) = self.telemetry.as_ref().filter(|t| t.tracing) {
+            tel.trace_spawned(id.0, task.trace_id, parent.map(|(p, _)| p.0), &task.name);
+        }
 
         // Fast path: no unsatisfied dependencies means no graph locks at
         // all — the dominant case in fan-out-heavy graphs goes straight
@@ -358,7 +394,7 @@ impl Shared {
         }
         // Drop the spawn guard; if every dependency already satisfied
         // in the meantime, this is the releasing decrement.
-        self.release_dependency(&pending);
+        self.release_dependency(&pending, None);
         Ok((id, finish))
     }
 
@@ -448,9 +484,9 @@ impl Runtime {
         };
 
         let tracer = Arc::new(crate::trace::Tracer::new());
-        let telemetry = config
-            .telemetry
-            .map(|hub| crate::telemetry::RuntimeTelemetry::new(hub, &config.name, &worker_node));
+        let telemetry = config.telemetry.map(|hub| {
+            crate::telemetry::RuntimeTelemetry::new(hub, &config.name, &worker_node, config.tracing)
+        });
         let control = ControlHandle::new(
             worker_node.clone(),
             worker_core.clone(),
@@ -559,6 +595,7 @@ impl Runtime {
             affinity: None,
             priority: TaskPriority::Normal,
             want_finish_event: false,
+            parent: None,
         }
     }
 
@@ -722,6 +759,7 @@ pub struct TaskContext<'rt> {
     pub(crate) shared: &'rt Shared,
     pub(crate) worker_node: NodeId,
     pub(crate) task_id: TaskId,
+    pub(crate) trace_id: u64,
     pub(crate) worker_core: Option<CoreId>,
 }
 
@@ -742,7 +780,14 @@ impl TaskContext<'_> {
         self.task_id
     }
 
-    /// Starts building a follow-up task.
+    /// This task's causal-trace id (the root task of its spawn tree).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Starts building a follow-up task. The new task inherits this
+    /// task's trace id (same causal tree) and records this task as its
+    /// parent when tracing is enabled.
     pub fn task(&self, name: &str) -> TaskBuilder<'_> {
         TaskBuilder {
             shared: self.shared,
@@ -752,6 +797,7 @@ impl TaskContext<'_> {
             affinity: None,
             priority: TaskPriority::Normal,
             want_finish_event: false,
+            parent: Some((self.task_id, self.trace_id)),
         }
     }
 

@@ -165,6 +165,23 @@ impl Drop for LocalGuard {
 /// has no conflicting affinity, push it onto the worker's own deque and
 /// return the worker's node (for the unpark hint). Otherwise hand the
 /// task back.
+/// The node [`try_push_local`] *would* push to for a task with this
+/// affinity, without pushing anything. Used by the tracing path to know
+/// the enqueue destination before the task is made visible (the TLS
+/// condition is deterministic within one thread, so the answer matches
+/// the subsequent push).
+pub(crate) fn local_target(shared: &Shared, affinity: Option<NodeId>) -> Option<NodeId> {
+    CURRENT.with(|c| match &*c.borrow() {
+        Some(lq)
+            if lq.runtime_id == shared.sched.runtime_id
+                && affinity.map(|n| n == lq.node).unwrap_or(true) =>
+        {
+            Some(lq.node)
+        }
+        _ => None,
+    })
+}
+
 pub(crate) fn try_push_local(shared: &Shared, task: Task) -> Result<NodeId, Task> {
     CURRENT.with(|c| match &*c.borrow() {
         Some(lq)
@@ -338,14 +355,16 @@ impl ParkRegistry {
     }
 }
 
-/// Where a popped task came from, for the scheduler counters.
+/// Where a popped task came from, for the scheduler counters and the
+/// `stolen` trace hop.
 enum PopSource {
     /// Own deque, own node's injector, or the global injector.
     Local,
     /// Another worker's deque on the same node.
     SiblingSteal,
-    /// A remote node's injector or a remote worker's deque.
-    RemoteSteal,
+    /// A remote node's injector or a remote worker's deque; `from` is
+    /// the victim node.
+    RemoteSteal { from: NodeId },
 }
 
 /// Pops a ready task for a worker (`local = Some`) or a helping external
@@ -363,25 +382,69 @@ pub(crate) fn find_task(
     if shared.sched.high_pending.load(Ordering::Acquire) > 0 {
         if let Some((task, source)) = pop_tier(shared, node, local, TaskPriority::High) {
             shared.sched.high_pending.fetch_sub(1, Ordering::AcqRel);
-            return Some(note_pop(shared, task, source, TaskPriority::High));
+            return Some(note_pop(
+                shared,
+                task,
+                source,
+                TaskPriority::High,
+                node,
+                local.map(|lq| lq.worker),
+            ));
         }
     }
-    pop_tier(shared, node, local, TaskPriority::Normal)
-        .map(|(task, source)| note_pop(shared, task, source, TaskPriority::Normal))
+    pop_tier(shared, node, local, TaskPriority::Normal).map(|(task, source)| {
+        note_pop(
+            shared,
+            task,
+            source,
+            TaskPriority::Normal,
+            node,
+            local.map(|lq| lq.worker),
+        )
+    })
 }
 
-fn note_pop(shared: &Shared, task: Task, source: PopSource, tier: TaskPriority) -> Task {
+/// Maintains the ready census, the pop/steal counters, and — when task
+/// tracing is on — the `stolen` hop. `thief_node`/`worker` identify the
+/// popping thread (worker `None` = helping external thread).
+fn note_pop(
+    shared: &Shared,
+    task: Task,
+    source: PopSource,
+    tier: TaskPriority,
+    thief_node: NodeId,
+    worker: Option<usize>,
+) -> Task {
     shared.sched.ready.fetch_sub(1, Ordering::Relaxed);
     if let Some(tel) = &shared.telemetry {
-        match source {
-            PopSource::Local => tel.local_pops_total.inc(),
+        let stolen_from = match source {
+            PopSource::Local => {
+                tel.local_pops_total.inc();
+                None
+            }
             PopSource::SiblingSteal => {
                 tel.steals_total.inc();
                 tel.steal_counter(tier, true).inc();
+                // A sibling steal moves work between workers of the same
+                // node, so the hop's from == to (no NUMA crossing).
+                Some(thief_node)
             }
-            PopSource::RemoteSteal => {
+            PopSource::RemoteSteal { from } => {
                 tel.steals_total.inc();
                 tel.steal_counter(tier, false).inc();
+                Some(from)
+            }
+        };
+        if tel.tracing {
+            if let Some(from) = stolen_from {
+                tel.trace_stolen(
+                    worker,
+                    task.id.0,
+                    task.trace_id,
+                    from.0 as u64,
+                    thief_node.0 as u64,
+                    tier,
+                );
             }
         }
     }
@@ -431,11 +494,21 @@ fn pop_tier(
     for off in 1..n {
         let victim_node = (node.0 + off) % n;
         if let Some(t) = take_injector(&per_node[victim_node], local, tier) {
-            return Some((t, PopSource::RemoteSteal));
+            return Some((
+                t,
+                PopSource::RemoteSteal {
+                    from: NodeId(victim_node),
+                },
+            ));
         }
         for &victim in &grid.node_workers[victim_node] {
             if let Some(t) = steal_one(grid.stealers[victim].tier(tier), local, tier) {
-                return Some((t, PopSource::RemoteSteal));
+                return Some((
+                    t,
+                    PopSource::RemoteSteal {
+                        from: NodeId(victim_node),
+                    },
+                ));
             }
         }
     }
@@ -486,15 +559,24 @@ pub(crate) fn find_task_legacy(shared: &Shared, node: NodeId) -> Option<Task> {
         let (global, per_node) = shared.injectors(tier);
         let n = per_node.len();
         if let Some(t) = take_injector(&per_node[node.0], None, tier) {
-            return Some(note_pop(shared, t, PopSource::Local, tier));
+            return Some(note_pop(shared, t, PopSource::Local, tier, node, None));
         }
         if let Some(t) = take_injector(global, None, tier) {
-            return Some(note_pop(shared, t, PopSource::Local, tier));
+            return Some(note_pop(shared, t, PopSource::Local, tier, node, None));
         }
         for off in 1..n {
             let victim = (node.0 + off) % n;
             if let Some(t) = take_injector(&per_node[victim], None, tier) {
-                return Some(note_pop(shared, t, PopSource::RemoteSteal, tier));
+                return Some(note_pop(
+                    shared,
+                    t,
+                    PopSource::RemoteSteal {
+                        from: NodeId(victim),
+                    },
+                    tier,
+                    node,
+                    None,
+                ));
             }
         }
     }

@@ -44,6 +44,10 @@ pub enum TaskPriority {
 /// A fully-built task, owned by the runtime until it executes.
 pub(crate) struct Task {
     pub id: TaskId,
+    /// Causal-tree id: inherited from the spawning task, or the task's
+    /// own id for roots. Always assigned (a `u64` copy), but only
+    /// *recorded* when task tracing is enabled.
+    pub trace_id: u64,
     pub name: String,
     pub body: TaskBody,
     /// NUMA node this task would like to run on (e.g. where its data
@@ -95,6 +99,9 @@ pub struct TaskBuilder<'rt> {
     pub(crate) affinity: Option<NodeId>,
     pub(crate) priority: TaskPriority,
     pub(crate) want_finish_event: bool,
+    /// `(spawning task, its trace id)` when built from a [`TaskContext`];
+    /// the new task joins the parent's causal tree.
+    pub(crate) parent: Option<(TaskId, u64)>,
 }
 
 impl<'rt> TaskBuilder<'rt> {
@@ -162,6 +169,7 @@ impl<'rt> TaskBuilder<'rt> {
             self.affinity,
             self.priority,
             self.want_finish_event,
+            self.parent,
         )
     }
 }

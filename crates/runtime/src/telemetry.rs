@@ -8,7 +8,9 @@
 //! never contend with each other.
 
 use crate::task::TaskPriority;
-use coop_telemetry::{ArgValue, Counter, Histogram, TelemetryHub, TrackId};
+use coop_telemetry::{
+    hop, hop_args, ArgValue, Counter, Histogram, TelemetryHub, TrackId, TRACE_CAT,
+};
 use numa_topology::NodeId;
 use std::sync::Arc;
 use std::time::Instant;
@@ -51,10 +53,15 @@ pub(crate) struct RuntimeTelemetry {
     pub commands_total: Arc<Counter>,
     /// Runtime name, used as the metric label and for lazy lookups.
     pub name: Arc<str>,
+    /// Causal task tracing enabled
+    /// ([`RuntimeConfig::with_task_tracing`](crate::RuntimeConfig::with_task_tracing)).
+    /// Every trace hop site checks this plain bool first, so tracing-off
+    /// runs read no extra clocks and record no extra events.
+    pub tracing: bool,
 }
 
 impl RuntimeTelemetry {
-    pub fn new(hub: Arc<TelemetryHub>, name: &str, worker_node: &[NodeId]) -> Self {
+    pub fn new(hub: Arc<TelemetryHub>, name: &str, worker_node: &[NodeId], tracing: bool) -> Self {
         let track = hub.register_track(&format!("runtime:{name}"));
         hub.set_lane_name(track, 0, "control");
         for (w, node) in worker_node.iter().enumerate() {
@@ -126,8 +133,121 @@ impl RuntimeTelemetry {
             tasks_panicked_total: reg.counter("coop_tasks_panicked_total", &labels),
             commands_total: reg.counter("coop_control_commands_total", &labels),
             name: Arc::from(name),
+            tracing,
             hub,
         }
+    }
+
+    /// Record a `spawned` trace hop (lane 0; shard hint = task id so
+    /// concurrent spawners spread over the shards).
+    pub fn trace_spawned(&self, task: u64, trace: u64, parent: Option<u64>, name: &str) {
+        let mut args = hop_args(task, trace);
+        if let Some(p) = parent {
+            args.push(("parent".to_string(), ArgValue::U64(p)));
+        }
+        args.push(("task_name".to_string(), ArgValue::Str(name.to_string())));
+        self.hub
+            .record_instant(task as usize, self.track, 0, TRACE_CAT, hop::SPAWNED, args);
+    }
+
+    /// Record a `deps_released` trace hop for the releasing dependency.
+    pub fn trace_deps_released(&self, task: u64, trace: u64, event: Option<u64>) {
+        let mut args = hop_args(task, trace);
+        if let Some(e) = event {
+            args.push(("event".to_string(), ArgValue::U64(e)));
+        }
+        self.hub.record_instant(
+            task as usize,
+            self.track,
+            0,
+            TRACE_CAT,
+            hop::DEPS_RELEASED,
+            args,
+        );
+    }
+
+    /// Record an `enqueued` trace hop; `node` is the queue the task is
+    /// headed for (`None` = the global injector).
+    pub fn trace_enqueued(&self, task: u64, trace: u64, node: Option<u64>) {
+        let mut args = hop_args(task, trace);
+        if let Some(n) = node {
+            args.push(("node".to_string(), ArgValue::U64(n)));
+        }
+        self.hub
+            .record_instant(task as usize, self.track, 0, TRACE_CAT, hop::ENQUEUED, args);
+    }
+
+    /// Record a `stolen` trace hop on the thief's lane.
+    pub fn trace_stolen(
+        &self,
+        worker: Option<usize>,
+        task: u64,
+        trace: u64,
+        from: u64,
+        to: u64,
+        tier: TaskPriority,
+    ) {
+        let mut args = hop_args(task, trace);
+        args.push(("from".to_string(), ArgValue::U64(from)));
+        args.push(("to".to_string(), ArgValue::U64(to)));
+        args.push((
+            "tier".to_string(),
+            ArgValue::Str(
+                match tier {
+                    TaskPriority::High => "high",
+                    TaskPriority::Normal => "normal",
+                }
+                .to_string(),
+            ),
+        ));
+        let shard = worker.map(|w| w + 1).unwrap_or(0);
+        self.hub.record_instant(
+            shard,
+            self.track,
+            Self::lane(worker),
+            TRACE_CAT,
+            hop::STOLEN,
+            args,
+        );
+    }
+
+    /// Record a `started` trace hop on the executing worker's lane.
+    pub fn trace_started(&self, worker: Option<usize>, task: u64, trace: u64, node: u64) {
+        let mut args = hop_args(task, trace);
+        args.push(("node".to_string(), ArgValue::U64(node)));
+        if let Some(w) = worker {
+            args.push(("worker".to_string(), ArgValue::U64(w as u64)));
+        }
+        let shard = worker.map(|w| w + 1).unwrap_or(0);
+        self.hub.record_instant(
+            shard,
+            self.track,
+            Self::lane(worker),
+            TRACE_CAT,
+            hop::STARTED,
+            args,
+        );
+    }
+
+    /// Record the terminal `finished`/`panicked` trace hop.
+    pub fn trace_finished(
+        &self,
+        worker: Option<usize>,
+        task: u64,
+        trace: u64,
+        node: u64,
+        panicked: bool,
+    ) {
+        let mut args = hop_args(task, trace);
+        args.push(("node".to_string(), ArgValue::U64(node)));
+        let name = if panicked {
+            hop::PANICKED
+        } else {
+            hop::FINISHED
+        };
+        let shard = worker.map(|w| w + 1).unwrap_or(0);
+        self.hub
+            .record_instant(shard, self.track, Self::lane(worker), TRACE_CAT, name, args);
     }
 
     /// The labelled steal counter for a (tier, source) pair; `sibling`

@@ -203,6 +203,7 @@ fn execute(
         shared,
         worker_node: node,
         task_id: task.id,
+        trace_id: task.trace_id,
         worker_core: core,
     };
     let tracing = shared.tracer.is_active();
@@ -210,8 +211,23 @@ fn execute(
     // pay for it when some consumer will see the timing.
     let timed = tracing || shared.telemetry.is_some();
     let started_at = timed.then(Instant::now);
+    // Causal-trace hops: gated on a plain bool inside the existing
+    // telemetry Option, so tracing-off runs branch once and do nothing.
+    let hops = shared.telemetry.as_ref().filter(|t| t.tracing);
+    if let Some(tel) = hops {
+        tel.trace_started(worker, task.id.0, task.trace_id, node.0 as u64);
+    }
     let body = task.body;
     let result = catch_unwind(AssertUnwindSafe(move || body(&ctx)));
+    if let Some(tel) = hops {
+        tel.trace_finished(
+            worker,
+            task.id.0,
+            task.trace_id,
+            node.0 as u64,
+            result.is_err(),
+        );
+    }
     if tracing {
         shared.tracer.record_task(
             &task.name,

@@ -57,7 +57,10 @@ mod json;
 mod metrics;
 mod observatory;
 mod provenance;
+mod recorder;
+mod serve;
 mod timeline;
+mod trace;
 
 pub use drift::{DriftAlarm, DriftConfig, DriftDetector, DriftDirection, SeriesSnapshot};
 pub use metrics::{
@@ -67,4 +70,7 @@ pub use observatory::{
     DriftReport, ModelObservatory, ALARMS_METRIC, RESIDUAL_METRIC, RESIDUAL_PCT_METRIC,
 };
 pub use provenance::{Prediction, ProvenanceLedger, ProvenanceRecord, Residual, SeriesValue};
+pub use recorder::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY, FLIGHT_MAGIC, FLIGHT_VERSION};
+pub use serve::{recent_events_json, serve, serve_with_limit, TelemetryServer, RECENT_TRACE_LIMIT};
 pub use timeline::{ArgValue, EventKind, TelemetryHub, TimelineEvent, TrackId};
+pub use trace::{hop, hop_args, TaskTrace, TraceAssembler, TraceHop, TRACE_CAT};

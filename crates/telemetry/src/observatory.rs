@@ -172,6 +172,11 @@ impl ModelObservatory {
                         ("decision".to_string(), ArgValue::U64(record.id)),
                     ],
                 );
+                // Drift alarms auto-dump the flight recorder: the events
+                // leading up to a model mismatch are the evidence.
+                if let Some(rec) = self.hub.flight_recorder() {
+                    rec.trigger_dump(&format!("drift-{}", alarm.series));
+                }
             }
         }
         record.residuals
@@ -395,6 +400,53 @@ mod tests {
         let events = hub.events();
         assert!(events.iter().any(|e| e.cat == "provenance"));
         assert!(events.iter().any(|e| e.cat == "drift"));
+    }
+
+    #[test]
+    fn drift_alarm_dumps_the_flight_recorder() {
+        use crate::recorder::FlightRecorder;
+
+        let hub = Arc::new(TelemetryHub::new());
+        let dir = std::env::temp_dir().join(format!(
+            "coop-drift-dump-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = Arc::new(FlightRecorder::new(256));
+        rec.set_dump_dir(&dir);
+        assert!(hub.install_flight_recorder(Arc::clone(&rec)));
+
+        let obs = ModelObservatory::new(Arc::clone(&hub));
+        for tick in 0..8u64 {
+            let id = obs.open_decision(tick, "test", "assign", prediction(10.0));
+            obs.close_decision(
+                id,
+                vec![
+                    SeriesValue::new("app/a/bandwidth_gbs", 6.0),
+                    SeriesValue::new("node/0/bandwidth_gbs", 12.0),
+                ],
+            );
+        }
+        assert!(obs.detector().total_alarms() > 0);
+        assert!(rec.dumps() > 0, "each alarm snapshots the recorder");
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            dumps.iter().any(|n| n.starts_with("flight-drift-")),
+            "dump files carry the drift reason: {dumps:?}"
+        );
+        // The dump decodes and contains the drift alarm instants that
+        // preceded it.
+        let first = dumps.iter().min().unwrap();
+        let bytes = std::fs::read(dir.join(first)).unwrap();
+        let events = FlightRecorder::decode(&bytes).unwrap();
+        assert!(events.iter().any(|e| e.cat == "drift"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

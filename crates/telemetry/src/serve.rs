@@ -1,0 +1,357 @@
+//! A minimal, dependency-free HTTP/1.1 server exposing the hub live.
+//!
+//! This is the first wire surface the future coordination daemon will
+//! grow from: a plain [`std::net::TcpListener`] accept loop on a
+//! background thread serving four read-only routes off the shared
+//! [`TelemetryHub`]:
+//!
+//! | route           | content                                        |
+//! |-----------------|------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition (the same exporter behind `--metrics` files) |
+//! | `/healthz`      | liveness JSON: uptime, event/drop counts       |
+//! | `/trace/recent` | the most recent timeline events as JSON        |
+//! | `/summary`      | the compact [`summary_json`](crate::TelemetryHub::summary_json) report |
+//!
+//! Start it with [`serve`], stop it with [`TelemetryServer::stop`].
+//! `serve_with_limit` exists for smoke tests and CI: the server exits by
+//! itself after answering a fixed number of requests, so `coop observe
+//! --serve addr --serve-max-requests N` terminates deterministically.
+
+use crate::json::{push_f64, push_str_literal};
+use crate::timeline::{ArgValue, EventKind, TelemetryHub, TimelineEvent};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default number of events `/trace/recent` returns.
+pub const RECENT_TRACE_LIMIT: usize = 256;
+
+/// Handle to a running telemetry server.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TelemetryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryServer")
+            .field("addr", &self.addr)
+            .field("served", &self.served())
+            .finish()
+    }
+}
+
+impl TelemetryServer {
+    /// The address the listener actually bound (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Ask the accept loop to exit; returns once the thread has joined.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until the server exits on its own (only happens when a
+    /// request limit was set via [`serve_with_limit`]).
+    pub fn join(mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Serialize the newest `limit` events as a JSON array (oldest first).
+pub fn recent_events_json(hub: &TelemetryHub, limit: usize) -> String {
+    let events = hub.events();
+    let skip = events.len().saturating_sub(limit);
+    let mut out = String::with_capacity(256 + (events.len() - skip) * 128);
+    out.push_str("{\"events\":[");
+    for (i, ev) in events[skip..].iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_event_json(&mut out, ev);
+    }
+    out.push_str(&format!(
+        "],\"total\":{},\"dropped\":{}}}",
+        events.len(),
+        hub.dropped()
+    ));
+    out
+}
+
+fn push_event_json(out: &mut String, ev: &TimelineEvent) {
+    out.push_str(&format!(
+        "{{\"track\":{},\"lane\":{},\"ts_us\":{},\"cat\":",
+        ev.track.0, ev.lane, ev.ts_us
+    ));
+    push_str_literal(out, &ev.cat);
+    out.push_str(",\"name\":");
+    push_str_literal(out, &ev.name);
+    match &ev.kind {
+        EventKind::Span { dur_us } => {
+            out.push_str(&format!(",\"kind\":\"span\",\"dur_us\":{dur_us}"))
+        }
+        EventKind::Instant => out.push_str(",\"kind\":\"instant\""),
+        EventKind::Counter { value } => {
+            out.push_str(",\"kind\":\"counter\",\"value\":");
+            push_f64(out, *value);
+        }
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in ev.args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_literal(out, k);
+        out.push(':');
+        match v {
+            ArgValue::U64(n) => out.push_str(&n.to_string()),
+            ArgValue::I64(n) => out.push_str(&n.to_string()),
+            ArgValue::F64(x) => push_f64(out, *x),
+            ArgValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            ArgValue::Str(s) => push_str_literal(out, s),
+        }
+    }
+    out.push_str("}}");
+}
+
+fn healthz_json(hub: &TelemetryHub) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"uptime_us\":{},\"events\":{},\"dropped\":{}}}",
+        hub.now_us(),
+        hub.event_count(),
+        hub.dropped()
+    )
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(resp.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle_request(hub: &TelemetryHub, stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 2048];
+    let n = match stream.read(&mut buf) {
+        Ok(0) | Err(_) => return,
+        Ok(n) => n,
+    };
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    if method != "GET" {
+        respond(
+            stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "GET only\n",
+        );
+        return;
+    }
+    match path {
+        "/metrics" => respond(
+            stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &hub.registry().to_prometheus(),
+        ),
+        "/healthz" => respond(stream, "200 OK", "application/json", &healthz_json(hub)),
+        "/trace/recent" => respond(
+            stream,
+            "200 OK",
+            "application/json",
+            &recent_events_json(hub, RECENT_TRACE_LIMIT),
+        ),
+        "/summary" => respond(stream, "200 OK", "application/json", &hub.summary_json()),
+        _ => respond(
+            stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "routes: /metrics /healthz /trace/recent /summary\n",
+        ),
+    }
+}
+
+/// Start serving `hub` on `addr` (e.g. `"127.0.0.1:9464"`, port 0 picks a
+/// free port). Runs until the handle is stopped or dropped.
+pub fn serve(hub: Arc<TelemetryHub>, addr: &str) -> std::io::Result<TelemetryServer> {
+    serve_with_limit(hub, addr, None)
+}
+
+/// Like [`serve`], but when `max_requests` is `Some(n)` the accept loop
+/// exits by itself after answering `n` requests — a deterministic
+/// shutdown for smoke tests and CI.
+pub fn serve_with_limit(
+    hub: Arc<TelemetryHub>,
+    addr: &str,
+    max_requests: Option<u64>,
+) -> std::io::Result<TelemetryServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let thread_shutdown = Arc::clone(&shutdown);
+    let thread_served = Arc::clone(&served);
+    let handle = std::thread::Builder::new()
+        .name("coop-telemetry-serve".to_string())
+        .spawn(move || {
+            while !thread_shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        // Requests are tiny and read-only; handling them
+                        // inline keeps the server single-threaded and
+                        // bounded.
+                        let _ = stream.set_nodelay(true);
+                        handle_request(&hub, &mut stream);
+                        let done = thread_served.fetch_add(1, Ordering::Relaxed) + 1;
+                        if let Some(limit) = max_requests {
+                            if done >= limit {
+                                break;
+                            }
+                        }
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        })?;
+    Ok(TelemetryServer {
+        addr: local,
+        shutdown,
+        served,
+        handle: Some(handle),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        let (head, body) = resp.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    fn seeded_hub() -> Arc<TelemetryHub> {
+        let hub = Arc::new(TelemetryHub::new());
+        let track = hub.register_track("runtime:test");
+        hub.registry()
+            .counter("coop_tasks_completed_total", &[("runtime", "test")])
+            .add(5);
+        hub.record_span(0, track, 1, "task", "stage1", 10, 120, Vec::new());
+        hub.record_instant(
+            0,
+            track,
+            0,
+            "trace",
+            "spawned",
+            vec![("task".to_string(), ArgValue::U64(1))],
+        );
+        hub
+    }
+
+    #[test]
+    fn serves_metrics_healthz_trace_and_summary() {
+        let hub = seeded_hub();
+        let server = serve(Arc::clone(&hub), "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("coop_tasks_completed_total"));
+        assert_eq!(body, hub.registry().to_prometheus());
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        let parsed: serde_json::Value = serde_json::from_str(&body).expect("healthz JSON");
+        assert_eq!(parsed["status"], "ok");
+        assert_eq!(parsed["events"], 2);
+
+        let (head, body) = get(addr, "/trace/recent");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        let parsed: serde_json::Value = serde_json::from_str(&body).expect("trace JSON");
+        let events = parsed["events"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(events
+            .iter()
+            .any(|e| e["name"] == "spawned" && e["args"]["task"] == 1));
+
+        let (head, body) = get(addr, "/summary");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, hub.summary_json());
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+        assert!(server.served() >= 5);
+        server.stop();
+    }
+
+    #[test]
+    fn request_limit_shuts_the_server_down() {
+        let hub = seeded_hub();
+        let server = serve_with_limit(Arc::clone(&hub), "127.0.0.1:0", Some(2)).expect("bind");
+        let addr = server.addr();
+        let _ = get(addr, "/healthz");
+        let _ = get(addr, "/healthz");
+        // The accept loop exits on its own; join must not hang.
+        server.join();
+    }
+
+    #[test]
+    fn recent_events_json_caps_at_limit_oldest_dropped() {
+        let hub = TelemetryHub::with_config(1, 64);
+        let track = hub.register_track("t");
+        for i in 0..10u64 {
+            hub.record_instant_at(0, track, 0, "trace", &format!("e{i}"), i, Vec::new());
+        }
+        let out = recent_events_json(&hub, 3);
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let names: Vec<&str> = parsed["events"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|e| e["name"].as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["e7", "e8", "e9"]);
+        assert_eq!(parsed["total"], 10);
+    }
+}

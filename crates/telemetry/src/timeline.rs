@@ -10,10 +10,11 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 use crate::metrics::MetricsRegistry;
+use crate::recorder::FlightRecorder;
 
 /// Identifies a timeline track (one per data source: a runtime, the
 /// agent, the memory simulator). Exported as a Perfetto "process".
@@ -96,6 +97,7 @@ pub struct TelemetryHub {
     registry: MetricsRegistry,
     shards: Vec<Shard>,
     tracks: Mutex<Vec<Track>>,
+    recorder: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl std::fmt::Debug for TelemetryHub {
@@ -142,7 +144,21 @@ impl TelemetryHub {
                 })
                 .collect(),
             tracks: Mutex::new(Vec::new()),
+            recorder: OnceLock::new(),
         }
+    }
+
+    /// Install a [`FlightRecorder`]: from now on every recorded event is
+    /// also encoded into its ring. Install-once — a second call returns
+    /// `false` and leaves the first recorder in place. When no recorder
+    /// is installed the hot path pays a single relaxed atomic load.
+    pub fn install_flight_recorder(&self, recorder: Arc<FlightRecorder>) -> bool {
+        self.recorder.set(recorder).is_ok()
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.get()
     }
 
     /// The shared metrics registry.
@@ -196,6 +212,9 @@ impl TelemetryHub {
     /// shards and do not contend. When a shard is full its **oldest**
     /// event is evicted (and counted in [`dropped`](Self::dropped)).
     pub fn record(&self, shard_hint: usize, event: TimelineEvent) {
+        if let Some(rec) = self.recorder.get() {
+            rec.log(&event);
+        }
         let shard = &self.shards[shard_hint % self.shards.len()];
         let mut buf = lock(&shard.buf);
         if buf.events.len() >= buf.capacity {
@@ -382,6 +401,41 @@ mod tests {
         let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, ["e7", "e8", "e9"]);
         assert_eq!(hub.dropped(), 7);
+    }
+
+    #[test]
+    fn overflow_conserves_event_counts() {
+        // Satellite invariant: nothing is silently lost — every recorded
+        // event is either still buffered or counted as dropped, on every
+        // shard independently.
+        let hub = TelemetryHub::with_config(3, 5);
+        const RECORDED: u64 = 100;
+        for i in 0..RECORDED {
+            hub.record(i as usize, instant(&format!("e{}", i), i));
+        }
+        assert_eq!(hub.event_count() as u64 + hub.dropped(), RECORDED);
+        // Survivors are exactly the newest per shard, still sorted.
+        let events = hub.events();
+        assert_eq!(events.len(), 15);
+        assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        assert!(events.iter().all(|e| e.ts_us >= RECORDED - 15));
+    }
+
+    #[test]
+    fn installed_flight_recorder_sees_every_event_even_evicted_ones() {
+        use crate::recorder::FlightRecorder;
+        let hub = TelemetryHub::with_config(1, 2);
+        let rec = Arc::new(FlightRecorder::new(64));
+        assert!(hub.install_flight_recorder(Arc::clone(&rec)));
+        // Second install is rejected, first stays.
+        assert!(!hub.install_flight_recorder(Arc::new(FlightRecorder::new(1))));
+        for i in 0..10u64 {
+            hub.record(0, instant(&format!("e{}", i), i));
+        }
+        // The hub ring kept only 2, but the recorder logged all 10.
+        assert_eq!(hub.event_count(), 2);
+        assert_eq!(rec.recorded(), 10);
+        assert_eq!(hub.flight_recorder().unwrap().len(), 10);
     }
 
     #[test]
