@@ -4,7 +4,8 @@ use crate::policies::per_node_command;
 use crate::supervise::{Health, SupervisedHandle, SupervisionConfig, HEALTH_LANE};
 use crate::{Policy, Result, RuntimeHandle, RuntimeStats, ThreadCommand};
 use coop_telemetry::{
-    ArgValue, Counter, Histogram, ModelObservatory, Prediction, SeriesValue, TelemetryHub, TrackId,
+    scheduler_locality, ArgValue, Counter, Histogram, ModelObservatory, Prediction, SeriesValue,
+    TelemetryHub, TenantSample, TrackId,
 };
 use numa_topology::Machine;
 use parking_lot::Mutex;
@@ -296,6 +297,22 @@ fn measured_share_series(
     (series, regressed)
 }
 
+/// The machine share a thread command entitles a runtime to: granted
+/// threads over total machine cores, clamped to 1.0 (`Unrestricted`
+/// entitles the whole machine; `BlockCores` entitles what is left).
+fn entitled_share(cmd: &ThreadCommand, total_cores: usize) -> f64 {
+    if total_cores == 0 {
+        return 0.0;
+    }
+    let threads = match cmd {
+        ThreadCommand::TotalThreads(n) => *n,
+        ThreadCommand::PerNode(v) => v.iter().sum(),
+        ThreadCommand::BlockCores(set) => total_cores.saturating_sub(set.count()),
+        ThreadCommand::Unrestricted => total_cores,
+    };
+    (threads as f64 / total_cores as f64).min(1.0)
+}
+
 impl Agent {
     /// Creates an agent with the given policy and no managed runtimes.
     /// Decisions are recorded into a private telemetry hub; use
@@ -354,6 +371,11 @@ impl Agent {
     /// runtime).
     pub fn manage_supervised(&mut self, handle: SupervisedHandle) {
         handle.attach_telemetry(Arc::clone(&self.telemetry.hub), self.telemetry.track);
+        if let Some(ledger) = self.telemetry.hub.tenant_ledger() {
+            // A managed runtime is a tenant: open its accounting epoch.
+            let now = self.telemetry.hub.now_us();
+            ledger.open_epoch(&self.telemetry.hub, &handle.name(), "managed", now);
+        }
         self.handles.push(handle);
         self.evicted.push(false);
     }
@@ -438,6 +460,15 @@ impl Agent {
                 self.telemetry.recoveries.inc();
                 self.telemetry
                     .record_health_event(tick, &self.handles[i].name(), "readmitted");
+                if let Some(ledger) = self.telemetry.hub.tenant_ledger() {
+                    let now = self.telemetry.hub.now_us();
+                    ledger.open_epoch(
+                        &self.telemetry.hub,
+                        &self.handles[i].name(),
+                        "readmitted",
+                        now,
+                    );
+                }
             }
         }
 
@@ -473,6 +504,15 @@ impl Agent {
                             &self.handles[i].name(),
                             "evicted",
                         );
+                        if let Some(ledger) = self.telemetry.hub.tenant_ledger() {
+                            let now = self.telemetry.hub.now_us();
+                            ledger.close_epoch(
+                                &self.telemetry.hub,
+                                &self.handles[i].name(),
+                                "evicted",
+                                now,
+                            );
+                        }
                     }
                 }
             }
@@ -563,6 +603,42 @@ impl Agent {
                 provenance = Some(id);
             }
         }
+        // Tenant accounting: entitlements follow the commands just
+        // applied (policy or reclamation fallback alike), samples come
+        // from this tick's stats poll, and the SLO engine judges the
+        // refreshed ledger. All of it is skipped unless an observer
+        // installed a ledger/engine on the hub — no hot-path cost.
+        if let Some(ledger) = self.telemetry.hub.tenant_ledger() {
+            if let Some(machine) = &self.reclaim_machine {
+                let cores = machine.total_cores();
+                for (i, cmd) in &applied {
+                    ledger.set_entitlement(&self.handles[*i].name(), entitled_share(cmd, cores));
+                }
+            }
+            let samples: Vec<TenantSample> = stats
+                .iter()
+                .map(|s| {
+                    let (local_pops, remote_steals) =
+                        scheduler_locality(self.telemetry.hub.registry(), &s.name);
+                    TenantSample {
+                        tenant: s.name.clone(),
+                        tasks_executed: s.tasks_executed,
+                        uptime_us: s.uptime_us,
+                        per_node_tasks: s.per_node_tasks(),
+                        running_per_node: s.running_per_node(),
+                        local_pops,
+                        remote_steals,
+                    }
+                })
+                .collect();
+            let now = self.telemetry.hub.now_us();
+            ledger.tick(&self.telemetry.hub, now, &samples);
+        }
+        if let Some(engine) = self.telemetry.hub.slo_engine() {
+            let now = self.telemetry.hub.now_us();
+            engine.evaluate(&self.telemetry.hub, now);
+        }
+
         for (idx, (i, cmd)) in applied.into_iter().enumerate() {
             self.telemetry.record_decision(Decision {
                 tick,
@@ -914,6 +990,79 @@ mod tests {
             hub.registry().counter_total("coop_agent_recoveries_total"),
             1
         );
+    }
+
+    #[test]
+    fn agent_feeds_tenant_ledger_and_slo_engine() {
+        use coop_telemetry::{SloEngine, SloSpec, TenantLedger};
+        let hub = Arc::new(TelemetryHub::new());
+        let ledger = Arc::new(TenantLedger::new());
+        assert!(hub.install_tenant_ledger(Arc::clone(&ledger)));
+        let engine = Arc::new(SloEngine::new(vec![SloSpec::min_share("b", 0.2)]));
+        assert!(hub.install_slo_engine(Arc::clone(&engine)));
+
+        let (a, _, a_exec, _) = Fake::new("a");
+        let (b, b_dead, _, _) = Fake::new("b");
+        let mut agent = Agent::with_telemetry(Box::new(Silent), Arc::clone(&hub));
+        agent.set_supervision(fast_supervision());
+        agent.set_reclaim_machine(tiny());
+        agent.manage(Box::new(a));
+        agent.manage(Box::new(b));
+
+        // Managing a runtime opens its accounting epoch.
+        let snap = ledger.snapshot();
+        assert!(snap.tenant("a").unwrap().live);
+        assert!(snap.tenant("b").unwrap().live);
+
+        // Ticks book measurement windows: the first books each runtime's
+        // lifetime counters from zero, then "a" executes 300 more tasks
+        // while "b" sits still, so "a" owns the second window.
+        agent.tick().unwrap();
+        a_exec.store(400, Ordering::SeqCst);
+        agent.tick().unwrap();
+        let snap = ledger.snapshot();
+        assert_eq!(snap.tenant("a").unwrap().tasks_total, 400);
+        assert!((snap.tenant("a").unwrap().delivered_share - 1.0).abs() < 1e-12);
+
+        // Kill "b": the eviction closes its epoch, and the reclamation
+        // fallback entitles the survivor to the whole tiny() machine.
+        b_dead.store(true, Ordering::SeqCst);
+        for _ in 0..4 {
+            a_exec.fetch_add(50, Ordering::SeqCst);
+            agent.tick().unwrap();
+        }
+        assert_eq!(agent.evicted(), vec!["b".to_string()]);
+        let snap = ledger.snapshot();
+        let b_acct = snap.tenant("b").unwrap();
+        assert!(!b_acct.live);
+        assert!(b_acct.epochs.last().unwrap().closed_us.is_some());
+        assert_eq!(snap.tenant("a").unwrap().entitled_share, Some(1.0));
+
+        // The victim's min-share SLO is violated while it is out.
+        let report = engine.report();
+        assert!(report[0].violations_total >= 1, "{report:?}");
+        assert!(report[0].burn_rate > 0.0);
+
+        // Revival re-opens the epoch with reason "readmitted".
+        b_dead.store(false, Ordering::SeqCst);
+        agent.tick().unwrap();
+        agent.tick().unwrap();
+        assert!(agent.evicted().is_empty());
+        let snap = ledger.snapshot();
+        let b_acct = snap.tenant("b").unwrap();
+        assert!(b_acct.live);
+        assert_eq!(b_acct.epochs.len(), 2);
+        assert_eq!(b_acct.epochs.last().unwrap().reason, "readmitted");
+    }
+
+    #[test]
+    fn entitled_share_of_commands() {
+        // tiny() is 2 nodes x 2 cores = 4 cores.
+        assert_eq!(entitled_share(&ThreadCommand::TotalThreads(2), 4), 0.5);
+        assert_eq!(entitled_share(&ThreadCommand::PerNode(vec![1, 1]), 4), 0.5);
+        assert_eq!(entitled_share(&ThreadCommand::Unrestricted, 4), 1.0);
+        assert_eq!(entitled_share(&ThreadCommand::TotalThreads(9), 4), 1.0);
+        assert_eq!(entitled_share(&ThreadCommand::TotalThreads(1), 0), 0.0);
     }
 
     #[test]

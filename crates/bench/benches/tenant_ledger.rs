@@ -1,0 +1,79 @@
+//! O-bench: tenant observatory overhead — the cost of booking one
+//! accounting window (`TenantLedger::tick`) as the tenant count grows,
+//! a combined ledger-tick + SLO-evaluation pass (the work the agent adds
+//! to every decision tick when an observer installs the observatory),
+//! and the raw Jain's-index fold. The observatory is strictly off the
+//! task hot path — these numbers bound the *decision-tick* overhead, so
+//! they should stay in the low microseconds for realistic tenant counts.
+
+use coop_telemetry::{jain_index, SloEngine, SloSpec, TelemetryHub, TenantLedger, TenantSample};
+use criterion::{Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Monotonically growing cumulative samples for `n` tenants: `round`
+/// scales every counter so consecutive ticks always book forward deltas.
+fn samples(n: usize, round: u64) -> Vec<TenantSample> {
+    (0..n)
+        .map(|i| TenantSample {
+            tenant: format!("tenant{i}"),
+            tasks_executed: round * (100 + i as u64),
+            uptime_us: round * 10_000,
+            per_node_tasks: vec![round * 50, round * 50],
+            running_per_node: vec![1, 1],
+            local_pops: round * 90,
+            remote_steals: round * 10,
+        })
+        .collect()
+}
+
+fn bench_observatory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tenant_ledger");
+    for (n, name) in [
+        (2usize, "tick/2_tenants"),
+        (8, "tick/8_tenants"),
+        (32, "tick/32_tenants"),
+    ] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(name, |b| {
+            let hub = TelemetryHub::new();
+            let ledger = TenantLedger::new();
+            let mut round = 1u64;
+            b.iter(|| {
+                ledger.tick(&hub, round * 10_000, &samples(n, round));
+                round += 1;
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("slo_engine");
+    g.bench_function("tick_and_evaluate/8_tenants", |b| {
+        let hub = Arc::new(TelemetryHub::new());
+        let ledger = Arc::new(TenantLedger::new());
+        hub.install_tenant_ledger(Arc::clone(&ledger));
+        let engine = SloEngine::new(
+            (0..8)
+                .map(|i| SloSpec::min_share(&format!("tenant{i}"), 0.05))
+                .collect(),
+        );
+        let mut round = 1u64;
+        b.iter(|| {
+            ledger.tick(&hub, round * 10_000, &samples(8, round));
+            engine.evaluate(&hub, round * 10_000);
+            round += 1;
+        })
+    });
+    g.finish();
+
+    c.bench_function("jain_index/32_shares", |b| {
+        let shares: Vec<f64> = (0..32).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        b.iter(|| black_box(jain_index(black_box(&shares))))
+    });
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_observatory(&mut criterion);
+    criterion.final_summary();
+}

@@ -171,7 +171,8 @@ pub enum Command {
         /// anything else → Prometheus text exposition).
         metrics: Option<String>,
         /// Serve the hub over HTTP after the run (`--serve <addr>`;
-        /// `/metrics`, `/healthz`, `/trace/recent`, `/summary`).
+        /// `/metrics`, `/healthz`, `/trace/recent`, `/summary`,
+        /// `/tenants`, `/slo`).
         serve: Option<String>,
         /// Shut the server down after N requests (`--serve-max-requests`;
         /// 0 = serve until killed). Lets CI smoke the endpoints
@@ -251,6 +252,28 @@ pub enum Command {
         /// (`--flight-dir <DIR>`); the supervision machine dumps it
         /// automatically when a runtime goes Suspected or Dead.
         flight_dir: Option<String>,
+        /// Write the SLO engine's JSON report here after the run
+        /// (`--slo-report <PATH>`).
+        slo_report: Option<String>,
+    },
+    /// `top` — run a supervised two-tenant simulation with per-tenant
+    /// accounting and print the resource ledger (who got what, delivered
+    /// vs entitled share, locality, Jain fairness) plus the SLO report.
+    Top {
+        /// Preset name or JSON path (defaults to `tiny`).
+        machine: String,
+        /// Simulated duration, seconds (`--duration`).
+        duration_s: f64,
+        /// Length of one accounting window, seconds (`--decision-period`).
+        decision_period_s: f64,
+        /// Mid-run outages (`--outage app:down_at_s[:up_at_s]`), raw;
+        /// parsed against the app list at execution time.
+        outages: Vec<String>,
+        /// Serve the hub (including `/tenants` and `/slo`) over HTTP
+        /// after the run (`--serve <ADDR>`).
+        serve: Option<String>,
+        /// Shut the server down after N requests (`--serve-max-requests`).
+        serve_max_requests: u64,
     },
     /// `help`.
     Help,
@@ -292,9 +315,10 @@ COMMANDS:
                                with an agent and the memory simulator on one
                                telemetry hub; export the merged trace/metrics;
                                --serve exposes /metrics, /healthz,
-                               /trace/recent and /summary over HTTP after
-                               the run; --dump writes a flight-recorder
-                               snapshot of recent events into DIR
+                               /trace/recent, /summary, /tenants and /slo
+                               over HTTP after the run; --dump writes a
+                               flight-recorder snapshot of recent events
+                               into DIR
   trace   <TASK> [--from <DUMP>] [--machine <M>] [--iterations N]
                                reconstruct the causal span chain
                                (spawn -> release -> enqueue -> steal ->
@@ -319,6 +343,7 @@ COMMANDS:
           [--kill-at T] [--revive-at T] [--deadline MS]
           [--fault <kind[=millis][@from[..until]][~prob]>...]
           [--trace-out <PATH>] [--metrics <PATH>] [--flight-dir <DIR>]
+          [--slo-report <PATH>]
                                run live runtimes under a supervised agent,
                                kill app0 mid-run, and report detection,
                                eviction, core reclamation, and recovery;
@@ -328,11 +353,25 @@ COMMANDS:
                                --flight-dir installs a black-box flight
                                recorder that dumps recent events into DIR
                                whenever the supervisor marks a runtime
-                               Suspected or Dead
+                               Suspected or Dead; --slo-report writes the
+                               victim's SLO burn-rate report as JSON
+  top     [--machine <M>] [--duration S] [--decision-period S]
+          [--outage <app:down_at_s[:up_at_s]>...]
+          [--serve <ADDR> [--serve-max-requests N]]
+                               run a supervised two-tenant simulation with
+                               per-tenant accounting and print the resource
+                               ledger (tasks, CPU time per node, delivered
+                               vs entitled share, locality, Jain index)
+                               plus the SLO burn-rate report; --outage
+                               kills an app mid-run (cores fair-shared to
+                               the survivor) and optionally revives it;
+                               --serve exposes /tenants and /slo over HTTP
+                               after the run; --format json prints exactly
+                               what /tenants serves
   help                         this text
 
 OBSERVABILITY:
-  --format <F>       on observe/simulate/drift: stdout format
+  --format <F>       on observe/simulate/drift/top: stdout format
                      text (default) | json | prom (Prometheus exposition
                      of the run's telemetry hub); --json = --format json
   --metrics <PATH>   on search/simulate/observe/drift: write metrics to PATH
@@ -445,6 +484,8 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
     let mut dump: Option<String> = None;
     let mut from: Option<String> = None;
     let mut flight_dir: Option<String> = None;
+    let mut slo_report: Option<String> = None;
+    let mut outages: Vec<String> = Vec::new();
 
     let mut positional: Vec<&str> = Vec::new();
     let mut it = argv.iter().peekable();
@@ -477,6 +518,8 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             "--dump" => dump = Some(next_value(&mut it, "--dump")?),
             "--from" => from = Some(next_value(&mut it, "--from")?),
             "--flight-dir" => flight_dir = Some(next_value(&mut it, "--flight-dir")?),
+            "--slo-report" => slo_report = Some(next_value(&mut it, "--slo-report")?),
+            "--outage" => outages.push(next_value(&mut it, "--outage")?),
             "--fault" => faults.push(next_value(&mut it, "--fault")?),
             "--no-reclaim" => no_reclaim = true,
             "--reoptimize" => reoptimize = true,
@@ -665,8 +708,17 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
                 trace_out,
                 metrics,
                 flight_dir,
+                slo_report,
             }
         }
+        Some("top") => Command::Top {
+            machine: machine.unwrap_or_else(|| "tiny".to_string()),
+            duration_s,
+            decision_period_s,
+            outages,
+            serve,
+            serve_max_requests,
+        },
         Some("observe") => Command::Observe {
             machine: machine.unwrap_or_else(|| "tiny".to_string()),
             iterations,
@@ -1093,6 +1145,70 @@ mod tests {
         assert!(parse_args(&argv("chaos --kill-at 3 --revive-at 2")).is_err());
         assert!(parse_args(&argv("chaos --ticks 0")).is_err());
         assert!(parse_args(&argv("chaos --runtimes many")).is_err());
+    }
+
+    #[test]
+    fn parses_top_with_defaults_and_overrides() {
+        let cli = parse_args(&argv("top")).unwrap();
+        match cli.command {
+            Command::Top {
+                machine,
+                duration_s,
+                decision_period_s,
+                outages,
+                serve,
+                serve_max_requests,
+            } => {
+                assert_eq!(machine, "tiny");
+                assert!((duration_s - 0.2).abs() < 1e-12);
+                assert!((decision_period_s - 0.01).abs() < 1e-12);
+                assert!(outages.is_empty());
+                assert_eq!(serve, None);
+                assert_eq!(serve_max_requests, 0);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+
+        let cli = parse_args(&argv(
+            "top --machine dual-socket --duration 0.1 --decision-period 0.02 \
+             --outage 1:0.03:0.07 --serve 127.0.0.1:0 --serve-max-requests 2 --format json",
+        ))
+        .unwrap();
+        assert_eq!(cli.format, OutputFormat::Json);
+        match cli.command {
+            Command::Top {
+                machine,
+                duration_s,
+                outages,
+                serve,
+                serve_max_requests,
+                ..
+            } => {
+                assert_eq!(machine, "dual-socket");
+                assert!((duration_s - 0.1).abs() < 1e-12);
+                assert_eq!(outages, vec!["1:0.03:0.07"]);
+                assert_eq!(serve.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(serve_max_requests, 2);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&argv("top --outage")).is_err());
+    }
+
+    #[test]
+    fn chaos_collects_slo_report_path() {
+        let cli = parse_args(&argv("chaos --slo-report /tmp/slo.json")).unwrap();
+        match cli.command {
+            Command::Chaos { slo_report, .. } => {
+                assert_eq!(slo_report.as_deref(), Some("/tmp/slo.json"))
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse_args(&argv("chaos")).unwrap();
+        match cli.command {
+            Command::Chaos { slo_report, .. } => assert_eq!(slo_report, None),
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]

@@ -115,6 +115,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             trace_out,
             metrics,
             flight_dir,
+            slo_report,
         } => chaos_cmd(
             machine,
             *runtimes,
@@ -123,7 +124,22 @@ pub fn execute(cli: &Cli) -> Result<String> {
             faults,
             trace_out.as_deref(),
             metrics.as_deref(),
-            flight_dir.as_deref(),
+            (flight_dir.as_deref(), slo_report.as_deref()),
+            cli.format,
+        ),
+        Command::Top {
+            machine,
+            duration_s,
+            decision_period_s,
+            outages,
+            serve,
+            serve_max_requests,
+        } => top_cmd(
+            machine,
+            *duration_s,
+            *decision_period_s,
+            outages,
+            (serve.as_deref(), *serve_max_requests),
             cli.format,
         ),
         Command::Observe {
@@ -185,25 +201,26 @@ fn write_metrics_file(path: &str, hub: &coop_telemetry::TelemetryHub) -> Result<
         .map_err(|e| CliError::failure(format!("cannot write metrics '{path}': {e}")))
 }
 
-/// Parses a simulate `--fault app:down_at_s[:up_at_s]` outage spec.
-fn parse_outage(spec: &str) -> Result<memsim::AppOutage> {
+/// Parses an `app:down_at_s[:up_at_s]` outage spec; `flag` names the
+/// CLI flag it came from (`--fault` on simulate, `--outage` on top) so
+/// errors point at what the user actually typed.
+fn parse_outage(flag: &str, spec: &str) -> Result<memsim::AppOutage> {
     let parts: Vec<&str> = spec.split(':').collect();
     if parts.len() != 2 && parts.len() != 3 {
         return Err(CliError::usage(format!(
-            "bad --fault '{spec}': expected app:down_at_s[:up_at_s]"
+            "bad {flag} '{spec}': expected app:down_at_s[:up_at_s]"
         )));
     }
     let app: usize = parts[0].parse().map_err(|_| {
-        CliError::usage(format!("bad app index '{}' in --fault '{spec}'", parts[0]))
+        CliError::usage(format!("bad app index '{}' in {flag} '{spec}'", parts[0]))
     })?;
     let down_at_s: f64 = parts[1].parse().map_err(|_| {
-        CliError::usage(format!("bad down time '{}' in --fault '{spec}'", parts[1]))
+        CliError::usage(format!("bad down time '{}' in {flag} '{spec}'", parts[1]))
     })?;
     let up_at_s: Option<f64> = match parts.get(2) {
-        Some(t) => Some(
-            t.parse()
-                .map_err(|_| CliError::usage(format!("bad up time '{t}' in --fault '{spec}'")))?,
-        ),
+        Some(t) => Some(t.parse().map_err(|_| {
+            CliError::usage(format!("bad up time '{t}' in {flag} '{spec}'"))
+        })?),
         None => None,
     };
     Ok(memsim::AppOutage {
@@ -236,7 +253,7 @@ fn simulate_cmd(
         let plan = memsim::ChaosPlan {
             outages: faults
                 .iter()
-                .map(|f| parse_outage(f))
+                .map(|f| parse_outage("--fault", f))
                 .collect::<Result<Vec<_>>>()?,
             reclaim: !no_reclaim,
         };
@@ -382,6 +399,7 @@ fn drift_cmd(
         // A requested trace export implies the causal spans that make it
         // assemble like a real runtime's.
         tracing: trace_out.is_some(),
+        chaos: None,
     };
     let hub = Arc::new(coop_telemetry::TelemetryHub::new());
     let result = memsim::run_supervised(&scenario, &config, Arc::clone(&hub))
@@ -435,7 +453,7 @@ fn chaos_cmd(
     faults: &[String],
     trace_out: Option<&str>,
     metrics: Option<&str>,
-    flight_dir: Option<&str>,
+    (flight_dir, slo_report): (Option<&str>, Option<&str>),
     format: OutputFormat,
 ) -> Result<String> {
     use coop_agent::{policies, Agent, ChaosHandle, FaultPlan, KillSwitch, SupervisionConfig};
@@ -471,6 +489,17 @@ fn chaos_cmd(
         }
         None => None,
     };
+    // Tenant observatory: the ledger books every runtime's delivered work
+    // as the agent ticks, and the SLO engine burns app0's error budget
+    // while the kill keeps it below its fair share. Short windows so the
+    // handful of ticks a CLI run makes is enough to register a spike.
+    let ledger = Arc::new(coop_telemetry::TenantLedger::new());
+    hub.install_tenant_ledger(Arc::clone(&ledger));
+    let slo_engine = Arc::new(coop_telemetry::SloEngine::new(vec![
+        coop_telemetry::SloSpec::min_share("app0", 0.5 / runtimes as f64)
+            .with_windows(vec![2, 8]),
+    ]));
+    hub.install_slo_engine(Arc::clone(&slo_engine));
     let rts: Vec<Arc<Runtime>> = (0..runtimes)
         .map(|i| {
             let name = format!("app{i}");
@@ -553,11 +582,20 @@ fn chaos_cmd(
     if let Some(path) = metrics {
         write_metrics_file(path, &hub)?;
     }
+    if let Some(path) = slo_report {
+        std::fs::write(path, slo_engine.to_json())
+            .map_err(|e| CliError::failure(format!("cannot write SLO report '{path}': {e}")))?;
+    }
 
     let flight_dumps = recorder.as_ref().map(|r| r.dumps());
+    let ledger_snap = ledger.snapshot();
 
     match format {
         OutputFormat::Json => {
+            let tenants_doc: serde_json::Value = serde_json::from_str(&ledger.to_json())
+                .map_err(|e| CliError::failure(format!("ledger JSON: {e}")))?;
+            let slo_doc: serde_json::Value = serde_json::from_str(&slo_engine.to_json())
+                .map_err(|e| CliError::failure(format!("SLO JSON: {e}")))?;
             let doc = serde_json::json!({
                 "machine": m.name(),
                 "runtimes": runtimes,
@@ -570,6 +608,8 @@ fn chaos_cmd(
                     .collect::<std::collections::BTreeMap<_, _>>(),
                 "final_evicted": final_evicted,
                 "flight_dumps": flight_dumps,
+                "tenants": tenants_doc,
+                "slo": slo_doc,
             });
             serde_json::to_string_pretty(&doc)
                 .map(|s| s + "\n")
@@ -609,6 +649,14 @@ fn chaos_cmd(
             }
             if let (Some(dir), Some(n)) = (flight_dir, flight_dumps) {
                 out.push_str(&format!("flight recorder: {n} dump(s) in {dir}\n"));
+            }
+            out.push_str(&format!(
+                "tenants: {} accounted, jain {:.3}\n",
+                ledger_snap.tenants.len(),
+                ledger_snap.jain
+            ));
+            if let Some(p) = slo_report {
+                out.push_str(&format!("slo report written to {p}\n"));
             }
             Ok(out)
         }
@@ -650,6 +698,17 @@ fn observe_cmd(
         }
         None => None,
     };
+    // Tenant observatory on the same hub: the agent books producer and
+    // consumer into the ledger each tick and the SLO engine tracks a
+    // (deliberately loose) minimum-share objective for each, so the
+    // `/tenants` and `/slo` routes serve real data under `--serve`.
+    let ledger = Arc::new(coop_telemetry::TenantLedger::new());
+    hub.install_tenant_ledger(Arc::clone(&ledger));
+    let slo_engine = Arc::new(coop_telemetry::SloEngine::new(vec![
+        coop_telemetry::SloSpec::min_share("producer", 0.05).with_windows(vec![4, 16]),
+        coop_telemetry::SloSpec::min_share("consumer", 0.05).with_windows(vec![4, 16]),
+    ]));
+    hub.install_slo_engine(Arc::clone(&slo_engine));
     let start_rt = |name: &str| -> Result<Arc<Runtime>> {
         Runtime::start(
             RuntimeConfig::new(name, m.clone())
@@ -777,7 +836,7 @@ fn observe_cmd(
             let bound = server.addr();
             eprintln!(
                 "serving telemetry on http://{bound} \
-                 (/metrics /healthz /trace/recent /summary){}",
+                 (/metrics /healthz /trace/recent /summary /tenants /slo){}",
                 match limit {
                     Some(n) => format!(", exiting after {n} request(s)"),
                     None => ", ctrl-c to stop".to_string(),
@@ -816,6 +875,8 @@ fn observe_cmd(
             },
             "flight_dump": dump_path.as_ref().map(|p| p.display().to_string()),
             "served": served_addr,
+            "tenants": serde_json::from_str::<serde_json::Value>(&ledger.to_json())
+                .map_err(|e| CliError::failure(format!("ledger JSON: {e}")))?,
             "telemetry": summary,
         });
         return serde_json::to_string_pretty(&out)
@@ -847,6 +908,14 @@ fn observe_cmd(
         hub.event_count(),
         hub.dropped()
     ));
+    {
+        let snap = ledger.snapshot();
+        out.push_str(&format!(
+            "tenants: {} accounted, jain {:.3}\n",
+            snap.tenants.len(),
+            snap.jain
+        ));
+    }
     match (trace_out, metrics) {
         (None, None) => out.push_str(
             "hint: use --trace-out <path> for a Perfetto/Chrome trace and\n\
@@ -868,6 +937,117 @@ fn observe_cmd(
         out.push_str(&format!("served telemetry on http://{a}\n"));
     }
     Ok(out)
+}
+
+/// `top`: per-tenant accounting at a glance. Runs a short supervised
+/// two-tenant memsim workload — optionally with `--outage` chaos edges
+/// and fair-share reclamation — booking every decision tick into the
+/// tenant ledger and burning each tenant's error budget in the SLO
+/// engine, then prints the ledger. `--format json` emits exactly the
+/// `/tenants` document; `--serve` exposes the hub over HTTP afterwards
+/// so the same bytes can be fetched from the endpoint.
+fn top_cmd(
+    machine: &str,
+    duration_s: f64,
+    decision_period_s: f64,
+    outages: &[String],
+    (serve, serve_max_requests): (Option<&str>, u64),
+    format: OutputFormat,
+) -> Result<String> {
+    use std::sync::Arc;
+
+    let m = resolve_machine(machine)?;
+    if !(duration_s > 0.0 && decision_period_s > 0.0) {
+        return Err(CliError::usage(
+            "top needs positive --duration and --decision-period",
+        ));
+    }
+    // Two identical memory-bound tenants fair-sharing the machine (one
+    // thread per node each): deterministic, and an outage frees exactly
+    // half the machine for the survivor to absorb.
+    let num_nodes = m.num_nodes();
+    let scenario = memsim::Scenario {
+        name: "top".into(),
+        machine: m.clone(),
+        apps: vec![
+            memsim::SimApp::numa_local("a", 1.0 / 32.0),
+            memsim::SimApp::numa_local("b", 1.0 / 32.0),
+        ],
+        assignments: vec![memsim::NamedAssignment {
+            name: "even".into(),
+            threads: vec![vec![1; num_nodes]; 2],
+        }],
+        duration_s,
+        effects: memsim::EffectModel::ideal(),
+        seed: 7,
+    };
+    let mut parsed = Vec::new();
+    for spec in outages {
+        parsed.push(parse_outage("--outage", spec)?);
+    }
+    let chaos = (!parsed.is_empty()).then(|| memsim::ChaosPlan {
+        outages: parsed,
+        reclaim: true,
+    });
+    let config = memsim::SupervisorConfig {
+        decision_period_s,
+        duration_s,
+        chaos,
+        ..memsim::SupervisorConfig::default()
+    };
+
+    let hub = Arc::new(coop_telemetry::TelemetryHub::new());
+    let ledger = Arc::new(coop_telemetry::TenantLedger::new());
+    hub.install_tenant_ledger(Arc::clone(&ledger));
+    // Each tenant is entitled to half the machine; a minimum-share floor
+    // at half of that catches outages without tripping on jitter. Short
+    // windows match the handful of decision ticks a CLI run makes.
+    let slo_engine = Arc::new(coop_telemetry::SloEngine::new(
+        scenario
+            .apps
+            .iter()
+            .map(|a| coop_telemetry::SloSpec::min_share(a.name(), 0.25).with_windows(vec![2, 6]))
+            .collect(),
+    ));
+    hub.install_slo_engine(Arc::clone(&slo_engine));
+
+    memsim::run_supervised(&scenario, &config, Arc::clone(&hub))
+        .map_err(|e| CliError::failure(format!("supervised run failed: {e}")))?;
+
+    let served_addr = match serve {
+        Some(addr) => {
+            let limit = (serve_max_requests > 0).then_some(serve_max_requests);
+            let server = coop_telemetry::serve_with_limit(Arc::clone(&hub), addr, limit)
+                .map_err(|e| CliError::failure(format!("cannot serve on '{addr}': {e}")))?;
+            let bound = server.addr();
+            eprintln!(
+                "serving telemetry on http://{bound} \
+                 (/metrics /healthz /trace/recent /summary /tenants /slo){}",
+                match limit {
+                    Some(n) => format!(", exiting after {n} request(s)"),
+                    None => ", ctrl-c to stop".to_string(),
+                }
+            );
+            server.join();
+            Some(bound.to_string())
+        }
+        None => None,
+    };
+
+    match format {
+        // Byte-for-byte the `/tenants` document, so scripts can use the
+        // CLI and the HTTP endpoint interchangeably.
+        OutputFormat::Json => Ok(ledger.to_json()),
+        OutputFormat::Prom => Ok(hub.registry().to_prometheus()),
+        OutputFormat::Text => {
+            let mut out = ledger.to_text();
+            out.push_str(&slo_engine.to_text());
+            if let Some(a) = &served_addr {
+                out.push_str(&format!("served telemetry on http://{a}\n"));
+            }
+            Ok(out)
+        }
+    }
 }
 
 /// `trace`: reconstruct the causal span chain for a task — either from a
@@ -1916,6 +2096,137 @@ mod trace_tests {
 
         let out = cli.join().unwrap().unwrap();
         assert!(out.contains("served telemetry"), "output:\n{out}");
+    }
+}
+
+#[cfg(test)]
+mod top_tests {
+    fn run_str(s: &str) -> super::Result<String> {
+        let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+        crate::run(&argv)
+    }
+
+    #[test]
+    fn top_text_books_both_tenants() {
+        let out = run_str("top --duration 0.06 --decision-period 0.01").unwrap();
+        assert!(out.contains("jain fairness index"), "output:\n{out}");
+        assert!(out.contains("TENANT"), "output:\n{out}");
+        // Both tenants booked work; the SLO table follows the ledger.
+        assert!(out.lines().any(|l| l.starts_with("a ")), "output:\n{out}");
+        assert!(out.lines().any(|l| l.starts_with("b ")), "output:\n{out}");
+        assert!(out.contains("delivered_share"), "output:\n{out}");
+    }
+
+    #[test]
+    fn top_json_with_outage_is_the_tenants_document() {
+        let out = run_str(
+            "top --duration 0.08 --decision-period 0.01 --outage 1:0.02:0.05 --format json",
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["jain"].as_f64().unwrap() > 0.0);
+        let tenants = v["tenants"].as_array().unwrap();
+        assert_eq!(tenants.len(), 2);
+        // The outage closes "b"'s first epoch and the revival opens a
+        // second one; the survivor keeps its single managed epoch.
+        let b = tenants.iter().find(|t| t["tenant"] == "b").unwrap();
+        assert_eq!(b["epochs"].as_array().unwrap().len(), 2, "{out}");
+        let a = tenants.iter().find(|t| t["tenant"] == "a").unwrap();
+        assert_eq!(a["epochs"].as_array().unwrap().len(), 1, "{out}");
+        assert!(a["tasks_total"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn top_serve_json_matches_the_tenants_route_byte_for_byte() {
+        use std::io::{Read, Write};
+
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let addr_for_cli = addr.clone();
+        let cli = std::thread::spawn(move || {
+            crate::run(&[
+                "top".into(),
+                "--duration".into(),
+                "0.04".into(),
+                "--decision-period".into(),
+                "0.01".into(),
+                "--serve".into(),
+                addr_for_cli,
+                "--serve-max-requests".into(),
+                "2".into(),
+                "--format".into(),
+                "json".into(),
+            ])
+        });
+
+        let fetch = |path: &str| -> String {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+            loop {
+                match std::net::TcpStream::connect(&addr) {
+                    Ok(mut s) => {
+                        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+                        let mut buf = String::new();
+                        s.read_to_string(&mut buf).unwrap();
+                        return buf;
+                    }
+                    Err(_) if std::time::Instant::now() < deadline => {
+                        std::thread::sleep(std::time::Duration::from_millis(20))
+                    }
+                    Err(e) => panic!("server never came up on {addr}: {e}"),
+                }
+            }
+        };
+
+        let tenants = fetch("/tenants");
+        assert!(tenants.contains("200"), "tenants response:\n{tenants}");
+        let body = tenants.split("\r\n\r\n").nth(1).unwrap().to_string();
+        let slo = fetch("/slo");
+        assert!(slo.contains("delivered_share"), "slo response:\n{slo}");
+
+        // The contract scripts rely on: stdout in `--format json` IS the
+        // `/tenants` document, byte for byte.
+        let out = cli.join().unwrap().unwrap();
+        assert_eq!(out, body, "CLI json and /tenants must match exactly");
+    }
+
+    #[test]
+    fn chaos_slo_report_records_the_burn_spike() {
+        let dir = std::env::temp_dir().join(format!("coop-cli-slo-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).ok();
+        let path = dir.join("slo-report.json");
+
+        let out = crate::run(&[
+            "chaos".into(),
+            "--ticks".into(),
+            "8".into(),
+            "--kill-at".into(),
+            "1".into(),
+            "--revive-at".into(),
+            "5".into(),
+            "--tick-interval".into(),
+            "1".into(),
+            "--deadline".into(),
+            "25".into(),
+            "--slo-report".into(),
+            path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(out.contains("slo report written"), "output:\n{out}");
+        assert!(out.contains("tenants:"), "output:\n{out}");
+
+        let report: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let slos = report["slos"].as_array().unwrap();
+        assert_eq!(slos[0]["tenant"], "app0");
+        assert!(slos[0]["violations"].as_u64().unwrap() >= 1, "{report}");
+        assert!(
+            slos[0]["burn_rate_peak"].as_f64().unwrap() > 1.0,
+            "{report}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

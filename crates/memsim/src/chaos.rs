@@ -187,8 +187,9 @@ fn run_chaos_inner(
 }
 
 /// The assignment in force for one segment: dead rows zeroed; live rows
-/// either fair-shared over the survivors (reclaim) or kept as-is.
-fn segment_assignment(
+/// either fair-shared over the survivors (reclaim) or kept as-is. Also
+/// used by the supervisor to inject outages into supervised runs.
+pub(crate) fn segment_assignment(
     scenario: &Scenario,
     plan: &ChaosPlan,
     base: &ThreadAssignment,

@@ -20,12 +20,13 @@
 //! CUSUM alarm fires — the continuous analogue of the paper's one-shot
 //! Table III model-vs-measurement comparison.
 
+use crate::chaos::{segment_assignment, ChaosPlan};
 use crate::{Result, Scenario, SimConfig, SimError, SimResult, Simulation};
 use coop_alloc::search::{HillClimb, ModelOracle};
 use coop_alloc::{Objective, ScoreCache};
 use coop_telemetry::{
     DriftConfig, DriftReport, ModelObservatory, ProvenanceRecord, Residual, SeriesValue,
-    TelemetryHub,
+    TelemetryHub, TenantSample,
 };
 use numa_topology::{Machine, NodeId};
 use roofline_numa::{solve, AppSpec, ThreadAssignment};
@@ -69,6 +70,13 @@ pub struct SupervisorConfig {
     /// assembles with the same [`coop_telemetry::TraceAssembler`] as a
     /// real runtime.
     pub tracing: bool,
+    /// Application outages injected into the supervised run (evaluated at
+    /// decision-tick granularity: an app is down for a whole tick iff the
+    /// plan says it is down at the tick's start). Down apps are removed
+    /// from the effective assignment — fair-shared over the survivors
+    /// when the plan reclaims — and their tenant accounting epochs close
+    /// (`outage`) and re-open (`revived`) on the edges.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for SupervisorConfig {
@@ -80,6 +88,7 @@ impl Default for SupervisorConfig {
             drift: DriftConfig::default(),
             reoptimize: false,
             tracing: false,
+            chaos: None,
         }
     }
 }
@@ -208,6 +217,9 @@ pub fn run_supervised(
 ) -> Result<SupervisedResult> {
     scenario.validate()?;
     config.validate(&scenario.machine)?;
+    if let Some(plan) = &config.chaos {
+        plan.validate(scenario)?;
+    }
     let observatory = Arc::new(ModelObservatory::with_config(
         Arc::clone(&hub),
         config.drift.clone(),
@@ -251,6 +263,13 @@ pub fn run_supervised(
 
     let ticks_total = (config.duration_s / config.decision_period_s).ceil() as u64;
     let mut ticks = Vec::with_capacity(ticks_total as usize);
+    let num_apps = scenario.apps.len();
+    let num_nodes = scenario.machine.num_nodes();
+    // Tenant accounting books: cumulative synthetic counters per app
+    // (one "task" = one MFLOP delivered), so supervised runs feed any
+    // installed ledger the exact sample shape a live runtime produces.
+    let mut books: Vec<TenantBook> = (0..num_apps).map(|_| TenantBook::new(num_nodes)).collect();
+    let mut prev_live = vec![false; num_apps];
     for tick in 0..ticks_total {
         let start_s = tick as f64 * config.decision_period_s;
         let period = config.decision_period_s.min(config.duration_s - start_s);
@@ -259,6 +278,29 @@ pub fn run_supervised(
         }
         let machine = config.machine_at(&scenario.machine, start_s)?;
         let perturbed = machine != scenario.machine;
+
+        // Outage edges: down apps leave the effective assignment for the
+        // whole tick; ledger epochs close/open on the transitions.
+        let live = match &config.chaos {
+            Some(plan) => plan.live_at(num_apps, start_s),
+            None => vec![true; num_apps],
+        };
+        if let Some(ledger) = hub.tenant_ledger() {
+            for (i, app) in scenario.apps.iter().enumerate() {
+                let name = app.spec.name.as_str();
+                if live[i] && !prev_live[i] {
+                    let reason = if tick == 0 { "managed" } else { "revived" };
+                    ledger.open_epoch(&hub, name, reason, ts(start_s));
+                    // A new life restarts the tenant's cumulative
+                    // counters from zero, exactly like a restarted
+                    // runtime; the ledger diffs the new life against a
+                    // zero baseline.
+                    books[i] = TenantBook::new(num_nodes);
+                } else if !live[i] && prev_live[i] {
+                    ledger.close_epoch(&hub, name, "outage", ts(start_s));
+                }
+            }
+        }
 
         let mut prediction = prediction_template.clone();
         if let Some(oracle) = search_oracle.as_mut() {
@@ -306,6 +348,13 @@ pub fn run_supervised(
             ts(start_s),
         );
 
+        let effective = if live.iter().any(|l| !l) {
+            let plan = config.chaos.as_ref().expect("dead apps imply a chaos plan");
+            segment_assignment(scenario, plan, &assignment, &live)?
+        } else {
+            assignment.clone()
+        };
+
         let mut sim = Simulation::new(
             SimConfig::new(machine)
                 .with_effects(scenario.effects.clone())
@@ -315,7 +364,7 @@ pub fn run_supervised(
         if config.tracing {
             sim = sim.with_tracing();
         }
-        let result = sim.run(&scenario.apps, &assignment, period)?;
+        let result = sim.run(&scenario.apps, &effective, period)?;
 
         let alarms_before = observatory.detector().total_alarms();
         let residuals = observatory.close_decision_at(
@@ -324,6 +373,19 @@ pub fn run_supervised(
             ts(start_s + period),
         );
         let alarms = (observatory.detector().total_alarms() - alarms_before) as usize;
+
+        book_tenant_tick(
+            &hub,
+            scenario,
+            &mut books,
+            &effective,
+            &live,
+            &result,
+            period,
+            ts(start_s + period),
+        );
+        prev_live = live;
+
         ticks.push(DecisionTick {
             tick,
             start_s,
@@ -335,6 +397,127 @@ pub fn run_supervised(
     }
 
     Ok(SupervisedResult { ticks, observatory })
+}
+
+/// Cumulative synthetic tenant counters for one simulated application.
+struct TenantBook {
+    tasks: u64,
+    uptime_us: u64,
+    per_node: Vec<u64>,
+    local: u64,
+    remote: u64,
+}
+
+impl TenantBook {
+    fn new(num_nodes: usize) -> Self {
+        TenantBook {
+            tasks: 0,
+            uptime_us: 0,
+            per_node: vec![0; num_nodes],
+            local: 0,
+            remote: 0,
+        }
+    }
+}
+
+/// Books one supervised tick into any ledger installed on `hub`, then
+/// lets any installed SLO engine judge the refreshed state.
+///
+/// One "task" is one MFLOP the simulator delivered, split across nodes
+/// proportionally to the app's effective thread row; the app's
+/// most-loaded node is its home, and work placed on other nodes is
+/// booked as cross-node steals — the same `coop_sched_*` counters a real
+/// runtime's scheduler bumps, so ledger totals reconcile with a registry
+/// scrape in both worlds. Down apps are not sampled: their delivered
+/// share decays to zero exactly like an evicted runtime's.
+#[allow(clippy::too_many_arguments)]
+fn book_tenant_tick(
+    hub: &Arc<TelemetryHub>,
+    scenario: &Scenario,
+    books: &mut [TenantBook],
+    effective: &ThreadAssignment,
+    live: &[bool],
+    result: &SimResult,
+    period_s: f64,
+    now_us: u64,
+) {
+    let Some(ledger) = hub.tenant_ledger() else {
+        if let Some(engine) = hub.slo_engine() {
+            engine.evaluate(hub, now_us);
+        }
+        return;
+    };
+    let registry = hub.registry();
+    let num_nodes = scenario.machine.num_nodes();
+    let total_cores = scenario.machine.total_cores();
+    let mut samples = Vec::with_capacity(scenario.apps.len());
+    for (i, app) in scenario.apps.iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        let name = app.spec.name.as_str();
+        let mflops = (result.app_gflops(i) * period_s * 1000.0).round() as u64;
+        let row: Vec<u64> = (0..num_nodes)
+            .map(|n| effective.get(i, NodeId(n)) as u64)
+            .collect();
+        let row_total: u64 = row.iter().sum();
+        // Home node: the app's most-loaded node (lowest id wins ties).
+        let home = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(n, _)| n)
+            .unwrap_or(0);
+        let book = &mut books[i];
+        book.uptime_us += (period_s * 1e6) as u64;
+        book.tasks += mflops;
+        let mut remote_delta = 0u64;
+        if row_total > 0 && mflops > 0 {
+            for (n, &t) in row.iter().enumerate() {
+                if n == home || t == 0 {
+                    continue;
+                }
+                let share = mflops * t / row_total;
+                book.per_node[n] += share;
+                remote_delta += share;
+            }
+            // The home node takes the remainder, so the split always sums
+            // to exactly `mflops`.
+            book.per_node[home] += mflops - remote_delta;
+        }
+        let local_delta = mflops - remote_delta;
+        book.local += local_delta;
+        book.remote += remote_delta;
+        if local_delta > 0 {
+            registry
+                .counter("coop_sched_local_pops_total", &[("runtime", name)])
+                .add(local_delta);
+        }
+        if remote_delta > 0 {
+            registry
+                .counter(
+                    "coop_sched_steals_total",
+                    &[("runtime", name), ("tier", "normal"), ("source", "remote")],
+                )
+                .add(remote_delta);
+        }
+        if total_cores > 0 {
+            ledger.set_entitlement(name, row_total as f64 / total_cores as f64);
+        }
+        samples.push(TenantSample {
+            tenant: name.to_string(),
+            tasks_executed: book.tasks,
+            uptime_us: book.uptime_us,
+            per_node_tasks: book.per_node.clone(),
+            running_per_node: row,
+            local_pops: book.local,
+            remote_steals: book.remote,
+        });
+    }
+    ledger.tick(hub, now_us, &samples);
+    if let Some(engine) = hub.slo_engine() {
+        engine.evaluate(hub, now_us);
+    }
 }
 
 /// The measured counterpart of [`roofline_numa::SolveReport::to_prediction`]:
@@ -384,6 +567,7 @@ mod tests {
             drift: DriftConfig::default(),
             reoptimize: false,
             tracing: false,
+            chaos: None,
         }
     }
 
@@ -513,6 +697,95 @@ mod tests {
             .map(|r| r.prediction.assignment.clone())
             .collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn supervised_chaos_run_books_tenant_accounting() {
+        use crate::chaos::{AppOutage, ChaosPlan};
+        use crate::scenario::NamedAssignment;
+        use crate::SimApp;
+        use coop_telemetry::{scheduler_locality, SloEngine, SloSpec, TenantLedger};
+        use numa_topology::presets::tiny;
+
+        let scenario = Scenario {
+            name: "supervised-chaos".into(),
+            machine: tiny(),
+            apps: vec![
+                SimApp::numa_local("a", 1.0 / 32.0),
+                SimApp::numa_local("b", 1.0 / 32.0),
+            ],
+            assignments: vec![NamedAssignment {
+                name: "even".into(),
+                threads: vec![vec![1, 1], vec![1, 1]],
+            }],
+            duration_s: 0.1,
+            effects: EffectModel::ideal(),
+            seed: 7,
+        };
+        let mut config = quiet_config();
+        config.chaos = Some(ChaosPlan {
+            outages: vec![AppOutage {
+                app: 1,
+                down_at_s: 0.03,
+                up_at_s: Some(0.07),
+            }],
+            reclaim: true,
+        });
+
+        let hub = Arc::new(TelemetryHub::new());
+        let ledger = Arc::new(TenantLedger::new());
+        assert!(hub.install_tenant_ledger(Arc::clone(&ledger)));
+        let engine = Arc::new(SloEngine::new(vec![
+            SloSpec::min_share("b", 0.25).with_windows(vec![2, 6])
+        ]));
+        assert!(hub.install_slo_engine(Arc::clone(&engine)));
+
+        let result = run_supervised(&scenario, &config, Arc::clone(&hub)).unwrap();
+        assert_eq!(result.ticks.len(), 10);
+
+        let snap = ledger.snapshot();
+        let a = snap.tenant("a").unwrap();
+        let b = snap.tenant("b").unwrap();
+
+        // Both apps delivered work and ended the run live; the victim's
+        // outage shows as a closed "managed" epoch plus a "revived" one.
+        assert!(a.tasks_total > 0 && b.tasks_total > 0);
+        assert!(a.live && b.live);
+        assert_eq!(b.epochs.len(), 2);
+        assert_eq!(b.epochs[0].reason, "managed");
+        assert!(b.epochs[0].closed_us.is_some());
+        assert_eq!(b.epochs[1].reason, "revived");
+        assert_eq!(a.epochs.len(), 1);
+
+        // Ledger totals reconcile with the scheduler-counter view.
+        for t in [a, b] {
+            let (local, remote) = scheduler_locality(hub.registry(), &t.tenant);
+            assert_eq!(t.local_pops, local, "{}", t.tenant);
+            assert_eq!(t.remote_steals, remote, "{}", t.tenant);
+            assert_eq!(
+                t.tasks_total,
+                t.local_pops + t.remote_steals,
+                "every booked task is a pop or a steal"
+            );
+            assert!(t.cpu_us_per_node.iter().sum::<u64>() > 0);
+        }
+
+        // During the outage the survivor owned every window (share 1.0)
+        // and was entitled to the whole reclaimed machine; with both
+        // apps up it sits at ~0.5. Reclamation moves work across nodes,
+        // so the survivor books cross-node steals.
+        let peak = a
+            .share_history
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(0.0f64, f64::max);
+        assert!((peak - 1.0).abs() < 1e-9, "survivor peak share {peak}");
+        assert!(a.remote_steals > 0, "reclaimed work crosses nodes");
+
+        // The victim's min-share SLO burned while it was down.
+        let report = engine.report();
+        assert!(report[0].violations_total >= 2, "{report:?}");
+        assert!(report[0].burn_rate_peak > 1.0);
     }
 
     #[test]

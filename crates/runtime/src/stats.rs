@@ -81,6 +81,30 @@ impl RuntimeStats {
         let dn = self.tasks_executed.saturating_sub(prev.tasks_executed);
         dn as f64 / (dt_us as f64 / 1e6)
     }
+
+    /// Cumulative tasks executed per NUMA node, as a dense vector indexed
+    /// by node id (nodes the runtime has no workers on read 0). This is
+    /// the shape the telemetry tenant ledger books.
+    pub fn per_node_tasks(&self) -> Vec<u64> {
+        let len = self.per_node.iter().map(|o| o.node.0 + 1).max().unwrap_or(0);
+        let mut out = vec![0u64; len];
+        for occ in &self.per_node {
+            out[occ.node.0] = occ.tasks_executed;
+        }
+        out
+    }
+
+    /// Workers currently running per NUMA node, as a dense vector indexed
+    /// by node id. Paired with [`per_node_tasks`](Self::per_node_tasks)
+    /// when feeding accounting samples.
+    pub fn running_per_node(&self) -> Vec<u64> {
+        let len = self.per_node.iter().map(|o| o.node.0 + 1).max().unwrap_or(0);
+        let mut out = vec![0u64; len];
+        for occ in &self.per_node {
+            out[occ.node.0] = occ.running_workers as u64;
+        }
+        out
+    }
 }
 
 /// Internal counter block shared by workers.
@@ -198,6 +222,44 @@ mod tests {
         };
         assert_eq!(s.user_counter("a"), 7);
         assert_eq!(s.user_counter("missing"), 0);
+    }
+
+    #[test]
+    fn dense_per_node_vectors() {
+        let s = RuntimeStats {
+            name: "x".into(),
+            tasks_executed: 9,
+            tasks_panicked: 0,
+            tasks_spawned: 9,
+            tasks_ready: 0,
+            tasks_pending: 0,
+            running_workers: 3,
+            blocked_workers: 0,
+            external_threads: 0,
+            per_node: vec![
+                NodeOccupancy {
+                    node: NodeId(2),
+                    running_workers: 1,
+                    tasks_executed: 4,
+                },
+                NodeOccupancy {
+                    node: NodeId(0),
+                    running_workers: 2,
+                    tasks_executed: 5,
+                },
+            ],
+            user_counters: HashMap::new(),
+            uptime_us: 0,
+        };
+        // Dense, node-id indexed, gaps zero-filled.
+        assert_eq!(s.per_node_tasks(), vec![5, 0, 4]);
+        assert_eq!(s.running_per_node(), vec![2, 0, 1]);
+        let empty = RuntimeStats {
+            per_node: vec![],
+            ..s.clone()
+        };
+        assert!(empty.per_node_tasks().is_empty());
+        assert!(empty.running_per_node().is_empty());
     }
 
     #[test]

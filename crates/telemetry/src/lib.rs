@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accounting;
 mod drift;
 mod export;
 mod json;
@@ -59,9 +60,14 @@ mod observatory;
 mod provenance;
 mod recorder;
 mod serve;
+mod slo;
 mod timeline;
 mod trace;
 
+pub use accounting::{
+    jain_index, scheduler_locality, Epoch, LedgerSnapshot, TenantAccount, TenantLedger,
+    TenantSample, SHARE_HISTORY_LIMIT, TENANT_CAT,
+};
 pub use drift::{DriftAlarm, DriftConfig, DriftDetector, DriftDirection, SeriesSnapshot};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, HISTOGRAM_BUCKETS,
@@ -72,5 +78,8 @@ pub use observatory::{
 pub use provenance::{Prediction, ProvenanceLedger, ProvenanceRecord, Residual, SeriesValue};
 pub use recorder::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY, FLIGHT_MAGIC, FLIGHT_VERSION};
 pub use serve::{recent_events_json, serve, serve_with_limit, TelemetryServer, RECENT_TRACE_LIMIT};
+pub use slo::{
+    SloEngine, SloObjective, SloSpec, SloStatus, WindowBurn, SLO_CAT,
+};
 pub use timeline::{ArgValue, EventKind, TelemetryHub, TimelineEvent, TrackId};
 pub use trace::{hop, hop_args, TaskTrace, TraceAssembler, TraceHop, TRACE_CAT};

@@ -2,7 +2,7 @@
 //!
 //! This is the first wire surface the future coordination daemon will
 //! grow from: a plain [`std::net::TcpListener`] accept loop on a
-//! background thread serving four read-only routes off the shared
+//! background thread serving six read-only routes off the shared
 //! [`TelemetryHub`]:
 //!
 //! | route           | content                                        |
@@ -11,6 +11,8 @@
 //! | `/healthz`      | liveness JSON: uptime, event/drop counts       |
 //! | `/trace/recent` | the most recent timeline events as JSON        |
 //! | `/summary`      | the compact [`summary_json`](crate::TelemetryHub::summary_json) report |
+//! | `/tenants`      | the installed [`TenantLedger`](crate::TenantLedger)'s canonical JSON (byte-identical to `coop top --format json`) |
+//! | `/slo`          | the installed [`SloEngine`](crate::SloEngine)'s burn-rate report |
 //!
 //! Start it with [`serve`], stop it with [`TelemetryServer::stop`].
 //! `serve_with_limit` exists for smoke tests and CI: the server exits by
@@ -157,14 +159,52 @@ fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str)
     let _ = stream.flush();
 }
 
+/// Cap on the bytes read from one request head: well past any GET line
+/// plus headers this server understands, and a bound against a client
+/// that never sends the terminator.
+const MAX_REQUEST_BYTES: usize = 16 * 1024;
+
+/// Read until the HTTP header terminator (`\r\n\r\n`), end of stream, or
+/// [`MAX_REQUEST_BYTES`]. A single `read` is not enough: a client (or
+/// the kernel) may deliver the request line in several segments, and the
+/// old single-read parser answered such requests with nothing at all.
+fn read_request_head(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                // Only the tail can contain a terminator that spans the
+                // previous chunk boundary.
+                let start = buf.len().saturating_sub(n + 3);
+                if buf[start..].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+                if buf.len() >= MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            // Timeouts and resets: parse whatever arrived so a short
+            // request (e.g. "GET /healthz HTTP/1.0" with no final CRLF)
+            // still gets an answer.
+            Err(_) => break,
+        }
+    }
+    if buf.is_empty() {
+        None
+    } else {
+        Some(buf)
+    }
+}
+
 fn handle_request(hub: &TelemetryHub, stream: &mut TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let mut buf = [0u8; 2048];
-    let n = match stream.read(&mut buf) {
-        Ok(0) | Err(_) => return,
-        Ok(n) => n,
+    let Some(buf) = read_request_head(stream) else {
+        return;
     };
-    let request = String::from_utf8_lossy(&buf[..n]);
+    let request = String::from_utf8_lossy(&buf);
     let mut parts = request.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
@@ -193,11 +233,25 @@ fn handle_request(hub: &TelemetryHub, stream: &mut TcpStream) {
             &recent_events_json(hub, RECENT_TRACE_LIMIT),
         ),
         "/summary" => respond(stream, "200 OK", "application/json", &hub.summary_json()),
+        "/tenants" => {
+            let body = match hub.tenant_ledger() {
+                Some(ledger) => ledger.to_json(),
+                None => crate::accounting::EMPTY_TENANTS_JSON.to_string(),
+            };
+            respond(stream, "200 OK", "application/json", &body)
+        }
+        "/slo" => {
+            let body = match hub.slo_engine() {
+                Some(engine) => engine.to_json(),
+                None => crate::slo::EMPTY_SLO_JSON.to_string(),
+            };
+            respond(stream, "200 OK", "application/json", &body)
+        }
         _ => respond(
             stream,
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "routes: /metrics /healthz /trace/recent /summary\n",
+            "routes: /metrics /healthz /trace/recent /summary /tenants /slo\n",
         ),
     }
 }
@@ -319,9 +373,100 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 200 OK"));
         assert_eq!(body, hub.summary_json());
 
-        let (head, _) = get(addr, "/nope");
+        let (head, body) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"));
+        // Satellite: the 404 body lists every known route.
+        for route in ["/metrics", "/healthz", "/trace/recent", "/summary", "/tenants", "/slo"] {
+            assert!(body.contains(route), "404 body must list {route}: {body}");
+        }
         assert!(server.served() >= 5);
+        server.stop();
+    }
+
+    #[test]
+    fn tenants_and_slo_routes_serve_installed_state_or_empty_fallback() {
+        use crate::accounting::{TenantLedger, TenantSample};
+        use crate::slo::{SloEngine, SloSpec};
+
+        // Uninstalled: both routes answer 200 with an empty body, so
+        // `curl -sf` smoke checks never fail on a bare hub.
+        let bare = seeded_hub();
+        let server = serve(Arc::clone(&bare), "127.0.0.1:0").expect("bind");
+        let (head, body) = get(server.addr(), "/tenants");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, super::super::accounting::EMPTY_TENANTS_JSON);
+        let (head, body) = get(server.addr(), "/slo");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, super::super::slo::EMPTY_SLO_JSON);
+        server.stop();
+
+        // Installed: the routes serve the canonical renderings byte for
+        // byte — the same strings `coop top` prints.
+        let hub = Arc::new(TelemetryHub::new());
+        let ledger = Arc::new(TenantLedger::new());
+        assert!(hub.install_tenant_ledger(Arc::clone(&ledger)));
+        let engine = Arc::new(SloEngine::new(vec![SloSpec::min_share("a", 0.4)]));
+        assert!(hub.install_slo_engine(Arc::clone(&engine)));
+        ledger.open_epoch(&hub, "a", "managed", 0);
+        ledger.tick(
+            &hub,
+            10,
+            &[TenantSample {
+                tenant: "a".to_string(),
+                tasks_executed: 5,
+                uptime_us: 100,
+                per_node_tasks: vec![5],
+                running_per_node: vec![1],
+                local_pops: 5,
+                remote_steals: 0,
+            }],
+        );
+        engine.evaluate(&hub, 10);
+
+        let server = serve(Arc::clone(&hub), "127.0.0.1:0").expect("bind");
+        let (head, body) = get(server.addr(), "/tenants");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, ledger.to_json());
+        let (head, body) = get(server.addr(), "/slo");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, engine.to_json());
+        server.stop();
+    }
+
+    #[test]
+    fn partial_and_short_requests_still_get_answers() {
+        // Satellite: the parser must loop until the header terminator
+        // instead of trusting one read() to deliver the whole request.
+        let hub = seeded_hub();
+        let server = serve(Arc::clone(&hub), "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        // Request dribbled in three segments with pauses in between.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for part in ["GET /hea", "lthz HTT", "P/1.1\r\nHost: x\r\n\r\n"] {
+            stream.write_all(part.as_bytes()).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(
+            resp.starts_with("HTTP/1.1 200 OK"),
+            "partial writes must still be served: {resp}"
+        );
+        assert!(resp.contains("\"status\":\"ok\""));
+
+        // A short request with no final CRLF: the client half-closes, so
+        // the read loop sees EOF and parses what arrived.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"GET /healthz HTTP/1.0").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(
+            resp.starts_with("HTTP/1.1 200 OK"),
+            "short request must still be served: {resp}"
+        );
         server.stop();
     }
 

@@ -13,8 +13,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+use crate::accounting::TenantLedger;
 use crate::metrics::MetricsRegistry;
 use crate::recorder::FlightRecorder;
+use crate::slo::SloEngine;
 
 /// Identifies a timeline track (one per data source: a runtime, the
 /// agent, the memory simulator). Exported as a Perfetto "process".
@@ -98,6 +100,8 @@ pub struct TelemetryHub {
     shards: Vec<Shard>,
     tracks: Mutex<Vec<Track>>,
     recorder: OnceLock<Arc<FlightRecorder>>,
+    tenants: OnceLock<Arc<TenantLedger>>,
+    slo: OnceLock<Arc<SloEngine>>,
 }
 
 impl std::fmt::Debug for TelemetryHub {
@@ -145,6 +149,8 @@ impl TelemetryHub {
                 .collect(),
             tracks: Mutex::new(Vec::new()),
             recorder: OnceLock::new(),
+            tenants: OnceLock::new(),
+            slo: OnceLock::new(),
         }
     }
 
@@ -159,6 +165,32 @@ impl TelemetryHub {
     /// The installed flight recorder, if any.
     pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
         self.recorder.get()
+    }
+
+    /// Install a [`TenantLedger`]: the agent and the memsim supervisor
+    /// feed any installed ledger once per decision tick, and the HTTP
+    /// server's `/tenants` route serves it. Install-once — a second call
+    /// returns `false` and leaves the first ledger in place.
+    pub fn install_tenant_ledger(&self, ledger: Arc<TenantLedger>) -> bool {
+        self.tenants.set(ledger).is_ok()
+    }
+
+    /// The installed tenant ledger, if any.
+    pub fn tenant_ledger(&self) -> Option<&Arc<TenantLedger>> {
+        self.tenants.get()
+    }
+
+    /// Install an [`SloEngine`]: the agent and the memsim supervisor
+    /// evaluate any installed engine once per decision tick, and the
+    /// HTTP server's `/slo` route serves it. Install-once — a second
+    /// call returns `false` and leaves the first engine in place.
+    pub fn install_slo_engine(&self, engine: Arc<SloEngine>) -> bool {
+        self.slo.set(engine).is_ok()
+    }
+
+    /// The installed SLO engine, if any.
+    pub fn slo_engine(&self) -> Option<&Arc<SloEngine>> {
+        self.slo.get()
     }
 
     /// The shared metrics registry.

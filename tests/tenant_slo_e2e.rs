@@ -1,0 +1,148 @@
+//! End-to-end tenant observatory: two tenants fair-sharing a simulated
+//! machine under supervision, with an injected outage killing one of
+//! them mid-run. The run must (a) book both tenants' work into the
+//! tenant ledger such that the totals reconcile *exactly* with the
+//! scheduler's cumulative Prometheus counters, (b) show the survivor's
+//! delivered share rising to the whole machine once reclamation kicks
+//! in, (c) burn through the victim's min-share error budget (burn rate
+//! above 1, budget exhausted, automatic flight-recorder dump on disk),
+//! and (d) serve the exact ledger document over the `/tenants` route.
+
+use numa_coop::prelude::*;
+use numa_coop::sim::{
+    run_supervised, AppOutage, ChaosPlan, NamedAssignment, Scenario, SupervisorConfig,
+};
+use numa_coop::telemetry::{
+    scheduler_locality, serve_with_limit, FlightRecorder, DEFAULT_FLIGHT_CAPACITY,
+};
+use numa_coop::topology::presets::tiny;
+use std::sync::Arc;
+
+#[test]
+fn outage_burns_the_victims_budget_and_books_the_survivors_gain() {
+    let machine = tiny();
+    // Two identical memory-bound tenants, one thread per node each, so
+    // the first windows split the delivered work evenly.
+    let scenario = Scenario {
+        name: "tenant-slo-e2e".into(),
+        machine: machine.clone(),
+        apps: vec![
+            SimApp::numa_local("a", 1.0 / 32.0),
+            SimApp::numa_local("b", 1.0 / 32.0),
+        ],
+        assignments: vec![NamedAssignment {
+            name: "even".into(),
+            threads: vec![vec![1, 1], vec![1, 1]],
+        }],
+        duration_s: 0.1,
+        effects: EffectModel::ideal(),
+        seed: 7,
+    };
+    // "b" dies at 0.03s and stays dead; reclamation hands its cores to
+    // "a". Ten decision ticks at 0.01s.
+    let config = SupervisorConfig {
+        decision_period_s: 0.01,
+        duration_s: 0.1,
+        chaos: Some(ChaosPlan {
+            outages: vec![AppOutage {
+                app: 1,
+                down_at_s: 0.03,
+                up_at_s: None,
+            }],
+            reclaim: true,
+        }),
+        ..SupervisorConfig::default()
+    };
+
+    let hub = Arc::new(TelemetryHub::new());
+    let ledger = Arc::new(TenantLedger::new());
+    assert!(hub.install_tenant_ledger(Arc::clone(&ledger)));
+    // Short windows: the budget window (6 ticks at 25% budget) exhausts
+    // after two violating ticks, well inside the seven the outage spans.
+    let engine = Arc::new(SloEngine::new(vec![
+        SloSpec::min_share("b", 0.25).with_windows(vec![2, 6])
+    ]));
+    assert!(hub.install_slo_engine(Arc::clone(&engine)));
+
+    // Flight recorder with a dump directory: budget exhaustion must
+    // leave a post-mortem on disk without anyone asking for one.
+    let dump_dir = std::env::temp_dir().join(format!("tenant-slo-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dump_dir).unwrap();
+    let recorder = Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY));
+    recorder.set_dump_dir(dump_dir.to_str().unwrap());
+    hub.install_flight_recorder(Arc::clone(&recorder));
+
+    run_supervised(&scenario, &config, Arc::clone(&hub)).unwrap();
+
+    // (a) Ledger totals reconcile exactly with the lifetime scheduler
+    // counters — the first-sight-books-from-zero rule makes these equal,
+    // not merely close.
+    let snap = ledger.snapshot();
+    assert_eq!(snap.tenants.len(), 2);
+    for t in &snap.tenants {
+        let (local, remote) = scheduler_locality(hub.registry(), &t.tenant);
+        assert_eq!(t.local_pops, local, "{} local pops", t.tenant);
+        assert_eq!(t.remote_steals, remote, "{} remote steals", t.tenant);
+        assert_eq!(
+            t.tasks_total,
+            local + remote,
+            "{} tasks vs scheduler counters",
+            t.tenant
+        );
+        assert!(t.tasks_total > 0, "{} booked no work", t.tenant);
+    }
+
+    // (b) The survivor's share rises from an even split to the whole
+    // machine once reclamation kicks in.
+    let a = snap.tenant("a").unwrap();
+    let first = a.share_history.first().unwrap().1;
+    let peak = a
+        .share_history
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(0.0f64, f64::max);
+    assert!(
+        peak > first,
+        "survivor share never rose: first {first}, peak {peak}"
+    );
+    assert_eq!(peak, 1.0, "history: {:?}", a.share_history);
+    let b = snap.tenant("b").unwrap();
+    assert!(!b.live);
+    assert!(b.epochs.last().unwrap().closed_us.is_some());
+
+    // (c) The victim's min-share budget burns out: burn rate above 1,
+    // exhaustion latched, and an automatic flight dump written.
+    let report = engine.report();
+    let s = &report[0];
+    assert_eq!(s.spec.tenant, "b");
+    assert!(s.burn_rate_peak > 1.0, "status: {s:?}");
+    assert!(s.was_exhausted, "status: {s:?}");
+    assert!(s.dumps >= 1, "status: {s:?}");
+    let dumped: Vec<String> = std::fs::read_dir(&dump_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        dumped.iter().any(|n| n.contains("slo-b")),
+        "no slo-b flight dump in {dumped:?}"
+    );
+
+    // (d) `/tenants` serves the ledger document, byte for byte — the
+    // same contract `coop top --format json` keeps.
+    let expected = ledger.to_json();
+    let server = serve_with_limit(Arc::clone(&hub), "127.0.0.1:0", Some(1)).unwrap();
+    let addr = server.addr();
+    let body = {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        write!(s, "GET /tenants HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        buf.split("\r\n\r\n").nth(1).unwrap().to_string()
+    };
+    server.join();
+    assert_eq!(body, expected, "/tenants must serve the exact ledger JSON");
+
+    std::fs::remove_dir_all(&dump_dir).ok();
+}
