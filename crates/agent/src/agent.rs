@@ -61,6 +61,7 @@ struct AgentTelemetry {
     evictions: Arc<Counter>,
     recoveries: Arc<Counter>,
     regressions: Arc<Counter>,
+    containments: Arc<Counter>,
     decision_latency_us: Arc<Histogram>,
     decisions: Mutex<Vec<Decision>>,
     errors: Mutex<Vec<String>>,
@@ -97,6 +98,10 @@ impl AgentTelemetry {
             "Decision windows discarded because a runtime's task counter ran backwards",
         );
         reg.set_help(
+            "coop_agent_containments_total",
+            "Containment commands issued against runtimes with sustained runaway tasks",
+        );
+        reg.set_help(
             "coop_agent_runtime_health",
             "Per-runtime health: 0 healthy, 1 degraded, 2 suspected, 3 dead",
         );
@@ -114,6 +119,7 @@ impl AgentTelemetry {
             evictions: reg.counter("coop_agent_evictions_total", &[]),
             recoveries: reg.counter("coop_agent_recoveries_total", &[]),
             regressions: reg.counter("coop_agent_counter_regressions_total", &[]),
+            containments: reg.counter("coop_agent_containments_total", &[]),
             decision_latency_us: reg.histogram("coop_agent_decision_latency_us", &[]),
             decisions: Mutex::new(Vec::new()),
             errors: Mutex::new(Vec::new()),
@@ -179,6 +185,24 @@ impl AgentTelemetry {
     }
 }
 
+/// Consecutive ticks a runtime's `tasks_runaway` counter must climb
+/// before the agent starts containment. One runaway can be a glitch; a
+/// counter that rises tick after tick is a tenant that keeps wedging
+/// workers.
+const SUSTAINED_RUNAWAY_TICKS: u32 = 2;
+
+/// Per-handle runaway tracking backing the containment ladder (see
+/// [`crate::contain`]).
+#[derive(Default)]
+struct RunawayState {
+    /// `tasks_runaway` observed on the previous tick.
+    last_runaway: u64,
+    /// Consecutive ticks the counter climbed.
+    sustained: u32,
+    /// Next containment ladder rung to apply.
+    rung: usize,
+}
+
 /// The periodic arbitration loop of Figure 1, hardened against partial
 /// failure: every managed handle is wrapped in a [`SupervisedHandle`]
 /// (deadline, retry, health state machine), a tick polls *all* runtimes
@@ -211,6 +235,8 @@ pub struct Agent {
     /// `evicted[i]` — handle `i` was declared Dead and removed from the
     /// live set (indices stay stable so policies keep a coherent view).
     evicted: Vec<bool>,
+    /// Parallel to `handles`: sustained-runaway detection state.
+    runaway: Vec<RunawayState>,
     supervision: SupervisionConfig,
     /// Probe evicted runtimes every this many ticks (0 disables
     /// re-admission probing).
@@ -329,6 +355,7 @@ impl Agent {
         Agent {
             handles: Vec::new(),
             evicted: Vec::new(),
+            runaway: Vec::new(),
             supervision: SupervisionConfig::default(),
             probe_period_ticks: 1,
             reclaim_machine: None,
@@ -378,6 +405,7 @@ impl Agent {
         }
         self.handles.push(handle);
         self.evicted.push(false);
+        self.runaway.push(RunawayState::default());
     }
 
     /// Number of managed runtimes (evicted ones included — eviction is
@@ -576,6 +604,66 @@ impl Agent {
             }
         }
 
+        // Runaway containment: a runtime whose watchdog keeps marking
+        // tasks runaway is degraded (so its health is visible and
+        // policies see a weaker tenant) and walked down the containment
+        // ladder — SMT siblings first, then shared-L3 cores, then whole
+        // nodes — until it sits at its fair share. The detection state is
+        // per handle so an offender's rung survives tenure changes in the
+        // live set; a tick with no new runaways resets it (the task
+        // returned, the tenant may grow back via normal policy).
+        if let Some(machine) = self.reclaim_machine.clone() {
+            let fair = if live_idx.is_empty() {
+                None
+            } else {
+                coop_alloc::strategies::fair_share(&machine, live_idx.len()).ok()
+            };
+            for (pos, &i) in live_idx.iter().enumerate() {
+                let s = &stats[pos];
+                let state = &mut self.runaway[i];
+                if s.tasks_runaway > state.last_runaway {
+                    state.sustained += 1;
+                } else if state.sustained > 0 || state.rung > 0 {
+                    state.sustained = 0;
+                    state.rung = 0;
+                    // The wedged tasks returned: lift the Degraded floor
+                    // so the next successful poll recovers the tenant.
+                    self.handles[i].clear_forced_floor();
+                }
+                state.last_runaway = s.tasks_runaway;
+                if state.sustained < SUSTAINED_RUNAWAY_TICKS {
+                    continue;
+                }
+                let Some(assignment) = &fair else { continue };
+                let ThreadCommand::PerNode(fair_row) =
+                    per_node_command(assignment, pos, &machine)
+                else {
+                    continue;
+                };
+                let rung = state.rung;
+                let target =
+                    crate::contain::ladder_step(rung, &s.running_per_node(), &fair_row);
+                self.handles[i].force_degraded();
+                let cmd = ThreadCommand::PerNode(target);
+                match self.handles[i].command(cmd.clone()) {
+                    Ok(()) => {
+                        applied.push((i, cmd));
+                        self.telemetry.containments.inc();
+                        self.telemetry.record_health_event(
+                            tick,
+                            &self.handles[i].name(),
+                            &format!("contained:{}", crate::contain::rung_name(rung)),
+                        );
+                        let state = &mut self.runaway[i];
+                        state.rung = (rung + 1).min(crate::contain::CONTAINMENT_RUNGS - 1);
+                        // Fresh evidence is required before the next rung.
+                        state.sustained = 0;
+                    }
+                    Err(e) => self.telemetry.record_error(e.to_string()),
+                }
+            }
+        }
+
         let mut provenance = None;
         // Only policy-issued commands carry the policy's prediction;
         // fallback fair-share commands are reactive by construction.
@@ -628,6 +716,8 @@ impl Agent {
                         running_per_node: s.running_per_node(),
                         local_pops,
                         remote_steals,
+                        preemptions: s.tasks_preempted,
+                        overbudget_cpu_us: s.overbudget_cpu_us,
                     }
                 })
                 .collect();
@@ -817,6 +907,9 @@ mod tests {
                 per_node: vec![],
                 user_counters: HashMap::new(),
                 uptime_us: 1_000,
+                tasks_preempted: 0,
+                tasks_runaway: 0,
+                overbudget_cpu_us: 0,
             })
         }
         fn command(&self, cmd: ThreadCommand) -> crate::Result<()> {
@@ -1053,6 +1146,137 @@ mod tests {
         assert!(b_acct.live);
         assert_eq!(b_acct.epochs.len(), 2);
         assert_eq!(b_acct.epochs.last().unwrap().reason, "readmitted");
+    }
+
+    #[test]
+    fn sustained_runaways_degrade_and_contain_toward_fair_share() {
+        use coop_runtime::NodeOccupancy;
+        use numa_topology::NodeId;
+
+        /// A runtime whose watchdog counter is test-controlled and which
+        /// reports 2 busy workers on each of tiny()'s 2 nodes.
+        struct RunawayFake {
+            name: String,
+            runaway: Arc<AtomicU64>,
+            commands: Arc<Mutex<Vec<ThreadCommand>>>,
+        }
+        impl RuntimeHandle for RunawayFake {
+            fn name(&self) -> String {
+                self.name.clone()
+            }
+            fn stats(&self) -> crate::Result<RuntimeStats> {
+                Ok(RuntimeStats {
+                    name: self.name.clone(),
+                    tasks_executed: 10,
+                    tasks_panicked: 0,
+                    tasks_spawned: 10,
+                    tasks_ready: 0,
+                    tasks_pending: 0,
+                    running_workers: 4,
+                    blocked_workers: 0,
+                    external_threads: 0,
+                    per_node: vec![
+                        NodeOccupancy {
+                            node: NodeId(0),
+                            running_workers: 2,
+                            tasks_executed: 5,
+                        },
+                        NodeOccupancy {
+                            node: NodeId(1),
+                            running_workers: 2,
+                            tasks_executed: 5,
+                        },
+                    ],
+                    user_counters: HashMap::new(),
+                    uptime_us: 1_000,
+                    tasks_preempted: 0,
+                    tasks_runaway: self.runaway.load(Ordering::SeqCst),
+                    overbudget_cpu_us: 0,
+                })
+            }
+            fn command(&self, cmd: ThreadCommand) -> crate::Result<()> {
+                self.commands.lock().push(cmd);
+                Ok(())
+            }
+        }
+
+        let runaway = Arc::new(AtomicU64::new(0));
+        let cmds = Arc::new(Mutex::new(Vec::new()));
+        let offender = RunawayFake {
+            name: "hog".to_string(),
+            runaway: Arc::clone(&runaway),
+            commands: Arc::clone(&cmds),
+        };
+        let (peer, _, _, peer_cmds) = Fake::new("peer");
+        let mut agent = Agent::new(Box::new(Silent));
+        agent.set_supervision(fast_supervision());
+        agent.set_reclaim_machine(tiny());
+        agent.manage(Box::new(offender));
+        agent.manage(Box::new(peer));
+
+        // No runaways: nothing happens.
+        agent.tick().unwrap();
+        assert!(cmds.lock().is_empty());
+
+        // The watchdog counter climbs two ticks in a row: rung 0 fires.
+        // Fair share of tiny() (2 nodes x 2 cores) between 2 tenants is
+        // [1, 1]; the offender runs [2, 2], so the SMT rung halves it to
+        // [1, 1] (already at fair here).
+        runaway.fetch_add(1, Ordering::SeqCst);
+        agent.tick().unwrap();
+        assert!(cmds.lock().is_empty(), "one climbing tick is not enough");
+        runaway.fetch_add(1, Ordering::SeqCst);
+        agent.tick().unwrap();
+        assert_eq!(
+            cmds.lock().clone(),
+            vec![ThreadCommand::PerNode(vec![1, 1])],
+            "containment shrinks the offender"
+        );
+        assert!(
+            peer_cmds.lock().is_empty(),
+            "the innocent tenant is untouched"
+        );
+        assert!(
+            agent
+                .health()
+                .iter()
+                .any(|(n, h)| n == "hog" && *h == Health::Degraded),
+            "the offender is degraded: {:?}",
+            agent.health()
+        );
+        // Degraded is not quarantined: the offender stays in the live set.
+        assert!(agent.evicted().is_empty());
+
+        let hub = agent.hub();
+        assert_eq!(
+            hub.registry().counter_total("coop_agent_containments_total"),
+            1
+        );
+        assert!(hub
+            .events()
+            .iter()
+            .any(|e| e.cat == "health" && e.name == "contained:smt"));
+        let log = agent.log();
+        let contained = log
+            .decisions
+            .iter()
+            .find(|d| d.runtime == "hog")
+            .expect("containment recorded as a decision");
+        assert!(contained.provenance.is_none(), "containment is reactive");
+
+        // Quiet ticks reset the ladder (the wedged task returned): the
+        // Degraded floor lifts and the next successful poll recovers.
+        agent.tick().unwrap();
+        agent.tick().unwrap();
+        assert_eq!(cmds.lock().len(), 1, "no further shrinking while quiet");
+        assert!(
+            agent
+                .health()
+                .iter()
+                .any(|(n, h)| n == "hog" && *h == Health::Healthy),
+            "recovered after the runaways stopped: {:?}",
+            agent.health()
+        );
     }
 
     #[test]

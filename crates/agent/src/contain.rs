@@ -1,0 +1,131 @@
+//! Topology-aware containment of runaway tenants.
+//!
+//! When a tenant keeps producing runaway tasks (the runtime's watchdog
+//! counter `tasks_runaway` climbs tick after tick), the agent does not
+//! evict it — runaways are a *behaviour* problem, not a liveness one —
+//! but it also must not let the offender keep monopolizing shared
+//! hardware. Instead the agent walks a **containment ladder** that
+//! shrinks the offender's allocation toward its fair share, shedding the
+//! most-shared resources first:
+//!
+//! 1. **SMT siblings** — drop half of the offender's workers on every
+//!    node. Hyperthread pairs share a core's pipeline, so a runaway
+//!    spinner hurts its sibling the most; halving per node models
+//!    "vacate one thread of each SMT pair".
+//! 2. **Shared-L3 cores** — drop one more worker per node, modeling the
+//!    retreat from cores that share a last-level cache slice with other
+//!    tenants.
+//! 3. **Whole node fair share** — collapse to the fair-share row: the
+//!    offender keeps exactly what the machine divided by the live-tenant
+//!    count entitles it to, and nothing more.
+//!
+//! The bookkeeping topology ([`numa_topology::Machine`]) models nodes
+//! and cores but not SMT pairs or cache slices, so the first two rungs
+//! are *interpretations* over per-node worker counts — the shapes match
+//! the hardware ladder even though the simulator cannot pin siblings.
+//! Every rung is floored at the fair share: containment redistributes
+//! the offender's surplus, it never starves the offender below the share
+//! any cooperating tenant is promised.
+//!
+//! The ladder is pure (per-node arithmetic only) so it can be tested
+//! exhaustively; the [`Agent`](crate::Agent) owns the sustained-runaway
+//! detection and command application.
+
+/// Number of rungs on the ladder; rungs at or past this index all mean
+/// "fair share".
+pub const CONTAINMENT_RUNGS: usize = 3;
+
+/// Human-readable name of a ladder rung (used in timeline instants).
+pub fn rung_name(rung: usize) -> &'static str {
+    match rung {
+        0 => "smt",
+        1 => "l3",
+        _ => "node",
+    }
+}
+
+/// One step down the containment ladder: the per-node worker counts the
+/// offender should be shrunk to, given its `current` per-node workers
+/// and its `fair` per-node share.
+///
+/// `current` entries beyond `fair.len()` are ignored; missing entries
+/// are treated as already at fair share. The result always satisfies
+/// `fair[n] <= out[n] <= max(fair[n], current[n])`.
+pub fn ladder_step(rung: usize, current: &[u64], fair: &[usize]) -> Vec<usize> {
+    fair.iter()
+        .enumerate()
+        .map(|(n, &fair_n)| {
+            let cur = current.get(n).copied().unwrap_or(fair_n as u64) as usize;
+            let target = match rung {
+                // Shed SMT siblings: vacate one thread of each pair.
+                0 => cur.div_ceil(2),
+                // Shed shared-L3 cores: one more worker off each node.
+                1 => cur.saturating_sub(1),
+                // Whole-node retreat: exactly the fair share.
+                _ => fair_n,
+            };
+            target.max(fair_n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smt_rung_halves_but_never_below_fair() {
+        // 8 workers on node 0, 2 on node 1; fair share is 2 per node.
+        assert_eq!(ladder_step(0, &[8, 2], &[2, 2]), vec![4, 2]);
+        // Odd counts round up (the surviving sibling keeps running).
+        assert_eq!(ladder_step(0, &[5, 1], &[1, 1]), vec![3, 1]);
+    }
+
+    #[test]
+    fn l3_rung_sheds_one_per_node() {
+        assert_eq!(ladder_step(1, &[4, 3], &[2, 2]), vec![3, 2]);
+        // Already at fair: stays there.
+        assert_eq!(ladder_step(1, &[2, 2], &[2, 2]), vec![2, 2]);
+    }
+
+    #[test]
+    fn node_rung_collapses_to_fair_share() {
+        assert_eq!(ladder_step(2, &[8, 8], &[2, 1]), vec![2, 1]);
+        // Past the last rung: still fair share.
+        assert_eq!(ladder_step(7, &[8, 8], &[2, 1]), vec![2, 1]);
+    }
+
+    #[test]
+    fn ladder_is_monotone_and_floored() {
+        // Rungs are applied in sequence as containment escalates: each
+        // step starts from the allocation the previous step shrank to.
+        let mut current: Vec<u64> = vec![9, 5, 0];
+        let fair = [2usize, 2, 2];
+        for rung in 0..CONTAINMENT_RUNGS {
+            let step = ladder_step(rung, &current, &fair);
+            for (n, &t) in step.iter().enumerate() {
+                assert!(t >= fair[n], "rung {rung} starves node {n}");
+                assert!(
+                    t <= (current[n] as usize).max(fair[n]),
+                    "rung {rung} grows node {n}"
+                );
+            }
+            current = step.iter().map(|&t| t as u64).collect();
+        }
+        // The full ladder lands exactly on the fair share.
+        assert_eq!(current, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn short_current_vector_defaults_to_fair() {
+        assert_eq!(ladder_step(0, &[6], &[1, 3]), vec![3, 3]);
+    }
+
+    #[test]
+    fn rung_names_are_stable() {
+        assert_eq!(rung_name(0), "smt");
+        assert_eq!(rung_name(1), "l3");
+        assert_eq!(rung_name(2), "node");
+        assert_eq!(rung_name(99), "node");
+    }
+}

@@ -439,6 +439,9 @@ mod tests {
                 per_node: vec![],
                 user_counters: HashMap::new(),
                 uptime_us: 1_000_000,
+                tasks_preempted: 0,
+                tasks_runaway: 0,
+                overbudget_cpu_us: 0,
             })
         }
         fn command(&self, _cmd: ThreadCommand) -> Result<()> {

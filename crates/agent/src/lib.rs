@@ -32,6 +32,10 @@
 //!   quarantined, dead ones evicted and their cores reclaimed for the
 //!   survivors. [`ChaosHandle`] + [`FaultPlan`] inject deterministic
 //!   faults for testing (see `docs/robustness.md`).
+//! * [`contain`] — the runaway-containment ladder: a tenant whose
+//!   watchdog keeps marking tasks runaway is degraded and shrunk toward
+//!   its fair share, shedding SMT siblings and shared-L3 cores before
+//!   whole nodes.
 //!
 //! The agent deliberately does cheap work per tick (the paper's §IV:
 //! an agent that is "only required to occasionally perform quick
@@ -42,6 +46,7 @@
 
 mod agent;
 pub mod consensus;
+pub mod contain;
 pub mod fault;
 pub mod policies;
 pub mod proto;

@@ -417,6 +417,9 @@ mod tests {
                 .map(|&(k, v)| (k.to_string(), v))
                 .collect::<HashMap<_, _>>(),
             uptime_us: 0,
+            tasks_preempted: 0,
+            tasks_runaway: 0,
+            overbudget_cpu_us: 0,
         }
     }
 
@@ -698,6 +701,9 @@ mod chain_tests {
                 per_node: vec![],
                 user_counters: HashMap::new(),
                 uptime_us: 0,
+                tasks_preempted: 0,
+                tasks_runaway: 0,
+                overbudget_cpu_us: 0,
             })
             .collect()
     }

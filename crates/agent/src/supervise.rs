@@ -196,6 +196,11 @@ pub struct HealthState {
     health: Health,
     consecutive_failures: u32,
     consecutive_successes: u32,
+    /// Floor imposed by [`force_down_to`](Self::force_down_to):
+    /// successful calls cannot lift the health above it until
+    /// [`clear_forced_floor`](Self::clear_forced_floor). Transport
+    /// successes prove liveness, not good behaviour.
+    forced_floor: Health,
 }
 
 impl Default for HealthState {
@@ -204,6 +209,7 @@ impl Default for HealthState {
             health: Health::Healthy,
             consecutive_failures: 0,
             consecutive_successes: 0,
+            forced_floor: Health::Healthy,
         }
     }
 }
@@ -253,7 +259,28 @@ impl HealthState {
                 }
             }
         };
+        self.transition(next.max(self.forced_floor))
+    }
+
+    /// Force the health down to at least `floor` (never upward) without
+    /// touching the consecutive-outcome counters; returns the transition
+    /// when the health changed. The floor is sticky: transport successes
+    /// cannot lift the health above it until
+    /// [`clear_forced_floor`](Self::clear_forced_floor) — a runtime that
+    /// answers calls while wedging workers is live, not well-behaved.
+    /// Used by the agent when evidence *other* than transport failures
+    /// (e.g. sustained runaway tasks) proves the runtime is misbehaving.
+    pub fn force_down_to(&mut self, floor: Health) -> Option<(Health, Health)> {
+        self.forced_floor = floor.max(self.forced_floor);
+        let next = floor.max(self.health);
         self.transition(next)
+    }
+
+    /// Lifts the sticky floor set by [`force_down_to`](Self::force_down_to).
+    /// The health itself recovers through the normal success path on the
+    /// next call, not here.
+    pub fn clear_forced_floor(&mut self) {
+        self.forced_floor = Health::Healthy;
     }
 
     fn transition(&mut self, next: Health) -> Option<(Health, Health)> {
@@ -402,6 +429,25 @@ impl SupervisedHandle {
             }
         }
         self.health()
+    }
+
+    /// Force this runtime's health down to [`Health::Degraded`] on
+    /// evidence outside the transport failure detector — the agent calls
+    /// this when a runtime keeps producing runaway tasks. Degraded does
+    /// *not* quarantine: the runtime stays in policy decisions, but
+    /// operators see the transition (gauge, timeline instant) and the
+    /// agent shrinks its allocation toward fair share. Health recovers
+    /// through the normal success path once the evidence clears.
+    pub fn force_degraded(&self) {
+        let transition = self.state.lock().force_down_to(Health::Degraded);
+        self.publish_transition(transition);
+    }
+
+    /// Lifts the sticky Degraded floor set by
+    /// [`force_degraded`](Self::force_degraded); health recovers through
+    /// the normal success path on the next call.
+    pub fn clear_forced_floor(&self) {
+        self.state.lock().clear_forced_floor();
     }
 
     fn record_success(&self) {
@@ -704,6 +750,9 @@ mod tests {
                 per_node: vec![],
                 user_counters: HashMap::new(),
                 uptime_us: 1,
+                tasks_preempted: 0,
+                tasks_runaway: 0,
+                overbudget_cpu_us: 0,
             }
         }
     }

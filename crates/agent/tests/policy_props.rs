@@ -20,6 +20,9 @@ fn stats_pair(produced: u64, consumed: u64) -> Vec<RuntimeStats> {
         per_node: vec![],
         user_counters: HashMap::from([(key.to_string(), v)]),
         uptime_us: 0,
+        tasks_preempted: 0,
+        tasks_runaway: 0,
+        overbudget_cpu_us: 0,
     };
     vec![
         mk("prod", "produced", produced),

@@ -270,6 +270,57 @@ fn tracing_overhead_report(smoke: bool) -> serde_json::Value {
     })
 }
 
+/// The fuel-budget overhead gate: fan-out/fan-in on the work-stealing
+/// scheduler with budgets disabled (no fuel accounting anywhere on the
+/// hot path) against every task carrying a 128-unit budget. Fuel is
+/// decremented only at safe points (spawn and yield checkpoints), so the
+/// `budget_overhead_pct` column is the whole price of the preemption
+/// machinery for compliant tenants — the acceptance gate keeps it under
+/// a couple of percent.
+fn budget_overhead_report(smoke: bool) -> serde_json::Value {
+    let (rounds, width, repeats) = if smoke { (10, 50, 1) } else { (50, 400, 3) };
+    let mut cells = Vec::new();
+    for (workers, m) in sweep_machines() {
+        let rate = |fuel: Option<u64>| {
+            let mut best = 0.0f64;
+            for rep in 0..repeats.max(1) {
+                let mut cfg = RuntimeConfig::new(&format!("budget-{workers}w-{rep}"), m.clone())
+                    .with_scheduler(SchedulerKind::WorkStealing);
+                if let Some(units) = fuel {
+                    cfg = cfg.with_task_fuel(units);
+                }
+                let rt = Runtime::start(cfg).expect("runtime starts");
+                let t0 = Instant::now();
+                let tasks = run_fanout(&rt, rounds, width);
+                let r = tasks as f64 / t0.elapsed().as_secs_f64();
+                rt.shutdown();
+                best = best.max(r);
+            }
+            best
+        };
+        let off = rate(None);
+        let on = rate(Some(128));
+        let budget_overhead_pct = (off / on.max(1e-9) - 1.0) * 100.0;
+        println!(
+            "   budget gate @ {workers:>2} workers: off {off:>12.0} t/s, \
+             on {on:>12.0} t/s ({budget_overhead_pct:+.1}%)"
+        );
+        cells.push(serde_json::json!({
+            "workers": workers.parse::<u64>().expect("numeric label"),
+            "budgets_off_tasks_per_sec": off,
+            "budgets_on_tasks_per_sec": on,
+            "budget_overhead_pct": budget_overhead_pct,
+        }));
+    }
+    serde_json::json!({
+        "shape": "fanout_fanin",
+        "scheduler": "work_stealing",
+        "task_fuel": 128,
+        "workloads": { "rounds": rounds, "width": width },
+        "cells": cells,
+    })
+}
+
 fn scheduler_report(smoke: bool) -> serde_json::Value {
     let (rounds, width, chain_len, dag_tasks, repeats) = if smoke {
         (10, 50, 500, 2_000, 1)
@@ -332,6 +383,7 @@ fn scheduler_report(smoke: bool) -> serde_json::Value {
         },
         "cells": cells,
         "tracing": tracing_overhead_report(smoke),
+        "budget": budget_overhead_report(smoke),
     })
 }
 

@@ -23,6 +23,8 @@ fn samples(n: usize, round: u64) -> Vec<TenantSample> {
             running_per_node: vec![1, 1],
             local_pops: round * 90,
             remote_steals: round * 10,
+            preemptions: round,
+            overbudget_cpu_us: round * 100,
         })
         .collect()
 }

@@ -255,6 +255,10 @@ pub enum Command {
         /// Write the SLO engine's JSON report here after the run
         /// (`--slo-report <PATH>`).
         slo_report: Option<String>,
+        /// Wedge a runaway task into runtime `app<N>` at the given tick
+        /// (`--runaway app[:tick]`): the task spins past its fuel budget
+        /// until the watchdog preempts and contains it.
+        runaway: Option<(usize, u64)>,
     },
     /// `top` — run a supervised two-tenant simulation with per-tenant
     /// accounting and print the resource ledger (who got what, delivered
@@ -342,6 +346,7 @@ COMMANDS:
   chaos   [--machine <M>] [--runtimes N] [--ticks N] [--tick-interval MS]
           [--kill-at T] [--revive-at T] [--deadline MS]
           [--fault <kind[=millis][@from[..until]][~prob]>...]
+          [--runaway <app[:tick]>]
           [--trace-out <PATH>] [--metrics <PATH>] [--flight-dir <DIR>]
           [--slo-report <PATH>]
                                run live runtimes under a supervised agent,
@@ -354,7 +359,11 @@ COMMANDS:
                                recorder that dumps recent events into DIR
                                whenever the supervisor marks a runtime
                                Suspected or Dead; --slo-report writes the
-                               victim's SLO burn-rate report as JSON
+                               victim's SLO burn-rate report as JSON;
+                               --runaway wedges a spinning task into
+                               runtime appN at the given tick (default 1)
+                               so the fuel/watchdog machinery preempts,
+                               contains, and books it
   top     [--machine <M>] [--duration S] [--decision-period S]
           [--outage <app:down_at_s[:up_at_s]>...]
           [--serve <ADDR> [--serve-max-requests N]]
@@ -437,6 +446,28 @@ fn parse_perturb(spec: &str) -> Result<PerturbArg> {
     Ok(PerturbArg { node, factor, at_s })
 }
 
+fn parse_runaway(spec: &str) -> Result<(usize, u64)> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.is_empty() || parts.len() > 2 {
+        return Err(CliError::usage(format!(
+            "bad --runaway '{spec}': expected app[:tick]"
+        )));
+    }
+    // Accept both `1` and the runtime's name form `app1`.
+    let app: usize = parts[0]
+        .strip_prefix("app")
+        .unwrap_or(parts[0])
+        .parse()
+        .map_err(|_| CliError::usage(format!("bad app '{}' in --runaway '{spec}'", parts[0])))?;
+    let tick: u64 = match parts.get(1) {
+        Some(t) => t
+            .parse()
+            .map_err(|_| CliError::usage(format!("bad tick '{t}' in --runaway '{spec}'")))?,
+        None => 1,
+    };
+    Ok((app, tick))
+}
+
 fn parse_counts(spec: &str) -> Result<Vec<usize>> {
     spec.split(',')
         .map(|t| {
@@ -486,6 +517,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
     let mut flight_dir: Option<String> = None;
     let mut slo_report: Option<String> = None;
     let mut outages: Vec<String> = Vec::new();
+    let mut runaway: Option<(usize, u64)> = None;
 
     let mut positional: Vec<&str> = Vec::new();
     let mut it = argv.iter().peekable();
@@ -520,6 +552,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             "--flight-dir" => flight_dir = Some(next_value(&mut it, "--flight-dir")?),
             "--slo-report" => slo_report = Some(next_value(&mut it, "--slo-report")?),
             "--outage" => outages.push(next_value(&mut it, "--outage")?),
+            "--runaway" => runaway = Some(parse_runaway(&next_value(&mut it, "--runaway")?)?),
             "--fault" => faults.push(next_value(&mut it, "--fault")?),
             "--no-reclaim" => no_reclaim = true,
             "--reoptimize" => reoptimize = true,
@@ -696,6 +729,16 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
                     ));
                 }
             }
+            if let Some((app, at)) = runaway {
+                if app >= runtimes {
+                    return Err(CliError::usage(format!(
+                        "--runaway targets app{app} but there are only {runtimes} runtimes"
+                    )));
+                }
+                if at >= ticks {
+                    return Err(CliError::usage("--runaway tick must be before --ticks"));
+                }
+            }
             Command::Chaos {
                 machine: machine.unwrap_or_else(|| "tiny".to_string()),
                 runtimes,
@@ -709,6 +752,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
                 metrics,
                 flight_dir,
                 slo_report,
+                runaway,
             }
         }
         Some("top") => Command::Top {
@@ -1209,6 +1253,30 @@ mod tests {
             Command::Chaos { slo_report, .. } => assert_eq!(slo_report, None),
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn chaos_parses_runaway_flag() {
+        let cli = parse_args(&argv("chaos --runaway 1:4")).unwrap();
+        match cli.command {
+            Command::Chaos { runaway, .. } => assert_eq!(runaway, Some((1, 4))),
+            other => panic!("wrong command {other:?}"),
+        }
+        // `appN` name form and the default tick.
+        let cli = parse_args(&argv("chaos --runaway app2")).unwrap();
+        match cli.command {
+            Command::Chaos { runaway, .. } => assert_eq!(runaway, Some((2, 1))),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse_args(&argv("chaos")).unwrap();
+        match cli.command {
+            Command::Chaos { runaway, .. } => assert_eq!(runaway, None),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Out-of-range app or tick is rejected at parse time.
+        assert!(parse_args(&argv("chaos --runaway 9")).is_err());
+        assert!(parse_args(&argv("chaos --runaway 1:99")).is_err());
+        assert!(parse_args(&argv("chaos --runaway bogus:x")).is_err());
     }
 
     #[test]

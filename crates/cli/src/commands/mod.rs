@@ -112,6 +112,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             revive_at,
             deadline_ms,
             faults,
+            runaway,
             trace_out,
             metrics,
             flight_dir,
@@ -122,6 +123,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             (*ticks, *tick_interval_ms, *kill_at, *revive_at),
             *deadline_ms,
             faults,
+            *runaway,
             trace_out.as_deref(),
             metrics.as_deref(),
             (flight_dir.as_deref(), slo_report.as_deref()),
@@ -383,7 +385,7 @@ fn drift_cmd(
         duration_s,
         perturbations: perturbations
             .iter()
-            .map(|p| memsim::Perturbation {
+            .map(|p| memsim::Perturbation::NodeBandwidth {
                 at_s: p.at_s,
                 node: p.node,
                 bandwidth_factor: p.factor,
@@ -444,6 +446,13 @@ fn drift_cmd(
 /// detector walks it to Dead, the agent evicts it and fair-shares its
 /// cores among the survivors; at `--revive-at` (if given) a probe finds it
 /// healthy again and re-admits it.
+///
+/// `--runaway app:tick` additionally arms fuel budgets and the wall-clock
+/// watchdog on every runtime and, starting at `tick`, injects spinning
+/// tasks (plus a fuel-hungry step task) into the chosen app. The watchdog
+/// marks the spinners runaway, the agent's containment ladder walks the
+/// offender back toward its fair share, and the ledger books the
+/// over-budget CPU against it.
 #[allow(clippy::too_many_arguments)]
 fn chaos_cmd(
     machine: &str,
@@ -451,6 +460,7 @@ fn chaos_cmd(
     (ticks, tick_interval_ms, kill_at, revive_at): (u64, u64, u64, Option<u64>),
     deadline_ms: u64,
     faults: &[String],
+    runaway: Option<(usize, u64)>,
     trace_out: Option<&str>,
     metrics: Option<&str>,
     (flight_dir, slo_report): (Option<&str>, Option<&str>),
@@ -503,7 +513,17 @@ fn chaos_cmd(
     let rts: Vec<Arc<Runtime>> = (0..runtimes)
         .map(|i| {
             let name = format!("app{i}");
-            Runtime::start(RuntimeConfig::new(&name, m.clone()).with_telemetry(Arc::clone(&hub)))
+            let mut cfg = RuntimeConfig::new(&name, m.clone()).with_telemetry(Arc::clone(&hub));
+            if runaway.is_some() {
+                // Budgets + watchdog armed on *every* tenant: containment
+                // must single out the offender by behaviour, not by
+                // configuration. A short deadline keeps detection inside
+                // one agent tick.
+                cfg = cfg
+                    .with_task_fuel(64)
+                    .with_watchdog(Duration::from_millis((tick_interval_ms / 2).clamp(1, 20)));
+            }
+            Runtime::start(cfg)
                 .map(Arc::new)
                 .map_err(|e| CliError::failure(format!("cannot start runtime '{name}': {e}")))
         })
@@ -531,6 +551,10 @@ fn chaos_cmd(
 
     let mut lines = Vec::new();
     let mut tick_records = Vec::new();
+    // `--runaway`: spinners hold their workers until this flag flips, so
+    // the watchdog sees a genuine wedge but shutdown still drains clean.
+    let spin_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut spins_left: u32 = if runaway.is_some() { 3 } else { 0 };
     for tick in 0..ticks {
         if tick == kill_at {
             kill.kill();
@@ -539,6 +563,43 @@ fn chaos_cmd(
         if revive_at == Some(tick) {
             kill.revive();
             lines.push(format!("tick {tick:>3}: >>> revived app0"));
+        }
+        if let Some((app, at)) = runaway {
+            if tick >= at && spins_left > 0 {
+                spins_left -= 1;
+                // One fresh spinner per tick keeps the runaway counter
+                // climbing, which is what the agent's sustained-runaway
+                // detector keys on before it walks the containment ladder.
+                let stop = Arc::clone(&spin_stop);
+                rts[app]
+                    .task(&format!("runaway-spin-{tick}"))
+                    .body(move |_ctx| {
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            std::hint::spin_loop();
+                        }
+                    })
+                    .spawn()
+                    .map_err(|e| CliError::failure(format!("cannot inject runaway: {e}")))?;
+                if tick == at {
+                    // A fuel hog rides along: it yields far past its
+                    // 8-unit budget, so the preemption counter moves too.
+                    let mut steps = 0u32;
+                    rts[app]
+                        .task("runaway-hog")
+                        .fuel(8)
+                        .body_step(move |_ctx| {
+                            steps += 1;
+                            if steps < 256 {
+                                coop_runtime::TaskStep::Yield
+                            } else {
+                                coop_runtime::TaskStep::Done
+                            }
+                        })
+                        .spawn()
+                        .map_err(|e| CliError::failure(format!("cannot inject fuel hog: {e}")))?;
+                    lines.push(format!("tick {tick:>3}: >>> runaway injected into app{app}"));
+                }
+            }
         }
         agent
             .tick()
@@ -571,9 +632,20 @@ fn chaos_cmd(
 
     let final_health = agent.health();
     let final_evicted = agent.evicted();
+    spin_stop.store(true, std::sync::atomic::Ordering::Release);
+    if let Some((app, _)) = runaway {
+        // Let the spinners observe the stop flag and *return*: the
+        // over-budget CPU of a runaway slice is only booked once the
+        // wedged task hands its worker back.
+        let _ = rts[app].wait_quiescent();
+    }
+    let final_stats: Vec<coop_runtime::RuntimeStats> = rts.iter().map(|rt| rt.stats()).collect();
     for rt in &rts {
         rt.shutdown();
     }
+    let containments = hub
+        .registry()
+        .counter_total("coop_agent_containments_total");
 
     if let Some(path) = trace_out {
         std::fs::write(path, hub.to_perfetto_json())
@@ -610,6 +682,19 @@ fn chaos_cmd(
                 "flight_dumps": flight_dumps,
                 "tenants": tenants_doc,
                 "slo": slo_doc,
+                "runaway": runaway.map(|(app, at)| serde_json::json!({
+                    "app": app,
+                    "at": at,
+                    "containments": containments,
+                    "per_runtime": final_stats.iter().enumerate().map(|(i, s)| {
+                        serde_json::json!({
+                            "runtime": format!("app{i}"),
+                            "tasks_preempted": s.tasks_preempted,
+                            "tasks_runaway": s.tasks_runaway,
+                            "overbudget_cpu_us": s.overbudget_cpu_us,
+                        })
+                    }).collect::<Vec<_>>(),
+                })),
             });
             serde_json::to_string_pretty(&doc)
                 .map(|s| s + "\n")
@@ -655,6 +740,17 @@ fn chaos_cmd(
                 ledger_snap.tenants.len(),
                 ledger_snap.jain
             ));
+            if let Some((app, at)) = runaway {
+                out.push_str(&format!(
+                    "runaway: injected into app{app} at tick {at}; {containments} containment(s)\n",
+                ));
+                for (i, s) in final_stats.iter().enumerate() {
+                    out.push_str(&format!(
+                        "  app{i}: {} preempted, {} runaway, {}us over budget\n",
+                        s.tasks_preempted, s.tasks_runaway, s.overbudget_cpu_us
+                    ));
+                }
+            }
             if let Some(p) = slo_report {
                 out.push_str(&format!("slo report written to {p}\n"));
             }

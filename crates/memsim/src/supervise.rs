@@ -25,25 +25,55 @@ use crate::{Result, Scenario, SimConfig, SimError, SimResult, Simulation};
 use coop_alloc::search::{HillClimb, ModelOracle};
 use coop_alloc::{Objective, ScoreCache};
 use coop_telemetry::{
-    DriftConfig, DriftReport, ModelObservatory, ProvenanceRecord, Residual, SeriesValue,
+    ArgValue, DriftConfig, DriftReport, ModelObservatory, ProvenanceRecord, Residual, SeriesValue,
     TelemetryHub, TenantSample,
 };
 use numa_topology::{Machine, NodeId};
 use roofline_numa::{solve, AppSpec, ThreadAssignment};
 use std::sync::Arc;
 
-/// A mid-run change to the simulated machine that the analytic model does
-/// not know about.
+/// A mid-run change the analytic model does not know about: a machine
+/// degradation or a misbehaving tenant.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Perturbation {
-    /// Simulated time at which the change takes effect, seconds.
-    pub at_s: f64,
-    /// The node whose local memory bandwidth changes.
-    pub node: usize,
-    /// Multiplier applied to the node's *nominal* bandwidth (e.g. `0.5`
-    /// halves it). When several perturbations of the same node are active,
-    /// the latest `at_s` wins.
-    pub bandwidth_factor: f64,
+pub enum Perturbation {
+    /// A node's local memory bandwidth changes.
+    NodeBandwidth {
+        /// Simulated time at which the change takes effect, seconds.
+        at_s: f64,
+        /// The node whose local memory bandwidth changes.
+        node: usize,
+        /// Multiplier applied to the node's *nominal* bandwidth (e.g.
+        /// `0.5` halves it). When several perturbations of the same node
+        /// are active, the latest `at_s` wins.
+        bandwidth_factor: f64,
+    },
+    /// One of `app`'s tasks wedges into an infinite loop at `at_s`,
+    /// modeling the runtime-side runaway the watchdog hunts: the tick the
+    /// wedge lands in runs undetected (the watchdog deadline has not
+    /// elapsed yet); at its end the supervisor raises a `runaway` timeline
+    /// instant, bumps `coop_runaway_tasks_total`, and snapshots any
+    /// installed flight recorder. From the next tick on the app is
+    /// *contained*: its threads leave the effective assignment (the
+    /// watchdog migrated its queues and excluded the wedged worker),
+    /// survivors fair-share the machine, and every contained tick books
+    /// one preemption plus a tick of over-budget CPU against the
+    /// offender's tenant account.
+    RunawayTask {
+        /// Simulated time at which the task wedges, seconds.
+        at_s: f64,
+        /// Index of the offending application in the scenario's `apps`.
+        app: usize,
+    },
+}
+
+impl Perturbation {
+    /// Simulated time at which this perturbation takes effect, seconds.
+    pub fn at_s(&self) -> f64 {
+        match self {
+            Perturbation::NodeBandwidth { at_s, .. } => *at_s,
+            Perturbation::RunawayTask { at_s, .. } => *at_s,
+        }
+    }
 }
 
 /// Tuning for [`run_supervised`].
@@ -107,30 +137,61 @@ impl SupervisorConfig {
             });
         }
         for p in &self.perturbations {
-            if p.node >= machine.num_nodes() {
-                return Err(SimError::Calibration {
-                    reason: format!(
-                        "perturbation targets node {} but the machine has {} nodes",
-                        p.node,
-                        machine.num_nodes()
-                    ),
-                });
-            }
-            if !(p.bandwidth_factor > 0.0 && p.bandwidth_factor.is_finite()) {
-                return Err(SimError::Calibration {
-                    reason: format!(
-                        "perturbation of node {} has non-positive bandwidth factor {}",
-                        p.node, p.bandwidth_factor
-                    ),
-                });
-            }
-            if !(p.at_s >= 0.0 && p.at_s.is_finite()) {
+            if !(p.at_s() >= 0.0 && p.at_s().is_finite()) {
                 return Err(SimError::BadTime {
                     reason: "perturbation time must be non-negative and finite",
                 });
             }
+            match p {
+                Perturbation::NodeBandwidth {
+                    node,
+                    bandwidth_factor,
+                    ..
+                } => {
+                    if *node >= machine.num_nodes() {
+                        return Err(SimError::Calibration {
+                            reason: format!(
+                                "perturbation targets node {} but the machine has {} nodes",
+                                node,
+                                machine.num_nodes()
+                            ),
+                        });
+                    }
+                    if !(*bandwidth_factor > 0.0 && bandwidth_factor.is_finite()) {
+                        return Err(SimError::Calibration {
+                            reason: format!(
+                                "perturbation of node {node} has non-positive bandwidth factor {bandwidth_factor}"
+                            ),
+                        });
+                    }
+                }
+                // App bounds are scenario-dependent; checked by
+                // `runaway_onsets` in `run_supervised`.
+                Perturbation::RunawayTask { .. } => {}
+            }
         }
         Ok(())
+    }
+
+    /// Earliest runaway onset per app, validated against `num_apps`.
+    fn runaway_onsets(&self, num_apps: usize) -> Result<Vec<Option<f64>>> {
+        let mut onsets: Vec<Option<f64>> = vec![None; num_apps];
+        for p in &self.perturbations {
+            if let Perturbation::RunawayTask { at_s, app } = p {
+                if *app >= num_apps {
+                    return Err(SimError::Calibration {
+                        reason: format!(
+                            "runaway perturbation targets app {app} but the scenario has {num_apps} apps"
+                        ),
+                    });
+                }
+                let slot = &mut onsets[*app];
+                if slot.is_none_or(|prev| *at_s < prev) {
+                    *slot = Some(*at_s);
+                }
+            }
+        }
+        Ok(onsets)
     }
 
     /// The nominal machine with every perturbation active at time `t_s`
@@ -138,10 +199,18 @@ impl SupervisorConfig {
     pub fn machine_at(&self, nominal: &Machine, t_s: f64) -> Result<Machine> {
         let mut factors: Vec<Option<(f64, f64)>> = vec![None; nominal.num_nodes()];
         for p in &self.perturbations {
-            if p.at_s <= t_s {
-                let slot = &mut factors[p.node];
-                if slot.is_none_or(|(at, _)| p.at_s >= at) {
-                    *slot = Some((p.at_s, p.bandwidth_factor));
+            let Perturbation::NodeBandwidth {
+                at_s,
+                node,
+                bandwidth_factor,
+            } = p
+            else {
+                continue;
+            };
+            if *at_s <= t_s {
+                let slot = &mut factors[*node];
+                if slot.is_none_or(|(at, _)| *at_s >= at) {
+                    *slot = Some((*at_s, *bandwidth_factor));
                 }
             }
         }
@@ -270,6 +339,15 @@ pub fn run_supervised(
     // installed ledger the exact sample shape a live runtime produces.
     let mut books: Vec<TenantBook> = (0..num_apps).map(|_| TenantBook::new(num_nodes)).collect();
     let mut prev_live = vec![false; num_apps];
+    // Runaway modeling: the onset tick runs wedged but undetected; the
+    // watchdog "fires" at its end (detection events below), and every
+    // later tick the offender is contained.
+    let runaway_onsets = config.runaway_onsets(num_apps)?;
+    let mut runaway_detected = vec![false; num_apps];
+    let watchdog_track = runaway_onsets
+        .iter()
+        .any(Option::is_some)
+        .then(|| hub.register_track("memsim-watchdog"));
     for tick in 0..ticks_total {
         let start_s = tick as f64 * config.decision_period_s;
         let period = config.decision_period_s.min(config.duration_s - start_s);
@@ -348,9 +426,26 @@ pub fn run_supervised(
             ts(start_s),
         );
 
-        let effective = if live.iter().any(|l| !l) {
-            let plan = config.chaos.as_ref().expect("dead apps imply a chaos plan");
-            segment_assignment(scenario, plan, &assignment, &live)?
+        // Contained runaways leave the effective assignment just like
+        // dead apps do: the watchdog excluded their workers and the
+        // survivors absorb the cores.
+        let contained: Vec<bool> = runaway_detected.clone();
+        let alloc_live: Vec<bool> = live
+            .iter()
+            .zip(&contained)
+            .map(|(l, c)| *l && !*c)
+            .collect();
+        let effective = if alloc_live.iter().any(|l| !l) {
+            let plan = match &config.chaos {
+                Some(plan) => plan.clone(),
+                // Containment without a chaos plan reclaims by default —
+                // that is the whole point of preempting the offender.
+                None => ChaosPlan {
+                    outages: Vec::new(),
+                    reclaim: true,
+                },
+            };
+            segment_assignment(scenario, &plan, &assignment, &alloc_live)?
         } else {
             assignment.clone()
         };
@@ -366,6 +461,38 @@ pub fn run_supervised(
         }
         let result = sim.run(&scenario.apps, &effective, period)?;
 
+        // Watchdog detection: a wedge whose onset falls inside this tick
+        // breaches its deadline by the tick's end — raise the `runaway`
+        // instant, bump the counter, and snapshot the flight recorder
+        // before the ring overwrites the lead-up.
+        for (i, onset) in runaway_onsets.iter().enumerate() {
+            let Some(at_s) = onset else { continue };
+            if *at_s <= start_s + period && !runaway_detected[i] && live[i] {
+                runaway_detected[i] = true;
+                let name = scenario.apps[i].spec.name.as_str();
+                hub.registry()
+                    .counter("coop_runaway_tasks_total", &[("runtime", name)])
+                    .inc();
+                if let Some(track) = watchdog_track {
+                    hub.record_instant_at(
+                        0,
+                        track,
+                        0,
+                        "watchdog",
+                        "runaway",
+                        ts(start_s + period),
+                        vec![
+                            ("runtime".to_string(), ArgValue::Str(name.to_string())),
+                            ("tick".to_string(), ArgValue::U64(tick)),
+                        ],
+                    );
+                }
+                if let Some(rec) = hub.flight_recorder() {
+                    let _ = rec.trigger_dump("runaway");
+                }
+            }
+        }
+
         let alarms_before = observatory.detector().total_alarms();
         let residuals = observatory.close_decision_at(
             id,
@@ -380,6 +507,7 @@ pub fn run_supervised(
             &mut books,
             &effective,
             &live,
+            &runaway_detected,
             &result,
             period,
             ts(start_s + period),
@@ -406,6 +534,8 @@ struct TenantBook {
     per_node: Vec<u64>,
     local: u64,
     remote: u64,
+    preemptions: u64,
+    overbudget_cpu_us: u64,
 }
 
 impl TenantBook {
@@ -416,6 +546,8 @@ impl TenantBook {
             per_node: vec![0; num_nodes],
             local: 0,
             remote: 0,
+            preemptions: 0,
+            overbudget_cpu_us: 0,
         }
     }
 }
@@ -437,6 +569,7 @@ fn book_tenant_tick(
     books: &mut [TenantBook],
     effective: &ThreadAssignment,
     live: &[bool],
+    runaway: &[bool],
     result: &SimResult,
     period_s: f64,
     now_us: u64,
@@ -471,6 +604,14 @@ fn book_tenant_tick(
         let book = &mut books[i];
         book.uptime_us += (period_s * 1e6) as u64;
         book.tasks += mflops;
+        if runaway[i] {
+            // The wedged task burned its worker's whole tick past the
+            // budget, and the runtime preempted/parked it once per tick:
+            // book both against the offender, exactly what a live
+            // runtime's `tasks_preempted` / `overbudget_cpu_us` feed.
+            book.preemptions += 1;
+            book.overbudget_cpu_us += (period_s * 1e6) as u64;
+        }
         let mut remote_delta = 0u64;
         if row_total > 0 && mflops > 0 {
             for (n, &t) in row.iter().enumerate() {
@@ -512,6 +653,8 @@ fn book_tenant_tick(
             running_per_node: row,
             local_pops: book.local,
             remote_steals: book.remote,
+            preemptions: book.preemptions,
+            overbudget_cpu_us: book.overbudget_cpu_us,
         });
     }
     ledger.tick(hub, now_us, &samples);
@@ -614,7 +757,7 @@ mod tests {
     fn step_change_is_detected_within_a_few_ticks() {
         let mut config = quiet_config();
         config.duration_s = 0.2;
-        config.perturbations.push(Perturbation {
+        config.perturbations.push(Perturbation::NodeBandwidth {
             at_s: 0.1,
             node: 0,
             bandwidth_factor: 0.4,
@@ -640,7 +783,7 @@ mod tests {
     #[test]
     fn perturbed_ticks_are_flagged_and_residuals_negative() {
         let mut config = quiet_config();
-        config.perturbations.push(Perturbation {
+        config.perturbations.push(Perturbation::NodeBandwidth {
             at_s: 0.05,
             node: 1,
             bandwidth_factor: 0.5,
@@ -789,6 +932,122 @@ mod tests {
     }
 
     #[test]
+    fn runaway_is_detected_contained_and_booked_against_the_offender() {
+        use crate::scenario::NamedAssignment;
+        use crate::SimApp;
+        use coop_telemetry::{FlightRecorder, TenantLedger};
+        use numa_topology::presets::tiny;
+
+        let scenario = Scenario {
+            name: "runaway".into(),
+            machine: tiny(),
+            apps: vec![
+                SimApp::numa_local("a", 1.0 / 32.0),
+                SimApp::numa_local("b", 1.0 / 32.0),
+            ],
+            assignments: vec![NamedAssignment {
+                name: "even".into(),
+                threads: vec![vec![1, 1], vec![1, 1]],
+            }],
+            duration_s: 0.1,
+            effects: EffectModel::ideal(),
+            seed: 7,
+        };
+        // App b wedges at 0.03s: tick 3 runs wedged-undetected, the
+        // watchdog fires at its end, ticks 4..9 are contained.
+        let mut config = quiet_config();
+        config
+            .perturbations
+            .push(Perturbation::RunawayTask { at_s: 0.03, app: 1 });
+
+        let hub = Arc::new(TelemetryHub::new());
+        let ledger = Arc::new(TenantLedger::new());
+        assert!(hub.install_tenant_ledger(Arc::clone(&ledger)));
+        let recorder = Arc::new(FlightRecorder::new(256));
+        let dump_dir = std::env::temp_dir().join(format!(
+            "coop-runaway-dump-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        recorder.set_dump_dir(&dump_dir);
+        assert!(hub.install_flight_recorder(Arc::clone(&recorder)));
+
+        let result = run_supervised(&scenario, &config, Arc::clone(&hub)).unwrap();
+        assert_eq!(result.ticks.len(), 10);
+
+        // Detected exactly once, on the shared timeline and the counter.
+        assert_eq!(
+            hub.registry().counter_total("coop_runaway_tasks_total"),
+            1
+        );
+        assert_eq!(
+            hub.events()
+                .iter()
+                .filter(|e| e.cat == "watchdog" && e.name == "runaway")
+                .count(),
+            1
+        );
+        // The detection snapshotted the flight recorder.
+        let dumps: Vec<_> = std::fs::read_dir(&dump_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("flight-runaway")
+            })
+            .collect();
+        assert_eq!(dumps.len(), 1, "one runaway dump expected");
+        let _ = std::fs::remove_dir_all(&dump_dir);
+
+        // The over-budget CPU is booked against the offender, not the
+        // survivor: one preemption per tick from detection onward, plus a
+        // tick of over-budget CPU each (the wedge lands at tick boundary
+        // 0.03, so detection is at the end of tick 2 or 3).
+        let snap = ledger.snapshot();
+        let offender = snap.tenant("b").unwrap();
+        let survivor = snap.tenant("a").unwrap();
+        assert!(
+            (7..=8).contains(&offender.preemptions),
+            "{offender:?}"
+        );
+        assert!(offender.overbudget_cpu_us >= 7 * 9_000, "{offender:?}");
+        assert!(offender.preemption_rate > 0.0);
+        assert_eq!(survivor.preemptions, 0);
+        assert_eq!(survivor.overbudget_cpu_us, 0);
+
+        // Containment keeps the survivor whole: it absorbed the machine
+        // (entitlement 1.0) and its delivered share sits within 5% of
+        // that entitlement — the offender could not starve it.
+        let entitled = survivor.entitled_share.unwrap();
+        assert!((entitled - 1.0).abs() < 1e-9, "survivor entitled {entitled}");
+        assert!(
+            survivor.delivered_share + 0.05 >= entitled,
+            "survivor delivered {} vs entitled {entitled}",
+            survivor.delivered_share
+        );
+        // The offender's wedge shows up as work stopping.
+        let peak = survivor
+            .share_history
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(0.0f64, f64::max);
+        assert!((peak - 1.0).abs() < 1e-9, "survivor peak share {peak}");
+    }
+
+    #[test]
+    fn runaway_validation_rejects_bad_app() {
+        let scenario = base_scenario();
+        let mut config = quiet_config();
+        config
+            .perturbations
+            .push(Perturbation::RunawayTask { at_s: 0.0, app: 99 });
+        // Node-bound validation cannot see app counts; the run rejects it.
+        let hub = Arc::new(TelemetryHub::new());
+        assert!(run_supervised(&scenario, &config, hub).is_err());
+    }
+
+    #[test]
     fn validation_rejects_bad_configs() {
         let scenario = base_scenario();
         let mut config = quiet_config();
@@ -796,7 +1055,7 @@ mod tests {
         assert!(config.validate(&scenario.machine).is_err());
 
         let mut config = quiet_config();
-        config.perturbations.push(Perturbation {
+        config.perturbations.push(Perturbation::NodeBandwidth {
             at_s: 0.0,
             node: 99,
             bandwidth_factor: 0.5,
@@ -804,7 +1063,7 @@ mod tests {
         assert!(config.validate(&scenario.machine).is_err());
 
         let mut config = quiet_config();
-        config.perturbations.push(Perturbation {
+        config.perturbations.push(Perturbation::NodeBandwidth {
             at_s: 0.0,
             node: 0,
             bandwidth_factor: 0.0,
@@ -816,12 +1075,12 @@ mod tests {
     fn machine_at_latest_perturbation_wins() {
         let scenario = base_scenario();
         let mut config = quiet_config();
-        config.perturbations.push(Perturbation {
+        config.perturbations.push(Perturbation::NodeBandwidth {
             at_s: 0.01,
             node: 0,
             bandwidth_factor: 0.5,
         });
-        config.perturbations.push(Perturbation {
+        config.perturbations.push(Perturbation::NodeBandwidth {
             at_s: 0.05,
             node: 0,
             bandwidth_factor: 0.25,

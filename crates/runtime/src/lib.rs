@@ -9,9 +9,14 @@
 //!
 //! * **Tasks, not threads.** Work is expressed as fine-grained tasks with
 //!   dependencies on [`Event`]s ([`TaskBuilder`]); the runtime decides
-//!   where and when they run. Tasks are never preempted (OCR-Vx "does not
-//!   support" preemption; neither do we), which is exactly why thread
-//!   blocking happens at task boundaries.
+//!   where and when they run. Tasks are never OS-preempted (OCR-Vx "does
+//!   not support" preemption; neither do we), which is exactly why thread
+//!   blocking happens at task boundaries. Cooperative *fuel budgets*
+//!   ([`RuntimeConfig::with_task_fuel`]) bound a task's slice anyway:
+//!   step bodies ([`TaskBuilder::body_step`]) that exhaust their budget
+//!   are parked at the next yield safe point and resume at low priority,
+//!   and a wall-clock watchdog ([`RuntimeConfig::with_watchdog`])
+//!   contains bodies that never reach one.
 //! * **Runtime-managed data.** [`DataBlock`]s are allocated through the
 //!   runtime and carry a NUMA-node placement that the runtime can use for
 //!   affinity-aware scheduling and that can be migrated — the capability
@@ -74,9 +79,9 @@ pub use error::RuntimeError;
 pub use event::{Event, EventId, EventKind};
 pub use external::{ExternalRole, ExternalThread, ExternalThreadInfo};
 pub use runtime::{Runtime, RuntimeConfig, TaskContext};
-pub use sched::SchedulerKind;
+pub use sched::{set_strict_parking, SchedulerKind};
 pub use stats::{NodeOccupancy, RuntimeStats};
-pub use task::{TaskBuilder, TaskId, TaskPriority};
+pub use task::{TaskBuilder, TaskId, TaskPriority, TaskStep};
 pub use trace::{Trace, TraceEvent};
 
 // Re-exported so callers can attach a hub without naming the telemetry

@@ -8,7 +8,7 @@ use crate::stats::{NodeOccupancy, RuntimeStats, StatsCollector};
 use crate::task::{Task, TaskBody, TaskBuilder, TaskId, TaskPriority};
 use crate::worker;
 use crate::{Result, RuntimeError};
-use crossbeam::deque::Injector;
+use crossbeam::deque::{Injector, Steal};
 use crossbeam::sync::Parker;
 use numa_topology::{Binding, BindingKind, CoreId, Machine, NodeId};
 use parking_lot::{Condvar, Mutex};
@@ -45,6 +45,14 @@ pub struct RuntimeConfig {
     /// Requires a hub ([`with_telemetry`](RuntimeConfig::with_telemetry));
     /// off by default so the hot path records nothing extra.
     pub tracing: bool,
+    /// Default per-task fuel budget (work units between forced yields);
+    /// `None` (default) disables fuel accounting entirely. Individual
+    /// tasks override via [`TaskBuilder::fuel`](crate::TaskBuilder::fuel).
+    pub task_fuel: Option<u64>,
+    /// Wall-clock runaway deadline: a worker stuck in a single task body
+    /// longer than this is marked runaway and contained (work-stealing
+    /// scheduler only). `None` (default) disables the watchdog.
+    pub watchdog: Option<Duration>,
 }
 
 impl RuntimeConfig {
@@ -57,6 +65,8 @@ impl RuntimeConfig {
             telemetry: None,
             scheduler: SchedulerKind::default(),
             tracing: false,
+            task_fuel: None,
+            watchdog: None,
         }
     }
 
@@ -84,6 +94,28 @@ impl RuntimeConfig {
     /// [`with_telemetry`](RuntimeConfig::with_telemetry)).
     pub fn with_task_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Gives every task a default fuel budget of `units` work units.
+    /// Fuel is decremented at cooperative checkpoints (yields, spawns,
+    /// event satisfaction, data-block creation); a *step* body (see
+    /// [`TaskBuilder::body_step`](crate::TaskBuilder::body_step)) that
+    /// yields with an empty tank is parked into the over-budget queue and
+    /// rescheduled at low priority with a full refill.
+    pub fn with_task_fuel(mut self, units: u64) -> Self {
+        self.task_fuel = Some(units);
+        self
+    }
+
+    /// Arms the wall-clock watchdog: a monitor thread marks any task
+    /// that holds a worker longer than `deadline` as *runaway*, dumps
+    /// the flight recorder, migrates the wedged worker's queued tasks to
+    /// siblings, and excludes that worker from the scheduler until the
+    /// task returns. Only effective with the default
+    /// [`SchedulerKind::WorkStealing`] scheduler.
+    pub fn with_watchdog(mut self, deadline: Duration) -> Self {
+        self.watchdog = Some(deadline);
         self
     }
 }
@@ -117,6 +149,52 @@ struct EventEntry {
 struct PendingTask {
     task: Mutex<Option<Task>>,
     remaining: AtomicUsize,
+}
+
+/// Per-worker watchdog slots (work-stealing mode with
+/// [`RuntimeConfig::with_watchdog`] only).
+///
+/// Protocol: before running a task body the worker stores the start time
+/// into `started_us` (Relaxed) and then the task id + 1 into `current`
+/// (Release); after the body it clears `current` back to zero. The
+/// monitor reads `current` (Acquire) — a non-zero value makes the
+/// earlier `started_us` store visible — computes the elapsed time, and
+/// then *re-reads* `current`: only if the same task is still running is
+/// the deadline breach real (the worker may have moved on to idle or to
+/// another task between the two loads). `runaway.swap(true)` claims the
+/// breach exactly once; the worker clears it (and `excluded`) when the
+/// wedged task finally returns.
+pub(crate) struct WatchdogState {
+    /// The configured deadline.
+    pub deadline: Duration,
+    /// The deadline in microseconds (the monitor compares uptimes).
+    pub deadline_us: u64,
+    /// Task id + 1 the worker is currently executing; 0 = idle.
+    pub current: Vec<AtomicU64>,
+    /// Uptime (µs) at which the current task started.
+    pub started_us: Vec<AtomicU64>,
+    /// The current task breached the deadline and was marked runaway.
+    pub runaway: Vec<AtomicBool>,
+    /// Worker is excluded from the scheduler (spawns from its task body
+    /// bypass its local deque) until the runaway task returns.
+    pub excluded: Vec<AtomicBool>,
+    /// Home node of each worker (migration target for its deques).
+    pub nodes: Vec<NodeId>,
+}
+
+impl WatchdogState {
+    fn new(deadline: Duration, nodes: Vec<NodeId>) -> Self {
+        let workers = nodes.len();
+        WatchdogState {
+            deadline,
+            deadline_us: deadline.as_micros().min(u64::MAX as u128) as u64,
+            current: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            started_us: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            runaway: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            excluded: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            nodes,
+        }
+    }
 }
 
 /// All state shared between the [`Runtime`] facade, its workers, and
@@ -158,6 +236,11 @@ pub(crate) struct Shared {
     /// Telemetry handles, when a hub is attached (see
     /// [`RuntimeConfig::with_telemetry`]).
     pub telemetry: Option<crate::telemetry::RuntimeTelemetry>,
+    /// Runtime-wide default fuel budget (see
+    /// [`RuntimeConfig::with_task_fuel`]).
+    pub task_fuel: Option<u64>,
+    /// Watchdog slots, when armed (see [`RuntimeConfig::with_watchdog`]).
+    pub watchdog: Option<WatchdogState>,
 }
 
 /// Stripe count for the dependency graph: enough stripes that workers
@@ -248,6 +331,33 @@ impl Shared {
         }
     }
 
+    /// Pushes a fuel-exhausted task onto the over-budget queue: scanned
+    /// *last* by every pop path, so compliant tasks always go first —
+    /// de-facto low priority without a third deque tier. Counted in the
+    /// ready census like any other enqueue.
+    pub(crate) fn enqueue_overbudget(&self, mut task: Task) {
+        if self.telemetry.is_some() {
+            task.enqueued_at = Some(Instant::now());
+        }
+        self.sched.ready.fetch_add(1, Ordering::Relaxed);
+        // Raise the gate before the push so no pop path can observe the
+        // task while the gate still reads zero.
+        self.sched.overbudget_pending.fetch_add(1, Ordering::Release);
+        self.sched.overbudget.push(task);
+        match self.sched.kind {
+            SchedulerKind::WorkStealing => {
+                self.sched
+                    .parking
+                    .as_ref()
+                    .expect("work-stealing mode always has a park registry")
+                    .notify_one(None);
+            }
+            SchedulerKind::SharedInjector => {
+                self.work_cv.notify_one();
+            }
+        }
+    }
+
     /// Called by workers after each finished (or panicked) task body.
     pub(crate) fn task_finished(&self, finish: Option<&Event>) {
         if let Some(finish) = finish {
@@ -331,12 +441,14 @@ impl Shared {
         priority: TaskPriority,
         want_finish: bool,
         parent: Option<(TaskId, u64)>,
+        fuel: Option<u64>,
     ) -> Result<(TaskId, Option<Event>)> {
         if self.shutdown.load(Ordering::Acquire) {
             return Err(RuntimeError::ShutDown);
         }
         let id = TaskId(self.next_task.fetch_add(1, Ordering::Relaxed));
         let finish = want_finish.then(|| self.register_event(EventKind::Once));
+        let fuel_budget = fuel.or(self.task_fuel);
         let task = Task {
             id,
             trace_id: parent.map(|(_, trace)| trace).unwrap_or(id.0),
@@ -346,6 +458,8 @@ impl Shared {
             priority,
             finish: finish.clone(),
             enqueued_at: None,
+            fuel_budget,
+            fuel: fuel_budget.unwrap_or(0),
         };
         self.stats.record_spawned();
         if let Some(tel) = self.telemetry.as_ref().filter(|t| t.tracing) {
@@ -407,6 +521,73 @@ impl Shared {
             .tasks_spawned
             .load(Ordering::Acquire)
             .saturating_sub(finished)
+    }
+}
+
+/// Monitor loop for the wall-clock watchdog (see [`WatchdogState`] for
+/// the memory-ordering protocol). Runs on its own thread, polling at a
+/// quarter of the deadline so detection latency stays well under 2×.
+fn watchdog_loop(shared: Arc<Shared>) {
+    let wd = shared
+        .watchdog
+        .as_ref()
+        .expect("watchdog thread only spawned when armed");
+    let poll = (wd.deadline / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    while !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(poll);
+        for w in 0..wd.current.len() {
+            let cur = wd.current[w].load(Ordering::Acquire);
+            if cur == 0 || wd.runaway[w].load(Ordering::Relaxed) {
+                continue;
+            }
+            let started = wd.started_us[w].load(Ordering::Relaxed);
+            if shared.stats.uptime_us().saturating_sub(started) < wd.deadline_us {
+                continue;
+            }
+            // Re-read: the worker may have finished this task (or moved
+            // on to another) between the two loads; only the *same* task
+            // still on the worker is a real deadline breach.
+            if wd.current[w].load(Ordering::Acquire) != cur {
+                continue;
+            }
+            if wd.runaway[w].swap(true, Ordering::AcqRel) {
+                continue;
+            }
+            contain_runaway(&shared, wd, w, cur - 1);
+        }
+    }
+}
+
+/// Containment for a freshly-claimed runaway breach: exclude the wedged
+/// worker from the scheduler, migrate its queued tasks to its node's
+/// injectors (where siblings pick them up immediately), and raise the
+/// alarm (metric + timeline instant + flight-recorder dump).
+fn contain_runaway(shared: &Shared, wd: &WatchdogState, worker: usize, task_id: u64) {
+    wd.excluded[worker].store(true, Ordering::Release);
+    shared.stats.record_runaway();
+    // Migrate both deque tiers. The tasks were already counted in the
+    // ready census when enqueued (and the high-priority gate stays
+    // raised), so no counter adjustment: the tasks merely become
+    // reachable through the injectors instead of a deque nobody drains.
+    let node = wd.nodes[worker];
+    for tier in [TaskPriority::High, TaskPriority::Normal] {
+        let stealer = shared.sched.grid.stealers[worker].tier(tier);
+        let (_, per_node) = shared.injectors(tier);
+        loop {
+            match stealer.steal() {
+                Steal::Success(t) => per_node[node.0].push(t),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    if let Some(tel) = &shared.telemetry {
+        tel.record_runaway(worker, task_id);
+    }
+    if let Some(parking) = &shared.sched.parking {
+        // Bumps the registry sequence (keeping the lost-wakeup backstop
+        // detection sound) and wakes everyone to drain the migration.
+        parking.unpark_all();
     }
 }
 
@@ -510,6 +691,8 @@ impl Runtime {
                 parking,
                 ready: AtomicUsize::new(0),
                 high_pending: AtomicUsize::new(0),
+                overbudget: Injector::new(),
+                overbudget_pending: AtomicUsize::new(0),
             },
             shards: (0..shard_count(workers, scheduler))
                 .map(|_| {
@@ -531,6 +714,11 @@ impl Runtime {
             tracer,
             telemetry,
             machine,
+            task_fuel: config.task_fuel,
+            watchdog: config
+                .watchdog
+                .filter(|_| scheduler == SchedulerKind::WorkStealing)
+                .map(|deadline| WatchdogState::new(deadline, worker_node.clone())),
         });
 
         let mut handles = Vec::with_capacity(workers);
@@ -545,6 +733,16 @@ impl Runtime {
                     .name(format!("{}-w{id}", shared.name))
                     .spawn(move || worker::worker_loop(shared, id, node, core, local, parker))
                     .expect("spawning worker thread"),
+            );
+        }
+
+        if shared.watchdog.is_some() {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-watchdog", shared.name))
+                    .spawn(move || watchdog_loop(shared))
+                    .expect("spawning watchdog thread"),
             );
         }
 
@@ -596,6 +794,7 @@ impl Runtime {
             priority: TaskPriority::Normal,
             want_finish_event: false,
             parent: None,
+            fuel: None,
         }
     }
 
@@ -714,6 +913,9 @@ impl Runtime {
             per_node,
             user_counters: self.shared.stats.user.lock().clone(),
             uptime_us: self.shared.stats.uptime_us(),
+            tasks_preempted: self.shared.stats.tasks_preempted.load(Ordering::Relaxed),
+            tasks_runaway: self.shared.stats.tasks_runaway.load(Ordering::Relaxed),
+            overbudget_cpu_us: self.shared.stats.overbudget_cpu_us.load(Ordering::Relaxed),
         }
     }
 
@@ -761,6 +963,11 @@ pub struct TaskContext<'rt> {
     pub(crate) task_id: TaskId,
     pub(crate) trace_id: u64,
     pub(crate) worker_core: Option<CoreId>,
+    /// Whether this task carries a fuel budget; when `false`, every fuel
+    /// checkpoint is a single branch and nothing else.
+    pub(crate) fueled: bool,
+    /// Fuel remaining for this slice (only meaningful when `fueled`).
+    pub(crate) fuel: std::cell::Cell<u64>,
 }
 
 impl TaskContext<'_> {
@@ -785,10 +992,29 @@ impl TaskContext<'_> {
         self.trace_id
     }
 
+    /// Burns `units` of fuel (saturating at zero). A no-op for
+    /// unbudgeted tasks. Called automatically at cooperative checkpoints
+    /// (spawn, event satisfaction, data-block creation, yields); bodies
+    /// doing long uninstrumented stretches may call it directly so their
+    /// reported work tracks reality.
+    pub fn consume_fuel(&self, units: u64) {
+        if self.fueled {
+            self.fuel.set(self.fuel.get().saturating_sub(units));
+        }
+    }
+
+    /// Fuel remaining in this slice, or `None` for unbudgeted tasks. A
+    /// step body can poll this to yield *before* the tank runs dry.
+    pub fn fuel_remaining(&self) -> Option<u64> {
+        self.fueled.then(|| self.fuel.get())
+    }
+
     /// Starts building a follow-up task. The new task inherits this
     /// task's trace id (same causal tree) and records this task as its
-    /// parent when tracing is enabled.
+    /// parent when tracing is enabled. Costs one unit of fuel (a spawn
+    /// is a cooperative checkpoint).
     pub fn task(&self, name: &str) -> TaskBuilder<'_> {
+        self.consume_fuel(1);
         TaskBuilder {
             shared: self.shared,
             name: name.to_string(),
@@ -798,6 +1024,7 @@ impl TaskContext<'_> {
             priority: TaskPriority::Normal,
             want_finish_event: false,
             parent: Some((self.task_id, self.trace_id)),
+            fuel: None,
         }
     }
 
@@ -806,13 +1033,15 @@ impl TaskContext<'_> {
     /// [`Runtime::wait_quiescent`]). Use [`try_satisfy`](Self::try_satisfy)
     /// to handle the error.
     pub fn satisfy(&self, event: &Event) {
+        self.consume_fuel(1);
         self.shared
             .satisfy_event(event)
             .expect("event satisfied more than once");
     }
 
-    /// Fallible event satisfaction.
+    /// Fallible event satisfaction. Costs one unit of fuel.
     pub fn try_satisfy(&self, event: &Event) -> Result<()> {
+        self.consume_fuel(1);
         self.shared.satisfy_event(event)
     }
 
@@ -826,8 +1055,9 @@ impl TaskContext<'_> {
         self.shared.register_event(EventKind::Latch { count })
     }
 
-    /// Allocates a data block.
+    /// Allocates a data block. Costs one unit of fuel.
     pub fn create_datablock(&self, size: usize, node: NodeId) -> DataBlock {
+        self.consume_fuel(1);
         self.shared.create_datablock(size, node)
     }
 

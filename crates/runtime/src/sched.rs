@@ -35,9 +35,28 @@ use numa_topology::NodeId;
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Process-wide strict-parking switch (see [`set_strict_parking`]).
+static STRICT_PARKING: AtomicBool = AtomicBool::new(false);
+
+/// Turns the parking backstop into a hard failure: when enabled, a worker
+/// whose [`PARK_BACKSTOP`] timeout fires *and then finds work that was
+/// never published through the parking registry* panics instead of
+/// silently recovering. The backstop exists as a liveness net for
+/// protocol bugs — but it also masks them; stress tests enable this so a
+/// lost wakeup fails loudly instead of costing 100 ms per occurrence.
+/// Such a recovery always increments `coop_sched_backstop_wakeups_total`
+/// (and trips a debug assertion) regardless of this switch.
+pub fn set_strict_parking(enabled: bool) {
+    STRICT_PARKING.store(enabled, Ordering::SeqCst);
+}
+
+pub(crate) fn strict_parking() -> bool {
+    STRICT_PARKING.load(Ordering::SeqCst)
+}
 
 /// Which scheduling core a [`Runtime`](crate::Runtime) uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -87,6 +106,14 @@ pub(crate) struct SchedState {
     /// the high-tier scan in [`find_task`] so priority-free workloads
     /// pay one load instead of a full empty-queue sweep per pop.
     pub high_pending: AtomicUsize,
+    /// Tasks preempted after exhausting their fuel budget. Scanned
+    /// *last* by every pop path — after the whole normal tier, local and
+    /// remote — which is what makes re-admission de-facto low priority
+    /// without a third deque tier on the hot path.
+    pub overbudget: Injector<Task>,
+    /// Gate for the over-budget scan, mirroring `high_pending`: workloads
+    /// that never preempt pay one relaxed load per failed pop.
+    pub overbudget_pending: AtomicUsize,
 }
 
 static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(0);
@@ -186,7 +213,8 @@ pub(crate) fn try_push_local(shared: &Shared, task: Task) -> Result<NodeId, Task
     CURRENT.with(|c| match &*c.borrow() {
         Some(lq)
             if lq.runtime_id == shared.sched.runtime_id
-                && task.affinity.map(|n| n == lq.node).unwrap_or(true) =>
+                && task.affinity.map(|n| n == lq.node).unwrap_or(true)
+                && !worker_excluded(shared, lq.worker) =>
         {
             let node = lq.node;
             lq.deque(task.priority).push(task);
@@ -194,6 +222,19 @@ pub(crate) fn try_push_local(shared: &Shared, task: Task) -> Result<NodeId, Task
         }
         _ => Err(task),
     })
+}
+
+/// `true` while the watchdog has excluded `worker` from the scheduler (a
+/// runaway task is wedging it): spawns from its task body must go to the
+/// shared injectors, where healthy workers pick them up — pushing onto
+/// the wedged worker's own deque would strand them behind the runaway
+/// until a sibling happens to steal.
+fn worker_excluded(shared: &Shared, worker: usize) -> bool {
+    shared
+        .watchdog
+        .as_ref()
+        .map(|wd| wd.excluded[worker].load(Ordering::Relaxed))
+        .unwrap_or(false)
 }
 
 /// Stealer handles of one worker's deques.
@@ -204,7 +245,7 @@ pub(crate) struct WorkerStealers {
 }
 
 impl WorkerStealers {
-    fn tier(&self, tier: TaskPriority) -> &Stealer<Task> {
+    pub(crate) fn tier(&self, tier: TaskPriority) -> &Stealer<Task> {
         match tier {
             TaskPriority::High => &self.high,
             TaskPriority::Normal => &self.normal,
@@ -392,16 +433,50 @@ pub(crate) fn find_task(
             ));
         }
     }
-    pop_tier(shared, node, local, TaskPriority::Normal).map(|(task, source)| {
-        note_pop(
+    if let Some((task, source)) = pop_tier(shared, node, local, TaskPriority::Normal) {
+        return Some(note_pop(
             shared,
             task,
             source,
             TaskPriority::Normal,
             node,
             local.map(|lq| lq.worker),
+        ));
+    }
+    // Over-budget tasks go last — only a worker that found nothing else
+    // resumes a preempted tenant, which is what makes the refilled
+    // budget a low-priority reschedule rather than a free restart.
+    pop_overbudget(shared).map(|task| {
+        note_pop(
+            shared,
+            task,
+            PopSource::Local,
+            TaskPriority::Normal,
+            node,
+            local.map(|lq| lq.worker),
         )
     })
+}
+
+/// Takes one task from the over-budget queue (gate-checked first, so
+/// budget-free workloads pay one relaxed load). Deliberately a plain
+/// single-task steal, never `steal_batch_and_pop`: batching into a local
+/// deque would promote the remaining over-budget tasks into the normal
+/// tier, defeating the low-priority reschedule.
+fn pop_overbudget(shared: &Shared) -> Option<Task> {
+    if shared.sched.overbudget_pending.load(Ordering::Acquire) == 0 {
+        return None;
+    }
+    loop {
+        match shared.sched.overbudget.steal() {
+            Steal::Success(t) => {
+                shared.sched.overbudget_pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(t);
+            }
+            Steal::Empty => return None,
+            Steal::Retry => continue,
+        }
+    }
 }
 
 /// Maintains the ready census, the pop/steal counters, and — when task
@@ -580,5 +655,6 @@ pub(crate) fn find_task_legacy(shared: &Shared, node: NodeId) -> Option<Task> {
             }
         }
     }
-    None
+    pop_overbudget(shared)
+        .map(|t| note_pop(shared, t, PopSource::Local, TaskPriority::Normal, node, None))
 }

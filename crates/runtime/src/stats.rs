@@ -54,6 +54,15 @@ pub struct RuntimeStats {
     /// rates (the model-drift observatory's measured throughput) without a
     /// clock of their own.
     pub uptime_us: u64,
+    /// Tasks parked into the over-budget queue after exhausting their
+    /// fuel budget (each later resumes at low priority with a refill).
+    pub tasks_preempted: u64,
+    /// Watchdog deadline breaches: tasks that held a worker past the
+    /// configured wall-clock deadline and were contained.
+    pub tasks_runaway: u64,
+    /// CPU time (µs) runaway tasks spent *past* their deadline — the
+    /// over-budget cost the tenant ledger books against the offender.
+    pub overbudget_cpu_us: u64,
 }
 
 impl RuntimeStats {
@@ -112,6 +121,9 @@ pub(crate) struct StatsCollector {
     pub tasks_executed: AtomicU64,
     pub tasks_panicked: AtomicU64,
     pub tasks_spawned: AtomicU64,
+    pub tasks_preempted: AtomicU64,
+    pub tasks_runaway: AtomicU64,
+    pub overbudget_cpu_us: AtomicU64,
     pub per_node_executed: Vec<AtomicU64>,
     pub user: Mutex<HashMap<String, u64>>,
     /// When the runtime was constructed; `RuntimeStats::uptime_us` is
@@ -125,6 +137,9 @@ impl StatsCollector {
             tasks_executed: AtomicU64::new(0),
             tasks_panicked: AtomicU64::new(0),
             tasks_spawned: AtomicU64::new(0),
+            tasks_preempted: AtomicU64::new(0),
+            tasks_runaway: AtomicU64::new(0),
+            overbudget_cpu_us: AtomicU64::new(0),
             per_node_executed: (0..num_nodes).map(|_| AtomicU64::new(0)).collect(),
             user: Mutex::new(HashMap::new()),
             epoch: Instant::now(),
@@ -164,6 +179,23 @@ impl StatsCollector {
 
     pub fn record_spawned(&self) {
         self.tasks_spawned.fetch_add(1, Ordering::Release);
+    }
+
+    /// One fuel-exhaustion preemption (task parked into the over-budget
+    /// queue). Relaxed: preemption counts feed rate metrics only, no
+    /// conservation law reads them against another counter.
+    pub fn record_preempted(&self) {
+        self.tasks_preempted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One watchdog deadline breach.
+    pub fn record_runaway(&self) {
+        self.tasks_runaway.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Books `us` microseconds of past-deadline CPU time.
+    pub fn add_overbudget_us(&self, us: u64) {
+        self.overbudget_cpu_us.fetch_add(us, Ordering::Relaxed);
     }
 
     pub fn add_user(&self, name: &str, delta: u64) {
@@ -219,6 +251,9 @@ mod tests {
             per_node: vec![],
             user_counters: HashMap::from([("a".to_string(), 7u64)]),
             uptime_us: 0,
+            tasks_preempted: 0,
+            tasks_runaway: 0,
+            overbudget_cpu_us: 0,
         };
         assert_eq!(s.user_counter("a"), 7);
         assert_eq!(s.user_counter("missing"), 0);
@@ -250,6 +285,9 @@ mod tests {
             ],
             user_counters: HashMap::new(),
             uptime_us: 0,
+            tasks_preempted: 0,
+            tasks_runaway: 0,
+            overbudget_cpu_us: 0,
         };
         // Dense, node-id indexed, gaps zero-filled.
         assert_eq!(s.per_node_tasks(), vec![5, 0, 4]);
@@ -277,6 +315,9 @@ mod tests {
             per_node: vec![],
             user_counters: HashMap::new(),
             uptime_us: 500_000,
+            tasks_preempted: 0,
+            tasks_runaway: 0,
+            overbudget_cpu_us: 0,
         };
         let mut now = prev.clone();
         now.tasks_executed = 300;

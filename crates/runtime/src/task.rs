@@ -27,7 +27,31 @@ impl fmt::Debug for TaskId {
     }
 }
 
-pub(crate) type TaskBody = Box<dyn FnOnce(&TaskContext<'_>) + Send + 'static>;
+/// Outcome of one slice of a resumable task body (see
+/// [`TaskBuilder::body_step`]).
+///
+/// Returning [`TaskStep::Yield`] marks a *safe point*: the task has no
+/// borrowed worker state and may be suspended here. A yield costs one unit
+/// of fuel; a task that yields with an exhausted budget is parked into the
+/// over-budget queue and rescheduled at low priority with refilled fuel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStep {
+    /// The body is finished; the task completes normally.
+    Done,
+    /// The body wants to keep running but can be suspended here.
+    Yield,
+}
+
+/// A task body: either the classic run-to-completion closure or a
+/// resumable step function that can be preempted at yield points.
+pub(crate) enum TaskBody {
+    /// Runs once to completion; fuel is tracked at checkpoints but the
+    /// body cannot be suspended (the watchdog is the backstop).
+    Once(Box<dyn FnOnce(&TaskContext<'_>) + Send + 'static>),
+    /// Called repeatedly until it returns [`TaskStep::Done`]; each
+    /// [`TaskStep::Yield`] is a preemption-safe point.
+    Step(Box<dyn FnMut(&TaskContext<'_>) -> TaskStep + Send + 'static>),
+}
 
 /// Scheduling priority of a task. High-priority tasks are always picked
 /// before normal ones by every worker (within and across nodes); there is
@@ -61,6 +85,11 @@ pub(crate) struct Task {
     /// When the task was pushed onto a ready queue; only stamped while
     /// telemetry is attached (feeds the queue-wait histogram).
     pub enqueued_at: Option<std::time::Instant>,
+    /// Work-unit budget this task refills to after a preemption (`None`
+    /// = unbudgeted: fuel checkpoints are no-ops for this task).
+    pub fuel_budget: Option<u64>,
+    /// Fuel remaining; only meaningful when `fuel_budget` is `Some`.
+    pub fuel: u64,
 }
 
 impl fmt::Debug for Task {
@@ -102,12 +131,35 @@ pub struct TaskBuilder<'rt> {
     /// `(spawning task, its trace id)` when built from a [`TaskContext`];
     /// the new task joins the parent's causal tree.
     pub(crate) parent: Option<(TaskId, u64)>,
+    /// Per-task fuel override (falls back to the runtime's
+    /// [`RuntimeConfig::with_task_fuel`](crate::RuntimeConfig::with_task_fuel)
+    /// default when `None`).
+    pub(crate) fuel: Option<u64>,
 }
 
 impl<'rt> TaskBuilder<'rt> {
     /// Sets the task body.
     pub fn body(mut self, f: impl FnOnce(&TaskContext<'_>) + Send + 'static) -> Self {
-        self.body = Some(Box::new(f));
+        self.body = Some(TaskBody::Once(Box::new(f)));
+        self
+    }
+
+    /// Sets a *resumable* task body: `f` is called repeatedly until it
+    /// returns [`TaskStep::Done`]. Every [`TaskStep::Yield`] is a safe
+    /// point costing one unit of fuel; when the task's budget is
+    /// exhausted there, the runtime parks it into the over-budget queue
+    /// and reschedules it at low priority with refilled fuel — compliant
+    /// tenants are never starved by a long-running neighbour.
+    pub fn body_step(mut self, f: impl FnMut(&TaskContext<'_>) -> TaskStep + Send + 'static) -> Self {
+        self.body = Some(TaskBody::Step(Box::new(f)));
+        self
+    }
+
+    /// Overrides this task's fuel budget (work units between forced
+    /// yields), taking precedence over the runtime-wide default set by
+    /// [`RuntimeConfig::with_task_fuel`](crate::RuntimeConfig::with_task_fuel).
+    pub fn fuel(mut self, units: u64) -> Self {
+        self.fuel = Some(units);
         self
     }
 
@@ -170,6 +222,7 @@ impl<'rt> TaskBuilder<'rt> {
             self.priority,
             self.want_finish_event,
             self.parent,
+            self.fuel,
         )
     }
 }

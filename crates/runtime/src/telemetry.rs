@@ -51,6 +51,15 @@ pub(crate) struct RuntimeTelemetry {
     pub tasks_panicked_total: Arc<Counter>,
     /// Thread-control commands applied.
     pub commands_total: Arc<Counter>,
+    /// Fuel-exhaustion preemptions (tasks parked into the over-budget
+    /// queue at a yield safe point).
+    pub preemptions_total: Arc<Counter>,
+    /// Watchdog deadline breaches (tasks marked runaway and contained).
+    pub runaway_total: Arc<Counter>,
+    /// Times the 100 ms parking backstop masked a lost wakeup (a worker
+    /// found work after a full-timeout park with no publish in between).
+    /// Any non-zero value is a scheduler bug.
+    pub backstop_wakeups_total: Arc<Counter>,
     /// Runtime name, used as the metric label and for lazy lookups.
     pub name: Arc<str>,
     /// Causal task tracing enabled
@@ -109,6 +118,18 @@ impl RuntimeTelemetry {
             "coop_control_commands_total",
             "Thread-control commands applied",
         );
+        reg.set_help(
+            "coop_task_preemptions_total",
+            "Tasks parked into the over-budget queue after exhausting their fuel budget",
+        );
+        reg.set_help(
+            "coop_runaway_tasks_total",
+            "Tasks that held a worker past the watchdog deadline and were contained",
+        );
+        reg.set_help(
+            "coop_sched_backstop_wakeups_total",
+            "Parking-backstop timeouts that masked a lost wakeup (any non-zero value is a bug)",
+        );
         let labels = [("runtime", name)];
         let steal = |tier: &str, source: &str| {
             reg.counter(
@@ -132,6 +153,9 @@ impl RuntimeTelemetry {
             tasks_completed_total: reg.counter("coop_tasks_completed_total", &labels),
             tasks_panicked_total: reg.counter("coop_tasks_panicked_total", &labels),
             commands_total: reg.counter("coop_control_commands_total", &labels),
+            preemptions_total: reg.counter("coop_task_preemptions_total", &labels),
+            runaway_total: reg.counter("coop_runaway_tasks_total", &labels),
+            backstop_wakeups_total: reg.counter("coop_sched_backstop_wakeups_total", &labels),
             name: Arc::from(name),
             tracing,
             hub,
@@ -302,6 +326,62 @@ impl RuntimeTelemetry {
             self.hub.timestamp_us(started_at),
             dur_us.max(1),
             args,
+        );
+    }
+
+    /// Record one fuel-exhaustion preemption: counter plus a `preempted`
+    /// instant on the worker's lane (no task span — the slice is neither
+    /// finished nor panicked).
+    pub fn record_preempted(&self, worker: Option<usize>, task: u64, name: &str) {
+        self.preemptions_total.inc();
+        let shard = worker.map(|w| w + 1).unwrap_or(0);
+        self.hub.record_instant(
+            shard,
+            self.track,
+            Self::lane(worker),
+            "sched",
+            "preempted",
+            vec![
+                ("task".to_string(), ArgValue::U64(task)),
+                ("task_name".to_string(), ArgValue::Str(name.to_string())),
+            ],
+        );
+    }
+
+    /// Record a watchdog deadline breach: counter, a `runaway` timeline
+    /// instant on the wedged worker's lane, and a flight-recorder dump
+    /// (when one is installed on the hub) capturing the lead-up.
+    pub fn record_runaway(&self, worker: usize, task: u64) {
+        self.runaway_total.inc();
+        self.hub.record_instant(
+            worker + 1,
+            self.track,
+            Self::lane(Some(worker)),
+            "sched",
+            "runaway",
+            vec![
+                ("task".to_string(), ArgValue::U64(task)),
+                ("worker".to_string(), ArgValue::U64(worker as u64)),
+            ],
+        );
+        if let Some(rec) = self.hub.flight_recorder() {
+            rec.trigger_dump(&format!("runaway-{}-w{worker}", self.name));
+        }
+    }
+
+    /// Record a runaway task finally returning: the worker is re-admitted
+    /// and `over_us` microseconds of past-deadline CPU time are booked.
+    pub fn record_runaway_returned(&self, worker: usize, task: u64, over_us: u64) {
+        self.hub.record_instant(
+            worker + 1,
+            self.track,
+            Self::lane(Some(worker)),
+            "sched",
+            "runaway_returned",
+            vec![
+                ("task".to_string(), ArgValue::U64(task)),
+                ("over_us".to_string(), ArgValue::U64(over_us)),
+            ],
         );
     }
 

@@ -17,7 +17,7 @@
 
 use crate::runtime::{Shared, TaskContext};
 use crate::sched::{self, LocalQueues, PARK_BACKSTOP, STATS_FLUSH_EVERY};
-use crate::task::Task;
+use crate::task::{Task, TaskBody, TaskStep};
 use crossbeam::sync::Parker;
 use numa_topology::{CoreId, NodeId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -87,6 +87,11 @@ fn stealing_loop(
     );
     let mut stats = LocalStats::new(node);
     let mut woke_from_park = false;
+    // Set when the last park ran the full backstop timeout without any
+    // publish (sequence number unchanged): if the next search then finds
+    // a task while the sequence is *still* unchanged, that task was
+    // reachable before we parked and the backstop masked a lost wakeup.
+    let mut backstop_seq: Option<u64> = None;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             break;
@@ -123,10 +128,10 @@ fn stealing_loop(
                 {
                     registry.deregister(id);
                 } else {
+                    let parked_at = Instant::now();
                     match &shared.telemetry {
                         Some(tel) => {
                             tel.parks_total.inc();
-                            let parked_at = Instant::now();
                             parker.park_timeout(PARK_BACKSTOP);
                             tel.park_latency_us
                                 .observe(parked_at.elapsed().as_micros() as u64);
@@ -135,11 +140,32 @@ fn stealing_loop(
                     }
                     registry.deregister(id);
                     woke_from_park = true;
+                    backstop_seq = (parked_at.elapsed() >= PARK_BACKSTOP
+                        && registry.seq() == s0)
+                        .then_some(s0);
                 }
                 recheck
             }
         };
         if let Some(task) = task {
+            if let Some(s0) = backstop_seq.take() {
+                // Every legitimate publish path (enqueue notify, control
+                // unpark, shutdown, watchdog migration) bumps the
+                // sequence — finding work at an unchanged sequence after
+                // a full-backstop park means the wakeup for it was lost.
+                if registry.seq() == s0 {
+                    if let Some(tel) = &shared.telemetry {
+                        tel.backstop_wakeups_total.inc();
+                    }
+                    debug_assert!(false, "parking backstop masked a lost wakeup");
+                    if sched::strict_parking() {
+                        panic!(
+                            "parking backstop masked a lost wakeup \
+                             (worker {id}: task found at unchanged park seq {s0})"
+                        );
+                    }
+                }
+            }
             woke_from_park = false;
             execute(&shared, task, node, core, Some(id), Some(&mut stats));
             if stats.executed >= STATS_FLUSH_EVERY {
@@ -191,6 +217,15 @@ pub(crate) fn execute_public(shared: &Shared, task: Task, node: NodeId, core: Op
     execute(shared, task, node, core, None, None)
 }
 
+/// What a task body left behind after one `execute` slice.
+enum BodyOutcome {
+    /// The body ran to completion (or returned [`TaskStep::Done`]).
+    Done,
+    /// A step body yielded with an empty fuel tank; the function resumes
+    /// from the over-budget queue with a refilled budget.
+    Preempted(Box<dyn FnMut(&TaskContext<'_>) -> TaskStep + Send + 'static>),
+}
+
 fn execute(
     shared: &Shared,
     task: Task,
@@ -205,6 +240,8 @@ fn execute(
         task_id: task.id,
         trace_id: task.trace_id,
         worker_core: core,
+        fueled: task.fuel_budget.is_some(),
+        fuel: std::cell::Cell::new(task.fuel),
     };
     let tracing = shared.tracer.is_active();
     // Reading the clock twice per task is measurable on tiny tasks; only
@@ -217,8 +254,78 @@ fn execute(
     if let Some(tel) = hops {
         tel.trace_started(worker, task.id.0, task.trace_id, node.0 as u64);
     }
+    // Publish this task to the watchdog monitor: start time first
+    // (Relaxed), then the task id (Release) — the monitor's Acquire load
+    // of `current` makes the start time visible (see `WatchdogState`).
+    let watch = worker.and_then(|w| shared.watchdog.as_ref().map(|wd| (w, wd)));
+    if let Some((w, wd)) = watch {
+        wd.started_us[w].store(shared.stats.uptime_us(), Ordering::Relaxed);
+        wd.current[w].store(task.id.0 + 1, Ordering::Release);
+    }
     let body = task.body;
-    let result = catch_unwind(AssertUnwindSafe(move || body(&ctx)));
+    let result = catch_unwind(AssertUnwindSafe(move || match body {
+        TaskBody::Once(f) => {
+            f(&ctx);
+            BodyOutcome::Done
+        }
+        TaskBody::Step(mut f) => loop {
+            match f(&ctx) {
+                TaskStep::Done => break BodyOutcome::Done,
+                TaskStep::Yield => {
+                    ctx.consume_fuel(1);
+                    if ctx.fueled && ctx.fuel.get() == 0 {
+                        break BodyOutcome::Preempted(f);
+                    }
+                }
+            }
+        },
+    }));
+    if let Some((w, wd)) = watch {
+        wd.current[w].store(0, Ordering::Release);
+        // If the monitor flagged this slice runaway, the task has now
+        // returned: re-admit the worker and book the past-deadline CPU
+        // time so the ledger can charge it to the offending tenant.
+        if wd.runaway[w].swap(false, Ordering::AcqRel) {
+            wd.excluded[w].store(false, Ordering::Release);
+            let started = wd.started_us[w].load(Ordering::Relaxed);
+            let over = shared
+                .stats
+                .uptime_us()
+                .saturating_sub(started)
+                .saturating_sub(wd.deadline_us);
+            shared.stats.add_overbudget_us(over);
+            if let Some(tel) = &shared.telemetry {
+                tel.record_runaway_returned(w, task.id.0, over);
+            }
+        }
+    }
+    // A preempted slice is neither finished nor panicked: requeue the
+    // body with a fresh tank and skip every completion-side effect (the
+    // finish event is satisfied exactly once, at real completion; the
+    // pending census keeps counting the task, preserving conservation).
+    let result = match result {
+        Ok(BodyOutcome::Preempted(f)) => {
+            shared.stats.record_preempted();
+            if let Some(tel) = &shared.telemetry {
+                tel.record_preempted(worker, task.id.0, &task.name);
+            }
+            let fuel_budget = task.fuel_budget;
+            shared.enqueue_overbudget(Task {
+                id: task.id,
+                trace_id: task.trace_id,
+                name: task.name,
+                body: TaskBody::Step(f),
+                affinity: task.affinity,
+                priority: task.priority,
+                finish: task.finish,
+                enqueued_at: None,
+                fuel_budget,
+                fuel: fuel_budget.unwrap_or(0),
+            });
+            return;
+        }
+        other => other,
+    };
     if let Some(tel) = hops {
         tel.trace_finished(
             worker,
@@ -248,7 +355,7 @@ fn execute(
         );
     }
     match result {
-        Ok(()) => match batch.as_deref_mut() {
+        Ok(_) => match batch.as_deref_mut() {
             Some(batch) => batch.executed += 1,
             None => shared.stats.record_executed(node),
         },
@@ -269,12 +376,12 @@ fn execute(
 
 #[cfg(test)]
 mod tests {
-    use crate::{Runtime, RuntimeConfig, RuntimeError, SchedulerKind, ThreadCommand};
+    use crate::{Runtime, RuntimeConfig, RuntimeError, SchedulerKind, TaskStep, ThreadCommand};
     use numa_topology::presets::{paper_model_machine, tiny};
     use numa_topology::{BindingKind, CpuSet, NodeId};
-    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
     use std::sync::Arc;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     fn rt(name: &str) -> Runtime {
         Runtime::start(RuntimeConfig::new(name, tiny())).unwrap()
@@ -650,6 +757,130 @@ mod tests {
         }
         r.wait_quiescent().unwrap();
         assert_eq!(total.load(Ordering::SeqCst), 4 * 65);
+        r.shutdown();
+    }
+
+    /// A step body with a runtime-wide fuel budget is preempted at yield
+    /// safe points (and still completes, with the finish side effects
+    /// happening exactly once).
+    #[test]
+    fn step_body_preempts_on_fuel_exhaustion() {
+        let r = Runtime::start(RuntimeConfig::new("fuel", tiny()).with_task_fuel(4)).unwrap();
+        let slices = Arc::new(AtomicUsize::new(0));
+        let s = slices.clone();
+        let mut left = 10usize;
+        let (_, finish) = r
+            .task("steppy")
+            .body_step(move |_| {
+                if left == 0 {
+                    return TaskStep::Done;
+                }
+                left -= 1;
+                s.fetch_add(1, Ordering::SeqCst);
+                TaskStep::Yield
+            })
+            .spawn_with_finish()
+            .unwrap();
+        r.wait_quiescent().unwrap();
+        let stats = r.stats();
+        assert_eq!(slices.load(Ordering::SeqCst), 10);
+        assert_eq!(stats.tasks_executed, 1);
+        // 10 yields at 4 fuel each slice: preempted after yields 4 and 8.
+        assert_eq!(stats.tasks_preempted, 2);
+        assert_eq!(stats.tasks_pending, 0);
+        assert!(finish.is_satisfied());
+        r.shutdown();
+    }
+
+    /// The per-task override takes precedence over the runtime default,
+    /// and unbudgeted runtimes never preempt step bodies.
+    #[test]
+    fn per_task_fuel_override_and_unbudgeted_default() {
+        let r = Runtime::start(RuntimeConfig::new("fuel-over", tiny()).with_task_fuel(2)).unwrap();
+        let mut left = 8usize;
+        r.task("roomy")
+            .fuel(100)
+            .body_step(move |_| {
+                if left == 0 {
+                    return TaskStep::Done;
+                }
+                left -= 1;
+                TaskStep::Yield
+            })
+            .spawn()
+            .unwrap();
+        r.wait_quiescent().unwrap();
+        assert_eq!(r.stats().tasks_preempted, 0);
+        r.shutdown();
+
+        let r = Runtime::start(RuntimeConfig::new("no-fuel", tiny())).unwrap();
+        let mut left = 50usize;
+        r.task("free")
+            .body_step(move |ctx| {
+                assert_eq!(ctx.fuel_remaining(), None);
+                if left == 0 {
+                    return TaskStep::Done;
+                }
+                left -= 1;
+                TaskStep::Yield
+            })
+            .spawn()
+            .unwrap();
+        r.wait_quiescent().unwrap();
+        let stats = r.stats();
+        assert_eq!(stats.tasks_preempted, 0);
+        assert_eq!(stats.tasks_executed, 1);
+        r.shutdown();
+    }
+
+    /// The watchdog detects a task that wedges its worker, contains it
+    /// (other tasks keep flowing), and re-admits the worker when the
+    /// task finally returns, booking the past-deadline CPU time.
+    #[test]
+    fn watchdog_contains_runaway_and_readmits() {
+        let r = Runtime::start(
+            RuntimeConfig::new("wd", tiny()).with_watchdog(Duration::from_millis(25)),
+        )
+        .unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let s = stop.clone();
+        r.task("spin")
+            .body(move |_| {
+                while !s.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+            })
+            .spawn()
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while r.stats().tasks_runaway == 0 {
+            assert!(Instant::now() < deadline, "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The runtime still executes work while one worker is wedged.
+        let count = Arc::new(AtomicU64::new(0));
+        for i in 0..8 {
+            let c = count.clone();
+            r.task(&format!("live{i}"))
+                .body(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+                .spawn()
+                .unwrap();
+        }
+        while count.load(Ordering::SeqCst) < 8 {
+            assert!(Instant::now() < deadline, "survivor tasks starved");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::SeqCst);
+        r.wait_quiescent().unwrap();
+        let stats = r.stats();
+        assert_eq!(stats.tasks_runaway, 1);
+        assert!(
+            stats.overbudget_cpu_us > 0,
+            "past-deadline CPU time booked on return"
+        );
+        assert_eq!(stats.tasks_executed, 9);
         r.shutdown();
     }
 

@@ -13,10 +13,15 @@
 //! accounted for as executed or panicked — no lost tasks, no lost
 //! wakeups (a lost wakeup with an empty runtime deadlocks quiescence and
 //! trips the 60 s timeout), and the exact panic count must surface.
+//!
+//! A second test replays the squeeze with fuel budgets armed and a
+//! deliberate runaway spinner wedged in the middle: preemptions must not
+//! leak tasks, the watchdog must flag the spinner, and the runtime must
+//! still drain to quiescence once the spinner relents.
 
-use coop_runtime::{Runtime, RuntimeConfig, RuntimeError, ThreadCommand};
+use coop_runtime::{Runtime, RuntimeConfig, RuntimeError, TaskStep, ThreadCommand};
 use numa_topology::{MachineBuilder, NodeId};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -47,6 +52,9 @@ fn churn_with_control_squeeze_loses_nothing() {
         .uniform_link_gbs(5.0)
         .build()
         .unwrap();
+    // Strict parking: any wakeup the backstop would paper over becomes a
+    // debug assertion instead of a silently-absorbed stall.
+    coop_runtime::set_strict_parking(true);
     let rt = Runtime::start(RuntimeConfig::new("sched-stress", machine)).unwrap();
     let control = rt.control();
 
@@ -132,6 +140,103 @@ fn churn_with_control_squeeze_loses_nothing() {
         "stats flush missed completions"
     );
     // The squeeze released: all 8 workers report back in.
+    assert!(control.wait_converged(Duration::from_secs(5), |run, _| run == 8));
+    rt.shutdown();
+}
+
+#[test]
+fn budgeted_runaway_squeeze_recovers_and_conserves() {
+    const STEP_TASKS: u64 = 2_000;
+    const STEPS_PER_TASK: u32 = 40;
+
+    let machine = MachineBuilder::new()
+        .symmetric_nodes(2, 4)
+        .core_peak_gflops(1.0)
+        .node_bandwidth_gbs(10.0)
+        .uniform_link_gbs(5.0)
+        .build()
+        .unwrap();
+    coop_runtime::set_strict_parking(true);
+    // Tight 8-unit budget: every step task (40 yields) is preempted into
+    // the over-budget queue several times on its way to completion. The
+    // 20 ms watchdog flags the deliberate spinner well inside the run.
+    let rt = Runtime::start(
+        RuntimeConfig::new("budget-stress", machine)
+            .with_task_fuel(8)
+            .with_watchdog(Duration::from_millis(20)),
+    )
+    .unwrap();
+    let control = rt.control();
+
+    let executed = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // The runaway: wedges one worker until told to relent.
+    {
+        let stop = stop.clone();
+        rt.task("spinner")
+            .body(move |_| {
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::spin_loop();
+                }
+            })
+            .spawn()
+            .unwrap();
+    }
+
+    for i in 0..STEP_TASKS {
+        // Mid-run squeeze while budgets churn tasks through the
+        // over-budget queue and one worker sits wedged.
+        if i == STEP_TASKS / 3 {
+            control.apply(ThreadCommand::TotalThreads(2)).unwrap();
+        } else if i == 2 * STEP_TASKS / 3 {
+            control.apply(ThreadCommand::Unrestricted).unwrap();
+        }
+        let executed = executed.clone();
+        let mut steps = 0u32;
+        rt.task(&format!("step-{i}"))
+            .body_step(move |_| {
+                steps += 1;
+                if steps >= STEPS_PER_TASK {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    TaskStep::Done
+                } else {
+                    TaskStep::Yield
+                }
+            })
+            .spawn()
+            .unwrap();
+    }
+
+    // The watchdog must flag the spinner while the churn is live.
+    for _ in 0..500 {
+        if rt.stats().tasks_runaway > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(rt.stats().tasks_runaway >= 1, "watchdog never flagged the spinner");
+
+    // Let the spinner return, then everything must drain: preemption
+    // parks and requeues but never loses a task.
+    stop.store(true, Ordering::Release);
+    rt.wait_quiescent_timeout(Duration::from_secs(60)).unwrap();
+
+    let stats = rt.stats();
+    assert_eq!(stats.tasks_spawned, STEP_TASKS + 1);
+    assert_eq!(stats.tasks_executed, STEP_TASKS + 1);
+    assert_eq!(stats.tasks_pending, 0, "lost tasks: {stats:?}");
+    assert_eq!(executed.load(Ordering::Relaxed), STEP_TASKS);
+    assert!(
+        stats.tasks_preempted > 0,
+        "8-unit budgets must preempt 40-step tasks: {stats:?}"
+    );
+    assert!(
+        stats.overbudget_cpu_us > 0,
+        "a returned runaway books its past-deadline CPU: {stats:?}"
+    );
+    // Recovery: the squeeze released and the wedged worker was
+    // re-admitted once its task returned — the full complement is back.
     assert!(control.wait_converged(Duration::from_secs(5), |run, _| run == 8));
     rt.shutdown();
 }

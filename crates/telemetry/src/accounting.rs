@@ -117,6 +117,12 @@ pub struct TenantSample {
     pub local_pops: u64,
     /// Cross-node steals, cumulative.
     pub remote_steals: u64,
+    /// Fuel-exhaustion preemptions (tasks parked at a safe point),
+    /// cumulative.
+    pub preemptions: u64,
+    /// CPU time booked past the watchdog deadline by runaway tasks,
+    /// microseconds, cumulative.
+    pub overbudget_cpu_us: u64,
 }
 
 impl TenantSample {
@@ -127,6 +133,8 @@ impl TenantSample {
             || self.uptime_us < baseline.uptime_us
             || self.local_pops < baseline.local_pops
             || self.remote_steals < baseline.remote_steals
+            || self.preemptions < baseline.preemptions
+            || self.overbudget_cpu_us < baseline.overbudget_cpu_us
         {
             return true;
         }
@@ -174,6 +182,14 @@ pub struct TenantAccount {
     pub local_pops: u64,
     /// Cross-node steals accumulated across accepted windows.
     pub remote_steals: u64,
+    /// Fuel-exhaustion preemptions accumulated across accepted windows.
+    pub preemptions: u64,
+    /// Over-budget (runaway) CPU time booked against this tenant,
+    /// microseconds, across accepted windows.
+    pub overbudget_cpu_us: u64,
+    /// Preemptions per second over the last accepted window (`0.0`
+    /// before any window with a non-zero length was booked).
+    pub preemption_rate: f64,
     /// Measurement windows booked.
     pub windows_accepted: u64,
     /// Measurement windows discarded on counter regression.
@@ -214,6 +230,9 @@ struct TenantState {
     cpu_us_per_node: Vec<u64>,
     local_pops: u64,
     remote_steals: u64,
+    preemptions: u64,
+    overbudget_cpu_us: u64,
+    preemption_rate: f64,
     windows_accepted: u64,
     windows_discarded: u64,
     epochs: Vec<Epoch>,
@@ -232,6 +251,9 @@ impl TenantState {
             cpu_us_per_node: Vec::new(),
             local_pops: 0,
             remote_steals: 0,
+            preemptions: 0,
+            overbudget_cpu_us: 0,
+            preemption_rate: 0.0,
             windows_accepted: 0,
             windows_discarded: 0,
             epochs: Vec::new(),
@@ -408,9 +430,34 @@ impl TenantLedger {
             let window_us = sample.uptime_us - baseline.uptime_us;
             let local_delta = sample.local_pops - baseline.local_pops;
             let remote_delta = sample.remote_steals - baseline.remote_steals;
+            let preempt_delta = sample.preemptions - baseline.preemptions;
+            let overbudget_delta = sample.overbudget_cpu_us - baseline.overbudget_cpu_us;
             state.tasks_total += tasks_delta;
             state.local_pops += local_delta;
             state.remote_steals += remote_delta;
+            state.preemptions += preempt_delta;
+            state.overbudget_cpu_us += overbudget_delta;
+            state.preemption_rate = if window_us > 0 {
+                preempt_delta as f64 / (window_us as f64 / 1e6)
+            } else {
+                0.0
+            };
+            if preempt_delta > 0 {
+                registry
+                    .counter(
+                        "coop_tenant_preemptions_total",
+                        &[("tenant", &sample.tenant)],
+                    )
+                    .add(preempt_delta);
+            }
+            if overbudget_delta > 0 {
+                registry
+                    .counter(
+                        "coop_tenant_overbudget_cpu_us_total",
+                        &[("tenant", &sample.tenant)],
+                    )
+                    .add(overbudget_delta);
+            }
             let nodes = sample
                 .per_node_tasks
                 .len()
@@ -480,6 +527,9 @@ impl TenantLedger {
             registry
                 .gauge("coop_tenant_locality_ratio", &labels)
                 .set(state.locality_ratio());
+            registry
+                .gauge("coop_tenant_preemption_rate", &labels)
+                .set(state.preemption_rate);
             if let Some(entitled) = state.entitled_share {
                 registry
                     .gauge("coop_tenant_entitled_share", &labels)
@@ -508,6 +558,9 @@ impl TenantLedger {
                     cpu_us_per_node: t.cpu_us_per_node.clone(),
                     local_pops: t.local_pops,
                     remote_steals: t.remote_steals,
+                    preemptions: t.preemptions,
+                    overbudget_cpu_us: t.overbudget_cpu_us,
+                    preemption_rate: t.preemption_rate,
                     windows_accepted: t.windows_accepted,
                     windows_discarded: t.windows_discarded,
                     epochs: t.epochs.clone(),
@@ -555,8 +608,14 @@ impl TenantLedger {
                 out.push_str(&us.to_string());
             }
             out.push_str(&format!(
-                "],\"local_pops\":{},\"remote_steals\":{},\"windows_accepted\":{},\"windows_discarded\":{}",
-                t.local_pops, t.remote_steals, t.windows_accepted, t.windows_discarded
+                "],\"local_pops\":{},\"remote_steals\":{},\"preemptions\":{},\"overbudget_cpu_us\":{}",
+                t.local_pops, t.remote_steals, t.preemptions, t.overbudget_cpu_us
+            ));
+            out.push_str(",\"preemption_rate\":");
+            push_f64(&mut out, t.preemption_rate);
+            out.push_str(&format!(
+                ",\"windows_accepted\":{},\"windows_discarded\":{}",
+                t.windows_accepted, t.windows_discarded
             ));
             out.push_str(",\"epochs\":[");
             for (e, epoch) in t.epochs.iter().enumerate() {
@@ -623,6 +682,12 @@ impl TenantLedger {
                     out.push_str(&format!("    node{node}: {us} cpu-us\n"));
                 }
             }
+            if t.preemptions > 0 || t.overbudget_cpu_us > 0 {
+                out.push_str(&format!(
+                    "    preemptions: {} ({:.2}/s)   overbudget: {} cpu-us\n",
+                    t.preemptions, t.preemption_rate, t.overbudget_cpu_us
+                ));
+            }
         }
         out
     }
@@ -642,6 +707,8 @@ mod tests {
             running_per_node: vec![1, 1],
             local_pops: tasks,
             remote_steals: 0,
+            preemptions: 0,
+            overbudget_cpu_us: 0,
         }
     }
 
@@ -777,6 +844,60 @@ mod tests {
         // The next window diffs against the restarted baseline.
         ledger.tick(&hub, 40, &[sample("a", 25, 150), sample("b", 400, 4000)]);
         assert_eq!(ledger.snapshot().tenant("a").unwrap().tasks_total, 220);
+    }
+
+    #[test]
+    fn preemptions_and_overbudget_cpu_are_booked_against_the_offender() {
+        let hub = Arc::new(TelemetryHub::new());
+        let ledger = TenantLedger::new();
+        ledger.open_epoch(&hub, "hog", "managed", 0);
+        ledger.open_epoch(&hub, "meek", "managed", 0);
+
+        let mut hog = sample("hog", 100, 1_000_000);
+        hog.preemptions = 8;
+        hog.overbudget_cpu_us = 40_000;
+        ledger.tick(&hub, 10, &[hog.clone(), sample("meek", 100, 1_000_000)]);
+
+        let snap = ledger.snapshot();
+        let offender = snap.tenant("hog").unwrap();
+        assert_eq!(offender.preemptions, 8);
+        assert_eq!(offender.overbudget_cpu_us, 40_000);
+        // 8 preemptions over a 1 s window.
+        assert!((offender.preemption_rate - 8.0).abs() < 1e-9);
+        let meek = snap.tenant("meek").unwrap();
+        assert_eq!(meek.preemptions, 0);
+        assert_eq!(meek.preemption_rate, 0.0);
+        assert_eq!(
+            hub.registry()
+                .counter("coop_tenant_preemptions_total", &[("tenant", "hog")])
+                .get(),
+            8
+        );
+        assert_eq!(
+            hub.registry()
+                .counter("coop_tenant_overbudget_cpu_us_total", &[("tenant", "hog")])
+                .get(),
+            40_000
+        );
+        assert_eq!(
+            hub.registry()
+                .gauge_value("coop_tenant_preemption_rate", &[("tenant", "hog")]),
+            Some(8.0)
+        );
+
+        // A regressing preemption counter discards the window whole.
+        hog.preemptions = 2;
+        ledger.tick(&hub, 20, &[hog.clone()]);
+        let snap = ledger.snapshot();
+        assert_eq!(snap.tenant("hog").unwrap().windows_discarded, 1);
+        assert_eq!(snap.tenant("hog").unwrap().preemptions, 8);
+
+        // JSON carries the new fields.
+        let json = ledger.to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(parsed["tenants"][0]["preemptions"], 8);
+        assert_eq!(parsed["tenants"][0]["overbudget_cpu_us"], 40_000);
+        assert!(json.contains("\"preemption_rate\":"), "{json}");
     }
 
     #[test]

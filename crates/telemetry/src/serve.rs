@@ -419,6 +419,8 @@ mod tests {
                 running_per_node: vec![1],
                 local_pops: 5,
                 remote_steals: 0,
+                preemptions: 0,
+                overbudget_cpu_us: 0,
             }],
         );
         engine.evaluate(&hub, 10);

@@ -45,6 +45,10 @@ pub enum SloObjective {
     MaxWakeupP99Us,
     /// The tenant's locality ratio must stay at or above the target.
     MinLocalityRatio,
+    /// The tenant's fuel-exhaustion preemption rate (preemptions per
+    /// second over the last accepted ledger window) must stay at or
+    /// below the target.
+    MaxPreemptionRate,
 }
 
 impl SloObjective {
@@ -54,6 +58,7 @@ impl SloObjective {
             SloObjective::MinDeliveredShare => "delivered_share",
             SloObjective::MaxWakeupP99Us => "wakeup_p99_us",
             SloObjective::MinLocalityRatio => "locality",
+            SloObjective::MaxPreemptionRate => "preemption_rate",
         }
     }
 }
@@ -101,6 +106,11 @@ impl SloSpec {
         Self::new(tenant, SloObjective::MinLocalityRatio, target)
     }
 
+    /// The tenant's preemption rate must stay `<= target` preemptions/s.
+    pub fn max_preemption_rate(tenant: &str, target_per_s: f64) -> Self {
+        Self::new(tenant, SloObjective::MaxPreemptionRate, target_per_s)
+    }
+
     /// Override the error budget (clamped into `(0, 1]`).
     pub fn with_budget(mut self, budget: f64) -> Self {
         self.budget = budget.clamp(f64::EPSILON, 1.0);
@@ -129,7 +139,9 @@ impl SloSpec {
             SloObjective::MinDeliveredShare | SloObjective::MinLocalityRatio => {
                 value < self.target
             }
-            SloObjective::MaxWakeupP99Us => value > self.target,
+            SloObjective::MaxWakeupP99Us | SloObjective::MaxPreemptionRate => {
+                value > self.target
+            }
         }
     }
 }
@@ -472,6 +484,10 @@ fn measure(spec: &SloSpec, hub: &TelemetryHub, ledger: Option<&LedgerSnapshot>) 
             .tenant(&spec.tenant)
             .filter(|t| t.windows_accepted > 0)
             .map(|t| t.locality_ratio),
+        SloObjective::MaxPreemptionRate => ledger?
+            .tenant(&spec.tenant)
+            .filter(|t| t.windows_accepted > 0)
+            .map(|t| t.preemption_rate),
         SloObjective::MaxWakeupP99Us => {
             let snap = hub
                 .registry()
@@ -502,6 +518,8 @@ mod tests {
             running_per_node: vec![1],
             local_pops: tasks,
             remote_steals: 0,
+            preemptions: 0,
+            overbudget_cpu_us: 0,
         }
     }
 
@@ -628,6 +646,32 @@ mod tests {
         assert_eq!(s.ticks, 1);
         assert_eq!(s.violations_total, 1, "p99 ~10ms violates a 100us ceiling");
         assert!(s.last_value > 100.0);
+    }
+
+    #[test]
+    fn preemption_rate_spec_reads_the_ledger() {
+        let hub = Arc::new(TelemetryHub::new());
+        let ledger = Arc::new(TenantLedger::new());
+        assert!(hub.install_tenant_ledger(Arc::clone(&ledger)));
+        ledger.open_epoch(&hub, "hog", "managed", 0);
+
+        let engine = SloEngine::new(vec![SloSpec::max_preemption_rate("hog", 2.0)]);
+        // Tick 0 establishes the baseline; the spec sees windows_accepted
+        // == 1 but a zero rate — compliant.
+        ledger.tick(&hub, 10, &[sample("hog", 100, 1_000_000)]);
+        engine.evaluate(&hub, 10);
+        assert_eq!(engine.report()[0].violations_total, 0);
+
+        // A runaway window: 10 preemptions over 1 s breaches the 2/s
+        // ceiling.
+        let mut runaway = sample("hog", 200, 2_000_000);
+        runaway.preemptions = 10;
+        ledger.tick(&hub, 20, &[runaway]);
+        engine.evaluate(&hub, 20);
+        let s = &engine.report()[0];
+        assert_eq!(s.violations_total, 1);
+        assert!((s.last_value - 10.0).abs() < 1e-9);
+        assert_eq!(s.spec.objective.slug(), "preemption_rate");
     }
 
     #[test]

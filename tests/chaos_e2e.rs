@@ -6,6 +6,14 @@
 //! share back — all without `Agent::tick` ever returning an error. The
 //! eviction/recovery instants must land on the shared telemetry timeline
 //! and the health gauge / retry counters must export via Prometheus.
+//!
+//! A second test drives the runaway path end to end: fuel budgets and
+//! the wall-clock watchdog armed on every runtime, spinners wedged into
+//! one tenant until the agent's sustained-runaway detector walks the
+//! containment ladder — the offender is Degraded (not evicted), the
+//! containment lands on the timeline, the ledger books the over-budget
+//! CPU against the offender alone, and a few quiet ticks later the
+//! offender is Healthy again.
 
 use numa_coop::agent::SupervisionConfig;
 use numa_coop::agent::{policies, Agent, ChaosHandle, FaultPlan, Health, KillSwitch};
@@ -135,6 +143,140 @@ fn kill_evict_reclaim_revive_round_trip() {
         hub.registry().counter_total("coop_agent_retries_total") > 0,
         "the killed runtime's calls were retried before being declared dead"
     );
+
+    for rt in &runtimes {
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn runaway_is_contained_booked_and_forgiven() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let machine = tiny();
+    let hub = Arc::new(TelemetryHub::new());
+    let ledger = Arc::new(TenantLedger::new());
+    hub.install_tenant_ledger(Arc::clone(&ledger));
+
+    // Budgets and the watchdog are armed on *every* tenant; containment
+    // must single out the offender by behaviour.
+    let runtimes: Vec<Arc<Runtime>> = (0..3)
+        .map(|i| {
+            Arc::new(
+                Runtime::start(
+                    RuntimeConfig::new(&format!("app{i}"), machine.clone())
+                        .with_telemetry(Arc::clone(&hub))
+                        .with_task_fuel(64)
+                        .with_watchdog(Duration::from_millis(10)),
+                )
+                .unwrap(),
+            )
+        })
+        .collect();
+
+    let mut agent = Agent::with_telemetry(
+        Box::new(policies::FairShare::new(machine.clone())),
+        Arc::clone(&hub),
+    );
+    agent.set_supervision(SupervisionConfig::aggressive(Duration::from_millis(100)));
+    agent.set_reclaim_machine(machine.clone());
+    for rt in &runtimes {
+        agent.manage(Box::new(Arc::clone(rt)));
+    }
+
+    // Steady state first: fair share lands, everyone Healthy.
+    for _ in 0..2 {
+        agent.tick().unwrap();
+    }
+    for (_, h) in agent.health() {
+        assert_eq!(h, Health::Healthy);
+    }
+
+    // app1 goes rogue: one fresh spinner per tick keeps the runaway
+    // counter climbing (each wedges a worker until `stop` flips), and a
+    // fuel hog burns through its 4-unit budget so preemptions move too.
+    let stop = Arc::new(AtomicBool::new(false));
+    for round in 0..2 {
+        let stop2 = Arc::clone(&stop);
+        runtimes[1]
+            .task(&format!("spin-{round}"))
+            .body(move |_| {
+                while !stop2.load(Ordering::Relaxed) {
+                    std::hint::spin_loop();
+                }
+            })
+            .spawn()
+            .unwrap();
+        if round == 0 {
+            let mut steps = 0u32;
+            runtimes[1]
+                .task("hog")
+                .fuel(4)
+                .body_step(move |_| {
+                    steps += 1;
+                    if steps < 64 {
+                        numa_coop::runtime::TaskStep::Yield
+                    } else {
+                        numa_coop::runtime::TaskStep::Done
+                    }
+                })
+                .spawn()
+                .unwrap();
+        }
+        // Let the 10 ms watchdog flag this round's spinner before the
+        // agent samples stats: each tick then sees the counter climb.
+        std::thread::sleep(Duration::from_millis(60));
+        agent.tick().unwrap();
+    }
+
+    // Two climbing ticks is sustained: the ladder's first rung fired,
+    // the offender is Degraded — contained, not evicted.
+    assert!(
+        hub.registry().counter_total("coop_agent_containments_total") >= 1,
+        "sustained runaways must trigger containment"
+    );
+    assert_eq!(health_of(&agent, "app1"), Health::Degraded);
+    assert!(agent.evicted().is_empty());
+    assert_eq!(health_of(&agent, "app0"), Health::Healthy);
+    assert_eq!(health_of(&agent, "app2"), Health::Healthy);
+    assert!(hub
+        .events()
+        .iter()
+        .any(|e| e.cat == "health" && e.name.starts_with("contained:")));
+
+    // The spinners relent; their past-deadline CPU is booked when they
+    // hand their workers back.
+    stop.store(true, Ordering::Release);
+    runtimes[1].wait_quiescent().unwrap();
+    let stats = runtimes[1].stats().unwrap();
+    assert!(stats.tasks_runaway >= 2, "watchdog missed a spinner: {stats:?}");
+    assert!(stats.tasks_preempted > 0, "fuel hog was never preempted: {stats:?}");
+    assert!(stats.overbudget_cpu_us > 0, "returned runaways book CPU: {stats:?}");
+
+    // Quiet ticks: the ledger books the damage against the offender
+    // alone, and the forced health floor lifts — the offender recovers.
+    for _ in 0..3 {
+        std::thread::sleep(Duration::from_millis(20));
+        agent.tick().unwrap();
+    }
+    assert_eq!(health_of(&agent, "app1"), Health::Healthy);
+
+    let snap = ledger.snapshot();
+    let account = |name: &str| {
+        snap.tenants
+            .iter()
+            .find(|t| t.tenant == name)
+            .unwrap_or_else(|| panic!("{name} is accounted"))
+            .clone()
+    };
+    let offender = account("app1");
+    assert!(offender.preemptions > 0, "ledger books preemptions: {offender:?}");
+    assert!(offender.overbudget_cpu_us > 0, "ledger books over-budget CPU: {offender:?}");
+    for survivor in ["app0", "app2"] {
+        let t = account(survivor);
+        assert_eq!(t.preemptions, 0, "{survivor} wrongly charged: {t:?}");
+        assert_eq!(t.overbudget_cpu_us, 0, "{survivor} wrongly charged: {t:?}");
+    }
 
     for rt in &runtimes {
         rt.shutdown();
