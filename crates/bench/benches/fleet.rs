@@ -1,0 +1,58 @@
+//! Fleet bench: the slice-vs-event scenario sweep (tenant churn, diurnal
+//! load, correlated outages at fleet scales), writing `BENCH_fleet.json`
+//! (override the path via the `BENCH_FLEET_JSON` environment variable).
+//! Restrict the sweep with `FLEET_SCALES` (e.g. `100x8,1000x64`) and
+//! `FLEET_SCENARIOS` (e.g. `churn,outages`). Under `--test` (the CI smoke
+//! run) the 5k×256 cell is skipped and each cell runs once instead of
+//! best-of-2.
+
+use coop_bench::experiments::fleet;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let repeats = if smoke { 1 } else { 2 };
+    let scales = fleet::scales_from_env(smoke);
+    let scenarios = fleet::scenarios_from_env();
+
+    let mut cells = Vec::new();
+    for scenario in &scenarios {
+        for scale in &scales {
+            // The no-reuse column re-runs the whole slice engine; skip it
+            // on the biggest cells where the reference run already
+            // dominates the sweep's wall time.
+            let measure_noreuse = scale.runtimes < 5000;
+            let cell = fleet::run_cell(*scenario, scale, measure_noreuse, repeats);
+            println!(
+                "{:<8} {:>5} runtimes x {:>3} nodes over {:>3.1}s: \
+                 slice {:>9.2} ms, event {:>8.2} ms, speedup {:>7.1}x, \
+                 {:>6} events ({:>5} segments), gflops rel err {:.2e}",
+                cell.scenario,
+                cell.runtimes,
+                cell.nodes,
+                cell.duration_s,
+                cell.slice_ms,
+                cell.event_ms,
+                cell.speedup,
+                cell.events,
+                cell.segments,
+                cell.gflops_rel_err,
+            );
+            cells.push(cell);
+        }
+    }
+
+    let report = serde_json::json!({
+        "bench": "fleet",
+        "smoke": smoke,
+        "quantum_s": 1e-3,
+        "cells": cells,
+    });
+    let path =
+        std::env::var("BENCH_FLEET_JSON").unwrap_or_else(|_| "BENCH_fleet.json".to_string());
+    let body = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
+    match std::fs::write(&path, &body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+    println!("{body}");
+}

@@ -1,6 +1,7 @@
 //! Argument parsing (plain `std`, no external parser).
 
 use crate::{CliError, Result};
+use memsim::EngineKind;
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,6 +157,8 @@ pub enum Command {
         /// Keep the dead application's cores idle instead of fair-sharing
         /// them among survivors (`--no-reclaim`).
         no_reclaim: bool,
+        /// Simulator engine (`--engine slice|event`, default slice).
+        engine: EngineKind,
     },
     /// `observe` — run the Figure-1 producer-consumer pipeline with an
     /// agent and the memory simulator on one telemetry hub, and export
@@ -222,6 +225,9 @@ pub enum Command {
         trace_out: Option<String>,
         /// Write metrics here (`--metrics`).
         metrics: Option<String>,
+        /// Simulator engine executing each decision tick
+        /// (`--engine slice|event`, default slice).
+        engine: EngineKind,
     },
     /// `chaos` — run live runtimes under a supervised agent, kill one
     /// mid-run, and report detection, eviction, core reclamation, and
@@ -259,6 +265,10 @@ pub enum Command {
         /// (`--runaway app[:tick]`): the task spins past its fuel budget
         /// until the watchdog preempts and contains it.
         runaway: Option<(usize, u64)>,
+        /// Simulator engine label echoed into the report
+        /// (`--engine slice|event`, default slice). The live chaos
+        /// harness drives real runtimes, so the flag only tags output.
+        engine: EngineKind,
     },
     /// `top` — run a supervised two-tenant simulation with per-tenant
     /// accounting and print the resource ledger (who got what, delivered
@@ -308,11 +318,14 @@ COMMANDS:
                                throughput/fairness Pareto frontier
   simulate --scenario <FILE> | --write-template  [--metrics <PATH>]
           [--fault <app:down_at_s[:up_at_s]>...] [--no-reclaim]
+          [--engine slice|event]
                                run (or emit a template for) a declarative
                                memsim scenario; --fault kills an app
                                mid-run (and optionally revives it), with
                                its cores fair-shared among the survivors
-                               unless --no-reclaim
+                               unless --no-reclaim; --engine picks the
+                               time-sliced or discrete-event simulator
+                               core (default slice; see docs/performance.md)
   observe [--machine <M>] [--iterations N] [--trace-out <PATH>] [--metrics <PATH>]
           [--serve <ADDR> [--serve-max-requests N]] [--dump <DIR>]
                                run the Figure-1 producer-consumer pipeline
@@ -335,18 +348,19 @@ COMMANDS:
   drift   [--scenario <FILE>] [--perturb <node:factor[:at_s]>...]
           [--decision-period S] [--duration S] [--reoptimize]
           [--ewma A] [--cusum-k K] [--cusum-h H]
-          [--trace-out <PATH>] [--metrics <PATH>]
+          [--trace-out <PATH>] [--metrics <PATH>] [--engine slice|event]
                                run a scenario under model supervision: the
                                analytic model predicts each decision tick,
                                the simulator measures it (optionally on a
                                perturbed machine), and the drift detector
                                reports residuals and alarms; --reoptimize
                                re-searches the allocation each tick (warm
-                               start + persistent score cache)
+                               start + persistent score cache); --engine
+                               picks the simulator core for each tick
   chaos   [--machine <M>] [--runtimes N] [--ticks N] [--tick-interval MS]
           [--kill-at T] [--revive-at T] [--deadline MS]
           [--fault <kind[=millis][@from[..until]][~prob]>...]
-          [--runaway <app[:tick]>]
+          [--runaway <app[:tick]>] [--engine slice|event]
           [--trace-out <PATH>] [--metrics <PATH>] [--flight-dir <DIR>]
           [--slo-report <PATH>]
                                run live runtimes under a supervised agent,
@@ -518,6 +532,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
     let mut slo_report: Option<String> = None;
     let mut outages: Vec<String> = Vec::new();
     let mut runaway: Option<(usize, u64)> = None;
+    let mut engine = EngineKind::default();
 
     let mut positional: Vec<&str> = Vec::new();
     let mut it = argv.iter().peekable();
@@ -553,6 +568,12 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             "--slo-report" => slo_report = Some(next_value(&mut it, "--slo-report")?),
             "--outage" => outages.push(next_value(&mut it, "--outage")?),
             "--runaway" => runaway = Some(parse_runaway(&next_value(&mut it, "--runaway")?)?),
+            "--engine" => {
+                let v = next_value(&mut it, "--engine")?;
+                engine = EngineKind::parse(&v).ok_or_else(|| {
+                    CliError::usage(format!("unknown --engine '{v}' (slice|event)"))
+                })?
+            }
             "--fault" => faults.push(next_value(&mut it, "--fault")?),
             "--no-reclaim" => no_reclaim = true,
             "--reoptimize" => reoptimize = true,
@@ -713,6 +734,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
                 metrics,
                 faults,
                 no_reclaim,
+                engine,
             }
         }
         Some("chaos") => {
@@ -753,6 +775,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
                 flight_dir,
                 slo_report,
                 runaway,
+                engine,
             }
         }
         Some("top") => Command::Top {
@@ -796,6 +819,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             reoptimize,
             trace_out,
             metrics,
+            engine,
         },
         Some("sweep") => {
             let apps = need_apps(&apps)?;
@@ -1294,6 +1318,33 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn engine_flag_parses_and_defaults_to_slice() {
+        let cli = parse_args(&argv("simulate --write-template")).unwrap();
+        match cli.command {
+            Command::Simulate { engine, .. } => assert_eq!(engine, EngineKind::Slice),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse_args(&argv("simulate --write-template --engine event")).unwrap();
+        match cli.command {
+            Command::Simulate { engine, .. } => assert_eq!(engine, EngineKind::Event),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Case-insensitive, and shared by drift and chaos.
+        let cli = parse_args(&argv("drift --engine EVENT")).unwrap();
+        match cli.command {
+            Command::Drift { engine, .. } => assert_eq!(engine, EngineKind::Event),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse_args(&argv("chaos --engine slice")).unwrap();
+        match cli.command {
+            Command::Chaos { engine, .. } => assert_eq!(engine, EngineKind::Slice),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&argv("simulate --write-template --engine warp")).is_err());
+        assert!(parse_args(&argv("drift --engine")).is_err());
     }
 
     #[test]

@@ -95,12 +95,14 @@ pub fn execute(cli: &Cli) -> Result<String> {
             metrics,
             faults,
             no_reclaim,
+            engine,
         } => simulate_cmd(
             scenario.as_deref(),
             *write_template,
             metrics.as_deref(),
             faults,
             *no_reclaim,
+            *engine,
             cli.format,
         ),
         Command::Chaos {
@@ -117,6 +119,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             metrics,
             flight_dir,
             slo_report,
+            engine,
         } => chaos_cmd(
             machine,
             *runtimes,
@@ -127,6 +130,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             trace_out.as_deref(),
             metrics.as_deref(),
             (flight_dir.as_deref(), slo_report.as_deref()),
+            *engine,
             cli.format,
         ),
         Command::Top {
@@ -177,6 +181,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             reoptimize,
             trace_out,
             metrics,
+            engine,
         } => drift_cmd(
             scenario.as_deref(),
             perturbations,
@@ -186,6 +191,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             *reoptimize,
             trace_out.as_deref(),
             metrics.as_deref(),
+            *engine,
             cli.format,
         ),
     }
@@ -238,6 +244,7 @@ fn simulate_cmd(
     metrics: Option<&str>,
     faults: &[String],
     no_reclaim: bool,
+    engine: memsim::EngineKind,
     format: OutputFormat,
 ) -> Result<String> {
     if write_template {
@@ -262,10 +269,11 @@ fn simulate_cmd(
         let want_hub = metrics.is_some() || format == OutputFormat::Prom;
         let (chaos, hub) = if want_hub {
             let hub = std::sync::Arc::new(coop_telemetry::TelemetryHub::new());
-            let r = memsim::chaos::run_chaos_scenario_with_telemetry(
+            let r = memsim::run_chaos_scenario_on(
                 &scenario,
                 &plan,
-                std::sync::Arc::clone(&hub),
+                Some(std::sync::Arc::clone(&hub)),
+                engine,
             )
             .map_err(|e| CliError::failure(format!("chaos simulation failed: {e}")))?;
             if let Some(metrics_path) = metrics {
@@ -273,21 +281,28 @@ fn simulate_cmd(
             }
             (r, Some(hub))
         } else {
-            let r = memsim::run_chaos_scenario(&scenario, &plan)
+            let r = memsim::run_chaos_scenario_on(&scenario, &plan, None, engine)
                 .map_err(|e| CliError::failure(format!("chaos simulation failed: {e}")))?;
             (r, None)
         };
         return match format {
-            OutputFormat::Json => serde_json::to_string_pretty(&chaos.result)
-                .map(|s| s + "\n")
-                .map_err(|e| CliError::failure(e.to_string())),
+            OutputFormat::Json => {
+                let mut doc = serde_json::to_value(&chaos.result)
+                    .map_err(|e| CliError::failure(e.to_string()))?;
+                if let Some(obj) = doc.as_object_mut() {
+                    obj.insert("engine".into(), serde_json::json!(engine.as_str()));
+                }
+                serde_json::to_string_pretty(&doc)
+                    .map(|s| s + "\n")
+                    .map_err(|e| CliError::failure(e.to_string()))
+            }
             OutputFormat::Prom => Ok(hub
                 .expect("hub exists for prom format")
                 .registry()
                 .to_prometheus()),
             OutputFormat::Text => {
                 let mut out = format!(
-                    "chaos scenario: {} ({} segments, reclaim {})\n",
+                    "chaos scenario: {} ({} segments, reclaim {}, engine {engine})\n",
                     scenario.name,
                     chaos.segments.len(),
                     if plan.reclaim { "on" } else { "off" }
@@ -325,33 +340,43 @@ fn simulate_cmd(
     let want_hub = metrics.is_some() || format == OutputFormat::Prom;
     let (result, hub) = if want_hub {
         let hub = std::sync::Arc::new(coop_telemetry::TelemetryHub::new());
-        let r = memsim::run_scenario_with_telemetry(&scenario, std::sync::Arc::clone(&hub))
+        let r = memsim::run_scenario_on(&scenario, Some(std::sync::Arc::clone(&hub)), engine)
             .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?;
         if let Some(metrics_path) = metrics {
             write_metrics_file(metrics_path, &hub)?;
         }
         (r, Some(hub))
     } else {
-        let r = memsim::run_scenario(&scenario)
+        let r = memsim::run_scenario_on(&scenario, None, engine)
             .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?;
         (r, None)
     };
     match format {
-        OutputFormat::Json => serde_json::to_string_pretty(&result)
-            .map(|s| s + "\n")
-            .map_err(|e| CliError::failure(e.to_string())),
+        OutputFormat::Json => {
+            let mut doc =
+                serde_json::to_value(&result).map_err(|e| CliError::failure(e.to_string()))?;
+            if let Some(obj) = doc.as_object_mut() {
+                obj.insert("engine".into(), serde_json::json!(engine.as_str()));
+            }
+            serde_json::to_string_pretty(&doc)
+                .map(|s| s + "\n")
+                .map_err(|e| CliError::failure(e.to_string()))
+        }
         OutputFormat::Prom => Ok(hub
             .expect("hub exists for prom format")
             .registry()
             .to_prometheus()),
-        OutputFormat::Text => Ok(result.to_string()),
+        OutputFormat::Text => {
+            let mut out = result.to_string();
+            out.push_str(&format!("engine: {engine}\n"));
+            Ok(out)
+        }
     }
 }
 
 /// `drift`: run a scenario under model supervision (predict each decision
 /// tick with the analytic model, simulate it — optionally on a perturbed
 /// machine — and back-fill the residuals) and print the drift report.
-#[allow(clippy::too_many_arguments)]
 #[allow(clippy::too_many_arguments)]
 fn drift_cmd(
     scenario: Option<&str>,
@@ -362,6 +387,7 @@ fn drift_cmd(
     reoptimize: bool,
     trace_out: Option<&str>,
     metrics: Option<&str>,
+    engine: memsim::EngineKind,
     format: OutputFormat,
 ) -> Result<String> {
     use std::sync::Arc;
@@ -402,6 +428,7 @@ fn drift_cmd(
         // assemble like a real runtime's.
         tracing: trace_out.is_some(),
         chaos: None,
+        engine,
     };
     let hub = Arc::new(coop_telemetry::TelemetryHub::new());
     let result = memsim::run_supervised(&scenario, &config, Arc::clone(&hub))
@@ -417,12 +444,21 @@ fn drift_cmd(
 
     let report = result.report();
     match format {
-        OutputFormat::Json => Ok(report.to_json() + "\n"),
+        OutputFormat::Json => {
+            let mut doc: serde_json::Value = serde_json::from_str(&report.to_json())
+                .map_err(|e| CliError::failure(format!("drift report JSON: {e}")))?;
+            if let Some(obj) = doc.as_object_mut() {
+                obj.insert("engine".into(), serde_json::json!(engine.as_str()));
+            }
+            serde_json::to_string_pretty(&doc)
+                .map(|s| s + "\n")
+                .map_err(|e| CliError::failure(e.to_string()))
+        }
         OutputFormat::Prom => Ok(hub.registry().to_prometheus()),
         OutputFormat::Text => {
             let mut out = report.to_text();
             out.push_str(&format!(
-                "{} decision ticks ({} perturbed), first alarm at tick {}\n",
+                "{} decision ticks ({} perturbed), first alarm at tick {}, engine {engine}\n",
                 result.ticks.len(),
                 result.ticks.iter().filter(|t| t.perturbed).count(),
                 result
@@ -464,6 +500,7 @@ fn chaos_cmd(
     trace_out: Option<&str>,
     metrics: Option<&str>,
     (flight_dir, slo_report): (Option<&str>, Option<&str>),
+    engine: memsim::EngineKind,
     format: OutputFormat,
 ) -> Result<String> {
     use coop_agent::{policies, Agent, ChaosHandle, FaultPlan, KillSwitch, SupervisionConfig};
@@ -670,6 +707,7 @@ fn chaos_cmd(
                 .map_err(|e| CliError::failure(format!("SLO JSON: {e}")))?;
             let doc = serde_json::json!({
                 "machine": m.name(),
+                "engine": engine.as_str(),
                 "runtimes": runtimes,
                 "kill_at": kill_at,
                 "revive_at": revive_at,
@@ -703,7 +741,8 @@ fn chaos_cmd(
         OutputFormat::Prom => Ok(hub.registry().to_prometheus()),
         OutputFormat::Text => {
             let mut out = format!(
-                "chaos: {runtimes} runtimes on {}, kill app0 at tick {kill_at}{}\n",
+                "chaos: {runtimes} runtimes on {}, kill app0 at tick {kill_at}{}, \
+                 engine {engine}\n",
                 m.name(),
                 revive_at
                     .map(|r| format!(", revive at tick {r}"))
@@ -2375,6 +2414,73 @@ mod simulate_tests {
         .unwrap();
         assert!(out.contains("memsim_node_utilization"), "output:\n{out}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_engine_flag_runs_the_event_core_and_is_echoed() {
+        let template = crate::run(&["simulate".into(), "--write-template".into()]).unwrap();
+        let dir = std::env::temp_dir().join(format!("coop-cli-simeng-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        std::fs::write(&path, &template).unwrap();
+
+        let out = crate::run(&[
+            "simulate".into(),
+            "--scenario".into(),
+            path.to_str().unwrap().to_string(),
+            "--engine".into(),
+            "event".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("engine: event"), "output:\n{out}");
+
+        let json_out = crate::run(&[
+            "simulate".into(),
+            "--scenario".into(),
+            path.to_str().unwrap().to_string(),
+            "--engine".into(),
+            "event".into(),
+            "--json".into(),
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json_out).unwrap();
+        assert_eq!(v["engine"], "event", "json:\n{json_out}");
+        assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+
+        // The default stays on the slice engine and says so.
+        let out = crate::run(&[
+            "simulate".into(),
+            "--scenario".into(),
+            path.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("engine: slice"), "output:\n{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drift_engine_flag_reaches_the_supervisor() {
+        let out = crate::run(&[
+            "drift".into(),
+            "--duration".into(),
+            "0.1".into(),
+            "--engine".into(),
+            "event".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("engine event"), "output:\n{out}");
+
+        let json_out = crate::run(&[
+            "drift".into(),
+            "--duration".into(),
+            "0.1".into(),
+            "--engine".into(),
+            "event".into(),
+            "--json".into(),
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json_out).unwrap();
+        assert_eq!(v["engine"], "event", "json:\n{json_out}");
     }
 
     #[test]

@@ -49,6 +49,47 @@ impl ActivityPattern {
             ActivityPattern::Window { start_s, end_s } => t >= start_s && t < end_s,
         }
     }
+
+    /// The next instant strictly after `t` at which [`is_active`] changes
+    /// value, or `None` if the pattern never changes again. This is what
+    /// turns an activity pattern into discrete events: between consecutive
+    /// edges the active/idle state is constant, so the event engine only
+    /// re-arbitrates at edges.
+    ///
+    /// [`is_active`]: ActivityPattern::is_active
+    pub fn next_edge(&self, t: f64) -> Option<f64> {
+        match *self {
+            ActivityPattern::AlwaysOn => None,
+            ActivityPattern::Bursts {
+                period_s,
+                duty,
+                phase_s,
+            } => {
+                // Degenerate duty cycles never change state.
+                if !(0.0..1.0).contains(&duty) || duty == 0.0 {
+                    return None;
+                }
+                let pos = (t - phase_s).rem_euclid(period_s);
+                let on_len = duty * period_s;
+                let next = if pos < on_len {
+                    t + (on_len - pos)
+                } else {
+                    t + (period_s - pos)
+                };
+                // Guard against `rem_euclid` landing exactly on the edge.
+                Some(if next > t { next } else { t + period_s })
+            }
+            ActivityPattern::Window { start_s, end_s } => {
+                if t < start_s {
+                    Some(start_s)
+                } else if t < end_s {
+                    Some(end_s)
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 /// An application as the simulator sees it: the model-level spec plus
@@ -167,6 +208,48 @@ mod tests {
         assert!(p.is_active(1.0));
         assert!(p.is_active(1.99));
         assert!(!p.is_active(2.0));
+    }
+
+    #[test]
+    fn next_edge_walks_patterns() {
+        assert_eq!(ActivityPattern::AlwaysOn.next_edge(0.0), None);
+
+        let w = ActivityPattern::Window {
+            start_s: 1.0,
+            end_s: 2.0,
+        };
+        assert_eq!(w.next_edge(0.0), Some(1.0));
+        assert_eq!(w.next_edge(1.0), Some(2.0));
+        assert_eq!(w.next_edge(2.0), None);
+
+        let b = ActivityPattern::Bursts {
+            period_s: 1.0,
+            duty: 0.25,
+            phase_s: 0.0,
+        };
+        // Walking edges from 0 visits 0.25, 1.0, 1.25, 2.0, ... and the
+        // state flips at every edge.
+        let mut t = 0.0;
+        let mut state = b.is_active(t);
+        for _ in 0..8 {
+            let e = b.next_edge(t).unwrap();
+            assert!(e > t, "edge {e} must advance past {t}");
+            let new_state = b.is_active(e);
+            assert_ne!(new_state, state, "state must flip at edge {e}");
+            t = e;
+            state = new_state;
+        }
+        assert!((t - 4.0).abs() < 1e-9, "8 edges of a 1s/0.25 cycle end at 4s, got {t}");
+
+        // Degenerate duties never produce edges.
+        for duty in [0.0, 1.0, 1.5] {
+            let p = ActivityPattern::Bursts {
+                period_s: 1.0,
+                duty,
+                phase_s: 0.0,
+            };
+            assert_eq!(p.next_edge(0.3), None, "duty {duty}");
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! Comparing the two runs quantifies what reclamation buys (tests assert
 //! survivors complete strictly more work with it).
 
-use crate::{Result, Scenario, SimConfig, SimError, SimResult, Simulation};
+use crate::{EngineKind, Result, Scenario, SimConfig, SimError, SimResult, Simulation};
 use coop_telemetry::TelemetryHub;
 use roofline_numa::ThreadAssignment;
 use std::sync::Arc;
@@ -140,9 +140,10 @@ pub struct ChaosResult {
     pub segments: Vec<(f64, Vec<bool>)>,
 }
 
-/// Runs the first assignment of `scenario` under `plan`.
+/// Runs the first assignment of `scenario` under `plan` on the default
+/// slice engine.
 pub fn run_chaos_scenario(scenario: &Scenario, plan: &ChaosPlan) -> Result<ChaosResult> {
-    run_chaos_inner(scenario, plan, None)
+    run_chaos_scenario_on(scenario, plan, None, EngineKind::Slice)
 }
 
 /// Like [`run_chaos_scenario`], with the simulator publishing bandwidth
@@ -153,13 +154,18 @@ pub fn run_chaos_scenario_with_telemetry(
     plan: &ChaosPlan,
     hub: Arc<TelemetryHub>,
 ) -> Result<ChaosResult> {
-    run_chaos_inner(scenario, plan, Some(hub))
+    run_chaos_scenario_on(scenario, plan, Some(hub), EngineKind::Slice)
 }
 
-fn run_chaos_inner(
+/// The fully general chaos runner: optional telemetry hub plus an explicit
+/// [`EngineKind`]. Outage edges compile to the same time-varying schedule
+/// either way; the event engine turns each edge into one heap event instead
+/// of being rediscovered by the per-quantum schedule scan.
+pub fn run_chaos_scenario_on(
     scenario: &Scenario,
     plan: &ChaosPlan,
     hub: Option<Arc<TelemetryHub>>,
+    engine: EngineKind,
 ) -> Result<ChaosResult> {
     scenario.validate()?;
     plan.validate(scenario)?;
@@ -177,7 +183,8 @@ fn run_chaos_inner(
     let mut sim = Simulation::new(
         SimConfig::new(scenario.machine.clone())
             .with_effects(scenario.effects.clone())
-            .with_seed(scenario.seed),
+            .with_seed(scenario.seed)
+            .with_engine(engine),
     );
     if let Some(hub) = hub {
         sim = sim.with_telemetry(hub);
@@ -316,6 +323,23 @@ mod tests {
             switches >= 2,
             "down and up edges must land on the timeline, saw {switches}"
         );
+    }
+
+    #[test]
+    fn event_engine_agrees_with_slice_on_chaos() {
+        let scenario = two_app_scenario();
+        let plan = ChaosPlan::kill_revive(1, 0.03, 0.06);
+        let slice = run_chaos_scenario_on(&scenario, &plan, None, EngineKind::Slice).unwrap();
+        let event = run_chaos_scenario_on(&scenario, &plan, None, EngineKind::Event).unwrap();
+        assert_eq!(slice.segments, event.segments);
+        for a in 0..2 {
+            let s = slice.result.app_gflops(a);
+            let e = event.result.app_gflops(a);
+            assert!(
+                (s - e).abs() <= 1e-9 * s.max(1.0),
+                "app {a}: slice {s} vs event {e}"
+            );
+        }
     }
 
     #[test]

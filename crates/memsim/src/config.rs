@@ -86,6 +86,51 @@ impl Default for EffectModel {
     }
 }
 
+/// Which execution engine advances simulated time.
+///
+/// `Slice` is the original fixed-quantum engine: every quantum re-arbitrates
+/// every node even when nothing changed, so cost scales with
+/// `duration / quantum` regardless of how eventful the scenario is. `Event`
+/// is the discrete-event engine: state changes (assignment edges, activity
+/// edges) become heap events, bandwidth is arbitrated once per inter-event
+/// segment and integrated analytically, so cost scales with the number of
+/// events. The two agree on scenarios without slice-coupled effects (see
+/// `docs/performance.md`, "Fleet simulation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EngineKind {
+    /// Fixed-quantum time-stepped execution (the original engine).
+    #[default]
+    Slice,
+    /// Discrete-event execution over a deterministic global event heap.
+    Event,
+}
+
+impl EngineKind {
+    /// Stable lowercase name, as printed by the CLI (`slice` / `event`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EngineKind::Slice => "slice",
+            EngineKind::Event => "event",
+        }
+    }
+
+    /// Parses the CLI spelling (`slice` / `event`, case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "slice" => Some(EngineKind::Slice),
+            "event" => Some(EngineKind::Event),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Full simulator configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -98,6 +143,13 @@ pub struct SimConfig {
     pub effects: EffectModel,
     /// Seed for the jitter stream (simulations are deterministic per seed).
     pub seed: u64,
+    /// Which execution engine to use (default [`EngineKind::Slice`]).
+    pub engine: EngineKind,
+    /// Whether per-step arbitration buffers are allocated once per run and
+    /// reused (default) or reallocated every step. The `false` setting
+    /// exists only so the fleet bench can report an honest before/after
+    /// column for the allocation-hoisting work; results are identical.
+    pub scratch_reuse: bool,
 }
 
 impl SimConfig {
@@ -109,6 +161,8 @@ impl SimConfig {
             quantum_s: 1e-3,
             effects: EffectModel::default(),
             seed: 0,
+            engine: EngineKind::default(),
+            scratch_reuse: true,
         }
     }
 
@@ -127,6 +181,19 @@ impl SimConfig {
     /// Overrides the jitter seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Selects the execution engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Disables (or re-enables) arbitration-scratch reuse; see
+    /// [`SimConfig::scratch_reuse`].
+    pub fn with_scratch_reuse(mut self, reuse: bool) -> Self {
+        self.scratch_reuse = reuse;
         self
     }
 }
@@ -161,9 +228,24 @@ mod tests {
         let c = SimConfig::new(tiny())
             .with_quantum(5e-4)
             .with_seed(9)
-            .with_effects(EffectModel::ideal());
+            .with_effects(EffectModel::ideal())
+            .with_engine(EngineKind::Event)
+            .with_scratch_reuse(false);
         assert_eq!(c.quantum_s, 5e-4);
         assert_eq!(c.seed, 9);
         assert_eq!(c.effects, EffectModel::ideal());
+        assert_eq!(c.engine, EngineKind::Event);
+        assert!(!c.scratch_reuse);
+    }
+
+    #[test]
+    fn engine_kind_round_trips() {
+        assert_eq!(EngineKind::default(), EngineKind::Slice);
+        for kind in [EngineKind::Slice, EngineKind::Event] {
+            assert_eq!(EngineKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(EngineKind::parse(&kind.as_str().to_uppercase()), Some(kind));
+        }
+        assert_eq!(EngineKind::parse("quantum"), None);
+        assert_eq!(EngineKind::Event.to_string(), "event");
     }
 }

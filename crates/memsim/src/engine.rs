@@ -9,12 +9,12 @@
 //! resulting floating-point work.
 
 use crate::result::AppSeries;
-use crate::{SimApp, SimConfig, SimError, SimResult};
+use crate::{EngineKind, EventLog, SimApp, SimConfig, SimError, SimResult};
 use coop_telemetry::{
     hop, hop_args, ArgValue, Counter, EventKind, Histogram, TelemetryHub, TimelineEvent, TrackId,
     TRACE_CAT,
 };
-use numa_topology::NodeId;
+use numa_topology::{Machine, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use roofline_numa::ThreadAssignment;
@@ -33,32 +33,39 @@ static NEXT_TRACE_TASK: AtomicU64 = AtomicU64::new(1);
 /// optional handle to a shared telemetry hub).
 #[derive(Debug, Clone)]
 pub struct Simulation {
-    config: SimConfig,
-    telemetry: Option<Arc<TelemetryHub>>,
-    tracing: bool,
+    pub(crate) config: SimConfig,
+    pub(crate) telemetry: Option<Arc<TelemetryHub>>,
+    pub(crate) tracing: bool,
+    pub(crate) time_base_us: Option<u64>,
 }
 
-struct Thread {
-    app: usize,
-    home: NodeId,
+pub(crate) struct Thread {
+    pub(crate) app: usize,
+    pub(crate) home: NodeId,
 }
 
 /// Telemetry handles resolved once per `run_dynamic` call. Simulated time
 /// is mapped onto the hub clock as `base_us + t * 1e6`, where `base_us` is
-/// the hub time when the run started — so memsim samples interleave
-/// correctly with runtime/agent events recorded during the same wall-clock
-/// window.
-struct SimTelemetry {
+/// the hub time when the run started (or an explicit anchor supplied via
+/// [`Simulation::with_time_base`]) — so memsim samples interleave correctly
+/// with runtime/agent events recorded during the same wall-clock window,
+/// and multi-run callers like the supervisor can keep every run on one
+/// consistent simulated clock instead of re-anchoring to the wall per run.
+pub(crate) struct SimTelemetry {
     hub: Arc<TelemetryHub>,
     track: TrackId,
     base_us: u64,
     assignment_switches: Arc<Counter>,
-    rotations: Vec<Arc<Counter>>,
+    pub(crate) rotations: Vec<Arc<Counter>>,
     util_pct: Vec<Arc<Histogram>>,
 }
 
 impl SimTelemetry {
-    fn new(hub: &Arc<TelemetryHub>, machine: &numa_topology::Machine) -> Self {
+    pub(crate) fn new(
+        hub: &Arc<TelemetryHub>,
+        machine: &numa_topology::Machine,
+        base_us: Option<u64>,
+    ) -> Self {
         let track = hub.register_track("memsim");
         hub.set_lane_name(track, 0, "scheduler");
         let reg = hub.registry();
@@ -93,7 +100,7 @@ impl SimTelemetry {
         }
         SimTelemetry {
             track,
-            base_us: hub.now_us(),
+            base_us: base_us.unwrap_or_else(|| hub.now_us()),
             assignment_switches: reg.counter("memsim_assignment_switches_total", &[]),
             rotations,
             util_pct,
@@ -102,7 +109,7 @@ impl SimTelemetry {
     }
 
     /// Simulated seconds → microseconds on the shared hub clock.
-    fn ts_us(&self, t_s: f64) -> u64 {
+    pub(crate) fn ts_us(&self, t_s: f64) -> u64 {
         self.base_us + (t_s * 1e6) as u64
     }
 
@@ -110,7 +117,7 @@ impl SimTelemetry {
         self.track.0 as usize
     }
 
-    fn record_assignment_switch(&self, t_s: f64, sched_idx: usize) {
+    pub(crate) fn record_assignment_switch(&self, t_s: f64, sched_idx: usize) {
         self.assignment_switches.inc();
         self.hub.record(
             self.shard(),
@@ -126,7 +133,7 @@ impl SimTelemetry {
         );
     }
 
-    fn record_bandwidth_sample(&self, node: usize, mid_s: f64, gbs: f64, utilization: f64) {
+    pub(crate) fn record_bandwidth_sample(&self, node: usize, mid_s: f64, gbs: f64, utilization: f64) {
         self.util_pct[node].observe((utilization * 100.0).round() as u64);
         self.hub.record_counter(
             self.shard(),
@@ -171,7 +178,7 @@ impl SimTelemetry {
     /// Opens an epoch task: spawned (by the app's previous epoch, when
     /// there is one), enqueued and started on its dominant node, all at
     /// the epoch's start instant (lifecycle order breaks the tie).
-    fn trace_epoch_open(
+    pub(crate) fn trace_epoch_open(
         &self,
         t_s: f64,
         task: u64,
@@ -203,14 +210,14 @@ impl SimTelemetry {
         );
     }
 
-    fn trace_epoch_close(&self, t_s: f64, task: u64, trace: u64, node: Option<u64>) {
+    pub(crate) fn trace_epoch_close(&self, t_s: f64, task: u64, trace: u64, node: Option<u64>) {
         let extra = node
             .map(|n| vec![("node".to_string(), ArgValue::U64(n))])
             .unwrap_or_default();
         self.trace_hop(t_s, hop::FINISHED, task, trace, extra);
     }
 
-    fn record_run_summary(&self, node_avg_gbs: &[f64], node_utilization: &[f64]) {
+    pub(crate) fn record_run_summary(&self, node_avg_gbs: &[f64], node_utilization: &[f64]) {
         let reg = self.hub.registry();
         for (n, (&gbs, &util)) in node_avg_gbs.iter().zip(node_utilization).enumerate() {
             let node = n.to_string();
@@ -229,6 +236,7 @@ impl Simulation {
             config,
             telemetry: None,
             tracing: false,
+            time_base_us: None,
         }
     }
 
@@ -254,6 +262,17 @@ impl Simulation {
         self
     }
 
+    /// Anchors simulated time onto the hub clock at an explicit base
+    /// (microseconds). Without this, every run anchors at the hub's
+    /// current wall time when it starts — fine for a single run, but a
+    /// caller that performs many back-to-back runs on one simulated clock
+    /// (the supervisor's decision ticks) must pass its own anchor so the
+    /// emitted timeline carries simulated time, not per-run wall time.
+    pub fn with_time_base(mut self, base_us: u64) -> Self {
+        self.time_base_us = Some(base_us);
+        self
+    }
+
     /// The configured machine.
     pub fn machine(&self) -> &numa_topology::Machine {
         &self.config.machine
@@ -274,14 +293,60 @@ impl Simulation {
     /// assignment applies from its start time until the next entry. This is
     /// the mechanism for the paper's dynamic-reallocation scenarios
     /// (library bursts, agent repartitioning).
+    ///
+    /// Dispatches on [`SimConfig::engine`]: the slice-stepped engine below,
+    /// or the discrete-event engine in [`crate::event`].
     pub fn run_dynamic(
         &self,
         apps: &[SimApp],
         schedule: &[(f64, ThreadAssignment)],
         duration_s: f64,
     ) -> crate::Result<SimResult> {
+        let mut scratch = RateScratch::default();
+        self.run_dynamic_with_scratch(apps, schedule, duration_s, &mut scratch)
+    }
+
+    /// `run_dynamic` with caller-owned arbitration buffers: callers that
+    /// perform many back-to-back runs (the supervisor's decision ticks)
+    /// keep one [`RateScratch`] alive across all of them, so steady-state
+    /// ticks do not allocate in the arbitration loop at all.
+    pub(crate) fn run_dynamic_with_scratch(
+        &self,
+        apps: &[SimApp],
+        schedule: &[(f64, ThreadAssignment)],
+        duration_s: f64,
+        scratch: &mut RateScratch,
+    ) -> crate::Result<SimResult> {
+        match self.config.engine {
+            EngineKind::Slice => self.run_dynamic_slice(apps, schedule, duration_s, scratch),
+            EngineKind::Event => {
+                crate::event::run_dynamic_event(self, apps, schedule, duration_s, scratch)
+                    .map(|(result, _log)| result)
+            }
+        }
+    }
+
+    /// Runs on the discrete-event engine regardless of the configured
+    /// [`EngineKind`], returning the result together with the processed
+    /// event log (for determinism checks and events/sec accounting).
+    pub fn run_logged(
+        &self,
+        apps: &[SimApp],
+        schedule: &[(f64, ThreadAssignment)],
+        duration_s: f64,
+    ) -> crate::Result<(SimResult, EventLog)> {
+        let mut scratch = RateScratch::default();
+        crate::event::run_dynamic_event(self, apps, schedule, duration_s, &mut scratch)
+    }
+
+    /// Shared input validation for both engines.
+    pub(crate) fn validate_run(
+        &self,
+        apps: &[SimApp],
+        schedule: &[(f64, ThreadAssignment)],
+        duration_s: f64,
+    ) -> crate::Result<()> {
         let machine = &self.config.machine;
-        let effects = &self.config.effects;
         let dt = self.config.quantum_s;
         if duration_s <= 0.0 || !duration_s.is_finite() {
             return Err(SimError::BadTime {
@@ -304,6 +369,20 @@ impl Simulation {
         for (_, a) in schedule {
             self.validate_assignment(apps.len(), a)?;
         }
+        Ok(())
+    }
+
+    fn run_dynamic_slice(
+        &self,
+        apps: &[SimApp],
+        schedule: &[(f64, ThreadAssignment)],
+        duration_s: f64,
+        scratch: &mut RateScratch,
+    ) -> crate::Result<SimResult> {
+        self.validate_run(apps, schedule, duration_s)?;
+        let machine = &self.config.machine;
+        let effects = &self.config.effects;
+        let dt = self.config.quantum_s;
 
         let num_nodes = machine.num_nodes();
         let peak = machine.core_peak_gflops();
@@ -326,15 +405,12 @@ impl Simulation {
         let tel = self
             .telemetry
             .as_ref()
-            .map(|hub| SimTelemetry::new(hub, machine));
+            .map(|hub| SimTelemetry::new(hub, machine, self.time_base_us));
 
         let mut sched_idx = 0usize;
         let mut applied_idx = usize::MAX;
         let mut threads: Vec<Thread> = Vec::new();
-        // Synthetic causal spans: per app, the open epoch's (task id,
-        // dominant node) and the causal-tree root (first epoch's id).
-        let mut epoch_tasks: Vec<Option<(u64, Option<u64>)>> = vec![None; apps.len()];
-        let mut epoch_roots: Vec<Option<u64>> = vec![None; apps.len()];
+        let mut tracer = EpochTracer::new(apps.len());
         // Rotating round-robin offsets for discrete time-slicing.
         let mut rr_offset = vec![0usize; num_nodes];
 
@@ -355,253 +431,48 @@ impl Simulation {
                 }
                 if self.tracing {
                     if let Some(tel) = &tel {
-                        for app in 0..apps.len() {
-                            let task = NEXT_TRACE_TASK.fetch_add(1, Ordering::Relaxed);
-                            let trace = *epoch_roots[app].get_or_insert(task);
-                            let prev = epoch_tasks[app].take();
-                            if let Some((ptask, pnode)) = prev {
-                                tel.trace_epoch_close(t, ptask, trace, pnode);
-                            }
-                            let node = dominant_node(&schedule[sched_idx].1, app);
-                            tel.trace_epoch_open(
-                                t,
-                                task,
-                                trace,
-                                prev.map(|(p, _)| p),
-                                &format!("{}#epoch{}", apps[app].name(), sched_idx),
-                                node,
-                            );
-                            epoch_tasks[app] = Some((task, node));
-                        }
+                        tracer.on_assignment(tel, t, sched_idx, &schedule[sched_idx].1, apps);
                     }
                 }
                 applied_idx = sched_idx;
             }
 
-            // Which apps are active this quantum?
-            let active: Vec<bool> = apps.iter().map(|a| a.activity.is_active(t)).collect();
-
-            // Per-node runnable census (for duty cycles and interference).
-            let mut runnable_per_node = vec![0usize; num_nodes];
-            let mut app_threads_total = vec![0usize; apps.len()];
-            for th in &threads {
-                if active[th.app] {
-                    runnable_per_node[th.home.0] += 1;
-                    app_threads_total[th.app] += 1;
-                }
+            // Arbitrate this quantum. Scratch buffers are hoisted out of
+            // the loop and reused; `scratch_reuse = false` restores the
+            // old allocate-per-step behavior for A/B benchmarking.
+            if !self.config.scratch_reuse {
+                *scratch = RateScratch::default();
             }
-
-            // Discrete time-slicing: pick which runnable threads hold a
-            // core this quantum (a rotating window per node).
-            let mut on_core: Vec<bool> = vec![true; threads.len()];
-            if effects.discrete_timeslice {
-                #[allow(clippy::needless_range_loop)] // indexes three parallel structures
-                for node in 0..num_nodes {
-                    let cores = machine.node(NodeId(node)).num_cores();
-                    let runnable: Vec<usize> = threads
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, th)| th.home.0 == node && active[th.app])
-                        .map(|(i, _)| i)
-                        .collect();
-                    if runnable.len() > cores {
-                        for (pos, &i) in runnable.iter().enumerate() {
-                            let slot = (pos + runnable.len() - rr_offset[node] % runnable.len())
-                                % runnable.len();
-                            on_core[i] = slot < cores;
-                        }
-                        rr_offset[node] = (rr_offset[node] + cores) % runnable.len();
-                        // One rotated quantum = one OS-scheduler context
-                        // switch on this node's cores.
-                        if let Some(tel) = &tel {
-                            tel.rotations[node].inc();
-                        }
-                    }
-                }
-            }
-
-            // Per-thread compute capacity (GFLOPS) this quantum.
-            let mut cap = vec![0.0f64; threads.len()];
-            for (i, th) in threads.iter().enumerate() {
-                if !active[th.app] {
-                    continue;
-                }
-                let cores = machine.node(th.home).num_cores() as f64;
-                let runnable = runnable_per_node[th.home.0] as f64;
-                let duty = if effects.discrete_timeslice {
-                    if on_core[i] {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                } else {
-                    (cores / runnable).min(1.0)
-                };
-                let switch = if runnable > cores {
-                    1.0 - effects.oversub_switch_loss
-                } else {
-                    1.0
-                };
-                let alpha = apps[th.app].sync_overhead;
-                let sync = 1.0 / (1.0 + alpha * (app_threads_total[th.app] as f64 - 1.0));
-                let jitter = if effects.jitter > 0.0 {
-                    1.0 + effects.jitter * (rng.gen::<f64>() * 2.0 - 1.0)
-                } else {
-                    1.0
-                };
-                cap[i] = peak * duty * switch * sync * jitter;
-            }
-
-            // Per-thread demand toward each node.
-            let mut demand_to = vec![vec![0.0f64; num_nodes]; threads.len()];
-            for (i, th) in threads.iter().enumerate() {
-                if cap[i] == 0.0 {
-                    continue;
-                }
-                let total = cap[i] / apps[th.app].spec.ai;
-                #[allow(clippy::needless_range_loop)] // node is also a semantic id here
-                for node in 0..num_nodes {
-                    demand_to[i][node] = total
-                        * apps[th.app]
-                            .spec
-                            .placement
-                            .fraction(th.home, NodeId(node), num_nodes);
-                }
-            }
-
-            // Arbitrate each node.
-            let mut granted = vec![0.0f64; threads.len()];
+            // Activity is classified at the quantum *midpoint* — the same
+            // rule the event engine applies to its segments: a quantum is
+            // active iff its interior is, so edges that land exactly on a
+            // quantum boundary never hinge on float residue, and
+            // off-boundary edges round to the nearest quantum.
+            compute_rates(
+                machine,
+                effects,
+                peak,
+                apps,
+                &threads,
+                t + 0.5 * dt,
+                effects.discrete_timeslice,
+                &mut rng,
+                &mut rr_offset,
+                tel.as_ref(),
+                scratch,
+            );
+            #[allow(clippy::needless_range_loop)] // node is also a semantic id here
             for target in 0..num_nodes {
-                let node = machine.node(NodeId(target));
-
-                // Interference: distinct apps with demand toward this node.
-                let mut apps_here: Vec<bool> = vec![false; apps.len()];
-                for (i, th) in threads.iter().enumerate() {
-                    if demand_to[i][target] > 0.0 {
-                        apps_here[th.app] = true;
-                    }
-                }
-                let distinct = apps_here.iter().filter(|&&b| b).count();
-                let interference = if distinct > 1 {
-                    (1.0 - effects.multi_app_interference * (distinct - 1) as f64).max(0.0)
-                } else {
-                    1.0
-                };
-                let capacity = node.bandwidth_gbs * interference;
-
-                // Remote-first stage.
-                let mut remote_demand_from = vec![0.0f64; num_nodes];
-                for (i, th) in threads.iter().enumerate() {
-                    if th.home.0 != target {
-                        remote_demand_from[th.home.0] += demand_to[i][target];
-                    }
-                }
-                let mut served_from: Vec<f64> = (0..num_nodes)
-                    .map(|s| {
-                        if s == target {
-                            0.0
-                        } else {
-                            let link = machine.links().link(NodeId(s), NodeId(target))
-                                * effects.remote_efficiency;
-                            remote_demand_from[s].min(link)
-                        }
-                    })
-                    .collect();
-                // Serving remote traffic costs extra capacity (coherence
-                // overhead): r GB/s delivered consumes r * (1 + o).
-                let remote_cost = 1.0 + effects.remote_service_overhead;
-                let total_remote: f64 = served_from.iter().sum();
-                if total_remote * remote_cost > capacity {
-                    let scale = capacity / (total_remote * remote_cost);
-                    for s in served_from.iter_mut() {
-                        *s *= scale;
-                    }
-                }
-
-                // Local stage: baseline + proportional remainder. Local
-                // grants are tracked per-target in `prov` so threads whose
-                // traffic spreads over several nodes accumulate correctly.
-                let remaining = (capacity - served_from.iter().sum::<f64>() * remote_cost).max(0.0);
-                // The per-thread guaranteed share. The model's rule is
-                // per-core; under over-subscription (more demanding local
-                // threads than cores) the share divides among the threads,
-                // keeping the baseline stage within capacity.
-                let local_demanders = threads
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, th)| th.home.0 == target && demand_to[*i][target] > 0.0)
-                    .count();
-                let baseline = remaining / node.num_cores().max(local_demanders) as f64;
-                let mut prov = vec![0.0f64; threads.len()];
-                let mut used = 0.0f64;
-                let mut local_need = 0.0f64;
-                for (i, th) in threads.iter().enumerate() {
-                    if th.home.0 == target && demand_to[i][target] > 0.0 {
-                        let g = demand_to[i][target].min(baseline);
-                        prov[i] = g;
-                        used += g;
-                        local_need += demand_to[i][target] - g;
-                    }
-                }
-                let rest = (remaining - used).max(0.0);
-                let ratio = if local_need > 1e-15 {
-                    (rest / local_need).min(1.0)
-                } else {
-                    0.0
-                };
-
-                // Saturation: queueing efficiency of this controller under
-                // load. It only penalizes *streaming* threads (demand above
-                // half the baseline share) — a compute-bound thread issuing
-                // few requests rides out the queues, which is what the
-                // paper's compute benchmark did on the real machine.
-                let total_demand: f64 = demand_to.iter().map(|d| d[target]).sum();
-                let u = (total_demand / capacity).min(1.0);
-                let sat = if u > effects.saturation_knee && effects.saturation_loss > 0.0 {
-                    1.0 - effects.saturation_loss * (u - effects.saturation_knee)
-                        / (1.0 - effects.saturation_knee)
-                } else {
-                    1.0
-                };
-                let streamer_threshold = 0.5 * baseline;
-
-                let mut served_total = 0.0f64;
-                for (i, th) in threads.iter().enumerate() {
-                    let d = demand_to[i][target];
-                    if d <= 0.0 {
-                        continue;
-                    }
-                    let thread_sat = if d > streamer_threshold { sat } else { 1.0 };
-                    if th.home.0 == target {
-                        // Add the proportional remainder, then apply the
-                        // saturation efficiency to the final local grant.
-                        let need = d - prov[i];
-                        let final_local = (prov[i] + ratio * need) * thread_sat;
-                        granted[i] += final_local;
-                        served_total += final_local;
-                    } else {
-                        // Remote grant: share of this source's served BW.
-                        let src = th.home.0;
-                        let share = if remote_demand_from[src] > 1e-15 {
-                            served_from[src] * d / remote_demand_from[src]
-                        } else {
-                            0.0
-                        };
-                        let final_remote = share * thread_sat;
-                        granted[i] += final_remote;
-                        served_total += final_remote;
-                    }
-                }
-                node_gbs_acc[target] += served_total * dt;
-                node_window_acc[target] += served_total * dt;
+                node_gbs_acc[target] += scratch.node_served[target] * dt;
+                node_window_acc[target] += scratch.node_served[target] * dt;
             }
 
             // Bank the work.
             for (i, th) in threads.iter().enumerate() {
-                if cap[i] == 0.0 {
+                if scratch.cap[i] == 0.0 {
                     continue;
                 }
-                let gflops = (apps[th.app].spec.ai * granted[i]).min(cap[i]);
+                let gflops = (apps[th.app].spec.ai * scratch.granted[i]).min(scratch.cap[i]);
                 gflop_done[th.app] += gflops * dt;
                 sample_acc[th.app] += gflops * dt;
             }
@@ -638,12 +509,7 @@ impl Simulation {
             .map(|(n, &g)| g / machine.node(NodeId(n)).bandwidth_gbs)
             .collect();
         if let Some(tel) = &tel {
-            for (app, slot) in epoch_tasks.iter_mut().enumerate() {
-                if let Some((task, node)) = slot.take() {
-                    let trace = epoch_roots[app].unwrap_or(task);
-                    tel.trace_epoch_close(sim_time, task, trace, node);
-                }
-            }
+            tracer.finish(tel, sim_time);
             tel.record_run_summary(&node_avg_gbs, &node_utilization);
         }
 
@@ -694,7 +560,7 @@ impl Simulation {
 
 /// The node holding the most of `app`'s threads under `assignment` (ties
 /// break to the lowest node id), or `None` when the app has none.
-fn dominant_node(assignment: &ThreadAssignment, app: usize) -> Option<u64> {
+pub(crate) fn dominant_node(assignment: &ThreadAssignment, app: usize) -> Option<u64> {
     let row = &assignment.matrix()[app];
     let (node, &best) = row
         .iter()
@@ -703,7 +569,7 @@ fn dominant_node(assignment: &ThreadAssignment, app: usize) -> Option<u64> {
     (best > 0).then_some(node as u64)
 }
 
-fn expand_threads(assignment: &ThreadAssignment, num_nodes: usize) -> Vec<Thread> {
+pub(crate) fn expand_threads(assignment: &ThreadAssignment, num_nodes: usize) -> Vec<Thread> {
     let mut threads = Vec::new();
     for app in 0..assignment.num_apps() {
         for node in 0..num_nodes {
@@ -716,6 +582,375 @@ fn expand_threads(assignment: &ThreadAssignment, num_nodes: usize) -> Vec<Thread
         }
     }
     threads
+}
+
+/// Reusable arbitration buffers. One instance lives for a whole run (or a
+/// whole supervised session); [`compute_rates`] resizes and clears it every
+/// call, so nothing in the hot loop allocates once the high-water mark is
+/// reached.
+#[derive(Debug, Default)]
+pub(crate) struct RateScratch {
+    /// Per-app: active at the evaluation instant.
+    pub(crate) active: Vec<bool>,
+    /// Per-node: runnable-thread census.
+    runnable_per_node: Vec<usize>,
+    /// Per-app: active thread count (for sync overhead).
+    app_threads_total: Vec<usize>,
+    /// Per-thread: holds a core this quantum (discrete time-slicing).
+    on_core: Vec<bool>,
+    /// Per-thread: compute capacity, GFLOPS.
+    pub(crate) cap: Vec<f64>,
+    /// Per-thread × node, row-major: memory demand toward each node.
+    demand_to: Vec<f64>,
+    /// Per-thread: granted bandwidth, GB/s.
+    pub(crate) granted: Vec<f64>,
+    /// Per-node: total bandwidth served by that controller, GB/s.
+    pub(crate) node_served: Vec<f64>,
+    /// Per-node: the share of `node_served` delivered to remote threads
+    /// (inbound inter-node link traffic, used by the event engine's link
+    /// components).
+    pub(crate) node_remote_in: Vec<f64>,
+    // Per-target-node temporaries.
+    apps_here: Vec<bool>,
+    remote_demand_from: Vec<f64>,
+    served_from: Vec<f64>,
+    prov: Vec<f64>,
+    runnable_ids: Vec<usize>,
+}
+
+impl RateScratch {
+    fn reset(&mut self, num_apps: usize, num_threads: usize, num_nodes: usize) {
+        self.active.clear();
+        self.active.resize(num_apps, false);
+        self.runnable_per_node.clear();
+        self.runnable_per_node.resize(num_nodes, 0);
+        self.app_threads_total.clear();
+        self.app_threads_total.resize(num_apps, 0);
+        self.on_core.clear();
+        self.on_core.resize(num_threads, true);
+        self.cap.clear();
+        self.cap.resize(num_threads, 0.0);
+        self.demand_to.clear();
+        self.demand_to.resize(num_threads * num_nodes, 0.0);
+        self.granted.clear();
+        self.granted.resize(num_threads, 0.0);
+        self.node_served.clear();
+        self.node_served.resize(num_nodes, 0.0);
+        self.node_remote_in.clear();
+        self.node_remote_in.resize(num_nodes, 0.0);
+        self.apps_here.clear();
+        self.apps_here.resize(num_apps, false);
+        self.remote_demand_from.clear();
+        self.remote_demand_from.resize(num_nodes, 0.0);
+        self.served_from.clear();
+        self.served_from.resize(num_nodes, 0.0);
+        self.prov.clear();
+        self.prov.resize(num_threads, 0.0);
+    }
+}
+
+/// One bandwidth arbitration at instant `t`: determine the active set,
+/// per-thread compute capacity (peak × duty × switch loss × sync overhead ×
+/// jitter), per-thread demand, then the two-phase per-node arbitration
+/// (remote-first with link caps and coherence overhead, then local baseline
+/// + proportional remainder, with the saturation efficiency on streaming
+/// threads). Results land in `s.cap`, `s.granted` and `s.node_served`.
+///
+/// This is the one copy of the physics: the slice engine calls it once per
+/// quantum, the event engine once per inter-event segment. `discrete`
+/// selects round-robin time-slicing (the slice engine passes the effect
+/// model's flag; the event engine always passes `false` and models
+/// over-subscription as continuous fair shares, which the discrete mode
+/// matches in long-run throughput).
+#[allow(clippy::too_many_arguments)] // one bundle of parallel state, called from two engines
+pub(crate) fn compute_rates(
+    machine: &Machine,
+    effects: &crate::EffectModel,
+    peak: f64,
+    apps: &[SimApp],
+    threads: &[Thread],
+    t: f64,
+    discrete: bool,
+    rng: &mut StdRng,
+    rr_offset: &mut [usize],
+    tel: Option<&SimTelemetry>,
+    s: &mut RateScratch,
+) {
+    let num_nodes = machine.num_nodes();
+    s.reset(apps.len(), threads.len(), num_nodes);
+
+    // Which apps are active at this instant?
+    for (a, app) in apps.iter().enumerate() {
+        s.active[a] = app.activity.is_active(t);
+    }
+
+    // Per-node runnable census (for duty cycles and interference).
+    for th in threads {
+        if s.active[th.app] {
+            s.runnable_per_node[th.home.0] += 1;
+            s.app_threads_total[th.app] += 1;
+        }
+    }
+
+    // Discrete time-slicing: pick which runnable threads hold a core this
+    // quantum (a rotating window per node).
+    if discrete {
+        #[allow(clippy::needless_range_loop)] // indexes three parallel structures
+        for node in 0..num_nodes {
+            let cores = machine.node(NodeId(node)).num_cores();
+            s.runnable_ids.clear();
+            s.runnable_ids.extend(
+                threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, th)| th.home.0 == node && s.active[th.app])
+                    .map(|(i, _)| i),
+            );
+            let runnable = &s.runnable_ids;
+            if runnable.len() > cores {
+                for (pos, &i) in runnable.iter().enumerate() {
+                    let slot =
+                        (pos + runnable.len() - rr_offset[node] % runnable.len()) % runnable.len();
+                    s.on_core[i] = slot < cores;
+                }
+                rr_offset[node] = (rr_offset[node] + cores) % runnable.len();
+                // One rotated quantum = one OS-scheduler context switch on
+                // this node's cores.
+                if let Some(tel) = tel {
+                    tel.rotations[node].inc();
+                }
+            }
+        }
+    }
+
+    // Per-thread compute capacity (GFLOPS).
+    for (i, th) in threads.iter().enumerate() {
+        if !s.active[th.app] {
+            continue;
+        }
+        let cores = machine.node(th.home).num_cores() as f64;
+        let runnable = s.runnable_per_node[th.home.0] as f64;
+        let duty = if discrete {
+            if s.on_core[i] {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            (cores / runnable).min(1.0)
+        };
+        let switch = if runnable > cores {
+            1.0 - effects.oversub_switch_loss
+        } else {
+            1.0
+        };
+        let alpha = apps[th.app].sync_overhead;
+        let sync = 1.0 / (1.0 + alpha * (s.app_threads_total[th.app] as f64 - 1.0));
+        let jitter = if effects.jitter > 0.0 {
+            1.0 + effects.jitter * (rng.gen::<f64>() * 2.0 - 1.0)
+        } else {
+            1.0
+        };
+        s.cap[i] = peak * duty * switch * sync * jitter;
+    }
+
+    // Per-thread demand toward each node.
+    for (i, th) in threads.iter().enumerate() {
+        if s.cap[i] == 0.0 {
+            continue;
+        }
+        let total = s.cap[i] / apps[th.app].spec.ai;
+        for node in 0..num_nodes {
+            s.demand_to[i * num_nodes + node] = total
+                * apps[th.app]
+                    .spec
+                    .placement
+                    .fraction(th.home, NodeId(node), num_nodes);
+        }
+    }
+
+    // Arbitrate each node.
+    for target in 0..num_nodes {
+        let node = machine.node(NodeId(target));
+
+        // Interference: distinct apps with demand toward this node.
+        s.apps_here.fill(false);
+        for (i, th) in threads.iter().enumerate() {
+            if s.demand_to[i * num_nodes + target] > 0.0 {
+                s.apps_here[th.app] = true;
+            }
+        }
+        let distinct = s.apps_here.iter().filter(|&&b| b).count();
+        let interference = if distinct > 1 {
+            (1.0 - effects.multi_app_interference * (distinct - 1) as f64).max(0.0)
+        } else {
+            1.0
+        };
+        let capacity = node.bandwidth_gbs * interference;
+
+        // Remote-first stage.
+        s.remote_demand_from.fill(0.0);
+        for (i, th) in threads.iter().enumerate() {
+            if th.home.0 != target {
+                s.remote_demand_from[th.home.0] += s.demand_to[i * num_nodes + target];
+            }
+        }
+        for src in 0..num_nodes {
+            s.served_from[src] = if src == target {
+                0.0
+            } else {
+                let link =
+                    machine.links().link(NodeId(src), NodeId(target)) * effects.remote_efficiency;
+                s.remote_demand_from[src].min(link)
+            };
+        }
+        // Serving remote traffic costs extra capacity (coherence
+        // overhead): r GB/s delivered consumes r * (1 + o).
+        let remote_cost = 1.0 + effects.remote_service_overhead;
+        let total_remote: f64 = s.served_from.iter().sum();
+        if total_remote * remote_cost > capacity {
+            let scale = capacity / (total_remote * remote_cost);
+            for sf in s.served_from.iter_mut() {
+                *sf *= scale;
+            }
+        }
+
+        // Local stage: baseline + proportional remainder. Local grants are
+        // tracked per-target in `prov` so threads whose traffic spreads
+        // over several nodes accumulate correctly.
+        let remaining = (capacity - s.served_from.iter().sum::<f64>() * remote_cost).max(0.0);
+        // The per-thread guaranteed share. The model's rule is per-core;
+        // under over-subscription (more demanding local threads than
+        // cores) the share divides among the threads, keeping the baseline
+        // stage within capacity.
+        let local_demanders = threads
+            .iter()
+            .enumerate()
+            .filter(|(i, th)| th.home.0 == target && s.demand_to[*i * num_nodes + target] > 0.0)
+            .count();
+        let baseline = remaining / node.num_cores().max(local_demanders) as f64;
+        s.prov.fill(0.0);
+        let mut used = 0.0f64;
+        let mut local_need = 0.0f64;
+        for (i, th) in threads.iter().enumerate() {
+            if th.home.0 == target && s.demand_to[i * num_nodes + target] > 0.0 {
+                let g = s.demand_to[i * num_nodes + target].min(baseline);
+                s.prov[i] = g;
+                used += g;
+                local_need += s.demand_to[i * num_nodes + target] - g;
+            }
+        }
+        let rest = (remaining - used).max(0.0);
+        let ratio = if local_need > 1e-15 {
+            (rest / local_need).min(1.0)
+        } else {
+            0.0
+        };
+
+        // Saturation: queueing efficiency of this controller under load.
+        // It only penalizes *streaming* threads (demand above half the
+        // baseline share) — a compute-bound thread issuing few requests
+        // rides out the queues, which is what the paper's compute
+        // benchmark did on the real machine.
+        let total_demand: f64 = (0..threads.len())
+            .map(|i| s.demand_to[i * num_nodes + target])
+            .sum();
+        let u = (total_demand / capacity).min(1.0);
+        let sat = if u > effects.saturation_knee && effects.saturation_loss > 0.0 {
+            1.0 - effects.saturation_loss * (u - effects.saturation_knee)
+                / (1.0 - effects.saturation_knee)
+        } else {
+            1.0
+        };
+        let streamer_threshold = 0.5 * baseline;
+
+        let mut served_total = 0.0f64;
+        for (i, th) in threads.iter().enumerate() {
+            let d = s.demand_to[i * num_nodes + target];
+            if d <= 0.0 {
+                continue;
+            }
+            let thread_sat = if d > streamer_threshold { sat } else { 1.0 };
+            if th.home.0 == target {
+                // Add the proportional remainder, then apply the
+                // saturation efficiency to the final local grant.
+                let need = d - s.prov[i];
+                let final_local = (s.prov[i] + ratio * need) * thread_sat;
+                s.granted[i] += final_local;
+                served_total += final_local;
+            } else {
+                // Remote grant: share of this source's served BW.
+                let src = th.home.0;
+                let share = if s.remote_demand_from[src] > 1e-15 {
+                    s.served_from[src] * d / s.remote_demand_from[src]
+                } else {
+                    0.0
+                };
+                let final_remote = share * thread_sat;
+                s.granted[i] += final_remote;
+                served_total += final_remote;
+                s.node_remote_in[target] += final_remote;
+            }
+        }
+        s.node_served[target] = served_total;
+    }
+}
+
+/// Synthetic causal-span bookkeeping shared by both engines: per app, the
+/// open epoch's (task id, dominant node) and the causal-tree root (first
+/// epoch's id). Each assignment epoch becomes a traced task in the shared
+/// hop schema, spawned by the app's previous epoch.
+pub(crate) struct EpochTracer {
+    tasks: Vec<Option<(u64, Option<u64>)>>,
+    roots: Vec<Option<u64>>,
+}
+
+impl EpochTracer {
+    pub(crate) fn new(num_apps: usize) -> Self {
+        EpochTracer {
+            tasks: vec![None; num_apps],
+            roots: vec![None; num_apps],
+        }
+    }
+
+    /// Closes every app's previous epoch and opens the next one at `t`.
+    pub(crate) fn on_assignment(
+        &mut self,
+        tel: &SimTelemetry,
+        t: f64,
+        sched_idx: usize,
+        assignment: &ThreadAssignment,
+        apps: &[SimApp],
+    ) {
+        for app in 0..apps.len() {
+            let task = NEXT_TRACE_TASK.fetch_add(1, Ordering::Relaxed);
+            let trace = *self.roots[app].get_or_insert(task);
+            let prev = self.tasks[app].take();
+            if let Some((ptask, pnode)) = prev {
+                tel.trace_epoch_close(t, ptask, trace, pnode);
+            }
+            let node = dominant_node(assignment, app);
+            tel.trace_epoch_open(
+                t,
+                task,
+                trace,
+                prev.map(|(p, _)| p),
+                &format!("{}#epoch{}", apps[app].name(), sched_idx),
+                node,
+            );
+            self.tasks[app] = Some((task, node));
+        }
+    }
+
+    /// Closes any epochs still open at the end of the run.
+    pub(crate) fn finish(&mut self, tel: &SimTelemetry, t: f64) {
+        for (app, slot) in self.tasks.iter_mut().enumerate() {
+            if let Some((task, node)) = slot.take() {
+                let trace = self.roots[app].unwrap_or(task);
+                tel.trace_epoch_close(t, task, trace, node);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1096,6 +1331,42 @@ mod tests {
             hub.registry().counter_total("memsim_sched_switches_total") > 0,
             "round-robin rotations must be counted"
         );
+    }
+
+    /// Satellite regression (simulated-vs-wall time): with an explicit
+    /// anchor, every event either engine emits carries simulated time
+    /// relative to that anchor — not the hub's wall clock.
+    #[test]
+    fn explicit_time_base_anchors_all_events() {
+        use std::sync::Arc;
+
+        let machine = tiny();
+        let apps = vec![SimApp::numa_local("a", 1.0), SimApp::numa_local("b", 1.0)];
+        let all_a = ThreadAssignment::from_matrix(vec![vec![2, 2], vec![0, 0]]);
+        let all_b = ThreadAssignment::from_matrix(vec![vec![0, 0], vec![2, 2]]);
+        for engine in [crate::EngineKind::Slice, crate::EngineKind::Event] {
+            let hub = Arc::new(coop_telemetry::TelemetryHub::new());
+            let sim = Simulation::new(
+                SimConfig::new(machine.clone())
+                    .with_effects(EffectModel::ideal())
+                    .with_engine(engine),
+            )
+            .with_telemetry(Arc::clone(&hub))
+            .with_tracing()
+            .with_time_base(123_000);
+            sim.run_dynamic(&apps, &[(0.0, all_a.clone()), (0.05, all_b.clone())], 0.1)
+                .unwrap();
+            let events = hub.events();
+            assert!(!events.is_empty(), "{engine}: no events emitted");
+            for e in &events {
+                assert!(
+                    (123_000..=223_000).contains(&e.ts_us),
+                    "{engine}: event {:?} at {} outside the anchored 100ms window",
+                    e.name,
+                    e.ts_us
+                );
+            }
+        }
     }
 
     #[test]

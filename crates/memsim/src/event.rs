@@ -1,0 +1,563 @@
+//! The discrete-event execution engine.
+//!
+//! Where the slice engine re-arbitrates every node every quantum, this
+//! engine only recomputes state when something *happens*: the simulated
+//! fleet is decomposed into [`Component`]s — applications (activity
+//! edges), the supervising agent (assignment edges), per-node memory
+//! controllers and inter-node links (passive integrators) — and a global
+//! min-heap orders their wake-ups. Between consecutive events every rate
+//! in the system is constant, so bandwidth contention is arbitrated once
+//! per segment (with the exact same two-phase physics as the slice
+//! engine, see [`crate::engine::compute_rates`]) and work is integrated
+//! analytically as `rate × Δt`. Cost scales with the number of events,
+//! not with `duration / quantum` — which is what makes 5k-runtime ×
+//! 256-node fleet scenarios tractable (see `docs/performance.md`).
+//!
+//! # Determinism
+//!
+//! The heap is keyed by `(time, tie, component)` where `tie` is a
+//! seeded hash of the component id ([`TieBreak::Seeded`]) or the id
+//! itself ([`TieBreak::ById`]). Same seed ⇒ same pop order ⇒ the same
+//! byte-identical [`EventLog`]. Event times are integer nanoseconds so
+//! ordering never depends on float rounding.
+
+use crate::engine::{
+    compute_rates, expand_threads, EpochTracer, RateScratch, SimTelemetry, Thread,
+};
+use crate::result::AppSeries;
+use crate::{SimApp, SimResult, Simulation};
+use numa_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roofline_numa::ThreadAssignment;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time in integer nanoseconds.
+pub type Tick = u64;
+
+/// Converts simulated seconds to an integer-nanosecond [`Tick`].
+pub fn s_to_tick(t_s: f64) -> Tick {
+    (t_s * 1e9).round() as Tick
+}
+
+/// Converts a [`Tick`] back to simulated seconds.
+pub fn tick_to_s(t: Tick) -> f64 {
+    t as f64 / 1e9
+}
+
+/// Something that evolves over simulated time.
+///
+/// A component declares when it next has intrinsic activity
+/// ([`next_tick`](Component::next_tick)) and mutates its internal state
+/// when the engine reaches that instant ([`advance`](Component::advance)).
+/// Passive components (memory controllers, links) return `None` — they
+/// never wake the engine, they are advanced across each segment by the
+/// driver that owns them.
+pub trait Component {
+    /// The next simulated instant at which this component changes state,
+    /// or `None` if it never does (again).
+    fn next_tick(&self) -> Option<Tick>;
+    /// Advances internal state to `now` (guaranteed `now >=` the tick the
+    /// component last advanced to).
+    fn advance(&mut self, now: Tick);
+}
+
+/// How equal-time heap entries are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Lowest component id pops first (matches greedy list-scheduling
+    /// tie-breaks, used by the distsim bridge).
+    ById,
+    /// Seeded hash of the component id: deterministic per seed, but
+    /// different seeds interleave equal-time components differently.
+    Seeded(u64),
+}
+
+/// SplitMix64: cheap, well-distributed 64-bit mixer for tie-break keys.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The deterministic global event heap: a min-heap keyed by
+/// `(time, tie, component_id)`.
+#[derive(Debug)]
+pub struct EventHeap {
+    heap: BinaryHeap<Reverse<(Tick, u64, u32)>>,
+    tie: TieBreak,
+}
+
+impl EventHeap {
+    /// An empty heap with the given tie-break rule.
+    pub fn new(tie: TieBreak) -> Self {
+        EventHeap {
+            heap: BinaryHeap::new(),
+            tie,
+        }
+    }
+
+    fn tie_key(&self, component: u32) -> u64 {
+        match self.tie {
+            TieBreak::ById => component as u64,
+            TieBreak::Seeded(seed) => splitmix64(seed ^ component as u64),
+        }
+    }
+
+    /// Schedules `component` to wake at `tick`.
+    pub fn schedule(&mut self, tick: Tick, component: u32) {
+        let tie = self.tie_key(component);
+        self.heap.push(Reverse((tick, tie, component)));
+    }
+
+    /// Schedules a component's declared next tick, if it has one.
+    pub fn schedule_component(&mut self, id: u32, component: &impl Component) {
+        if let Some(t) = component.next_tick() {
+            self.schedule(t, id);
+        }
+    }
+
+    /// The earliest pending tick.
+    pub fn peek_tick(&self) -> Option<Tick> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Pops the earliest `(tick, component)` pair.
+    pub fn pop(&mut self) -> Option<(Tick, u32)> {
+        self.heap.pop().map(|Reverse((t, _, c))| (t, c))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// One processed event: when, which component, and what kind of edge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimEvent {
+    /// Simulated time, nanoseconds.
+    pub t_ns: Tick,
+    /// Component id (0 = the supervising agent, `1..=num_apps` = apps).
+    pub component: u32,
+    /// Edge kind: `"assignment"` or `"activity"`.
+    pub kind: String,
+}
+
+/// The ordered log of every event the engine processed. Serializes
+/// canonically, so same-seed runs are byte-identical
+/// ([`EventLog::to_bytes`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct EventLog {
+    /// The simulation seed (also seeds heap tie-breaking).
+    pub seed: u64,
+    /// Processed events in pop order.
+    pub events: Vec<SimEvent>,
+    /// Number of constant-rate segments integrated (arbitrations
+    /// performed). The slice engine would have performed
+    /// `duration / quantum` of these.
+    pub segments: u64,
+}
+
+impl EventLog {
+    /// Number of processed events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events were processed.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of processed events of `kind`.
+    pub fn count_of(&self, kind: &str) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Canonical byte serialization (JSON) for determinism checks.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("event log serializes")
+    }
+}
+
+/// Component id of the supervising agent (assignment edges).
+const AGENT_ID: u32 = 0;
+/// First application component id.
+const APP_ID0: u32 = 1;
+
+/// An application: wakes at its activity-pattern edges.
+struct AppComponent {
+    activity: crate::ActivityPattern,
+    next: Option<Tick>,
+    end: Tick,
+}
+
+impl AppComponent {
+    fn new(app: &SimApp, end: Tick) -> Self {
+        // `max(1)` guards against an edge so early it rounds onto tick 0,
+        // which would stall the heap before time ever advances.
+        let next = app
+            .activity
+            .next_edge(0.0)
+            .map(|e| s_to_tick(e).max(1))
+            .filter(|&t| t < end);
+        AppComponent {
+            activity: app.activity.clone(),
+            next,
+            end,
+        }
+    }
+}
+
+impl Component for AppComponent {
+    fn next_tick(&self) -> Option<Tick> {
+        self.next
+    }
+
+    fn advance(&mut self, now: Tick) {
+        // Fire the pending edge and look up the next one. `max(now + 1)`
+        // guards against an edge that rounds back onto `now`, which would
+        // stall the heap.
+        self.next = self
+            .activity
+            .next_edge(tick_to_s(now))
+            .map(|e| s_to_tick(e).max(now + 1))
+            .filter(|&t| t < self.end);
+    }
+}
+
+/// The supervising agent: wakes at every dynamic-schedule entry and moves
+/// the applied-assignment index forward (the same semantics as the slice
+/// engine's per-quantum schedule scan).
+struct AgentComponent {
+    times: Vec<Tick>,
+    idx: usize,
+    fired: usize,
+}
+
+impl AgentComponent {
+    fn new(schedule: &[(f64, ThreadAssignment)]) -> Self {
+        AgentComponent {
+            times: schedule.iter().map(|(t, _)| s_to_tick(*t)).collect(),
+            idx: 0,
+            fired: 0,
+        }
+    }
+}
+
+impl Component for AgentComponent {
+    fn next_tick(&self) -> Option<Tick> {
+        self.times.get(self.fired + 1).copied()
+    }
+
+    fn advance(&mut self, now: Tick) {
+        while self.idx + 1 < self.times.len() && self.times[self.idx + 1] <= now {
+            self.idx += 1;
+        }
+        self.fired = self.fired.max(self.idx);
+    }
+}
+
+/// A per-node memory controller: passively integrates delivered bandwidth
+/// across each segment.
+struct ControllerComponent {
+    now: Tick,
+    delivered_gb: f64,
+}
+
+impl ControllerComponent {
+    fn integrate(&mut self, gbs: f64, dt_s: f64) {
+        self.delivered_gb += gbs * dt_s;
+    }
+}
+
+impl Component for ControllerComponent {
+    fn next_tick(&self) -> Option<Tick> {
+        None
+    }
+
+    fn advance(&mut self, now: Tick) {
+        debug_assert!(now >= self.now, "controllers only advance forward");
+        self.now = now;
+    }
+}
+
+/// A node's inbound inter-node links, aggregated: passively integrates the
+/// remote share of the traffic its controller served.
+struct LinkComponent {
+    now: Tick,
+    remote_gb: f64,
+}
+
+impl Component for LinkComponent {
+    fn next_tick(&self) -> Option<Tick> {
+        None
+    }
+
+    fn advance(&mut self, now: Tick) {
+        debug_assert!(now >= self.now, "links only advance forward");
+        self.now = now;
+    }
+}
+
+/// Discrete-event `run_dynamic`: same inputs and result shape as the
+/// slice engine, plus the processed [`EventLog`].
+pub(crate) fn run_dynamic_event(
+    sim: &Simulation,
+    apps: &[SimApp],
+    schedule: &[(f64, ThreadAssignment)],
+    duration_s: f64,
+    scratch: &mut RateScratch,
+) -> crate::Result<(SimResult, EventLog)> {
+    sim.validate_run(apps, schedule, duration_s)?;
+    let machine = &sim.config.machine;
+    let effects = &sim.config.effects;
+    let num_nodes = machine.num_nodes();
+    let peak = machine.core_peak_gflops();
+    let end = s_to_tick(duration_s).max(1);
+    let mut rng = StdRng::seed_from_u64(sim.config.seed);
+
+    let tel = sim
+        .telemetry
+        .as_ref()
+        .map(|hub| SimTelemetry::new(hub, machine, sim.time_base_us));
+
+    // Components: agent (id 0), apps (ids 1..=n), then the passive
+    // per-node controllers and links.
+    let mut agent = AgentComponent::new(schedule);
+    let mut app_comps: Vec<AppComponent> =
+        apps.iter().map(|a| AppComponent::new(a, end)).collect();
+    let mut controllers: Vec<ControllerComponent> = (0..num_nodes)
+        .map(|_| ControllerComponent {
+            now: 0,
+            delivered_gb: 0.0,
+        })
+        .collect();
+    let mut links: Vec<LinkComponent> = (0..num_nodes)
+        .map(|_| LinkComponent {
+            now: 0,
+            remote_gb: 0.0,
+        })
+        .collect();
+
+    let mut log = EventLog {
+        seed: sim.config.seed,
+        events: Vec::new(),
+        segments: 0,
+    };
+
+    // Apply the initial assignment (entries at or before t = 0) *before*
+    // seeding the heap, so schedule entries that all land at t = 0 do not
+    // leave a stale zero-tick wake-up behind.
+    agent.advance(0);
+    let mut applied_idx = agent.idx;
+
+    let mut heap = EventHeap::new(TieBreak::Seeded(sim.config.seed));
+    heap.schedule_component(AGENT_ID, &agent);
+    for (a, comp) in app_comps.iter().enumerate() {
+        heap.schedule_component(APP_ID0 + a as u32, comp);
+    }
+    let mut threads: Vec<Thread> = expand_threads(&schedule[applied_idx].1, num_nodes);
+    let mut tracer = EpochTracer::new(apps.len());
+    if sim.tracing {
+        if let Some(tel) = &tel {
+            tracer.on_assignment(tel, 0.0, applied_idx, &schedule[applied_idx].1, apps);
+        }
+    }
+
+    let mut rr_offset = vec![0usize; num_nodes];
+    let mut gflop_done = vec![0.0f64; apps.len()];
+    let mut app_rate = vec![0.0f64; apps.len()];
+    let mut series: Vec<AppSeries> = apps
+        .iter()
+        .map(|a| AppSeries {
+            name: a.name().to_string(),
+            gflop_done: 0.0,
+            times_s: Vec::new(),
+            gflops_series: Vec::new(),
+        })
+        .collect();
+
+    let mut now: Tick = 0;
+    // The event engine models over-subscription as continuous fair shares
+    // (discrete round-robin rotation is a per-quantum notion); long-run
+    // throughput matches the slice engine's discrete mode within rounding.
+    let discrete = false;
+
+    while now < end {
+        // The event horizon: the next pending event, or the end of the run.
+        let horizon = heap.peek_tick().map_or(end, |t| t.min(end));
+        debug_assert!(horizon > now, "event heap must advance time");
+        let dt_s = tick_to_s(horizon - now);
+        let mid_s = tick_to_s(now) + dt_s / 2.0;
+
+        // Arbitrate once for the segment `[now, horizon)`. Every activity
+        // edge is a heap event, so the active set is constant strictly
+        // inside the segment and any interior instant is representative.
+        // The midpoint is used rather than the segment start because
+        // `tick_to_s(s_to_tick(e))` can land one float ulp before the edge
+        // `e` itself, and evaluating `is_active` there would misclassify
+        // the whole segment.
+        compute_rates(
+            machine,
+            effects,
+            peak,
+            apps,
+            &threads,
+            mid_s,
+            discrete,
+            &mut rng,
+            &mut rr_offset,
+            tel.as_ref(),
+            scratch,
+        );
+
+        // Integrate the constant-rate segment analytically.
+        app_rate.fill(0.0);
+        for (i, th) in threads.iter().enumerate() {
+            if scratch.cap[i] == 0.0 {
+                continue;
+            }
+            let gflops = (apps[th.app].spec.ai * scratch.granted[i]).min(scratch.cap[i]);
+            gflop_done[th.app] += gflops * dt_s;
+            app_rate[th.app] += gflops;
+        }
+        for (a, s) in series.iter_mut().enumerate() {
+            s.times_s.push(mid_s);
+            s.gflops_series.push(app_rate[a]);
+        }
+        for node in 0..num_nodes {
+            controllers[node].integrate(scratch.node_served[node], dt_s);
+            controllers[node].advance(horizon);
+            links[node].remote_gb += scratch.node_remote_in[node] * dt_s;
+            links[node].advance(horizon);
+            if let Some(tel) = &tel {
+                let util = scratch.node_served[node] / machine.node(NodeId(node)).bandwidth_gbs;
+                tel.record_bandwidth_sample(node, mid_s, scratch.node_served[node], util);
+            }
+        }
+        log.segments += 1;
+        now = horizon;
+        if now >= end {
+            break;
+        }
+
+        // Drain and apply every event at `now` before re-arbitrating.
+        while heap.peek_tick() == Some(now) {
+            let (_, id) = heap.pop().expect("peeked");
+            if id == AGENT_ID {
+                agent.advance(now);
+                heap.schedule_component(AGENT_ID, &agent);
+                log.events.push(SimEvent {
+                    t_ns: now,
+                    component: id,
+                    kind: "assignment".to_string(),
+                });
+            } else {
+                let a = (id - APP_ID0) as usize;
+                app_comps[a].advance(now);
+                heap.schedule_component(id, &app_comps[a]);
+                log.events.push(SimEvent {
+                    t_ns: now,
+                    component: id,
+                    kind: "activity".to_string(),
+                });
+            }
+        }
+        if agent.idx != applied_idx {
+            threads = expand_threads(&schedule[agent.idx].1, num_nodes);
+            if let Some(tel) = &tel {
+                tel.record_assignment_switch(tick_to_s(now), agent.idx);
+            }
+            if sim.tracing {
+                if let Some(tel) = &tel {
+                    tracer.on_assignment(tel, tick_to_s(now), agent.idx, &schedule[agent.idx].1, apps);
+                }
+            }
+            applied_idx = agent.idx;
+        }
+    }
+
+    let sim_time = tick_to_s(end);
+    for (a, s) in series.iter_mut().enumerate() {
+        s.gflop_done = gflop_done[a];
+    }
+    let node_avg_gbs: Vec<f64> = controllers
+        .iter()
+        .map(|c| c.delivered_gb / sim_time)
+        .collect();
+    let node_utilization: Vec<f64> = node_avg_gbs
+        .iter()
+        .enumerate()
+        .map(|(n, &g)| g / machine.node(NodeId(n)).bandwidth_gbs)
+        .collect();
+    if let Some(tel) = &tel {
+        tracer.finish(tel, sim_time);
+        tel.record_run_summary(&node_avg_gbs, &node_utilization);
+    }
+
+    // `_remote` is currently only observable through the link components'
+    // integrals; keep the name bound for future per-link telemetry.
+    let _remote: f64 = links.iter().map(|l| l.remote_gb).sum();
+
+    Ok((
+        SimResult {
+            machine: machine.name().to_string(),
+            duration_s: sim_time,
+            apps: series,
+            node_avg_gbs,
+            node_utilization,
+        },
+        log,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_orders_by_time_then_tie() {
+        let mut h = EventHeap::new(TieBreak::ById);
+        h.schedule(30, 2);
+        h.schedule(10, 7);
+        h.schedule(30, 1);
+        h.schedule(20, 5);
+        let order: Vec<(Tick, u32)> = std::iter::from_fn(|| h.pop()).collect();
+        assert_eq!(order, vec![(10, 7), (20, 5), (30, 1), (30, 2)]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn seeded_tie_break_is_deterministic_per_seed() {
+        let pops = |seed: u64| {
+            let mut h = EventHeap::new(TieBreak::Seeded(seed));
+            for id in 0..16u32 {
+                h.schedule(5, id);
+            }
+            let mut order = Vec::new();
+            while let Some((_, id)) = h.pop() {
+                order.push(id);
+            }
+            order
+        };
+        assert_eq!(pops(1), pops(1), "same seed, same order");
+        assert_ne!(pops(1), pops(2), "different seeds interleave ties differently");
+    }
+
+    #[test]
+    fn tick_conversion_round_trips() {
+        for t in [0.0, 1e-3, 0.05, 1.0, 3600.0] {
+            assert!((tick_to_s(s_to_tick(t)) - t).abs() < 1e-9);
+        }
+    }
+}

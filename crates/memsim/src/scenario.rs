@@ -7,7 +7,7 @@
 //! re-run identically anywhere. [`run_scenario`] executes every assignment
 //! and, for comparison, also scores each with the analytic model.
 
-use crate::{EffectModel, Result, SimApp, SimConfig, SimError, Simulation};
+use crate::{EffectModel, EngineKind, Result, SimApp, SimConfig, SimError, Simulation};
 use numa_topology::Machine;
 use roofline_numa::{solve, AppSpec, ThreadAssignment};
 use serde::{Deserialize, Serialize};
@@ -108,7 +108,7 @@ impl Scenario {
 /// that over-subscribe get `model_gflops = NaN`-free `0.0` with the
 /// simulated value still reported.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult> {
-    run_scenario_inner(scenario, None)
+    run_scenario_on(scenario, None, EngineKind::Slice)
 }
 
 /// Like [`run_scenario`], but attaches `hub` to the simulator so every
@@ -118,18 +118,22 @@ pub fn run_scenario_with_telemetry(
     scenario: &Scenario,
     hub: std::sync::Arc<coop_telemetry::TelemetryHub>,
 ) -> Result<ScenarioResult> {
-    run_scenario_inner(scenario, Some(hub))
+    run_scenario_on(scenario, Some(hub), EngineKind::Slice)
 }
 
-fn run_scenario_inner(
+/// The fully general scenario runner: optional telemetry hub plus an
+/// explicit [`EngineKind`] (what `coop simulate --engine` calls).
+pub fn run_scenario_on(
     scenario: &Scenario,
     hub: Option<std::sync::Arc<coop_telemetry::TelemetryHub>>,
+    engine: EngineKind,
 ) -> Result<ScenarioResult> {
     scenario.validate()?;
     let mut sim = Simulation::new(
         SimConfig::new(scenario.machine.clone())
             .with_effects(scenario.effects.clone())
-            .with_seed(scenario.seed),
+            .with_seed(scenario.seed)
+            .with_engine(engine),
     );
     if let Some(hub) = hub {
         sim = sim.with_telemetry(hub);
@@ -269,6 +273,24 @@ mod tests {
             .registry()
             .to_prometheus()
             .contains("memsim_node_utilization"));
+    }
+
+    #[test]
+    fn event_engine_runs_the_template_scenario() {
+        let slice = run_scenario(&template()).unwrap();
+        let event = run_scenario_on(&template(), None, EngineKind::Event).unwrap();
+        assert_eq!(slice.rows.len(), event.rows.len());
+        for (s, e) in slice.rows.iter().zip(&event.rows) {
+            assert_eq!(s.name, e.name);
+            assert!(
+                (s.simulated_gflops - e.simulated_gflops).abs()
+                    <= 1e-9 * s.simulated_gflops.max(1.0),
+                "{}: slice {} vs event {}",
+                s.name,
+                s.simulated_gflops,
+                e.simulated_gflops
+            );
+        }
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! Table III model-vs-measurement comparison.
 
 use crate::chaos::{segment_assignment, ChaosPlan};
-use crate::{Result, Scenario, SimConfig, SimError, SimResult, Simulation};
+use crate::engine::RateScratch;
+use crate::{EngineKind, Result, Scenario, SimConfig, SimError, SimResult, Simulation};
 use coop_alloc::search::{HillClimb, ModelOracle};
 use coop_alloc::{Objective, ScoreCache};
 use coop_telemetry::{
@@ -107,6 +108,10 @@ pub struct SupervisorConfig {
     /// when the plan reclaims — and their tenant accounting epochs close
     /// (`outage`) and re-open (`revived`) on the edges.
     pub chaos: Option<ChaosPlan>,
+    /// Which simulator engine executes each decision tick (default
+    /// [`EngineKind::Slice`]). The event engine makes long fleet-scale
+    /// supervised runs tractable; see `docs/performance.md`.
+    pub engine: EngineKind,
 }
 
 impl Default for SupervisorConfig {
@@ -119,6 +124,7 @@ impl Default for SupervisorConfig {
             reoptimize: false,
             tracing: false,
             chaos: None,
+            engine: EngineKind::Slice,
         }
     }
 }
@@ -326,7 +332,10 @@ pub fn run_supervised(
 
     // Map simulated seconds onto the hub clock exactly like the engine's
     // own telemetry does, so provenance/alarm events interleave with the
-    // simulator's bandwidth samples.
+    // simulator's bandwidth samples. The same anchor is handed to every
+    // tick's simulation (`with_time_base`), so the whole supervised run
+    // lives on one simulated clock — each per-tick simulation would
+    // otherwise re-anchor to the wall time at which it happened to start.
     let base_us = hub.now_us();
     let ts = |t_s: f64| base_us + (t_s * 1e6) as u64;
 
@@ -344,6 +353,12 @@ pub fn run_supervised(
     // later tick the offender is contained.
     let runaway_onsets = config.runaway_onsets(num_apps)?;
     let mut runaway_detected = vec![false; num_apps];
+    // Hot-loop buffers hoisted out of the per-tick path: one set of
+    // arbitration scratch vectors and one tenant-sample buffer serve every
+    // tick, so steady-state ticks allocate nothing in the simulate/book
+    // stages once the high-water mark is reached.
+    let mut scratch = RateScratch::default();
+    let mut samples: Vec<TenantSample> = Vec::with_capacity(num_apps);
     let watchdog_track = runaway_onsets
         .iter()
         .any(Option::is_some)
@@ -453,13 +468,18 @@ pub fn run_supervised(
         let mut sim = Simulation::new(
             SimConfig::new(machine)
                 .with_effects(scenario.effects.clone())
-                .with_seed(scenario.seed.wrapping_add(tick)),
+                .with_seed(scenario.seed.wrapping_add(tick))
+                .with_engine(config.engine),
         )
-        .with_telemetry(Arc::clone(&hub));
+        .with_telemetry(Arc::clone(&hub))
+        .with_time_base(ts(start_s));
         if config.tracing {
             sim = sim.with_tracing();
         }
-        let result = sim.run(&scenario.apps, &effective, period)?;
+        let schedule = [(0.0, effective)];
+        let result =
+            sim.run_dynamic_with_scratch(&scenario.apps, &schedule, period, &mut scratch)?;
+        let effective = &schedule[0].1;
 
         // Watchdog detection: a wedge whose onset falls inside this tick
         // breaches its deadline by the tick's end — raise the `runaway`
@@ -505,12 +525,13 @@ pub fn run_supervised(
             &hub,
             scenario,
             &mut books,
-            &effective,
+            effective,
             &live,
             &runaway_detected,
             &result,
             period,
             ts(start_s + period),
+            &mut samples,
         );
         prev_live = live;
 
@@ -573,6 +594,7 @@ fn book_tenant_tick(
     result: &SimResult,
     period_s: f64,
     now_us: u64,
+    samples: &mut Vec<TenantSample>,
 ) {
     let Some(ledger) = hub.tenant_ledger() else {
         if let Some(engine) = hub.slo_engine() {
@@ -583,7 +605,7 @@ fn book_tenant_tick(
     let registry = hub.registry();
     let num_nodes = scenario.machine.num_nodes();
     let total_cores = scenario.machine.total_cores();
-    let mut samples = Vec::with_capacity(scenario.apps.len());
+    samples.clear();
     for (i, app) in scenario.apps.iter().enumerate() {
         if !live[i] {
             continue;
@@ -657,7 +679,7 @@ fn book_tenant_tick(
             overbudget_cpu_us: book.overbudget_cpu_us,
         });
     }
-    ledger.tick(hub, now_us, &samples);
+    ledger.tick(hub, now_us, samples);
     if let Some(engine) = hub.slo_engine() {
         engine.evaluate(hub, now_us);
     }
@@ -711,6 +733,7 @@ mod tests {
             reoptimize: false,
             tracing: false,
             chaos: None,
+            engine: EngineKind::Slice,
         }
     }
 
@@ -722,6 +745,55 @@ mod tests {
         assert_eq!(result.total_alarms(), 0);
         assert!(result.ticks.iter().all(|t| !t.perturbed));
         // Every record is closed with real residuals.
+        for record in result.records() {
+            assert!(record.is_closed());
+            assert!(!record.residuals.is_empty());
+        }
+    }
+
+    /// Satellite regression (simulated-vs-wall time): every decision tick
+    /// builds a fresh `Simulation`, and before the explicit time-base
+    /// anchor each one re-anchored its telemetry to the wall clock — so a
+    /// 100ms supervised run's bandwidth samples all clustered within the
+    /// few wall-milliseconds the loop took. With the fix, tick k's sample
+    /// lands exactly `k * decision_period` after tick 0's.
+    #[test]
+    fn supervised_timeline_carries_simulated_time() {
+        let hub = Arc::new(TelemetryHub::new());
+        let result =
+            run_supervised(&base_scenario(), &quiet_config(), Arc::clone(&hub)).unwrap();
+        assert_eq!(result.ticks.len(), 10);
+        // 10ms ticks at a 1ms quantum emit one bandwidth sample per node
+        // per tick, at the tick's 5ms midpoint.
+        let mut sample_ts: Vec<u64> = hub
+            .events()
+            .iter()
+            .filter(|e| e.cat == "bandwidth")
+            .map(|e| e.ts_us)
+            .collect();
+        sample_ts.sort_unstable();
+        sample_ts.dedup();
+        assert_eq!(sample_ts.len(), 10, "one distinct midpoint per tick");
+        for w in sample_ts.windows(2) {
+            assert_eq!(
+                w[1] - w[0],
+                10_000,
+                "consecutive ticks' samples must sit exactly one decision period apart"
+            );
+        }
+    }
+
+    /// The supervisor routes through the event engine too: with ideal
+    /// effects and no perturbation it matches the model just like the
+    /// slice engine does (no drift alarms, identical tick accounting).
+    #[test]
+    fn supervised_event_engine_stays_quiet_and_books_ticks() {
+        let mut config = quiet_config();
+        config.engine = EngineKind::Event;
+        let hub = Arc::new(TelemetryHub::new());
+        let result = run_supervised(&base_scenario(), &config, hub).unwrap();
+        assert_eq!(result.ticks.len(), 10);
+        assert_eq!(result.total_alarms(), 0);
         for record in result.records() {
             assert!(record.is_closed());
             assert!(!record.residuals.is_empty());

@@ -1,0 +1,305 @@
+//! Cross-engine agreement: the time-sliced and discrete-event simulator
+//! cores are two integrators over the same physics, so on scenarios whose
+//! schedule and activity edges land on quantum boundaries (and with the
+//! ideal effect model, which has no per-quantum jitter) they must agree on
+//! throughput to float rounding — and the event engine must produce an
+//! exactly predictable, byte-reproducible event log.
+//!
+//! Edge times are written as `k as f64 * QUANTUM_S` so they compare
+//! bitwise-equal to the slice engine's `step as f64 * dt` quantum starts;
+//! the exact-count test additionally restricts `k` to powers of two so
+//! the event engine's float↔tick round-trip is exact and cannot schedule
+//! a spurious one-nanosecond repeat edge.
+
+use memsim::{
+    run_chaos_scenario_on, run_supervised, ActivityPattern, ChaosPlan, EffectModel, EngineKind,
+    NamedAssignment, Perturbation, Scenario, SimApp, SimConfig, Simulation, SupervisorConfig,
+    TelemetryHub,
+};
+use numa_topology::MachineBuilder;
+use proptest::prelude::*;
+use roofline_numa::ThreadAssignment;
+use std::sync::Arc;
+
+/// The default slice quantum; all edge times are multiples of this.
+const QUANTUM_S: f64 = 1e-3;
+
+fn machine(nodes: usize, cores: usize, bw: f64, link: f64) -> numa_topology::Machine {
+    MachineBuilder::new()
+        .symmetric_nodes(nodes, cores)
+        .core_peak_gflops(10.0)
+        .node_bandwidth_gbs(bw)
+        .uniform_link_gbs(link)
+        .build()
+        .unwrap()
+}
+
+/// Relative agreement at 1e-6, with an absolute floor for near-zero values.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Two apps (one always-on, one windowed), one mid-run assignment switch:
+/// the shared fixture for the exact-count and determinism tests. Window
+/// and switch edges sit at power-of-two quantum multiples.
+fn window_fixture() -> (numa_topology::Machine, Vec<SimApp>, Vec<(f64, ThreadAssignment)>) {
+    let m = machine(2, 4, 32.0, 8.0);
+    let apps = vec![
+        SimApp::numa_local("steady", 0.5),
+        SimApp::numa_local("windowed", 0.5).with_activity(ActivityPattern::Window {
+            start_s: 2.0 * QUANTUM_S,
+            end_s: 4.0 * QUANTUM_S,
+        }),
+    ];
+    let a = ThreadAssignment::uniform_per_node(&m, &[2, 1]);
+    let b = ThreadAssignment::uniform_per_node(&m, &[1, 2]);
+    let schedule = vec![(0.0, a), (8.0 * QUANTUM_S, b)];
+    (m, apps, schedule)
+}
+
+/// One switch strictly inside the run ⇒ exactly one "assignment" event;
+/// a window with both edges strictly inside ⇒ exactly two "activity"
+/// events; and the engines agree on every app's throughput.
+#[test]
+fn window_and_switch_produce_exact_event_log() {
+    let (m, apps, schedule) = window_fixture();
+    let duration = 16.0 * QUANTUM_S;
+    let sim = Simulation::new(SimConfig::new(m).with_effects(EffectModel::ideal()));
+
+    let slice = sim.run_dynamic(&apps, &schedule, duration).unwrap();
+    let (event, log) = sim.run_logged(&apps, &schedule, duration).unwrap();
+
+    assert_eq!(log.count_of("assignment"), 1, "one mid-run switch");
+    assert_eq!(log.count_of("activity"), 2, "window on + off edges");
+    assert_eq!(log.len(), 3, "no other events exist in this scenario");
+
+    assert!(
+        close(slice.total_gflops(), event.total_gflops()),
+        "total: slice {} vs event {}",
+        slice.total_gflops(),
+        event.total_gflops()
+    );
+    for i in 0..apps.len() {
+        assert!(
+            close(slice.app_gflops(i), event.app_gflops(i)),
+            "app {i}: slice {} vs event {}",
+            slice.app_gflops(i),
+            event.app_gflops(i)
+        );
+    }
+}
+
+/// Same seed ⇒ byte-identical event log; a different seed changes the
+/// serialized log (the seed is part of it, and reorders equal-time pops).
+#[test]
+fn same_seed_means_byte_identical_event_log() {
+    let (m, apps, schedule) = window_fixture();
+    let duration = 16.0 * QUANTUM_S;
+    let run = |seed: u64| {
+        let sim = Simulation::new(
+            SimConfig::new(m.clone())
+                .with_effects(EffectModel::ideal())
+                .with_seed(seed),
+        );
+        let (_, log) = sim.run_logged(&apps, &schedule, duration).unwrap();
+        log.to_bytes()
+    };
+    let first = run(42);
+    assert_eq!(first, run(42), "same seed must replay byte-identically");
+    assert_ne!(first, run(43), "the seed is part of the log identity");
+}
+
+/// A kill/revive chaos plan with reclaim produces identical outage
+/// segments and matching throughput on both engines.
+#[test]
+fn chaos_plan_agrees_across_engines() {
+    let scenario = Scenario {
+        name: "chaos-agreement".into(),
+        machine: machine(2, 4, 32.0, 8.0),
+        apps: vec![
+            SimApp::numa_local("a", 0.5),
+            SimApp::numa_local("b", 0.25),
+        ],
+        assignments: vec![NamedAssignment {
+            name: "even".into(),
+            threads: vec![vec![1, 1], vec![1, 1]],
+        }],
+        duration_s: 16.0 * QUANTUM_S,
+        effects: EffectModel::ideal(),
+        seed: 7,
+    };
+    let plan = ChaosPlan::kill_revive(1, 4.0 * QUANTUM_S, 8.0 * QUANTUM_S).with_reclaim(true);
+
+    let slice = run_chaos_scenario_on(&scenario, &plan, None, EngineKind::Slice).unwrap();
+    let event = run_chaos_scenario_on(&scenario, &plan, None, EngineKind::Event).unwrap();
+
+    assert_eq!(
+        slice.segments, event.segments,
+        "outage segmentation is derived from the plan, not the engine"
+    );
+    assert!(
+        close(slice.result.total_gflops(), event.result.total_gflops()),
+        "total: slice {} vs event {}",
+        slice.result.total_gflops(),
+        event.result.total_gflops()
+    );
+    for i in 0..scenario.apps.len() {
+        assert!(
+            close(slice.result.app_gflops(i), event.result.app_gflops(i)),
+            "app {i}: slice {} vs event {}",
+            slice.result.app_gflops(i),
+            event.result.app_gflops(i)
+        );
+    }
+}
+
+/// A supervised run with a `RunawayTask` perturbation books the same
+/// ticks on both engines: same perturbed flags, same alarm counts, and
+/// residuals that agree series-by-series.
+#[test]
+fn runaway_task_supervised_agreement() {
+    let scenario = Scenario {
+        name: "runaway-agreement".into(),
+        machine: machine(2, 2, 32.0, 8.0),
+        apps: vec![
+            SimApp::numa_local("a", 1.0 / 32.0),
+            SimApp::numa_local("b", 1.0 / 32.0),
+        ],
+        assignments: vec![NamedAssignment {
+            name: "even".into(),
+            threads: vec![vec![1, 1], vec![1, 1]],
+        }],
+        duration_s: 0.2,
+        effects: EffectModel::ideal(),
+        seed: 7,
+    };
+    let config = |engine: EngineKind| SupervisorConfig {
+        perturbations: vec![Perturbation::RunawayTask { at_s: 0.04, app: 1 }],
+        engine,
+        ..SupervisorConfig::default()
+    };
+
+    let slice = run_supervised(
+        &scenario,
+        &config(EngineKind::Slice),
+        Arc::new(TelemetryHub::new()),
+    )
+    .unwrap();
+    let event = run_supervised(
+        &scenario,
+        &config(EngineKind::Event),
+        Arc::new(TelemetryHub::new()),
+    )
+    .unwrap();
+
+    assert!(
+        slice.ticks.iter().any(|t| t.perturbed),
+        "the runaway must land inside the run"
+    );
+    assert_eq!(slice.ticks.len(), event.ticks.len());
+    for (ts, te) in slice.ticks.iter().zip(&event.ticks) {
+        assert_eq!(ts.perturbed, te.perturbed, "tick {}", ts.tick);
+        assert_eq!(ts.alarms, te.alarms, "tick {}", ts.tick);
+        assert_eq!(ts.residuals.len(), te.residuals.len(), "tick {}", ts.tick);
+        for (rs, re) in ts.residuals.iter().zip(&te.residuals) {
+            assert_eq!(rs.series, re.series, "tick {}", ts.tick);
+            assert!(
+                close(rs.predicted, re.predicted),
+                "tick {} {}: predicted slice {} vs event {}",
+                ts.tick,
+                rs.series,
+                rs.predicted,
+                re.predicted
+            );
+            assert!(
+                close(rs.measured, re.measured),
+                "tick {} {}: measured slice {} vs event {}",
+                ts.tick,
+                rs.series,
+                rs.measured,
+                re.measured
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random machines, arithmetic intensities, thread counts, one
+    /// quantum-aligned assignment switch and one quantum-aligned activity
+    /// window: slice and event totals and per-app shares agree.
+    #[test]
+    fn engines_agree_on_random_dynamic_schedules(
+        nodes in 2usize..4,
+        cores in 2usize..7,
+        ais in proptest::collection::vec(0.05f64..32.0, 2..4),
+        counts_a in proptest::collection::vec(0usize..3, 2..4),
+        counts_b in proptest::collection::vec(0usize..3, 2..4),
+        switch_ms in 1usize..19,
+        win_start_ms in 0usize..10,
+        win_len_ms in 1usize..10,
+    ) {
+        let n_apps = ais.len().min(counts_a.len()).min(counts_b.len());
+        let m = machine(nodes, cores, 32.0, 8.0);
+        let apps: Vec<SimApp> = ais[..n_apps]
+            .iter()
+            .enumerate()
+            .map(|(i, &ai)| {
+                let app = SimApp::numa_local(&format!("a{i}"), ai);
+                if i == 0 {
+                    // Exercise activity edges alongside the switch.
+                    app.with_activity(ActivityPattern::Window {
+                        start_s: win_start_ms as f64 * QUANTUM_S,
+                        end_s: (win_start_ms + win_len_ms) as f64 * QUANTUM_S,
+                    })
+                } else {
+                    app
+                }
+            })
+            .collect();
+        // Clamp per-node thread counts to capacity, keeping >= 1 thread.
+        let clamp = |mut v: Vec<usize>| {
+            while v.iter().sum::<usize>() > cores {
+                let i = v.iter().position(|&c| c > 0).unwrap();
+                v[i] -= 1;
+            }
+            if v.iter().all(|&c| c == 0) {
+                v[0] = 1;
+            }
+            v
+        };
+        let a = ThreadAssignment::uniform_per_node(&m, &clamp(counts_a[..n_apps].to_vec()));
+        let b = ThreadAssignment::uniform_per_node(&m, &clamp(counts_b[..n_apps].to_vec()));
+        let schedule = vec![(0.0, a), (switch_ms as f64 * QUANTUM_S, b)];
+        let duration = 0.02;
+
+        let slice = Simulation::new(
+            SimConfig::new(m.clone()).with_effects(EffectModel::ideal()),
+        )
+        .run_dynamic(&apps, &schedule, duration)
+        .unwrap();
+        let event = Simulation::new(
+            SimConfig::new(m.clone())
+                .with_effects(EffectModel::ideal())
+                .with_engine(EngineKind::Event),
+        )
+        .run_dynamic(&apps, &schedule, duration)
+        .unwrap();
+
+        prop_assert!(
+            close(slice.total_gflops(), event.total_gflops()),
+            "total: slice {} vs event {}",
+            slice.total_gflops(),
+            event.total_gflops()
+        );
+        for i in 0..n_apps {
+            prop_assert!(
+                close(slice.app_gflops(i), event.app_gflops(i)),
+                "app {i}: slice {} vs event {}",
+                slice.app_gflops(i),
+                event.app_gflops(i)
+            );
+        }
+    }
+}
