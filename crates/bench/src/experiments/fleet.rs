@@ -20,8 +20,8 @@
 //! (ideal effects, so the comparison is exact up to float accumulation).
 
 use memsim::{
-    run_chaos_scenario_on, ActivityPattern, AppOutage, ChaosPlan, EffectModel, EngineKind,
-    Scenario, SimApp, SimConfig, Simulation,
+    run_chaos_scenario_on, run_chaos_scenario_threaded, ActivityPattern, AppOutage, ChaosPlan,
+    EffectModel, EngineKind, Scenario, SimApp, SimConfig, Simulation,
 };
 use numa_topology::{Machine, MachineBuilder};
 use roofline_numa::ThreadAssignment;
@@ -126,8 +126,30 @@ pub struct FleetCell {
     pub slice_noreuse_ms: Option<f64>,
     /// Event-engine wall time, milliseconds.
     pub event_ms: f64,
+    /// Event-engine wall time with per-segment scratch reallocation (the
+    /// pre-hoisting behaviour); `None` where it was not measured.
+    pub event_noreuse_ms: Option<f64>,
     /// `slice_ms / event_ms`.
     pub speedup: f64,
+    /// Parallel event engine at 2 worker shards, milliseconds; `None` when
+    /// skipped by the sim-threads cap.
+    pub par2_ms: Option<f64>,
+    /// Parallel event engine at 8 worker shards, milliseconds; `None` when
+    /// skipped by the sim-threads cap.
+    pub par8_ms: Option<f64>,
+    /// `event_ms / par2_ms` — parallel speedup over the sequential event
+    /// engine at 2 shards.
+    pub par2_speedup: Option<f64>,
+    /// `event_ms / par8_ms` — parallel speedup at 8 shards.
+    pub par8_speedup: Option<f64>,
+    /// Events per wall-clock second at 2 shards.
+    pub par2_events_per_sec: Option<f64>,
+    /// Events per wall-clock second at 8 shards.
+    pub par8_events_per_sec: Option<f64>,
+    /// Max relative difference in banked GFLOP between the parallel runs
+    /// and the sequential event run. Exactly 0.0 when bit-identical (the
+    /// engine's contract); `None` when no parallel run was measured.
+    pub par_gflops_rel_err: Option<f64>,
     /// Discrete events the event engine processed (activity/assignment
     /// edges; for outage cells, the number of schedule segments).
     pub events: usize,
@@ -240,13 +262,21 @@ fn rel_err(a: f64, b: f64) -> f64 {
     (a - b).abs() / a.abs().max(1.0)
 }
 
+/// The parallel shard counts a cell measures (subject to the cap).
+pub const PAR_THREADS: [usize; 2] = [2, 8];
+
 /// Runs one cell: times the slice engine (optionally also without scratch
-/// reuse), the event engine, and cross-checks the banked work.
+/// reuse), the event engine (sequential, no-reuse, and parallel at the
+/// [`PAR_THREADS`] shard counts up to `sim_threads_cap`), and cross-checks
+/// the banked work. Pass `sim_threads_cap = 1` to skip the parallel runs
+/// entirely (e.g. on single-core runners, where the extra wall time buys
+/// no information).
 pub fn run_cell(
     scenario: FleetScenario,
     scale: &FleetScale,
     measure_noreuse: bool,
     repeats: usize,
+    sim_threads_cap: usize,
 ) -> FleetCell {
     let cores_per_node = scale.runtimes.div_ceil(scale.nodes) + 2;
     let machine = fleet_machine(scale.nodes, cores_per_node);
@@ -261,7 +291,9 @@ pub fn run_cell(
             .with_scratch_reuse(reuse)
     };
 
-    let (slice_s, slice_noreuse_s, event_s, events, segments, slice_gflops, event_gflops) =
+    type ParRuns = [Option<(f64, f64)>; 2];
+    #[allow(clippy::type_complexity)]
+    let (slice_s, slice_noreuse_s, event_s, event_noreuse_s, par, events, segments, slice_gflops, event_gflops): (f64, Option<f64>, f64, Option<f64>, ParRuns, usize, u64, f64, f64) =
         if scenario == FleetScenario::Outages {
             let scn = Scenario {
                 name: format!("fleet-outages-{}x{}", scale.runtimes, scale.nodes),
@@ -284,11 +316,22 @@ pub fn run_cell(
                 run_chaos_scenario_on(&scn, &plan, None, EngineKind::Event)
                     .expect("fleet outage scenario runs on the event engine")
             });
+            let par = PAR_THREADS.map(|threads| {
+                (threads <= sim_threads_cap).then(|| {
+                    let (s, r) = time_best(repeats, || {
+                        run_chaos_scenario_threaded(&scn, &plan, None, EngineKind::Event, threads)
+                            .expect("fleet outage scenario runs on the parallel event engine")
+                    });
+                    (s, r.result.total_gflops())
+                })
+            });
             let edges = slice_r.segments.len();
             (
                 slice_s,
                 None,
                 event_s,
+                None,
+                par,
                 edges,
                 edges as u64,
                 slice_r.result.total_gflops(),
@@ -314,10 +357,30 @@ pub fn run_cell(
                     .run_logged(&apps, &schedule, scale.duration_s)
                     .expect("fleet scenario runs on the event engine")
             });
+            let event_noreuse_s = measure_noreuse.then(|| {
+                time_best(repeats, || {
+                    Simulation::new(config(EngineKind::Event, false))
+                        .run_logged(&apps, &schedule, scale.duration_s)
+                        .expect("fleet scenario runs without event scratch reuse")
+                })
+                .0
+            });
+            let par = PAR_THREADS.map(|threads| {
+                (threads <= sim_threads_cap).then(|| {
+                    let (s, (r, _log)) = time_best(repeats, || {
+                        Simulation::new(config(EngineKind::Event, true).with_sim_threads(threads))
+                            .run_logged(&apps, &schedule, scale.duration_s)
+                            .expect("fleet scenario runs on the parallel event engine")
+                    });
+                    (s, r.total_gflops())
+                })
+            });
             (
                 slice_s,
                 slice_noreuse_s,
                 event_s,
+                event_noreuse_s,
+                par,
                 log.len(),
                 log.segments,
                 slice_r.total_gflops(),
@@ -325,6 +388,11 @@ pub fn run_cell(
             )
         };
 
+    let par_gflops_rel_err = par
+        .iter()
+        .flatten()
+        .map(|&(_, g)| rel_err(event_gflops, g))
+        .fold(None, |m: Option<f64>, e| Some(m.map_or(e, |m| m.max(e))));
     FleetCell {
         scenario: scenario.as_str().to_string(),
         runtimes: scale.runtimes,
@@ -333,7 +401,15 @@ pub fn run_cell(
         slice_ms: slice_s * 1e3,
         slice_noreuse_ms: slice_noreuse_s.map(|s| s * 1e3),
         event_ms: event_s * 1e3,
+        event_noreuse_ms: event_noreuse_s.map(|s| s * 1e3),
         speedup: slice_s / event_s,
+        par2_ms: par[0].map(|(s, _)| s * 1e3),
+        par8_ms: par[1].map(|(s, _)| s * 1e3),
+        par2_speedup: par[0].map(|(s, _)| event_s / s),
+        par8_speedup: par[1].map(|(s, _)| event_s / s),
+        par2_events_per_sec: par[0].map(|(s, _)| events as f64 / s),
+        par8_events_per_sec: par[1].map(|(s, _)| events as f64 / s),
+        par_gflops_rel_err,
         events,
         segments,
         events_per_sec: events as f64 / event_s,
@@ -399,7 +475,7 @@ mod tests {
     #[test]
     fn engines_agree_on_every_scenario_family() {
         for scenario in FleetScenario::all() {
-            let cell = run_cell(scenario, &tiny_scale(), true, 1);
+            let cell = run_cell(scenario, &tiny_scale(), true, 1, 1);
             assert!(
                 cell.gflops_rel_err < 1e-6,
                 "{}: engines disagree by {}",
@@ -416,6 +492,30 @@ mod tests {
                 cell.segments
             );
             assert!(cell.slice_noreuse_ms.is_some() || scenario == FleetScenario::Outages);
+            assert!(cell.event_noreuse_ms.is_some() || scenario == FleetScenario::Outages);
+            // Cap 1: no parallel cells measured, and the cell says so.
+            assert!(cell.par2_ms.is_none() && cell.par8_ms.is_none());
+            assert!(cell.par_gflops_rel_err.is_none());
+        }
+    }
+
+    #[test]
+    fn parallel_event_runs_bank_bit_identical_work() {
+        for scenario in FleetScenario::all() {
+            let cell = run_cell(scenario, &tiny_scale(), false, 1, 8);
+            assert!(
+                cell.par2_ms.is_some() && cell.par8_ms.is_some(),
+                "{}: parallel cells must be measured under cap 8",
+                cell.scenario
+            );
+            // Conservative sync is deterministic: the parallel engine banks
+            // exactly the sequential engine's floats, not approximations.
+            assert_eq!(
+                cell.par_gflops_rel_err,
+                Some(0.0),
+                "{}: parallel engine diverged",
+                cell.scenario
+            );
         }
     }
 
@@ -423,7 +523,7 @@ mod tests {
     fn churn_edges_stay_cohort_bounded() {
         // Distinct churn edges must not grow with fleet size: cohorts cap
         // them at 2 × (COHORT_SLOTS - 4).
-        let small = run_cell(FleetScenario::Churn, &tiny_scale(), false, 1);
+        let small = run_cell(FleetScenario::Churn, &tiny_scale(), false, 1, 1);
         let bigger = run_cell(
             FleetScenario::Churn,
             &FleetScale {
@@ -432,6 +532,7 @@ mod tests {
                 duration_s: 1.0,
             },
             false,
+            1,
             1,
         );
         assert!(bigger.segments <= small.segments + 60);

@@ -159,6 +159,9 @@ pub enum Command {
         no_reclaim: bool,
         /// Simulator engine (`--engine slice|event`, default slice).
         engine: EngineKind,
+        /// Worker threads for the parallel event engine
+        /// (`--sim-threads N`, default 1; bit-identical at any count).
+        sim_threads: usize,
     },
     /// `observe` — run the Figure-1 producer-consumer pipeline with an
     /// agent and the memory simulator on one telemetry hub, and export
@@ -228,6 +231,9 @@ pub enum Command {
         /// Simulator engine executing each decision tick
         /// (`--engine slice|event`, default slice).
         engine: EngineKind,
+        /// Worker threads for the parallel event engine
+        /// (`--sim-threads N`, default 1; bit-identical at any count).
+        sim_threads: usize,
     },
     /// `chaos` — run live runtimes under a supervised agent, kill one
     /// mid-run, and report detection, eviction, core reclamation, and
@@ -269,6 +275,9 @@ pub enum Command {
         /// (`--engine slice|event`, default slice). The live chaos
         /// harness drives real runtimes, so the flag only tags output.
         engine: EngineKind,
+        /// Simulator worker-thread label echoed into the report
+        /// (`--sim-threads N`, default 1). Tags output like `--engine`.
+        sim_threads: usize,
     },
     /// `top` — run a supervised two-tenant simulation with per-tenant
     /// accounting and print the resource ledger (who got what, delivered
@@ -318,14 +327,16 @@ COMMANDS:
                                throughput/fairness Pareto frontier
   simulate --scenario <FILE> | --write-template  [--metrics <PATH>]
           [--fault <app:down_at_s[:up_at_s]>...] [--no-reclaim]
-          [--engine slice|event]
+          [--engine slice|event] [--sim-threads N]
                                run (or emit a template for) a declarative
                                memsim scenario; --fault kills an app
                                mid-run (and optionally revives it), with
                                its cores fair-shared among the survivors
                                unless --no-reclaim; --engine picks the
                                time-sliced or discrete-event simulator
-                               core (default slice; see docs/performance.md)
+                               core (default slice; see docs/performance.md);
+                               --sim-threads shards the event engine over N
+                               workers (bit-identical at any count)
   observe [--machine <M>] [--iterations N] [--trace-out <PATH>] [--metrics <PATH>]
           [--serve <ADDR> [--serve-max-requests N]] [--dump <DIR>]
                                run the Figure-1 producer-consumer pipeline
@@ -349,6 +360,7 @@ COMMANDS:
           [--decision-period S] [--duration S] [--reoptimize]
           [--ewma A] [--cusum-k K] [--cusum-h H]
           [--trace-out <PATH>] [--metrics <PATH>] [--engine slice|event]
+          [--sim-threads N]
                                run a scenario under model supervision: the
                                analytic model predicts each decision tick,
                                the simulator measures it (optionally on a
@@ -356,11 +368,12 @@ COMMANDS:
                                reports residuals and alarms; --reoptimize
                                re-searches the allocation each tick (warm
                                start + persistent score cache); --engine
-                               picks the simulator core for each tick
+                               picks the simulator core for each tick and
+                               --sim-threads its event-engine worker count
   chaos   [--machine <M>] [--runtimes N] [--ticks N] [--tick-interval MS]
           [--kill-at T] [--revive-at T] [--deadline MS]
           [--fault <kind[=millis][@from[..until]][~prob]>...]
-          [--runaway <app[:tick]>] [--engine slice|event]
+          [--runaway <app[:tick]>] [--engine slice|event] [--sim-threads N]
           [--trace-out <PATH>] [--metrics <PATH>] [--flight-dir <DIR>]
           [--slo-report <PATH>]
                                run live runtimes under a supervised agent,
@@ -513,6 +526,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
     let mut no_reclaim = false;
     let mut reoptimize = false;
     let mut threads = 1usize;
+    let mut sim_threads = 1usize;
     let mut runtimes = 3usize;
     let mut ticks = 12u64;
     let mut tick_interval_ms = 10u64;
@@ -583,6 +597,14 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
                     .map_err(|_| CliError::usage("bad --threads (expected usize)"))?;
                 if threads == 0 {
                     return Err(CliError::usage("--threads must be at least 1"));
+                }
+            }
+            "--sim-threads" => {
+                sim_threads = next_value(&mut it, "--sim-threads")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --sim-threads (expected usize)"))?;
+                if sim_threads == 0 {
+                    return Err(CliError::usage("--sim-threads must be at least 1"));
                 }
             }
             "--runtimes" => {
@@ -735,6 +757,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
                 faults,
                 no_reclaim,
                 engine,
+                sim_threads,
             }
         }
         Some("chaos") => {
@@ -776,6 +799,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
                 slo_report,
                 runaway,
                 engine,
+                sim_threads,
             }
         }
         Some("top") => Command::Top {
@@ -820,6 +844,7 @@ pub fn parse_args(argv: &[String]) -> Result<Cli> {
             trace_out,
             metrics,
             engine,
+            sim_threads,
         },
         Some("sweep") => {
             let apps = need_apps(&apps)?;
@@ -1345,6 +1370,34 @@ mod tests {
         }
         assert!(parse_args(&argv("simulate --write-template --engine warp")).is_err());
         assert!(parse_args(&argv("drift --engine")).is_err());
+    }
+
+    #[test]
+    fn sim_threads_flag_parses_and_defaults_to_one() {
+        let cli = parse_args(&argv("simulate --write-template")).unwrap();
+        match cli.command {
+            Command::Simulate { sim_threads, .. } => assert_eq!(sim_threads, 1),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse_args(&argv("simulate --write-template --engine event --sim-threads 8"))
+            .unwrap();
+        match cli.command {
+            Command::Simulate { sim_threads, .. } => assert_eq!(sim_threads, 8),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Shared by drift and chaos, and distinct from search's --threads.
+        let cli = parse_args(&argv("drift --sim-threads 2")).unwrap();
+        match cli.command {
+            Command::Drift { sim_threads, .. } => assert_eq!(sim_threads, 2),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse_args(&argv("chaos --sim-threads 4")).unwrap();
+        match cli.command {
+            Command::Chaos { sim_threads, .. } => assert_eq!(sim_threads, 4),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&argv("simulate --write-template --sim-threads 0")).is_err());
+        assert!(parse_args(&argv("drift --sim-threads")).is_err());
     }
 
     #[test]

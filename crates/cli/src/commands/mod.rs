@@ -96,13 +96,14 @@ pub fn execute(cli: &Cli) -> Result<String> {
             faults,
             no_reclaim,
             engine,
+            sim_threads,
         } => simulate_cmd(
             scenario.as_deref(),
             *write_template,
             metrics.as_deref(),
             faults,
             *no_reclaim,
-            *engine,
+            (*engine, *sim_threads),
             cli.format,
         ),
         Command::Chaos {
@@ -120,6 +121,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             flight_dir,
             slo_report,
             engine,
+            sim_threads,
         } => chaos_cmd(
             machine,
             *runtimes,
@@ -130,7 +132,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             trace_out.as_deref(),
             metrics.as_deref(),
             (flight_dir.as_deref(), slo_report.as_deref()),
-            *engine,
+            (*engine, *sim_threads),
             cli.format,
         ),
         Command::Top {
@@ -182,6 +184,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             trace_out,
             metrics,
             engine,
+            sim_threads,
         } => drift_cmd(
             scenario.as_deref(),
             perturbations,
@@ -191,7 +194,7 @@ pub fn execute(cli: &Cli) -> Result<String> {
             *reoptimize,
             trace_out.as_deref(),
             metrics.as_deref(),
-            *engine,
+            (*engine, *sim_threads),
             cli.format,
         ),
     }
@@ -244,9 +247,10 @@ fn simulate_cmd(
     metrics: Option<&str>,
     faults: &[String],
     no_reclaim: bool,
-    engine: memsim::EngineKind,
+    engine: (memsim::EngineKind, usize),
     format: OutputFormat,
 ) -> Result<String> {
+    let (engine, sim_threads) = engine;
     if write_template {
         return Ok(memsim::scenario::template().to_json() + "\n");
     }
@@ -269,11 +273,12 @@ fn simulate_cmd(
         let want_hub = metrics.is_some() || format == OutputFormat::Prom;
         let (chaos, hub) = if want_hub {
             let hub = std::sync::Arc::new(coop_telemetry::TelemetryHub::new());
-            let r = memsim::run_chaos_scenario_on(
+            let r = memsim::run_chaos_scenario_threaded(
                 &scenario,
                 &plan,
                 Some(std::sync::Arc::clone(&hub)),
                 engine,
+                sim_threads,
             )
             .map_err(|e| CliError::failure(format!("chaos simulation failed: {e}")))?;
             if let Some(metrics_path) = metrics {
@@ -281,7 +286,7 @@ fn simulate_cmd(
             }
             (r, Some(hub))
         } else {
-            let r = memsim::run_chaos_scenario_on(&scenario, &plan, None, engine)
+            let r = memsim::run_chaos_scenario_threaded(&scenario, &plan, None, engine, sim_threads)
                 .map_err(|e| CliError::failure(format!("chaos simulation failed: {e}")))?;
             (r, None)
         };
@@ -291,6 +296,7 @@ fn simulate_cmd(
                     .map_err(|e| CliError::failure(e.to_string()))?;
                 if let Some(obj) = doc.as_object_mut() {
                     obj.insert("engine".into(), serde_json::json!(engine.as_str()));
+                    obj.insert("sim_threads".into(), serde_json::json!(sim_threads));
                 }
                 serde_json::to_string_pretty(&doc)
                     .map(|s| s + "\n")
@@ -302,7 +308,8 @@ fn simulate_cmd(
                 .to_prometheus()),
             OutputFormat::Text => {
                 let mut out = format!(
-                    "chaos scenario: {} ({} segments, reclaim {}, engine {engine})\n",
+                    "chaos scenario: {} ({} segments, reclaim {}, engine {engine}, \
+                     sim-threads {sim_threads})\n",
                     scenario.name,
                     chaos.segments.len(),
                     if plan.reclaim { "on" } else { "off" }
@@ -340,14 +347,19 @@ fn simulate_cmd(
     let want_hub = metrics.is_some() || format == OutputFormat::Prom;
     let (result, hub) = if want_hub {
         let hub = std::sync::Arc::new(coop_telemetry::TelemetryHub::new());
-        let r = memsim::run_scenario_on(&scenario, Some(std::sync::Arc::clone(&hub)), engine)
-            .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?;
+        let r = memsim::run_scenario_threaded(
+            &scenario,
+            Some(std::sync::Arc::clone(&hub)),
+            engine,
+            sim_threads,
+        )
+        .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?;
         if let Some(metrics_path) = metrics {
             write_metrics_file(metrics_path, &hub)?;
         }
         (r, Some(hub))
     } else {
-        let r = memsim::run_scenario_on(&scenario, None, engine)
+        let r = memsim::run_scenario_threaded(&scenario, None, engine, sim_threads)
             .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?;
         (r, None)
     };
@@ -357,6 +369,7 @@ fn simulate_cmd(
                 serde_json::to_value(&result).map_err(|e| CliError::failure(e.to_string()))?;
             if let Some(obj) = doc.as_object_mut() {
                 obj.insert("engine".into(), serde_json::json!(engine.as_str()));
+                obj.insert("sim_threads".into(), serde_json::json!(sim_threads));
             }
             serde_json::to_string_pretty(&doc)
                 .map(|s| s + "\n")
@@ -369,6 +382,7 @@ fn simulate_cmd(
         OutputFormat::Text => {
             let mut out = result.to_string();
             out.push_str(&format!("engine: {engine}\n"));
+            out.push_str(&format!("sim-threads: {sim_threads}\n"));
             Ok(out)
         }
     }
@@ -387,10 +401,12 @@ fn drift_cmd(
     reoptimize: bool,
     trace_out: Option<&str>,
     metrics: Option<&str>,
-    engine: memsim::EngineKind,
+    engine: (memsim::EngineKind, usize),
     format: OutputFormat,
 ) -> Result<String> {
     use std::sync::Arc;
+
+    let (engine, sim_threads) = engine;
 
     let scenario = match scenario {
         Some(path) => {
@@ -429,6 +445,7 @@ fn drift_cmd(
         tracing: trace_out.is_some(),
         chaos: None,
         engine,
+        sim_threads,
     };
     let hub = Arc::new(coop_telemetry::TelemetryHub::new());
     let result = memsim::run_supervised(&scenario, &config, Arc::clone(&hub))
@@ -449,6 +466,7 @@ fn drift_cmd(
                 .map_err(|e| CliError::failure(format!("drift report JSON: {e}")))?;
             if let Some(obj) = doc.as_object_mut() {
                 obj.insert("engine".into(), serde_json::json!(engine.as_str()));
+                obj.insert("sim_threads".into(), serde_json::json!(sim_threads));
             }
             serde_json::to_string_pretty(&doc)
                 .map(|s| s + "\n")
@@ -458,7 +476,8 @@ fn drift_cmd(
         OutputFormat::Text => {
             let mut out = report.to_text();
             out.push_str(&format!(
-                "{} decision ticks ({} perturbed), first alarm at tick {}, engine {engine}\n",
+                "{} decision ticks ({} perturbed), first alarm at tick {}, engine {engine}, \
+                 sim-threads {sim_threads}\n",
                 result.ticks.len(),
                 result.ticks.iter().filter(|t| t.perturbed).count(),
                 result
@@ -500,13 +519,15 @@ fn chaos_cmd(
     trace_out: Option<&str>,
     metrics: Option<&str>,
     (flight_dir, slo_report): (Option<&str>, Option<&str>),
-    engine: memsim::EngineKind,
+    engine: (memsim::EngineKind, usize),
     format: OutputFormat,
 ) -> Result<String> {
     use coop_agent::{policies, Agent, ChaosHandle, FaultPlan, KillSwitch, SupervisionConfig};
     use coop_runtime::{Runtime, RuntimeConfig};
     use std::sync::Arc;
     use std::time::Duration;
+
+    let (engine, sim_threads) = engine;
 
     if runtimes < 2 {
         return Err(CliError::usage("chaos needs --runtimes >= 2"));
@@ -708,6 +729,7 @@ fn chaos_cmd(
             let doc = serde_json::json!({
                 "machine": m.name(),
                 "engine": engine.as_str(),
+                "sim_threads": sim_threads,
                 "runtimes": runtimes,
                 "kill_at": kill_at,
                 "revive_at": revive_at,
@@ -742,7 +764,7 @@ fn chaos_cmd(
         OutputFormat::Text => {
             let mut out = format!(
                 "chaos: {runtimes} runtimes on {}, kill app0 at tick {kill_at}{}, \
-                 engine {engine}\n",
+                 engine {engine}, sim-threads {sim_threads}\n",
                 m.name(),
                 revive_at
                     .map(|r| format!(", revive at tick {r}"))
@@ -2481,6 +2503,69 @@ mod simulate_tests {
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&json_out).unwrap();
         assert_eq!(v["engine"], "event", "json:\n{json_out}");
+    }
+
+    #[test]
+    fn simulate_sim_threads_flag_is_echoed_and_matches_single_threaded() {
+        let template = crate::run(&["simulate".into(), "--write-template".into()]).unwrap();
+        let dir = std::env::temp_dir().join(format!("coop-cli-simthr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        std::fs::write(&path, &template).unwrap();
+
+        let out = crate::run(&[
+            "simulate".into(),
+            "--scenario".into(),
+            path.to_str().unwrap().to_string(),
+            "--engine".into(),
+            "event".into(),
+            "--sim-threads".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("sim-threads: 2"), "output:\n{out}");
+
+        // The parallel run's JSON is identical to the single-threaded one
+        // apart from the echoed thread count.
+        let run_json = |threads: &str| {
+            crate::run(&[
+                "simulate".into(),
+                "--scenario".into(),
+                path.to_str().unwrap().to_string(),
+                "--engine".into(),
+                "event".into(),
+                "--sim-threads".into(),
+                threads.into(),
+                "--json".into(),
+            ])
+            .unwrap()
+        };
+        let mut v1: serde_json::Value = serde_json::from_str(&run_json("1")).unwrap();
+        let mut v2: serde_json::Value = serde_json::from_str(&run_json("2")).unwrap();
+        assert_eq!(v1["sim_threads"], 1);
+        assert_eq!(v2["sim_threads"], 2);
+        v1.as_object_mut().unwrap().remove("sim_threads");
+        v2.as_object_mut().unwrap().remove("sim_threads");
+        assert_eq!(v1, v2, "parallel event engine must be bit-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drift_sim_threads_flag_reaches_the_supervisor() {
+        let json_out = crate::run(&[
+            "drift".into(),
+            "--duration".into(),
+            "0.1".into(),
+            "--engine".into(),
+            "event".into(),
+            "--sim-threads".into(),
+            "2".into(),
+            "--json".into(),
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json_out).unwrap();
+        assert_eq!(v["engine"], "event", "json:\n{json_out}");
+        assert_eq!(v["sim_threads"], 2, "json:\n{json_out}");
     }
 
     #[test]

@@ -226,8 +226,28 @@ pub fn simulate_with_engine(
     seed: u64,
     engine: memsim::EngineKind,
 ) -> DistReport {
-    let makespan = run_on(cluster, workload, seed, false, engine);
-    let baseline = run_on(cluster, workload, seed, true, engine);
+    simulate_with_engine_sharded(cluster, workload, seed, engine, 1)
+}
+
+/// Like [`simulate_with_engine`], splitting the rank components across
+/// `shards` per-shard event heaps (the fleet engine's decomposition).
+///
+/// Ranks are partitioned contiguously; each shard keeps its own
+/// [`memsim::EventHeap`], and the pool pops the global minimum by comparing
+/// shard heads with [`memsim::EventHeap::peek`] — the lexicographic
+/// `(tick, tie, id)` order a single combined heap would use. Under
+/// [`memsim::TieBreak::ById`] the tie key *is* the rank id, so the merge is
+/// bit-identical to the unsharded engine at any shard count. `shards` is
+/// clamped to `1..=ranks`.
+pub fn simulate_with_engine_sharded(
+    cluster: &Cluster,
+    workload: &Workload,
+    seed: u64,
+    engine: memsim::EngineKind,
+    shards: usize,
+) -> DistReport {
+    let makespan = run_on(cluster, workload, seed, false, engine, shards);
+    let baseline = run_on(cluster, workload, seed, true, engine, shards);
     let mean_local = cluster.mean_speedup();
     let overall = baseline.0 / makespan.0;
     DistReport {
@@ -276,6 +296,7 @@ fn run(cluster: &Cluster, workload: &Workload, seed: u64, force_uniform: bool) -
         seed,
         force_uniform,
         memsim::EngineKind::Slice,
+        1,
     )
 }
 
@@ -286,6 +307,7 @@ fn run_on(
     seed: u64,
     force_uniform: bool,
     engine: memsim::EngineKind,
+    shards: usize,
 ) -> (f64, Vec<f64>) {
     let ranks = cluster.ranks();
     let rate = |i: usize| {
@@ -362,10 +384,17 @@ fn run_on(
                         clock.iter().fold(0.0f64, |m, &c| m.max(c))
                     }
                     memsim::EngineKind::Event => {
-                        // The same greedy pool on memsim's event heap: the
+                        // The same greedy pool on memsim's event heaps: the
                         // barrier resets every rank's clock, so each
-                        // iteration seeds a fresh heap with all ranks free
-                        // at t = 0.
+                        // iteration seeds fresh heaps with all ranks free
+                        // at t = 0. Ranks are split contiguously over
+                        // `shards` heaps; the pool pops the lexicographic
+                        // minimum `(tick, tie, id)` across shard heads,
+                        // which under `ById` is exactly the order one
+                        // combined heap would pop in.
+                        let shard_count = shards.clamp(1, ranks.max(1));
+                        let bounds: Vec<usize> =
+                            (0..=shard_count).map(|s| ranks * s / shard_count).collect();
                         let mut comps: Vec<RankComponent> = (0..ranks)
                             .map(|r| RankComponent {
                                 rate: rate(r),
@@ -373,16 +402,25 @@ fn run_on(
                                 busy_s: 0.0,
                             })
                             .collect();
-                        let mut heap = memsim::EventHeap::new(memsim::TieBreak::ById);
+                        let mut heaps: Vec<memsim::EventHeap> = (0..shard_count)
+                            .map(|_| memsim::EventHeap::new(memsim::TieBreak::ById))
+                            .collect();
                         for (r, c) in comps.iter().enumerate() {
-                            heap.schedule_component(r as u32, c);
+                            let owner = bounds.partition_point(|&b| b <= r) - 1;
+                            heaps[owner].schedule_component(r as u32, c);
                         }
                         for &cost in slice {
-                            let (now, id) = heap.pop().expect("every rank stays scheduled");
+                            let (s, _) = heaps
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(s, h)| h.peek().map(|head| (s, head)))
+                                .min_by_key(|&(_, head)| head)
+                                .expect("every rank stays scheduled");
+                            let (now, id) = heaps[s].pop().expect("peeked shard is non-empty");
                             let c = &mut comps[id as usize];
                             c.advance(now);
                             c.pull(cost * overhead);
-                            heap.schedule_component(id, &*c);
+                            heaps[s].schedule_component(id, &*c);
                         }
                         for (r, c) in comps.iter().enumerate() {
                             busy[r] += c.busy_s;
@@ -565,6 +603,26 @@ mod tests {
                 (s - e).abs() <= 1e-9 * s.max(1.0),
                 "rank {r} busy: slice {s} vs event {e}"
             );
+        }
+    }
+
+    #[test]
+    fn sharded_heaps_are_bit_identical_at_any_shard_count() {
+        // The sharded merge pops by the same `(tick, tie, id)` key a single
+        // heap would, so every report field is bitwise identical at 1, 2,
+        // and 8 shards — including shard counts above the rank count.
+        let c = one_fast_cluster(6, 1.4);
+        let w = Workload::new(600, 1.0)
+            .unit_variability(0.7)
+            .iterations(5)
+            .sync(Synchronization::Tight)
+            .distribution(Distribution::Dynamic)
+            .with_dynamic_overhead(0.03);
+        let reference = simulate_with_engine(&c, &w, 11, memsim::EngineKind::Event);
+        for shards in [1usize, 2, 8, 64] {
+            let sharded =
+                simulate_with_engine_sharded(&c, &w, 11, memsim::EngineKind::Event, shards);
+            assert_eq!(reference, sharded, "{shards} shards");
         }
     }
 

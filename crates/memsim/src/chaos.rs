@@ -167,6 +167,19 @@ pub fn run_chaos_scenario_on(
     hub: Option<Arc<TelemetryHub>>,
     engine: EngineKind,
 ) -> Result<ChaosResult> {
+    run_chaos_scenario_threaded(scenario, plan, hub, engine, 1)
+}
+
+/// Like [`run_chaos_scenario_on`], running the event engine on
+/// `sim_threads` worker shards (bit-identical at any thread count; the
+/// slice engine ignores the parameter).
+pub fn run_chaos_scenario_threaded(
+    scenario: &Scenario,
+    plan: &ChaosPlan,
+    hub: Option<Arc<TelemetryHub>>,
+    engine: EngineKind,
+    sim_threads: usize,
+) -> Result<ChaosResult> {
     scenario.validate()?;
     plan.validate(scenario)?;
     let base = ThreadAssignment::from_matrix(scenario.assignments[0].threads.clone());
@@ -184,7 +197,8 @@ pub fn run_chaos_scenario_on(
         SimConfig::new(scenario.machine.clone())
             .with_effects(scenario.effects.clone())
             .with_seed(scenario.seed)
-            .with_engine(engine),
+            .with_engine(engine)
+            .with_sim_threads(sim_threads),
     );
     if let Some(hub) = hub {
         sim = sim.with_telemetry(hub);
@@ -339,6 +353,26 @@ mod tests {
                 (s - e).abs() <= 1e-9 * s.max(1.0),
                 "app {a}: slice {s} vs event {e}"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_event_engine_is_bit_identical_on_chaos() {
+        let scenario = two_app_scenario();
+        let plan = ChaosPlan::kill_revive(1, 0.03, 0.06);
+        let seq = run_chaos_scenario_on(&scenario, &plan, None, EngineKind::Event).unwrap();
+        for threads in [2usize, 8] {
+            let par =
+                run_chaos_scenario_threaded(&scenario, &plan, None, EngineKind::Event, threads)
+                    .unwrap();
+            assert_eq!(seq.segments, par.segments);
+            for a in 0..2 {
+                assert_eq!(
+                    seq.result.app_gflops(a).to_bits(),
+                    par.result.app_gflops(a).to_bits(),
+                    "app {a} at {threads} threads"
+                );
+            }
         }
     }
 

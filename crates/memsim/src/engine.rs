@@ -39,6 +39,7 @@ pub struct Simulation {
     pub(crate) time_base_us: Option<u64>,
 }
 
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Thread {
     pub(crate) app: usize,
     pub(crate) home: NodeId,
@@ -56,6 +57,8 @@ pub(crate) struct SimTelemetry {
     track: TrackId,
     base_us: u64,
     assignment_switches: Arc<Counter>,
+    shard_barriers: Arc<Counter>,
+    horizon_stalls: Arc<Counter>,
     pub(crate) rotations: Vec<Arc<Counter>>,
     util_pct: Vec<Arc<Histogram>>,
 }
@@ -89,6 +92,14 @@ impl SimTelemetry {
             "memsim_assignment_switches_total",
             "Dynamic-schedule assignment changes applied during the run",
         );
+        reg.set_help(
+            "memsim_shard_barriers_total",
+            "Safe-horizon barrier crossings performed by the parallel event engine",
+        );
+        reg.set_help(
+            "memsim_horizon_stalls_total",
+            "Shard-segments advanced purely by the safe horizon (the shard had no event of its own at the horizon tick)",
+        );
         let num_nodes = machine.num_nodes();
         let mut rotations = Vec::with_capacity(num_nodes);
         let mut util_pct = Vec::with_capacity(num_nodes);
@@ -102,6 +113,8 @@ impl SimTelemetry {
             track,
             base_us: base_us.unwrap_or_else(|| hub.now_us()),
             assignment_switches: reg.counter("memsim_assignment_switches_total", &[]),
+            shard_barriers: reg.counter("memsim_shard_barriers_total", &[]),
+            horizon_stalls: reg.counter("memsim_horizon_stalls_total", &[]),
             rotations,
             util_pct,
             hub: Arc::clone(hub),
@@ -131,6 +144,14 @@ impl SimTelemetry {
                 args: vec![("t_s".to_string(), ArgValue::F64(t_s))],
             },
         );
+    }
+
+    /// Books one safe-horizon segment of the parallel engine: how many
+    /// barrier crossings it cost, and how many shards crossed it without an
+    /// event of their own (pure LBTS stalls).
+    pub(crate) fn record_shard_sync(&self, barriers: u64, stalls: u64) {
+        self.shard_barriers.add(barriers);
+        self.horizon_stalls.add(stalls);
     }
 
     pub(crate) fn record_bandwidth_sample(&self, node: usize, mid_s: f64, gbs: f64, utilization: f64) {
@@ -319,6 +340,11 @@ impl Simulation {
     ) -> crate::Result<SimResult> {
         match self.config.engine {
             EngineKind::Slice => self.run_dynamic_slice(apps, schedule, duration_s, scratch),
+            EngineKind::Event if self.config.sim_threads > 1 => {
+                let plan = crate::par::default_plan(&self.config, apps.len(), schedule);
+                crate::par::run_dynamic_event_par(self, apps, schedule, duration_s, &plan)
+                    .map(|(result, _log)| result)
+            }
             EngineKind::Event => {
                 crate::event::run_dynamic_event(self, apps, schedule, duration_s, scratch)
                     .map(|(result, _log)| result)
@@ -329,14 +355,35 @@ impl Simulation {
     /// Runs on the discrete-event engine regardless of the configured
     /// [`EngineKind`], returning the result together with the processed
     /// event log (for determinism checks and events/sec accounting).
+    /// Honors [`SimConfig::sim_threads`]: more than one worker routes to
+    /// the parallel engine, whose log is bit-identical to the
+    /// single-threaded one.
     pub fn run_logged(
         &self,
         apps: &[SimApp],
         schedule: &[(f64, ThreadAssignment)],
         duration_s: f64,
     ) -> crate::Result<(SimResult, EventLog)> {
+        if self.config.sim_threads > 1 {
+            let plan = crate::par::default_plan(&self.config, apps.len(), schedule);
+            return crate::par::run_dynamic_event_par(self, apps, schedule, duration_s, &plan);
+        }
         let mut scratch = RateScratch::default();
         crate::event::run_dynamic_event(self, apps, schedule, duration_s, &mut scratch)
+    }
+
+    /// Runs the parallel event engine under an explicit [`ShardPlan`]
+    /// instead of the balanced default — the hook the partition-invariance
+    /// tests use to assert that *any* valid partition of components
+    /// reproduces the single-threaded log byte for byte.
+    pub fn run_logged_with_plan(
+        &self,
+        apps: &[SimApp],
+        schedule: &[(f64, ThreadAssignment)],
+        duration_s: f64,
+        plan: &crate::ShardPlan,
+    ) -> crate::Result<(SimResult, EventLog)> {
+        crate::par::run_dynamic_event_par(self, apps, schedule, duration_s, plan)
     }
 
     /// Shared input validation for both engines.
@@ -610,11 +657,10 @@ pub(crate) struct RateScratch {
     /// (inbound inter-node link traffic, used by the event engine's link
     /// components).
     pub(crate) node_remote_in: Vec<f64>,
-    // Per-target-node temporaries.
-    apps_here: Vec<bool>,
-    remote_demand_from: Vec<f64>,
-    served_from: Vec<f64>,
-    prov: Vec<f64>,
+    /// Per-thread: one node's grant contributions (reused across targets).
+    col: Vec<f64>,
+    /// Per-target-node temporaries.
+    node_tmp: NodeScratch,
     runnable_ids: Vec<usize>,
 }
 
@@ -638,6 +684,25 @@ impl RateScratch {
         self.node_served.resize(num_nodes, 0.0);
         self.node_remote_in.clear();
         self.node_remote_in.resize(num_nodes, 0.0);
+        self.col.clear();
+        self.col.resize(num_threads, 0.0);
+        self.node_tmp.reset(num_apps, num_threads, num_nodes);
+    }
+}
+
+/// The per-target-node arbitration temporaries. Each arbitration worker
+/// (the slice engine's single thread, or one shard of the parallel event
+/// engine) owns one instance and reuses it across targets and segments.
+#[derive(Debug, Default)]
+pub(crate) struct NodeScratch {
+    apps_here: Vec<bool>,
+    remote_demand_from: Vec<f64>,
+    served_from: Vec<f64>,
+    prov: Vec<f64>,
+}
+
+impl NodeScratch {
+    pub(crate) fn reset(&mut self, num_apps: usize, num_threads: usize, num_nodes: usize) {
         self.apps_here.clear();
         self.apps_here.resize(num_apps, false);
         self.remote_demand_from.clear();
@@ -646,6 +711,34 @@ impl RateScratch {
         self.served_from.resize(num_nodes, 0.0);
         self.prov.clear();
         self.prov.resize(num_threads, 0.0);
+    }
+}
+
+/// A read-only view of the per-thread × node demand matrix, possibly split
+/// into contiguous per-shard parts (the parallel engine keeps each shard's
+/// rows in its own buffer). Part `p` holds the rows of global threads
+/// `starts[p]..starts[p] + parts[p].len() / num_nodes`, row-major.
+pub(crate) struct DemandView<'a> {
+    pub(crate) parts: &'a [&'a [f64]],
+    pub(crate) num_nodes: usize,
+}
+
+impl DemandView<'_> {
+    /// Iterates `(global_thread_index, demand_toward_target)` over every
+    /// thread in ascending global order — the iteration order every
+    /// arbitration pass must share so floating-point accumulation is
+    /// identical no matter how the matrix is sharded.
+    #[inline]
+    pub(crate) fn toward(&self, target: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let nn = self.num_nodes;
+        let mut base = 0usize;
+        self.parts.iter().flat_map(move |part| {
+            let start = base;
+            base += part.len() / nn;
+            part.chunks_exact(nn)
+                .enumerate()
+                .map(move |(local, row)| (start + local, row[target]))
+        })
     }
 }
 
@@ -664,6 +757,62 @@ impl RateScratch {
 /// matches in long-run throughput).
 #[allow(clippy::too_many_arguments)] // one bundle of parallel state, called from two engines
 pub(crate) fn compute_rates(
+    machine: &Machine,
+    effects: &crate::EffectModel,
+    peak: f64,
+    apps: &[SimApp],
+    threads: &[Thread],
+    t: f64,
+    discrete: bool,
+    rng: &mut StdRng,
+    rr_offset: &mut [usize],
+    tel: Option<&SimTelemetry>,
+    s: &mut RateScratch,
+) {
+    let num_nodes = machine.num_nodes();
+    rates_prologue(
+        machine, effects, peak, apps, threads, t, discrete, rng, rr_offset, tel, s,
+    );
+
+    // Per-thread demand toward each node.
+    for (i, th) in threads.iter().enumerate() {
+        fill_demand_row(
+            &apps[th.app],
+            th.home,
+            s.cap[i],
+            &mut s.demand_to[i * num_nodes..(i + 1) * num_nodes],
+        );
+    }
+
+    // Arbitrate each node, then fold its grant column into the per-thread
+    // totals — the same column-then-reduce structure the parallel engine
+    // uses, so both paths perform the identical sequence of float adds.
+    let parts = [s.demand_to.as_slice()];
+    let view = DemandView {
+        parts: &parts,
+        num_nodes,
+    };
+    for target in 0..num_nodes {
+        let (served, remote_in) =
+            arbitrate_node(machine, effects, target, threads, &view, &mut s.node_tmp, &mut s.col);
+        for (i, d) in view.toward(target) {
+            if d <= 0.0 {
+                continue;
+            }
+            s.granted[i] += s.col[i];
+        }
+        s.node_served[target] = served;
+        s.node_remote_in[target] = remote_in;
+    }
+}
+
+/// The globally-coupled prefix of [`compute_rates`]: the active set, the
+/// per-node runnable census, discrete time-slicing, and every thread's
+/// compute capacity. This stage consumes the jitter RNG, so the parallel
+/// engine runs it once, sequentially, on the coordinator — keeping the
+/// random stream identical to the single-threaded engines.
+#[allow(clippy::too_many_arguments)] // same bundle as compute_rates
+pub(crate) fn rates_prologue(
     machine: &Machine,
     effects: &crate::EffectModel,
     peak: f64,
@@ -753,147 +902,165 @@ pub(crate) fn compute_rates(
         };
         s.cap[i] = peak * duty * switch * sync * jitter;
     }
+}
 
-    // Per-thread demand toward each node.
-    for (i, th) in threads.iter().enumerate() {
-        if s.cap[i] == 0.0 {
+/// Fills one thread's demand row (`num_nodes` wide): total demand
+/// `cap / AI`, split by the app's placement fractions. Pure per-thread
+/// work — the parallel engine fans these rows out across shards.
+pub(crate) fn fill_demand_row(app: &SimApp, home: NodeId, cap: f64, row: &mut [f64]) {
+    let num_nodes = row.len();
+    row.fill(0.0);
+    if cap == 0.0 {
+        return;
+    }
+    let total = cap / app.spec.ai;
+    for (node, d) in row.iter_mut().enumerate() {
+        *d = total * app.spec.placement.fraction(home, NodeId(node), num_nodes);
+    }
+}
+
+/// Arbitrates one target node: the two-phase remote-first / baseline +
+/// proportional-remainder rule, with interference and saturation applied.
+/// Writes each demanding thread's grant into `col[i]` (slots with zero
+/// demand are left untouched — readers must gate on `d > 0`) and returns
+/// `(node_served, node_remote_in)`.
+///
+/// Per-target arbitration has **no cross-target dataflow** — only the
+/// caller's fold of `col` into per-thread totals couples targets — which
+/// is exactly why the parallel engine can arbitrate disjoint node ranges
+/// concurrently and still reproduce the sequential engine bit for bit:
+/// every loop here visits threads in ascending global order via
+/// [`DemandView::toward`], whatever the sharding.
+pub(crate) fn arbitrate_node(
+    machine: &Machine,
+    effects: &crate::EffectModel,
+    target: usize,
+    threads: &[Thread],
+    demand: &DemandView<'_>,
+    tmp: &mut NodeScratch,
+    col: &mut [f64],
+) -> (f64, f64) {
+    let num_nodes = demand.num_nodes;
+    let node = machine.node(NodeId(target));
+
+    // Interference: distinct apps with demand toward this node.
+    tmp.apps_here.fill(false);
+    for (i, d) in demand.toward(target) {
+        if d > 0.0 {
+            tmp.apps_here[threads[i].app] = true;
+        }
+    }
+    let distinct = tmp.apps_here.iter().filter(|&&b| b).count();
+    let interference = if distinct > 1 {
+        (1.0 - effects.multi_app_interference * (distinct - 1) as f64).max(0.0)
+    } else {
+        1.0
+    };
+    let capacity = node.bandwidth_gbs * interference;
+
+    // Remote-first stage.
+    tmp.remote_demand_from.fill(0.0);
+    for (i, d) in demand.toward(target) {
+        let src = threads[i].home.0;
+        if src != target {
+            tmp.remote_demand_from[src] += d;
+        }
+    }
+    for src in 0..num_nodes {
+        tmp.served_from[src] = if src == target {
+            0.0
+        } else {
+            let link =
+                machine.links().link(NodeId(src), NodeId(target)) * effects.remote_efficiency;
+            tmp.remote_demand_from[src].min(link)
+        };
+    }
+    // Serving remote traffic costs extra capacity (coherence
+    // overhead): r GB/s delivered consumes r * (1 + o).
+    let remote_cost = 1.0 + effects.remote_service_overhead;
+    let total_remote: f64 = tmp.served_from.iter().sum();
+    if total_remote * remote_cost > capacity {
+        let scale = capacity / (total_remote * remote_cost);
+        for sf in tmp.served_from.iter_mut() {
+            *sf *= scale;
+        }
+    }
+
+    // Local stage: baseline + proportional remainder. Local grants are
+    // tracked per-target in `prov` so threads whose traffic spreads
+    // over several nodes accumulate correctly.
+    let remaining = (capacity - tmp.served_from.iter().sum::<f64>() * remote_cost).max(0.0);
+    // The per-thread guaranteed share. The model's rule is per-core;
+    // under over-subscription (more demanding local threads than
+    // cores) the share divides among the threads, keeping the baseline
+    // stage within capacity.
+    let local_demanders = demand
+        .toward(target)
+        .filter(|&(i, d)| threads[i].home.0 == target && d > 0.0)
+        .count();
+    let baseline = remaining / node.num_cores().max(local_demanders) as f64;
+    tmp.prov.fill(0.0);
+    let mut used = 0.0f64;
+    let mut local_need = 0.0f64;
+    for (i, d) in demand.toward(target) {
+        if threads[i].home.0 == target && d > 0.0 {
+            let g = d.min(baseline);
+            tmp.prov[i] = g;
+            used += g;
+            local_need += d - g;
+        }
+    }
+    let rest = (remaining - used).max(0.0);
+    let ratio = if local_need > 1e-15 {
+        (rest / local_need).min(1.0)
+    } else {
+        0.0
+    };
+
+    // Saturation: queueing efficiency of this controller under load.
+    // It only penalizes *streaming* threads (demand above half the
+    // baseline share) — a compute-bound thread issuing few requests
+    // rides out the queues, which is what the paper's compute
+    // benchmark did on the real machine.
+    let total_demand: f64 = demand.toward(target).map(|(_, d)| d).sum();
+    let u = (total_demand / capacity).min(1.0);
+    let sat = if u > effects.saturation_knee && effects.saturation_loss > 0.0 {
+        1.0 - effects.saturation_loss * (u - effects.saturation_knee)
+            / (1.0 - effects.saturation_knee)
+    } else {
+        1.0
+    };
+    let streamer_threshold = 0.5 * baseline;
+
+    let mut served_total = 0.0f64;
+    let mut remote_in = 0.0f64;
+    for (i, d) in demand.toward(target) {
+        if d <= 0.0 {
             continue;
         }
-        let total = s.cap[i] / apps[th.app].spec.ai;
-        for node in 0..num_nodes {
-            s.demand_to[i * num_nodes + node] = total
-                * apps[th.app]
-                    .spec
-                    .placement
-                    .fraction(th.home, NodeId(node), num_nodes);
-        }
-    }
-
-    // Arbitrate each node.
-    for target in 0..num_nodes {
-        let node = machine.node(NodeId(target));
-
-        // Interference: distinct apps with demand toward this node.
-        s.apps_here.fill(false);
-        for (i, th) in threads.iter().enumerate() {
-            if s.demand_to[i * num_nodes + target] > 0.0 {
-                s.apps_here[th.app] = true;
-            }
-        }
-        let distinct = s.apps_here.iter().filter(|&&b| b).count();
-        let interference = if distinct > 1 {
-            (1.0 - effects.multi_app_interference * (distinct - 1) as f64).max(0.0)
+        let thread_sat = if d > streamer_threshold { sat } else { 1.0 };
+        if threads[i].home.0 == target {
+            // Add the proportional remainder, then apply the
+            // saturation efficiency to the final local grant.
+            let need = d - tmp.prov[i];
+            let final_local = (tmp.prov[i] + ratio * need) * thread_sat;
+            col[i] = final_local;
+            served_total += final_local;
         } else {
-            1.0
-        };
-        let capacity = node.bandwidth_gbs * interference;
-
-        // Remote-first stage.
-        s.remote_demand_from.fill(0.0);
-        for (i, th) in threads.iter().enumerate() {
-            if th.home.0 != target {
-                s.remote_demand_from[th.home.0] += s.demand_to[i * num_nodes + target];
-            }
-        }
-        for src in 0..num_nodes {
-            s.served_from[src] = if src == target {
+            // Remote grant: share of this source's served BW.
+            let src = threads[i].home.0;
+            let share = if tmp.remote_demand_from[src] > 1e-15 {
+                tmp.served_from[src] * d / tmp.remote_demand_from[src]
+            } else {
                 0.0
-            } else {
-                let link =
-                    machine.links().link(NodeId(src), NodeId(target)) * effects.remote_efficiency;
-                s.remote_demand_from[src].min(link)
             };
+            let final_remote = share * thread_sat;
+            col[i] = final_remote;
+            served_total += final_remote;
+            remote_in += final_remote;
         }
-        // Serving remote traffic costs extra capacity (coherence
-        // overhead): r GB/s delivered consumes r * (1 + o).
-        let remote_cost = 1.0 + effects.remote_service_overhead;
-        let total_remote: f64 = s.served_from.iter().sum();
-        if total_remote * remote_cost > capacity {
-            let scale = capacity / (total_remote * remote_cost);
-            for sf in s.served_from.iter_mut() {
-                *sf *= scale;
-            }
-        }
-
-        // Local stage: baseline + proportional remainder. Local grants are
-        // tracked per-target in `prov` so threads whose traffic spreads
-        // over several nodes accumulate correctly.
-        let remaining = (capacity - s.served_from.iter().sum::<f64>() * remote_cost).max(0.0);
-        // The per-thread guaranteed share. The model's rule is per-core;
-        // under over-subscription (more demanding local threads than
-        // cores) the share divides among the threads, keeping the baseline
-        // stage within capacity.
-        let local_demanders = threads
-            .iter()
-            .enumerate()
-            .filter(|(i, th)| th.home.0 == target && s.demand_to[*i * num_nodes + target] > 0.0)
-            .count();
-        let baseline = remaining / node.num_cores().max(local_demanders) as f64;
-        s.prov.fill(0.0);
-        let mut used = 0.0f64;
-        let mut local_need = 0.0f64;
-        for (i, th) in threads.iter().enumerate() {
-            if th.home.0 == target && s.demand_to[i * num_nodes + target] > 0.0 {
-                let g = s.demand_to[i * num_nodes + target].min(baseline);
-                s.prov[i] = g;
-                used += g;
-                local_need += s.demand_to[i * num_nodes + target] - g;
-            }
-        }
-        let rest = (remaining - used).max(0.0);
-        let ratio = if local_need > 1e-15 {
-            (rest / local_need).min(1.0)
-        } else {
-            0.0
-        };
-
-        // Saturation: queueing efficiency of this controller under load.
-        // It only penalizes *streaming* threads (demand above half the
-        // baseline share) — a compute-bound thread issuing few requests
-        // rides out the queues, which is what the paper's compute
-        // benchmark did on the real machine.
-        let total_demand: f64 = (0..threads.len())
-            .map(|i| s.demand_to[i * num_nodes + target])
-            .sum();
-        let u = (total_demand / capacity).min(1.0);
-        let sat = if u > effects.saturation_knee && effects.saturation_loss > 0.0 {
-            1.0 - effects.saturation_loss * (u - effects.saturation_knee)
-                / (1.0 - effects.saturation_knee)
-        } else {
-            1.0
-        };
-        let streamer_threshold = 0.5 * baseline;
-
-        let mut served_total = 0.0f64;
-        for (i, th) in threads.iter().enumerate() {
-            let d = s.demand_to[i * num_nodes + target];
-            if d <= 0.0 {
-                continue;
-            }
-            let thread_sat = if d > streamer_threshold { sat } else { 1.0 };
-            if th.home.0 == target {
-                // Add the proportional remainder, then apply the
-                // saturation efficiency to the final local grant.
-                let need = d - s.prov[i];
-                let final_local = (s.prov[i] + ratio * need) * thread_sat;
-                s.granted[i] += final_local;
-                served_total += final_local;
-            } else {
-                // Remote grant: share of this source's served BW.
-                let src = th.home.0;
-                let share = if s.remote_demand_from[src] > 1e-15 {
-                    s.served_from[src] * d / s.remote_demand_from[src]
-                } else {
-                    0.0
-                };
-                let final_remote = share * thread_sat;
-                s.granted[i] += final_remote;
-                served_total += final_remote;
-                s.node_remote_in[target] += final_remote;
-            }
-        }
-        s.node_served[target] = served_total;
     }
+    (served_total, remote_in)
 }
 
 /// Synthetic causal-span bookkeeping shared by both engines: per app, the

@@ -76,7 +76,7 @@ pub enum TieBreak {
 }
 
 /// SplitMix64: cheap, well-distributed 64-bit mixer for tie-break keys.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -125,6 +125,17 @@ impl EventHeap {
         self.heap.peek().map(|Reverse((t, _, _))| *t)
     }
 
+    /// The earliest pending `(tick, tie, component)` triple without popping.
+    ///
+    /// The middle element is the resolved tie-break key, so two heaps built
+    /// with the same [`TieBreak`] rule can be merged by comparing heads
+    /// lexicographically — exactly the order a single combined heap would
+    /// pop in. This is what the sharded fleet engine uses to pick the next
+    /// global event across per-shard heaps.
+    pub fn peek(&self) -> Option<(Tick, u64, u32)> {
+        self.heap.peek().map(|Reverse(k)| *k)
+    }
+
     /// Pops the earliest `(tick, component)` pair.
     pub fn pop(&mut self) -> Option<(Tick, u32)> {
         self.heap.pop().map(|Reverse((t, _, c))| (t, c))
@@ -141,6 +152,29 @@ impl EventHeap {
     }
 }
 
+/// What kind of edge a processed event was. Serializes to the same JSON
+/// strings the log always used (`"assignment"` / `"activity"`), but as an
+/// enum it costs nothing per event — the old `String` field was one of the
+/// last per-event heap allocations in the hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EventEdge {
+    /// The supervising agent applied a dynamic-schedule entry.
+    Assignment,
+    /// An application crossed an activity-pattern edge.
+    Activity,
+}
+
+impl EventEdge {
+    /// The stable lowercase name (`"assignment"` / `"activity"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventEdge::Assignment => "assignment",
+            EventEdge::Activity => "activity",
+        }
+    }
+}
+
 /// One processed event: when, which component, and what kind of edge.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimEvent {
@@ -148,8 +182,8 @@ pub struct SimEvent {
     pub t_ns: Tick,
     /// Component id (0 = the supervising agent, `1..=num_apps` = apps).
     pub component: u32,
-    /// Edge kind: `"assignment"` or `"activity"`.
-    pub kind: String,
+    /// Edge kind.
+    pub kind: EventEdge,
 }
 
 /// The ordered log of every event the engine processed. Serializes
@@ -178,9 +212,9 @@ impl EventLog {
         self.events.is_empty()
     }
 
-    /// Number of processed events of `kind`.
+    /// Number of processed events of `kind` (`"assignment"` / `"activity"`).
     pub fn count_of(&self, kind: &str) -> usize {
-        self.events.iter().filter(|e| e.kind == kind).count()
+        self.events.iter().filter(|e| e.kind.as_str() == kind).count()
     }
 
     /// Canonical byte serialization (JSON) for determinism checks.
@@ -190,19 +224,19 @@ impl EventLog {
 }
 
 /// Component id of the supervising agent (assignment edges).
-const AGENT_ID: u32 = 0;
+pub(crate) const AGENT_ID: u32 = 0;
 /// First application component id.
-const APP_ID0: u32 = 1;
+pub(crate) const APP_ID0: u32 = 1;
 
 /// An application: wakes at its activity-pattern edges.
-struct AppComponent {
+pub(crate) struct AppComponent {
     activity: crate::ActivityPattern,
     next: Option<Tick>,
     end: Tick,
 }
 
 impl AppComponent {
-    fn new(app: &SimApp, end: Tick) -> Self {
+    pub(crate) fn new(app: &SimApp, end: Tick) -> Self {
         // `max(1)` guards against an edge so early it rounds onto tick 0,
         // which would stall the heap before time ever advances.
         let next = app
@@ -238,14 +272,14 @@ impl Component for AppComponent {
 /// The supervising agent: wakes at every dynamic-schedule entry and moves
 /// the applied-assignment index forward (the same semantics as the slice
 /// engine's per-quantum schedule scan).
-struct AgentComponent {
+pub(crate) struct AgentComponent {
     times: Vec<Tick>,
-    idx: usize,
+    pub(crate) idx: usize,
     fired: usize,
 }
 
 impl AgentComponent {
-    fn new(schedule: &[(f64, ThreadAssignment)]) -> Self {
+    pub(crate) fn new(schedule: &[(f64, ThreadAssignment)]) -> Self {
         AgentComponent {
             times: schedule.iter().map(|(t, _)| s_to_tick(*t)).collect(),
             idx: 0,
@@ -269,13 +303,13 @@ impl Component for AgentComponent {
 
 /// A per-node memory controller: passively integrates delivered bandwidth
 /// across each segment.
-struct ControllerComponent {
-    now: Tick,
-    delivered_gb: f64,
+pub(crate) struct ControllerComponent {
+    pub(crate) now: Tick,
+    pub(crate) delivered_gb: f64,
 }
 
 impl ControllerComponent {
-    fn integrate(&mut self, gbs: f64, dt_s: f64) {
+    pub(crate) fn integrate(&mut self, gbs: f64, dt_s: f64) {
         self.delivered_gb += gbs * dt_s;
     }
 }
@@ -293,9 +327,9 @@ impl Component for ControllerComponent {
 
 /// A node's inbound inter-node links, aggregated: passively integrates the
 /// remote share of the traffic its controller served.
-struct LinkComponent {
-    now: Tick,
-    remote_gb: f64,
+pub(crate) struct LinkComponent {
+    pub(crate) now: Tick,
+    pub(crate) remote_gb: f64,
 }
 
 impl Component for LinkComponent {
@@ -400,6 +434,12 @@ pub(crate) fn run_dynamic_event(
         let dt_s = tick_to_s(horizon - now);
         let mid_s = tick_to_s(now) + dt_s / 2.0;
 
+        // Scratch buffers are hoisted out of the loop and reused;
+        // `scratch_reuse = false` restores the allocate-per-segment
+        // behavior for the fleet bench's `event_noreuse_ms` A/B column.
+        if !sim.config.scratch_reuse {
+            *scratch = RateScratch::default();
+        }
         // Arbitrate once for the segment `[now, horizon)`. Every activity
         // edge is a heap event, so the active set is constant strictly
         // inside the segment and any interior instant is representative.
@@ -460,7 +500,7 @@ pub(crate) fn run_dynamic_event(
                 log.events.push(SimEvent {
                     t_ns: now,
                     component: id,
-                    kind: "assignment".to_string(),
+                    kind: EventEdge::Assignment,
                 });
             } else {
                 let a = (id - APP_ID0) as usize;
@@ -469,7 +509,7 @@ pub(crate) fn run_dynamic_event(
                 log.events.push(SimEvent {
                     t_ns: now,
                     component: id,
-                    kind: "activity".to_string(),
+                    kind: EventEdge::Activity,
                 });
             }
         }
@@ -552,6 +592,20 @@ mod tests {
         };
         assert_eq!(pops(1), pops(1), "same seed, same order");
         assert_ne!(pops(1), pops(2), "different seeds interleave ties differently");
+    }
+
+    #[test]
+    fn event_edges_serialize_to_the_historic_strings() {
+        let e = SimEvent {
+            t_ns: 5,
+            component: 1,
+            kind: EventEdge::Activity,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"kind\":\"activity\""), "{json}");
+        assert_eq!(EventEdge::Assignment.as_str(), "assignment");
+        let back: SimEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod chaos;
 mod config;
 mod engine;
 pub mod event;
+mod par;
 mod result;
 pub mod scenario;
 pub mod supervise;
@@ -72,16 +73,16 @@ pub mod supervise;
 pub use app::{ActivityPattern, SimApp};
 pub use calibrate::{calibrate_even_scenario, CalibratedMachine};
 pub use chaos::{
-    run_chaos_scenario, run_chaos_scenario_on, run_chaos_scenario_with_telemetry, AppOutage,
-    ChaosPlan, ChaosResult,
+    run_chaos_scenario, run_chaos_scenario_on, run_chaos_scenario_threaded,
+    run_chaos_scenario_with_telemetry, AppOutage, ChaosPlan, ChaosResult,
 };
-pub use config::{EffectModel, EngineKind, SimConfig};
+pub use config::{EffectModel, EngineKind, ShardPlan, SimConfig};
 pub use engine::Simulation;
-pub use event::{Component, EventHeap, EventLog, SimEvent, TieBreak};
+pub use event::{Component, EventEdge, EventHeap, EventLog, SimEvent, TieBreak};
 pub use result::{AppSeries, SimResult};
 pub use scenario::{
-    run_scenario, run_scenario_on, run_scenario_with_telemetry, NamedAssignment, Scenario,
-    ScenarioResult, ScenarioRow,
+    run_scenario, run_scenario_on, run_scenario_threaded, run_scenario_with_telemetry,
+    NamedAssignment, Scenario, ScenarioResult, ScenarioRow,
 };
 pub use supervise::{
     run_supervised, DecisionTick, Perturbation, SupervisedResult, SupervisorConfig,
@@ -111,6 +112,11 @@ pub enum SimError {
         /// Explanation.
         reason: String,
     },
+    /// A [`ShardPlan`] does not cover the simulation's apps and nodes.
+    BadPlan {
+        /// Explanation.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -125,6 +131,7 @@ impl std::fmt::Display for SimError {
                 )
             }
             SimError::Calibration { reason } => write!(f, "calibration failed: {reason}"),
+            SimError::BadPlan { reason } => write!(f, "bad shard plan: {reason}"),
         }
     }
 }

@@ -128,12 +128,26 @@ pub fn run_scenario_on(
     hub: Option<std::sync::Arc<coop_telemetry::TelemetryHub>>,
     engine: EngineKind,
 ) -> Result<ScenarioResult> {
+    run_scenario_threaded(scenario, hub, engine, 1)
+}
+
+/// Like [`run_scenario_on`], running the event engine on `sim_threads`
+/// worker shards (what `coop simulate --sim-threads` calls). Results are
+/// bit-identical at any thread count; the slice engine ignores the
+/// parameter.
+pub fn run_scenario_threaded(
+    scenario: &Scenario,
+    hub: Option<std::sync::Arc<coop_telemetry::TelemetryHub>>,
+    engine: EngineKind,
+    sim_threads: usize,
+) -> Result<ScenarioResult> {
     scenario.validate()?;
     let mut sim = Simulation::new(
         SimConfig::new(scenario.machine.clone())
             .with_effects(scenario.effects.clone())
             .with_seed(scenario.seed)
-            .with_engine(engine),
+            .with_engine(engine)
+            .with_sim_threads(sim_threads),
     );
     if let Some(hub) = hub {
         sim = sim.with_telemetry(hub);

@@ -112,6 +112,10 @@ pub struct SupervisorConfig {
     /// [`EngineKind::Slice`]). The event engine makes long fleet-scale
     /// supervised runs tractable; see `docs/performance.md`.
     pub engine: EngineKind,
+    /// Worker threads for the parallel event engine (default 1 =
+    /// single-threaded). Only consulted when [`Self::engine`] is
+    /// [`EngineKind::Event`]; results are bit-identical at any value.
+    pub sim_threads: usize,
 }
 
 impl Default for SupervisorConfig {
@@ -125,6 +129,7 @@ impl Default for SupervisorConfig {
             tracing: false,
             chaos: None,
             engine: EngineKind::Slice,
+            sim_threads: 1,
         }
     }
 }
@@ -469,7 +474,8 @@ pub fn run_supervised(
             SimConfig::new(machine)
                 .with_effects(scenario.effects.clone())
                 .with_seed(scenario.seed.wrapping_add(tick))
-                .with_engine(config.engine),
+                .with_engine(config.engine)
+                .with_sim_threads(config.sim_threads),
         )
         .with_telemetry(Arc::clone(&hub))
         .with_time_base(ts(start_s));
@@ -734,6 +740,7 @@ mod tests {
             tracing: false,
             chaos: None,
             engine: EngineKind::Slice,
+            sim_threads: 1,
         }
     }
 

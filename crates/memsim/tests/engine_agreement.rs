@@ -12,9 +12,9 @@
 //! a spurious one-nanosecond repeat edge.
 
 use memsim::{
-    run_chaos_scenario_on, run_supervised, ActivityPattern, ChaosPlan, EffectModel, EngineKind,
-    NamedAssignment, Perturbation, Scenario, SimApp, SimConfig, Simulation, SupervisorConfig,
-    TelemetryHub,
+    run_chaos_scenario_on, run_chaos_scenario_threaded, run_supervised, ActivityPattern,
+    ChaosPlan, EffectModel, EngineKind, NamedAssignment, Perturbation, Scenario, ShardPlan,
+    SimApp, SimConfig, Simulation, SupervisorConfig, TelemetryHub,
 };
 use numa_topology::MachineBuilder;
 use proptest::prelude::*;
@@ -223,6 +223,148 @@ fn runaway_task_supervised_agreement() {
     }
 }
 
+/// The parallel event engine's contract is *bit*-identity, not agreement
+/// to tolerance: same event-log bytes, same banked floats, at any shard
+/// count. These tests run the window+switch fixture, a chaos plan, and
+/// explicit (deliberately lopsided) shard plans through 1/2/8 workers.
+mod parallel_determinism {
+    use super::*;
+
+    fn event_config(m: &numa_topology::Machine, threads: usize) -> SimConfig {
+        // Default (non-ideal) effects on purpose: the jitter RNG draws are
+        // part of the sequential order the parallel engine must reproduce.
+        SimConfig::new(m.clone())
+            .with_seed(42)
+            .with_engine(EngineKind::Event)
+            .with_sim_threads(threads)
+    }
+
+    #[test]
+    fn window_fixture_is_byte_identical_at_1_2_and_8_threads() {
+        let (m, apps, schedule) = window_fixture();
+        let duration = 16.0 * QUANTUM_S;
+        let run = |threads: usize| {
+            Simulation::new(event_config(&m, threads))
+                .run_logged(&apps, &schedule, duration)
+                .unwrap()
+        };
+        let (seq, seq_log) = run(1);
+        for threads in [2usize, 8] {
+            let (par, par_log) = run(threads);
+            assert_eq!(
+                seq_log.to_bytes(),
+                par_log.to_bytes(),
+                "{threads} threads: event log diverged"
+            );
+            assert_eq!(
+                seq.total_gflops().to_bits(),
+                par.total_gflops().to_bits(),
+                "{threads} threads: totals diverged"
+            );
+            for i in 0..apps.len() {
+                assert_eq!(
+                    seq.app_gflops(i).to_bits(),
+                    par.app_gflops(i).to_bits(),
+                    "{threads} threads: app {i} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_plan_is_bit_identical_at_1_2_and_8_threads() {
+        let scenario = Scenario {
+            name: "chaos-parallel".into(),
+            machine: machine(2, 4, 32.0, 8.0),
+            apps: vec![
+                SimApp::numa_local("a", 0.5),
+                SimApp::numa_local("b", 0.25),
+            ],
+            assignments: vec![NamedAssignment {
+                name: "even".into(),
+                threads: vec![vec![1, 1], vec![1, 1]],
+            }],
+            duration_s: 16.0 * QUANTUM_S,
+            effects: EffectModel::ideal(),
+            seed: 7,
+        };
+        let plan = ChaosPlan::kill_revive(1, 4.0 * QUANTUM_S, 8.0 * QUANTUM_S).with_reclaim(true);
+        let seq = run_chaos_scenario_on(&scenario, &plan, None, EngineKind::Event).unwrap();
+        for threads in [2usize, 8] {
+            let par =
+                run_chaos_scenario_threaded(&scenario, &plan, None, EngineKind::Event, threads)
+                    .unwrap();
+            assert_eq!(seq.segments, par.segments);
+            assert_eq!(
+                seq.result.total_gflops().to_bits(),
+                par.result.total_gflops().to_bits(),
+                "{threads} threads"
+            );
+            for i in 0..scenario.apps.len() {
+                assert_eq!(
+                    seq.result.app_gflops(i).to_bits(),
+                    par.result.app_gflops(i).to_bits(),
+                    "{threads} threads, app {i}"
+                );
+            }
+        }
+    }
+
+    /// Shard boundaries are a performance knob, not a semantic one: even
+    /// deliberately lopsided plans (all apps on one shard, all nodes on
+    /// another; empty shards) replay the sequential engine byte-for-byte.
+    #[test]
+    fn explicit_lopsided_shard_plans_do_not_change_the_log() {
+        let (m, apps, schedule) = window_fixture();
+        let duration = 16.0 * QUANTUM_S;
+        let (seq, seq_log) = Simulation::new(event_config(&m, 1))
+            .run_logged(&apps, &schedule, duration)
+            .unwrap();
+        let plans = [
+            ShardPlan {
+                app_bounds: vec![0, 2, 2],
+                node_bounds: vec![0, 0, 2],
+            },
+            ShardPlan {
+                app_bounds: vec![0, 0, 2],
+                node_bounds: vec![0, 1, 2],
+            },
+            ShardPlan {
+                app_bounds: vec![0, 1, 2],
+                node_bounds: vec![0, 2, 2],
+            },
+            ShardPlan {
+                app_bounds: vec![0, 1, 1, 2],
+                node_bounds: vec![0, 1, 2, 2],
+            },
+        ];
+        for plan in &plans {
+            let (par, par_log) = Simulation::new(event_config(&m, plan.num_shards()))
+                .run_logged_with_plan(&apps, &schedule, duration, plan)
+                .unwrap();
+            assert_eq!(seq_log.to_bytes(), par_log.to_bytes(), "{plan:?}");
+            assert_eq!(
+                seq.total_gflops().to_bits(),
+                par.total_gflops().to_bits(),
+                "{plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_shard_plans_are_rejected() {
+        let (m, apps, schedule) = window_fixture();
+        let bad = ShardPlan {
+            app_bounds: vec![0, 1],
+            node_bounds: vec![0, 1], // does not span the 2-node machine
+        };
+        let err = Simulation::new(event_config(&m, 1))
+            .run_logged_with_plan(&apps, &schedule, 16.0 * QUANTUM_S, &bad)
+            .unwrap_err();
+        assert!(format!("{err}").contains("bad shard plan"), "{err}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -301,5 +443,98 @@ proptest! {
                 event.app_gflops(i)
             );
         }
+    }
+
+    /// Random schedules through the *parallel* event engine: at any thread
+    /// count the event log is byte-identical and the banked floats are
+    /// bit-identical to the single-threaded run (default effects, so the
+    /// jitter RNG order is exercised too).
+    #[test]
+    fn parallel_event_engine_replays_random_schedules_bit_identically(
+        nodes in 2usize..4,
+        cores in 2usize..7,
+        ais in proptest::collection::vec(0.05f64..32.0, 2..4),
+        counts_a in proptest::collection::vec(0usize..3, 2..4),
+        counts_b in proptest::collection::vec(0usize..3, 2..4),
+        switch_ms in 1usize..19,
+        win_start_ms in 0usize..10,
+        win_len_ms in 1usize..10,
+        threads in 2usize..9,
+    ) {
+        let n_apps = ais.len().min(counts_a.len()).min(counts_b.len());
+        let m = machine(nodes, cores, 32.0, 8.0);
+        let apps: Vec<SimApp> = ais[..n_apps]
+            .iter()
+            .enumerate()
+            .map(|(i, &ai)| {
+                let app = SimApp::numa_local(&format!("a{i}"), ai);
+                if i == 0 {
+                    app.with_activity(ActivityPattern::Window {
+                        start_s: win_start_ms as f64 * QUANTUM_S,
+                        end_s: (win_start_ms + win_len_ms) as f64 * QUANTUM_S,
+                    })
+                } else {
+                    app
+                }
+            })
+            .collect();
+        let clamp = |mut v: Vec<usize>| {
+            while v.iter().sum::<usize>() > cores {
+                let i = v.iter().position(|&c| c > 0).unwrap();
+                v[i] -= 1;
+            }
+            if v.iter().all(|&c| c == 0) {
+                v[0] = 1;
+            }
+            v
+        };
+        let a = ThreadAssignment::uniform_per_node(&m, &clamp(counts_a[..n_apps].to_vec()));
+        let b = ThreadAssignment::uniform_per_node(&m, &clamp(counts_b[..n_apps].to_vec()));
+        let schedule = vec![(0.0, a), (switch_ms as f64 * QUANTUM_S, b)];
+        let duration = 0.02;
+
+        let run = |sim_threads: usize| {
+            Simulation::new(
+                SimConfig::new(m.clone())
+                    .with_seed(42)
+                    .with_engine(EngineKind::Event)
+                    .with_sim_threads(sim_threads),
+            )
+            .run_dynamic(&apps, &schedule, duration)
+            .unwrap()
+        };
+        let run_logged = |sim_threads: usize| {
+            Simulation::new(
+                SimConfig::new(m.clone())
+                    .with_seed(42)
+                    .with_engine(EngineKind::Event)
+                    .with_sim_threads(sim_threads),
+            )
+            .run_logged(&apps, &schedule, duration)
+            .unwrap()
+        };
+
+        let seq = run(1);
+        let par = run(threads);
+        prop_assert_eq!(
+            seq.total_gflops().to_bits(),
+            par.total_gflops().to_bits(),
+            "{} threads: totals diverged ({} vs {})",
+            threads,
+            seq.total_gflops(),
+            par.total_gflops()
+        );
+        for i in 0..n_apps {
+            prop_assert_eq!(
+                seq.app_gflops(i).to_bits(),
+                par.app_gflops(i).to_bits(),
+                "{} threads: app {} diverged",
+                threads,
+                i
+            );
+        }
+        let (_, seq_log) = run_logged(1);
+        let (_, par_log) = run_logged(threads);
+        prop_assert_eq!(seq_log.to_bytes(), par_log.to_bytes());
     }
 }
